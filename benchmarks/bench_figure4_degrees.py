@@ -1,0 +1,49 @@
+"""Figure 4 — out-degree and in-degree distribution by count.
+
+Paper: log-log scatter of degree vs. vertex count, with in-degrees
+generally higher than out-degrees.  We print the head of both
+histograms and assert the heavy-tail shape.
+"""
+
+from repro.bench.report import render_series
+
+
+def bench_figure4_degree_distribution(benchmark, ctx):
+    out_hist, in_hist = benchmark.pedantic(
+        ctx.graph.degree_distribution, rounds=3, warmup_rounds=1
+    )
+    print()
+    head = sorted(set(list(out_hist)[:0] + [0, 1, 2, 3, 4, 5]))
+    print(render_series(
+        "Figure 4: degree distribution (head)",
+        "degree",
+        {
+            "out-degree count": {d: out_hist.get(d, 0) for d in head},
+            "in-degree count": {d: in_hist.get(d, 0) for d in head},
+        },
+    ))
+    max_out = max(out_hist)
+    max_in = max(in_hist)
+    print(f"max out-degree: {max_out}, max in-degree: {max_in}")
+    # Heavy tail: few vertices carry degrees far above the mean.
+    mean_degree = ctx.graph.edge_count / ctx.graph.vertex_count
+    assert max_out > 2 * mean_degree
+    assert max_in > 2 * mean_degree
+
+
+def bench_figure4_via_sparql(benchmark, ctx):
+    """The same distributions through SPARQL (EQ9/EQ10) must agree with
+    the native computation."""
+    from repro.propertygraph.traversal import degree_histogram
+
+    store = ctx.ng
+    query = store.queries.eq10()
+    store.select(query)
+    result = benchmark.pedantic(
+        lambda: store.select(query), rounds=3, warmup_rounds=1
+    )
+    sparql_out = {
+        row["outDeg"].to_python(): row["cnt"].to_python() for row in result
+    }
+    _, native_out = degree_histogram(ctx.graph, ["knows", "follows"])
+    assert sparql_out == native_out

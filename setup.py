@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+`pip install -e .` uses PEP 660 editable builds, which require the
+``wheel`` package; on fully offline machines without it, this shim
+enables ``python setup.py develop`` as a fallback (see README).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,73 @@
+"""repro — Property Graphs as RDF, a full reproduction of
+"A Tale of Two Graphs: Property Graphs as RDF in Oracle" (EDBT 2014).
+
+The package builds everything the paper relies on, from scratch:
+
+* :mod:`repro.rdf` — the RDF data model (terms, quads, N-Quads I/O);
+* :mod:`repro.store` — an Oracle-style quad store with semantic models,
+  virtual models, and semantic network indexes;
+* :mod:`repro.sparql` — a SPARQL 1.1 subset engine (parser, planner
+  with EXPLAIN, evaluator with property paths and aggregates, updates);
+* :mod:`repro.propertygraph` — the property graph model, its relational
+  form, and Gremlin-style procedural traversal;
+* :mod:`repro.core` — the paper's contribution: the RF / NG / SP
+  PG-as-RDF encodings, cardinality analysis, partitioned storage,
+  SPARQL query formulation, and the lossless round trip;
+* :mod:`repro.inference` — forward-chaining RDFS / OWL RL / user rules;
+* :mod:`repro.datasets` — the synthetic Twitter ego-network workload
+  plus WordNet- and Fact Book-style enrichment datasets.
+
+Quickstart::
+
+    from repro import PropertyGraph, PropertyGraphRdfStore
+
+    graph = PropertyGraph()
+    graph.add_vertex(1, {"name": "Amy", "age": 23})
+    graph.add_vertex(2, {"name": "Mira", "age": 22})
+    graph.add_edge(1, "follows", 2, {"since": 2007})
+
+    store = PropertyGraphRdfStore(model="NG")
+    store.load(graph)
+    result = store.select(
+        "SELECT ?xname ?yname ?yr WHERE { "
+        "GRAPH ?g { ?x rel:follows ?y . ?g key:since ?yr } "
+        "?x key:name ?xname . ?y key:name ?yname }"
+    )
+"""
+
+from repro.propertygraph import Edge, PropertyGraph, Vertex
+from repro.core import (
+    MODEL_NG,
+    MODEL_RF,
+    MODEL_SP,
+    PgQueryBuilder,
+    PgVocabulary,
+    PropertyGraphRdfStore,
+    transformer_for,
+)
+from repro.rdf import IRI, BlankNode, Literal, Quad, Triple
+from repro.sparql import SparqlEngine
+from repro.store import SemanticNetwork
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PropertyGraph",
+    "Vertex",
+    "Edge",
+    "PropertyGraphRdfStore",
+    "PgQueryBuilder",
+    "PgVocabulary",
+    "transformer_for",
+    "MODEL_RF",
+    "MODEL_NG",
+    "MODEL_SP",
+    "IRI",
+    "BlankNode",
+    "Literal",
+    "Triple",
+    "Quad",
+    "SparqlEngine",
+    "SemanticNetwork",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Benchmark harness utilities shared by the ``benchmarks/`` suite."""
+
+from repro.bench.harness import (
+    BenchContext,
+    build_stores,
+    scale_config,
+    timed_query,
+)
+from repro.bench.report import render_series, render_table
+
+__all__ = [
+    "BenchContext",
+    "build_stores",
+    "scale_config",
+    "timed_query",
+    "render_table",
+    "render_series",
+]

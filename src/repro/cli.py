@@ -1,0 +1,275 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``transform`` — convert a property graph (Figure 3-style CSV files or
+  a SNAP ego-network directory) to RDF N-Quads under a chosen model;
+* ``query``     — load N-Quads and run a SPARQL query (table, JSON or
+  CSV output);
+* ``stats``     — print the Table 2/6-style characteristics of a
+  property graph or an N-Quads file;
+* ``demo``      — generate the synthetic Twitter workload and run the
+  paper's experiment queries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from typing import List, Optional
+
+from repro.core import (
+    PropertyGraphRdfStore,
+    measure_property_graph,
+    measure_rdf,
+    transformer_for,
+)
+from repro.propertygraph import (
+    EdgeRow,
+    ObjKVRow,
+    PropertyGraph,
+    RelationalPropertyGraph,
+    from_relational,
+)
+from repro.rdf import parse_nquads, serialize_nquads
+from repro.sparql import SparqlEngine
+from repro.sparql.serialize import to_csv, to_json
+from repro.store import SemanticNetwork
+
+
+def _load_csv_graph(edges_path: str, kvs_path: Optional[str]) -> PropertyGraph:
+    """Load the Figure 3 relational format from CSV files.
+
+    ``edges.csv``: start_vertex,edge,label,end_vertex (with header).
+    ``kvs.csv``: obj_id,kind,key,type,value — kind is ``v`` or ``e``.
+    """
+    edges: List[EdgeRow] = []
+    with open(edges_path, newline="", encoding="utf-8") as handle:
+        for record in csv.DictReader(handle):
+            edges.append(
+                EdgeRow(
+                    int(record["start_vertex"]),
+                    int(record["edge"]),
+                    record["label"],
+                    int(record["end_vertex"]),
+                )
+            )
+    kv_rows: List[ObjKVRow] = []
+    if kvs_path:
+        with open(kvs_path, newline="", encoding="utf-8") as handle:
+            for record in csv.DictReader(handle):
+                kv_rows.append(
+                    ObjKVRow(
+                        int(record["obj_id"]),
+                        record["key"],
+                        record["type"].upper(),
+                        record["value"],
+                        is_edge=record["kind"].lower() == "e",
+                    )
+                )
+    relational = RelationalPropertyGraph(edges=edges, obj_kvs=kv_rows, vertices=[])
+    return from_relational(relational)
+
+
+def _load_graph(args) -> PropertyGraph:
+    if args.snap:
+        from repro.datasets.snap import load_snap_ego_networks
+
+        return load_snap_ego_networks(args.snap)
+    if args.edges:
+        return _load_csv_graph(args.edges, args.kvs)
+    raise SystemExit("transform/stats need --edges or --snap input")
+
+
+def _cmd_transform(args) -> int:
+    graph = _load_graph(args)
+    transformer = transformer_for(args.model)
+    text = serialize_nquads(transformer.transform(graph))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(
+            f"wrote {text.count(chr(10)):,} quads ({transformer.model} model) "
+            f"to {args.output}",
+            file=sys.stderr,
+        )
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_query(args) -> int:
+    network = SemanticNetwork()
+    network.create_model("data", ["PCSGM", "PSCGM", "SPCGM", "GSPCM"])
+    with open(args.data, "r", encoding="utf-8") as handle:
+        count = network.bulk_load("data", parse_nquads(handle))
+    print(f"loaded {count:,} quads", file=sys.stderr)
+    engine = SparqlEngine(
+        network,
+        prefixes={
+            "r": "http://pg/r/", "rel": "http://pg/r/",
+            "k": "http://pg/k/", "key": "http://pg/k/",
+        },
+        default_model="data",
+    )
+    if args.query_file:
+        with open(args.query_file, "r", encoding="utf-8") as handle:
+            query = handle.read()
+    else:
+        query = args.query
+    if args.explain:
+        for line in engine.explain(query):
+            print(line)
+        return 0
+    result = engine.select(query)
+    if args.format == "json":
+        print(to_json(result, indent=2))
+    elif args.format == "csv":
+        sys.stdout.write(to_csv(result))
+    else:
+        print("\t".join(result.variables))
+        for row in result.rows:
+            print("\t".join("" if t is None else t.n3() for t in row))
+        print(f"({len(result)} rows)", file=sys.stderr)
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    if args.nquads:
+        with open(args.nquads, "r", encoding="utf-8") as handle:
+            measured = measure_rdf(parse_nquads(handle))
+        print(f"quads:              {measured.total_quads:,}")
+        print(f"named graphs:       {measured.named_graphs:,}")
+        print(f"distinct subjects:  {measured.distinct_subjects:,}")
+        print(f"distinct predicates:{measured.distinct_predicates:,}")
+        print(f"distinct objects:   {measured.distinct_objects:,}")
+        return 0
+    graph = _load_graph(args)
+    pg = measure_property_graph(graph)
+    print(f"vertices:  {pg.vertices:,}")
+    print(f"edges:     {pg.edges:,} ({pg.edges_with_kvs:,} with KVs)")
+    print(f"node KVs:  {pg.node_kvs:,}")
+    print(f"edge KVs:  {pg.edge_kvs:,}")
+    print(f"labels:    {pg.edge_labels:,}  keys: {pg.distinct_keys:,}")
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from repro.datasets.twitter import (
+        TwitterConfig,
+        connected_tag,
+        generate_twitter,
+        hub_vertex,
+    )
+
+    graph = generate_twitter(TwitterConfig(egos=args.egos, seed=args.seed))
+    store = PropertyGraphRdfStore(model=args.model)
+    counts = store.load(graph)
+    print(f"generated {graph.vertex_count:,} nodes / {graph.edge_count:,} "
+          f"edges; loaded {sum(counts.values()):,} quads ({store.model})")
+    tag = connected_tag(graph)
+    hub = store.vocabulary.vertex_iri(hub_vertex(graph)).value
+    for name, query in store.queries.experiment_queries(tag, hub).items():
+        result = store.select(query)
+        if len(result.variables) == 1 and len(result) == 1 and (
+            result.variables[0] == "cnt"
+        ):
+            print(f"  {name}: count={result.scalar().to_python():,}")
+        else:
+            print(f"  {name}: {len(result):,} rows")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.server import make_server
+
+    network = SemanticNetwork()
+    network.create_model("data", ["PCSGM", "PSCGM", "SPCGM", "GSPCM"])
+    with open(args.data, "r", encoding="utf-8") as handle:
+        count = network.bulk_load("data", parse_nquads(handle))
+    engine = SparqlEngine(
+        network,
+        prefixes={
+            "r": "http://pg/r/", "rel": "http://pg/r/",
+            "k": "http://pg/k/", "key": "http://pg/k/",
+        },
+        default_model="data",
+    )
+    server, port = make_server(
+        engine, args.host, args.port, allow_updates=args.allow_updates
+    )
+    print(
+        f"loaded {count:,} quads; serving SPARQL on "
+        f"http://{args.host}:{port}/sparql (Ctrl-C to stop)",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Property graphs as RDF (EDBT 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    transform = sub.add_parser("transform", help="PG -> N-Quads")
+    transform.add_argument("--model", default="NG", choices=["RF", "NG", "SP"])
+    transform.add_argument("--edges", help="edges.csv (Figure 3 format)")
+    transform.add_argument("--kvs", help="kvs.csv (ObjKVs format)")
+    transform.add_argument("--snap", help="SNAP ego-network directory")
+    transform.add_argument("--output", "-o", help="output .nq path")
+    transform.set_defaults(func=_cmd_transform)
+
+    query = sub.add_parser("query", help="run SPARQL over N-Quads")
+    query.add_argument("data", help="input .nq file")
+    query.add_argument("--query", "-q", help="SPARQL text")
+    query.add_argument("--query-file", "-f", help="SPARQL file")
+    query.add_argument(
+        "--format", default="table", choices=["table", "json", "csv"]
+    )
+    query.add_argument("--explain", action="store_true",
+                       help="print the access plan instead of running")
+    query.set_defaults(func=_cmd_query)
+
+    stats = sub.add_parser("stats", help="dataset characteristics")
+    stats.add_argument("--edges", help="edges.csv")
+    stats.add_argument("--kvs", help="kvs.csv")
+    stats.add_argument("--snap", help="SNAP directory")
+    stats.add_argument("--nquads", help="N-Quads file")
+    stats.set_defaults(func=_cmd_stats)
+
+    demo = sub.add_parser("demo", help="synthetic Twitter demo")
+    demo.add_argument("--egos", type=int, default=12)
+    demo.add_argument("--seed", type=int, default=42)
+    demo.add_argument("--model", default="NG", choices=["RF", "NG", "SP"])
+    demo.set_defaults(func=_cmd_demo)
+
+    serve = sub.add_parser(
+        "serve", help="serve N-Quads over the SPARQL protocol"
+    )
+    serve.add_argument("data", help="input .nq file")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=3030)
+    serve.add_argument("--allow-updates", action="store_true")
+    serve.set_defaults(func=_cmd_serve)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "query" and not (args.query or args.query_file):
+        parser.error("query needs --query or --query-file")
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

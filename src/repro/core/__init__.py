@@ -1,0 +1,56 @@
+"""PG-as-RDF: the paper's primary contribution.
+
+Transforms property graphs into RDF under three models — RF (extended
+reification), NG (named graphs) and SP (subproperties) — and supports
+querying them with standard SPARQL, including Table 4's partitioned
+storage layout, Table 2's cardinality analysis, Section 2.3's query
+formulation rules, and the inverse RDF-to-property-graph mapping.
+"""
+
+from repro.core.vocabulary import PgVocabulary
+from repro.core.transform import (
+    NamedGraphTransformer,
+    ReificationTransformer,
+    SubPropertyTransformer,
+    Transformer,
+    transformer_for,
+    MODEL_NG,
+    MODEL_RF,
+    MODEL_SP,
+    PARTITION_TOPOLOGY,
+    PARTITION_EDGE_KV,
+    PARTITION_NODE_KV,
+)
+from repro.core.cardinality import (
+    PropertyGraphCardinalities,
+    RdfCardinalities,
+    measure_property_graph,
+    measure_rdf,
+    predict_rdf,
+)
+from repro.core.queries import PgQueryBuilder
+from repro.core.roundtrip import rdf_to_property_graph
+from repro.core.facade import PropertyGraphRdfStore
+
+__all__ = [
+    "PgVocabulary",
+    "Transformer",
+    "ReificationTransformer",
+    "NamedGraphTransformer",
+    "SubPropertyTransformer",
+    "transformer_for",
+    "MODEL_RF",
+    "MODEL_NG",
+    "MODEL_SP",
+    "PARTITION_TOPOLOGY",
+    "PARTITION_EDGE_KV",
+    "PARTITION_NODE_KV",
+    "PropertyGraphCardinalities",
+    "RdfCardinalities",
+    "measure_property_graph",
+    "measure_rdf",
+    "predict_rdf",
+    "PgQueryBuilder",
+    "rdf_to_property_graph",
+    "PropertyGraphRdfStore",
+]

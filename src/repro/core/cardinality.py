@@ -1,0 +1,185 @@
+"""Cardinality analysis of the PG-as-RDF models (Table 2, Tables 7-8).
+
+``predict_rdf`` computes, from property graph cardinalities alone, the
+RDF dataset cardinalities Table 2 derives for each model:
+
+* named graphs: 0 / E / 0           (RF / NG / SP)
+* object-property triples: 4E / E / 3E
+* data-property triples: eKV + nKV  (all models)
+* distinct subjects+objects: V+E / V+E1 / V+E
+* distinct object-properties: eL+3 / eL / eL+E+1
+* distinct data-properties: |eK ∪ nK|
+
+``measure_rdf`` computes the same quantities (plus the Table 8 resource
+breakdown) from an actual quad stream, letting tests verify the
+formulas exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Set
+
+from repro.propertygraph.model import PropertyGraph
+from repro.rdf.namespace import RDF, RDFS
+from repro.rdf.quad import Quad
+from repro.rdf.terms import IRI, Literal
+from repro.core.transform import MODEL_NG, MODEL_RF, MODEL_SP
+
+
+@dataclass(frozen=True)
+class PropertyGraphCardinalities:
+    """The property graph quantities of Table 2's header."""
+
+    vertices: int          # V
+    edges: int             # E
+    edges_with_kvs: int    # E1
+    edge_kvs: int          # eKV
+    node_kvs: int          # nKV
+    edge_labels: int       # eL
+    edge_keys: int         # eK (distinct)
+    node_keys: int         # nK (distinct)
+    distinct_keys: int     # |eK UNION nK|
+
+
+def measure_property_graph(graph: PropertyGraph) -> PropertyGraphCardinalities:
+    edge_keys = set(graph.edge_keys())
+    node_keys = set(graph.vertex_keys())
+    return PropertyGraphCardinalities(
+        vertices=graph.vertex_count,
+        edges=graph.edge_count,
+        edges_with_kvs=graph.edges_with_kv_count(),
+        edge_kvs=graph.edge_kv_count(),
+        node_kvs=graph.vertex_kv_count(),
+        edge_labels=len(graph.labels()),
+        edge_keys=len(edge_keys),
+        node_keys=len(node_keys),
+        distinct_keys=len(edge_keys | node_keys),
+    )
+
+
+@dataclass
+class RdfCardinalities:
+    """The RDF dataset quantities of Table 2 (plus Table 8 extras)."""
+
+    named_graphs: int = 0
+    object_property_quads: int = 0
+    data_property_quads: int = 0
+    distinct_subjects_objects: int = 0
+    distinct_object_properties: int = 0
+    distinct_data_properties: int = 0
+    # Table 8 breakdown
+    distinct_subjects: int = 0
+    distinct_predicates: int = 0
+    distinct_objects: int = 0
+    total_quads: int = 0
+
+    def as_table2_row(self) -> Dict[str, int]:
+        return {
+            "Named Graphs": self.named_graphs,
+            "Obj-prop triples/quads": self.object_property_quads,
+            "Data-prop triples": self.data_property_quads,
+            "Distinct sub/obj count": self.distinct_subjects_objects,
+            "Distinct obj-properties": self.distinct_object_properties,
+            "Distinct data-properties": self.distinct_data_properties,
+        }
+
+
+def predict_rdf(
+    pg: PropertyGraphCardinalities, model: str
+) -> RdfCardinalities:
+    """Table 2's closed-form predictions for a model.
+
+    Assumes the common case the table assumes: no isolated vertices, and
+    every vertex/edge IRI distinct from every label/key IRI.
+    """
+    model = model.upper()
+    result = RdfCardinalities()
+    result.data_property_quads = pg.edge_kvs + pg.node_kvs
+    result.distinct_data_properties = pg.distinct_keys
+    if model == MODEL_RF:
+        result.named_graphs = 0
+        result.object_property_quads = 4 * pg.edges
+        result.distinct_subjects_objects = pg.vertices + pg.edges
+        result.distinct_object_properties = pg.edge_labels + 3
+    elif model == MODEL_NG:
+        result.named_graphs = pg.edges
+        result.object_property_quads = pg.edges
+        result.distinct_subjects_objects = pg.vertices + pg.edges_with_kvs
+        result.distinct_object_properties = pg.edge_labels
+    elif model == MODEL_SP:
+        result.named_graphs = 0
+        result.object_property_quads = 3 * pg.edges
+        result.distinct_subjects_objects = pg.vertices + pg.edges
+        result.distinct_object_properties = pg.edge_labels + pg.edges + 1
+    else:
+        raise ValueError(f"unknown model {model!r}")
+    result.total_quads = (
+        result.object_property_quads + result.data_property_quads
+    )
+    return result
+
+
+def measure_rdf(quads: Iterable[Quad]) -> RdfCardinalities:
+    """Measure the Table 2 / Table 8 quantities from actual quads.
+
+    Object properties are predicates whose objects are resources; data
+    properties those with literal objects (the paper's definitions).
+    The reification vocabulary (rdf:subject/predicate/object) and
+    rdfs:subPropertyOf count as object properties, matching Table 2's
+    ``+3`` and ``+1`` terms.
+    """
+    result = RdfCardinalities()
+    graphs: Set = set()
+    subjects: Set = set()
+    predicates: Set = set()
+    objects: Set = set()
+    object_properties: Set = set()
+    data_properties: Set = set()
+    sub_obj_resources: Set = set()
+    for quad in quads:
+        result.total_quads += 1
+        subjects.add(quad.subject)
+        predicates.add(quad.predicate)
+        objects.add(quad.object)
+        if quad.graph is not None:
+            graphs.add(quad.graph)
+        sub_obj_resources.add(quad.subject)
+        if isinstance(quad.object, Literal):
+            result.data_property_quads += 1
+            data_properties.add(quad.predicate)
+        else:
+            result.object_property_quads += 1
+            object_properties.add(quad.predicate)
+            # Table 2's "distinct sub/obj count" counts vertex and edge
+            # resources (V+E); label IRIs appearing as objects of the
+            # schema predicates rdf:predicate / rdfs:subPropertyOf are
+            # excluded here (Table 8 reports them separately, as its
+            # "+2" objects row shows).
+            if quad.predicate not in (RDF.predicate, RDFS.subPropertyOf):
+                sub_obj_resources.add(quad.object)
+    result.named_graphs = len(graphs)
+    result.distinct_subjects = len(subjects)
+    result.distinct_predicates = len(predicates)
+    result.distinct_objects = len(objects)
+    result.distinct_subjects_objects = len(sub_obj_resources)
+    result.distinct_object_properties = len(object_properties)
+    result.distinct_data_properties = len(data_properties)
+    return result
+
+
+def table7_row(quads: Iterable[Quad], vocabulary) -> Dict[str, int]:
+    """Per-label/per-key triple counts (the paper's Table 7 columns)."""
+    counts: Dict[str, int] = {}
+    total = 0
+    for quad in quads:
+        total += 1
+        label = vocabulary.parse_label(quad.predicate)
+        if label is not None:
+            counts[label] = counts.get(label, 0) + 1
+            continue
+        key = vocabulary.parse_key(quad.predicate)
+        if key is not None:
+            counts[key] = counts.get(key, 0) + 1
+    counts["total"] = total
+    return counts

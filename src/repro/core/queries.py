@@ -1,0 +1,271 @@
+"""SPARQL query formulation for property graph queries (Section 2.3).
+
+Implements the paper's formulation rules as a builder that, given a
+PG-as-RDF model (RF / NG / SP), produces the SPARQL graph pattern for
+each property-graph query category:
+
+1. edge access without edge-KVs — identical for all models, thanks to
+   the explicit ``-s-p-o`` triple / ``e-s-p-o`` quad;
+2. edge access *with* edge-KVs — model-specific (Table 3's Q2);
+3. node-KV access — identical for all models, with an isLiteral filter
+   when the key is unbound (Q3) and an isIRI filter when only topology
+   is wanted (Q4).
+
+The builder also emits the paper's experiment queries EQ1-EQ12
+(Table 10) parameterized by tag and start node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.transform import MODEL_NG, MODEL_RF, MODEL_SP
+from repro.core.vocabulary import PgVocabulary
+
+
+class PgQueryBuilder:
+    """Builds model-specific SPARQL text for property graph queries."""
+
+    def __init__(self, model: str, vocabulary: Optional[PgVocabulary] = None):
+        model = model.upper()
+        if model not in (MODEL_RF, MODEL_NG, MODEL_SP):
+            raise ValueError(f"unknown PG-as-RDF model {model!r}")
+        self.model = model
+        self.vocabulary = vocabulary if vocabulary is not None else PgVocabulary()
+
+    # ------------------------------------------------------------------
+    # Core graph-pattern fragments
+    # ------------------------------------------------------------------
+
+    def edge_pattern(self, subject: str, label: str, obj: str) -> str:
+        """Topology-only edge access (rule 1a): same for every model."""
+        return f"{subject} r:{label} {obj} ."
+
+    def edge_with_kvs_pattern(
+        self, subject: str, label: str, obj: str, edge: str = "?e"
+    ) -> str:
+        """Edge access that also binds the edge resource (rule 2).
+
+        Afterwards, edge KVs hang off ``edge`` in every model.
+        """
+        if self.model == MODEL_RF:
+            return (
+                f"{edge} rdf:subject {subject} ; "
+                f"rdf:predicate r:{label} ; "
+                f"rdf:object {obj} ."
+            )
+        if self.model == MODEL_NG:
+            return f"GRAPH {edge} {{ {subject} r:{label} {obj} }}"
+        return (
+            f"{subject} {edge} {obj} . "
+            f"{edge} rdfs:subPropertyOf r:{label} ."
+        )
+
+    def edge_kv_pattern(
+        self, edge: str, key_var: str = "?k", value_var: str = "?V"
+    ) -> str:
+        """All KVs of an already-bound edge resource."""
+        triple = f"{edge} {key_var} {value_var}"
+        if self.model == MODEL_NG:
+            return f"GRAPH {edge} {{ {triple} }}"
+        return f"{triple} FILTER isLiteral({value_var})"
+
+    def node_kv_pattern(
+        self, node: str, key: Optional[str] = None, value: str = "?V"
+    ) -> str:
+        """Node-KV access (rule 3): bound key -> plain triple pattern;
+        unbound key -> isLiteral filter."""
+        if key is not None:
+            return f"{node} k:{key} {value} ."
+        return f"{node} ?k {value} FILTER isLiteral({value})"
+
+    def topology_only_pattern(self, subject: str, pred: str, obj: str) -> str:
+        """Rule 1b: unbound label, exclude KV triples with isIRI."""
+        return f"{subject} {pred} {obj} FILTER isIRI({obj})"
+
+    def prologue(self) -> str:
+        return ""  # prefixes are supplied engine-level via vocabulary.prefixes()
+
+    def _select(self, projection: str, body: str) -> str:
+        return f"SELECT {projection} WHERE {{ {body} }}"
+
+    # ------------------------------------------------------------------
+    # Table 3 queries (Q1-Q4)
+    # ------------------------------------------------------------------
+
+    def q1_triangles(self, label: str = "follows") -> str:
+        """Q1: three-edge cycles of a given label (identical per model)."""
+        return self._select(
+            "?x ?y ?z",
+            f"?x r:{label} ?y . ?y r:{label} ?z . ?z r:{label} ?x",
+        )
+
+    def q2_edges_with_kvs(self, label: str = "follows") -> str:
+        """Q2: vertex pairs and all KVs of edges with a label."""
+        if self.model == MODEL_RF:
+            body = (
+                f"?e rdf:subject ?x ; rdf:predicate r:{label} ; "
+                "rdf:object ?y . ?e ?k ?V FILTER isLiteral(?V)"
+            )
+        elif self.model == MODEL_NG:
+            body = f"GRAPH ?e {{ ?x r:{label} ?y . ?e ?k ?V }}"
+        else:
+            body = (
+                f"?x ?e ?y . ?e rdfs:subPropertyOf r:{label} . "
+                "?e ?k ?V FILTER isLiteral(?V)"
+            )
+        return self._select("?x ?y ?k ?V", body)
+
+    def q3_node_kvs(self, key: str, value: str) -> str:
+        """Q3: all KVs of vertices matching a given KV."""
+        return self._select(
+            "?x ?k ?V",
+            f'?x k:{key} "{value}" . ?x ?k ?V FILTER isLiteral(?V)',
+        )
+
+    def q4_all_edges(self) -> str:
+        """Q4: source and destination vertices of all edges."""
+        return self._select("?x ?y", "?x ?p ?y FILTER isIRI(?y)")
+
+    # ------------------------------------------------------------------
+    # Table 10 experiment queries (EQ1-EQ12)
+    # ------------------------------------------------------------------
+
+    def eq1(self, tag: str) -> str:
+        """Nodes having a tag."""
+        return self._select("?n", f'?n k:hasTag "{tag}"')
+
+    def eq2(self, tag: str) -> str:
+        """Nodes that follow nodes with the tag."""
+        return self._select(
+            "?nf", f'?n k:hasTag "{tag}" . ?nf r:follows ?n'
+        )
+
+    def eq3(self, tag: str) -> str:
+        """3-hop follows paths where every node has the tag."""
+        return self._select(
+            "?n4",
+            "?n k:hasTag ?t . ?n r:follows ?n2 . ?n2 k:hasTag ?t . "
+            "?n2 r:follows ?n3 . ?n3 k:hasTag ?t . ?n3 r:follows ?n4 . "
+            f'?n4 k:hasTag ?t FILTER (?t = "{tag}")',
+        )
+
+    def eq4(self, tag: str) -> str:
+        """All KVs of nodes with the tag."""
+        return self._select(
+            "?n ?k ?v",
+            f'?n k:hasTag "{tag}" . ?n ?k ?v FILTER (isLiteral(?v))',
+        )
+
+    def eq5(self, tag: str) -> str:
+        """Destinations of edges tagged with the tag (EQ5a/EQ5b)."""
+        if self.model == MODEL_NG:
+            body = f'GRAPH ?g1 {{ ?n r:follows ?n2 . ?g1 k:hasTag "{tag}" }}'
+        else:
+            body = (
+                "?s ?p ?n2 . ?p rdfs:subPropertyOf r:follows . "
+                f'?p k:hasTag "{tag}"'
+            )
+        return self._select("?n2", body)
+
+    def eq6(self, tag: str) -> str:
+        """EQ6a/b: endpoints of tagged edges, then one more hop."""
+        if self.model == MODEL_NG:
+            body = (
+                f'GRAPH ?g1 {{ ?n r:follows ?n2 . ?g1 k:hasTag "{tag}" }} '
+                "?n2 r:follows ?n3"
+            )
+        else:
+            body = (
+                "?s ?p ?n2 . ?p rdfs:subPropertyOf r:follows . "
+                f'?p k:hasTag "{tag}" . ?n2 r:follows ?n3'
+            )
+        return self._select("?n3", body)
+
+    def eq7(self, tag: str) -> str:
+        """EQ7a/b: 3-hop paths where each edge has the tag."""
+        if self.model == MODEL_NG:
+            body = (
+                f'GRAPH ?g1 {{ ?n r:follows ?n2 . ?g1 k:hasTag "{tag}" }} '
+                f'GRAPH ?g2 {{ ?n2 r:follows ?n3 . ?g2 k:hasTag "{tag}" }} '
+                f'GRAPH ?g3 {{ ?n3 r:follows ?n4 . ?g3 k:hasTag "{tag}" }}'
+            )
+        else:
+            body = (
+                "?s ?p ?n2 . ?p rdfs:subPropertyOf r:follows . "
+                f'?p k:hasTag "{tag}" . '
+                "?n2 ?p2 ?n3 . ?p2 rdfs:subPropertyOf r:follows . "
+                f'?p2 k:hasTag "{tag}" . '
+                "?n3 ?p3 ?n4 . ?p3 rdfs:subPropertyOf r:follows . "
+                f'?p3 k:hasTag "{tag}"'
+            )
+        return self._select("?n4", body)
+
+    def eq8(self, tag: str) -> str:
+        """EQ8a/b: all edge KVs of tagged edges."""
+        if self.model == MODEL_NG:
+            body = (
+                f'GRAPH ?g1 {{ ?n r:follows ?n2 . ?g1 k:hasTag "{tag}" . '
+                "?g1 ?k ?v FILTER (isLiteral(?v)) }"
+            )
+        else:
+            body = (
+                "?s ?p ?n2 . ?p rdfs:subPropertyOf r:follows . "
+                f'?p k:hasTag "{tag}" . ?p ?k ?v FILTER (isLiteral(?v))'
+            )
+        return self._select("?n2 ?k ?v", body)
+
+    def eq9(self) -> str:
+        """In-degree distribution over knows|follows."""
+        return (
+            "SELECT ?inDeg (COUNT(*) as ?cnt) WHERE { "
+            "SELECT ?n2 (COUNT(*) as ?inDeg) WHERE { "
+            "?n1 (r:knows|r:follows) ?n2 } GROUP BY ?n2 } "
+            "GROUP BY ?inDeg ORDER BY DESC(?inDeg)"
+        )
+
+    def eq10(self) -> str:
+        """Out-degree distribution over knows|follows."""
+        return (
+            "SELECT ?outDeg (COUNT(*) as ?cnt) WHERE { "
+            "SELECT ?n1 (COUNT(*) as ?outDeg) WHERE { "
+            "?n1 (r:knows|r:follows) ?n2 } GROUP BY ?n1 } "
+            "GROUP BY ?outDeg ORDER BY DESC(?outDeg)"
+        )
+
+    def eq11(self, node_iri: str, hops: int) -> str:
+        """Count paths of a given length from a start node (EQ11a-e)."""
+        if hops < 1:
+            raise ValueError("hops must be >= 1")
+        path = "/".join(["r:follows"] * hops)
+        return self._select(
+            "(COUNT(?y) as ?cnt)", f"<{node_iri}> {path} ?y"
+        )
+
+    def eq12(self) -> str:
+        """Count all follows triangles."""
+        return self._select(
+            "(COUNT(*) AS ?cnt)",
+            "?x r:follows ?y . ?y r:follows ?z . ?z r:follows ?x",
+        )
+
+    def experiment_queries(
+        self, tag: str, start_node_iri: str
+    ) -> Dict[str, str]:
+        """The full Table 10 suite for this model."""
+        suite = {
+            "EQ1": self.eq1(tag),
+            "EQ2": self.eq2(tag),
+            "EQ3": self.eq3(tag),
+            "EQ4": self.eq4(tag),
+            "EQ5": self.eq5(tag),
+            "EQ6": self.eq6(tag),
+            "EQ7": self.eq7(tag),
+            "EQ8": self.eq8(tag),
+            "EQ9": self.eq9(),
+            "EQ10": self.eq10(),
+            "EQ12": self.eq12(),
+        }
+        for hops, letter in zip(range(1, 6), "abcde"):
+            suite[f"EQ11{letter}"] = self.eq11(start_node_iri, hops)
+        return suite

@@ -1,0 +1,247 @@
+"""The inverse mapping: RDF (in any of the three models) back to a
+property graph.
+
+This is not in the paper explicitly, but it is the invariant that makes
+the encodings *lossless*: transform followed by the inverse transform
+reproduces the original property graph.  The property-based tests rely
+on it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.propertygraph.model import PropertyGraph
+from repro.rdf.namespace import RDF, RDFS
+from repro.rdf.quad import Quad
+from repro.rdf.terms import IRI, Literal
+from repro.core.transform import MODEL_NG, MODEL_RF, MODEL_SP
+from repro.core.vocabulary import PgVocabulary
+
+
+class RoundTripError(ValueError):
+    """Raised when quads do not form a valid model encoding."""
+
+
+def rdf_to_property_graph(
+    quads: Iterable[Quad],
+    model: str,
+    vocabulary: Optional[PgVocabulary] = None,
+    name: str = "graph",
+) -> PropertyGraph:
+    """Decode quads produced by the given model back into a property graph."""
+    model = model.upper()
+    vocab = vocabulary if vocabulary is not None else PgVocabulary()
+    if model == MODEL_NG:
+        return _decode_ng(quads, vocab, name)
+    if model == MODEL_RF:
+        return _decode_rf(quads, vocab, name)
+    if model == MODEL_SP:
+        return _decode_sp(quads, vocab, name)
+    raise ValueError(f"unknown model {model!r}")
+
+
+def _new_graph(name: str) -> PropertyGraph:
+    return PropertyGraph(name)
+
+
+def _ensure_vertex(graph: PropertyGraph, vertex_id: int) -> None:
+    if not graph.has_vertex(vertex_id):
+        graph.add_vertex(vertex_id)
+
+
+def _apply_node_kvs(
+    graph: PropertyGraph, node_kvs: Dict[int, list]
+) -> None:
+    for vertex_id, pairs in node_kvs.items():
+        _ensure_vertex(graph, vertex_id)
+        for key, value in pairs:
+            graph.vertex(vertex_id).add_property(key, value)
+
+
+def _classify_common(
+    quad: Quad, vocab: PgVocabulary, node_kvs, isolated: Set[int]
+) -> bool:
+    """Handle node-KV and isolated-vertex triples; True if consumed."""
+    if quad.predicate == RDF.type and quad.object == RDFS.Resource:
+        vertex_id = vocab.parse_vertex_id(quad.subject)
+        if vertex_id is not None:
+            isolated.add(vertex_id)
+            return True
+    if isinstance(quad.object, Literal):
+        key = vocab.parse_key(quad.predicate)
+        vertex_id = (
+            vocab.parse_vertex_id(quad.subject)
+            if isinstance(quad.subject, IRI)
+            else None
+        )
+        if key is not None and vertex_id is not None and quad.graph is None:
+            node_kvs.setdefault(vertex_id, []).append(
+                (key, vocab.parse_value(quad.object))
+            )
+            return True
+    return False
+
+
+def _decode_ng(quads, vocab: PgVocabulary, name: str) -> PropertyGraph:
+    graph = _new_graph(name)
+    node_kvs: Dict[int, list] = {}
+    edge_defs: Dict[int, Tuple[int, str, int]] = {}
+    edge_kvs: Dict[int, list] = {}
+    isolated: Set[int] = set()
+    for quad in quads:
+        if _classify_common(quad, vocab, node_kvs, isolated):
+            continue
+        if quad.graph is None:
+            raise RoundTripError(f"unexpected default-graph quad {quad!r}")
+        edge_id = vocab.parse_edge_id(quad.graph)
+        if edge_id is None:
+            raise RoundTripError(f"graph IRI is not an edge IRI: {quad!r}")
+        if isinstance(quad.object, Literal):
+            key = vocab.parse_key(quad.predicate)
+            if key is None or vocab.parse_edge_id(quad.subject) != edge_id:
+                raise RoundTripError(f"malformed edge-KV quad {quad!r}")
+            edge_kvs.setdefault(edge_id, []).append(
+                (key, vocab.parse_value(quad.object))
+            )
+        else:
+            label = vocab.parse_label(quad.predicate)
+            source = vocab.parse_vertex_id(quad.subject)
+            target = vocab.parse_vertex_id(quad.object)
+            if label is None or source is None or target is None:
+                raise RoundTripError(f"malformed topology quad {quad!r}")
+            edge_defs[edge_id] = (source, label, target)
+    _build_edges(graph, edge_defs, edge_kvs)
+    _apply_node_kvs(graph, node_kvs)
+    for vertex_id in isolated:
+        _ensure_vertex(graph, vertex_id)
+    return graph
+
+
+def _decode_rf(quads, vocab: PgVocabulary, name: str) -> PropertyGraph:
+    graph = _new_graph(name)
+    node_kvs: Dict[int, list] = {}
+    reified: Dict[int, Dict[str, object]] = {}
+    edge_kvs: Dict[int, list] = {}
+    isolated: Set[int] = set()
+    for quad in quads:
+        if _classify_common(quad, vocab, node_kvs, isolated):
+            continue
+        edge_id = (
+            vocab.parse_edge_id(quad.subject)
+            if isinstance(quad.subject, IRI)
+            else None
+        )
+        if edge_id is not None:
+            if quad.predicate == RDF.subject:
+                reified.setdefault(edge_id, {})["s"] = vocab.parse_vertex_id(
+                    quad.object
+                )
+            elif quad.predicate == RDF.predicate:
+                reified.setdefault(edge_id, {})["p"] = vocab.parse_label(quad.object)
+            elif quad.predicate == RDF.object:
+                reified.setdefault(edge_id, {})["o"] = vocab.parse_vertex_id(
+                    quad.object
+                )
+            elif isinstance(quad.object, Literal):
+                key = vocab.parse_key(quad.predicate)
+                if key is None:
+                    raise RoundTripError(f"malformed edge-KV triple {quad!r}")
+                edge_kvs.setdefault(edge_id, []).append(
+                (key, vocab.parse_value(quad.object))
+            )
+            else:
+                raise RoundTripError(f"unexpected edge triple {quad!r}")
+            continue
+        # The explicit -s-p-o triple: redundant with the reification.
+        if vocab.parse_label(quad.predicate) is not None:
+            continue
+        raise RoundTripError(f"unclassifiable triple {quad!r}")
+    edge_defs = {}
+    for edge_id, parts in reified.items():
+        if sorted(parts) != ["o", "p", "s"] or None in parts.values():
+            raise RoundTripError(f"incomplete reification for edge {edge_id}")
+        edge_defs[edge_id] = (parts["s"], parts["p"], parts["o"])
+    _build_edges(graph, edge_defs, edge_kvs)
+    _apply_node_kvs(graph, node_kvs)
+    for vertex_id in isolated:
+        _ensure_vertex(graph, vertex_id)
+    return graph
+
+
+def _decode_sp(quads, vocab: PgVocabulary, name: str) -> PropertyGraph:
+    graph = _new_graph(name)
+    node_kvs: Dict[int, list] = {}
+    endpoints: Dict[int, Tuple[int, int]] = {}
+    labels: Dict[int, str] = {}
+    edge_kvs: Dict[int, list] = {}
+    isolated: Set[int] = set()
+    for quad in quads:
+        if _classify_common(quad, vocab, node_kvs, isolated):
+            continue
+        # -e-rdfs:subPropertyOf-p
+        if quad.predicate == RDFS.subPropertyOf:
+            edge_id = vocab.parse_edge_id(quad.subject)
+            label = vocab.parse_label(quad.object)
+            if edge_id is None or label is None:
+                raise RoundTripError(f"malformed subPropertyOf triple {quad!r}")
+            labels[edge_id] = label
+            continue
+        # -s-e-o with the edge IRI as predicate
+        edge_id = vocab.parse_edge_id(quad.predicate)
+        if edge_id is not None:
+            source = vocab.parse_vertex_id(quad.subject)
+            target = (
+                vocab.parse_vertex_id(quad.object)
+                if isinstance(quad.object, IRI)
+                else None
+            )
+            if source is None or target is None:
+                raise RoundTripError(f"malformed edge triple {quad!r}")
+            endpoints[edge_id] = (source, target)
+            continue
+        # edge KVs: -e-K-V
+        subject_edge = (
+            vocab.parse_edge_id(quad.subject)
+            if isinstance(quad.subject, IRI)
+            else None
+        )
+        if subject_edge is not None and isinstance(quad.object, Literal):
+            key = vocab.parse_key(quad.predicate)
+            if key is None:
+                raise RoundTripError(f"malformed edge-KV triple {quad!r}")
+            edge_kvs.setdefault(subject_edge, []).append(
+                (key, vocab.parse_value(quad.object))
+            )
+            continue
+        # explicit -s-p-o triple: redundant
+        if vocab.parse_label(quad.predicate) is not None:
+            continue
+        raise RoundTripError(f"unclassifiable triple {quad!r}")
+    edge_defs = {}
+    for edge_id, (source, target) in endpoints.items():
+        label = labels.get(edge_id)
+        if label is None:
+            raise RoundTripError(f"edge {edge_id} has no subPropertyOf label")
+        edge_defs[edge_id] = (source, label, target)
+    _build_edges(graph, edge_defs, edge_kvs)
+    _apply_node_kvs(graph, node_kvs)
+    for vertex_id in isolated:
+        _ensure_vertex(graph, vertex_id)
+    return graph
+
+
+def _build_edges(
+    graph: PropertyGraph,
+    edge_defs: Dict[int, Tuple[int, str, int]],
+    edge_kvs: Dict[int, list],
+) -> None:
+    for edge_id, (source, label, target) in sorted(edge_defs.items()):
+        _ensure_vertex(graph, source)
+        _ensure_vertex(graph, target)
+        edge = graph.add_edge(source, label, target, edge_id=edge_id)
+        for key, value in edge_kvs.get(edge_id, ()):
+            edge.add_property(key, value)
+    orphan_kvs = set(edge_kvs) - set(edge_defs)
+    if orphan_kvs:
+        raise RoundTripError(f"edge KVs for unknown edges: {sorted(orphan_kvs)}")

@@ -1,0 +1,174 @@
+"""The three PG-as-RDF transformation models (Table 1).
+
+Using the paper's notation, an edge ``b-i-r-d`` (source b, id i, label
+r, destination d) maps to IRIs ``s``, ``e``, ``p``, ``o``:
+
+=======  =================================================================
+Model    RDF quads/triples for a topology edge
+=======  =================================================================
+``RF``   ``-e-rdf:subject-s``, ``-e-rdf:predicate-p``,
+         ``-e-rdf:object-o``, plus the explicit ``-s-p-o`` triple
+``NG``   the single quad ``e-s-p-o`` (edge IRI as the named graph)
+``SP``   ``-s-e-o``, ``-e-rdfs:subPropertyOf-p``, plus ``-s-p-o``
+=======  =================================================================
+
+Edge KVs are ``-e-K-V`` triples (``e-e-K-V`` quads in NG, clustered in
+the edge's named graph); node KVs are always ``-n-K-V`` triples; a
+vertex with no KVs and no edges becomes ``-v-rdf:type-rdf:Resource``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.propertygraph.model import Edge, PropertyGraph, Vertex
+from repro.rdf.namespace import RDF, RDFS
+from repro.rdf.quad import Quad
+from repro.core.vocabulary import PgVocabulary
+
+MODEL_RF = "RF"
+MODEL_NG = "NG"
+MODEL_SP = "SP"
+
+PARTITION_TOPOLOGY = "topology"
+PARTITION_EDGE_KV = "edge_kv"
+PARTITION_NODE_KV = "node_kv"
+
+PARTITIONS = (PARTITION_TOPOLOGY, PARTITION_EDGE_KV, PARTITION_NODE_KV)
+
+
+class Transformer:
+    """Base transformer: shared node-KV and isolated-vertex handling.
+
+    Subclasses implement :meth:`edge_quads` — the per-model encoding of
+    a topology edge and its key/values.
+    """
+
+    model: str = "?"
+
+    def __init__(self, vocabulary: PgVocabulary = None):
+        self.vocabulary = vocabulary if vocabulary is not None else PgVocabulary()
+
+    # -- per-model hooks ------------------------------------------------
+
+    def edge_quads(self, edge: Edge) -> Iterator[Tuple[str, Quad]]:
+        raise NotImplementedError
+
+    # -- shared ----------------------------------------------------------
+
+    def vertex_quads(self, vertex: Vertex, isolated: bool) -> Iterator[Tuple[str, Quad]]:
+        vocab = self.vocabulary
+        node = vocab.vertex_iri(vertex.id)
+        if isolated and not vertex.properties:
+            # The paper writes "rdf:Resource"; the class actually lives in
+            # the rdfs: namespace.
+            yield PARTITION_NODE_KV, Quad(node, RDF.type, RDFS.Resource)
+            return
+        for key, value in vertex.kv_pairs():
+            yield (
+                PARTITION_NODE_KV,
+                Quad(node, vocab.key_iri(key), vocab.value_literal(value)),
+            )
+
+    def transform_partitioned(
+        self, graph: PropertyGraph
+    ) -> Iterator[Tuple[str, Quad]]:
+        """Yield ``(partition, quad)`` pairs for the whole graph."""
+        isolated = set(graph.isolated_vertices())
+        for vertex in graph.vertices():
+            yield from self.vertex_quads(vertex, vertex.id in isolated)
+        for edge in graph.edges():
+            yield from self.edge_quads(edge)
+
+    def transform(self, graph: PropertyGraph) -> Iterator[Quad]:
+        """Yield the RDF quads for the whole graph."""
+        for _, quad in self.transform_partitioned(graph):
+            yield quad
+
+
+class ReificationTransformer(Transformer):
+    """RF: (extended) reification, without the rdf:type rdf:Statement
+    triple (the paper's "excluding" note), but *with* the explicit
+    ``-s-p-o`` triple so plain SPARQL traversal works."""
+
+    model = MODEL_RF
+
+    def edge_quads(self, edge: Edge) -> Iterator[Tuple[str, Quad]]:
+        vocab = self.vocabulary
+        s = vocab.vertex_iri(edge.source)
+        o = vocab.vertex_iri(edge.target)
+        p = vocab.label_iri(edge.label)
+        e = vocab.edge_iri(edge.id)
+        yield PARTITION_EDGE_KV, Quad(e, RDF.subject, s)
+        yield PARTITION_EDGE_KV, Quad(e, RDF.predicate, p)
+        yield PARTITION_EDGE_KV, Quad(e, RDF.object, o)
+        yield PARTITION_TOPOLOGY, Quad(s, p, o)
+        for key, value in edge.kv_pairs():
+            yield (
+                PARTITION_EDGE_KV,
+                Quad(e, vocab.key_iri(key), vocab.value_literal(value)),
+            )
+
+
+class NamedGraphTransformer(Transformer):
+    """NG: one quad per edge, edge IRI as named graph; edge KVs are
+    clustered into the same named graph."""
+
+    model = MODEL_NG
+
+    def edge_quads(self, edge: Edge) -> Iterator[Tuple[str, Quad]]:
+        vocab = self.vocabulary
+        s = vocab.vertex_iri(edge.source)
+        o = vocab.vertex_iri(edge.target)
+        p = vocab.label_iri(edge.label)
+        e = vocab.edge_iri(edge.id)
+        yield PARTITION_TOPOLOGY, Quad(s, p, o, e)
+        for key, value in edge.kv_pairs():
+            yield (
+                PARTITION_EDGE_KV,
+                Quad(e, vocab.key_iri(key), vocab.value_literal(value), e),
+            )
+
+
+class SubPropertyTransformer(Transformer):
+    """SP: a unique RDF property per edge, made an rdfs:subPropertyOf of
+    the label property, plus the explicit ``-s-p-o`` triple.
+
+    Following Section 3.2, the anchor triples ``-s-e-o`` and
+    ``-e-sPO-p`` belong to the edge-KV partition (they are only needed
+    when edge KVs are accessed)."""
+
+    model = MODEL_SP
+
+    def edge_quads(self, edge: Edge) -> Iterator[Tuple[str, Quad]]:
+        vocab = self.vocabulary
+        s = vocab.vertex_iri(edge.source)
+        o = vocab.vertex_iri(edge.target)
+        p = vocab.label_iri(edge.label)
+        e = vocab.edge_iri(edge.id)
+        yield PARTITION_EDGE_KV, Quad(s, e, o)
+        yield PARTITION_EDGE_KV, Quad(e, RDFS.subPropertyOf, p)
+        yield PARTITION_TOPOLOGY, Quad(s, p, o)
+        for key, value in edge.kv_pairs():
+            yield (
+                PARTITION_EDGE_KV,
+                Quad(e, vocab.key_iri(key), vocab.value_literal(value)),
+            )
+
+
+_TRANSFORMERS = {
+    MODEL_RF: ReificationTransformer,
+    MODEL_NG: NamedGraphTransformer,
+    MODEL_SP: SubPropertyTransformer,
+}
+
+
+def transformer_for(model: str, vocabulary: PgVocabulary = None) -> Transformer:
+    """Factory: ``"RF"`` / ``"NG"`` / ``"SP"`` (case-insensitive)."""
+    cls = _TRANSFORMERS.get(model.upper())
+    if cls is None:
+        raise ValueError(
+            f"unknown PG-as-RDF model {model!r}; expected one of "
+            f"{sorted(_TRANSFORMERS)}"
+        )
+    return cls(vocabulary)

@@ -1,0 +1,141 @@
+"""IRI-generation vocabulary for PG-to-RDF transformation (Section 2.2).
+
+The paper maps:
+
+* vertex ``1``        -> ``<http://pg/v1>``
+* edge ``3``          -> ``<http://pg/e3>``
+* label ``follows``   -> ``<http://pg/r/follows>`` (prefix ``rel:``)
+* key ``age``         -> ``<http://pg/k/age>``     (prefix ``key:``)
+* value ``23``        -> ``"23"^^xsd:int``
+
+No distinction is made between edge and node keys, "as a key may be
+common to an edge and a node".  The vertex IRI prefix is configurable
+because the paper's own Twitter experiments use ``n`` (e.g.
+``<http://pg/n6160742>`` in EQ11).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+from urllib.parse import quote
+
+from repro.propertygraph.model import Scalar
+from repro.rdf.namespace import Namespace, XSD
+from repro.rdf.terms import IRI, Literal
+
+
+class PgVocabulary:
+    """Generates (and parses back) the IRIs of one transformed graph."""
+
+    def __init__(
+        self,
+        base: str = "http://pg/",
+        vertex_prefix: str = "v",
+        edge_prefix: str = "e",
+    ):
+        if not base.endswith("/"):
+            base += "/"
+        if vertex_prefix == edge_prefix:
+            raise ValueError("vertex and edge prefixes must differ")
+        self.base = base
+        self.vertex_prefix = vertex_prefix
+        self.edge_prefix = edge_prefix
+        self.rel = Namespace(base + "r/")
+        self.key = Namespace(base + "k/")
+
+    # ------------------------------------------------------------------
+    # Forward mapping
+    # ------------------------------------------------------------------
+
+    def vertex_iri(self, vertex_id: int) -> IRI:
+        return IRI(f"{self.base}{self.vertex_prefix}{vertex_id}")
+
+    def edge_iri(self, edge_id: int) -> IRI:
+        return IRI(f"{self.base}{self.edge_prefix}{edge_id}")
+
+    def label_iri(self, label: str) -> IRI:
+        return self.rel.term(_encode_local(label))
+
+    def key_iri(self, key: str) -> IRI:
+        return self.key.term(_encode_local(key))
+
+    def value_literal(self, value: Scalar) -> Literal:
+        """Map a property graph scalar to a typed RDF literal.
+
+        Integers use ``xsd:int`` (the paper's example maps 23 that way),
+        floats ``xsd:double``, booleans ``xsd:boolean``, strings plain
+        literals.
+        """
+        if isinstance(value, bool):
+            return Literal("true" if value else "false", XSD.boolean)
+        if isinstance(value, int):
+            return Literal(str(value), XSD.int)
+        if isinstance(value, float):
+            return Literal(repr(value), XSD.double)
+        return Literal(value)
+
+    # ------------------------------------------------------------------
+    # Reverse mapping (used by the RDF -> PG round trip)
+    # ------------------------------------------------------------------
+
+    def parse_vertex_id(self, iri: IRI) -> Optional[int]:
+        return self._parse_id(iri, self.vertex_prefix)
+
+    def parse_edge_id(self, iri: IRI) -> Optional[int]:
+        return self._parse_id(iri, self.edge_prefix)
+
+    def _parse_id(self, iri: IRI, prefix: str) -> Optional[int]:
+        full_prefix = self.base + prefix
+        if not iri.value.startswith(full_prefix):
+            return None
+        suffix = iri.value[len(full_prefix):]
+        if suffix.isdigit():
+            return int(suffix)
+        return None
+
+    def parse_label(self, iri: IRI) -> Optional[str]:
+        if iri in self.rel:
+            return _decode_local(self.rel.local_name(iri))
+        return None
+
+    def parse_key(self, iri: IRI) -> Optional[str]:
+        if iri in self.key:
+            return _decode_local(self.key.local_name(iri))
+        return None
+
+    def parse_value(self, literal: Literal) -> Scalar:
+        value = literal.to_python()
+        if isinstance(value, str):
+            return value
+        return value
+
+    # ------------------------------------------------------------------
+    # SPARQL prologue
+    # ------------------------------------------------------------------
+
+    def prefixes(self) -> Dict[str, str]:
+        """Prefix map for SPARQL engines: ``r``/``rel`` and ``k``/``key``."""
+        return {
+            "r": self.rel.base,
+            "rel": self.rel.base,
+            "k": self.key.base,
+            "key": self.key.base,
+            "pg": self.base,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"PgVocabulary(base={self.base!r}, "
+            f"vertex_prefix={self.vertex_prefix!r})"
+        )
+
+
+def _encode_local(name: str) -> str:
+    """Percent-encode characters that are invalid inside an IRI."""
+    return quote(name, safe="-_.~!$&'()*+,;=:@")
+
+
+def _decode_local(name: str) -> str:
+    from urllib.parse import unquote
+
+    return unquote(name)

@@ -1,0 +1,27 @@
+"""Dataset generators and loaders for the paper's experiments.
+
+* :mod:`repro.datasets.twitter` — a synthetic Twitter ego-network
+  generator following the construction recipe of Section 4.2 (the real
+  SNAP ``egonets-Twitter`` download is not redistributable here);
+* :mod:`repro.datasets.snap` — a loader for the real SNAP ego-network
+  file format, for users who have the original data;
+* :mod:`repro.datasets.wordnet` / :mod:`repro.datasets.factbook` —
+  small synthetic RDF datasets with the schemas Section 5.2's
+  enrichment examples query.
+"""
+
+from repro.datasets.twitter import TwitterConfig, generate_twitter, hub_vertex
+from repro.datasets.snap import load_snap_ego_networks
+from repro.datasets.wordnet import generate_wordnet
+from repro.datasets.factbook import generate_factbook
+from repro.datasets.lubm import generate_lubm
+
+__all__ = [
+    "TwitterConfig",
+    "generate_twitter",
+    "hub_vertex",
+    "load_snap_ego_networks",
+    "generate_wordnet",
+    "generate_factbook",
+    "generate_lubm",
+]

@@ -1,0 +1,61 @@
+"""A synthetic CIA World Fact Book-like RDF dataset (Section 5.2).
+
+The paper loads the World Fact Book RDF dataset and uses property-chain
+inference over country boundaries and ports: ``USA :bndry ?b . ?b
+:ports ?p`` combined with ``:nbr`` neighbour facts lets it infer that
+"Mexico and Canada are neighbors to port 'Tampa'", and a user-defined
+rule derives ``:hasTagR`` edges from Twitter nodes tagged ``#Tampa`` to
+those neighbouring countries (Figure 10).
+
+This module generates a small country/boundary/port graph with exactly
+that schema, including the Figure 10 subgraph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.rdf.namespace import Namespace, RDF
+from repro.rdf.quad import Quad
+from repro.rdf.terms import Literal
+
+FB = Namespace("http://factbook/")
+
+#: (country, [neighbor countries], [(boundary, [ports])]).
+DEFAULT_COUNTRIES: Tuple = (
+    ("USA", ("Canada", "Mexico"),
+     (("GulfCoast", ("Tampa", "NewOrleans")),
+      ("EastCoast", ("Boston", "Miami")))),
+    ("Canada", ("USA",), (("StLawrence", ("Montreal",)),)),
+    ("Mexico", ("USA",), (("GulfOfMexico", ("Veracruz",)),)),
+    ("France", ("Spain", "Germany"), (("Atlantic", ("Bordeaux",)),)),
+    ("Spain", ("France",), (("Mediterranean", ("Barcelona",)),)),
+    ("Germany", ("France",), (("NorthSea", ("Hamburg",)),)),
+)
+
+
+def generate_factbook(
+    countries: Sequence = DEFAULT_COUNTRIES,
+) -> List[Quad]:
+    """Generate Fact Book-style quads: countries, neighbours, boundaries
+    and their ports."""
+    quads: List[Quad] = []
+    for name, neighbors, boundaries in countries:
+        country = FB.term(name)
+        quads.append(Quad(country, RDF.type, FB.Country))
+        quads.append(Quad(country, FB.name, Literal(name)))
+        for neighbor in neighbors:
+            quads.append(Quad(country, FB.nbr, FB.term(neighbor)))
+        for boundary_name, ports in boundaries:
+            boundary = FB.term(boundary_name)
+            quads.append(Quad(country, FB.bndry, boundary))
+            for port_name in ports:
+                port = FB.term(port_name)
+                quads.append(Quad(boundary, FB.ports, port))
+                quads.append(Quad(port, RDF.type, FB.Port))
+                quads.append(Quad(port, FB.name, Literal(port_name)))
+    return quads
+
+
+def prefixes() -> Dict[str, str]:
+    return {"fb": FB.base}

@@ -1,0 +1,80 @@
+"""A LUBM-style university RDF dataset generator.
+
+Section 2.3 contrasts the PG-as-RDF models' predicate skew with
+traditional RDF benchmarks: "LUBM datasets have only a handful of
+distinct object properties and those are used for hundreds of millions
+or billions of triples", whereas the SP model mints a distinct property
+per edge.  This generator produces a miniature LUBM-shaped dataset —
+universities, departments, professors, students, courses, wired
+together with a fixed vocabulary — so that contrast can be measured.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.rdf.namespace import Namespace, RDF
+from repro.rdf.quad import Quad
+from repro.rdf.terms import IRI, Literal
+
+UB = Namespace("http://lubm/ub#")
+
+#: The fixed LUBM-like object-property vocabulary (a "handful").
+OBJECT_PROPERTIES = (
+    "memberOf", "subOrganizationOf", "worksFor", "advisor",
+    "takesCourse", "teacherOf", "publicationAuthor",
+)
+
+
+def generate_lubm(
+    universities: int = 2,
+    departments_per_university: int = 3,
+    professors_per_department: int = 4,
+    students_per_department: int = 20,
+    courses_per_department: int = 5,
+    seed: int = 7,
+) -> List[Quad]:
+    """Generate LUBM-shaped quads (default graph only)."""
+    rng = random.Random(seed)
+    quads: List[Quad] = []
+
+    def entity(kind: str, *indices: int) -> IRI:
+        suffix = "_".join(str(i) for i in indices)
+        return UB.term(f"{kind}{suffix}")
+
+    for u in range(universities):
+        university = entity("University", u)
+        quads.append(Quad(university, RDF.type, UB.University))
+        for d in range(departments_per_university):
+            department = entity("Department", u, d)
+            quads.append(Quad(department, RDF.type, UB.Department))
+            quads.append(Quad(department, UB.subOrganizationOf, university))
+            courses = []
+            for c in range(courses_per_department):
+                course = entity("Course", u, d, c)
+                courses.append(course)
+                quads.append(Quad(course, RDF.type, UB.Course))
+            professors = []
+            for p in range(professors_per_department):
+                professor = entity("Professor", u, d, p)
+                professors.append(professor)
+                quads.append(Quad(professor, RDF.type, UB.FullProfessor))
+                quads.append(Quad(professor, UB.worksFor, department))
+                quads.append(
+                    Quad(professor, UB.name, Literal(f"Professor{u}_{d}_{p}"))
+                )
+                quads.append(
+                    Quad(professor, UB.teacherOf, rng.choice(courses))
+                )
+            for s in range(students_per_department):
+                student = entity("Student", u, d, s)
+                quads.append(Quad(student, RDF.type, UB.GraduateStudent))
+                quads.append(Quad(student, UB.memberOf, department))
+                quads.append(Quad(student, UB.advisor, rng.choice(professors)))
+                quads.append(
+                    Quad(student, UB.name, Literal(f"Student{u}_{d}_{s}"))
+                )
+                for course in rng.sample(courses, k=min(2, len(courses))):
+                    quads.append(Quad(student, UB.takesCourse, course))
+    return quads

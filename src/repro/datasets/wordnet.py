@@ -1,0 +1,73 @@
+"""A synthetic WordNet-like RDF dataset (Section 5.2, term expansion).
+
+The paper loads "the basic version of the Wordnet RDF dataset that
+groups nouns, verbs, adjectives and adverbs into sets of cognitive
+synonyms (synsets)" and uses ``wn:senseLabel`` plus ``rdfs:label`` to
+expand a search term into its synonyms.  This module generates a small
+RDF graph with that schema: synsets whose member word senses carry
+``wn:senseLabel`` values, each word also carrying an ``rdfs:label``.
+
+The default content includes the paper's own example: the synset for
+"train" containing *train*, *educate* and *prepare*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.rdf.namespace import Namespace, RDF, RDFS
+from repro.rdf.quad import Quad
+from repro.rdf.terms import Literal
+
+WN = Namespace("http://wordnet/")
+
+#: Default synsets: (synset id, [word sense labels]).  The first entry
+#: reproduces the paper's query-expansion example for "train".
+DEFAULT_SYNSETS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("synset-train-verb-1", ("train", "educate", "prepare")),
+    ("synset-travel-verb-1", ("travel", "journey", "voyage")),
+    ("synset-music-noun-1", ("music", "melody", "tune")),
+    ("synset-show-noun-1", ("show", "series", "program")),
+    ("synset-web-noun-1", ("web", "net", "internet")),
+    ("synset-game-noun-1", ("game", "match", "play")),
+)
+
+
+def generate_wordnet(
+    synsets: Sequence[Tuple[str, Sequence[str]]] = DEFAULT_SYNSETS,
+) -> List[Quad]:
+    """Generate WordNet-style quads: synsets, word senses, labels."""
+    quads: List[Quad] = []
+    for synset_id, labels in synsets:
+        synset = WN.term(synset_id)
+        quads.append(Quad(synset, RDF.type, WN.Synset))
+        for index, label in enumerate(labels, start=1):
+            sense = WN.term(f"{synset_id}-sense-{index}")
+            quads.append(Quad(sense, RDF.type, WN.WordSense))
+            quads.append(Quad(sense, WN.inSynset, synset))
+            quads.append(
+                Quad(sense, WN.senseLabel, Literal(label, language="en-us"))
+            )
+            quads.append(Quad(sense, RDFS.label, Literal(label)))
+    return quads
+
+
+def expansion_query(word: str, prefix_key: str = "k") -> str:
+    """The paper's term-expansion SPARQL pattern for a search word.
+
+    Finds nodes whose ``hasTag`` matches ``#<label>`` for any label in
+    the same synset as ``word`` (via senseLabel).
+    """
+    return (
+        "SELECT ?n ?label WHERE { "
+        f'?w wn:senseLabel "{word}"@en-us . '
+        "?w wn:inSynset ?syn . "
+        "?w2 wn:inSynset ?syn . "
+        "?w2 rdfs:label ?label . "
+        f"?n {prefix_key}:hasTag ?y "
+        'FILTER (STR(?y) = CONCAT("#", STR(?label))) }'
+    )
+
+
+def prefixes() -> Dict[str, str]:
+    return {"wn": WN.base}

@@ -1,0 +1,24 @@
+"""Forward-chaining inference (Section 5.2's substrate).
+
+Oracle pre-computes entailments with its native inference engine and
+stores them so queries can use them directly; this package does the
+same: a semi-naive forward-chaining rule engine
+(:class:`~repro.inference.rules.RuleEngine`), rule sets for RDFS and an
+OWL 2 RL subset, and support for user-defined rules like the paper's
+``hasTagR`` example.
+"""
+
+from repro.inference.rules import Rule, RuleEngine, RuleTerm, var
+from repro.inference.rdfs import RDFS_RULES, rdfs_closure
+from repro.inference.owl import OWL_RL_RULES, owl_rl_closure
+
+__all__ = [
+    "Rule",
+    "RuleEngine",
+    "RuleTerm",
+    "var",
+    "RDFS_RULES",
+    "rdfs_closure",
+    "OWL_RL_RULES",
+    "owl_rl_closure",
+]

@@ -1,0 +1,134 @@
+"""An OWL 2 RL subset: the constructs Section 5.2 uses.
+
+* ``owl:sameAs`` — symmetry, transitivity, and subject/object
+  substitution (the paper's linked-data integration hook);
+* ``owl:equivalentProperty`` — bidirectional property aliasing, used to
+  map generated ``key:``/``rel:`` predicates onto domain ontologies;
+* ``owl:inverseOf``;
+* ``owl:TransitiveProperty`` and ``owl:SymmetricProperty``;
+* ``owl:propertyChainAxiom`` support via explicit two-step chain rules
+  (the Fact Book neighbor-of-a-port example), exposed through
+  :func:`property_chain_rule` because full RDF-list parsing of chain
+  axioms is more machinery than the paper's example needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Set
+
+from repro.rdf.namespace import OWL, RDF
+from repro.rdf.quad import Triple
+from repro.rdf.terms import IRI
+from repro.inference.rules import Rule, RuleEngine, var
+
+_S, _O = var("s"), var("o")
+_P, _Q = var("p"), var("q")
+_X, _Y, _Z = var("x"), var("y"), var("z")
+
+OWL_RL_RULES = (
+    # sameAs symmetry/transitivity (eq-sym, eq-trans)
+    Rule(
+        "eq-sym",
+        body=((_X, OWL.sameAs, _Y),),
+        head=((_Y, OWL.sameAs, _X),),
+    ),
+    Rule(
+        "eq-trans",
+        body=((_X, OWL.sameAs, _Y), (_Y, OWL.sameAs, _Z)),
+        head=((_X, OWL.sameAs, _Z),),
+    ),
+    # sameAs substitution (eq-rep-s, eq-rep-o)
+    Rule(
+        "eq-rep-s",
+        body=((_X, OWL.sameAs, _Y), (_X, _P, _O)),
+        head=((_Y, _P, _O),),
+    ),
+    Rule(
+        "eq-rep-o",
+        body=((_X, OWL.sameAs, _Y), (_S, _P, _X)),
+        head=((_S, _P, _Y),),
+    ),
+    # equivalentProperty (prp-eqp1, prp-eqp2)
+    Rule(
+        "prp-eqp1",
+        body=((_P, OWL.equivalentProperty, _Q), (_S, _P, _O)),
+        head=((_S, _Q, _O),),
+    ),
+    Rule(
+        "prp-eqp2",
+        body=((_P, OWL.equivalentProperty, _Q), (_S, _Q, _O)),
+        head=((_S, _P, _O),),
+    ),
+    # inverseOf (prp-inv1, prp-inv2)
+    Rule(
+        "prp-inv1",
+        body=((_P, OWL.inverseOf, _Q), (_S, _P, _O)),
+        head=((_O, _Q, _S),),
+    ),
+    Rule(
+        "prp-inv2",
+        body=((_P, OWL.inverseOf, _Q), (_S, _Q, _O)),
+        head=((_O, _P, _S),),
+    ),
+    # functional / inverse-functional properties (prp-fp, prp-ifp):
+    # two values of a functional property are the same individual.
+    Rule(
+        "prp-fp",
+        body=(
+            (_P, RDF.type, OWL.FunctionalProperty),
+            (_S, _P, _X),
+            (_S, _P, _Y),
+        ),
+        head=((_X, OWL.sameAs, _Y),),
+    ),
+    Rule(
+        "prp-ifp",
+        body=(
+            (_P, RDF.type, OWL.InverseFunctionalProperty),
+            (_X, _P, _O),
+            (_Y, _P, _O),
+        ),
+        head=((_X, OWL.sameAs, _Y),),
+    ),
+    # transitive / symmetric properties (prp-trp, prp-symp)
+    Rule(
+        "prp-trp",
+        body=(
+            (_P, RDF.type, OWL.TransitiveProperty),
+            (_X, _P, _Y),
+            (_Y, _P, _Z),
+        ),
+        head=((_X, _P, _Z),),
+    ),
+    Rule(
+        "prp-symp",
+        body=((_P, RDF.type, OWL.SymmetricProperty), (_X, _P, _Y)),
+        head=((_Y, _P, _X),),
+    ),
+)
+
+
+def property_chain_rule(
+    name: str, chain: Sequence[IRI], result: IRI
+) -> Rule:
+    """Build the prp-spo2 rule for a fixed property chain.
+
+    ``chain=[p1, p2], result=r`` gives: ``x p1 y . y p2 z => x r z``.
+    """
+    if len(chain) < 2:
+        raise ValueError("a property chain needs at least two steps")
+    body = []
+    previous = var("c0")
+    for i, step in enumerate(chain):
+        nxt = var(f"c{i + 1}")
+        body.append((previous, step, nxt))
+        previous = nxt
+    return Rule(name, body=tuple(body), head=((var("c0"), result, previous),))
+
+
+def owl_rl_closure(
+    triples: Iterable[Triple], extra_rules: Sequence[Rule] = ()
+) -> Set[Triple]:
+    """OWL RL closure, optionally with user-defined rules (the paper's
+    Oracle "user-defined rules capability")."""
+    return RuleEngine(list(OWL_RL_RULES) + list(extra_rules)).closure(triples)

@@ -1,0 +1,62 @@
+"""RDFS entailment rules (the core of the RDFS regime the paper's RDF
+stores support natively).
+
+Covers the widely used subset: rdfs2 (domain), rdfs3 (range),
+rdfs5/rdfs7 (subPropertyOf transitivity and inheritance), rdfs9/rdfs11
+(subClassOf inheritance and transitivity).  Rule names follow the RDF
+Semantics document.
+
+Note how rdfs7 is exactly what makes the paper's SP encoding queryable
+through plain labels: ``?s ?e ?o`` plus ``?e rdfs:subPropertyOf ?p``
+entails ``?s ?p ?o`` — the explicitly asserted ``-s-p-o`` triple of the
+SP model is this entailment, materialized at transform time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.rdf.namespace import RDF, RDFS
+from repro.rdf.quad import Triple
+from repro.inference.rules import Rule, RuleEngine, var
+
+_S, _P, _O = var("s"), var("p"), var("o")
+_X, _Y, _Z = var("x"), var("y"), var("z")
+
+RDFS_RULES = (
+    Rule(
+        "rdfs2-domain",
+        body=((_P, RDFS.domain, _X), (_S, _P, _O)),
+        head=(((_S, RDF.type, _X)),),
+    ),
+    Rule(
+        "rdfs3-range",
+        body=((_P, RDFS.range, _X), (_S, _P, _O)),
+        head=(((_O, RDF.type, _X)),),
+    ),
+    Rule(
+        "rdfs5-subproperty-transitivity",
+        body=((_X, RDFS.subPropertyOf, _Y), (_Y, RDFS.subPropertyOf, _Z)),
+        head=(((_X, RDFS.subPropertyOf, _Z)),),
+    ),
+    Rule(
+        "rdfs7-subproperty-inheritance",
+        body=((_P, RDFS.subPropertyOf, _X), (_S, _P, _O)),
+        head=(((_S, _X, _O)),),
+    ),
+    Rule(
+        "rdfs9-subclass-inheritance",
+        body=((_X, RDFS.subClassOf, _Y), (_S, RDF.type, _X)),
+        head=(((_S, RDF.type, _Y)),),
+    ),
+    Rule(
+        "rdfs11-subclass-transitivity",
+        body=((_X, RDFS.subClassOf, _Y), (_Y, RDFS.subClassOf, _Z)),
+        head=(((_X, RDFS.subClassOf, _Z)),),
+    ),
+)
+
+
+def rdfs_closure(triples: Iterable[Triple]) -> Set[Triple]:
+    """The RDFS closure of a triple set (asserted + entailed)."""
+    return RuleEngine(RDFS_RULES).closure(triples)

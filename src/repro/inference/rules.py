@@ -1,0 +1,220 @@
+"""A semi-naive forward-chaining rule engine over RDF triples.
+
+Rules are Datalog-style: a body of triple patterns (with variables) and
+a head of triple templates.  The engine computes the fixpoint of a rule
+set over a set of triples, only re-deriving from facts that are new in
+each round (semi-naive evaluation), which is how practical RDF stores
+materialize entailments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.rdf.quad import Triple
+from repro.rdf.terms import Term
+
+#: A rule term: a constant RDF term or a variable.
+RuleTerm = Union[Term, "Variable"]
+
+
+@dataclass(frozen=True)
+class Variable:
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+def var(name: str) -> Variable:
+    """Shorthand rule-variable constructor."""
+    return Variable(name)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """body => head.  All head variables must occur in the body."""
+
+    name: str
+    body: Tuple[Tuple[RuleTerm, RuleTerm, RuleTerm], ...]
+    head: Tuple[Tuple[RuleTerm, RuleTerm, RuleTerm], ...]
+
+    def __post_init__(self):
+        body_vars = {
+            t.name
+            for pattern in self.body
+            for t in pattern
+            if isinstance(t, Variable)
+        }
+        for pattern in self.head:
+            for term in pattern:
+                if isinstance(term, Variable) and term.name not in body_vars:
+                    raise ValueError(
+                        f"rule {self.name}: head variable ?{term.name} "
+                        "does not occur in the body"
+                    )
+
+
+class _TripleIndex:
+    """SPO/POS/OSP hash indexes over a growing triple set."""
+
+    def __init__(self):
+        self.triples: Set[Tuple[Term, Term, Term]] = set()
+        self._by_p: Dict[Term, List[Tuple[Term, Term, Term]]] = {}
+        self._by_sp: Dict[Tuple[Term, Term], List[Tuple[Term, Term, Term]]] = {}
+        self._by_po: Dict[Tuple[Term, Term], List[Tuple[Term, Term, Term]]] = {}
+        self._by_s: Dict[Term, List[Tuple[Term, Term, Term]]] = {}
+
+    def add(self, triple: Tuple[Term, Term, Term]) -> bool:
+        if triple in self.triples:
+            return False
+        self.triples.add(triple)
+        s, p, o = triple
+        self._by_p.setdefault(p, []).append(triple)
+        self._by_s.setdefault(s, []).append(triple)
+        self._by_sp.setdefault((s, p), []).append(triple)
+        self._by_po.setdefault((p, o), []).append(triple)
+        return True
+
+    def match(
+        self,
+        s: Optional[Term],
+        p: Optional[Term],
+        o: Optional[Term],
+    ) -> Iterable[Tuple[Term, Term, Term]]:
+        if s is not None and p is not None:
+            candidates = self._by_sp.get((s, p), ())
+        elif p is not None and o is not None:
+            candidates = self._by_po.get((p, o), ())
+        elif p is not None:
+            candidates = self._by_p.get(p, ())
+        elif s is not None:
+            candidates = self._by_s.get(s, ())
+        else:
+            candidates = self.triples
+        for triple in candidates:
+            if s is not None and triple[0] != s:
+                continue
+            if p is not None and triple[1] != p:
+                continue
+            if o is not None and triple[2] != o:
+                continue
+            yield triple
+
+
+class RuleEngine:
+    """Computes the fixpoint of a rule set over a triple set."""
+
+    def __init__(self, rules: Sequence[Rule], max_rounds: int = 10_000):
+        self.rules = list(rules)
+        self.max_rounds = max_rounds
+
+    def closure(self, triples: Iterable[Triple]) -> Set[Triple]:
+        """All triples entailed (including the input)."""
+        index = _TripleIndex()
+        for triple in triples:
+            index.add((triple.subject, triple.predicate, triple.object))
+        delta = set(index.triples)
+        rounds = 0
+        while delta:
+            rounds += 1
+            if rounds > self.max_rounds:
+                raise RuntimeError("rule closure did not converge")
+            new_delta: Set[Tuple[Term, Term, Term]] = set()
+            for rule in self.rules:
+                for derived in self._apply(rule, index, delta):
+                    if index.add(derived):
+                        new_delta.add(derived)
+            delta = new_delta
+        return {Triple(s, p, o) for s, p, o in index.triples}
+
+    def inferred_only(self, triples: Iterable[Triple]) -> Set[Triple]:
+        """The entailed triples minus the asserted input."""
+        asserted = set(triples)
+        return self.closure(asserted) - asserted
+
+    # ------------------------------------------------------------------
+
+    def _apply(
+        self,
+        rule: Rule,
+        index: _TripleIndex,
+        delta: Set[Tuple[Term, Term, Term]],
+    ) -> Iterable[Tuple[Term, Term, Term]]:
+        """Semi-naive: require at least one body atom to match the delta."""
+        for seed_position in range(len(rule.body)):
+            seed_pattern = rule.body[seed_position]
+            for seed in delta:
+                bindings = _match_pattern(seed_pattern, seed, {})
+                if bindings is None:
+                    continue
+                rest = [
+                    rule.body[i]
+                    for i in range(len(rule.body))
+                    if i != seed_position
+                ]
+                yield from self._join_rest(rule, rest, bindings, index)
+
+    def _join_rest(
+        self,
+        rule: Rule,
+        rest: List[Tuple[RuleTerm, RuleTerm, RuleTerm]],
+        bindings: Dict[str, Term],
+        index: _TripleIndex,
+    ) -> Iterable[Tuple[Term, Term, Term]]:
+        if not rest:
+            for head in rule.head:
+                derived = tuple(_substitute(term, bindings) for term in head)
+                if _valid_triple(derived):
+                    yield derived
+            return
+        pattern, remaining = rest[0], rest[1:]
+        s, p, o = (_resolve(term, bindings) for term in pattern)
+        for triple in index.match(s, p, o):
+            extended = _match_pattern(pattern, triple, bindings)
+            if extended is not None:
+                yield from self._join_rest(rule, remaining, extended, index)
+
+
+def _valid_triple(derived: Tuple[Term, Term, Term]) -> bool:
+    """Skip head instantiations that would violate RDF positions
+    (e.g. a literal flowing into the subject slot)."""
+    from repro.rdf.terms import BlankNode, IRI, Literal
+
+    s, p, o = derived
+    return (
+        isinstance(s, (IRI, BlankNode))
+        and isinstance(p, IRI)
+        and isinstance(o, (IRI, BlankNode, Literal))
+    )
+
+
+def _resolve(term: RuleTerm, bindings: Dict[str, Term]) -> Optional[Term]:
+    if isinstance(term, Variable):
+        return bindings.get(term.name)
+    return term
+
+
+def _substitute(term: RuleTerm, bindings: Dict[str, Term]) -> Term:
+    if isinstance(term, Variable):
+        return bindings[term.name]
+    return term
+
+
+def _match_pattern(
+    pattern: Tuple[RuleTerm, RuleTerm, RuleTerm],
+    triple: Tuple[Term, Term, Term],
+    bindings: Dict[str, Term],
+) -> Optional[Dict[str, Term]]:
+    result = dict(bindings)
+    for pattern_term, value in zip(pattern, triple):
+        if isinstance(pattern_term, Variable):
+            bound = result.get(pattern_term.name)
+            if bound is None:
+                result[pattern_term.name] = value
+            elif bound != value:
+                return None
+        elif pattern_term != value:
+            return None
+    return result

@@ -1,0 +1,37 @@
+"""The property graph data model.
+
+Implements the model of the paper's Section 1: vertices and directed
+edges with unique identifiers, string edge labels, and key/value
+properties on both vertices and edges (scalar values only, as in
+Blueprints-era property graphs).  Also provides the relational
+Edges/ObjKVs representation of Figure 3 and a Gremlin-style procedural
+traversal API (the paper's Section 6 alternative for deep traversals).
+"""
+
+from repro.propertygraph.model import (
+    Edge,
+    PropertyGraph,
+    PropertyGraphError,
+    Vertex,
+)
+from repro.propertygraph.relational import (
+    EdgeRow,
+    ObjKVRow,
+    RelationalPropertyGraph,
+    from_relational,
+    to_relational,
+)
+from repro.propertygraph.traversal import Traversal
+
+__all__ = [
+    "Vertex",
+    "Edge",
+    "PropertyGraph",
+    "PropertyGraphError",
+    "EdgeRow",
+    "ObjKVRow",
+    "RelationalPropertyGraph",
+    "to_relational",
+    "from_relational",
+    "Traversal",
+]

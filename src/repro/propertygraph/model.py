@@ -1,0 +1,401 @@
+"""Vertices, edges, and the property graph container."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+#: Scalar property values allowed in a property graph (unlike RDF,
+#: property graph key/values can only be scalars — paper, Section 1).
+Scalar = Union[str, int, float, bool]
+
+
+class PropertyGraphError(ValueError):
+    """Raised for structurally invalid property graph operations."""
+
+
+def _check_scalar(key: str, value) -> None:
+    if not isinstance(value, (str, int, float, bool)):
+        raise PropertyGraphError(
+            f"property {key!r} must be a scalar, got {type(value).__name__}"
+        )
+
+
+def _value_key(value: Scalar):
+    """Canonical ordering/dedup key distinguishing True from 1."""
+    return (type(value).__name__, repr(value))
+
+
+def _merge_values(existing, value: Scalar):
+    """Merge ``value`` into an existing single value or multi-value tuple.
+
+    Multi-valued properties are kept as canonically sorted, deduplicated
+    tuples, matching RDF set semantics for repeated key/value pairs
+    (the Twitter dataset's ``hasTag``/``refs`` keys are multi-valued).
+    """
+    values = list(existing) if isinstance(existing, tuple) else [existing]
+    key = _value_key(value)
+    if any(_value_key(v) == key for v in values):
+        return existing
+    values.append(value)
+    values.sort(key=_value_key)
+    return tuple(values)
+
+
+def _iter_values(stored) -> Tuple[Scalar, ...]:
+    return stored if isinstance(stored, tuple) else (stored,)
+
+
+class _PropertyHolder:
+    """Shared key/value behaviour of vertices and edges.
+
+    ``properties`` maps a key to either a single scalar or — for
+    multi-valued keys — a canonically sorted tuple of scalars.
+    """
+
+    __slots__ = ()
+
+    def set_property(self, key: str, value: Scalar) -> None:
+        """Set (or replace) a single-valued property."""
+        if not key:
+            raise PropertyGraphError("property key must be non-empty")
+        _check_scalar(key, value)
+        self.properties[key] = value
+
+    def add_property(self, key: str, value: Scalar) -> None:
+        """Add one value to a (possibly multi-valued) property."""
+        if not key:
+            raise PropertyGraphError("property key must be non-empty")
+        _check_scalar(key, value)
+        existing = self.properties.get(key)
+        if existing is None and key not in self.properties:
+            self.properties[key] = value
+        else:
+            self.properties[key] = _merge_values(existing, value)
+
+    def get_property(self, key: str, default=None):
+        """The value of a single-valued property (first value if multi)."""
+        stored = self.properties.get(key)
+        if stored is None and key not in self.properties:
+            return default
+        if isinstance(stored, tuple):
+            return stored[0]
+        return stored
+
+    def property_values(self, key: str) -> Tuple[Scalar, ...]:
+        """All values of a property (empty tuple if absent)."""
+        if key not in self.properties:
+            return ()
+        return _iter_values(self.properties[key])
+
+    def has_property_value(self, key: str, value: Scalar) -> bool:
+        wanted = _value_key(value)
+        return any(_value_key(v) == wanted for v in self.property_values(key))
+
+    def remove_property(self, key: str) -> None:
+        self.properties.pop(key, None)
+
+    def kv_pairs(self) -> Iterator[Tuple[str, Scalar]]:
+        """Flattened (key, value) pairs — one per KV, as in ObjKVs rows."""
+        for key, stored in self.properties.items():
+            for value in _iter_values(stored):
+                yield key, value
+
+    def kv_count(self) -> int:
+        return sum(1 for _ in self.kv_pairs())
+
+
+class Vertex(_PropertyHolder):
+    """A vertex: unique id (within its graph) plus key/value properties."""
+
+    __slots__ = ("id", "properties")
+
+    def __init__(self, vertex_id: int, properties: Optional[Dict[str, Scalar]] = None):
+        self.id = vertex_id
+        self.properties: Dict[str, Scalar] = {}
+        if properties:
+            for key, value in properties.items():
+                self.set_property(key, value)
+
+    def __repr__(self) -> str:
+        return f"Vertex({self.id}, {self.properties})"
+
+
+class Edge(_PropertyHolder):
+    """A directed, labeled edge with its own id and key/value properties."""
+
+    __slots__ = ("id", "label", "source", "target", "properties")
+
+    def __init__(
+        self,
+        edge_id: int,
+        label: str,
+        source: int,
+        target: int,
+        properties: Optional[Dict[str, Scalar]] = None,
+    ):
+        if not label:
+            raise PropertyGraphError("edge label must be non-empty")
+        self.id = edge_id
+        self.label = label
+        self.source = source
+        self.target = target
+        self.properties: Dict[str, Scalar] = {}
+        if properties:
+            for key, value in properties.items():
+                self.set_property(key, value)
+
+    def __repr__(self) -> str:
+        return (
+            f"Edge({self.id}, {self.label!r}, {self.source}->{self.target}, "
+            f"{self.properties})"
+        )
+
+
+class PropertyGraph:
+    """A directed, multi-relational, key/value-annotated graph.
+
+    Vertex and edge identifiers are integers, unique within the graph
+    (the compactness property the paper notes for property graph
+    implementations).  Edge ids and vertex ids live in separate
+    namespaces, as in the paper's Figure 3 relational schema.
+    """
+
+    def __init__(self, name: str = "graph"):
+        self.name = name
+        self._vertices: Dict[int, Vertex] = {}
+        self._edges: Dict[int, Edge] = {}
+        self._out: Dict[int, List[int]] = {}  # vertex id -> edge ids
+        self._in: Dict[int, List[int]] = {}
+        self._next_vertex_id = 1
+        self._next_edge_id = 1
+
+    # ------------------------------------------------------------------
+    # Vertices
+    # ------------------------------------------------------------------
+
+    def add_vertex(
+        self,
+        vertex_id: Optional[int] = None,
+        properties: Optional[Dict[str, Scalar]] = None,
+    ) -> Vertex:
+        if vertex_id is None:
+            vertex_id = self._next_vertex_id
+        if vertex_id in self._vertices:
+            raise PropertyGraphError(f"vertex {vertex_id} already exists")
+        vertex = Vertex(vertex_id, properties)
+        self._vertices[vertex_id] = vertex
+        self._out.setdefault(vertex_id, [])
+        self._in.setdefault(vertex_id, [])
+        self._next_vertex_id = max(self._next_vertex_id, vertex_id + 1)
+        return vertex
+
+    def vertex(self, vertex_id: int) -> Vertex:
+        found = self._vertices.get(vertex_id)
+        if found is None:
+            raise PropertyGraphError(f"no such vertex: {vertex_id}")
+        return found
+
+    def has_vertex(self, vertex_id: int) -> bool:
+        return vertex_id in self._vertices
+
+    def remove_vertex(self, vertex_id: int) -> None:
+        """Remove a vertex and all its incident edges."""
+        self.vertex(vertex_id)
+        for edge_id in list(self._out[vertex_id]) + list(self._in[vertex_id]):
+            if edge_id in self._edges:
+                self.remove_edge(edge_id)
+        del self._vertices[vertex_id]
+        del self._out[vertex_id]
+        del self._in[vertex_id]
+
+    def vertices(self) -> Iterator[Vertex]:
+        return iter(self._vertices.values())
+
+    @property
+    def vertex_count(self) -> int:
+        return len(self._vertices)
+
+    # ------------------------------------------------------------------
+    # Edges
+    # ------------------------------------------------------------------
+
+    def add_edge(
+        self,
+        source: int,
+        label: str,
+        target: int,
+        properties: Optional[Dict[str, Scalar]] = None,
+        edge_id: Optional[int] = None,
+    ) -> Edge:
+        if source not in self._vertices:
+            raise PropertyGraphError(f"no such source vertex: {source}")
+        if target not in self._vertices:
+            raise PropertyGraphError(f"no such target vertex: {target}")
+        if edge_id is None:
+            edge_id = self._next_edge_id
+        if edge_id in self._edges:
+            raise PropertyGraphError(f"edge {edge_id} already exists")
+        edge = Edge(edge_id, label, source, target, properties)
+        self._edges[edge_id] = edge
+        self._out[source].append(edge_id)
+        self._in[target].append(edge_id)
+        self._next_edge_id = max(self._next_edge_id, edge_id + 1)
+        return edge
+
+    def edge(self, edge_id: int) -> Edge:
+        found = self._edges.get(edge_id)
+        if found is None:
+            raise PropertyGraphError(f"no such edge: {edge_id}")
+        return found
+
+    def has_edge(self, edge_id: int) -> bool:
+        return edge_id in self._edges
+
+    def remove_edge(self, edge_id: int) -> None:
+        edge = self.edge(edge_id)
+        self._out[edge.source].remove(edge_id)
+        self._in[edge.target].remove(edge_id)
+        del self._edges[edge_id]
+
+    def edges(self) -> Iterator[Edge]:
+        return iter(self._edges.values())
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    # ------------------------------------------------------------------
+    # Adjacency (index-free style accessors)
+    # ------------------------------------------------------------------
+
+    def out_edges(self, vertex_id: int, label: Optional[str] = None) -> List[Edge]:
+        self.vertex(vertex_id)
+        edges = [self._edges[e] for e in self._out[vertex_id]]
+        if label is not None:
+            edges = [e for e in edges if e.label == label]
+        return edges
+
+    def in_edges(self, vertex_id: int, label: Optional[str] = None) -> List[Edge]:
+        self.vertex(vertex_id)
+        edges = [self._edges[e] for e in self._in[vertex_id]]
+        if label is not None:
+            edges = [e for e in edges if e.label == label]
+        return edges
+
+    def out_neighbors(
+        self, vertex_id: int, label: Optional[str] = None
+    ) -> List[int]:
+        return [e.target for e in self.out_edges(vertex_id, label)]
+
+    def in_neighbors(self, vertex_id: int, label: Optional[str] = None) -> List[int]:
+        return [e.source for e in self.in_edges(vertex_id, label)]
+
+    def out_degree(self, vertex_id: int, label: Optional[str] = None) -> int:
+        return len(self.out_edges(vertex_id, label))
+
+    def in_degree(self, vertex_id: int, label: Optional[str] = None) -> int:
+        return len(self.in_edges(vertex_id, label))
+
+    # ------------------------------------------------------------------
+    # Set operations
+    # ------------------------------------------------------------------
+
+    def subgraph(self, vertex_ids, name: Optional[str] = None) -> "PropertyGraph":
+        """The induced subgraph on ``vertex_ids`` (copies properties)."""
+        wanted = set(vertex_ids)
+        missing = wanted - set(self._vertices)
+        if missing:
+            raise PropertyGraphError(f"no such vertices: {sorted(missing)}")
+        result = PropertyGraph(name or f"{self.name}-subgraph")
+        for vertex_id in sorted(wanted):
+            vertex = result.add_vertex(vertex_id)
+            for key, value in self._vertices[vertex_id].kv_pairs():
+                vertex.add_property(key, value)
+        for edge in self._edges.values():
+            if edge.source in wanted and edge.target in wanted:
+                copy = result.add_edge(
+                    edge.source, edge.label, edge.target, edge_id=edge.id
+                )
+                for key, value in edge.kv_pairs():
+                    copy.add_property(key, value)
+        return result
+
+    def merge(self, other: "PropertyGraph") -> None:
+        """Merge ``other`` into this graph in place.
+
+        Vertices are unified by id (properties merged with
+        :meth:`~_PropertyHolder.add_property` semantics); the other
+        graph's edges are added with fresh edge ids, since edge ids are
+        only unique within their own graph.
+        """
+        for vertex in other.vertices():
+            if not self.has_vertex(vertex.id):
+                self.add_vertex(vertex.id)
+            mine = self.vertex(vertex.id)
+            for key, value in vertex.kv_pairs():
+                mine.add_property(key, value)
+        for edge in other.edges():
+            copy = self.add_edge(edge.source, edge.label, edge.target)
+            for key, value in edge.kv_pairs():
+                copy.add_property(key, value)
+
+    # ------------------------------------------------------------------
+    # Statistics (feed Table 2 / Table 6)
+    # ------------------------------------------------------------------
+
+    def labels(self) -> List[str]:
+        """Distinct edge labels (eL in the paper's Table 2)."""
+        return sorted({edge.label for edge in self._edges.values()})
+
+    def vertex_keys(self) -> List[str]:
+        """Distinct vertex property keys (nK)."""
+        keys = set()
+        for vertex in self._vertices.values():
+            keys.update(vertex.properties)
+        return sorted(keys)
+
+    def edge_keys(self) -> List[str]:
+        """Distinct edge property keys (eK)."""
+        keys = set()
+        for edge in self._edges.values():
+            keys.update(edge.properties)
+        return sorted(keys)
+
+    def vertex_kv_count(self) -> int:
+        """Total vertex key/value pairs (nKV), counting multi-values."""
+        return sum(v.kv_count() for v in self._vertices.values())
+
+    def edge_kv_count(self) -> int:
+        """Total edge key/value pairs (eKV), counting multi-values."""
+        return sum(e.kv_count() for e in self._edges.values())
+
+    def edges_with_kv_count(self) -> int:
+        """Edges having at least one key/value pair (E1)."""
+        return sum(1 for e in self._edges.values() if e.properties)
+
+    def isolated_vertices(self) -> List[int]:
+        """Vertices with no KVs and no incident edges (the special case
+        of Section 2.3 needing an rdf:type rdf:Resource triple)."""
+        return [
+            v.id
+            for v in self._vertices.values()
+            if not v.properties and not self._out[v.id] and not self._in[v.id]
+        ]
+
+    def degree_distribution(self) -> Tuple[Dict[int, int], Dict[int, int]]:
+        """(out-degree -> vertex count, in-degree -> vertex count):
+        the data behind the paper's Figure 4."""
+        out_hist: Dict[int, int] = {}
+        in_hist: Dict[int, int] = {}
+        for vertex_id in self._vertices:
+            out_deg = len(self._out[vertex_id])
+            in_deg = len(self._in[vertex_id])
+            out_hist[out_deg] = out_hist.get(out_deg, 0) + 1
+            in_hist[in_deg] = in_hist.get(in_deg, 0) + 1
+        return out_hist, in_hist
+
+    def __repr__(self) -> str:
+        return (
+            f"PropertyGraph({self.name!r}, vertices={self.vertex_count}, "
+            f"edges={self.edge_count})"
+        )

@@ -1,0 +1,240 @@
+"""Gremlin-style procedural traversal.
+
+The paper's conclusion notes that for deep traversals where SPARQL 1.1
+property paths fall short (no length limits, no path values), "an
+alternative ... is to perform traversal procedurally similar to the
+approach of Gremlin".  This module provides that alternative over the
+native property graph: a fluent pipeline of vertex/edge steps, plus
+direct helpers for the paper's analytical queries (path counting,
+triangle counting, degree distributions).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.propertygraph.model import Edge, PropertyGraph, Scalar, Vertex
+
+
+class Traversal:
+    """A lazy vertex-set pipeline over a property graph.
+
+    >>> t = Traversal(graph).vertices().has("name", "Amy").out("follows")
+    >>> [v.id for v in t]
+    """
+
+    def __init__(self, graph: PropertyGraph, source: Optional[Iterable[Vertex]] = None):
+        self._graph = graph
+        self._source: Iterable[Vertex] = source if source is not None else []
+
+    # ------------------------------------------------------------------
+    # Starts
+    # ------------------------------------------------------------------
+
+    def vertices(self) -> "Traversal":
+        return Traversal(self._graph, self._graph.vertices())
+
+    def vertex(self, vertex_id: int) -> "Traversal":
+        return Traversal(self._graph, [self._graph.vertex(vertex_id)])
+
+    # ------------------------------------------------------------------
+    # Steps
+    # ------------------------------------------------------------------
+
+    def has(self, key: str, value: Scalar) -> "Traversal":
+        """Keep vertices where the (possibly multi-valued) key has the value."""
+        return Traversal(
+            self._graph,
+            (v for v in self._source if v.has_property_value(key, value)),
+        )
+
+    def has_key(self, key: str) -> "Traversal":
+        return Traversal(
+            self._graph, (v for v in self._source if key in v.properties)
+        )
+
+    def filter(self, predicate: Callable[[Vertex], bool]) -> "Traversal":
+        return Traversal(self._graph, (v for v in self._source if predicate(v)))
+
+    def out(self, label: Optional[str] = None) -> "Traversal":
+        graph = self._graph
+
+        def step():
+            for vertex in self._source:
+                for edge in graph.out_edges(vertex.id, label):
+                    yield graph.vertex(edge.target)
+
+        return Traversal(graph, step())
+
+    def in_(self, label: Optional[str] = None) -> "Traversal":
+        graph = self._graph
+
+        def step():
+            for vertex in self._source:
+                for edge in graph.in_edges(vertex.id, label):
+                    yield graph.vertex(edge.source)
+
+        return Traversal(graph, step())
+
+    def both(self, label: Optional[str] = None) -> "Traversal":
+        graph = self._graph
+
+        def step():
+            for vertex in self._source:
+                for edge in graph.out_edges(vertex.id, label):
+                    yield graph.vertex(edge.target)
+                for edge in graph.in_edges(vertex.id, label):
+                    yield graph.vertex(edge.source)
+
+        return Traversal(graph, step())
+
+    def out_edges(self, label: Optional[str] = None) -> Iterable[Edge]:
+        for vertex in self._source:
+            yield from self._graph.out_edges(vertex.id, label)
+
+    def dedup(self) -> "Traversal":
+        def step():
+            seen = set()
+            for vertex in self._source:
+                if vertex.id not in seen:
+                    seen.add(vertex.id)
+                    yield vertex
+
+        return Traversal(self._graph, step())
+
+    # ------------------------------------------------------------------
+    # Terminals
+    # ------------------------------------------------------------------
+
+    def __iter__(self):
+        return iter(self._source)
+
+    def to_list(self) -> List[Vertex]:
+        return list(self._source)
+
+    def ids(self) -> List[int]:
+        return [vertex.id for vertex in self._source]
+
+    def count(self) -> int:
+        return sum(1 for _ in self._source)
+
+    def values(self, key: str) -> List[Scalar]:
+        return [
+            vertex.properties[key]
+            for vertex in self._source
+            if key in vertex.properties
+        ]
+
+
+# ----------------------------------------------------------------------
+# Path enumeration (what SPARQL 1.1 property paths cannot do)
+# ----------------------------------------------------------------------
+
+
+def enumerate_paths(
+    graph: PropertyGraph,
+    start: int,
+    label: str,
+    min_hops: int,
+    max_hops: int,
+    limit: Optional[int] = None,
+) -> List[List[int]]:
+    """Enumerate directed paths (as vertex-id lists) from ``start``.
+
+    Section 5.1 notes that SPARQL 1.1 "lacks the ability to reference a
+    path directly in a query" and cannot bound arbitrary-length
+    traversals; the procedural alternative can.  Paths are walks (a
+    vertex may repeat, matching the path-counting semantics of EQ11);
+    ``limit`` caps the number of paths returned.
+    """
+    if min_hops < 1 or max_hops < min_hops:
+        raise ValueError("need 1 <= min_hops <= max_hops")
+    graph.vertex(start)
+    found: List[List[int]] = []
+    stack: List[List[int]] = [[start]]
+    while stack:
+        path = stack.pop()
+        hops = len(path) - 1
+        if min_hops <= hops <= max_hops:
+            found.append(path)
+            if limit is not None and len(found) >= limit:
+                return found
+        if hops < max_hops:
+            for target in graph.out_neighbors(path[-1], label):
+                stack.append(path + [target])
+    return found
+
+
+# ----------------------------------------------------------------------
+# Analytical helpers used by the benchmarks as native baselines
+# ----------------------------------------------------------------------
+
+
+def count_paths(
+    graph: PropertyGraph, start: int, label: str, hops: int
+) -> int:
+    """Count all directed paths of exactly ``hops`` edges from ``start``.
+
+    Uses a node->multiplicity frontier, matching the SPARQL engine's
+    sequence-path evaluation and the semantics of EQ11a-e (paths, not
+    distinct endpoints).
+    """
+    if hops < 1:
+        raise ValueError("hops must be >= 1")
+    frontier: Dict[int, int] = {start: 1}
+    for _ in range(hops):
+        next_frontier: Dict[int, int] = {}
+        for node, count in frontier.items():
+            for target in graph.out_neighbors(node, label):
+                next_frontier[target] = next_frontier.get(target, 0) + count
+        frontier = next_frontier
+        if not frontier:
+            return 0
+    return sum(frontier.values())
+
+
+def count_triangles(graph: PropertyGraph, label: str) -> int:
+    """Count directed 3-cycles x->y->z->x over ``label`` edges (EQ12).
+
+    Counts ordered triangles, i.e. each cyclic triangle contributes one
+    match per starting vertex, exactly like the SPARQL triple pattern
+    {?x :p ?y . ?y :p ?z . ?z :p ?x}.
+    """
+    adjacency: Dict[int, List[int]] = {}
+    for edge in graph.edges():
+        if edge.label == label:
+            adjacency.setdefault(edge.source, []).append(edge.target)
+    edge_sets = {node: set(targets) for node, targets in adjacency.items()}
+    total = 0
+    for x, x_targets in adjacency.items():
+        for y in x_targets:
+            for z in adjacency.get(y, ()):
+                if x in edge_sets.get(z, ()):
+                    total += 1
+    return total
+
+
+def degree_histogram(
+    graph: PropertyGraph, labels: Optional[Iterable[str]] = None
+) -> Tuple[Dict[int, int], Dict[int, int]]:
+    """Degree distributions restricted to some labels (EQ9/EQ10 shape).
+
+    Returns (in-degree histogram, out-degree histogram) over vertices
+    that have at least one qualifying edge in the respective direction,
+    mirroring the SPARQL GROUP BY which only sees matched vertices.
+    """
+    wanted = set(labels) if labels is not None else None
+    out_deg: Dict[int, int] = {}
+    in_deg: Dict[int, int] = {}
+    for edge in graph.edges():
+        if wanted is not None and edge.label not in wanted:
+            continue
+        out_deg[edge.source] = out_deg.get(edge.source, 0) + 1
+        in_deg[edge.target] = in_deg.get(edge.target, 0) + 1
+    out_hist: Dict[int, int] = {}
+    for degree in out_deg.values():
+        out_hist[degree] = out_hist.get(degree, 0) + 1
+    in_hist: Dict[int, int] = {}
+    for degree in in_deg.values():
+        in_hist[degree] = in_hist.get(degree, 0) + 1
+    return in_hist, out_hist

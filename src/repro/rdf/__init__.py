@@ -1,0 +1,54 @@
+"""RDF data model substrate.
+
+Implements the parts of RDF 1.1 Concepts that the paper relies on:
+terms (IRIs, blank nodes, typed/tagged literals), triples and quads,
+namespace helpers for the standard vocabularies, and an N-Triples /
+N-Quads reader and writer used for bulk loading.
+"""
+
+from repro.rdf.terms import (
+    IRI,
+    BlankNode,
+    Literal,
+    Term,
+    TermError,
+)
+from repro.rdf.quad import Quad, Triple, DEFAULT_GRAPH
+from repro.rdf.namespace import (
+    Namespace,
+    OWL,
+    RDF,
+    RDFS,
+    XSD,
+)
+from repro.rdf.turtle import serialize_trig, serialize_turtle
+from repro.rdf.nquads import (
+    NQuadsParseError,
+    parse_nquads,
+    parse_nquads_document,
+    serialize_nquads,
+    serialize_term,
+)
+
+__all__ = [
+    "IRI",
+    "BlankNode",
+    "Literal",
+    "Term",
+    "TermError",
+    "Triple",
+    "Quad",
+    "DEFAULT_GRAPH",
+    "Namespace",
+    "RDF",
+    "RDFS",
+    "OWL",
+    "XSD",
+    "parse_nquads",
+    "parse_nquads_document",
+    "serialize_nquads",
+    "serialize_term",
+    "NQuadsParseError",
+    "serialize_turtle",
+    "serialize_trig",
+]

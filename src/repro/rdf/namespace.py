@@ -1,0 +1,65 @@
+"""Namespace helpers and the standard vocabularies used by the paper."""
+
+from __future__ import annotations
+
+from repro.rdf.terms import IRI
+
+
+class Namespace:
+    """A vocabulary namespace; attribute and index access mint IRIs.
+
+    >>> rel = Namespace("http://pg/r/")
+    >>> rel.follows
+    IRI('http://pg/r/follows')
+    >>> rel["knows"]
+    IRI('http://pg/r/knows')
+    """
+
+    __slots__ = ("_base",)
+
+    def __init__(self, base: str):
+        object.__setattr__(self, "_base", base)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Namespace is immutable")
+
+    @property
+    def base(self) -> str:
+        return self._base
+
+    def term(self, local: str) -> IRI:
+        return IRI(self._base + local)
+
+    def __getitem__(self, local: str) -> IRI:
+        return self.term(local)
+
+    def __getattr__(self, local: str) -> IRI:
+        if local.startswith("_"):
+            raise AttributeError(local)
+        return self.term(local)
+
+    def __contains__(self, iri: IRI) -> bool:
+        return isinstance(iri, IRI) and iri.value.startswith(self._base)
+
+    def local_name(self, iri: IRI) -> str:
+        """Strip the namespace base from ``iri``; raises if not in namespace."""
+        if iri not in self:
+            raise ValueError(f"{iri!r} is not in namespace {self._base!r}")
+        return iri.value[len(self._base):]
+
+    def __repr__(self) -> str:
+        return f"Namespace({self._base!r})"
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+
+#: Prefixes every SPARQL query in this package understands implicitly.
+WELL_KNOWN_PREFIXES = {
+    "rdf": RDF.base,
+    "rdfs": RDFS.base,
+    "owl": OWL.base,
+    "xsd": XSD.base,
+}

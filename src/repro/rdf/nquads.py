@@ -1,0 +1,231 @@
+"""N-Triples / N-Quads reader and writer.
+
+The store's bulk loader (like Oracle's) consumes N-Quads: one quad per
+line, subject/predicate/object and an optional graph label, terminated
+with ``.``.  This module implements a line-oriented parser that covers
+the full term syntax (IRIs, blank nodes, literals with escapes,
+datatypes and language tags) without pulling in external dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from repro.rdf.quad import Quad
+from repro.rdf.terms import IRI, BlankNode, Literal, Term
+
+_ESCAPES = {
+    "t": "\t",
+    "b": "\b",
+    "n": "\n",
+    "r": "\r",
+    "f": "\f",
+    '"': '"',
+    "'": "'",
+    "\\": "\\",
+}
+
+
+class NQuadsParseError(ValueError):
+    """Raised on malformed N-Quads input, with line information."""
+
+    def __init__(self, message: str, line_number: int, line: str):
+        super().__init__(f"line {line_number}: {message}: {line.strip()!r}")
+        self.line_number = line_number
+        self.line = line
+
+
+class _LineScanner:
+    """Scans terms from a single N-Quads line."""
+
+    __slots__ = ("text", "pos")
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def skip_ws(self) -> None:
+        text, n = self.text, len(self.text)
+        while self.pos < n and text[self.pos] in " \t":
+            self.pos += 1
+
+    def at_end(self) -> bool:
+        self.skip_ws()
+        return self.pos >= len(self.text)
+
+    def expect_dot(self) -> None:
+        self.skip_ws()
+        if self.pos >= len(self.text) or self.text[self.pos] != ".":
+            raise ValueError("expected '.' terminator")
+        self.pos += 1
+
+    def scan_term(self) -> Term:
+        self.skip_ws()
+        if self.pos >= len(self.text):
+            raise ValueError("unexpected end of line")
+        ch = self.text[self.pos]
+        if ch == "<":
+            return self._scan_iri()
+        if ch == "_":
+            return self._scan_blank()
+        if ch == '"':
+            return self._scan_literal()
+        raise ValueError(f"unexpected character {ch!r}")
+
+    def _scan_iri(self) -> IRI:
+        end = self.text.find(">", self.pos + 1)
+        if end < 0:
+            raise ValueError("unterminated IRI")
+        value = self.text[self.pos + 1 : end]
+        self.pos = end + 1
+        return IRI(_unescape_unicode(value))
+
+    def _scan_blank(self) -> BlankNode:
+        if not self.text.startswith("_:", self.pos):
+            raise ValueError("malformed blank node")
+        start = self.pos + 2
+        end = start
+        text, n = self.text, len(self.text)
+        while end < n and text[end] not in " \t.":
+            end += 1
+        label = text[start:end]
+        if not label:
+            raise ValueError("empty blank node label")
+        self.pos = end
+        return BlankNode(label)
+
+    def _scan_literal(self) -> Literal:
+        chars: List[str] = []
+        i = self.pos + 1
+        text, n = self.text, len(self.text)
+        while i < n:
+            ch = text[i]
+            if ch == "\\":
+                if i + 1 >= n:
+                    raise ValueError("dangling escape in literal")
+                nxt = text[i + 1]
+                if nxt in _ESCAPES:
+                    chars.append(_ESCAPES[nxt])
+                    i += 2
+                elif nxt == "u":
+                    chars.append(chr(int(text[i + 2 : i + 6], 16)))
+                    i += 6
+                elif nxt == "U":
+                    chars.append(chr(int(text[i + 2 : i + 10], 16)))
+                    i += 10
+                else:
+                    raise ValueError(f"invalid escape \\{nxt}")
+            elif ch == '"':
+                break
+            else:
+                chars.append(ch)
+                i += 1
+        else:
+            raise ValueError("unterminated literal")
+        lexical = "".join(chars)
+        self.pos = i + 1
+        if self.text.startswith("^^", self.pos):
+            self.pos += 2
+            if self.pos >= len(self.text) or self.text[self.pos] != "<":
+                raise ValueError("expected datatype IRI after ^^")
+            datatype = self._scan_iri()
+            return Literal(lexical, datatype=datatype)
+        if self.pos < len(self.text) and self.text[self.pos] == "@":
+            start = self.pos + 1
+            end = start
+            while end < len(self.text) and (
+                self.text[end].isalnum() or self.text[end] == "-"
+            ):
+                end += 1
+            language = self.text[start:end]
+            if not language:
+                raise ValueError("empty language tag")
+            self.pos = end
+            return Literal(lexical, language=language)
+        return Literal(lexical)
+
+
+def _unescape_unicode(value: str) -> str:
+    if "\\u" not in value and "\\U" not in value:
+        return value
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        if value.startswith("\\u", i):
+            out.append(chr(int(value[i + 2 : i + 6], 16)))
+            i += 6
+        elif value.startswith("\\U", i):
+            out.append(chr(int(value[i + 2 : i + 10], 16)))
+            i += 10
+        else:
+            out.append(value[i])
+            i += 1
+    return "".join(out)
+
+
+def parse_nquads(lines: Iterable[str]) -> Iterator[Quad]:
+    """Parse an iterable of N-Quads lines, yielding :class:`Quad` objects.
+
+    Blank lines and ``#`` comment lines are skipped.  Raises
+    :class:`NQuadsParseError` with the offending line number otherwise.
+    """
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        scanner = _LineScanner(line)
+        try:
+            subject = scanner.scan_term()
+            predicate = scanner.scan_term()
+            obj = scanner.scan_term()
+            scanner.skip_ws()
+            graph: Optional[Term] = None
+            if scanner.pos < len(line) and line[scanner.pos] != ".":
+                graph = scanner.scan_term()
+            scanner.expect_dot()
+            if not scanner.at_end():
+                raise ValueError("trailing characters after '.'")
+            yield Quad(subject, predicate, obj, graph)
+        except ValueError as exc:
+            raise NQuadsParseError(str(exc), line_number, raw) from exc
+
+
+def parse_nquads_document(text: str) -> List[Quad]:
+    """Parse a complete N-Quads document held in a string."""
+    return list(parse_nquads(text.splitlines()))
+
+
+def serialize_term(term: Optional[Term]) -> str:
+    """Serialize one term in N-Quads syntax (``''`` for the default graph)."""
+    return "" if term is None else term.n3()
+
+
+def serialize_nquads(quads: Iterable[Quad]) -> str:
+    """Serialize quads to an N-Quads document string."""
+    lines = []
+    for quad in quads:
+        parts = [quad.subject.n3(), quad.predicate.n3(), quad.object.n3()]
+        if quad.graph is not None:
+            parts.append(quad.graph.n3())
+        parts.append(".")
+        lines.append(" ".join(parts))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_nquads(quads: Iterable[Quad], path: str) -> int:
+    """Write quads to ``path``; returns the number of quads written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for quad in quads:
+            parts = [quad.subject.n3(), quad.predicate.n3(), quad.object.n3()]
+            if quad.graph is not None:
+                parts.append(quad.graph.n3())
+            handle.write(" ".join(parts) + " .\n")
+            count += 1
+    return count
+
+
+def read_nquads(path: str) -> Iterator[Quad]:
+    """Stream quads from an N-Quads file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        yield from parse_nquads(handle)

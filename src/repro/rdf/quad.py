@@ -1,0 +1,121 @@
+"""Triples and quads with RDF 1.1 position restrictions."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.rdf.terms import IRI, BlankNode, Literal, Term, TermError
+
+#: Sentinel graph name for the default (unnamed) graph.
+DEFAULT_GRAPH: Optional[IRI] = None
+
+
+def _check_subject(term: Term) -> None:
+    if not isinstance(term, (IRI, BlankNode)):
+        raise TermError(f"subject must be an IRI or blank node, got {term!r}")
+
+
+def _check_predicate(term: Term) -> None:
+    if not isinstance(term, IRI):
+        raise TermError(f"predicate must be an IRI, got {term!r}")
+
+
+def _check_object(term: Term) -> None:
+    if not isinstance(term, (IRI, BlankNode, Literal)):
+        raise TermError(f"object must be an IRI, blank node or literal, got {term!r}")
+
+
+def _check_graph(term: Optional[Term]) -> None:
+    if term is not None and not isinstance(term, (IRI, BlankNode)):
+        raise TermError(f"graph must be an IRI or blank node, got {term!r}")
+
+
+class Triple:
+    """An RDF triple ``<subject, predicate, object>``."""
+
+    __slots__ = ("subject", "predicate", "object")
+
+    def __init__(self, subject: Term, predicate: Term, object: Term):
+        _check_subject(subject)
+        _check_predicate(predicate)
+        _check_object(object)
+        object_setter = super().__setattr__
+        object_setter("subject", subject)
+        object_setter("predicate", predicate)
+        object_setter("object", object)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Triple is immutable")
+
+    def as_tuple(self) -> Tuple[Term, Term, Term]:
+        return (self.subject, self.predicate, self.object)
+
+    def in_graph(self, graph: Optional[Term]) -> "Quad":
+        return Quad(self.subject, self.predicate, self.object, graph)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Triple) and self.as_tuple() == other.as_tuple()
+
+    def __hash__(self) -> int:
+        return hash((Triple, self.subject, self.predicate, self.object))
+
+    def __iter__(self):
+        return iter(self.as_tuple())
+
+    def __repr__(self) -> str:
+        return f"Triple({self.subject!r}, {self.predicate!r}, {self.object!r})"
+
+
+class Quad:
+    """An RDF quad ``<subject, predicate, object, graph>``.
+
+    ``graph`` is ``None`` (:data:`DEFAULT_GRAPH`) for triples asserted in
+    the default graph, mirroring the optional named-graph component of
+    RDF 1.1 datasets.
+    """
+
+    __slots__ = ("subject", "predicate", "object", "graph")
+
+    def __init__(
+        self,
+        subject: Term,
+        predicate: Term,
+        object: Term,
+        graph: Optional[Term] = DEFAULT_GRAPH,
+    ):
+        _check_subject(subject)
+        _check_predicate(predicate)
+        _check_object(object)
+        _check_graph(graph)
+        object_setter = super().__setattr__
+        object_setter("subject", subject)
+        object_setter("predicate", predicate)
+        object_setter("object", object)
+        object_setter("graph", graph)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Quad is immutable")
+
+    def as_tuple(self) -> Tuple[Term, Term, Term, Optional[Term]]:
+        return (self.subject, self.predicate, self.object, self.graph)
+
+    def triple(self) -> Triple:
+        return Triple(self.subject, self.predicate, self.object)
+
+    def is_default_graph(self) -> bool:
+        return self.graph is None
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Quad) and self.as_tuple() == other.as_tuple()
+
+    def __hash__(self) -> int:
+        return hash((Quad, self.subject, self.predicate, self.object, self.graph))
+
+    def __iter__(self):
+        return iter(self.as_tuple())
+
+    def __repr__(self) -> str:
+        return (
+            f"Quad({self.subject!r}, {self.predicate!r}, "
+            f"{self.object!r}, {self.graph!r})"
+        )

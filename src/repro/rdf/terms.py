@@ -1,0 +1,292 @@
+"""RDF terms: IRIs, blank nodes, and literals.
+
+Terms are immutable value objects.  Position restrictions (RDF 1.1
+Concepts, section 3) are enforced by :class:`repro.rdf.quad.Triple` /
+:class:`repro.rdf.quad.Quad`:
+
+* subject: IRI or blank node,
+* predicate: IRI,
+* object: IRI, blank node, or literal,
+* graph (if present): IRI or blank node.
+
+Literals carry a lexical form plus either a datatype IRI or a language
+tag.  Typed literals over the common XSD datatypes expose a converted
+Python value through :meth:`Literal.to_python`, and numeric literals are
+*canonicalized* the way Oracle's values table canonicalizes objects, so
+that ``"01"^^xsd:int`` and ``"1"^^xsd:int`` map to one stored value.
+"""
+
+from __future__ import annotations
+
+from decimal import Decimal, InvalidOperation
+from typing import Optional, Union
+
+
+class TermError(ValueError):
+    """Raised for structurally invalid RDF terms."""
+
+
+_XSD = "http://www.w3.org/2001/XMLSchema#"
+
+XSD_STRING = _XSD + "string"
+XSD_INTEGER = _XSD + "integer"
+XSD_INT = _XSD + "int"
+XSD_LONG = _XSD + "long"
+XSD_DECIMAL = _XSD + "decimal"
+XSD_DOUBLE = _XSD + "double"
+XSD_FLOAT = _XSD + "float"
+XSD_BOOLEAN = _XSD + "boolean"
+XSD_DATE = _XSD + "date"
+XSD_DATETIME = _XSD + "dateTime"
+
+_INTEGER_DATATYPES = frozenset(
+    {
+        XSD_INTEGER,
+        XSD_INT,
+        XSD_LONG,
+        _XSD + "short",
+        _XSD + "byte",
+        _XSD + "nonNegativeInteger",
+        _XSD + "positiveInteger",
+        _XSD + "negativeInteger",
+        _XSD + "nonPositiveInteger",
+        _XSD + "unsignedLong",
+        _XSD + "unsignedInt",
+        _XSD + "unsignedShort",
+        _XSD + "unsignedByte",
+    }
+)
+
+_NUMERIC_DATATYPES = _INTEGER_DATATYPES | {XSD_DECIMAL, XSD_DOUBLE, XSD_FLOAT}
+
+
+class Term:
+    """Abstract base class for all RDF terms."""
+
+    __slots__ = ()
+
+    def is_iri(self) -> bool:
+        return isinstance(self, IRI)
+
+    def is_blank(self) -> bool:
+        return isinstance(self, BlankNode)
+
+    def is_literal(self) -> bool:
+        return isinstance(self, Literal)
+
+    def n3(self) -> str:
+        """Render this term in N-Triples syntax."""
+        raise NotImplementedError
+
+
+class IRI(Term):
+    """An Internationalized Resource Identifier reference.
+
+    Only light validation is applied (non-empty, no whitespace or angle
+    brackets); full IRI grammar validation is out of scope, matching the
+    permissiveness of practical RDF stores.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str):
+        if not isinstance(value, str) or not value:
+            raise TermError("IRI value must be a non-empty string")
+        if any(ch in value for ch in "<>\" \n\t\r{}|\\^`"):
+            raise TermError(f"invalid character in IRI: {value!r}")
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, name, value):  # immutability guard
+        raise AttributeError("IRI is immutable")
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, IRI) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash((IRI, self.value))
+
+    def __lt__(self, other) -> bool:
+        if isinstance(other, IRI):
+            return self.value < other.value
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"IRI({self.value!r})"
+
+    def n3(self) -> str:
+        return f"<{self.value}>"
+
+
+class BlankNode(Term):
+    """A blank node with a local label."""
+
+    __slots__ = ("label",)
+
+    _counter = 0
+
+    def __init__(self, label: Optional[str] = None):
+        if label is None:
+            BlankNode._counter += 1
+            label = f"b{BlankNode._counter}"
+        if not isinstance(label, str) or not label:
+            raise TermError("blank node label must be a non-empty string")
+        if any(ch in label for ch in " \n\t\r<>\""):
+            raise TermError(f"invalid character in blank node label: {label!r}")
+        object.__setattr__(self, "label", label)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("BlankNode is immutable")
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, BlankNode) and self.label == other.label
+
+    def __hash__(self) -> int:
+        return hash((BlankNode, self.label))
+
+    def __repr__(self) -> str:
+        return f"BlankNode({self.label!r})"
+
+    def n3(self) -> str:
+        return f"_:{self.label}"
+
+
+class Literal(Term):
+    """An RDF literal: lexical form + datatype IRI or language tag.
+
+    A literal has exactly one of:
+
+    * a language tag (then its datatype is ``rdf:langString``), or
+    * a datatype IRI (default ``xsd:string``).
+    """
+
+    __slots__ = ("lexical", "datatype", "language")
+
+    def __init__(
+        self,
+        lexical: str,
+        datatype: Optional[IRI] = None,
+        language: Optional[str] = None,
+    ):
+        if not isinstance(lexical, str):
+            raise TermError("literal lexical form must be a string")
+        if language is not None:
+            if datatype is not None:
+                raise TermError("a literal cannot have both a language and a datatype")
+            if not language or " " in language:
+                raise TermError(f"invalid language tag: {language!r}")
+            language = language.lower()
+        elif datatype is None:
+            datatype = IRI(XSD_STRING)
+        elif not isinstance(datatype, IRI):
+            raise TermError("literal datatype must be an IRI")
+        if datatype is not None and datatype.value in _NUMERIC_DATATYPES:
+            lexical = _canonical_numeric(lexical, datatype.value)
+        elif datatype is not None and datatype.value == XSD_BOOLEAN:
+            lexical = _canonical_boolean(lexical)
+        object.__setattr__(self, "lexical", lexical)
+        object.__setattr__(self, "datatype", datatype)
+        object.__setattr__(self, "language", language)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Literal is immutable")
+
+    @staticmethod
+    def from_python(value: Union[str, int, float, bool, Decimal]) -> "Literal":
+        """Build a typed literal from a native Python value."""
+        if isinstance(value, bool):
+            return Literal("true" if value else "false", IRI(XSD_BOOLEAN))
+        if isinstance(value, int):
+            return Literal(str(value), IRI(XSD_INT))
+        if isinstance(value, float):
+            return Literal(repr(value), IRI(XSD_DOUBLE))
+        if isinstance(value, Decimal):
+            return Literal(str(value), IRI(XSD_DECIMAL))
+        if isinstance(value, str):
+            return Literal(value)
+        raise TermError(f"cannot build a literal from {type(value).__name__}")
+
+    def to_python(self) -> Union[str, int, float, bool]:
+        """Convert to a native Python value when the datatype is known."""
+        if self.datatype is None:
+            return self.lexical
+        dt = self.datatype.value
+        if dt in _INTEGER_DATATYPES:
+            return int(self.lexical)
+        if dt in (XSD_DOUBLE, XSD_FLOAT):
+            return float(self.lexical)
+        if dt == XSD_DECIMAL:
+            value = Decimal(self.lexical)
+            return float(value) if value != value.to_integral_value() else int(value)
+        if dt == XSD_BOOLEAN:
+            return self.lexical == "true"
+        return self.lexical
+
+    def is_numeric(self) -> bool:
+        return self.datatype is not None and self.datatype.value in _NUMERIC_DATATYPES
+
+    def is_plain_string(self) -> bool:
+        return self.language is None and self.datatype is not None and (
+            self.datatype.value == XSD_STRING
+        )
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Literal)
+            and self.lexical == other.lexical
+            and self.datatype == other.datatype
+            and self.language == other.language
+        )
+
+    def __hash__(self) -> int:
+        return hash((Literal, self.lexical, self.datatype, self.language))
+
+    def __repr__(self) -> str:
+        if self.language is not None:
+            return f"Literal({self.lexical!r}, language={self.language!r})"
+        if self.datatype is not None and self.datatype.value != XSD_STRING:
+            return f"Literal({self.lexical!r}, datatype={self.datatype.value!r})"
+        return f"Literal({self.lexical!r})"
+
+    def n3(self) -> str:
+        escaped = (
+            self.lexical.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\r", "\\r")
+            .replace("\t", "\\t")
+        )
+        # Remaining control characters (\f, \x0b, ...) would break the
+        # line-oriented N-Quads format; use \u escapes.
+        if any(ord(ch) < 0x20 for ch in escaped):
+            escaped = "".join(
+                f"\\u{ord(ch):04X}" if ord(ch) < 0x20 else ch
+                for ch in escaped
+            )
+        if self.language is not None:
+            return f'"{escaped}"@{self.language}'
+        if self.datatype is not None and self.datatype.value != XSD_STRING:
+            return f'"{escaped}"^^<{self.datatype.value}>'
+        return f'"{escaped}"'
+
+
+def _canonical_numeric(lexical: str, datatype: str) -> str:
+    """Canonicalize a numeric lexical form (Oracle-style canonical object)."""
+    text = lexical.strip()
+    try:
+        if datatype in _INTEGER_DATATYPES:
+            return str(int(text))
+        if datatype == XSD_DECIMAL:
+            value = Decimal(text)
+            return str(value.normalize()) if value != 0 else "0"
+        return repr(float(text))
+    except (ValueError, InvalidOperation) as exc:
+        raise TermError(f"invalid {datatype.rsplit('#', 1)[-1]} literal: {lexical!r}") from exc
+
+
+def _canonical_boolean(lexical: str) -> str:
+    text = lexical.strip()
+    if text in ("true", "1"):
+        return "true"
+    if text in ("false", "0"):
+        return "false"
+    raise TermError(f"invalid boolean literal: {lexical!r}")

@@ -1,0 +1,119 @@
+"""Turtle and TriG writers with prefix compaction.
+
+Only serialization is provided (the store's bulk-load format is
+N-Quads); Turtle output is for human consumption — examples, debugging,
+publishing transformed property graphs as readable linked data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.rdf.quad import Quad, Triple
+from repro.rdf.terms import IRI, Literal, Term
+
+
+def _compact(iri: IRI, prefixes: Dict[str, str]) -> Optional[str]:
+    for prefix, base in prefixes.items():
+        if iri.value.startswith(base):
+            local = iri.value[len(base):]
+            if local and all(
+                ch.isalnum() or ch in "_-" for ch in local
+            ):
+                return f"{prefix}:{local}"
+    return None
+
+
+def _term_text(term: Term, prefixes: Dict[str, str]) -> str:
+    if isinstance(term, IRI):
+        compacted = _compact(term, prefixes)
+        if compacted is not None:
+            return compacted
+        return term.n3()
+    if isinstance(term, Literal) and term.datatype is not None:
+        compacted = _compact(term.datatype, prefixes)
+        if compacted is not None and compacted.startswith("xsd:"):
+            base = term.n3()
+            if "^^" in base:
+                return base.split("^^")[0] + "^^" + compacted
+        return term.n3()
+    return term.n3()
+
+
+def _grouped(
+    triples: Iterable[Triple],
+) -> List[Tuple[Term, List[Tuple[Term, List[Term]]]]]:
+    """Group triples by subject then predicate, preserving first-seen order."""
+    subjects: Dict[Term, Dict[Term, List[Term]]] = {}
+    order: List[Term] = []
+    for triple in triples:
+        if triple.subject not in subjects:
+            subjects[triple.subject] = {}
+            order.append(triple.subject)
+        predicates = subjects[triple.subject]
+        predicates.setdefault(triple.predicate, []).append(triple.object)
+    return [
+        (subject, list(subjects[subject].items())) for subject in order
+    ]
+
+
+def _turtle_body(triples: Iterable[Triple], prefixes: Dict[str, str]) -> List[str]:
+    lines: List[str] = []
+    for subject, predicate_groups in _grouped(triples):
+        subject_text = _term_text(subject, prefixes)
+        parts = []
+        for predicate, objects in predicate_groups:
+            object_text = ", ".join(_term_text(o, prefixes) for o in objects)
+            parts.append(f"{_term_text(predicate, prefixes)} {object_text}")
+        body = " ;\n    ".join(parts)
+        lines.append(f"{subject_text} {body} .")
+    return lines
+
+
+def serialize_turtle(
+    triples: Iterable[Triple],
+    prefixes: Optional[Dict[str, str]] = None,
+) -> str:
+    """Serialize triples as Turtle with ``;``/``,`` grouping."""
+    prefixes = dict(prefixes or {})
+    lines: List[str] = [
+        f"@prefix {name}: <{base}> ." for name, base in sorted(prefixes.items())
+    ]
+    if lines:
+        lines.append("")
+    lines.extend(_turtle_body(triples, prefixes))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def serialize_trig(
+    quads: Iterable[Quad],
+    prefixes: Optional[Dict[str, str]] = None,
+) -> str:
+    """Serialize quads as TriG: default-graph triples plus named GRAPH
+    blocks (the natural rendering of the NG model)."""
+    prefixes = dict(prefixes or {})
+    default: List[Triple] = []
+    graphs: Dict[Term, List[Triple]] = {}
+    graph_order: List[Term] = []
+    for quad in quads:
+        if quad.graph is None:
+            default.append(quad.triple())
+        else:
+            if quad.graph not in graphs:
+                graphs[quad.graph] = []
+                graph_order.append(quad.graph)
+            graphs[quad.graph].append(quad.triple())
+    lines: List[str] = [
+        f"@prefix {name}: <{base}> ." for name, base in sorted(prefixes.items())
+    ]
+    if lines:
+        lines.append("")
+    if default:
+        lines.extend(_turtle_body(default, prefixes))
+        lines.append("")
+    for graph in graph_order:
+        lines.append(f"{_term_text(graph, prefixes)} {{")
+        for line in _turtle_body(graphs[graph], prefixes):
+            lines.append(f"    {line}")
+        lines.append("}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,27 @@
+"""A minimal relational substrate for the paper's Section 1 argument.
+
+The introduction contrasts a 4-way self-join SQL query over a
+``triples(sub, pred, obj)`` table with the equivalent SPARQL ("find the
+company that John's uncle works for") to argue that SPARQL's implicit
+column/equi-join syntax is simpler.  This package provides the pieces
+to reproduce that comparison executably:
+
+* :class:`~repro.relational.table.Table` — an in-memory relation with
+  selection and equi-join;
+* :class:`~repro.relational.triples.TriplesTable` — the 3-column table,
+  its conjunctive (SQL-style) query plan, and a SQL text generator;
+* :func:`~repro.relational.complexity.query_complexity` — the join /
+  constant counts the intro uses as its complexity measure.
+"""
+
+from repro.relational.table import Table
+from repro.relational.triples import ConjunctivePattern, TriplesTable
+from repro.relational.complexity import QueryComplexity, query_complexity
+
+__all__ = [
+    "Table",
+    "TriplesTable",
+    "ConjunctivePattern",
+    "QueryComplexity",
+    "query_complexity",
+]

@@ -1,0 +1,79 @@
+"""Query-formulation complexity metrics (the intro's argument).
+
+The paper argues SPARQL is simpler than SQL over a triples table
+because "use of variables or constants in any of the four positions of
+a triple-pattern ... implicitly identifies the column being referred to
+and multiple uses of the same variable specifies equi-join", whereas
+SQL must spell both out.  This module counts those quantities for a
+conjunctive query and renders both formulations for comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.relational.triples import ConjunctivePattern
+
+
+@dataclass(frozen=True)
+class QueryComplexity:
+    """Formulation complexity of one conjunctive query."""
+
+    patterns: int
+    equi_joins: int          # cross-pattern variable co-occurrences
+    constants: int
+    sql_predicates: int      # WHERE conjuncts the SQL needs
+    sparql_terms: int        # terms the SPARQL graph pattern needs
+
+    @property
+    def sql_tokens_lower_bound(self) -> int:
+        """Column references the SQL must write: 3 per pattern in the
+        FROM/WHERE machinery plus one per predicate side."""
+        return self.patterns + 2 * self.sql_predicates
+
+    @property
+    def sparql_to_sql_ratio(self) -> float:
+        return self.sparql_terms / max(1, self.sql_tokens_lower_bound)
+
+
+def query_complexity(patterns: Sequence[ConjunctivePattern]) -> QueryComplexity:
+    constants = 0
+    first_use: Dict[str, int] = {}
+    equi_joins = 0
+    for index, pattern in enumerate(patterns):
+        constants += len(pattern.constants())
+        for variable in pattern.variables():
+            if variable in first_use:
+                equi_joins += 1
+            else:
+                first_use[variable] = index
+    # SQL needs one WHERE conjunct per constant and per repeated
+    # variable occurrence; SPARQL needs exactly 3 terms per pattern.
+    return QueryComplexity(
+        patterns=len(patterns),
+        equi_joins=equi_joins,
+        constants=constants,
+        sql_predicates=constants + equi_joins,
+        sparql_terms=3 * len(patterns),
+    )
+
+
+def sparql_text(
+    patterns: Sequence[ConjunctivePattern], projection: Sequence[str]
+) -> str:
+    """The SPARQL rendering of the same conjunctive query."""
+    lines = []
+    for pattern in patterns:
+        parts = []
+        for part in pattern.parts():
+            if part.startswith("?"):
+                parts.append(part)
+            elif part.startswith("http"):
+                parts.append(f"<{part}>")
+            else:
+                parts.append(f'"{part}"')
+        lines.append(" ".join(parts) + " .")
+    body = "\n  ".join(lines)
+    variables = " ".join(f"?{name}" for name in projection)
+    return f"SELECT {variables} WHERE {{\n  {body}\n}}"

@@ -1,0 +1,83 @@
+"""A tiny in-memory relation: named columns, selection, equi-join."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+class Table:
+    """An immutable bag of rows over named columns."""
+
+    def __init__(self, columns: Sequence[str], rows: Iterable[Tuple] = ()):
+        if len(set(columns)) != len(columns):
+            raise ValueError("duplicate column names")
+        self.columns: Tuple[str, ...] = tuple(columns)
+        self.rows: List[Tuple] = []
+        for row in rows:
+            self.insert(row)
+
+    def insert(self, row: Sequence) -> None:
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row arity {len(row)} != {len(self.columns)} columns"
+            )
+        self.rows.append(tuple(row))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column_index(self, name: str) -> int:
+        try:
+            return self.columns.index(name)
+        except ValueError:
+            raise KeyError(f"no such column: {name}") from None
+
+    def select(self, **equalities) -> "Table":
+        """Rows where each named column equals the given constant."""
+        positions = [
+            (self.column_index(name), value)
+            for name, value in equalities.items()
+        ]
+        rows = [
+            row
+            for row in self.rows
+            if all(row[i] == value for i, value in positions)
+        ]
+        return Table(self.columns, rows)
+
+    def project(self, names: Sequence[str]) -> "Table":
+        positions = [self.column_index(name) for name in names]
+        return Table(names, [tuple(row[i] for i in positions) for row in self.rows])
+
+    def rename(self, prefix: str) -> "Table":
+        """Alias all columns with a prefix (SQL's ``t1.`` dot notation)."""
+        return Table(
+            [f"{prefix}.{name}" for name in self.columns], list(self.rows)
+        )
+
+    def join(self, other: "Table", on: Sequence[Tuple[str, str]]) -> "Table":
+        """Equi-join: ``on`` pairs (this column, other column)."""
+        left_pos = [self.column_index(a) for a, _ in on]
+        right_pos = [other.column_index(b) for _, b in on]
+        index: Dict[Tuple, List[Tuple]] = {}
+        for row in other.rows:
+            index.setdefault(tuple(row[i] for i in right_pos), []).append(row)
+        columns = self.columns + other.columns
+        rows = []
+        for row in self.rows:
+            key = tuple(row[i] for i in left_pos)
+            for match in index.get(key, ()):
+                rows.append(row + match)
+        return Table(columns, rows)
+
+    def distinct(self) -> "Table":
+        seen = set()
+        rows = []
+        for row in self.rows:
+            if row not in seen:
+                seen.add(row)
+                rows.append(row)
+        return Table(self.columns, rows)
+
+    def __repr__(self) -> str:
+        return f"Table(columns={self.columns}, rows={len(self.rows)})"

@@ -1,0 +1,135 @@
+"""The 3-column triples table and SQL-style conjunctive queries over it.
+
+A :class:`ConjunctivePattern` is one triple pattern of a conjunctive
+query (the relational rendering of a SPARQL BGP): each of sub/pred/obj
+is either a constant string or a ``?variable``.  The executor performs
+the chain of self-joins a SQL engine would, and :meth:`TriplesTable.sql`
+renders the equivalent SQL text — reproducing the paper's introduction
+example verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.relational.table import Table
+
+_COLUMNS = ("sub", "pred", "obj")
+
+
+@dataclass(frozen=True)
+class ConjunctivePattern:
+    """One (sub, pred, obj) pattern; ``?name`` marks a variable."""
+
+    sub: str
+    pred: str
+    obj: str
+
+    def parts(self) -> Tuple[str, str, str]:
+        return (self.sub, self.pred, self.obj)
+
+    def variables(self) -> List[str]:
+        return [part[1:] for part in self.parts() if part.startswith("?")]
+
+    def constants(self) -> List[Tuple[str, str]]:
+        return [
+            (column, part)
+            for column, part in zip(_COLUMNS, self.parts())
+            if not part.startswith("?")
+        ]
+
+
+class TriplesTable:
+    """``triples(sub, pred, obj)`` with conjunctive-query evaluation."""
+
+    def __init__(self):
+        self._table = Table(_COLUMNS)
+
+    def insert(self, sub: str, pred: str, obj: str) -> None:
+        self._table.insert((sub, pred, obj))
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def query(
+        self,
+        patterns: Sequence[ConjunctivePattern],
+        projection: Sequence[str],
+    ) -> List[Tuple]:
+        """Evaluate the conjunctive query, SQL style.
+
+        Each pattern becomes an aliased copy of the triples table with
+        its constant predicates applied; shared variables become
+        equi-join conditions; the projection names variables.
+        """
+        if not patterns:
+            raise ValueError("a conjunctive query needs at least one pattern")
+        current: Table = None  # type: ignore[assignment]
+        bound_columns: Dict[str, str] = {}  # variable -> qualified column
+        for index, pattern in enumerate(patterns, start=1):
+            alias = f"t{index}"
+            filtered = self._table.select(**dict(pattern.constants()))
+            # Intra-pattern repeated variables filter before the join.
+            local: Dict[str, int] = {}
+            checks: List[Tuple[int, int]] = []
+            for position, part in enumerate(pattern.parts()):
+                if part.startswith("?"):
+                    variable = part[1:]
+                    if variable in local:
+                        checks.append((local[variable], position))
+                    else:
+                        local[variable] = position
+            if checks:
+                filtered = Table(
+                    filtered.columns,
+                    [
+                        row
+                        for row in filtered.rows
+                        if all(row[a] == row[b] for a, b in checks)
+                    ],
+                )
+            aliased = filtered.rename(alias)
+            join_on = [
+                (bound_columns[variable], f"{alias}.{_COLUMNS[position]}")
+                for variable, position in local.items()
+                if variable in bound_columns
+            ]
+            current = aliased if current is None else current.join(aliased, join_on)
+            for variable, position in local.items():
+                bound_columns.setdefault(
+                    variable, f"{alias}.{_COLUMNS[position]}"
+                )
+        missing = [v for v in projection if v not in bound_columns]
+        if missing:
+            raise ValueError(f"projection of unbound variables: {missing}")
+        projected = current.project([bound_columns[v] for v in projection])
+        return projected.rows
+
+    def sql(
+        self,
+        patterns: Sequence[ConjunctivePattern],
+        projection: Sequence[str],
+    ) -> str:
+        """Render the equivalent SQL text (the intro's comparison)."""
+        bound: Dict[str, str] = {}
+        where: List[str] = []
+        froms: List[str] = []
+        for index, pattern in enumerate(patterns, start=1):
+            alias = f"t{index}"
+            froms.append(f"triples {alias}")
+            for column, part in zip(_COLUMNS, pattern.parts()):
+                if part.startswith("?"):
+                    variable = part[1:]
+                    full = f"{alias}.{column}"
+                    if variable in bound:
+                        where.append(f"{bound[variable]} = {full}")
+                    else:
+                        bound[variable] = full
+                else:
+                    where.append(f"{alias}.{column} = '{part}'")
+        select_list = ", ".join(f"{bound[v]} {v}" for v in projection)
+        text = f"SELECT {select_list}\nFROM {', '.join(froms)}"
+        if where:
+            text += "\nWHERE " + "\n  AND ".join(where)
+        return text + ";"

@@ -1,0 +1,166 @@
+"""A minimal SPARQL Protocol HTTP endpoint (stdlib only).
+
+Serves a :class:`~repro.sparql.SparqlEngine` over HTTP following the
+SPARQL 1.1 Protocol's core: ``GET /sparql?query=...`` and
+``POST /sparql`` (form-encoded or ``application/sparql-query``), with
+JSON or CSV results by content negotiation.  Updates go to
+``POST /update``.  This is the "publish transformed property graph data
+as linked data" delivery mechanism the paper motivates.
+
+Intended for local use and tests; not hardened for the open internet.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.sparql import SparqlEngine, SparqlError
+from repro.sparql.results import SelectResult
+from repro.sparql.serialize import ask_to_json, to_csv, to_json
+
+
+class SparqlRequestHandler(BaseHTTPRequestHandler):
+    """Handles /sparql (query) and /update (update) requests."""
+
+    engine: SparqlEngine = None  # injected by make_server
+    allow_updates: bool = False
+
+    # Silence per-request logging in tests.
+    def log_message(self, format, *args):  # noqa: A002
+        pass
+
+    def do_GET(self):  # noqa: N802
+        parsed = urlparse(self.path)
+        if parsed.path != "/sparql":
+            self._send_error(404, "not found")
+            return
+        params = parse_qs(parsed.query)
+        query = params.get("query", [None])[0]
+        if not query:
+            self._send_error(400, "missing query parameter")
+            return
+        self._run_query(query)
+
+    def do_POST(self):  # noqa: N802
+        parsed = urlparse(self.path)
+        length = int(self.headers.get("Content-Length", "0"))
+        body = self.rfile.read(length).decode("utf-8")
+        content_type = self.headers.get("Content-Type", "")
+        if parsed.path == "/sparql":
+            if content_type.startswith("application/sparql-query"):
+                query = body
+            else:
+                query = parse_qs(body).get("query", [None])[0]
+            if not query:
+                self._send_error(400, "missing query")
+                return
+            self._run_query(query)
+        elif parsed.path == "/update":
+            if not self.allow_updates:
+                self._send_error(403, "updates are disabled")
+                return
+            if content_type.startswith("application/sparql-update"):
+                update = body
+            else:
+                update = parse_qs(body).get("update", [None])[0]
+            if not update:
+                self._send_error(400, "missing update")
+                return
+            try:
+                counts = self.engine.update(update)
+            except SparqlError as exc:
+                self._send_error(400, str(exc))
+                return
+            self._send(200, "application/json", json.dumps(counts))
+        else:
+            self._send_error(404, "not found")
+
+    # ------------------------------------------------------------------
+
+    def _run_query(self, query: str) -> None:
+        try:
+            result = self.engine.query(query)
+        except SparqlError as exc:
+            self._send_error(400, str(exc))
+            return
+        accept = self.headers.get("Accept", "")
+        if isinstance(result, bool):
+            self._send(200, "application/sparql-results+json",
+                       ask_to_json(result))
+        elif isinstance(result, SelectResult):
+            if "text/csv" in accept:
+                self._send(200, "text/csv", to_csv(result))
+            else:
+                self._send(200, "application/sparql-results+json",
+                           to_json(result))
+        else:  # CONSTRUCT / DESCRIBE: N-Triples
+            from repro.rdf import Quad, serialize_nquads
+
+            text = serialize_nquads(
+                Quad(t.subject, t.predicate, t.object) for t in result
+            )
+            self._send(200, "application/n-triples", text)
+
+    def _send(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type + "; charset=utf-8")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_error(self, status: int, message: str) -> None:
+        self._send(status, "text/plain", message)
+
+
+def make_server(
+    engine: SparqlEngine,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    allow_updates: bool = False,
+) -> Tuple[ThreadingHTTPServer, int]:
+    """Build (but don't start) the HTTP server; returns (server, port)."""
+    handler = type(
+        "BoundSparqlHandler",
+        (SparqlRequestHandler,),
+        {"engine": engine, "allow_updates": allow_updates},
+    )
+    server = ThreadingHTTPServer((host, port), handler)
+    return server, server.server_address[1]
+
+
+class SparqlServer:
+    """Context manager running the endpoint on a background thread.
+
+    >>> with SparqlServer(engine) as server:
+    ...     requests_like_get(f"http://127.0.0.1:{server.port}/sparql?...")
+    """
+
+    def __init__(
+        self,
+        engine: SparqlEngine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        allow_updates: bool = False,
+    ):
+        self._server, self.port = make_server(
+            engine, host, port, allow_updates
+        )
+        self._thread: Optional[threading.Thread] = None
+
+    def __enter__(self) -> "SparqlServer":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)

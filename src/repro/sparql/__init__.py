@@ -1,0 +1,37 @@
+"""A SPARQL 1.1 subset engine.
+
+Implements the slice of SPARQL 1.1 Query and Update the paper exercises
+(and a bit more): basic graph patterns, GRAPH, FILTER with the standard
+builtins, property paths, OPTIONAL / UNION / BIND / VALUES, subqueries,
+aggregation with GROUP BY / HAVING, solution modifiers, ASK and
+CONSTRUCT forms, and INSERT/DELETE updates.
+
+The engine evaluates ID-encoded quads against a
+:class:`repro.store.SemanticNetwork` model, picking semantic network
+indexes per triple pattern and switching between index nested-loop
+joins and hash joins the way the paper describes Oracle doing.
+
+By default the engine uses Oracle-style *union default graph*
+semantics: a triple pattern outside any GRAPH clause matches quads in
+every graph.  This is what makes the paper's NG-model queries (e.g.
+``?n r:follows ?nf`` with the topology stored in per-edge named graphs)
+work unchanged; pass ``default_graph_semantics="strict"`` for the
+W3C dataset semantics.
+"""
+
+from repro.sparql.errors import SparqlError, ParseError, EvaluationError
+from repro.sparql.engine import PreparedQuery, SparqlEngine
+from repro.sparql.results import SelectResult
+from repro.sparql.serialize import ask_to_json, to_csv, to_json
+
+__all__ = [
+    "SparqlEngine",
+    "PreparedQuery",
+    "SelectResult",
+    "SparqlError",
+    "ParseError",
+    "EvaluationError",
+    "to_json",
+    "to_csv",
+    "ask_to_json",
+]

@@ -1,0 +1,208 @@
+"""The public SPARQL engine facade.
+
+Analogous to Oracle's SEM_MATCH entry point: queries are posed against
+a named semantic model (base or virtual), with engine-level prefix
+declarations and Oracle-style union default-graph semantics by default.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.rdf.quad import Triple
+from repro.sparql.ast import (
+    AskQuery,
+    ConstructQuery,
+    DescribeQuery,
+    GroupPattern,
+    SelectQuery,
+    SubSelectPattern,
+    TriplePattern,
+)
+from repro.sparql.errors import EvaluationError
+from repro.sparql.eval import Evaluator
+from repro.sparql.parser import Parser
+from repro.sparql.plan import explain_bgp
+from repro.sparql.results import SelectResult
+from repro.sparql.update import UpdateExecutor
+
+
+class PreparedQuery:
+    """A parsed query bound to an engine, reusable across executions."""
+
+    def __init__(self, engine: "SparqlEngine", ast, model: Optional[str]):
+        self._engine = engine
+        self.ast = ast
+        self._model = model
+
+    def run(self, model: Optional[str] = None):
+        return self._engine.run_ast(self.ast, model or self._model)
+
+
+class SparqlEngine:
+    """Query/update interface over a :class:`~repro.store.SemanticNetwork`."""
+
+    def __init__(
+        self,
+        network,
+        prefixes: Optional[Dict[str, str]] = None,
+        default_model: Optional[str] = None,
+        default_graph_semantics: str = "union",
+        filter_pushdown: bool = True,
+    ):
+        if default_graph_semantics not in ("union", "strict"):
+            raise ValueError(
+                "default_graph_semantics must be 'union' or 'strict'"
+            )
+        self.network = network
+        self._parser = Parser(prefixes)
+        self._default_model = default_model
+        self._union_default = default_graph_semantics == "union"
+        self._filter_pushdown = filter_pushdown
+
+    # ------------------------------------------------------------------
+    # Query API
+    # ------------------------------------------------------------------
+
+    def prepare(self, text: str, model: Optional[str] = None) -> PreparedQuery:
+        return PreparedQuery(self, self._parser.parse_query(text), model)
+
+    def query(self, text: str, model: Optional[str] = None):
+        """Parse and run any query form (SELECT / ASK / CONSTRUCT)."""
+        return self.run_ast(self._parser.parse_query(text), model)
+
+    def select(self, text: str, model: Optional[str] = None) -> SelectResult:
+        result = self.query(text, model)
+        if not isinstance(result, SelectResult):
+            raise EvaluationError("not a SELECT query")
+        return result
+
+    def ask(self, text: str, model: Optional[str] = None) -> bool:
+        result = self.query(text, model)
+        if not isinstance(result, bool):
+            raise EvaluationError("not an ASK query")
+        return result
+
+    def construct(self, text: str, model: Optional[str] = None) -> List[Triple]:
+        result = self.query(text, model)
+        if not isinstance(result, list):
+            raise EvaluationError("not a CONSTRUCT query")
+        return result
+
+    def run_ast(self, ast, model: Optional[str] = None):
+        evaluator = self._evaluator(model)
+        if isinstance(ast, SelectQuery):
+            return evaluator.select(ast)
+        if isinstance(ast, AskQuery):
+            return evaluator.ask(ast)
+        if isinstance(ast, ConstructQuery):
+            return evaluator.construct(ast)
+        if isinstance(ast, DescribeQuery):
+            return evaluator.describe(ast)
+        raise EvaluationError(f"unsupported query form {type(ast).__name__}")
+
+    # ------------------------------------------------------------------
+    # Update API
+    # ------------------------------------------------------------------
+
+    def update(self, text: str, model: Optional[str] = None) -> Dict[str, int]:
+        request = self._parser.parse_update(text)
+        executor = UpdateExecutor(
+            self.network,
+            self._model_name(model),
+            union_default_graph=self._union_default,
+        )
+        return executor.execute(request)
+
+    # ------------------------------------------------------------------
+    # EXPLAIN
+    # ------------------------------------------------------------------
+
+    def explain(self, text: str, model: Optional[str] = None) -> List[str]:
+        """Access-plan description for the query's BGPs (Table 5 style).
+
+        Walks the WHERE clause; for each BGP reports join order, the
+        chosen semantic network index, scan kind and join method.
+        """
+        ast = self._parser.parse_query(text)
+        if not isinstance(ast, (SelectQuery, AskQuery, ConstructQuery)):
+            raise EvaluationError("cannot explain this form")
+        store_model = self.network.model(self._model_name(model))
+        evaluator = self._evaluator(model)
+        lines: List[str] = []
+        counter = [0]
+
+        def decode(term_id: int) -> str:
+            if term_id == -1:
+                return "<bound at run time>"
+            return self.network.values.term(term_id).n3()
+
+        def walk(group: GroupPattern, graph, bound: set) -> None:
+            bgp: list = []
+
+            def flush() -> None:
+                nonlocal bgp
+                if not bgp:
+                    return
+                graph_ctx = graph if not isinstance(graph, str) else None
+                for step in explain_bgp(bgp, store_model, graph_ctx, decode, bound):
+                    counter[0] += 1
+                    lines.append(step.render(counter[0]))
+                bound.update(v for pattern in bgp for v in pattern.variables())
+                bgp = []
+
+            for element in group.elements:
+                if isinstance(element, TriplePattern):
+                    if element.predicate_is_path():
+                        flush()
+                        counter[0] += 1
+                        lines.append(
+                            f"{counter[0]}: <property path> (frontier walk)"
+                        )
+                        continue
+                    encoded = evaluator._encode_pattern(element)
+                    if encoded is not None:
+                        bgp.append(encoded)
+                    continue
+                flush()
+                if isinstance(element, GroupPattern):
+                    walk(element, graph, bound)
+                elif isinstance(element, SubSelectPattern):
+                    walk(element.query.where, graph, bound)
+                elif element.__class__.__name__ == "GraphGraphPattern":
+                    inner_graph = (
+                        element.graph
+                        if isinstance(element.graph, str)
+                        else self.network.lookup_term(element.graph)
+                    )
+                    walk(element.group, inner_graph, bound)
+                elif hasattr(element, "group"):
+                    walk(element.group, graph, bound)
+                elif hasattr(element, "branches"):
+                    for branch in element.branches:
+                        walk(branch, graph, bound)
+            flush()
+
+        walk(ast.where, None if self._union_default else 0, set())
+        return lines
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _model_name(self, model: Optional[str]) -> str:
+        name = model or self._default_model
+        if name is None:
+            raise EvaluationError(
+                "no model specified and no default model configured"
+            )
+        return name
+
+    def _evaluator(self, model: Optional[str]) -> Evaluator:
+        store_model = self.network.model(self._model_name(model))
+        return Evaluator(
+            self.network,
+            store_model,
+            union_default_graph=self._union_default,
+            filter_pushdown=self._filter_pushdown,
+        )

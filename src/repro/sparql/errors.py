@@ -1,0 +1,28 @@
+"""SPARQL engine exception hierarchy."""
+
+
+class SparqlError(Exception):
+    """Base class for all SPARQL engine errors."""
+
+
+class ParseError(SparqlError):
+    """Raised for syntactically invalid queries, with position info."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class EvaluationError(SparqlError):
+    """Raised when a query is well-formed but cannot be evaluated."""
+
+
+class ExpressionError(SparqlError):
+    """SPARQL expression evaluation error.
+
+    Per the SPARQL semantics these are *recoverable*: a FILTER whose
+    expression errors drops the solution, and a BIND whose expression
+    errors leaves the variable unbound.
+    """

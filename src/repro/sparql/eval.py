@@ -1,0 +1,1310 @@
+"""The query evaluator.
+
+Evaluates the AST of :mod:`repro.sparql.ast` against one model of a
+:class:`repro.store.SemanticNetwork`.  BGPs run through the planner in
+:mod:`repro.sparql.plan`; solutions flow through
+:class:`repro.sparql.relation.Relation` bags of ID rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.rdf.quad import Triple
+from repro.rdf.terms import IRI, Literal, Term
+from repro.sparql import functions as F
+from repro.sparql.ast import (
+    AggregateExpr,
+    AndExpr,
+    ArithmeticExpr,
+    AskQuery,
+    BindPattern,
+    CompareExpr,
+    ConstructQuery,
+    ExistsExpr,
+    Expression,
+    FilterPattern,
+    FunctionExpr,
+    GraphGraphPattern,
+    GroupPattern,
+    InExpr,
+    MinusPattern,
+    NegExpr,
+    NotExpr,
+    OptionalPattern,
+    OrExpr,
+    Projection,
+    SelectQuery,
+    SubSelectPattern,
+    TermExpr,
+    TriplePattern,
+    UnionPattern,
+    ValuesPattern,
+    VarExpr,
+    contains_aggregate,
+)
+from repro.sparql.errors import EvaluationError, ExpressionError
+from repro.sparql.paths import PathEvaluator
+from repro.sparql.plan import (
+    EncodedPattern,
+    GraphContext,
+    choose_join_method,
+    order_patterns,
+)
+from repro.sparql.relation import Relation, join, left_join, minus, union
+from repro.sparql.results import SelectResult
+
+_UNKNOWN = -1  # sentinel for constants absent from the values table
+
+
+class Evaluator:
+    """Evaluates parsed queries against one (virtual) model."""
+
+    def __init__(
+        self,
+        network,
+        model,
+        union_default_graph: bool = True,
+        filter_pushdown: bool = True,
+    ):
+        self._network = network
+        self._values = network.values
+        self._model = model
+        self._union_default = union_default_graph
+        self._filter_pushdown = filter_pushdown
+        self._paths = PathEvaluator(model, self._encode_constant)
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def select(self, query: SelectQuery) -> SelectResult:
+        relation, projections = self._evaluate_select(query)
+        return self._materialize(relation, projections)
+
+    def ask(self, query: AskQuery) -> bool:
+        relation = self.evaluate_group(query.where, self._default_graph_context())
+        return len(relation) > 0
+
+    def construct(self, query: ConstructQuery) -> List[Triple]:
+        relation = self.evaluate_group(query.where, self._default_graph_context())
+        produced: List[Triple] = []
+        seen: Set[Triple] = set()
+        index = {v: i for i, v in enumerate(relation.variables)}
+        for row in relation.rows:
+            for template in query.template:
+                triple = self._instantiate(template, row, index)
+                if triple is not None and triple not in seen:
+                    seen.add(triple)
+                    produced.append(triple)
+        return produced
+
+    def select_relation(self, query: SelectQuery) -> Relation:
+        """Evaluate a SELECT to an (ID-level) relation — used by subqueries."""
+        relation, projections = self._evaluate_select(query)
+        return self._project_relation(relation, projections)
+
+    def describe(self, query) -> List[Triple]:
+        """DESCRIBE: concise bounded description (all triples whose
+        subject is a target resource)."""
+        target_ids: List[int] = []
+        constants = [t for t in query.targets if not isinstance(t, str)]
+        variables = [t for t in query.targets if isinstance(t, str)]
+        for term in constants:
+            encoded = self._encode_constant(term)
+            if encoded is not None:
+                target_ids.append(encoded)
+        if variables:
+            where = query.where if query.where is not None else GroupPattern(())
+            relation = self.evaluate_group(where, self._default_graph_context())
+            for variable in variables:
+                if variable in relation.variables:
+                    position = relation.variables.index(variable)
+                    target_ids.extend(
+                        row[position]
+                        for row in relation.rows
+                        if row[position] is not None
+                    )
+        described: List[Triple] = []
+        seen: Set[Triple] = set()
+        for target in dict.fromkeys(target_ids):
+            for s, p, o, _ in self._model.scan((target, None, None, None)):
+                triple = Triple(
+                    self._values.term(s),
+                    self._values.term(p),
+                    self._values.term(o),
+                )
+                if triple not in seen:
+                    seen.add(triple)
+                    described.append(triple)
+        return described
+
+    # ------------------------------------------------------------------
+    # SELECT pipeline
+    # ------------------------------------------------------------------
+
+    def _evaluate_select(
+        self, query: SelectQuery
+    ) -> Tuple[Relation, Sequence[Projection]]:
+        relation = self.evaluate_group(query.where, self._default_graph_context())
+        projections = self._resolve_projections(query, relation)
+        order_conditions = list(query.order_by)
+        if query.group_by or query.has_aggregates():
+            # ORDER BY conditions over aggregates (DESC(COUNT(*))) are
+            # computed per group into hidden columns during aggregation.
+            relation, order_conditions = self._aggregate(
+                query, relation, projections
+            )
+        else:
+            relation = self._apply_expression_projections(relation, projections)
+        if order_conditions:
+            relation = self._order(relation, order_conditions)
+        relation = self._project_relation(relation, projections)
+        if query.distinct or query.reduced:
+            relation = relation.distinct()
+        relation = self._slice(relation, query)
+        return relation, projections
+
+    def _resolve_projections(
+        self, query: SelectQuery, relation: Relation
+    ) -> Sequence[Projection]:
+        if not query.is_star():
+            return query.projections
+        return [
+            Projection(var=v)
+            for v in relation.variables
+            if not v.startswith("_:")
+        ]
+
+    def _apply_expression_projections(
+        self, relation: Relation, projections: Sequence[Projection]
+    ) -> Relation:
+        for projection in projections:
+            if projection.expression is None:
+                continue
+            if projection.var in relation.variables:
+                raise EvaluationError(
+                    f"SELECT expression rebinds ?{projection.var}"
+                )
+            values = []
+            getter = self._row_getter(relation)
+            for row in relation.rows:
+                try:
+                    term = self.evaluate_expression(
+                        projection.expression, getter(row)
+                    )
+                    values.append(self._encode_term(term))
+                except ExpressionError:
+                    values.append(None)
+            relation = relation.extended(projection.var, values)
+        return relation
+
+    def _order(
+        self, relation: Relation, conditions: Sequence["OrderCondition"]
+    ) -> Relation:
+        getter = self._row_getter(relation)
+
+        def sort_key(indexed: Tuple[int, Tuple]) -> Tuple:
+            _, row = indexed
+            keys = []
+            for condition in conditions:
+                try:
+                    term = self.evaluate_expression(condition.expression, getter(row))
+                except ExpressionError:
+                    term = None
+                key = F.order_key(term)
+                keys.append(_Reversed(key) if condition.descending else key)
+            return tuple(keys)
+
+        order = sorted(enumerate(relation.rows), key=sort_key)
+        rows = [relation.rows[i] for i, _ in order]
+        mults = (
+            [relation.mults[i] for i, _ in order] if relation.mults else None
+        )
+        return Relation(relation.variables, rows, mults)
+
+    def _project_relation(
+        self, relation: Relation, projections: Sequence[Projection]
+    ) -> Relation:
+        return relation.project([p.var for p in projections])
+
+    def _slice(self, relation: Relation, query: SelectQuery) -> Relation:
+        if query.offset == 0 and query.limit is None:
+            return relation
+        rows = relation.rows
+        mults = relation.mults
+        start = query.offset
+        stop = None if query.limit is None else start + query.limit
+        return Relation(
+            relation.variables,
+            rows[start:stop],
+            mults[start:stop] if mults else None,
+        )
+
+    def _materialize(
+        self, relation: Relation, projections: Sequence[Projection]
+    ) -> SelectResult:
+        variables = [p.var for p in projections]
+        decoded: List[Tuple[Optional[Term], ...]] = []
+        term_of = self._values.term
+        for row, mult in relation.iter_with_mult():
+            terms = tuple(
+                term_of(value) if value is not None and value > 0 else None
+                for value in row
+            )
+            # Bag semantics: a row standing for N identical solutions
+            # expands to N result rows.
+            decoded.extend([terms] * mult)
+        return SelectResult(variables, decoded)
+
+    # ------------------------------------------------------------------
+    # Group evaluation
+    # ------------------------------------------------------------------
+
+    def _default_graph_context(self) -> GraphContext:
+        return None if self._union_default else 0
+
+    def evaluate_group(
+        self,
+        group: GroupPattern,
+        graph: GraphContext,
+        outer: Optional[Relation] = None,
+    ) -> Relation:
+        relation = outer if outer is not None else Relation.unit()
+        # SPARQL applies a group's FILTERs to the whole group, but a
+        # filter whose variables are already (fully) bound can be pushed
+        # down safely — later joins never change bound values.  This is
+        # the filter push-down a cost-based optimizer does, and the
+        # reason EQ3-style queries don't materialize huge intermediates.
+        pending = [
+            _PendingFilter(element.expression)
+            for element in group.elements
+            if isinstance(element, FilterPattern)
+        ]
+        bgp: List[TriplePattern] = []
+
+        def flush_bgp() -> None:
+            nonlocal relation, bgp
+            if bgp:
+                relation = self._evaluate_bgp(bgp, graph, relation, pending)
+                bgp = []
+
+        for element in group.elements:
+            if isinstance(element, TriplePattern):
+                bgp.append(element)
+                continue
+            flush_bgp()
+            if isinstance(element, FilterPattern):
+                pass  # gathered above
+            elif isinstance(element, OptionalPattern):
+                right = self.evaluate_group(element.group, graph)
+                relation = left_join(relation, right)
+            elif isinstance(element, UnionPattern):
+                branches = [
+                    self.evaluate_group(branch, graph)
+                    for branch in element.branches
+                ]
+                relation = join(relation, union(branches))
+            elif isinstance(element, MinusPattern):
+                right = self.evaluate_group(element.group, graph)
+                relation = minus(relation, right)
+            elif isinstance(element, GraphGraphPattern):
+                relation = self._evaluate_graph(element, relation)
+            elif isinstance(element, BindPattern):
+                relation = self._evaluate_bind(element, relation)
+            elif isinstance(element, ValuesPattern):
+                relation = join(relation, self._values_relation(element))
+            elif isinstance(element, SubSelectPattern):
+                relation = join(relation, self.select_relation(element.query))
+            elif isinstance(element, GroupPattern):
+                relation = join(relation, self.evaluate_group(element, graph))
+            else:
+                raise EvaluationError(f"unsupported pattern {element!r}")
+            relation = self._apply_eligible_filters(pending, relation)
+        flush_bgp()
+        for entry in pending:
+            if not entry.applied:
+                relation = self._apply_filter(entry.expression, relation)
+        return relation
+
+    def _seed_constant_filters(
+        self, pending: List["_PendingFilter"], relation: Relation
+    ) -> Relation:
+        """Bind variables constrained by ``?v = <constant>`` filters.
+
+        Only exact-term constants are substituted (IRIs and plain string
+        literals); numeric equality is value-based across datatypes, so
+        numeric filters keep their FILTER semantics.
+        """
+        if not self._filter_pushdown:
+            return relation
+        for entry in pending:
+            if entry.applied or not entry.pushable:
+                continue
+            match = _constant_equality(entry.expression)
+            if match is None:
+                continue
+            variable, term = match
+            if variable in relation.variables:
+                continue  # ordinary push-down will handle it
+            term_id = self._encode_constant(term)
+            if term_id is None:
+                entry.applied = True
+                return Relation.empty(relation.variables + (variable,))
+            relation = relation.extended(
+                variable, [term_id] * len(relation.rows)
+            )
+            entry.applied = True
+        return relation
+
+    def _apply_eligible_filters(
+        self, pending: List["_PendingFilter"], relation: Relation
+    ) -> Relation:
+        if not self._filter_pushdown:
+            return relation
+        for entry in pending:
+            if entry.applied or not entry.pushable:
+                continue
+            if not entry.variables <= set(relation.variables):
+                continue
+            # Columns containing unbound values may still be filled by
+            # later joins; such filters must wait for the group's end.
+            positions = [relation.variables.index(v) for v in entry.variables]
+            if any(
+                row[p] is None for row in relation.rows for p in positions
+            ):
+                continue
+            relation = self._apply_filter(entry.expression, relation)
+            entry.applied = True
+        return relation
+
+    def _evaluate_graph(
+        self, element: GraphGraphPattern, relation: Relation
+    ) -> Relation:
+        if isinstance(element.graph, str):
+            context: GraphContext = element.graph
+        else:
+            graph_id = self._encode_constant(element.graph)
+            if graph_id is None:
+                return Relation.empty(relation.variables)
+            context = graph_id
+        inner = self.evaluate_group(element.group, context)
+        return join(relation, inner)
+
+    def _evaluate_bind(self, element: BindPattern, relation: Relation) -> Relation:
+        if element.var in relation.variables:
+            raise EvaluationError(f"BIND rebinds ?{element.var}")
+        getter = self._row_getter(relation)
+        values = []
+        for row in relation.rows:
+            try:
+                term = self.evaluate_expression(element.expression, getter(row))
+                values.append(self._encode_term(term))
+            except ExpressionError:
+                values.append(None)
+        return relation.extended(element.var, values)
+
+    def _values_relation(self, element: ValuesPattern) -> Relation:
+        rows = []
+        for row in element.rows:
+            rows.append(
+                tuple(
+                    None if term is None else self._encode_term(term)
+                    for term in row
+                )
+            )
+        return Relation(element.variables, rows)
+
+    def _apply_filter(self, expression: Expression, relation: Relation) -> Relation:
+        getter = self._row_getter(relation)
+        keep_rows: List[Tuple] = []
+        keep_mults: List[int] = []
+        for index, (row, mult) in enumerate(relation.iter_with_mult()):
+            try:
+                value = self.evaluate_expression(expression, getter(row))
+                passed = F.ebv(value)
+            except ExpressionError:
+                passed = False
+            if passed:
+                keep_rows.append(row)
+                keep_mults.append(mult)
+        if all(m == 1 for m in keep_mults):
+            return Relation(relation.variables, keep_rows)
+        return Relation(relation.variables, keep_rows, keep_mults)
+
+    # ------------------------------------------------------------------
+    # BGP evaluation
+    # ------------------------------------------------------------------
+
+    def _evaluate_bgp(
+        self,
+        patterns: List[TriplePattern],
+        graph: GraphContext,
+        relation: Relation,
+        pending: Optional[List["_PendingFilter"]] = None,
+    ) -> Relation:
+        plain: List[EncodedPattern] = []
+        path_steps: List[TriplePattern] = []
+        for pattern in patterns:
+            if pattern.predicate_is_path():
+                path_steps.append(pattern)
+                continue
+            encoded = self._encode_pattern(pattern)
+            if encoded is None:
+                return Relation.empty(relation.variables)
+            plain.append(encoded)
+        # Sargable-filter rewriting: FILTER (?v = <constant>) makes ?v a
+        # known constant; seed it as a bound column so every pattern
+        # mentioning ?v becomes an index probe instead of a scan (this
+        # is what Oracle's dynamic sampling achieves for EQ3).
+        if pending is not None:
+            relation = self._seed_constant_filters(pending, relation)
+        if plain:
+            ordered = order_patterns(
+                plain, self._model, graph, set(relation.variables)
+            )
+            for encoded in ordered:
+                relation = self._pattern_step(encoded, graph, relation)
+                if pending is not None:
+                    relation = self._apply_eligible_filters(pending, relation)
+                if not relation.rows:
+                    return relation
+        for pattern in path_steps:
+            relation = self._path_step(pattern, graph, relation)
+            if pending is not None:
+                relation = self._apply_eligible_filters(pending, relation)
+            if not relation.rows:
+                return relation
+        return relation
+
+    def _encode_pattern(self, pattern: TriplePattern) -> Optional[EncodedPattern]:
+        slots = []
+        for part in (pattern.subject, pattern.predicate, pattern.object):
+            if isinstance(part, str):
+                slots.append(part)
+            else:
+                encoded = self._encode_constant(part)
+                if encoded is None:
+                    return None  # constant not in store: no matches
+                slots.append(encoded)
+        return EncodedPattern(*slots)
+
+    def _pattern_step(
+        self, pattern: EncodedPattern, graph: GraphContext, relation: Relation
+    ) -> Relation:
+        estimate = self._model.estimate(pattern.store_pattern(graph))
+        shared = pattern.variables() & set(relation.variables)
+        # A bound GRAPH variable connects the pattern too (the NG model's
+        # e-e-K-V idiom relies on probing by graph).
+        if isinstance(graph, str) and graph in relation.variables:
+            shared = shared | {graph}
+        method = choose_join_method(len(relation.rows), estimate)
+        if shared and method == "hash join":
+            scanned = self._scan_to_relation(pattern, graph)
+            return join(relation, scanned)
+        if not shared and len(relation.rows) > 1:
+            # Cartesian with a disconnected pattern: scan once.
+            scanned = self._scan_to_relation(pattern, graph)
+            return join(relation, scanned)
+        return self._nested_loop_step(pattern, graph, relation)
+
+    def _graph_slot_and_filter(
+        self, graph: GraphContext, row_value: Optional[int] = None
+    ) -> Tuple[Optional[int], bool, Optional[str]]:
+        """(g slot for the scan, require-named-graph?, graph var name)."""
+        if graph is None:
+            return None, False, None
+        if isinstance(graph, int):
+            return graph, False, None
+        if row_value is not None:
+            return row_value, False, graph
+        return None, True, graph
+
+    def _scan_to_relation(
+        self, pattern: EncodedPattern, graph: GraphContext
+    ) -> Relation:
+        """Evaluate one pattern standalone into a relation."""
+        slots = (pattern.subject, pattern.predicate, pattern.object)
+        variables: List[str] = []
+        positions: List[int] = []
+        for position, slot in enumerate(slots):
+            if isinstance(slot, str) and slot not in variables:
+                variables.append(slot)
+                positions.append(position)
+        g_slot, named_only, graph_var = self._graph_slot_and_filter(graph)
+        scan_pattern = (
+            slots[0] if isinstance(slots[0], int) else None,
+            slots[1] if isinstance(slots[1], int) else None,
+            slots[2] if isinstance(slots[2], int) else None,
+            g_slot,
+        )
+        # If the GRAPH variable also occurs as a pattern slot (the NG
+        # idiom GRAPH ?e { ?e ?k ?v }), require quad.graph to equal that
+        # slot instead of binding a duplicate column.
+        graph_checks: List[int] = []
+        bind_graph = graph_var is not None
+        if bind_graph and graph_var in variables:
+            graph_checks = [
+                position
+                for position, slot in enumerate(slots)
+                if slot == graph_var
+            ]
+            bind_graph = False
+        elif bind_graph:
+            variables = variables + [graph_var]
+        rows: List[Tuple] = []
+        checks = _internal_checks(slots)
+        for quad in self._model.scan(scan_pattern):
+            if named_only and quad[3] == 0:
+                continue
+            if checks and not _passes_checks(quad, checks):
+                continue
+            if graph_checks and any(quad[3] != quad[p] for p in graph_checks):
+                continue
+            row = tuple(quad[p] for p in positions)
+            if bind_graph:
+                row = row + (quad[3],)
+            rows.append(row)
+        return Relation(variables, rows)
+
+    def _nested_loop_step(
+        self, pattern: EncodedPattern, graph: GraphContext, relation: Relation
+    ) -> Relation:
+        slots = (pattern.subject, pattern.predicate, pattern.object)
+        var_index = {v: i for i, v in enumerate(relation.variables)}
+        # Output: existing columns plus newly bound pattern variables.
+        new_vars: List[str] = []
+        extract_positions: List[int] = []
+        for position, slot in enumerate(slots):
+            if isinstance(slot, str) and slot not in var_index and slot not in new_vars:
+                new_vars.append(slot)
+                extract_positions.append(position)
+        graph_is_var = isinstance(graph, str)
+        graph_bound = graph_is_var and graph in var_index
+        # The GRAPH variable may also occur as a pattern slot (GRAPH ?e
+        # { ?e ?k ?v }): then quad.graph must equal that slot's value
+        # rather than binding a second column.
+        graph_checks: List[int] = []
+        bind_graph = graph_is_var and not graph_bound
+        if bind_graph and graph in new_vars:
+            graph_checks = [
+                position for position, slot in enumerate(slots) if slot == graph
+            ]
+            bind_graph = False
+        if bind_graph:
+            new_vars = new_vars + [graph]
+        out_vars = relation.variables + tuple(new_vars)
+        checks = _internal_checks(slots)
+        rows: List[Tuple] = []
+        mults: List[int] = []
+        scan = self._model.scan
+        for row, mult in relation.iter_with_mult():
+            bound_slots = []
+            skip_row = False
+            for slot in slots:
+                if isinstance(slot, int):
+                    bound_slots.append(slot)
+                elif slot in var_index:
+                    value = row[var_index[slot]]
+                    if value is None:
+                        bound_slots.append(None)
+                    else:
+                        bound_slots.append(value)
+                else:
+                    bound_slots.append(None)
+            if skip_row:
+                continue
+            if graph is None:
+                g_slot: Optional[int] = None
+                named_only = False
+            elif isinstance(graph, int):
+                g_slot, named_only = graph, False
+            elif graph_bound:
+                g_value = row[var_index[graph]]
+                g_slot, named_only = g_value, False
+            else:
+                g_slot, named_only = None, True
+            scan_pattern = (bound_slots[0], bound_slots[1], bound_slots[2], g_slot)
+            for quad in scan(scan_pattern):
+                if named_only and quad[3] == 0:
+                    continue
+                if checks and not _passes_checks(quad, checks):
+                    continue
+                if graph_checks and any(quad[3] != quad[p] for p in graph_checks):
+                    continue
+                extension = tuple(quad[p] for p in extract_positions)
+                if bind_graph:
+                    extension = extension + (quad[3],)
+                rows.append(row + extension)
+                mults.append(mult)
+        if all(m == 1 for m in mults):
+            return Relation(out_vars, rows)
+        return Relation(out_vars, rows, mults)
+
+    # ------------------------------------------------------------------
+    # Path steps
+    # ------------------------------------------------------------------
+
+    def _path_step(
+        self, pattern: TriplePattern, graph: GraphContext, relation: Relation
+    ) -> Relation:
+        if isinstance(graph, str):
+            raise EvaluationError(
+                "property paths inside GRAPH ?var are not supported"
+            )
+        path = pattern.predicate
+        subject, obj = pattern.subject, pattern.object
+        var_index = {v: i for i, v in enumerate(relation.variables)}
+
+        def resolve(part) -> Tuple[str, Optional[Union[int, str]]]:
+            """('const', id) / ('boundvar', name) / ('freevar', name)."""
+            if isinstance(part, str):
+                if part in var_index:
+                    return ("boundvar", part)
+                return ("freevar", part)
+            encoded = self._encode_constant(part)
+            return ("const", encoded)
+
+        s_kind, s_val = resolve(subject)
+        o_kind, o_val = resolve(obj)
+        if (s_kind == "const" and s_val is None) or (
+            o_kind == "const" and o_val is None
+        ):
+            return Relation.empty(relation.variables)
+
+        # Choose direction: prefer walking from a bound endpoint.
+        if s_kind != "freevar":
+            return self._path_from_bound(
+                path, graph, relation, s_kind, s_val, o_kind, o_val,
+                subject_side=True,
+            )
+        if o_kind != "freevar":
+            return self._path_from_bound(
+                path, graph, relation, o_kind, o_val, s_kind, s_val,
+                subject_side=False,
+            )
+        # Both endpoints free: all-pairs evaluation, then join.
+        variables = [subject, obj] if subject != obj else [subject]
+        rows: List[Tuple] = []
+        mults: List[int] = []
+        for start, end, mult in self._paths.pairs(path, graph):
+            if subject == obj:
+                if start != end:
+                    continue
+                rows.append((start,))
+            else:
+                rows.append((start, end))
+            mults.append(mult)
+        pair_relation = (
+            Relation(variables, rows)
+            if all(m == 1 for m in mults)
+            else Relation(variables, rows, mults)
+        )
+        return join(relation, pair_relation)
+
+    def _path_from_bound(
+        self,
+        path,
+        graph: GraphContext,
+        relation: Relation,
+        bound_kind: str,
+        bound_val,
+        other_kind: str,
+        other_val,
+        subject_side: bool,
+    ) -> Relation:
+        """Walk the path from the bound endpoint for every input row."""
+        var_index = {v: i for i, v in enumerate(relation.variables)}
+        walker = self._paths.ends_from if subject_side else self._paths.starts_to
+        cache: Dict[int, Dict[int, int]] = {}
+
+        def reach(node: int) -> Dict[int, int]:
+            found = cache.get(node)
+            if found is None:
+                found = walker(path, {node: 1}, graph)
+                cache[node] = found
+            return found
+
+        other_is_free = other_kind == "freevar"
+        out_vars = relation.variables + ((other_val,) if other_is_free else ())
+        rows: List[Tuple] = []
+        mults: List[int] = []
+        for row, mult in relation.iter_with_mult():
+            if bound_kind == "const":
+                start = bound_val
+            else:
+                start = row[var_index[bound_val]]
+                if start is None:
+                    continue
+            ends = reach(start)
+            if other_is_free:
+                for end, path_mult in ends.items():
+                    rows.append(row + (end,))
+                    mults.append(mult * path_mult)
+            else:
+                if other_kind == "const":
+                    target = other_val
+                else:
+                    target = row[var_index[other_val]]
+                path_mult = ends.get(target, 0)
+                if path_mult:
+                    rows.append(row)
+                    mults.append(mult * path_mult)
+        if all(m == 1 for m in mults):
+            return Relation(out_vars, rows)
+        return Relation(out_vars, rows, mults)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _row_getter(self, relation: Relation):
+        """Build a per-row variable->Term lookup factory."""
+        var_index = {v: i for i, v in enumerate(relation.variables)}
+        term_of = self._values.term
+
+        def for_row(row):
+            def get(name: str) -> Optional[Term]:
+                index = var_index.get(name)
+                if index is None:
+                    return None
+                value = row[index]
+                if value is None or value == 0:
+                    return None
+                return term_of(value)
+
+            return get
+
+        return for_row
+
+    def evaluate_expression(self, expression: Expression, get) -> Term:
+        """Evaluate an expression; ``get(name)`` resolves variables."""
+        if isinstance(expression, VarExpr):
+            value = get(expression.name)
+            if value is None:
+                raise ExpressionError(f"?{expression.name} is unbound")
+            return value
+        if isinstance(expression, TermExpr):
+            return expression.term
+        if isinstance(expression, OrExpr):
+            error: Optional[ExpressionError] = None
+            for operand in expression.operands:
+                try:
+                    if F.ebv(self.evaluate_expression(operand, get)):
+                        return F.TRUE
+                except ExpressionError as exc:
+                    error = exc
+            if error is not None:
+                raise error
+            return F.FALSE
+        if isinstance(expression, AndExpr):
+            error = None
+            for operand in expression.operands:
+                try:
+                    if not F.ebv(self.evaluate_expression(operand, get)):
+                        return F.FALSE
+                except ExpressionError as exc:
+                    error = exc
+            if error is not None:
+                raise error
+            return F.TRUE
+        if isinstance(expression, NotExpr):
+            return F.boolean(not F.ebv(self.evaluate_expression(expression.operand, get)))
+        if isinstance(expression, CompareExpr):
+            left = self._evaluate_allow_unbound(expression.left, get)
+            right = self._evaluate_allow_unbound(expression.right, get)
+            return F.boolean(F.compare(expression.op, left, right))
+        if isinstance(expression, ArithmeticExpr):
+            return F.arithmetic(
+                expression.op,
+                self.evaluate_expression(expression.left, get),
+                self.evaluate_expression(expression.right, get),
+            )
+        if isinstance(expression, NegExpr):
+            return F.negate(self.evaluate_expression(expression.operand, get))
+        if isinstance(expression, InExpr):
+            value = self.evaluate_expression(expression.value, get)
+            found = False
+            for option in expression.options:
+                try:
+                    if F.compare("=", value, self.evaluate_expression(option, get)):
+                        found = True
+                        break
+                except ExpressionError:
+                    continue
+            return F.boolean(found != expression.negated)
+        if isinstance(expression, FunctionExpr):
+            return self._evaluate_function(expression, get)
+        if isinstance(expression, ExistsExpr):
+            return self._evaluate_exists(expression, get)
+        if isinstance(expression, AggregateExpr):
+            raise ExpressionError("aggregate used outside aggregation context")
+        raise EvaluationError(f"unsupported expression {expression!r}")
+
+    def _evaluate_allow_unbound(self, expression: Expression, get) -> Optional[Term]:
+        if isinstance(expression, VarExpr):
+            return get(expression.name)
+        return self.evaluate_expression(expression, get)
+
+    def _evaluate_function(self, expression: FunctionExpr, get) -> Term:
+        name = expression.name
+        if name == "IF":
+            if len(expression.args) != 3:
+                raise ExpressionError("IF needs three arguments")
+            condition = F.ebv(self.evaluate_expression(expression.args[0], get))
+            chosen = expression.args[1] if condition else expression.args[2]
+            return self.evaluate_expression(chosen, get)
+        if name == "COALESCE":
+            for argument in expression.args:
+                try:
+                    return self.evaluate_expression(argument, get)
+                except ExpressionError:
+                    continue
+            raise ExpressionError("COALESCE: no argument evaluated")
+        if name == "BOUND":
+            if len(expression.args) != 1 or not isinstance(
+                expression.args[0], VarExpr
+            ):
+                raise ExpressionError("BOUND needs a single variable")
+            return F.boolean(get(expression.args[0].name) is not None)
+        args = [
+            self._evaluate_allow_unbound(argument, get)
+            for argument in expression.args
+        ]
+        return F.call_builtin(name, args)
+
+    def _evaluate_exists(self, expression: ExistsExpr, get) -> Term:
+        # Correlated: seed the group with the current row's bindings.
+        bindings: Dict[str, int] = {}
+        for variable in _group_variables(expression.group):
+            term = get(variable)
+            if term is not None:
+                bindings[variable] = self._encode_term(term)
+        seed = Relation(tuple(bindings), [tuple(bindings.values())])
+        result = self.evaluate_group(
+            expression.group, self._default_graph_context(), outer=seed
+        )
+        exists = len(result) > 0
+        return F.boolean(exists != expression.negated)
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    def _aggregate(
+        self,
+        query: SelectQuery,
+        relation: Relation,
+        projections: Sequence[Projection],
+    ) -> Tuple[Relation, List["OrderCondition"]]:
+        from repro.sparql.ast import OrderCondition
+
+        getter = self._row_getter(relation)
+        group_exprs = list(query.group_by)
+        # Group rows.
+        groups: Dict[Tuple, List[Tuple[Tuple, int]]] = {}
+        for row, mult in relation.iter_with_mult():
+            get = getter(row)
+            key_terms = []
+            for expr in group_exprs:
+                try:
+                    key_terms.append(self.evaluate_expression(expr, get))
+                except ExpressionError:
+                    key_terms.append(None)
+            key = tuple(key_terms)
+            groups.setdefault(key, []).append((row, mult))
+        if not group_exprs and not groups:
+            # Aggregates over an empty solution sequence form one group.
+            groups[()] = []
+        # ORDER BY conditions containing aggregates (DESC(COUNT(*)))
+        # are computed per group into hidden columns.
+        order_conditions: List[OrderCondition] = []
+        hidden_order: List[Tuple[str, "OrderCondition"]] = []
+        for i, condition in enumerate(query.order_by):
+            if contains_aggregate(condition.expression):
+                hidden = f"__order{i}"
+                hidden_order.append((hidden, condition))
+                order_conditions.append(
+                    OrderCondition(VarExpr(hidden), condition.descending)
+                )
+            else:
+                order_conditions.append(condition)
+        # Compute output rows.
+        out_vars: List[str] = []
+        for projection in projections:
+            out_vars.append(projection.var)
+        out_vars.extend(name for name, _ in hidden_order)
+        out_rows: List[Tuple] = []
+        alias_names: Dict[int, str] = {
+            i: alias
+            for i, alias in enumerate(query.group_by_aliases)
+            if alias is not None
+        }
+        for key, members in groups.items():
+            # Environment for expressions over this group.
+            env: Dict[str, Optional[Term]] = {}
+            for i, expr in enumerate(group_exprs):
+                if isinstance(expr, VarExpr):
+                    env[expr.name] = key[i]
+                if i in alias_names:
+                    env[alias_names[i]] = key[i]
+
+            def get(name: str, _env=env) -> Optional[Term]:
+                return _env.get(name)
+
+            aggregates = self._compute_aggregates(
+                query, projections, members, getter
+            )
+
+            def agg_get(name: str, _get=get) -> Optional[Term]:
+                return _get(name)
+
+            row_values: List[Optional[int]] = []
+            skip_group = False
+            for having in query.having:
+                try:
+                    value = self._evaluate_with_aggregates(
+                        having, agg_get, aggregates
+                    )
+                    if not F.ebv(value):
+                        skip_group = True
+                        break
+                except ExpressionError:
+                    skip_group = True
+                    break
+            if skip_group:
+                continue
+            for projection in projections:
+                if projection.expression is None:
+                    term = env.get(projection.var)
+                    row_values.append(
+                        None if term is None else self._encode_term(term)
+                    )
+                else:
+                    try:
+                        term = self._evaluate_with_aggregates(
+                            projection.expression, agg_get, aggregates
+                        )
+                        row_values.append(self._encode_term(term))
+                    except ExpressionError:
+                        row_values.append(None)
+            for _, condition in hidden_order:
+                try:
+                    term = self._evaluate_with_aggregates(
+                        condition.expression, agg_get, aggregates
+                    )
+                    row_values.append(self._encode_term(term))
+                except ExpressionError:
+                    row_values.append(None)
+            out_rows.append(tuple(row_values))
+        return Relation(out_vars, out_rows), order_conditions
+
+    def _compute_aggregates(
+        self,
+        query: SelectQuery,
+        projections: Sequence[Projection],
+        members: List[Tuple[Tuple, int]],
+        getter,
+    ) -> Dict[AggregateExpr, Optional[Term]]:
+        needed: List[AggregateExpr] = []
+
+        def collect(expression: Optional[Expression]) -> None:
+            if expression is None:
+                return
+            if isinstance(expression, AggregateExpr):
+                if expression not in needed:
+                    needed.append(expression)
+                return
+            for child in _expression_children(expression):
+                collect(child)
+
+        for projection in projections:
+            collect(projection.expression)
+        for having in query.having:
+            collect(having)
+        for condition in query.order_by:
+            collect(condition.expression)
+        computed: Dict[AggregateExpr, Optional[Term]] = {}
+        for aggregate in needed:
+            computed[aggregate] = self._compute_one_aggregate(
+                aggregate, members, getter
+            )
+        return computed
+
+    def _compute_one_aggregate(
+        self,
+        aggregate: AggregateExpr,
+        members: List[Tuple[Tuple, int]],
+        getter,
+    ) -> Optional[Term]:
+        name = aggregate.name
+        if name == "COUNT" and aggregate.argument is None:
+            if aggregate.distinct:
+                return Literal.from_python(len({row for row, _ in members}))
+            return Literal.from_python(sum(mult for _, mult in members))
+        values: List[Term] = []
+        seen: Set[Term] = set()
+        for row, mult in members:
+            get = getter(row)
+            try:
+                value = self.evaluate_expression(aggregate.argument, get)
+            except ExpressionError:
+                continue
+            if aggregate.distinct:
+                if value in seen:
+                    continue
+                seen.add(value)
+                values.append(value)
+            else:
+                values.extend([value] * mult)
+        if name == "COUNT":
+            return Literal.from_python(len(values))
+        if not values:
+            if name in ("SUM",):
+                return Literal.from_python(0)
+            raise ExpressionError(f"{name} over empty group")
+        if name == "SUM":
+            total = sum(_as_number(v) for v in values)
+            return Literal.from_python(total)
+        if name == "AVG":
+            total = sum(_as_number(v) for v in values)
+            return Literal.from_python(total / len(values))
+        if name == "MIN":
+            return min(values, key=F.order_key)
+        if name == "MAX":
+            return max(values, key=F.order_key)
+        if name == "SAMPLE":
+            return values[0]
+        if name == "GROUP_CONCAT":
+            parts = []
+            for value in values:
+                if not isinstance(value, Literal):
+                    raise ExpressionError("GROUP_CONCAT needs literals")
+                parts.append(value.lexical)
+            return Literal(aggregate.separator.join(parts))
+        raise ExpressionError(f"unknown aggregate {name}")
+
+    def _evaluate_with_aggregates(
+        self,
+        expression: Expression,
+        get,
+        aggregates: Dict[AggregateExpr, Optional[Term]],
+    ) -> Term:
+        if isinstance(expression, AggregateExpr):
+            value = aggregates.get(expression)
+            if value is None:
+                raise ExpressionError("aggregate evaluation failed")
+            return value
+        if isinstance(expression, (OrExpr, AndExpr, NotExpr, CompareExpr,
+                                   ArithmeticExpr, NegExpr, FunctionExpr,
+                                   InExpr)):
+            rewritten = _substitute_aggregates(expression, aggregates)
+            return self.evaluate_expression(rewritten, get)
+        return self.evaluate_expression(expression, get)
+
+    # ------------------------------------------------------------------
+    # Encoding helpers
+    # ------------------------------------------------------------------
+
+    def _encode_constant(self, term: Term) -> Optional[int]:
+        """Encode a query constant without interning new values."""
+        return self._network.lookup_term(term)
+
+    def _encode_term(self, term: Term) -> int:
+        """Encode a computed term, interning it if new (like Oracle's
+        values table growing for computed results)."""
+        return self._network.encode_term(term)
+
+    def _instantiate(
+        self, template: TriplePattern, row: Tuple, index: Dict[str, int]
+    ) -> Optional[Triple]:
+        def resolve(part):
+            if isinstance(part, str):
+                position = index.get(part)
+                if position is None:
+                    return None
+                value = row[position]
+                if value is None or value <= 0:
+                    return None
+                return self._values.term(value)
+            return part
+
+        subject = resolve(template.subject)
+        predicate = resolve(template.predicate)
+        obj = resolve(template.object)
+        if subject is None or predicate is None or obj is None:
+            return None
+        try:
+            return Triple(subject, predicate, obj)
+        except Exception:
+            return None
+
+
+# ----------------------------------------------------------------------
+# Module helpers
+# ----------------------------------------------------------------------
+
+
+class _PendingFilter:
+    """A group FILTER awaiting application, with push-down metadata."""
+
+    __slots__ = ("expression", "variables", "applied", "pushable")
+
+    def __init__(self, expression: Expression):
+        from repro.sparql.ast import expression_variables
+
+        self.expression = expression
+        self.variables = expression_variables(expression)
+        self.applied = False
+        # EXISTS filters evaluate correlated subgroups; they stay at the
+        # group's end where they run exactly once per final row.
+        self.pushable = not _contains_exists(expression)
+
+
+def _constant_equality(expression: Expression):
+    """Match ``?v = <term>`` / ``<term> = ?v`` with an exact-term constant.
+
+    Returns ``(variable, term)`` or ``None``.  Restricted to IRIs and
+    plain string literals, whose SPARQL ``=`` coincides with term
+    identity under our canonicalizing values table.
+    """
+    if not isinstance(expression, CompareExpr) or expression.op != "=":
+        return None
+    left, right = expression.left, expression.right
+    if isinstance(left, VarExpr) and isinstance(right, TermExpr):
+        variable, term = left.name, right.term
+    elif isinstance(right, VarExpr) and isinstance(left, TermExpr):
+        variable, term = right.name, left.term
+    else:
+        return None
+    if isinstance(term, IRI):
+        return variable, term
+    if isinstance(term, Literal) and term.is_plain_string():
+        return variable, term
+    return None
+
+
+def _contains_exists(expression: Expression) -> bool:
+    if isinstance(expression, ExistsExpr):
+        return True
+    return any(
+        _contains_exists(child) for child in _expression_children(expression)
+    )
+
+
+class _Reversed:
+    """Wrapper inverting sort order for DESC keys."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key):
+        self.key = key
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _Reversed) and self.key == other.key
+
+
+def _internal_checks(slots) -> List[Tuple[int, int]]:
+    """Equality checks for a variable repeated within one pattern."""
+    first: Dict[str, int] = {}
+    checks: List[Tuple[int, int]] = []
+    for position, slot in enumerate(slots):
+        if isinstance(slot, str):
+            if slot in first:
+                checks.append((first[slot], position))
+            else:
+                first[slot] = position
+    return checks
+
+
+def _passes_checks(quad, checks: List[Tuple[int, int]]) -> bool:
+    return all(quad[a] == quad[b] for a, b in checks)
+
+
+def _group_variables(group: GroupPattern) -> Set[str]:
+    found: Set[str] = set()
+    for element in group.elements:
+        if isinstance(element, TriplePattern):
+            for part in (element.subject, element.predicate, element.object):
+                if isinstance(part, str):
+                    found.add(part)
+        elif isinstance(element, GroupPattern):
+            found |= _group_variables(element)
+        elif isinstance(element, (OptionalPattern, MinusPattern)):
+            found |= _group_variables(element.group)
+        elif isinstance(element, GraphGraphPattern):
+            found |= _group_variables(element.group)
+            if isinstance(element.graph, str):
+                found.add(element.graph)
+        elif isinstance(element, UnionPattern):
+            for branch in element.branches:
+                found |= _group_variables(branch)
+    return found
+
+
+def _expression_children(expression: Expression):
+    if isinstance(expression, (OrExpr, AndExpr)):
+        return expression.operands
+    if isinstance(expression, (NotExpr, NegExpr)):
+        return (expression.operand,)
+    if isinstance(expression, (CompareExpr, ArithmeticExpr)):
+        return (expression.left, expression.right)
+    if isinstance(expression, FunctionExpr):
+        return expression.args
+    if isinstance(expression, InExpr):
+        return (expression.value,) + expression.options
+    return ()
+
+
+def _substitute_aggregates(
+    expression: Expression, aggregates: Dict[AggregateExpr, Optional[Term]]
+) -> Expression:
+    if isinstance(expression, AggregateExpr):
+        value = aggregates.get(expression)
+        if value is None:
+            raise ExpressionError("aggregate evaluation failed")
+        return TermExpr(value)
+    if isinstance(expression, OrExpr):
+        return OrExpr(tuple(_substitute_aggregates(e, aggregates)
+                            for e in expression.operands))
+    if isinstance(expression, AndExpr):
+        return AndExpr(tuple(_substitute_aggregates(e, aggregates)
+                             for e in expression.operands))
+    if isinstance(expression, NotExpr):
+        return NotExpr(_substitute_aggregates(expression.operand, aggregates))
+    if isinstance(expression, NegExpr):
+        return NegExpr(_substitute_aggregates(expression.operand, aggregates))
+    if isinstance(expression, CompareExpr):
+        return CompareExpr(
+            expression.op,
+            _substitute_aggregates(expression.left, aggregates),
+            _substitute_aggregates(expression.right, aggregates),
+        )
+    if isinstance(expression, ArithmeticExpr):
+        return ArithmeticExpr(
+            expression.op,
+            _substitute_aggregates(expression.left, aggregates),
+            _substitute_aggregates(expression.right, aggregates),
+        )
+    if isinstance(expression, FunctionExpr):
+        return FunctionExpr(
+            expression.name,
+            tuple(_substitute_aggregates(a, aggregates) for a in expression.args),
+        )
+    if isinstance(expression, InExpr):
+        return InExpr(
+            _substitute_aggregates(expression.value, aggregates),
+            tuple(_substitute_aggregates(o, aggregates)
+                  for o in expression.options),
+            expression.negated,
+        )
+    return expression
+
+
+def _as_number(term: Term) -> float:
+    if isinstance(term, Literal) and term.is_numeric():
+        return term.to_python()
+    raise ExpressionError(f"not a number: {term!r}")

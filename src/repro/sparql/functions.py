@@ -1,0 +1,424 @@
+"""SPARQL expression semantics: EBV, comparisons, builtins.
+
+Expression values are RDF :class:`~repro.rdf.terms.Term` objects;
+helpers convert to and from native Python values.  Errors follow the
+SPARQL error model: they raise :class:`ExpressionError`, which FILTER
+treats as false and BIND treats as unbound.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Optional
+
+from repro.rdf.terms import (
+    IRI,
+    BlankNode,
+    Literal,
+    Term,
+    XSD_BOOLEAN,
+    XSD_STRING,
+)
+from repro.sparql.errors import ExpressionError
+
+
+def ebv(term: Optional[Term]) -> bool:
+    """Effective boolean value (SPARQL 1.1 section 17.2.2)."""
+    if term is None:
+        raise ExpressionError("EBV of unbound value")
+    if isinstance(term, Literal):
+        if term.datatype is not None and term.datatype.value == XSD_BOOLEAN:
+            return term.lexical == "true"
+        if term.is_numeric():
+            return float(term.to_python()) != 0.0
+        if term.language is not None or term.datatype.value == XSD_STRING:
+            return len(term.lexical) > 0
+        raise ExpressionError(f"no EBV for literal {term!r}")
+    raise ExpressionError(f"no EBV for {term!r}")
+
+
+def boolean(value: bool) -> Literal:
+    return Literal("true" if value else "false", IRI(XSD_BOOLEAN))
+
+
+TRUE = boolean(True)
+FALSE = boolean(False)
+
+
+def _numeric(term: Optional[Term]) -> float:
+    if isinstance(term, Literal) and term.is_numeric():
+        return term.to_python()
+    raise ExpressionError(f"not a number: {term!r}")
+
+
+def _string(term: Optional[Term]) -> str:
+    if isinstance(term, Literal):
+        if term.language is not None or term.datatype.value == XSD_STRING:
+            return term.lexical
+        raise ExpressionError(f"not a string literal: {term!r}")
+    raise ExpressionError(f"not a string literal: {term!r}")
+
+
+def _string_or_str(term: Optional[Term]) -> str:
+    """Argument coercion for functions that accept STR-able values."""
+    if isinstance(term, Literal):
+        return term.lexical
+    if isinstance(term, IRI):
+        return term.value
+    raise ExpressionError(f"cannot coerce {term!r} to string")
+
+
+def compare(op: str, left: Optional[Term], right: Optional[Term]) -> bool:
+    """SPARQL value comparison.
+
+    ``=`` / ``!=`` fall back to term equality for non-comparable pairs;
+    ordering operators require both sides to be comparable literals.
+    """
+    if left is None or right is None:
+        raise ExpressionError("comparison with unbound value")
+    if op in ("=", "!="):
+        equal = _value_equal(left, right)
+        return equal if op == "=" else not equal
+    key_left = _order_value(left)
+    key_right = _order_value(right)
+    if key_left[0] != key_right[0]:
+        raise ExpressionError(f"type mismatch comparing {left!r} and {right!r}")
+    a, b = key_left[1], key_right[1]
+    if op == "<":
+        return a < b
+    if op == ">":
+        return a > b
+    if op == "<=":
+        return a <= b
+    if op == ">=":
+        return a >= b
+    raise ExpressionError(f"unknown comparison operator {op}")
+
+
+def _value_equal(left: Term, right: Term) -> bool:
+    if left == right:
+        return True
+    if isinstance(left, Literal) and isinstance(right, Literal):
+        if left.is_numeric() and right.is_numeric():
+            return float(left.to_python()) == float(right.to_python())
+    return False
+
+
+def _order_value(term: Term):
+    """(type-class, comparable) pair used by comparisons and ORDER BY."""
+    if isinstance(term, Literal):
+        if term.is_numeric():
+            return ("number", float(term.to_python()))
+        if term.datatype is not None and term.datatype.value == XSD_BOOLEAN:
+            return ("boolean", term.lexical == "true")
+        return ("string", term.lexical)
+    if isinstance(term, IRI):
+        return ("iri", term.value)
+    if isinstance(term, BlankNode):
+        return ("blank", term.label)
+    raise ExpressionError(f"unorderable term {term!r}")
+
+
+def order_key(term: Optional[Term]):
+    """Total order used by ORDER BY: unbound < blank < IRI < literal."""
+    if term is None:
+        return (0, "", "")
+    if isinstance(term, BlankNode):
+        return (1, "", term.label)
+    if isinstance(term, IRI):
+        return (2, "", term.value)
+    type_class, comparable = _order_value(term)
+    if type_class == "number":
+        return (3, "", comparable)
+    if type_class == "boolean":
+        return (4, "", comparable)
+    return (5, "", comparable)
+
+
+def arithmetic(op: str, left: Optional[Term], right: Optional[Term]) -> Literal:
+    a = _numeric(left)
+    b = _numeric(right)
+    if op == "+":
+        result = a + b
+    elif op == "-":
+        result = a - b
+    elif op == "*":
+        result = a * b
+    elif op == "/":
+        if b == 0:
+            raise ExpressionError("division by zero")
+        result = a / b
+    else:
+        raise ExpressionError(f"unknown arithmetic operator {op}")
+    if isinstance(result, float) and result.is_integer() and op != "/":
+        return Literal.from_python(int(result))
+    return Literal.from_python(result)
+
+
+def negate(value: Optional[Term]) -> Literal:
+    return Literal.from_python(-_numeric(value))
+
+
+# ----------------------------------------------------------------------
+# Builtin function registry
+# ----------------------------------------------------------------------
+
+Builtin = Callable[[List[Optional[Term]]], Term]
+_BUILTINS: Dict[str, Builtin] = {}
+
+
+def builtin(name: str):
+    def register(func: Builtin) -> Builtin:
+        _BUILTINS[name] = func
+        return func
+
+    return register
+
+
+def call_builtin(name: str, args: List[Optional[Term]]) -> Term:
+    func = _BUILTINS.get(name)
+    if func is None:
+        raise ExpressionError(f"unknown function {name}")
+    return func(args)
+
+
+def _arity(args: List[Optional[Term]], *counts: int) -> None:
+    if len(args) not in counts:
+        raise ExpressionError(f"wrong number of arguments: {len(args)}")
+
+
+@builtin("BOUND")
+def _bound(args):
+    _arity(args, 1)
+    return boolean(args[0] is not None)
+
+
+@builtin("ISIRI")
+@builtin("ISURI")
+def _is_iri(args):
+    _arity(args, 1)
+    return boolean(isinstance(args[0], IRI))
+
+
+@builtin("ISBLANK")
+def _is_blank(args):
+    _arity(args, 1)
+    return boolean(isinstance(args[0], BlankNode))
+
+
+@builtin("ISLITERAL")
+def _is_literal(args):
+    _arity(args, 1)
+    return boolean(isinstance(args[0], Literal))
+
+
+@builtin("ISNUMERIC")
+def _is_numeric(args):
+    _arity(args, 1)
+    return boolean(isinstance(args[0], Literal) and args[0].is_numeric())
+
+
+@builtin("STR")
+def _str(args):
+    _arity(args, 1)
+    return Literal(_string_or_str(args[0]))
+
+
+@builtin("LANG")
+def _lang(args):
+    _arity(args, 1)
+    term = args[0]
+    if not isinstance(term, Literal):
+        raise ExpressionError("LANG needs a literal")
+    return Literal(term.language or "")
+
+
+@builtin("DATATYPE")
+def _datatype(args):
+    _arity(args, 1)
+    term = args[0]
+    if not isinstance(term, Literal):
+        raise ExpressionError("DATATYPE needs a literal")
+    if term.language is not None:
+        return IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#langString")
+    return term.datatype
+
+
+@builtin("IRI")
+@builtin("URI")
+def _iri(args):
+    _arity(args, 1)
+    return IRI(_string_or_str(args[0]))
+
+
+@builtin("STRLEN")
+def _strlen(args):
+    _arity(args, 1)
+    return Literal.from_python(len(_string(args[0])))
+
+
+@builtin("UCASE")
+def _ucase(args):
+    _arity(args, 1)
+    return Literal(_string(args[0]).upper())
+
+
+@builtin("LCASE")
+def _lcase(args):
+    _arity(args, 1)
+    return Literal(_string(args[0]).lower())
+
+
+@builtin("STRSTARTS")
+def _strstarts(args):
+    _arity(args, 2)
+    return boolean(_string(args[0]).startswith(_string(args[1])))
+
+
+@builtin("STRENDS")
+def _strends(args):
+    _arity(args, 2)
+    return boolean(_string(args[0]).endswith(_string(args[1])))
+
+
+@builtin("CONTAINS")
+def _contains(args):
+    _arity(args, 2)
+    return boolean(_string(args[1]) in _string(args[0]))
+
+
+@builtin("STRBEFORE")
+def _strbefore(args):
+    _arity(args, 2)
+    text, needle = _string(args[0]), _string(args[1])
+    index = text.find(needle)
+    return Literal(text[:index] if index >= 0 else "")
+
+
+@builtin("STRAFTER")
+def _strafter(args):
+    _arity(args, 2)
+    text, needle = _string(args[0]), _string(args[1])
+    index = text.find(needle)
+    return Literal(text[index + len(needle):] if index >= 0 else "")
+
+
+@builtin("CONCAT")
+def _concat(args):
+    return Literal("".join(_string(arg) for arg in args))
+
+
+@builtin("SUBSTR")
+def _substr(args):
+    _arity(args, 2, 3)
+    text = _string(args[0])
+    start = int(_numeric(args[1]))  # SPARQL is 1-based
+    if len(args) == 3:
+        length = int(_numeric(args[2]))
+        return Literal(text[start - 1 : start - 1 + length])
+    return Literal(text[start - 1:])
+
+
+@builtin("REPLACE")
+def _replace(args):
+    _arity(args, 3, 4)
+    flags = _regex_flags(_string(args[3])) if len(args) == 4 else 0
+    try:
+        return Literal(
+            re.sub(_string(args[1]), _string(args[2]), _string(args[0]), flags=flags)
+        )
+    except re.error as exc:
+        raise ExpressionError(f"bad regex: {exc}") from exc
+
+
+@builtin("REGEX")
+def _regex(args):
+    _arity(args, 2, 3)
+    flags = _regex_flags(_string(args[2])) if len(args) == 3 else 0
+    try:
+        return boolean(re.search(_string(args[1]), _string(args[0]), flags) is not None)
+    except re.error as exc:
+        raise ExpressionError(f"bad regex: {exc}") from exc
+
+
+def _regex_flags(letters: str) -> int:
+    flags = 0
+    for letter in letters:
+        if letter == "i":
+            flags |= re.IGNORECASE
+        elif letter == "s":
+            flags |= re.DOTALL
+        elif letter == "m":
+            flags |= re.MULTILINE
+        elif letter == "x":
+            flags |= re.VERBOSE
+        else:
+            raise ExpressionError(f"unsupported regex flag {letter!r}")
+    return flags
+
+
+@builtin("ABS")
+def _abs(args):
+    _arity(args, 1)
+    return Literal.from_python(abs(_numeric(args[0])))
+
+
+@builtin("ROUND")
+def _round(args):
+    _arity(args, 1)
+    return Literal.from_python(int(round(_numeric(args[0]))))
+
+
+@builtin("CEIL")
+def _ceil(args):
+    import math
+
+    _arity(args, 1)
+    return Literal.from_python(int(math.ceil(_numeric(args[0]))))
+
+
+@builtin("FLOOR")
+def _floor(args):
+    import math
+
+    _arity(args, 1)
+    return Literal.from_python(int(math.floor(_numeric(args[0]))))
+
+
+@builtin("SAMETERM")
+def _sameterm(args):
+    _arity(args, 2)
+    if args[0] is None or args[1] is None:
+        raise ExpressionError("sameTerm with unbound value")
+    return boolean(args[0] == args[1])
+
+
+@builtin("LANGMATCHES")
+def _langmatches(args):
+    _arity(args, 2)
+    tag = _string(args[0]).lower()
+    pattern = _string(args[1]).lower()
+    if pattern == "*":
+        return boolean(bool(tag))
+    return boolean(tag == pattern or tag.startswith(pattern + "-"))
+
+
+@builtin("STRDT")
+def _strdt(args):
+    _arity(args, 2)
+    datatype = args[1]
+    if not isinstance(datatype, IRI):
+        raise ExpressionError("STRDT needs a datatype IRI")
+    return Literal(_string(args[0]), datatype=datatype)
+
+
+@builtin("STRLANG")
+def _strlang(args):
+    _arity(args, 2)
+    return Literal(_string(args[0]), language=_string(args[1]))
+
+
+@builtin("BNODE")
+def _bnode(args):
+    _arity(args, 0, 1)
+    return BlankNode()

@@ -1,0 +1,956 @@
+"""Recursive-descent parser for the supported SPARQL subset."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.rdf.namespace import WELL_KNOWN_PREFIXES, RDF, XSD
+from repro.rdf.terms import BlankNode, IRI, Literal, Term, TermError
+from repro.sparql import tokens as T
+from repro.sparql.ast import (
+    AggregateExpr,
+    AndExpr,
+    ArithmeticExpr,
+    AskQuery,
+    BindPattern,
+    ClearUpdate,
+    CompareExpr,
+    ConstructQuery,
+    DeleteDataUpdate,
+    ExistsExpr,
+    Expression,
+    FilterPattern,
+    FunctionExpr,
+    GraphGraphPattern,
+    GroupPattern,
+    InExpr,
+    InsertDataUpdate,
+    MinusPattern,
+    ModifyUpdate,
+    NegExpr,
+    NotExpr,
+    OptionalPattern,
+    OrderCondition,
+    OrExpr,
+    Path,
+    PathAlternative,
+    PathInverse,
+    PathLink,
+    PathRepeat,
+    PathSequence,
+    Projection,
+    QuadPattern,
+    Query,
+    SelectQuery,
+    SubSelectPattern,
+    TermExpr,
+    TermOrVar,
+    TriplePattern,
+    UnionPattern,
+    Update,
+    UpdateRequest,
+    ValuesPattern,
+    VarExpr,
+    ValuesPattern as _ValuesPattern,  # noqa: F401 (re-export clarity)
+)
+from repro.sparql.errors import ParseError
+
+_AGGREGATES = {"COUNT", "SUM", "MIN", "MAX", "AVG", "SAMPLE", "GROUP_CONCAT"}
+
+
+class _TokenStream:
+    def __init__(self, text: str):
+        self._tokens = T.tokenize(text)
+        self._pos = 0
+
+    def peek(self, ahead: int = 0) -> T.Token:
+        index = min(self._pos + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def next(self) -> T.Token:
+        token = self._tokens[self._pos]
+        if token.kind != T.EOF:
+            self._pos += 1
+        return token
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[T.Token]:
+        token = self.peek()
+        if token.kind == kind and (value is None or token.value == value):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, value: Optional[str] = None) -> T.Token:
+        token = self.accept(kind, value)
+        if token is None:
+            actual = self.peek()
+            expected = value or kind
+            raise ParseError(
+                f"expected {expected!r}, found {actual.value or actual.kind!r}",
+                actual.line,
+                actual.column,
+            )
+        return token
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek()
+        return ParseError(message, token.line, token.column)
+
+
+class Parser:
+    """Parses query and update strings into AST nodes.
+
+    ``prefixes`` provides engine-level prefix declarations that queries
+    may rely on without their own PREFIX clauses (the well-known
+    rdf/rdfs/owl/xsd prefixes are always available).
+    """
+
+    def __init__(self, prefixes: Optional[Dict[str, str]] = None):
+        self._base_prefixes = dict(WELL_KNOWN_PREFIXES)
+        if prefixes:
+            self._base_prefixes.update(prefixes)
+        self._prefixes: Dict[str, str] = {}
+        self._base_iri: Optional[str] = None
+        self._stream: _TokenStream = None  # type: ignore[assignment]
+        self._blank_counter = 0
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def parse_query(self, text: str) -> Query:
+        try:
+            return self._parse_query_inner(text)
+        except TermError as exc:
+            # Structurally invalid terms (e.g. "<>" or "x"^^xsd:int with
+            # a non-numeric lexical) are syntax errors to the caller.
+            raise ParseError(str(exc)) from exc
+
+    def _parse_query_inner(self, text: str) -> Query:
+        self._start(text)
+        self._parse_prologue()
+        token = self._stream.peek()
+        if token.kind != T.KEYWORD:
+            raise self._stream.error("expected SELECT, ASK or CONSTRUCT")
+        if token.value == "SELECT":
+            query = self._parse_select()
+        elif token.value == "ASK":
+            self._stream.next()
+            query = AskQuery(where=self._parse_group())
+        elif token.value == "CONSTRUCT":
+            query = self._parse_construct()
+        elif token.value == "DESCRIBE":
+            query = self._parse_describe()
+        else:
+            raise self._stream.error(f"unsupported query form {token.value}")
+        self._stream.expect(T.EOF)
+        return query
+
+    def parse_update(self, text: str) -> UpdateRequest:
+        try:
+            return self._parse_update_inner(text)
+        except TermError as exc:
+            raise ParseError(str(exc)) from exc
+
+    def _parse_update_inner(self, text: str) -> UpdateRequest:
+        self._start(text)
+        self._parse_prologue()
+        operations: List[Update] = []
+        while self._stream.peek().kind != T.EOF:
+            operations.append(self._parse_update_operation())
+            if not self._stream.accept(T.PUNCT, ";"):
+                break
+            self._parse_prologue()
+        self._stream.expect(T.EOF)
+        if not operations:
+            raise self._stream.error("empty update request")
+        return UpdateRequest(tuple(operations))
+
+    def _start(self, text: str) -> None:
+        self._stream = _TokenStream(text)
+        self._prefixes = dict(self._base_prefixes)
+        self._base_iri = None
+        self._blank_counter = 0
+
+    # ------------------------------------------------------------------
+    # Prologue
+    # ------------------------------------------------------------------
+
+    def _parse_prologue(self) -> None:
+        while True:
+            if self._stream.accept(T.KEYWORD, "PREFIX"):
+                pname = self._stream.expect(T.PNAME)
+                if not pname.value.endswith(":"):
+                    raise self._stream.error("PREFIX declaration needs 'name:'")
+                iri = self._stream.expect(T.IRIREF)
+                self._prefixes[pname.value[:-1]] = self._resolve_iri(iri.value)
+            elif self._stream.accept(T.KEYWORD, "BASE"):
+                self._base_iri = self._stream.expect(T.IRIREF).value
+            else:
+                return
+
+    def _resolve_iri(self, value: str) -> str:
+        if self._base_iri and ":" not in value.split("/")[0]:
+            return self._base_iri + value
+        return value
+
+    # ------------------------------------------------------------------
+    # SELECT
+    # ------------------------------------------------------------------
+
+    def _parse_select(self) -> SelectQuery:
+        self._stream.expect(T.KEYWORD, "SELECT")
+        distinct = bool(self._stream.accept(T.KEYWORD, "DISTINCT"))
+        reduced = bool(self._stream.accept(T.KEYWORD, "REDUCED"))
+        projections = self._parse_projections()
+        self._stream.accept(T.KEYWORD, "WHERE")
+        where = self._parse_group()
+        return self._parse_solution_modifiers(
+            projections, where, distinct=distinct, reduced=reduced
+        )
+
+    def _parse_projections(self) -> Tuple[Projection, ...]:
+        if self._stream.accept(T.PUNCT, "*"):
+            return ()
+        projections: List[Projection] = []
+        while True:
+            token = self._stream.peek()
+            if token.kind == T.VAR:
+                self._stream.next()
+                projections.append(Projection(var=token.value))
+            elif token.kind == T.PUNCT and token.value == "(":
+                self._stream.next()
+                expression = self._parse_expression()
+                self._stream.expect(T.KEYWORD, "AS")
+                var = self._stream.expect(T.VAR).value
+                self._stream.expect(T.PUNCT, ")")
+                projections.append(Projection(var=var, expression=expression))
+            else:
+                break
+        if not projections:
+            raise self._stream.error("SELECT needs at least one variable or '*'")
+        return tuple(projections)
+
+    def _parse_solution_modifiers(
+        self,
+        projections: Tuple[Projection, ...],
+        where: GroupPattern,
+        distinct: bool,
+        reduced: bool,
+    ) -> SelectQuery:
+        group_by: List[Expression] = []
+        group_aliases: List[Optional[str]] = []
+        having: List[Expression] = []
+        order_by: List[OrderCondition] = []
+        limit: Optional[int] = None
+        offset = 0
+        if self._stream.accept(T.KEYWORD, "GROUP"):
+            self._stream.expect(T.KEYWORD, "BY")
+            while True:
+                token = self._stream.peek()
+                if token.kind == T.VAR:
+                    self._stream.next()
+                    group_by.append(VarExpr(token.value))
+                    group_aliases.append(None)
+                elif token.kind == T.PUNCT and token.value == "(":
+                    self._stream.next()
+                    expression = self._parse_expression()
+                    alias = None
+                    if self._stream.accept(T.KEYWORD, "AS"):
+                        alias = self._stream.expect(T.VAR).value
+                    self._stream.expect(T.PUNCT, ")")
+                    group_by.append(expression)
+                    group_aliases.append(alias)
+                elif token.kind == T.KEYWORD and token.value in T._FUNCTIONS:
+                    group_by.append(self._parse_primary_expression())
+                    group_aliases.append(None)
+                else:
+                    break
+            if not group_by:
+                raise self._stream.error("GROUP BY needs at least one condition")
+        if self._stream.accept(T.KEYWORD, "HAVING"):
+            while True:
+                token = self._stream.peek()
+                if token.kind == T.PUNCT and token.value == "(":
+                    having.append(self._parse_bracketted_expression())
+                elif token.kind == T.KEYWORD and token.value in T._FUNCTIONS:
+                    having.append(self._parse_primary_expression())
+                else:
+                    break
+            if not having:
+                raise self._stream.error("HAVING needs at least one constraint")
+        if self._stream.accept(T.KEYWORD, "ORDER"):
+            self._stream.expect(T.KEYWORD, "BY")
+            while True:
+                token = self._stream.peek()
+                if token.kind == T.KEYWORD and token.value in ("ASC", "DESC"):
+                    self._stream.next()
+                    descending = token.value == "DESC"
+                    order_by.append(
+                        OrderCondition(
+                            self._parse_bracketted_expression(), descending
+                        )
+                    )
+                elif token.kind == T.VAR:
+                    self._stream.next()
+                    order_by.append(OrderCondition(VarExpr(token.value)))
+                elif token.kind == T.PUNCT and token.value == "(":
+                    order_by.append(OrderCondition(self._parse_bracketted_expression()))
+                elif token.kind == T.KEYWORD and token.value in T._FUNCTIONS:
+                    order_by.append(OrderCondition(self._parse_primary_expression()))
+                else:
+                    break
+            if not order_by:
+                raise self._stream.error("ORDER BY needs at least one condition")
+        while True:
+            if self._stream.accept(T.KEYWORD, "LIMIT"):
+                limit = int(self._stream.expect(T.NUMBER).value)
+            elif self._stream.accept(T.KEYWORD, "OFFSET"):
+                offset = int(self._stream.expect(T.NUMBER).value)
+            else:
+                break
+        return SelectQuery(
+            projections=projections,
+            where=where,
+            distinct=distinct,
+            reduced=reduced,
+            group_by=tuple(group_by),
+            group_by_aliases=tuple(group_aliases),
+            having=tuple(having),
+            order_by=tuple(order_by),
+            limit=limit,
+            offset=offset,
+        )
+
+    def _parse_bracketted_expression(self) -> Expression:
+        self._stream.expect(T.PUNCT, "(")
+        expression = self._parse_expression()
+        self._stream.expect(T.PUNCT, ")")
+        return expression
+
+    # ------------------------------------------------------------------
+    # CONSTRUCT
+    # ------------------------------------------------------------------
+
+    def _parse_construct(self) -> ConstructQuery:
+        self._stream.expect(T.KEYWORD, "CONSTRUCT")
+        template = self._parse_construct_template()
+        self._stream.accept(T.KEYWORD, "WHERE")
+        where = self._parse_group()
+        return ConstructQuery(template=template, where=where)
+
+    def _parse_construct_template(self) -> Tuple[TriplePattern, ...]:
+        self._stream.expect(T.PUNCT, "{")
+        patterns: List[TriplePattern] = []
+        while not self._stream.accept(T.PUNCT, "}"):
+            patterns.extend(self._parse_triples_same_subject(allow_paths=False))
+            if not self._stream.accept(T.PUNCT, "."):
+                self._stream.expect(T.PUNCT, "}")
+                break
+        return tuple(patterns)
+
+    def _parse_describe(self) -> "DescribeQuery":
+        from repro.sparql.ast import DescribeQuery
+
+        self._stream.expect(T.KEYWORD, "DESCRIBE")
+        targets: List[TermOrVar] = []
+        while True:
+            token = self._stream.peek()
+            if token.kind == T.VAR:
+                self._stream.next()
+                targets.append(token.value)
+            elif token.kind in (T.IRIREF, T.PNAME):
+                term = self._parse_term(allow_var=False)
+                targets.append(term)
+            else:
+                break
+        if not targets:
+            raise self._stream.error("DESCRIBE needs at least one target")
+        where = None
+        if self._stream.accept(T.KEYWORD, "WHERE") or (
+            self._stream.peek().kind == T.PUNCT
+            and self._stream.peek().value == "{"
+        ):
+            where = self._parse_group()
+        return DescribeQuery(tuple(targets), where)
+
+    # ------------------------------------------------------------------
+    # Group graph patterns
+    # ------------------------------------------------------------------
+
+    def _parse_group(self) -> GroupPattern:
+        self._stream.expect(T.PUNCT, "{")
+        # Subquery?
+        if self._stream.peek().kind == T.KEYWORD and self._stream.peek().value == "SELECT":
+            subquery = self._parse_select()
+            self._stream.expect(T.PUNCT, "}")
+            return GroupPattern((SubSelectPattern(subquery),))
+        elements: List = []
+        while True:
+            token = self._stream.peek()
+            if token.kind == T.PUNCT and token.value == "}":
+                self._stream.next()
+                break
+            if token.kind == T.KEYWORD and token.value == "FILTER":
+                self._stream.next()
+                elements.append(FilterPattern(self._parse_constraint()))
+                self._stream.accept(T.PUNCT, ".")
+                continue
+            if token.kind == T.KEYWORD and token.value == "OPTIONAL":
+                self._stream.next()
+                elements.append(OptionalPattern(self._parse_group()))
+                self._stream.accept(T.PUNCT, ".")
+                continue
+            if token.kind == T.KEYWORD and token.value == "GRAPH":
+                self._stream.next()
+                graph = self._parse_var_or_iri()
+                elements.append(GraphGraphPattern(graph, self._parse_group()))
+                self._stream.accept(T.PUNCT, ".")
+                continue
+            if token.kind == T.KEYWORD and token.value == "BIND":
+                self._stream.next()
+                self._stream.expect(T.PUNCT, "(")
+                expression = self._parse_expression()
+                self._stream.expect(T.KEYWORD, "AS")
+                var = self._stream.expect(T.VAR).value
+                self._stream.expect(T.PUNCT, ")")
+                elements.append(BindPattern(expression, var))
+                self._stream.accept(T.PUNCT, ".")
+                continue
+            if token.kind == T.KEYWORD and token.value == "VALUES":
+                self._stream.next()
+                elements.append(self._parse_values())
+                self._stream.accept(T.PUNCT, ".")
+                continue
+            if token.kind == T.KEYWORD and token.value == "MINUS":
+                self._stream.next()
+                elements.append(MinusPattern(self._parse_group()))
+                self._stream.accept(T.PUNCT, ".")
+                continue
+            if token.kind == T.PUNCT and token.value == "{":
+                group = self._parse_group()
+                branches = [group]
+                while self._stream.accept(T.KEYWORD, "UNION"):
+                    branches.append(self._parse_group())
+                if len(branches) > 1:
+                    elements.append(UnionPattern(tuple(branches)))
+                else:
+                    elements.append(group)
+                self._stream.accept(T.PUNCT, ".")
+                continue
+            # triples block
+            elements.extend(self._parse_triples_same_subject(allow_paths=True))
+            if not self._stream.accept(T.PUNCT, "."):
+                # '}' or a non-triples element must follow
+                nxt = self._stream.peek()
+                if nxt.kind == T.PUNCT and nxt.value == "}":
+                    continue
+                if nxt.kind == T.KEYWORD and nxt.value in (
+                    "FILTER", "OPTIONAL", "GRAPH", "BIND", "VALUES", "MINUS",
+                ):
+                    continue
+                if nxt.kind == T.PUNCT and nxt.value == "{":
+                    continue
+                raise self._stream.error("expected '.', '}' or a pattern keyword")
+        return GroupPattern(tuple(elements))
+
+    def _parse_constraint(self) -> Expression:
+        token = self._stream.peek()
+        if token.kind == T.PUNCT and token.value == "(":
+            return self._parse_bracketted_expression()
+        if token.kind == T.KEYWORD and (
+            token.value in T._FUNCTIONS
+            or token.value in ("NOT", "EXISTS")
+        ):
+            return self._parse_primary_expression()
+        raise self._stream.error("expected FILTER constraint")
+
+    def _parse_values(self) -> ValuesPattern:
+        token = self._stream.peek()
+        variables: List[str] = []
+        rows: List[Tuple[Optional[Term], ...]] = []
+        if token.kind == T.VAR:
+            variables.append(self._stream.next().value)
+            self._stream.expect(T.PUNCT, "{")
+            while not self._stream.accept(T.PUNCT, "}"):
+                rows.append((self._parse_values_value(),))
+        else:
+            self._stream.expect(T.PUNCT, "(")
+            while not self._stream.accept(T.PUNCT, ")"):
+                variables.append(self._stream.expect(T.VAR).value)
+            self._stream.expect(T.PUNCT, "{")
+            while not self._stream.accept(T.PUNCT, "}"):
+                self._stream.expect(T.PUNCT, "(")
+                row: List[Optional[Term]] = []
+                while not self._stream.accept(T.PUNCT, ")"):
+                    row.append(self._parse_values_value())
+                if len(row) != len(variables):
+                    raise self._stream.error("VALUES row arity mismatch")
+                rows.append(tuple(row))
+        return ValuesPattern(tuple(variables), tuple(rows))
+
+    def _parse_values_value(self) -> Optional[Term]:
+        if self._stream.accept(T.KEYWORD, "UNDEF"):
+            return None
+        term = self._parse_term(allow_var=False)
+        assert isinstance(term, Term)
+        return term
+
+    # ------------------------------------------------------------------
+    # Triples and paths
+    # ------------------------------------------------------------------
+
+    def _parse_triples_same_subject(self, allow_paths: bool) -> List[TriplePattern]:
+        subject = self._parse_term(allow_var=True)
+        patterns: List[TriplePattern] = []
+        while True:
+            predicate = self._parse_verb(allow_paths)
+            while True:
+                obj = self._parse_term(allow_var=True)
+                patterns.append(TriplePattern(subject, predicate, obj))
+                if not self._stream.accept(T.PUNCT, ","):
+                    break
+            if not self._stream.accept(T.PUNCT, ";"):
+                break
+            # allow trailing ';'
+            nxt = self._stream.peek()
+            if nxt.kind == T.PUNCT and nxt.value in (".", "}"):
+                break
+        return patterns
+
+    def _parse_verb(self, allow_paths: bool) -> Union[TermOrVar, Path]:
+        token = self._stream.peek()
+        if token.kind == T.VAR:
+            self._stream.next()
+            return token.value
+        if not allow_paths:
+            if token.kind == T.KEYWORD and token.value == "A":
+                self._stream.next()
+                return RDF.type
+            term = self._parse_term(allow_var=False)
+            if not isinstance(term, IRI):
+                raise self._stream.error("predicate must be an IRI")
+            return term
+        path = self._parse_path()
+        # A bare one-step forward link is an ordinary triple pattern.
+        if isinstance(path, PathLink):
+            return path.iri
+        return path
+
+    def _parse_path(self) -> Path:
+        options = [self._parse_path_sequence()]
+        while self._stream.accept(T.PUNCT, "|"):
+            options.append(self._parse_path_sequence())
+        if len(options) == 1:
+            return options[0]
+        return PathAlternative(tuple(options))
+
+    def _parse_path_sequence(self) -> Path:
+        steps = [self._parse_path_elt_or_inverse()]
+        while self._stream.accept(T.PUNCT, "/"):
+            steps.append(self._parse_path_elt_or_inverse())
+        if len(steps) == 1:
+            return steps[0]
+        return PathSequence(tuple(steps))
+
+    def _parse_path_elt_or_inverse(self) -> Path:
+        if self._stream.accept(T.PUNCT, "^"):
+            return PathInverse(self._parse_path_elt())
+        return self._parse_path_elt()
+
+    def _parse_path_elt(self) -> Path:
+        primary = self._parse_path_primary()
+        token = self._stream.peek()
+        if token.kind == T.PUNCT and token.value in ("*", "+", "?"):
+            self._stream.next()
+            if token.value == "*":
+                return PathRepeat(primary, minimum=0, unbounded=True)
+            if token.value == "+":
+                return PathRepeat(primary, minimum=1, unbounded=True)
+            return PathRepeat(primary, minimum=0, unbounded=False)
+        return primary
+
+    def _parse_path_primary(self) -> Path:
+        token = self._stream.peek()
+        if token.kind == T.PUNCT and token.value == "!":
+            self._stream.next()
+            return self._parse_negated_property_set()
+        if token.kind == T.PUNCT and token.value == "(":
+            self._stream.next()
+            path = self._parse_path()
+            self._stream.expect(T.PUNCT, ")")
+            return path
+        if token.kind == T.KEYWORD and token.value == "A":
+            self._stream.next()
+            return PathLink(RDF.type)
+        term = self._parse_term(allow_var=False)
+        if not isinstance(term, IRI):
+            raise self._stream.error("path element must be an IRI")
+        return PathLink(term)
+
+    def _parse_negated_property_set(self) -> Path:
+        from repro.sparql.ast import PathNegated
+
+        iris: List[IRI] = []
+        if self._stream.accept(T.PUNCT, "("):
+            while True:
+                iris.append(self._parse_negated_member())
+                if not self._stream.accept(T.PUNCT, "|"):
+                    break
+            self._stream.expect(T.PUNCT, ")")
+        else:
+            iris.append(self._parse_negated_member())
+        return PathNegated(tuple(iris))
+
+    def _parse_negated_member(self) -> IRI:
+        if self._stream.peek().value == "^":
+            raise self._stream.error(
+                "inverse members in negated property sets are not supported"
+            )
+        if self._stream.accept(T.KEYWORD, "A"):
+            return RDF.type
+        term = self._parse_term(allow_var=False)
+        if not isinstance(term, IRI):
+            raise self._stream.error("negated property set needs IRIs")
+        return term
+
+    # ------------------------------------------------------------------
+    # Terms
+    # ------------------------------------------------------------------
+
+    def _parse_var_or_iri(self) -> TermOrVar:
+        token = self._stream.peek()
+        if token.kind == T.VAR:
+            self._stream.next()
+            return token.value
+        term = self._parse_term(allow_var=False)
+        if not isinstance(term, IRI):
+            raise self._stream.error("expected a variable or an IRI")
+        return term
+
+    def _parse_term(self, allow_var: bool) -> TermOrVar:
+        token = self._stream.peek()
+        if token.kind == T.VAR:
+            if not allow_var:
+                raise self._stream.error("variable not allowed here")
+            self._stream.next()
+            return token.value
+        if token.kind == T.IRIREF:
+            self._stream.next()
+            return IRI(self._resolve_iri(token.value))
+        if token.kind == T.PNAME:
+            self._stream.next()
+            return self._expand_pname(token)
+        if token.kind == T.BLANK:
+            self._stream.next()
+            # Blank nodes in patterns behave as non-projectable variables.
+            return f"_:{token.value}"
+        if token.kind == T.PUNCT and token.value == "[":
+            self._stream.next()
+            self._stream.expect(T.PUNCT, "]")
+            self._blank_counter += 1
+            return f"_:anon{self._blank_counter}"
+        if token.kind == T.STRING:
+            self._stream.next()
+            lang = self._stream.accept(T.LANGTAG)
+            if lang is not None:
+                return Literal(token.value, language=lang.value)
+            if self._stream.accept(T.PUNCT, "^^"):
+                datatype = self._parse_term(allow_var=False)
+                if not isinstance(datatype, IRI):
+                    raise self._stream.error("datatype must be an IRI")
+                return Literal(token.value, datatype=datatype)
+            return Literal(token.value)
+        if token.kind == T.NUMBER:
+            self._stream.next()
+            return _number_literal(token.value)
+        if (
+            token.kind == T.PUNCT
+            and token.value in ("-", "+")
+            and self._stream.peek(1).kind == T.NUMBER
+        ):
+            # Signed numeric literal in a term position (?x :score -5).
+            sign = self._stream.next().value
+            number = self._stream.next().value
+            return _number_literal(number if sign == "+" else sign + number)
+        if token.kind == T.KEYWORD and token.value in ("TRUE", "FALSE"):
+            self._stream.next()
+            return Literal(token.value.lower(), datatype=XSD.boolean)
+        raise self._stream.error(f"expected an RDF term, found {token.value!r}")
+
+    def _expand_pname(self, token: T.Token) -> IRI:
+        prefix, _, local = token.value.partition(":")
+        namespace = self._prefixes.get(prefix)
+        if namespace is None:
+            raise ParseError(
+                f"undeclared prefix {prefix!r}", token.line, token.column
+            )
+        return IRI(namespace + local)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        operands = [self._parse_and()]
+        while self._stream.accept(T.PUNCT, "||"):
+            operands.append(self._parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return OrExpr(tuple(operands))
+
+    def _parse_and(self) -> Expression:
+        operands = [self._parse_relational()]
+        while self._stream.accept(T.PUNCT, "&&"):
+            operands.append(self._parse_relational())
+        if len(operands) == 1:
+            return operands[0]
+        return AndExpr(tuple(operands))
+
+    def _parse_relational(self) -> Expression:
+        left = self._parse_additive()
+        token = self._stream.peek()
+        if token.kind == T.PUNCT and token.value in ("=", "!=", "<", ">", "<=", ">="):
+            self._stream.next()
+            right = self._parse_additive()
+            return CompareExpr(token.value, left, right)
+        if token.kind == T.KEYWORD and token.value == "IN":
+            self._stream.next()
+            return InExpr(left, self._parse_expression_list(), negated=False)
+        if (
+            token.kind == T.KEYWORD
+            and token.value == "NOT"
+            and self._stream.peek(1).value == "IN"
+        ):
+            self._stream.next()
+            self._stream.next()
+            return InExpr(left, self._parse_expression_list(), negated=True)
+        return left
+
+    def _parse_expression_list(self) -> Tuple[Expression, ...]:
+        self._stream.expect(T.PUNCT, "(")
+        options: List[Expression] = []
+        if not self._stream.accept(T.PUNCT, ")"):
+            options.append(self._parse_expression())
+            while self._stream.accept(T.PUNCT, ","):
+                options.append(self._parse_expression())
+            self._stream.expect(T.PUNCT, ")")
+        return tuple(options)
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_multiplicative()
+        while True:
+            token = self._stream.peek()
+            if token.kind == T.PUNCT and token.value in ("+", "-"):
+                self._stream.next()
+                right = self._parse_multiplicative()
+                left = ArithmeticExpr(token.value, left, right)
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> Expression:
+        left = self._parse_unary()
+        while True:
+            token = self._stream.peek()
+            if token.kind == T.PUNCT and token.value in ("*", "/"):
+                self._stream.next()
+                right = self._parse_unary()
+                left = ArithmeticExpr(token.value, left, right)
+            else:
+                return left
+
+    def _parse_unary(self) -> Expression:
+        token = self._stream.peek()
+        if token.kind == T.PUNCT and token.value == "!":
+            self._stream.next()
+            return NotExpr(self._parse_unary())
+        if token.kind == T.PUNCT and token.value == "-":
+            self._stream.next()
+            return NegExpr(self._parse_unary())
+        if token.kind == T.PUNCT and token.value == "+":
+            self._stream.next()
+            return self._parse_unary()
+        return self._parse_primary_expression()
+
+    def _parse_primary_expression(self) -> Expression:
+        token = self._stream.peek()
+        if token.kind == T.PUNCT and token.value == "(":
+            return self._parse_bracketted_expression()
+        if token.kind == T.VAR:
+            self._stream.next()
+            return VarExpr(token.value)
+        if token.kind == T.KEYWORD:
+            if token.value in _AGGREGATES:
+                return self._parse_aggregate()
+            if token.value == "EXISTS":
+                self._stream.next()
+                return ExistsExpr(self._parse_group(), negated=False)
+            if token.value == "NOT" and self._stream.peek(1).value == "EXISTS":
+                self._stream.next()
+                self._stream.next()
+                return ExistsExpr(self._parse_group(), negated=True)
+            if token.value in T._FUNCTIONS:
+                return self._parse_function_call()
+            if token.value in ("TRUE", "FALSE"):
+                self._stream.next()
+                return TermExpr(Literal(token.value.lower(), datatype=XSD.boolean))
+        term = self._parse_term(allow_var=False)
+        if isinstance(term, Term):
+            return TermExpr(term)
+        raise self._stream.error("expected an expression")
+
+    def _parse_function_call(self) -> Expression:
+        name = self._stream.next().value
+        self._stream.expect(T.PUNCT, "(")
+        args: List[Expression] = []
+        if not self._stream.accept(T.PUNCT, ")"):
+            args.append(self._parse_expression())
+            while self._stream.accept(T.PUNCT, ","):
+                args.append(self._parse_expression())
+            self._stream.expect(T.PUNCT, ")")
+        return FunctionExpr(name, tuple(args))
+
+    def _parse_aggregate(self) -> AggregateExpr:
+        name = self._stream.next().value
+        self._stream.expect(T.PUNCT, "(")
+        distinct = bool(self._stream.accept(T.KEYWORD, "DISTINCT"))
+        if name == "COUNT" and self._stream.accept(T.PUNCT, "*"):
+            self._stream.expect(T.PUNCT, ")")
+            return AggregateExpr("COUNT", argument=None, distinct=distinct)
+        argument = self._parse_expression()
+        separator = " "
+        if name == "GROUP_CONCAT" and self._stream.accept(T.PUNCT, ";"):
+            self._stream.expect(T.KEYWORD, "SEPARATOR")
+            self._stream.expect(T.PUNCT, "=")
+            separator = self._stream.expect(T.STRING).value
+        self._stream.expect(T.PUNCT, ")")
+        return AggregateExpr(name, argument=argument, distinct=distinct,
+                             separator=separator)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def _parse_update_operation(self) -> Update:
+        token = self._stream.peek()
+        if token.kind != T.KEYWORD:
+            raise self._stream.error("expected an update operation")
+        if token.value == "INSERT" and self._stream.peek(1).value == "DATA":
+            self._stream.next()
+            self._stream.next()
+            return InsertDataUpdate(self._parse_quad_data(ground=True))
+        if token.value == "DELETE" and self._stream.peek(1).value == "DATA":
+            self._stream.next()
+            self._stream.next()
+            return DeleteDataUpdate(self._parse_quad_data(ground=True))
+        if token.value == "CLEAR":
+            self._stream.next()
+            self._stream.accept(T.KEYWORD, "SILENT")
+            if self._stream.accept(T.KEYWORD, "ALL") or self._stream.accept(
+                T.KEYWORD, "DEFAULT"
+            ):
+                return ClearUpdate(graph=None)
+            self._stream.expect(T.KEYWORD, "GRAPH")
+            graph = self._parse_term(allow_var=False)
+            if not isinstance(graph, IRI):
+                raise self._stream.error("CLEAR GRAPH needs an IRI")
+            return ClearUpdate(graph=graph)
+        if token.value in ("DELETE", "INSERT", "WITH"):
+            with_graph: Optional[Term] = None
+            if self._stream.accept(T.KEYWORD, "WITH"):
+                graph_term = self._parse_term(allow_var=False)
+                if not isinstance(graph_term, IRI):
+                    raise self._stream.error("WITH needs an IRI")
+                with_graph = graph_term
+            delete_templates: Tuple[QuadPattern, ...] = ()
+            insert_templates: Tuple[QuadPattern, ...] = ()
+            if self._stream.accept(T.KEYWORD, "DELETE"):
+                if self._stream.accept(T.KEYWORD, "WHERE"):
+                    # DELETE WHERE { ... }: the pattern doubles as template.
+                    templates = self._parse_quad_data(ground=False)
+                    where = GroupPattern(
+                        tuple(
+                            TriplePattern(q.subject, q.predicate, q.object)
+                            if q.graph is None
+                            else GraphGraphPattern(
+                                q.graph,
+                                GroupPattern(
+                                    (TriplePattern(q.subject, q.predicate, q.object),)
+                                ),
+                            )
+                            for q in templates
+                        )
+                    )
+                    return ModifyUpdate(
+                        delete_templates=_with_graph(templates, with_graph),
+                        insert_templates=(),
+                        where=where,
+                    )
+                delete_templates = self._parse_quad_data(ground=False)
+            if self._stream.accept(T.KEYWORD, "INSERT"):
+                insert_templates = self._parse_quad_data(ground=False)
+            self._stream.expect(T.KEYWORD, "WHERE")
+            where = self._parse_group()
+            return ModifyUpdate(
+                delete_templates=_with_graph(delete_templates, with_graph),
+                insert_templates=_with_graph(insert_templates, with_graph),
+                where=where,
+            )
+        raise self._stream.error(f"unsupported update operation {token.value}")
+
+    def _parse_quad_data(self, ground: bool) -> Tuple[QuadPattern, ...]:
+        self._stream.expect(T.PUNCT, "{")
+        quads: List[QuadPattern] = []
+        while not self._stream.accept(T.PUNCT, "}"):
+            if self._stream.accept(T.KEYWORD, "GRAPH"):
+                graph = self._parse_var_or_iri()
+                self._stream.expect(T.PUNCT, "{")
+                while not self._stream.accept(T.PUNCT, "}"):
+                    for pattern in self._parse_triples_same_subject(allow_paths=False):
+                        quads.append(
+                            QuadPattern(
+                                pattern.subject, pattern.predicate, pattern.object,
+                                graph,
+                            )
+                        )
+                    if not self._stream.accept(T.PUNCT, "."):
+                        self._stream.expect(T.PUNCT, "}")
+                        break
+                self._stream.accept(T.PUNCT, ".")
+                continue
+            for pattern in self._parse_triples_same_subject(allow_paths=False):
+                quads.append(
+                    QuadPattern(pattern.subject, pattern.predicate, pattern.object)
+                )
+            if not self._stream.accept(T.PUNCT, "."):
+                self._stream.expect(T.PUNCT, "}")
+                break
+        if ground:
+            for quad in quads:
+                for part in (quad.subject, quad.predicate, quad.object, quad.graph):
+                    if isinstance(part, str):
+                        raise self._stream.error(
+                            "INSERT/DELETE DATA requires ground terms"
+                        )
+        return tuple(quads)
+
+
+def _with_graph(
+    templates: Tuple[QuadPattern, ...], graph: Optional[Term]
+) -> Tuple[QuadPattern, ...]:
+    if graph is None:
+        return templates
+    return tuple(
+        QuadPattern(t.subject, t.predicate, t.object, t.graph or graph)
+        for t in templates
+    )
+
+
+def _number_literal(text: str) -> Literal:
+    if "e" in text or "E" in text:
+        return Literal(text, datatype=XSD.double)
+    if "." in text:
+        return Literal(text, datatype=XSD.decimal)
+    return Literal(text, datatype=XSD.integer)

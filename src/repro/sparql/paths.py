@@ -1,0 +1,287 @@
+"""Property-path evaluation.
+
+Implements SPARQL 1.1 property paths over the ID-encoded store:
+
+* ``iri`` — a single link,
+* ``^path`` — inverse,
+* ``path/path`` — sequence (join semantics, multiplicity preserved),
+* ``path|path`` — alternative (bag union),
+* ``path*``, ``path+``, ``path?`` — repetition with *set* semantics
+  (no duplicate results), per the W3C "simple paths" amendment.
+
+Sequences and alternatives preserve multiplicity because the standard
+translates them to joins/unions; EQ11's path counts (which exceed the
+node count by orders of magnitude) depend on this.  Evaluation from a
+bound endpoint propagates a node->multiplicity frontier instead of
+materializing each path, which is what keeps the paper's 5-hop query
+(257 million paths) feasible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from repro.sparql.ast import (
+    Path,
+    PathAlternative,
+    PathInverse,
+    PathLink,
+    PathNegated,
+    PathRepeat,
+    PathSequence,
+)
+from repro.sparql.errors import EvaluationError
+
+GraphId = Optional[int]  # None = union default graph
+
+
+class PathEvaluator:
+    """Evaluates paths against one model (or virtual model)."""
+
+    def __init__(self, model, encode_term):
+        self._model = model
+        self._encode = encode_term
+
+    # ------------------------------------------------------------------
+    # Link-level scans
+    # ------------------------------------------------------------------
+
+    def _link_id(self, path: PathLink) -> Optional[int]:
+        return self._encode(path.iri)
+
+    def _negated_ids(self, path: PathNegated) -> frozenset:
+        """IDs of the excluded predicates (unknown IRIs exclude nothing)."""
+        return frozenset(
+            encoded
+            for encoded in (self._encode(iri) for iri in path.iris)
+            if encoded is not None
+        )
+
+    def _scan(
+        self,
+        subject: Optional[int],
+        predicate: Optional[int],
+        obj: Optional[int],
+        graph: GraphId,
+    ) -> Iterator[Tuple[int, int, int, int]]:
+        return self._model.scan((subject, predicate, obj, graph))
+
+    # ------------------------------------------------------------------
+    # Forward evaluation with a frontier of (node -> multiplicity)
+    # ------------------------------------------------------------------
+
+    def ends_from(
+        self, path: Path, starts: Dict[int, int], graph: GraphId
+    ) -> Dict[int, int]:
+        """All path ends reachable from ``starts``, with multiplicities."""
+        if isinstance(path, PathLink):
+            predicate = self._link_id(path)
+            if predicate is None:
+                return {}
+            ends: Dict[int, int] = {}
+            for start, mult in starts.items():
+                for _, _, obj, _ in self._scan(start, predicate, None, graph):
+                    ends[obj] = ends.get(obj, 0) + mult
+            return ends
+        if isinstance(path, PathInverse):
+            return self.starts_to(path.inner, starts, graph)
+        if isinstance(path, PathSequence):
+            frontier = starts
+            for step in path.steps:
+                frontier = self.ends_from(step, frontier, graph)
+                if not frontier:
+                    return {}
+            return frontier
+        if isinstance(path, PathAlternative):
+            combined: Dict[int, int] = {}
+            for option in path.options:
+                for node, mult in self.ends_from(option, starts, graph).items():
+                    combined[node] = combined.get(node, 0) + mult
+            return combined
+        if isinstance(path, PathRepeat):
+            reached: Dict[int, int] = {}
+            for start in starts:
+                for node in self._repeat_reachable(path, start, graph, forward=True):
+                    # Set semantics: multiplicity 1 per (start, end) pair,
+                    # scaled by the start's incoming multiplicity.
+                    reached[node] = reached.get(node, 0) + starts[start]
+            return reached
+        if isinstance(path, PathNegated):
+            excluded = self._negated_ids(path)
+            ends = {}
+            for start, mult in starts.items():
+                for _, p, obj, _ in self._scan(start, None, None, graph):
+                    if p not in excluded:
+                        ends[obj] = ends.get(obj, 0) + mult
+            return ends
+        raise EvaluationError(f"unsupported path {path!r}")
+
+    def starts_to(
+        self, path: Path, ends: Dict[int, int], graph: GraphId
+    ) -> Dict[int, int]:
+        """Mirror of :meth:`ends_from`, walking the path backwards."""
+        if isinstance(path, PathLink):
+            predicate = self._link_id(path)
+            if predicate is None:
+                return {}
+            starts: Dict[int, int] = {}
+            for end, mult in ends.items():
+                for subject, _, _, _ in self._scan(None, predicate, end, graph):
+                    starts[subject] = starts.get(subject, 0) + mult
+            return starts
+        if isinstance(path, PathInverse):
+            return self.ends_from(path.inner, ends, graph)
+        if isinstance(path, PathSequence):
+            frontier = ends
+            for step in reversed(path.steps):
+                frontier = self.starts_to(step, frontier, graph)
+                if not frontier:
+                    return {}
+            return frontier
+        if isinstance(path, PathAlternative):
+            combined: Dict[int, int] = {}
+            for option in path.options:
+                for node, mult in self.starts_to(option, ends, graph).items():
+                    combined[node] = combined.get(node, 0) + mult
+            return combined
+        if isinstance(path, PathRepeat):
+            reached: Dict[int, int] = {}
+            for end in ends:
+                for node in self._repeat_reachable(path, end, graph, forward=False):
+                    reached[node] = reached.get(node, 0) + ends[end]
+            return reached
+        if isinstance(path, PathNegated):
+            excluded = self._negated_ids(path)
+            starts = {}
+            for end, mult in ends.items():
+                for subject, p, _, _ in self._scan(None, None, end, graph):
+                    if p not in excluded:
+                        starts[subject] = starts.get(subject, 0) + mult
+            return starts
+        raise EvaluationError(f"unsupported path {path!r}")
+
+    # ------------------------------------------------------------------
+    # All-pairs evaluation
+    # ------------------------------------------------------------------
+
+    def pairs(self, path: Path, graph: GraphId) -> Iterator[Tuple[int, int, int]]:
+        """All (start, end, multiplicity) tuples of the path."""
+        if isinstance(path, PathLink):
+            predicate = self._link_id(path)
+            if predicate is None:
+                return
+            for subject, _, obj, _ in self._scan(None, predicate, None, graph):
+                yield subject, obj, 1
+            return
+        if isinstance(path, PathInverse):
+            for start, end, mult in self.pairs(path.inner, graph):
+                yield end, start, mult
+            return
+        if isinstance(path, PathSequence):
+            first, rest = path.steps[0], path.steps[1:]
+            # Group the first step by start node, then push a frontier
+            # through the remaining steps.
+            by_start: Dict[int, Dict[int, int]] = {}
+            for start, end, mult in self.pairs(first, graph):
+                bucket = by_start.setdefault(start, {})
+                bucket[end] = bucket.get(end, 0) + mult
+            tail = PathSequence(rest) if len(rest) > 1 else rest[0]
+            for start, frontier in by_start.items():
+                for end, mult in self.ends_from(tail, frontier, graph).items():
+                    yield start, end, mult
+            return
+        if isinstance(path, PathAlternative):
+            for option in path.options:
+                yield from self.pairs(option, graph)
+            return
+        if isinstance(path, PathRepeat):
+            for start in self._repeat_domain(path, graph):
+                for end in self._repeat_reachable(path, start, graph, forward=True):
+                    yield start, end, 1
+            return
+        if isinstance(path, PathNegated):
+            excluded = self._negated_ids(path)
+            for subject, p, obj, _ in self._scan(None, None, None, graph):
+                if p not in excluded:
+                    yield subject, obj, 1
+            return
+        raise EvaluationError(f"unsupported path {path!r}")
+
+    # ------------------------------------------------------------------
+    # Repetition (set semantics)
+    # ------------------------------------------------------------------
+
+    def _step_once(
+        self, path: Path, node: int, graph: GraphId, forward: bool
+    ) -> Set[int]:
+        frontier = {node: 1}
+        if forward:
+            return set(self.ends_from(path, frontier, graph))
+        return set(self.starts_to(path, frontier, graph))
+
+    def _repeat_reachable(
+        self, path: PathRepeat, start: int, graph: GraphId, forward: bool
+    ) -> Set[int]:
+        inner = path.inner
+        if not path.unbounded:  # ZeroOrOne
+            result = self._step_once(inner, start, graph, forward)
+            result.add(start)
+            return result
+        if path.minimum == 0:  # ZeroOrMore: closure seeded with the start
+            return self._closure({start}, inner, graph, forward)
+        # OneOrMore: closure seeded with the one-step neighbours, so the
+        # start itself is included only when it lies on a cycle.
+        first = self._step_once(inner, start, graph, forward)
+        return self._closure(first, inner, graph, forward)
+
+    def _closure(
+        self, seeds: Set[int], inner: Path, graph: GraphId, forward: bool
+    ) -> Set[int]:
+        visited = set(seeds)
+        frontier = set(seeds)
+        while frontier:
+            next_frontier: Set[int] = set()
+            for node in frontier:
+                for neighbor in self._step_once(inner, node, graph, forward):
+                    if neighbor not in visited:
+                        visited.add(neighbor)
+                        next_frontier.add(neighbor)
+            frontier = next_frontier
+        return visited
+
+    def _repeat_domain(self, path: PathRepeat, graph: GraphId) -> Set[int]:
+        """Candidate start nodes for an all-pairs repetition.
+
+        Zero-length paths can start at any node occurring in the graph;
+        we approximate the spec by using all subjects and objects of the
+        inner path's links, which is what practical engines do.
+        """
+        nodes: Set[int] = set()
+        for predicate in _link_ids(path.inner, self._encode):
+            if predicate is None:
+                continue
+            for subject, _, obj, _ in self._scan(None, predicate, None, graph):
+                nodes.add(subject)
+                nodes.add(obj)
+        return nodes
+
+
+def _link_ids(path: Path, encode) -> Set[Optional[int]]:
+    if isinstance(path, PathLink):
+        return {encode(path.iri)}
+    if isinstance(path, PathInverse):
+        return _link_ids(path.inner, encode)
+    if isinstance(path, (PathSequence, PathAlternative)):
+        parts = path.steps if isinstance(path, PathSequence) else path.options
+        found: Set[Optional[int]] = set()
+        for part in parts:
+            found |= _link_ids(part, encode)
+        return found
+    if isinstance(path, PathRepeat):
+        return _link_ids(path.inner, encode)
+    if isinstance(path, PathNegated):
+        # The repeat domain for a negated set is any node: approximated
+        # by every subject/object in the graph (handled by callers
+        # scanning with predicate None), so no fixed link ids exist.
+        return {None}
+    raise EvaluationError(f"unsupported path {path!r}")

@@ -1,0 +1,301 @@
+"""Relations: the evaluator's internal solution-sequence representation.
+
+A :class:`Relation` is a bag of solution mappings over a fixed variable
+list: each row is a tuple of term IDs (``None`` for unbound), and an
+optional parallel multiplicity vector records how many identical
+solutions a row stands for.  Multiplicities let the engine answer the
+paper's path-counting queries (EQ11a-e, hundreds of millions of paths)
+without materializing one row per path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+Row = Tuple[Optional[int], ...]
+
+
+class Relation:
+    """A bag of solutions: variables, rows and (optional) multiplicities."""
+
+    __slots__ = ("variables", "rows", "mults")
+
+    def __init__(
+        self,
+        variables: Sequence[str],
+        rows: List[Row],
+        mults: Optional[List[int]] = None,
+    ):
+        self.variables: Tuple[str, ...] = tuple(variables)
+        self.rows = rows
+        self.mults = mults  # None means "all 1"
+        if mults is not None and len(mults) != len(rows):
+            raise ValueError("multiplicity vector length mismatch")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def unit() -> "Relation":
+        """The join identity: one empty solution."""
+        return Relation((), [()])
+
+    @staticmethod
+    def empty(variables: Sequence[str] = ()) -> "Relation":
+        return Relation(variables, [])
+
+    # ------------------------------------------------------------------
+    # Basics
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def cardinality(self) -> int:
+        """Total solution count including multiplicities."""
+        if self.mults is None:
+            return len(self.rows)
+        return sum(self.mults)
+
+    def mult(self, index: int) -> int:
+        return 1 if self.mults is None else self.mults[index]
+
+    def index_of(self, variable: str) -> int:
+        return self.variables.index(variable)
+
+    def column(self, variable: str) -> List[Optional[int]]:
+        index = self.index_of(variable)
+        return [row[index] for row in self.rows]
+
+    def iter_with_mult(self) -> Iterable[Tuple[Row, int]]:
+        if self.mults is None:
+            for row in self.rows:
+                yield row, 1
+        else:
+            yield from zip(self.rows, self.mults)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def project(self, variables: Sequence[str]) -> "Relation":
+        """Keep only ``variables`` (missing ones become unbound columns)."""
+        positions = [
+            self.variables.index(v) if v in self.variables else None
+            for v in variables
+        ]
+        rows = [
+            tuple(row[p] if p is not None else None for p in positions)
+            for row in self.rows
+        ]
+        return Relation(variables, rows, list(self.mults) if self.mults else None)
+
+    def distinct(self) -> "Relation":
+        """Collapse duplicate rows (drops multiplicities)."""
+        seen = set()
+        rows: List[Row] = []
+        for row in self.rows:
+            if row not in seen:
+                seen.add(row)
+                rows.append(row)
+        return Relation(self.variables, rows)
+
+    def compact(self) -> "Relation":
+        """Merge duplicate rows into multiplicities."""
+        counts: Dict[Row, int] = {}
+        for row, mult in self.iter_with_mult():
+            counts[row] = counts.get(row, 0) + mult
+        rows = list(counts.keys())
+        mults = [counts[row] for row in rows]
+        if all(m == 1 for m in mults):
+            return Relation(self.variables, rows)
+        return Relation(self.variables, rows, mults)
+
+    def extended(self, variable: str, values: List[Optional[int]]) -> "Relation":
+        """Append a new column (used by BIND)."""
+        if variable in self.variables:
+            raise ValueError(f"variable ?{variable} already bound")
+        rows = [row + (value,) for row, value in zip(self.rows, values)]
+        return Relation(
+            self.variables + (variable,),
+            rows,
+            list(self.mults) if self.mults else None,
+        )
+
+
+def join(left: Relation, right: Relation) -> Relation:
+    """Hash join on shared variables (SPARQL compatible-mapping join).
+
+    Unbound (``None``) values are compatible with anything, per the
+    SPARQL definition; rows with unbound join keys are handled by the
+    slow path.  Multiplicities multiply.
+    """
+    shared = [v for v in left.variables if v in right.variables]
+    out_vars = left.variables + tuple(
+        v for v in right.variables if v not in left.variables
+    )
+    right_extra = [
+        i for i, v in enumerate(right.variables) if v not in left.variables
+    ]
+    if not shared:
+        rows: List[Row] = []
+        mults: List[int] = []
+        for lrow, lmult in left.iter_with_mult():
+            for rrow, rmult in right.iter_with_mult():
+                rows.append(lrow + tuple(rrow[i] for i in right_extra))
+                mults.append(lmult * rmult)
+        return _build(out_vars, rows, mults)
+
+    left_pos = [left.variables.index(v) for v in shared]
+    right_pos = [right.variables.index(v) for v in shared]
+
+    # Partition the right side: rows fully bound on the join key go in a
+    # hash table; rows with unbound key values need compatibility checks.
+    table: Dict[Row, List[Tuple[Row, int]]] = {}
+    loose: List[Tuple[Row, int]] = []
+    for rrow, rmult in right.iter_with_mult():
+        key = tuple(rrow[i] for i in right_pos)
+        if None in key:
+            loose.append((rrow, rmult))
+        else:
+            table.setdefault(key, []).append((rrow, rmult))
+
+    rows = []
+    mults = []
+    for lrow, lmult in left.iter_with_mult():
+        key = tuple(lrow[i] for i in left_pos)
+        if None not in key:
+            for rrow, rmult in table.get(key, ()):
+                rows.append(lrow + tuple(rrow[i] for i in right_extra))
+                mults.append(lmult * rmult)
+            for rrow, rmult in loose:
+                merged = _merge_compatible(lrow, rrow, left_pos, right_pos, right_extra)
+                if merged is not None:
+                    rows.append(merged)
+                    mults.append(lmult * rmult)
+        else:
+            for rrow, rmult in right.iter_with_mult():
+                merged = _merge_compatible(lrow, rrow, left_pos, right_pos, right_extra)
+                if merged is not None:
+                    rows.append(merged)
+                    mults.append(lmult * rmult)
+    return _build(out_vars, rows, mults)
+
+
+def left_join(left: Relation, right: Relation) -> Relation:
+    """SPARQL OPTIONAL: keep left rows with no compatible right row."""
+    shared = [v for v in left.variables if v in right.variables]
+    out_vars = left.variables + tuple(
+        v for v in right.variables if v not in left.variables
+    )
+    right_extra = [
+        i for i, v in enumerate(right.variables) if v not in left.variables
+    ]
+    left_pos = [left.variables.index(v) for v in shared]
+    right_pos = [right.variables.index(v) for v in shared]
+    padding = (None,) * len(right_extra)
+
+    table: Dict[Row, List[Tuple[Row, int]]] = {}
+    loose: List[Tuple[Row, int]] = []
+    for rrow, rmult in right.iter_with_mult():
+        key = tuple(rrow[i] for i in right_pos)
+        if None in key:
+            loose.append((rrow, rmult))
+        else:
+            table.setdefault(key, []).append((rrow, rmult))
+
+    rows: List[Row] = []
+    mults: List[int] = []
+    for lrow, lmult in left.iter_with_mult():
+        key = tuple(lrow[i] for i in left_pos)
+        matched = False
+        if shared and None not in key:
+            candidates = list(table.get(key, ())) + loose
+        else:
+            candidates = list(right.iter_with_mult())
+        for rrow, rmult in candidates:
+            merged = _merge_compatible(lrow, rrow, left_pos, right_pos, right_extra)
+            if merged is not None:
+                rows.append(merged)
+                mults.append(lmult * rmult)
+                matched = True
+        if not matched:
+            rows.append(lrow + padding)
+            mults.append(lmult)
+    return _build(out_vars, rows, mults)
+
+
+def minus(left: Relation, right: Relation) -> Relation:
+    """SPARQL MINUS: remove left rows compatible with some right row
+    (sharing at least one bound variable)."""
+    shared = [v for v in left.variables if v in right.variables]
+    if not shared:
+        return left
+    left_pos = [left.variables.index(v) for v in shared]
+    right_pos = [right.variables.index(v) for v in shared]
+    right_keys = set()
+    for rrow, _ in right.iter_with_mult():
+        right_keys.add(tuple(rrow[i] for i in right_pos))
+    rows = []
+    mults = []
+    for lrow, lmult in left.iter_with_mult():
+        key = tuple(lrow[i] for i in left_pos)
+        if None in key:
+            compatible = any(
+                all(a is None or b is None or a == b for a, b in zip(key, rkey))
+                and any(a is not None and b is not None for a, b in zip(key, rkey))
+                for rkey in right_keys
+            )
+        else:
+            compatible = key in right_keys
+        if not compatible:
+            rows.append(lrow)
+            mults.append(lmult)
+    return _build(left.variables, rows, mults)
+
+
+def union(relations: Sequence[Relation]) -> Relation:
+    """Bag union, aligning variables by name."""
+    all_vars: List[str] = []
+    for relation in relations:
+        for variable in relation.variables:
+            if variable not in all_vars:
+                all_vars.append(variable)
+    rows: List[Row] = []
+    mults: List[int] = []
+    for relation in relations:
+        positions = [
+            relation.variables.index(v) if v in relation.variables else None
+            for v in all_vars
+        ]
+        for row, mult in relation.iter_with_mult():
+            rows.append(tuple(row[p] if p is not None else None for p in positions))
+            mults.append(mult)
+    return _build(tuple(all_vars), rows, mults)
+
+
+def _merge_compatible(
+    lrow: Row,
+    rrow: Row,
+    left_pos: List[int],
+    right_pos: List[int],
+    right_extra: List[int],
+) -> Optional[Row]:
+    for lp, rp in zip(left_pos, right_pos):
+        lval, rval = lrow[lp], rrow[rp]
+        if lval is not None and rval is not None and lval != rval:
+            return None
+    # Fill left Nones from the right where possible.
+    merged = list(lrow)
+    for lp, rp in zip(left_pos, right_pos):
+        if merged[lp] is None:
+            merged[lp] = rrow[rp]
+    return tuple(merged) + tuple(rrow[i] for i in right_extra)
+
+
+def _build(variables: Sequence[str], rows: List[Row], mults: List[int]) -> Relation:
+    if all(m == 1 for m in mults):
+        return Relation(variables, rows)
+    return Relation(variables, rows, mults)

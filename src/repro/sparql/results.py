@@ -1,0 +1,65 @@
+"""Query result containers."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.rdf.terms import Term
+
+
+class SelectResult:
+    """The solution sequence of a SELECT query, with decoded terms.
+
+    Iterating yields ``{variable: Term-or-None}`` dicts; ``rows`` holds
+    the raw tuples in projection order.
+    """
+
+    __slots__ = ("variables", "rows")
+
+    def __init__(
+        self,
+        variables: Sequence[str],
+        rows: List[Tuple[Optional[Term], ...]],
+    ):
+        self.variables: Tuple[str, ...] = tuple(variables)
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Dict[str, Optional[Term]]]:
+        for row in self.rows:
+            yield dict(zip(self.variables, row))
+
+    def __getitem__(self, index: int) -> Dict[str, Optional[Term]]:
+        return dict(zip(self.variables, self.rows[index]))
+
+    def column(self, variable: str) -> List[Optional[Term]]:
+        index = self.variables.index(variable)
+        return [row[index] for row in self.rows]
+
+    def scalar(self) -> Optional[Term]:
+        """The single value of a one-row, one-column result."""
+        if len(self.rows) != 1 or len(self.variables) != 1:
+            raise ValueError(
+                f"scalar() needs exactly one row and one column, have "
+                f"{len(self.rows)} row(s) x {len(self.variables)} column(s)"
+            )
+        return self.rows[0][0]
+
+    def python_rows(self) -> List[Tuple]:
+        """Rows with literals converted to native Python values."""
+        from repro.rdf.terms import Literal
+
+        converted = []
+        for row in self.rows:
+            converted.append(
+                tuple(
+                    term.to_python() if isinstance(term, Literal) else term
+                    for term in row
+                )
+            )
+        return converted
+
+    def __repr__(self) -> str:
+        return f"SelectResult(variables={self.variables}, rows={len(self.rows)})"

@@ -1,0 +1,69 @@
+"""SPARQL query result serializers.
+
+Implements the W3C SPARQL 1.1 Query Results JSON Format and the CSV
+results format, so query answers can leave the library in standard
+shapes (the paper's "publish as linked data" motivation).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict
+
+from repro.rdf.terms import BlankNode, IRI, Literal, XSD_STRING
+from repro.sparql.results import SelectResult
+
+
+def _json_term(term) -> Dict[str, str]:
+    if isinstance(term, IRI):
+        return {"type": "uri", "value": term.value}
+    if isinstance(term, BlankNode):
+        return {"type": "bnode", "value": term.label}
+    if isinstance(term, Literal):
+        encoded: Dict[str, str] = {"type": "literal", "value": term.lexical}
+        if term.language is not None:
+            encoded["xml:lang"] = term.language
+        elif term.datatype is not None and term.datatype.value != XSD_STRING:
+            encoded["datatype"] = term.datatype.value
+        return encoded
+    raise TypeError(f"cannot serialize {term!r}")
+
+
+def to_json(result: SelectResult, indent: int = None) -> str:
+    """SPARQL 1.1 Query Results JSON Format."""
+    bindings = []
+    for row in result.rows:
+        binding = {
+            variable: _json_term(term)
+            for variable, term in zip(result.variables, row)
+            if term is not None
+        }
+        bindings.append(binding)
+    document = {
+        "head": {"vars": list(result.variables)},
+        "results": {"bindings": bindings},
+    }
+    return json.dumps(document, indent=indent)
+
+
+def to_csv(result: SelectResult) -> str:
+    """SPARQL 1.1 Query Results CSV Format (values only, RFC 4180)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\r\n")
+    writer.writerow(result.variables)
+    for row in result.rows:
+        writer.writerow([
+            "" if term is None
+            else term.value if isinstance(term, IRI)
+            else f"_:{term.label}" if isinstance(term, BlankNode)
+            else term.lexical
+            for term in row
+        ])
+    return buffer.getvalue()
+
+
+def ask_to_json(answer: bool) -> str:
+    """JSON form of an ASK result."""
+    return json.dumps({"head": {}, "boolean": bool(answer)})

@@ -1,0 +1,299 @@
+"""SPARQL tokenizer.
+
+Produces a flat token stream for the recursive-descent parser.  Token
+kinds follow the SPARQL 1.1 grammar terminals we support: IRI
+references, prefixed names, variables, literals, numbers, keywords and
+punctuation.  Keywords are case-insensitive and reported upper-case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.sparql.errors import ParseError
+
+# Token kinds
+IRIREF = "IRIREF"           # <http://...>
+PNAME = "PNAME"             # prefix:local or prefix: or :local
+BLANK = "BLANK"             # _:label
+VAR = "VAR"                 # ?x or $x
+STRING = "STRING"           # "..." or '...'
+NUMBER = "NUMBER"           # integer/decimal/double
+KEYWORD = "KEYWORD"         # SELECT, WHERE, FILTER, ... and a/true/false
+LANGTAG = "LANGTAG"         # @en-us
+PUNCT = "PUNCT"             # { } ( ) . ; , = != < > <= >= etc.
+EOF = "EOF"
+
+_KEYWORDS = {
+    "SELECT", "DISTINCT", "REDUCED", "WHERE", "FILTER", "OPTIONAL", "UNION",
+    "GRAPH", "PREFIX", "BASE", "ORDER", "BY", "ASC", "DESC", "LIMIT",
+    "OFFSET", "GROUP", "HAVING", "AS", "BIND", "VALUES", "UNDEF", "ASK",
+    "CONSTRUCT", "DESCRIBE", "FROM", "NAMED", "INSERT", "DELETE", "DATA",
+    "WITH", "USING", "CLEAR", "DROP", "CREATE", "LOAD", "COPY", "MOVE",
+    "ADD", "ALL", "DEFAULT", "SILENT", "INTO", "TO", "NOT", "IN", "EXISTS",
+    "MINUS", "A", "TRUE", "FALSE",
+}
+
+# Multi-character punctuation, longest first.
+_PUNCT2 = ("<=", ">=", "!=", "&&", "||", "^^")
+_PUNCT1 = "{}()[].,;=<>!+-*/|^?&@"
+
+
+@dataclass
+class Token:
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize a SPARQL query or update string."""
+    return list(_tokenize(text))
+
+
+def _tokenize(text: str) -> Iterator[Token]:
+    pos = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+
+    def here() -> tuple:
+        return line, pos - line_start + 1
+
+    while pos < n:
+        ch = text[pos]
+        # whitespace
+        if ch in " \t\r":
+            pos += 1
+            continue
+        if ch == "\n":
+            pos += 1
+            line += 1
+            line_start = pos
+            continue
+        # comments
+        if ch == "#":
+            while pos < n and text[pos] != "\n":
+                pos += 1
+            continue
+        start_line, start_col = here()
+        # IRI reference
+        if ch == "<":
+            end = text.find(">", pos + 1)
+            candidate = text[pos + 1 : end] if end != -1 else ""
+            # Distinguish <http://x> from the < comparison operator:
+            # an IRIREF contains no whitespace.
+            if end != -1 and not any(c in candidate for c in " \t\n\""):
+                yield Token(IRIREF, candidate, start_line, start_col)
+                pos = end + 1
+                continue
+            # fall through: comparison operator
+        # variable
+        if ch in "?$":
+            end = pos + 1
+            while end < n and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            if end > pos + 1:
+                yield Token(VAR, text[pos + 1 : end], start_line, start_col)
+                pos = end
+                continue
+            # bare '?' is the ZeroOrOne path modifier
+            yield Token(PUNCT, "?", start_line, start_col)
+            pos += 1
+            continue
+        # blank node
+        if ch == "_" and text.startswith("_:", pos):
+            end = pos + 2
+            while end < n and (text[end].isalnum() or text[end] in "_-"):
+                end += 1
+            yield Token(BLANK, text[pos + 2 : end], start_line, start_col)
+            pos = end
+            continue
+        # string literal
+        if ch in "\"'":
+            quote = ch
+            if text.startswith(quote * 3, pos):
+                terminator = quote * 3
+                end = text.find(terminator, pos + 3)
+                if end == -1:
+                    raise ParseError("unterminated long string", start_line, start_col)
+                raw = text[pos + 3 : end]
+                line += raw.count("\n")
+                yield Token(STRING, _unescape(raw, start_line, start_col),
+                            start_line, start_col)
+                pos = end + 3
+                continue
+            chars: List[str] = []
+            i = pos + 1
+            while i < n:
+                c = text[i]
+                if c == "\\":
+                    if i + 1 >= n:
+                        raise ParseError("dangling escape", start_line, start_col)
+                    chars.append(text[i : i + 2])
+                    i += 2
+                elif c == quote:
+                    break
+                elif c == "\n":
+                    raise ParseError("newline in string literal", start_line, start_col)
+                else:
+                    chars.append(c)
+                    i += 1
+            else:
+                raise ParseError("unterminated string", start_line, start_col)
+            yield Token(STRING, _unescape("".join(chars), start_line, start_col),
+                        start_line, start_col)
+            pos = i + 1
+            continue
+        # language tag
+        if ch == "@":
+            end = pos + 1
+            while end < n and (text[end].isalnum() or text[end] == "-"):
+                end += 1
+            if end > pos + 1:
+                yield Token(LANGTAG, text[pos + 1 : end], start_line, start_col)
+                pos = end
+                continue
+            raise ParseError("empty language tag", start_line, start_col)
+        # number
+        if ch.isdigit() or (
+            ch in "+-." and pos + 1 < n and text[pos + 1].isdigit()
+            # '+'/'-' are also arithmetic operators; only treat as a sign
+            # when directly attached to digits (SPARQL grammar does the same
+            # at the lexical level; the parser handles unary minus itself).
+            and ch == "."
+        ) or (ch == "." and pos + 1 < n and text[pos + 1].isdigit()):
+            end = pos
+            seen_dot = False
+            seen_exp = False
+            while end < n:
+                c = text[end]
+                if c.isdigit():
+                    end += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    # Trailing '.' is a statement terminator, not a decimal
+                    # point, unless followed by a digit.
+                    if end + 1 < n and text[end + 1].isdigit():
+                        seen_dot = True
+                        end += 1
+                    else:
+                        break
+                elif c in "eE" and not seen_exp and end + 1 < n and (
+                    text[end + 1].isdigit()
+                    or (text[end + 1] in "+-" and end + 2 < n and text[end + 2].isdigit())
+                ):
+                    seen_exp = True
+                    end += 2 if text[end + 1] in "+-" else 1
+                else:
+                    break
+            yield Token(NUMBER, text[pos:end], start_line, start_col)
+            pos = end
+            continue
+        # word: keyword, prefixed name, or bare prefix
+        if ch.isalpha():
+            end = pos
+            while end < n and (text[end].isalnum() or text[end] in "_-."):
+                end += 1
+            # Don't swallow a trailing '.' terminator
+            while end > pos and text[end - 1] == ".":
+                end -= 1
+            word = text[pos:end]
+            if end < n and text[end] == ":":
+                local_end = end + 1
+                while local_end < n and (
+                    text[local_end].isalnum() or text[local_end] in "_-."
+                ):
+                    local_end += 1
+                while local_end > end + 1 and text[local_end - 1] == ".":
+                    local_end -= 1
+                yield Token(PNAME, text[pos:local_end], start_line, start_col)
+                pos = local_end
+                continue
+            upper = word.upper()
+            if upper in _KEYWORDS or _is_function_word(word):
+                yield Token(KEYWORD, upper, start_line, start_col)
+            else:
+                raise ParseError(f"unexpected word {word!r}", start_line, start_col)
+            pos = end
+            continue
+        # default-namespace prefixed name  :local
+        if ch == ":":
+            local_end = pos + 1
+            while local_end < n and (
+                text[local_end].isalnum() or text[local_end] in "_-."
+            ):
+                local_end += 1
+            while local_end > pos + 1 and text[local_end - 1] == ".":
+                local_end -= 1
+            yield Token(PNAME, text[pos:local_end], start_line, start_col)
+            pos = local_end
+            continue
+        # punctuation
+        two = text[pos : pos + 2]
+        if two in _PUNCT2:
+            yield Token(PUNCT, two, start_line, start_col)
+            pos += 2
+            continue
+        if ch in _PUNCT1:
+            yield Token(PUNCT, ch, start_line, start_col)
+            pos += 1
+            continue
+        raise ParseError(f"unexpected character {ch!r}", start_line, start_col)
+    yield Token(EOF, "", line, pos - line_start + 1)
+
+
+#: Builtin function names are tokenized as keywords so the parser can
+#: recognize calls without a symbol table.
+_FUNCTIONS = {
+    "BOUND", "ISIRI", "ISURI", "ISBLANK", "ISLITERAL", "ISNUMERIC", "STR",
+    "LANG", "DATATYPE", "IRI", "URI", "STRLEN", "UCASE", "LCASE",
+    "STRSTARTS", "STRENDS", "CONTAINS", "STRBEFORE", "STRAFTER", "CONCAT",
+    "SUBSTR", "REPLACE", "REGEX", "ABS", "ROUND", "CEIL", "FLOOR", "RAND",
+    "NOW", "IF", "COALESCE", "SAMETERM", "LANGMATCHES", "COUNT", "SUM",
+    "MIN", "MAX", "AVG", "SAMPLE", "GROUP_CONCAT", "SEPARATOR", "BNODE",
+    "STRDT", "STRLANG", "XSD",
+}
+
+
+def _is_function_word(word: str) -> bool:
+    return word.upper() in _FUNCTIONS
+
+
+_STRING_ESCAPES = {
+    "t": "\t", "b": "\b", "n": "\n", "r": "\r", "f": "\f",
+    '"': '"', "'": "'", "\\": "\\",
+}
+
+
+def _unescape(raw: str, line: int, column: int) -> str:
+    if "\\" not in raw:
+        return raw
+    out: List[str] = []
+    i = 0
+    n = len(raw)
+    while i < n:
+        ch = raw[i]
+        if ch != "\\":
+            out.append(ch)
+            i += 1
+            continue
+        if i + 1 >= n:
+            raise ParseError("dangling escape in string", line, column)
+        nxt = raw[i + 1]
+        if nxt in _STRING_ESCAPES:
+            out.append(_STRING_ESCAPES[nxt])
+            i += 2
+        elif nxt == "u":
+            out.append(chr(int(raw[i + 2 : i + 6], 16)))
+            i += 6
+        elif nxt == "U":
+            out.append(chr(int(raw[i + 2 : i + 10], 16)))
+            i += 10
+        else:
+            raise ParseError(f"invalid string escape \\{nxt}", line, column)
+    return "".join(out)

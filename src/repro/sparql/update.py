@@ -1,0 +1,143 @@
+"""SPARQL 1.1 Update execution.
+
+The paper (Section 2.1) notes that updates in the RDF model reduce to
+DELETE + INSERT of quads, and that update cost is dominated by locating
+the affected quads — i.e. by query performance.  This module implements
+INSERT DATA / DELETE DATA / DELETE-INSERT-WHERE / CLEAR against a
+semantic model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.rdf.quad import Quad
+from repro.sparql.ast import (
+    ClearUpdate,
+    DeleteDataUpdate,
+    InsertDataUpdate,
+    ModifyUpdate,
+    QuadPattern,
+    UpdateRequest,
+)
+from repro.sparql.errors import EvaluationError
+from repro.sparql.eval import Evaluator
+
+
+class UpdateExecutor:
+    """Executes update requests against one base model."""
+
+    def __init__(self, network, model_name: str, union_default_graph: bool = True):
+        self._network = network
+        self._model_name = model_name
+        self._union_default = union_default_graph
+
+    def execute(self, request: UpdateRequest) -> Dict[str, int]:
+        """Run all operations; returns counts of inserted/deleted quads."""
+        inserted = 0
+        deleted = 0
+        for operation in request.operations:
+            if isinstance(operation, InsertDataUpdate):
+                for quad in self._ground_quads(operation.quads):
+                    if self._network.insert(self._model_name, quad):
+                        inserted += 1
+            elif isinstance(operation, DeleteDataUpdate):
+                for quad in self._ground_quads(operation.quads):
+                    if self._network.delete(self._model_name, quad):
+                        deleted += 1
+            elif isinstance(operation, ModifyUpdate):
+                add, remove = self._run_modify(operation)
+                deleted += remove
+                inserted += add
+            elif isinstance(operation, ClearUpdate):
+                deleted += self._run_clear(operation)
+            else:
+                raise EvaluationError(f"unsupported update {operation!r}")
+        return {"inserted": inserted, "deleted": deleted}
+
+    def _ground_quads(self, templates: Tuple[QuadPattern, ...]) -> List[Quad]:
+        quads = []
+        for template in templates:
+            parts = (
+                template.subject, template.predicate, template.object,
+                template.graph,
+            )
+            if any(isinstance(part, str) for part in parts):
+                raise EvaluationError("DATA operations need ground quads")
+            quads.append(
+                Quad(template.subject, template.predicate, template.object,
+                     template.graph)
+            )
+        return quads
+
+    def _run_modify(self, operation: ModifyUpdate) -> Tuple[int, int]:
+        model = self._network.model(self._model_name)
+        evaluator = Evaluator(
+            self._network, model, union_default_graph=self._union_default
+        )
+        relation = evaluator.evaluate_group(
+            operation.where, None if self._union_default else 0
+        )
+        index = {v: i for i, v in enumerate(relation.variables)}
+        to_delete: List[Quad] = []
+        to_insert: List[Quad] = []
+        for row in relation.rows:
+            for template in operation.delete_templates:
+                quad = self._instantiate(template, row, index)
+                if quad is not None:
+                    to_delete.append(quad)
+            for template in operation.insert_templates:
+                quad = self._instantiate(template, row, index)
+                if quad is not None:
+                    to_insert.append(quad)
+        deleted = sum(
+            1 for quad in to_delete if self._network.delete(self._model_name, quad)
+        )
+        inserted = sum(
+            1 for quad in to_insert if self._network.insert(self._model_name, quad)
+        )
+        return inserted, deleted
+
+    def _instantiate(
+        self, template: QuadPattern, row: Tuple, index: Dict[str, int]
+    ) -> Optional[Quad]:
+        def resolve(part):
+            if part is None:
+                return None
+            if isinstance(part, str):
+                position = index.get(part)
+                if position is None:
+                    return _MISSING
+                value = row[position]
+                if value is None or value <= 0:
+                    return _MISSING
+                return self._network.values.term(value)
+            return part
+
+        subject = resolve(template.subject)
+        predicate = resolve(template.predicate)
+        obj = resolve(template.object)
+        graph = resolve(template.graph)
+        if _MISSING in (subject, predicate, obj, graph):
+            return None
+        try:
+            return Quad(subject, predicate, obj, graph)
+        except Exception:
+            return None
+
+    def _run_clear(self, operation: ClearUpdate) -> int:
+        model = self._network.model(self._model_name)
+        if operation.graph is None:
+            removed = len(model)
+            model.clear()
+            return removed
+        graph_id = self._network.lookup_term(operation.graph)
+        if graph_id is None:
+            return 0
+        doomed = list(model.scan((None, None, None, graph_id)))
+        for quad in doomed:
+            model.delete(quad)
+        return len(doomed)
+
+
+_MISSING = object()

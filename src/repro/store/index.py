@@ -1,0 +1,188 @@
+"""Semantic network indexes.
+
+Oracle lets users build indexes on a semantic model keyed by any
+permutation of S (subject), P (predicate), C (canonical object) and
+G (graph); M (model) is implicit because each index here is local to
+one semantic model, exactly as the paper describes ("indexes are local
+to a partition").  Index spec strings may therefore be written with or
+without a trailing ``M`` — ``PCSGM`` and ``PCSG`` name the same index.
+
+An index is a sorted array of key tuples in permuted order.  A *range
+scan* binds a prefix of the key and walks the contiguous run of
+matching entries; a *full index scan* walks everything and filters.
+Both access paths are what the paper's Table 5 plans use.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+QuadIds = Tuple[int, int, int, int]
+
+_POSITIONS = {"S": 0, "P": 1, "C": 2, "G": 3}
+
+
+class IndexSpecError(ValueError):
+    """Raised for malformed index specification strings."""
+
+
+def normalize_spec(spec: str) -> str:
+    """Validate and normalize an index spec like ``PCSGM`` -> ``PCSG``.
+
+    The spec must be a permutation of a subset of S, P, C, G with an
+    optional trailing M; at least one key column is required.
+    """
+    if not isinstance(spec, str) or not spec:
+        raise IndexSpecError("index spec must be a non-empty string")
+    upper = spec.upper()
+    if upper.endswith("M"):
+        upper = upper[:-1]
+    if not upper:
+        raise IndexSpecError(f"index spec {spec!r} has no key columns")
+    seen = set()
+    for letter in upper:
+        if letter not in _POSITIONS:
+            raise IndexSpecError(f"invalid index key letter {letter!r} in {spec!r}")
+        if letter in seen:
+            raise IndexSpecError(f"duplicate index key letter {letter!r} in {spec!r}")
+        seen.add(letter)
+    return upper
+
+
+class SemanticIndex:
+    """One sorted composite-key index over a model's quads."""
+
+    __slots__ = ("spec", "order", "_inverse", "_keys", "_sorted")
+
+    def __init__(self, spec: str):
+        self.spec = normalize_spec(spec)
+        self.order = tuple(_POSITIONS[letter] for letter in self.spec)
+        # Positions of the canonical quad missing from this index's key
+        # are appended so every entry is a full permutation of (s,p,c,g)
+        # and entries are unique per quad.
+        missing = tuple(i for i in range(4) if i not in self.order)
+        self.order = self.order + missing
+        inverse = [0, 0, 0, 0]
+        for key_pos, quad_pos in enumerate(self.order):
+            inverse[quad_pos] = key_pos
+        self._inverse = tuple(inverse)
+        self._keys: List[QuadIds] = []
+        self._sorted = True
+
+    @property
+    def key_length(self) -> int:
+        """Number of user-specified key columns (before padding)."""
+        return len(self.spec)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def _permute(self, quad: QuadIds) -> QuadIds:
+        order = self.order
+        return (quad[order[0]], quad[order[1]], quad[order[2]], quad[order[3]])
+
+    def _unpermute(self, key: QuadIds) -> QuadIds:
+        inv = self._inverse
+        return (key[inv[0]], key[inv[1]], key[inv[2]], key[inv[3]])
+
+    def bulk_build(self, quads: Sequence[QuadIds]) -> None:
+        """Rebuild the index from scratch from canonical quads."""
+        permute = self._permute
+        self._keys = sorted(permute(quad) for quad in quads)
+        self._sorted = True
+
+    def insert(self, quad: QuadIds) -> None:
+        insort(self._keys, self._permute(quad))
+
+    def delete(self, quad: QuadIds) -> None:
+        key = self._permute(quad)
+        pos = bisect_left(self._keys, key)
+        if pos < len(self._keys) and self._keys[pos] == key:
+            del self._keys[pos]
+
+    def prefix_length(self, bound: Sequence[Optional[int]]) -> int:
+        """How many leading key columns the bound pattern covers.
+
+        ``bound`` is the canonical (s, p, c, g) pattern with ``None``
+        for unbound positions.  The planner picks the index maximizing
+        this value.
+        """
+        length = 0
+        for quad_pos in self.order:
+            if bound[quad_pos] is None:
+                break
+            length += 1
+        return length
+
+    def range_scan(self, bound: Sequence[Optional[int]]) -> Iterator[QuadIds]:
+        """Scan quads matching the bound prefix, filtering the rest.
+
+        Yields canonical (s, p, c, g) tuples.  With an empty usable
+        prefix this degrades to a full index scan with filtering,
+        matching Oracle's behaviour for unselective patterns.
+        """
+        prefix: List[int] = []
+        for quad_pos in self.order:
+            value = bound[quad_pos]
+            if value is None:
+                break
+            prefix.append(value)
+        keys = self._keys
+        if prefix:
+            lo = bisect_left(keys, tuple(prefix))
+            hi = bisect_left(keys, tuple(prefix[:-1] + [prefix[-1] + 1]))
+            candidates = keys[lo:hi]
+        else:
+            candidates = keys
+        plen = len(prefix)
+        order = self.order
+        unpermute = self._unpermute
+        # Residual filters: bound positions not covered by the prefix.
+        residual = [
+            (key_pos, bound[quad_pos])
+            for key_pos, quad_pos in enumerate(order)
+            if key_pos >= plen and bound[quad_pos] is not None
+        ]
+        if residual:
+            for key in candidates:
+                if all(key[pos] == value for pos, value in residual):
+                    yield unpermute(key)
+        else:
+            for key in candidates:
+                yield unpermute(key)
+
+    def count_prefix(self, bound: Sequence[Optional[int]]) -> int:
+        """Count entries matching the usable bound prefix (no residual filter)."""
+        prefix: List[int] = []
+        for quad_pos in self.order:
+            value = bound[quad_pos]
+            if value is None:
+                break
+            prefix.append(value)
+        if not prefix:
+            return len(self._keys)
+        keys = self._keys
+        lo = bisect_left(keys, tuple(prefix))
+        hi = bisect_left(keys, tuple(prefix[:-1] + [prefix[-1] + 1]))
+        return hi - lo
+
+    def storage_bytes(self) -> int:
+        """Estimated on-disk size with Oracle-style key prefix compression.
+
+        Adjacent index entries share leading key columns; a compressed
+        index stores each repeated leading column once.  We charge 8
+        bytes per stored column plus 2 bytes row overhead.
+        """
+        total = 0
+        previous: Optional[QuadIds] = None
+        for key in self._keys:
+            if previous is None:
+                shared = 0
+            else:
+                shared = 0
+                while shared < 4 and key[shared] == previous[shared]:
+                    shared += 1
+            total += (4 - shared) * 8 + 2
+            previous = key
+        return total

@@ -1,0 +1,182 @@
+"""The semantic network: models, virtual models, and one values table.
+
+A :class:`SemanticNetwork` is the top-level store object (Oracle's
+"semantic network"): it owns the values table shared by all models, and
+manages model lifecycle, bulk loading, and term encoding/decoding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
+
+from repro.rdf.quad import Quad
+from repro.rdf.terms import Term
+from repro.rdf.nquads import parse_nquads
+from repro.store.index import QuadIds
+from repro.store.model import DEFAULT_INDEXES, SemanticModel
+from repro.store.values import DEFAULT_GRAPH_ID, ValuesTable
+from repro.store.virtual import VirtualModel
+
+AnyModel = Union[SemanticModel, VirtualModel]
+
+
+class StoreError(Exception):
+    """Raised for store-level misuse (unknown/duplicate models, ...)."""
+
+
+class SemanticNetwork:
+    """Top-level RDF store: a values table plus a set of models."""
+
+    def __init__(self):
+        self.values = ValuesTable()
+        self._models: Dict[str, SemanticModel] = {}
+        self._virtual_models: Dict[str, VirtualModel] = {}
+
+    # ------------------------------------------------------------------
+    # Model lifecycle
+    # ------------------------------------------------------------------
+
+    def create_model(
+        self, name: str, index_specs: Sequence[str] = DEFAULT_INDEXES
+    ) -> SemanticModel:
+        if name in self._models or name in self._virtual_models:
+            raise StoreError(f"model {name!r} already exists")
+        model = SemanticModel(name, index_specs)
+        self._models[name] = model
+        return model
+
+    def create_virtual_model(
+        self, name: str, member_names: Sequence[str], union_all: bool = False
+    ) -> VirtualModel:
+        if name in self._models or name in self._virtual_models:
+            raise StoreError(f"model {name!r} already exists")
+        members = [self.model(member) for member in member_names]
+        for member in members:
+            if isinstance(member, VirtualModel):
+                raise StoreError("virtual models cannot nest virtual models")
+        virtual = VirtualModel(name, members, union_all=union_all)
+        self._virtual_models[name] = virtual
+        return virtual
+
+    def model(self, name: str) -> AnyModel:
+        found: Optional[AnyModel] = self._models.get(name)
+        if found is None:
+            found = self._virtual_models.get(name)
+        if found is None:
+            raise StoreError(f"no such model: {name!r}")
+        return found
+
+    def drop_model(self, name: str) -> None:
+        if name in self._models:
+            dependents = [
+                virtual.name
+                for virtual in self._virtual_models.values()
+                if name in virtual.member_names
+            ]
+            if dependents:
+                raise StoreError(
+                    f"model {name!r} is used by virtual model(s) {dependents}"
+                )
+            del self._models[name]
+        elif name in self._virtual_models:
+            del self._virtual_models[name]
+        else:
+            raise StoreError(f"no such model: {name!r}")
+
+    @property
+    def model_names(self) -> List[str]:
+        return list(self._models)
+
+    @property
+    def virtual_model_names(self) -> List[str]:
+        return list(self._virtual_models)
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+
+    def encode_quad(self, quad: Quad) -> QuadIds:
+        values = self.values
+        graph_id = (
+            DEFAULT_GRAPH_ID if quad.graph is None else values.get_or_add(quad.graph)
+        )
+        return (
+            values.get_or_add(quad.subject),
+            values.get_or_add(quad.predicate),
+            values.get_or_add(quad.object),
+            graph_id,
+        )
+
+    def encode_term(self, term: Term) -> int:
+        return self.values.get_or_add(term)
+
+    def lookup_term(self, term: Term) -> Optional[int]:
+        return self.values.lookup(term)
+
+    def decode_quad(self, quad_ids: QuadIds) -> Quad:
+        subject_id, predicate_id, object_id, graph_id = quad_ids
+        values = self.values
+        return Quad(
+            values.term(subject_id),
+            values.term(predicate_id),
+            values.term(object_id),
+            values.term_or_none(graph_id),
+        )
+
+    # ------------------------------------------------------------------
+    # Loading and DML
+    # ------------------------------------------------------------------
+
+    def bulk_load(self, model_name: str, quads: Iterable[Quad]) -> int:
+        """Bulk load RDF quads into a model; returns quads added."""
+        model = self._require_base_model(model_name)
+        encoded = [self.encode_quad(quad) for quad in quads]
+        return model.bulk_load(encoded)
+
+    def bulk_load_nquads(self, model_name: str, lines: Iterable[str]) -> int:
+        """Bulk load from N-Quads text lines (the paper's load format)."""
+        return self.bulk_load(model_name, parse_nquads(lines))
+
+    def insert(self, model_name: str, quad: Quad) -> bool:
+        return self._require_base_model(model_name).insert(self.encode_quad(quad))
+
+    def delete(self, model_name: str, quad: Quad) -> bool:
+        model = self._require_base_model(model_name)
+        encoded = self._encode_existing(quad)
+        if encoded is None:
+            return False
+        return model.delete(encoded)
+
+    def contains(self, model_name: str, quad: Quad) -> bool:
+        encoded = self._encode_existing(quad)
+        if encoded is None:
+            return False
+        return encoded in self.model(model_name)
+
+    def quads(self, model_name: str) -> Iterator[Quad]:
+        """Iterate a model's contents as decoded RDF quads."""
+        model = self.model(model_name)
+        for quad_ids in model:
+            yield self.decode_quad(quad_ids)
+
+    def _require_base_model(self, name: str) -> SemanticModel:
+        model = self.model(name)
+        if isinstance(model, VirtualModel):
+            raise StoreError(f"model {name!r} is virtual and read-only")
+        return model
+
+    def _encode_existing(self, quad: Quad) -> Optional[QuadIds]:
+        """Encode without interning: None if any term was never stored."""
+        lookup = self.values.lookup
+        subject_id = lookup(quad.subject)
+        predicate_id = lookup(quad.predicate)
+        object_id = lookup(quad.object)
+        if None in (subject_id, predicate_id, object_id):
+            return None
+        if quad.graph is None:
+            graph_id: Optional[int] = DEFAULT_GRAPH_ID
+        else:
+            graph_id = lookup(quad.graph)
+            if graph_id is None:
+                return None
+        return (subject_id, predicate_id, object_id, graph_id)

@@ -1,0 +1,102 @@
+"""The values table: bidirectional term <-> numeric ID mapping.
+
+Oracle's RDF store keeps lexical values in a single values table and
+stores only numeric IDs in the quads table and its indexes.  Literal
+objects are canonicalized before lookup (the "C" — canonical object —
+column), which :class:`repro.rdf.terms.Literal` already performs for
+numeric and boolean datatypes at construction time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.rdf.terms import IRI, BlankNode, Literal, Term
+
+#: Reserved ID for the default (unnamed) graph in the G position.
+DEFAULT_GRAPH_ID = 0
+
+
+class ValuesTable:
+    """Interning table assigning dense numeric IDs to RDF terms.
+
+    ID 0 is reserved for the default graph, so real term IDs start at 1
+    and sort after the default graph in any G-keyed index.
+    """
+
+    __slots__ = ("_term_to_id", "_id_to_term")
+
+    def __init__(self):
+        self._term_to_id: Dict[Term, int] = {}
+        self._id_to_term: List[Optional[Term]] = [None]  # slot 0: default graph
+
+    def __len__(self) -> int:
+        return len(self._term_to_id)
+
+    def get_or_add(self, term: Term) -> int:
+        """Return the ID for ``term``, assigning a fresh one if needed."""
+        term_id = self._term_to_id.get(term)
+        if term_id is None:
+            term_id = len(self._id_to_term)
+            self._term_to_id[term] = term_id
+            self._id_to_term.append(term)
+        return term_id
+
+    def lookup(self, term: Term) -> Optional[int]:
+        """Return the ID for ``term`` or ``None`` if it was never stored."""
+        return self._term_to_id.get(term)
+
+    def term(self, term_id: int) -> Term:
+        """Decode an ID back to its term.  ID 0 (default graph) is invalid here."""
+        if term_id <= 0 or term_id >= len(self._id_to_term):
+            raise KeyError(f"unknown term id {term_id}")
+        return self._id_to_term[term_id]
+
+    def term_or_none(self, term_id: int) -> Optional[Term]:
+        """Decode an ID, mapping the default-graph ID to ``None``."""
+        if term_id == DEFAULT_GRAPH_ID:
+            return None
+        return self.term(term_id)
+
+    def ids_for(self, terms: Iterable[Term]) -> List[int]:
+        return [self.get_or_add(term) for term in terms]
+
+    def is_literal_id(self, term_id: int) -> bool:
+        """ID-level isLiteral() test (no decode of lexical values needed)."""
+        return (
+            0 < term_id < len(self._id_to_term)
+            and isinstance(self._id_to_term[term_id], Literal)
+        )
+
+    def is_iri_id(self, term_id: int) -> bool:
+        """ID-level isIRI() test."""
+        return (
+            0 < term_id < len(self._id_to_term)
+            and isinstance(self._id_to_term[term_id], IRI)
+        )
+
+    def is_blank_id(self, term_id: int) -> bool:
+        return (
+            0 < term_id < len(self._id_to_term)
+            and isinstance(self._id_to_term[term_id], BlankNode)
+        )
+
+    def storage_bytes(self) -> int:
+        """Estimated on-disk size of the values table.
+
+        Modelled as one row per term: an 8-byte ID, the UTF-8 lexical
+        form, and per-row overhead for type/datatype/language metadata.
+        """
+        total = 0
+        for term in self._id_to_term[1:]:
+            if isinstance(term, Literal):
+                lexical = term.lexical
+                extra = len(term.datatype.value) if term.datatype else 8
+            elif isinstance(term, IRI):
+                lexical = term.value
+                extra = 0
+            else:
+                lexical = term.label
+                extra = 0
+            total += 8 + len(lexical.encode("utf-8")) + extra + 24
+        return total

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.rdf import IRI, Literal, Quad
+from repro.store import SemanticNetwork
+from repro.sparql import SparqlEngine
+
+EX = "http://ex/"
+
+
+def ex(name: str) -> IRI:
+    return IRI(EX + name)
+
+
+@pytest.fixture
+def social_engine():
+    """A small social-graph dataset in the default graph plus one named
+    graph, shared by SPARQL evaluator tests.
+
+    People: alice knows bob, carol; bob knows carol; carol knows alice
+    (a triangle via 'knows').  Ages and names as literals.  One quad in
+    named graph g1.
+    """
+    network = SemanticNetwork()
+    network.create_model("social")
+    quads = [
+        Quad(ex("alice"), ex("knows"), ex("bob")),
+        Quad(ex("alice"), ex("knows"), ex("carol")),
+        Quad(ex("bob"), ex("knows"), ex("carol")),
+        Quad(ex("carol"), ex("knows"), ex("alice")),
+        Quad(ex("alice"), ex("name"), Literal("Alice")),
+        Quad(ex("bob"), ex("name"), Literal("Bob")),
+        Quad(ex("carol"), ex("name"), Literal("Carol")),
+        Quad(ex("alice"), ex("age"), Literal.from_python(23)),
+        Quad(ex("bob"), ex("age"), Literal.from_python(30)),
+        Quad(ex("carol"), ex("age"), Literal.from_python(27)),
+        Quad(ex("alice"), ex("likes"), ex("bob"), ex("g1")),
+        Quad(ex("g1"), ex("since"), Literal.from_python(2007), ex("g1")),
+    ]
+    network.bulk_load("social", quads)
+    return SparqlEngine(
+        network, prefixes={"ex": EX}, default_model="social"
+    )

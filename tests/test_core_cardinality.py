@@ -1,0 +1,162 @@
+"""Tests that Table 2's cardinality formulas hold exactly on generated
+RDF data, for all three models."""
+
+import pytest
+
+from repro.core import (
+    MODEL_NG,
+    MODEL_RF,
+    MODEL_SP,
+    measure_property_graph,
+    measure_rdf,
+    predict_rdf,
+    transformer_for,
+)
+from repro.core.cardinality import table7_row
+from repro.core.vocabulary import PgVocabulary
+from repro.propertygraph import PropertyGraph
+
+
+def make_graph(vertices=8, edges=14, kv_every=2):
+    """A deterministic multi-label graph where every vertex has a KV."""
+    graph = PropertyGraph("synthetic")
+    for i in range(1, vertices + 1):
+        graph.add_vertex(i, {"name": f"v{i}", "age": 20 + i})
+    labels = ["follows", "knows"]
+    for j in range(edges):
+        source = (j % vertices) + 1
+        target = ((j * 3 + 1) % vertices) + 1
+        properties = {"since": 2000 + j} if j % kv_every == 0 else None
+        graph.add_edge(source, labels[j % 2], target, properties)
+    return graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return make_graph()
+
+
+class TestPropertyGraphMeasurement:
+    def test_counts(self, graph):
+        pg = measure_property_graph(graph)
+        assert pg.vertices == 8
+        assert pg.edges == 14
+        assert pg.edges_with_kvs == 7
+        assert pg.edge_kvs == 7
+        assert pg.node_kvs == 16
+        assert pg.edge_labels == 2
+        assert pg.edge_keys == 1
+        assert pg.node_keys == 2
+        assert pg.distinct_keys == 3
+
+
+@pytest.mark.parametrize("model", [MODEL_RF, MODEL_NG, MODEL_SP])
+class TestTable2FormulasMatchGeneratedData:
+    def measured(self, graph, model):
+        quads = list(transformer_for(model).transform(graph))
+        return measure_rdf(quads)
+
+    def test_named_graphs(self, graph, model):
+        pg = measure_property_graph(graph)
+        assert (
+            self.measured(graph, model).named_graphs
+            == predict_rdf(pg, model).named_graphs
+        )
+
+    def test_object_property_quads(self, graph, model):
+        pg = measure_property_graph(graph)
+        assert (
+            self.measured(graph, model).object_property_quads
+            == predict_rdf(pg, model).object_property_quads
+        )
+
+    def test_data_property_quads(self, graph, model):
+        pg = measure_property_graph(graph)
+        assert (
+            self.measured(graph, model).data_property_quads
+            == predict_rdf(pg, model).data_property_quads
+        )
+
+    def test_distinct_subjects_objects(self, graph, model):
+        pg = measure_property_graph(graph)
+        assert (
+            self.measured(graph, model).distinct_subjects_objects
+            == predict_rdf(pg, model).distinct_subjects_objects
+        )
+
+    def test_distinct_object_properties(self, graph, model):
+        pg = measure_property_graph(graph)
+        assert (
+            self.measured(graph, model).distinct_object_properties
+            == predict_rdf(pg, model).distinct_object_properties
+        )
+
+    def test_distinct_data_properties(self, graph, model):
+        pg = measure_property_graph(graph)
+        assert (
+            self.measured(graph, model).distinct_data_properties
+            == predict_rdf(pg, model).distinct_data_properties
+        )
+
+    def test_total_quads(self, graph, model):
+        pg = measure_property_graph(graph)
+        assert (
+            self.measured(graph, model).total_quads
+            == predict_rdf(pg, model).total_quads
+        )
+
+
+class TestModelRelationships:
+    """Table 7's headline: SP has exactly 2*E more triples than NG."""
+
+    def test_sp_minus_ng_is_twice_edges(self, graph):
+        pg = measure_property_graph(graph)
+        ng = predict_rdf(pg, MODEL_NG).total_quads
+        sp = predict_rdf(pg, MODEL_SP).total_quads
+        assert sp - ng == 2 * pg.edges
+
+    def test_rf_is_largest(self, graph):
+        pg = measure_property_graph(graph)
+        totals = {
+            model: predict_rdf(pg, model).total_quads
+            for model in (MODEL_RF, MODEL_NG, MODEL_SP)
+        }
+        assert totals[MODEL_RF] > totals[MODEL_SP] > totals[MODEL_NG]
+
+    def test_sp_predicate_skew(self, graph):
+        """SP's distinct object-properties grow with E (the skew the
+        paper calls out as unusual for RDF datasets)."""
+        pg = measure_property_graph(graph)
+        sp = predict_rdf(pg, MODEL_SP)
+        ng = predict_rdf(pg, MODEL_NG)
+        assert sp.distinct_object_properties == pg.edge_labels + pg.edges + 1
+        assert ng.distinct_object_properties == pg.edge_labels
+
+    def test_ng_proportion_one_quad_per_graph(self, graph):
+        pg = measure_property_graph(graph)
+        ng = predict_rdf(pg, MODEL_NG)
+        assert ng.named_graphs == ng.object_property_quads
+
+
+class TestTable2Rendering:
+    def test_as_table2_row(self, graph):
+        pg = measure_property_graph(graph)
+        row = predict_rdf(pg, MODEL_NG).as_table2_row()
+        assert row["Named Graphs"] == pg.edges
+        assert row["Obj-prop triples/quads"] == pg.edges
+
+    def test_unknown_model_rejected(self, graph):
+        with pytest.raises(ValueError):
+            predict_rdf(measure_property_graph(graph), "XX")
+
+
+class TestTable7Breakdown:
+    def test_per_label_counts(self, graph):
+        vocab = PgVocabulary()
+        quads = list(transformer_for(MODEL_NG, vocab).transform(graph))
+        row = table7_row(quads, vocab)
+        assert row["follows"] == 7
+        assert row["knows"] == 7
+        assert row["since"] == 7
+        assert row["name"] == 8
+        assert row["total"] == len(quads)

@@ -1,0 +1,121 @@
+"""Round-trip tests: PG -> RDF -> PG is the identity, for all models."""
+
+import pytest
+
+from repro.core import MODEL_NG, MODEL_RF, MODEL_SP, transformer_for
+from repro.core.roundtrip import RoundTripError, rdf_to_property_graph
+from repro.propertygraph import PropertyGraph
+from repro.rdf import IRI, Literal, Quad
+
+MODELS = [MODEL_RF, MODEL_NG, MODEL_SP]
+
+
+def assert_graphs_equal(left: PropertyGraph, right: PropertyGraph):
+    assert left.vertex_count == right.vertex_count
+    assert left.edge_count == right.edge_count
+    for vertex in left.vertices():
+        assert right.vertex(vertex.id).properties == vertex.properties
+    for edge in left.edges():
+        other = right.edge(edge.id)
+        assert (other.source, other.label, other.target) == (
+            edge.source, edge.label, edge.target,
+        )
+        assert other.properties == edge.properties
+
+
+def roundtrip(graph, model):
+    quads = list(transformer_for(model).transform(graph))
+    return rdf_to_property_graph(quads, model)
+
+
+@pytest.mark.parametrize("model", MODELS)
+class TestRoundTrip:
+    def test_figure1(self, model):
+        graph = PropertyGraph()
+        graph.add_vertex(1, {"name": "Amy", "age": 23})
+        graph.add_vertex(2, {"name": "Mira", "age": 22})
+        graph.add_edge(1, "follows", 2, {"since": 2007}, edge_id=3)
+        graph.add_edge(1, "knows", 2, {"firstMetAt": "MIT"}, edge_id=4)
+        assert_graphs_equal(graph, roundtrip(graph, model))
+
+    def test_isolated_vertex(self, model):
+        graph = PropertyGraph()
+        graph.add_vertex(5)
+        rebuilt = roundtrip(graph, model)
+        assert rebuilt.has_vertex(5)
+        assert rebuilt.vertex(5).properties == {}
+
+    def test_edge_without_kvs(self, model):
+        graph = PropertyGraph()
+        graph.add_vertex(1)
+        graph.add_vertex(2)
+        graph.add_edge(1, "follows", 2, edge_id=9)
+        rebuilt = roundtrip(graph, model)
+        assert rebuilt.edge(9).label == "follows"
+        assert rebuilt.edge(9).properties == {}
+
+    def test_value_types_preserved(self, model):
+        graph = PropertyGraph()
+        graph.add_vertex(1, {"i": 7, "f": 1.25, "b": True, "s": "txt"})
+        graph.add_vertex(2)
+        graph.add_edge(1, "l", 2, {"w": 0.5, "n": 3, "ok": False}, edge_id=3)
+        rebuilt = roundtrip(graph, model)
+        assert rebuilt.vertex(1).properties == {
+            "i": 7, "f": 1.25, "b": True, "s": "txt",
+        }
+        assert rebuilt.edge(3).properties == {"w": 0.5, "n": 3, "ok": False}
+
+    def test_multi_edges_same_endpoints(self, model):
+        graph = PropertyGraph()
+        graph.add_vertex(1)
+        graph.add_vertex(2)
+        graph.add_edge(1, "follows", 2, edge_id=10)
+        graph.add_edge(1, "follows", 2, edge_id=11)
+        graph.add_edge(2, "follows", 1, edge_id=12)
+        rebuilt = roundtrip(graph, model)
+        assert rebuilt.edge_count == 3
+
+    def test_self_loop(self, model):
+        graph = PropertyGraph()
+        graph.add_vertex(1)
+        graph.add_edge(1, "loop", 1, {"k": "v"}, edge_id=2)
+        rebuilt = roundtrip(graph, model)
+        assert rebuilt.edge(2).source == rebuilt.edge(2).target == 1
+
+    def test_labels_with_special_characters(self, model):
+        graph = PropertyGraph()
+        graph.add_vertex(1)
+        graph.add_vertex(2)
+        graph.add_edge(1, "has tag", 2, edge_id=3)
+        graph.vertex(1).set_property("ref key", "#value")
+        rebuilt = roundtrip(graph, model)
+        assert rebuilt.edge(3).label == "has tag"
+        assert rebuilt.vertex(1).properties == {"ref key": "#value"}
+
+
+class TestRoundTripErrors:
+    def test_ng_rejects_malformed_graphless_quad(self):
+        quads = [Quad(IRI("http://pg/v1"), IRI("http://x/other"), IRI("http://pg/v2"))]
+        with pytest.raises(RoundTripError):
+            rdf_to_property_graph(quads, MODEL_NG)
+
+    def test_rf_rejects_incomplete_reification(self):
+        from repro.rdf import RDF
+
+        quads = [Quad(IRI("http://pg/e1"), RDF.subject, IRI("http://pg/v1"))]
+        with pytest.raises(RoundTripError):
+            rdf_to_property_graph(quads, MODEL_RF)
+
+    def test_sp_rejects_edge_without_label(self):
+        quads = [Quad(IRI("http://pg/v1"), IRI("http://pg/e1"), IRI("http://pg/v2"))]
+        with pytest.raises(RoundTripError):
+            rdf_to_property_graph(quads, MODEL_SP)
+
+    def test_orphan_edge_kvs_rejected(self):
+        quads = [Quad(IRI("http://pg/e1"), IRI("http://pg/k/k"), Literal("v"))]
+        with pytest.raises(RoundTripError):
+            rdf_to_property_graph(quads, MODEL_SP)
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            rdf_to_property_graph([], "XX")

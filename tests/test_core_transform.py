@@ -1,0 +1,164 @@
+"""Unit tests for the three PG-as-RDF transformers (Table 1, Figure 2)."""
+
+import pytest
+
+from repro.core import (
+    MODEL_NG,
+    MODEL_RF,
+    MODEL_SP,
+    PARTITION_EDGE_KV,
+    PARTITION_NODE_KV,
+    PARTITION_TOPOLOGY,
+    transformer_for,
+)
+from repro.core.vocabulary import PgVocabulary
+from repro.propertygraph import PropertyGraph
+from repro.rdf import IRI, Literal, Quad, RDF, RDFS, XSD
+
+VOCAB = PgVocabulary()
+V1, V2 = VOCAB.vertex_iri(1), VOCAB.vertex_iri(2)
+E3 = VOCAB.edge_iri(3)
+FOLLOWS = VOCAB.label_iri("follows")
+SINCE = VOCAB.key_iri("since")
+NAME = VOCAB.key_iri("name")
+AGE = VOCAB.key_iri("age")
+
+
+@pytest.fixture
+def figure1():
+    """Figure 1 restricted to the follows edge (as in Section 2.1)."""
+    graph = PropertyGraph("figure1")
+    graph.add_vertex(1, {"name": "Amy", "age": 23})
+    graph.add_vertex(2, {"name": "Mira", "age": 22})
+    graph.add_edge(1, "follows", 2, {"since": 2007}, edge_id=3)
+    return graph
+
+
+def quads_of(model, graph):
+    return set(transformer_for(model).transform(graph))
+
+
+NODE_KVS = {
+    Quad(V1, NAME, Literal("Amy")),
+    Quad(V1, AGE, Literal("23", XSD.int)),
+    Quad(V2, NAME, Literal("Mira")),
+    Quad(V2, AGE, Literal("22", XSD.int)),
+}
+
+
+class TestReification:
+    def test_figure2a(self, figure1):
+        assert quads_of(MODEL_RF, figure1) == NODE_KVS | {
+            Quad(E3, RDF.subject, V1),
+            Quad(E3, RDF.predicate, FOLLOWS),
+            Quad(E3, RDF.object, V2),
+            Quad(V1, FOLLOWS, V2),  # explicit -s-p-o
+            Quad(E3, SINCE, Literal("2007", XSD.int)),
+        }
+
+    def test_quad_count_formula(self, figure1):
+        # 4*E object-prop + eKV + nKV data-prop
+        assert len(quads_of(MODEL_RF, figure1)) == 4 * 1 + 1 + 4
+
+
+class TestNamedGraph:
+    def test_figure2c(self, figure1):
+        assert quads_of(MODEL_NG, figure1) == NODE_KVS | {
+            Quad(V1, FOLLOWS, V2, E3),
+            Quad(E3, SINCE, Literal("2007", XSD.int), E3),
+        }
+
+    def test_edge_kvs_clustered_in_edge_graph(self, figure1):
+        kv_quads = [
+            quad
+            for quad in quads_of(MODEL_NG, figure1)
+            if quad.predicate == SINCE
+        ]
+        assert all(quad.graph == E3 for quad in kv_quads)
+
+    def test_node_kvs_in_default_graph(self, figure1):
+        for quad in quads_of(MODEL_NG, figure1):
+            if quad.predicate in (NAME, AGE):
+                assert quad.graph is None
+
+
+class TestSubProperty:
+    def test_figure2b(self, figure1):
+        assert quads_of(MODEL_SP, figure1) == NODE_KVS | {
+            Quad(V1, E3, V2),
+            Quad(E3, RDFS.subPropertyOf, FOLLOWS),
+            Quad(V1, FOLLOWS, V2),  # explicit -s-p-o
+            Quad(E3, SINCE, Literal("2007", XSD.int)),
+        }
+
+    def test_quad_count_formula(self, figure1):
+        assert len(quads_of(MODEL_SP, figure1)) == 3 * 1 + 1 + 4
+
+
+class TestSharedBehaviour:
+    def test_isolated_vertex_special_case(self):
+        graph = PropertyGraph()
+        graph.add_vertex(9)
+        for model in (MODEL_RF, MODEL_NG, MODEL_SP):
+            quads = quads_of(model, graph)
+            assert quads == {
+                Quad(VOCAB.vertex_iri(9), RDF.type, RDFS.Resource)
+            }
+
+    def test_vertex_with_kv_not_special_cased(self):
+        graph = PropertyGraph()
+        graph.add_vertex(9, {"k": "v"})
+        quads = quads_of(MODEL_NG, graph)
+        assert Quad(VOCAB.vertex_iri(9), RDF.type, RDFS.Resource) not in quads
+
+    def test_edge_without_kvs_still_encoded(self):
+        graph = PropertyGraph()
+        graph.add_vertex(1)
+        graph.add_vertex(2)
+        graph.add_edge(1, "follows", 2, edge_id=3)
+        assert Quad(V1, FOLLOWS, V2, E3) in quads_of(MODEL_NG, graph)
+        assert Quad(E3, RDFS.subPropertyOf, FOLLOWS) in quads_of(MODEL_SP, graph)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            transformer_for("XX")
+
+    def test_model_names_case_insensitive(self):
+        assert transformer_for("ng").model == MODEL_NG
+
+
+class TestPartitioning:
+    def test_partition_assignment_ng(self, figure1):
+        partitions = {}
+        for partition, quad in transformer_for(MODEL_NG).transform_partitioned(
+            figure1
+        ):
+            partitions.setdefault(partition, set()).add(quad)
+        assert partitions[PARTITION_TOPOLOGY] == {Quad(V1, FOLLOWS, V2, E3)}
+        assert partitions[PARTITION_EDGE_KV] == {
+            Quad(E3, SINCE, Literal("2007", XSD.int), E3)
+        }
+        assert partitions[PARTITION_NODE_KV] == NODE_KVS
+
+    def test_partition_assignment_sp_anchor_triples_in_edge_kv(self, figure1):
+        partitions = {}
+        for partition, quad in transformer_for(MODEL_SP).transform_partitioned(
+            figure1
+        ):
+            partitions.setdefault(partition, set()).add(quad)
+        # Section 3.2: -s-e-o and -e-sPO-p live with the edge KVs.
+        assert Quad(V1, E3, V2) in partitions[PARTITION_EDGE_KV]
+        assert (
+            Quad(E3, RDFS.subPropertyOf, FOLLOWS)
+            in partitions[PARTITION_EDGE_KV]
+        )
+        assert partitions[PARTITION_TOPOLOGY] == {Quad(V1, FOLLOWS, V2)}
+
+    def test_partition_assignment_rf(self, figure1):
+        partitions = {}
+        for partition, quad in transformer_for(MODEL_RF).transform_partitioned(
+            figure1
+        ):
+            partitions.setdefault(partition, set()).add(quad)
+        assert partitions[PARTITION_TOPOLOGY] == {Quad(V1, FOLLOWS, V2)}
+        assert Quad(E3, RDF.subject, V1) in partitions[PARTITION_EDGE_KV]

@@ -1,0 +1,78 @@
+"""Unit tests for the PG vocabulary (Section 2.2 IRI generation)."""
+
+import pytest
+
+from repro.core import PgVocabulary
+from repro.rdf import IRI, Literal, XSD
+
+
+class TestForwardMapping:
+    def test_paper_examples(self):
+        vocab = PgVocabulary()
+        assert vocab.vertex_iri(1) == IRI("http://pg/v1")
+        assert vocab.edge_iri(3) == IRI("http://pg/e3")
+        assert vocab.label_iri("follows") == IRI("http://pg/r/follows")
+        assert vocab.key_iri("age") == IRI("http://pg/k/age")
+
+    def test_value_literal_types(self):
+        vocab = PgVocabulary()
+        assert vocab.value_literal(23) == Literal("23", XSD.int)
+        assert vocab.value_literal(2.5) == Literal("2.5", XSD.double)
+        assert vocab.value_literal(True) == Literal("true", XSD.boolean)
+        assert vocab.value_literal("MIT") == Literal("MIT")
+
+    def test_custom_vertex_prefix(self):
+        vocab = PgVocabulary(vertex_prefix="n")
+        assert vocab.vertex_iri(6160742) == IRI("http://pg/n6160742")
+
+    def test_prefixes_must_differ(self):
+        with pytest.raises(ValueError):
+            PgVocabulary(vertex_prefix="x", edge_prefix="x")
+
+    def test_base_gets_trailing_slash(self):
+        vocab = PgVocabulary(base="http://example.org/pg")
+        assert vocab.vertex_iri(1).value == "http://example.org/pg/v1"
+
+    def test_special_characters_in_keys_encoded(self):
+        vocab = PgVocabulary()
+        iri = vocab.key_iri("has tag")
+        assert " " not in iri.value
+        assert vocab.parse_key(iri) == "has tag"
+
+    def test_hash_tags_encoded(self):
+        vocab = PgVocabulary()
+        iri = vocab.label_iri("#webseries")
+        assert vocab.parse_label(iri) == "#webseries"
+
+
+class TestReverseMapping:
+    def test_parse_vertex_and_edge(self):
+        vocab = PgVocabulary()
+        assert vocab.parse_vertex_id(IRI("http://pg/v42")) == 42
+        assert vocab.parse_edge_id(IRI("http://pg/e7")) == 7
+
+    def test_parse_rejects_wrong_namespace(self):
+        vocab = PgVocabulary()
+        assert vocab.parse_vertex_id(IRI("http://other/v42")) is None
+        assert vocab.parse_label(IRI("http://pg/k/age")) is None
+        assert vocab.parse_key(IRI("http://pg/r/follows")) is None
+
+    def test_parse_rejects_non_numeric_suffix(self):
+        vocab = PgVocabulary()
+        assert vocab.parse_vertex_id(IRI("http://pg/vabc")) is None
+
+    def test_vertex_edge_namespaces_disjoint(self):
+        vocab = PgVocabulary()
+        assert vocab.parse_vertex_id(vocab.edge_iri(3)) is None
+        assert vocab.parse_edge_id(vocab.vertex_iri(3)) is None
+
+    def test_parse_value(self):
+        vocab = PgVocabulary()
+        assert vocab.parse_value(vocab.value_literal(23)) == 23
+        assert vocab.parse_value(vocab.value_literal("x")) == "x"
+        assert vocab.parse_value(vocab.value_literal(False)) is False
+
+    def test_prefix_map(self):
+        prefixes = PgVocabulary().prefixes()
+        assert prefixes["r"] == "http://pg/r/"
+        assert prefixes["key"] == "http://pg/k/"

@@ -1,0 +1,68 @@
+"""Tests for the LUBM-style generator and the paper's skew contrast."""
+
+import pytest
+
+from repro.core import MODEL_SP, measure_rdf, transformer_for
+from repro.datasets.lubm import OBJECT_PROPERTIES, UB, generate_lubm
+from repro.datasets.twitter import TwitterConfig, generate_twitter
+from repro.rdf import RDF
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        assert generate_lubm(seed=1) == generate_lubm(seed=1)
+
+    def test_structure(self):
+        quads = generate_lubm(universities=1, departments_per_university=2)
+        types = {q.object for q in quads if q.predicate == RDF.type}
+        assert UB.University in types
+        assert UB.Department in types
+        assert UB.GraduateStudent in types
+
+    def test_every_student_has_advisor(self):
+        quads = generate_lubm()
+        students = {
+            q.subject for q in quads
+            if q.predicate == RDF.type and q.object == UB.GraduateStudent
+        }
+        advised = {q.subject for q in quads if q.predicate == UB.advisor}
+        assert students == advised
+
+    def test_fixed_object_property_vocabulary(self):
+        quads = generate_lubm()
+        object_properties = {
+            q.predicate
+            for q in quads
+            if not q.object.is_literal() and q.predicate != RDF.type
+        }
+        allowed = {UB.term(name) for name in OBJECT_PROPERTIES}
+        assert object_properties <= allowed
+
+
+class TestSkewContrast:
+    """The Table 2 discussion: SP's predicate count grows with E, while
+    LUBM-shaped data uses a handful of properties for all its triples."""
+
+    def test_sp_predicates_dwarf_lubm_predicates(self):
+        lubm = measure_rdf(generate_lubm())
+        graph = generate_twitter(TwitterConfig(egos=6, seed=3))
+        sp = measure_rdf(
+            list(transformer_for(MODEL_SP).transform(graph))
+        )
+        # LUBM: a handful of object properties regardless of size.
+        assert lubm.distinct_object_properties <= len(OBJECT_PROPERTIES) + 1
+        # SP: one property per edge (plus labels and subPropertyOf).
+        assert sp.distinct_object_properties > graph.edge_count
+
+    def test_triples_per_property_ratio(self):
+        """LUBM: many triples per property.  SP: fewer than 3 per
+        property (the paper: "the proportion ... is less than 3")."""
+        lubm = measure_rdf(generate_lubm())
+        lubm_ratio = (
+            lubm.object_property_quads / lubm.distinct_object_properties
+        )
+        graph = generate_twitter(TwitterConfig(egos=6, seed=3))
+        sp = measure_rdf(list(transformer_for(MODEL_SP).transform(graph)))
+        sp_ratio = sp.object_property_quads / sp.distinct_object_properties
+        assert lubm_ratio > 10
+        assert sp_ratio < 3

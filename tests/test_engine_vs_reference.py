@@ -1,0 +1,201 @@
+"""Differential testing: the optimized engine vs a brute-force oracle.
+
+A naive reference evaluator matches BGPs by enumerating every quad per
+pattern and joining dict bindings — no indexes, no planner, no
+push-down.  Hypothesis generates random datasets and random BGP/filter
+queries; the optimized engine must return exactly the same bag of
+solutions.
+"""
+
+import itertools
+from typing import Dict, List, Optional
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf import IRI, Literal, Quad
+from repro.sparql import SparqlEngine
+from repro.store import SemanticNetwork
+
+EX = "http://ex/"
+
+# ----------------------------------------------------------------------
+# Brute-force reference
+# ----------------------------------------------------------------------
+
+
+def reference_bgp(
+    quads: List[Quad],
+    patterns: List[tuple],
+    union_default: bool = True,
+) -> List[Dict[str, object]]:
+    """Evaluate a BGP by brute force.  Patterns are (s, p, o) with
+    '?name' strings as variables and Terms as constants."""
+    solutions: List[Dict[str, object]] = [{}]
+    for pattern in patterns:
+        next_solutions = []
+        for binding in solutions:
+            for quad in quads:
+                candidate = dict(binding)
+                ok = True
+                for part, value in zip(
+                    pattern, (quad.subject, quad.predicate, quad.object)
+                ):
+                    if isinstance(part, str) and part.startswith("?"):
+                        name = part[1:]
+                        if name in candidate:
+                            if candidate[name] != value:
+                                ok = False
+                                break
+                        else:
+                            candidate[name] = value
+                    elif part != value:
+                        ok = False
+                        break
+                if ok:
+                    next_solutions.append(candidate)
+        solutions = next_solutions
+    return solutions
+
+
+def normalize(solutions, variables):
+    return sorted(
+        tuple(repr(solution.get(v)) for v in variables)
+        for solution in solutions
+    )
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+_SUBJECTS = [IRI(EX + name) for name in "abcdef"]
+_PREDICATES = [IRI(EX + name) for name in ("p", "q", "r")]
+_OBJECTS = _SUBJECTS + [Literal("x"), Literal("y"), Literal.from_python(1)]
+_GRAPHS = [None, IRI(EX + "g1"), IRI(EX + "g2")]
+
+_quads = st.lists(
+    st.builds(
+        Quad,
+        subject=st.sampled_from(_SUBJECTS),
+        predicate=st.sampled_from(_PREDICATES),
+        object=st.sampled_from(_OBJECTS),
+        graph=st.sampled_from(_GRAPHS),
+    ),
+    min_size=0,
+    max_size=25,
+    unique_by=lambda q: (q.subject, q.predicate, q.object, q.graph),
+)
+
+_VARS = ["?u", "?v", "?w", "?x"]
+_slot = st.one_of(
+    st.sampled_from(_VARS),
+    st.sampled_from(_SUBJECTS),
+)
+_pred_slot = st.one_of(st.sampled_from(_VARS), st.sampled_from(_PREDICATES))
+_obj_slot = st.one_of(st.sampled_from(_VARS), st.sampled_from(_OBJECTS))
+
+_patterns = st.lists(
+    st.tuples(_slot, _pred_slot, _obj_slot), min_size=1, max_size=3
+)
+
+
+def _pattern_text(pattern) -> str:
+    return " ".join(
+        part if isinstance(part, str) else part.n3() for part in pattern
+    )
+
+
+def _query_text(patterns, variables) -> str:
+    body = " . ".join(_pattern_text(p) for p in patterns)
+    projection = " ".join(variables)
+    return f"SELECT {projection} WHERE {{ {body} }}"
+
+
+def _pattern_variables(patterns) -> List[str]:
+    found = []
+    for pattern in patterns:
+        for part in pattern:
+            if isinstance(part, str) and part[1:] not in found:
+                found.append(part[1:])
+    return found
+
+
+# ----------------------------------------------------------------------
+# The differential tests
+# ----------------------------------------------------------------------
+
+
+class TestEngineMatchesReference:
+    @settings(max_examples=120, deadline=None)
+    @given(quads=_quads, patterns=_patterns)
+    def test_bgp_solutions_identical(self, quads, patterns):
+        network = SemanticNetwork()
+        network.create_model("m")
+        network.bulk_load("m", quads)
+        engine = SparqlEngine(network, default_model="m")
+        variables = _pattern_variables(patterns)
+        if not variables:
+            return  # all-constant patterns: covered by ASK below
+        query = _query_text(patterns, ["?" + v for v in variables])
+        engine_result = engine.select(query)
+        engine_rows = sorted(
+            tuple(repr(term) for term in row) for row in engine_result.rows
+        )
+        expected = normalize(reference_bgp(quads, patterns), variables)
+        assert engine_rows == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(quads=_quads, patterns=_patterns)
+    def test_ask_matches_reference(self, quads, patterns):
+        network = SemanticNetwork()
+        network.create_model("m")
+        network.bulk_load("m", quads)
+        engine = SparqlEngine(network, default_model="m")
+        body = " . ".join(_pattern_text(p) for p in patterns)
+        expected = bool(reference_bgp(quads, patterns))
+        assert engine.ask(f"ASK {{ {body} }}") == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        quads=_quads,
+        patterns=_patterns,
+        filter_obj=st.sampled_from(_SUBJECTS),
+    )
+    def test_filter_equality_matches_reference(
+        self, quads, patterns, filter_obj
+    ):
+        """FILTER (?u = <const>) must agree with post-hoc filtering —
+        this exercises the sargable-rewrite path against the oracle."""
+        variables = _pattern_variables(patterns)
+        if "u" not in variables:
+            return
+        network = SemanticNetwork()
+        network.create_model("m")
+        network.bulk_load("m", quads)
+        engine = SparqlEngine(network, default_model="m")
+        body = " . ".join(_pattern_text(p) for p in patterns)
+        query = (
+            f"SELECT ?u WHERE {{ {body} "
+            f"FILTER (?u = {filter_obj.n3()}) }}"
+        )
+        engine_rows = sorted(
+            repr(row[0]) for row in engine.select(query).rows
+        )
+        expected = sorted(
+            repr(solution["u"])
+            for solution in reference_bgp(quads, patterns)
+            if solution.get("u") == filter_obj
+        )
+        assert engine_rows == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(quads=_quads)
+    def test_count_matches_quad_count(self, quads):
+        network = SemanticNetwork()
+        network.create_model("m")
+        network.bulk_load("m", quads)
+        engine = SparqlEngine(network, default_model="m")
+        result = engine.select(
+            "SELECT (COUNT(*) AS ?c) WHERE { ?s ?p ?o }"
+        )
+        assert result.scalar().to_python() == len(quads)

@@ -1,0 +1,295 @@
+"""Tests for the rule engine, RDFS rules, and the OWL 2 RL subset."""
+
+import pytest
+
+from repro.inference import (
+    OWL_RL_RULES,
+    RDFS_RULES,
+    Rule,
+    RuleEngine,
+    owl_rl_closure,
+    rdfs_closure,
+    var,
+)
+from repro.inference.owl import property_chain_rule
+from repro.rdf import IRI, Literal, OWL, RDF, RDFS, Triple
+
+EX = "http://ex/"
+
+
+def ex(name):
+    return IRI(EX + name)
+
+
+class TestRuleEngine:
+    def test_simple_derivation(self):
+        rule = Rule(
+            "r", body=((var("x"), ex("p"), var("y")),),
+            head=((var("y"), ex("q"), var("x")),),
+        )
+        closure = RuleEngine([rule]).closure([Triple(ex("a"), ex("p"), ex("b"))])
+        assert Triple(ex("b"), ex("q"), ex("a")) in closure
+
+    def test_transitive_closure_converges(self):
+        rule = Rule(
+            "trans",
+            body=((var("x"), ex("p"), var("y")), (var("y"), ex("p"), var("z"))),
+            head=((var("x"), ex("p"), var("z")),),
+        )
+        chain = [Triple(ex(f"n{i}"), ex("p"), ex(f"n{i+1}")) for i in range(6)]
+        closure = RuleEngine([rule]).closure(chain)
+        # n0 reaches all of n1..n6.
+        p_triples = [t for t in closure if t.subject == ex("n0")]
+        assert len(p_triples) == 6
+
+    def test_cycle_converges(self):
+        rule = Rule(
+            "trans",
+            body=((var("x"), ex("p"), var("y")), (var("y"), ex("p"), var("z"))),
+            head=((var("x"), ex("p"), var("z")),),
+        )
+        cycle = [
+            Triple(ex("a"), ex("p"), ex("b")),
+            Triple(ex("b"), ex("p"), ex("a")),
+        ]
+        closure = RuleEngine([rule]).closure(cycle)
+        assert Triple(ex("a"), ex("p"), ex("a")) in closure
+
+    def test_inferred_only_excludes_asserted(self):
+        rule = Rule(
+            "r", body=((var("x"), ex("p"), var("y")),),
+            head=((var("y"), ex("q"), var("x")),),
+        )
+        asserted = [Triple(ex("a"), ex("p"), ex("b"))]
+        inferred = RuleEngine([rule]).inferred_only(asserted)
+        assert inferred == {Triple(ex("b"), ex("q"), ex("a"))}
+
+    def test_head_variable_must_occur_in_body(self):
+        with pytest.raises(ValueError):
+            Rule(
+                "bad", body=((var("x"), ex("p"), var("y")),),
+                head=((var("z"), ex("q"), var("x")),),
+            )
+
+    def test_invalid_derived_triples_skipped(self):
+        # Literal would flow into subject position: skipped, not crash.
+        rule = Rule(
+            "swap", body=((var("x"), ex("p"), var("y")),),
+            head=((var("y"), ex("q"), var("x")),),
+        )
+        closure = RuleEngine([rule]).closure(
+            [Triple(ex("a"), ex("p"), Literal("lit"))]
+        )
+        assert len(closure) == 1
+
+    def test_multi_pattern_join(self):
+        rule = Rule(
+            "uncle",
+            body=(
+                (var("c"), ex("hasFather"), var("f")),
+                (var("f"), ex("hasBrother"), var("u")),
+            ),
+            head=((var("c"), ex("hasUncle"), var("u")),),
+        )
+        closure = RuleEngine([rule]).closure(
+            [
+                Triple(ex("john"), ex("hasFather"), ex("mark")),
+                Triple(ex("mark"), ex("hasBrother"), ex("tom")),
+            ]
+        )
+        assert Triple(ex("john"), ex("hasUncle"), ex("tom")) in closure
+
+
+class TestRdfs:
+    def test_subproperty_inheritance_rdfs7(self):
+        closure = rdfs_closure(
+            [
+                Triple(ex("e3"), RDFS.subPropertyOf, ex("follows")),
+                Triple(ex("v1"), ex("e3"), ex("v2")),
+            ]
+        )
+        assert Triple(ex("v1"), ex("follows"), ex("v2")) in closure
+
+    def test_sp_model_derivability(self):
+        """The SP encoding's -s-p-o triple is derivable via rdfs7 —
+        the paper asserts it explicitly as an optimization."""
+        from repro.core import MODEL_SP, transformer_for
+        from repro.propertygraph import PropertyGraph
+
+        graph = PropertyGraph()
+        graph.add_vertex(1)
+        graph.add_vertex(2)
+        graph.add_edge(1, "follows", 2, {"since": 2007}, edge_id=3)
+        quads = list(transformer_for(MODEL_SP).transform(graph))
+        explicit = {q.triple() for q in quads}
+        # Remove the explicit -s-p-o triple; RDFS must re-derive it.
+        vocab = transformer_for(MODEL_SP).vocabulary
+        spo = Triple(
+            vocab.vertex_iri(1), vocab.label_iri("follows"), vocab.vertex_iri(2)
+        )
+        reduced = explicit - {spo}
+        assert spo in rdfs_closure(reduced)
+
+    def test_subproperty_transitivity_rdfs5(self):
+        closure = rdfs_closure(
+            [
+                Triple(ex("a"), RDFS.subPropertyOf, ex("b")),
+                Triple(ex("b"), RDFS.subPropertyOf, ex("c")),
+            ]
+        )
+        assert Triple(ex("a"), RDFS.subPropertyOf, ex("c")) in closure
+
+    def test_domain_and_range(self):
+        closure = rdfs_closure(
+            [
+                Triple(ex("follows"), RDFS.domain, ex("Person")),
+                Triple(ex("follows"), RDFS.range, ex("Person")),
+                Triple(ex("v1"), ex("follows"), ex("v2")),
+            ]
+        )
+        assert Triple(ex("v1"), RDF.type, ex("Person")) in closure
+        assert Triple(ex("v2"), RDF.type, ex("Person")) in closure
+
+    def test_subclass_chain(self):
+        closure = rdfs_closure(
+            [
+                Triple(ex("Student"), RDFS.subClassOf, ex("Person")),
+                Triple(ex("Person"), RDFS.subClassOf, ex("Agent")),
+                Triple(ex("amy"), RDF.type, ex("Student")),
+            ]
+        )
+        assert Triple(ex("amy"), RDF.type, ex("Agent")) in closure
+
+
+class TestOwlRl:
+    def test_sameas_substitution(self):
+        closure = owl_rl_closure(
+            [
+                Triple(ex("tampa1"), OWL.sameAs, ex("tampa2")),
+                Triple(ex("tampa1"), ex("inState"), ex("florida")),
+            ]
+        )
+        assert Triple(ex("tampa2"), ex("inState"), ex("florida")) in closure
+        assert Triple(ex("tampa2"), OWL.sameAs, ex("tampa1")) in closure
+
+    def test_equivalent_property_both_ways(self):
+        closure = owl_rl_closure(
+            [
+                Triple(ex("hasTag"), OWL.equivalentProperty, ex("tagged")),
+                Triple(ex("n1"), ex("hasTag"), Literal("#x")),
+                Triple(ex("n2"), ex("tagged"), Literal("#y")),
+            ]
+        )
+        assert Triple(ex("n1"), ex("tagged"), Literal("#x")) in closure
+        assert Triple(ex("n2"), ex("hasTag"), Literal("#y")) in closure
+
+    def test_inverse_of(self):
+        closure = owl_rl_closure(
+            [
+                Triple(ex("follows"), OWL.inverseOf, ex("followedBy")),
+                Triple(ex("a"), ex("follows"), ex("b")),
+            ]
+        )
+        assert Triple(ex("b"), ex("followedBy"), ex("a")) in closure
+
+    def test_transitive_property(self):
+        closure = owl_rl_closure(
+            [
+                Triple(ex("ancestor"), RDF.type, OWL.TransitiveProperty),
+                Triple(ex("a"), ex("ancestor"), ex("b")),
+                Triple(ex("b"), ex("ancestor"), ex("c")),
+            ]
+        )
+        assert Triple(ex("a"), ex("ancestor"), ex("c")) in closure
+
+    def test_symmetric_property(self):
+        closure = owl_rl_closure(
+            [
+                Triple(ex("nbr"), RDF.type, OWL.SymmetricProperty),
+                Triple(ex("us"), ex("nbr"), ex("mexico")),
+            ]
+        )
+        assert Triple(ex("mexico"), ex("nbr"), ex("us")) in closure
+
+    def test_property_chain_factbook_example(self):
+        """Section 5.2: country -bndry-> boundary -ports-> port entails
+        country :nbrOfPort port."""
+        chain = property_chain_rule(
+            "nbr-of-port", [ex("bndry"), ex("ports")], ex("nbrOfPort")
+        )
+        closure = owl_rl_closure(
+            [
+                Triple(ex("mexico"), ex("bndry"), ex("gulf")),
+                Triple(ex("gulf"), ex("ports"), ex("tampa")),
+            ],
+            extra_rules=[chain],
+        )
+        assert Triple(ex("mexico"), ex("nbrOfPort"), ex("tampa")) in closure
+
+    def test_property_chain_needs_two_steps(self):
+        with pytest.raises(ValueError):
+            property_chain_rule("x", [ex("p")], ex("r"))
+
+    def test_user_defined_rule_hastagr(self):
+        """The paper's hasTagR rule: node with #tag linking to the
+        tag's neighboring country."""
+        has_tag_r = Rule(
+            "hasTagR",
+            body=(
+                (var("n"), ex("hasTag"), var("t")),
+                (var("t"), ex("nbr"), var("c")),
+            ),
+            head=((var("n"), ex("hasTagR"), var("c")),),
+        )
+        closure = owl_rl_closure(
+            [
+                Triple(ex("node9"), ex("hasTag"), ex("tampaTag")),
+                Triple(ex("tampaTag"), ex("nbr"), ex("mexico")),
+            ],
+            extra_rules=[has_tag_r],
+        )
+        assert Triple(ex("node9"), ex("hasTagR"), ex("mexico")) in closure
+
+
+class TestFunctionalProperties:
+    def test_functional_property_merges_values(self):
+        closure = owl_rl_closure(
+            [
+                Triple(ex("hasMother"), RDF.type, OWL.FunctionalProperty),
+                Triple(ex("amy"), ex("hasMother"), ex("jane")),
+                Triple(ex("amy"), ex("hasMother"), ex("janeDoe")),
+            ]
+        )
+        assert Triple(ex("jane"), OWL.sameAs, ex("janeDoe")) in closure
+
+    def test_inverse_functional_property_merges_subjects(self):
+        closure = owl_rl_closure(
+            [
+                Triple(ex("hasSSN"), RDF.type, OWL.InverseFunctionalProperty),
+                Triple(ex("p1"), ex("hasSSN"), ex("ssn42")),
+                Triple(ex("p2"), ex("hasSSN"), ex("ssn42")),
+            ]
+        )
+        assert Triple(ex("p1"), OWL.sameAs, ex("p2")) in closure
+
+    def test_functional_merge_propagates_facts(self):
+        """prp-fp + eq-rep: facts about one alias apply to the other."""
+        closure = owl_rl_closure(
+            [
+                Triple(ex("hasMother"), RDF.type, OWL.FunctionalProperty),
+                Triple(ex("amy"), ex("hasMother"), ex("jane")),
+                Triple(ex("amy"), ex("hasMother"), ex("janeDoe")),
+                Triple(ex("jane"), ex("livesIn"), ex("boston")),
+            ]
+        )
+        assert Triple(ex("janeDoe"), ex("livesIn"), ex("boston")) in closure
+
+    def test_self_sameas_harmless(self):
+        # prp-fp with a single value derives x sameAs x; closure converges.
+        closure = owl_rl_closure(
+            [
+                Triple(ex("hasMother"), RDF.type, OWL.FunctionalProperty),
+                Triple(ex("amy"), ex("hasMother"), ex("jane")),
+            ]
+        )
+        assert Triple(ex("jane"), OWL.sameAs, ex("jane")) in closure

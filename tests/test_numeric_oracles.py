@@ -1,0 +1,152 @@
+"""Independent numeric oracles for the graph analytics.
+
+The SPARQL engine, the procedural traversal, *and* linear algebra /
+networkx must all agree:
+
+* EQ11 path counts  == row sums of adjacency-matrix powers (A^k);
+* EQ12 triangles    == trace(A^3)  (valid because the data has no
+  self-loops, so every closed 3-walk visits distinct vertices);
+* ``follows+``      == networkx descendants;
+* EQ9/EQ10          == networkx degree views.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core import MODEL_NG, PropertyGraphRdfStore
+from repro.datasets.twitter import TwitterConfig, generate_twitter, hub_vertex
+from repro.propertygraph.traversal import count_paths, count_triangles
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = generate_twitter(TwitterConfig(egos=6, seed=5))
+    store = PropertyGraphRdfStore(model=MODEL_NG)
+    store.load(graph)
+    directed = nx.DiGraph()
+    directed.add_nodes_from(v.id for v in graph.vertices())
+    directed.add_edges_from(
+        (e.source, e.target) for e in graph.edges() if e.label == "follows"
+    )
+    nodes = sorted(directed.nodes)
+    index = {node: i for i, node in enumerate(nodes)}
+    adjacency = np.zeros((len(nodes), len(nodes)), dtype=np.int64)
+    for source, target in directed.edges:
+        adjacency[index[source], index[target]] = 1
+    return graph, store, directed, adjacency, index
+
+
+class TestMatrixPowerOracle:
+    def test_no_self_loops(self, setup):
+        _, _, directed, _, _ = setup
+        assert nx.number_of_selfloops(directed) == 0
+
+    @pytest.mark.parametrize("hops", [1, 2, 3, 4, 5])
+    def test_path_counts_equal_matrix_powers(self, setup, hops):
+        graph, store, _, adjacency, index = setup
+        hub = hub_vertex(graph)
+        hub_iri = store.vocabulary.vertex_iri(hub).value
+        power = np.linalg.matrix_power(adjacency, hops)
+        expected = int(power[index[hub]].sum())
+        sparql = store.select(
+            store.queries.eq11(hub_iri, hops)
+        ).scalar().to_python()
+        assert sparql == expected
+        assert count_paths(graph, hub, "follows", hops) == expected
+
+    def test_triangles_equal_trace_a_cubed(self, setup):
+        graph, store, _, adjacency, _ = setup
+        cubed = np.linalg.matrix_power(adjacency, 3)
+        expected = int(np.trace(cubed))
+        sparql = store.select(store.queries.eq12()).scalar().to_python()
+        assert sparql == expected
+        assert count_triangles(graph, "follows") == expected
+
+
+class TestNetworkxOracle:
+    def test_follows_plus_equals_descendants(self, setup):
+        graph, store, directed, _, _ = setup
+        hub = hub_vertex(graph)
+        hub_iri = store.vocabulary.vertex_iri(hub).value
+        reachable = store.select(
+            f"SELECT ?y WHERE {{ <{hub_iri}> r:follows+ ?y }}"
+        )
+        sparql_nodes = {
+            store.vocabulary.parse_vertex_id(term)
+            for term in reachable.column("y")
+        }
+        expected = set(nx.descendants(directed, hub))
+        # nx.descendants always excludes the source; `follows+` includes
+        # it when the source lies on a cycle.
+        if any(
+            hub == successor or hub in nx.descendants(directed, successor)
+            for successor in directed.successors(hub)
+        ):
+            expected.add(hub)
+        assert sparql_nodes == expected
+
+    def test_follows_star_adds_start(self, setup):
+        graph, store, directed, _, _ = setup
+        hub = hub_vertex(graph)
+        hub_iri = store.vocabulary.vertex_iri(hub).value
+        reachable = store.select(
+            f"SELECT ?y WHERE {{ <{hub_iri}> r:follows* ?y }}"
+        )
+        sparql_nodes = {
+            store.vocabulary.parse_vertex_id(term)
+            for term in reachable.column("y")
+        }
+        assert sparql_nodes == set(nx.descendants(directed, hub)) | {hub}
+
+    def test_out_degree_distribution_matches_networkx(self, setup):
+        graph, store, directed, _, _ = setup
+        # Restrict to follows by rebuilding EQ10 over r:follows only.
+        result = store.select(
+            "SELECT ?outDeg (COUNT(*) as ?cnt) WHERE { "
+            "SELECT ?n1 (COUNT(*) as ?outDeg) WHERE { ?n1 r:follows ?n2 } "
+            "GROUP BY ?n1 } GROUP BY ?outDeg"
+        )
+        sparql_hist = {
+            row["outDeg"].to_python(): row["cnt"].to_python()
+            for row in result
+        }
+        nx_hist = {}
+        for _, degree in directed.out_degree():
+            if degree:
+                nx_hist[degree] = nx_hist.get(degree, 0) + 1
+        assert sparql_hist == nx_hist
+
+    def test_in_degree_distribution_matches_networkx(self, setup):
+        graph, store, directed, _, _ = setup
+        result = store.select(
+            "SELECT ?inDeg (COUNT(*) as ?cnt) WHERE { "
+            "SELECT ?n2 (COUNT(*) as ?inDeg) WHERE { ?n1 r:follows ?n2 } "
+            "GROUP BY ?n2 } GROUP BY ?inDeg"
+        )
+        sparql_hist = {
+            row["inDeg"].to_python(): row["cnt"].to_python() for row in result
+        }
+        nx_hist = {}
+        for _, degree in directed.in_degree():
+            if degree:
+                nx_hist[degree] = nx_hist.get(degree, 0) + 1
+        assert sparql_hist == nx_hist
+
+    def test_two_hop_neighborhood(self, setup):
+        graph, store, directed, _, _ = setup
+        hub = hub_vertex(graph)
+        hub_iri = store.vocabulary.vertex_iri(hub).value
+        result = store.select(
+            f"SELECT DISTINCT ?y WHERE {{ <{hub_iri}> r:follows/r:follows ?y }}"
+        )
+        sparql_nodes = {
+            store.vocabulary.parse_vertex_id(term)
+            for term in result.column("y")
+        }
+        expected = {
+            second
+            for first in directed.successors(hub)
+            for second in directed.successors(first)
+        }
+        assert sparql_nodes == expected

@@ -1,0 +1,253 @@
+"""Unit tests for the property graph model."""
+
+import pytest
+
+from repro.propertygraph import PropertyGraph, PropertyGraphError
+
+
+@pytest.fixture
+def figure1():
+    """The paper's Figure 1 sample graph."""
+    graph = PropertyGraph("figure1")
+    graph.add_vertex(1, {"name": "Amy", "age": 23})
+    graph.add_vertex(2, {"name": "Mira", "age": 22})
+    graph.add_edge(1, "follows", 2, {"since": 2007}, edge_id=3)
+    graph.add_edge(1, "knows", 2, {"firstMetAt": "MIT"}, edge_id=4)
+    return graph
+
+
+class TestVertices:
+    def test_counts(self, figure1):
+        assert figure1.vertex_count == 2
+        assert figure1.edge_count == 2
+
+    def test_properties(self, figure1):
+        assert figure1.vertex(1).get_property("name") == "Amy"
+        assert figure1.vertex(2).get_property("age") == 22
+
+    def test_auto_ids(self):
+        graph = PropertyGraph()
+        v1 = graph.add_vertex()
+        v2 = graph.add_vertex()
+        assert v1.id != v2.id
+
+    def test_duplicate_vertex_rejected(self, figure1):
+        with pytest.raises(PropertyGraphError):
+            figure1.add_vertex(1)
+
+    def test_unknown_vertex(self, figure1):
+        with pytest.raises(PropertyGraphError):
+            figure1.vertex(99)
+
+    def test_non_scalar_property_rejected(self, figure1):
+        with pytest.raises(PropertyGraphError):
+            figure1.vertex(1).set_property("bad", [1, 2])
+
+    def test_empty_key_rejected(self, figure1):
+        with pytest.raises(PropertyGraphError):
+            figure1.vertex(1).set_property("", "x")
+
+    def test_remove_vertex_cascades_edges(self, figure1):
+        figure1.remove_vertex(2)
+        assert figure1.edge_count == 0
+        assert not figure1.has_vertex(2)
+
+    def test_remove_property(self, figure1):
+        figure1.vertex(1).remove_property("age")
+        assert figure1.vertex(1).get_property("age") is None
+
+
+class TestEdges:
+    def test_edge_attributes(self, figure1):
+        edge = figure1.edge(3)
+        assert edge.label == "follows"
+        assert edge.source == 1 and edge.target == 2
+        assert edge.get_property("since") == 2007
+
+    def test_multi_relational(self, figure1):
+        # Two parallel edges between the same vertices, different labels.
+        labels = {e.label for e in figure1.out_edges(1)}
+        assert labels == {"follows", "knows"}
+
+    def test_edge_requires_existing_vertices(self, figure1):
+        with pytest.raises(PropertyGraphError):
+            figure1.add_edge(1, "follows", 99)
+        with pytest.raises(PropertyGraphError):
+            figure1.add_edge(99, "follows", 1)
+
+    def test_duplicate_edge_id_rejected(self, figure1):
+        with pytest.raises(PropertyGraphError):
+            figure1.add_edge(2, "follows", 1, edge_id=3)
+
+    def test_empty_label_rejected(self, figure1):
+        with pytest.raises(PropertyGraphError):
+            figure1.add_edge(1, "", 2)
+
+    def test_remove_edge(self, figure1):
+        figure1.remove_edge(3)
+        assert not figure1.has_edge(3)
+        assert figure1.out_degree(1) == 1
+
+    def test_adjacency(self, figure1):
+        assert figure1.out_neighbors(1, "follows") == [2]
+        assert figure1.in_neighbors(2) == [1, 1]
+        assert figure1.out_degree(1) == 2
+        assert figure1.in_degree(2, "knows") == 1
+
+
+class TestStatistics:
+    def test_labels_and_keys(self, figure1):
+        assert figure1.labels() == ["follows", "knows"]
+        assert figure1.vertex_keys() == ["age", "name"]
+        assert figure1.edge_keys() == ["firstMetAt", "since"]
+
+    def test_kv_counts(self, figure1):
+        assert figure1.vertex_kv_count() == 4
+        assert figure1.edge_kv_count() == 2
+        assert figure1.edges_with_kv_count() == 2
+
+    def test_isolated_vertices(self, figure1):
+        isolated = figure1.add_vertex(10)
+        assert figure1.isolated_vertices() == [10]
+        isolated.set_property("k", "v")
+        assert figure1.isolated_vertices() == []
+
+    def test_degree_distribution(self, figure1):
+        out_hist, in_hist = figure1.degree_distribution()
+        assert out_hist == {2: 1, 0: 1}
+        assert in_hist == {0: 1, 2: 1}
+
+
+class TestMultiValuedProperties:
+    def test_add_property_single_stays_scalar(self):
+        graph = PropertyGraph()
+        vertex = graph.add_vertex(1)
+        vertex.add_property("hasTag", "#a")
+        assert vertex.properties["hasTag"] == "#a"
+
+    def test_add_property_accumulates(self):
+        graph = PropertyGraph()
+        vertex = graph.add_vertex(1)
+        vertex.add_property("hasTag", "#b")
+        vertex.add_property("hasTag", "#a")
+        assert vertex.property_values("hasTag") == ("#a", "#b")  # sorted
+
+    def test_add_property_dedupes(self):
+        graph = PropertyGraph()
+        vertex = graph.add_vertex(1)
+        vertex.add_property("hasTag", "#a")
+        vertex.add_property("hasTag", "#a")
+        assert vertex.property_values("hasTag") == ("#a",)
+
+    def test_bool_and_int_not_conflated(self):
+        graph = PropertyGraph()
+        vertex = graph.add_vertex(1)
+        vertex.add_property("k", True)
+        vertex.add_property("k", 1)
+        assert len(vertex.property_values("k")) == 2
+
+    def test_has_property_value(self):
+        graph = PropertyGraph()
+        vertex = graph.add_vertex(1)
+        vertex.add_property("hasTag", "#a")
+        vertex.add_property("hasTag", "#b")
+        assert vertex.has_property_value("hasTag", "#a")
+        assert not vertex.has_property_value("hasTag", "#z")
+
+    def test_kv_pairs_flatten(self):
+        graph = PropertyGraph()
+        vertex = graph.add_vertex(1, {"name": "Amy"})
+        vertex.add_property("hasTag", "#a")
+        vertex.add_property("hasTag", "#b")
+        assert sorted(vertex.kv_pairs()) == [
+            ("hasTag", "#a"), ("hasTag", "#b"), ("name", "Amy"),
+        ]
+        assert vertex.kv_count() == 3
+
+    def test_kv_counts_include_multivalues(self):
+        graph = PropertyGraph()
+        vertex = graph.add_vertex(1)
+        vertex.add_property("hasTag", "#a")
+        vertex.add_property("hasTag", "#b")
+        assert graph.vertex_kv_count() == 2
+
+    def test_set_property_replaces_multivalue(self):
+        graph = PropertyGraph()
+        vertex = graph.add_vertex(1)
+        vertex.add_property("k", "a")
+        vertex.add_property("k", "b")
+        vertex.set_property("k", "c")
+        assert vertex.property_values("k") == ("c",)
+
+    def test_get_property_on_multivalue_returns_first(self):
+        graph = PropertyGraph()
+        vertex = graph.add_vertex(1)
+        vertex.add_property("k", "b")
+        vertex.add_property("k", "a")
+        assert vertex.get_property("k") == "a"
+
+    def test_multivalue_transform_roundtrip(self):
+        from repro.core import MODEL_NG, transformer_for
+        from repro.core.roundtrip import rdf_to_property_graph
+
+        graph = PropertyGraph()
+        graph.add_vertex(1)
+        graph.add_vertex(2)
+        edge = graph.add_edge(1, "follows", 2, edge_id=3)
+        edge.add_property("hasTag", "#a")
+        edge.add_property("hasTag", "#b")
+        graph.vertex(1).add_property("refs", "@x")
+        graph.vertex(1).add_property("refs", "@y")
+        quads = list(transformer_for(MODEL_NG).transform(graph))
+        rebuilt = rdf_to_property_graph(quads, MODEL_NG)
+        assert rebuilt.edge(3).property_values("hasTag") == ("#a", "#b")
+        assert rebuilt.vertex(1).property_values("refs") == ("@x", "@y")
+
+
+class TestSubgraphAndMerge:
+    def test_induced_subgraph(self, figure1):
+        figure1.add_vertex(5, {"name": "Eve"})
+        figure1.add_edge(2, "follows", 5)
+        sub = figure1.subgraph([1, 2])
+        assert sub.vertex_count == 2
+        assert sub.edge_count == 2  # both 1->2 edges; the 2->5 edge dropped
+        assert sub.vertex(1).get_property("name") == "Amy"
+        assert sub.edge(3).get_property("since") == 2007
+
+    def test_subgraph_unknown_vertex(self, figure1):
+        with pytest.raises(PropertyGraphError):
+            figure1.subgraph([1, 99])
+
+    def test_subgraph_is_a_copy(self, figure1):
+        sub = figure1.subgraph([1, 2])
+        sub.vertex(1).set_property("name", "Changed")
+        assert figure1.vertex(1).get_property("name") == "Amy"
+
+    def test_merge_unifies_vertices(self, figure1):
+        other = PropertyGraph("other")
+        other.add_vertex(2, {"city": "Boston"})
+        other.add_vertex(9, {"name": "Nia"})
+        other.add_edge(2, "follows", 9)
+        figure1.merge(other)
+        assert figure1.vertex_count == 3
+        assert figure1.vertex(2).get_property("city") == "Boston"
+        assert figure1.vertex(2).get_property("name") == "Mira"  # kept
+        assert figure1.edge_count == 3
+
+    def test_merge_multivalues(self, figure1):
+        other = PropertyGraph("other")
+        other.add_vertex(1)
+        other.vertex(1).add_property("name", "Amy2")
+        figure1.merge(other)
+        assert set(figure1.vertex(1).property_values("name")) == {
+            "Amy", "Amy2",
+        }
+
+    def test_merge_assigns_fresh_edge_ids(self, figure1):
+        other = PropertyGraph("other")
+        other.add_vertex(1)
+        other.add_vertex(2)
+        other.add_edge(1, "likes", 2, edge_id=3)  # clashes with figure1's 3
+        figure1.merge(other)
+        labels = sorted(e.label for e in figure1.edges())
+        assert labels == ["follows", "knows", "likes"]

@@ -1,0 +1,105 @@
+"""Unit tests for the relational property graph form (Figure 3)."""
+
+import pytest
+
+from repro.propertygraph import (
+    EdgeRow,
+    ObjKVRow,
+    PropertyGraph,
+    PropertyGraphError,
+    RelationalPropertyGraph,
+    from_relational,
+    to_relational,
+)
+from repro.propertygraph.relational import render_tables
+
+
+@pytest.fixture
+def figure1():
+    graph = PropertyGraph("figure1")
+    graph.add_vertex(1, {"name": "Amy", "age": 23})
+    graph.add_vertex(2, {"name": "Mira", "age": 22})
+    graph.add_edge(1, "follows", 2, {"since": 2007}, edge_id=3)
+    graph.add_edge(1, "knows", 2, {"firstMetAt": "MIT"}, edge_id=4)
+    return graph
+
+
+class TestToRelational:
+    def test_edges_table(self, figure1):
+        relational = to_relational(figure1)
+        assert EdgeRow(1, 3, "follows", 2) in relational.edges
+        assert EdgeRow(1, 4, "knows", 2) in relational.edges
+
+    def test_objkvs_table_types(self, figure1):
+        relational = to_relational(figure1)
+        rows = {(r.obj_id, r.key, r.is_edge): (r.type, r.value)
+                for r in relational.obj_kvs}
+        assert rows[(1, "name", False)] == ("VARCHAR", "Amy")
+        assert rows[(1, "age", False)] == ("NUMBER", "23")
+        assert rows[(3, "since", True)] == ("NUMBER", "2007")
+        assert rows[(4, "firstMetAt", True)] == ("VARCHAR", "MIT")
+
+    def test_float_and_boolean_types(self):
+        graph = PropertyGraph()
+        graph.add_vertex(1, {"score": 2.5, "active": True})
+        relational = to_relational(graph)
+        types = {r.key: (r.type, r.value) for r in relational.obj_kvs}
+        assert types["score"] == ("FLOAT", "2.5")
+        assert types["active"] == ("BOOLEAN", "true")
+
+    def test_vertex_list_includes_isolated(self, figure1):
+        figure1.add_vertex(10)
+        relational = to_relational(figure1)
+        assert 10 in relational.vertices
+
+
+class TestFromRelational:
+    def test_roundtrip(self, figure1):
+        rebuilt = from_relational(to_relational(figure1))
+        assert rebuilt.vertex_count == figure1.vertex_count
+        assert rebuilt.edge_count == figure1.edge_count
+        assert rebuilt.vertex(1).properties == figure1.vertex(1).properties
+        assert rebuilt.edge(3).properties == figure1.edge(3).properties
+        assert rebuilt.edge(4).label == "knows"
+
+    def test_roundtrip_preserves_value_types(self):
+        graph = PropertyGraph()
+        graph.add_vertex(1, {"i": 5, "f": 1.5, "b": False, "s": "x"})
+        rebuilt = from_relational(to_relational(graph))
+        properties = rebuilt.vertex(1).properties
+        assert properties == {"i": 5, "f": 1.5, "b": False, "s": "x"}
+        assert isinstance(properties["i"], int)
+        assert isinstance(properties["f"], float)
+        assert isinstance(properties["b"], bool)
+
+    def test_vertices_inferred_from_edges(self):
+        relational = RelationalPropertyGraph(
+            edges=[EdgeRow(1, 10, "p", 2)], obj_kvs=[], vertices=[]
+        )
+        graph = from_relational(relational)
+        assert graph.has_vertex(1) and graph.has_vertex(2)
+
+    def test_unknown_edge_kv_rejected(self):
+        relational = RelationalPropertyGraph(
+            edges=[],
+            obj_kvs=[ObjKVRow(9, "k", "VARCHAR", "v", is_edge=True)],
+            vertices=[1],
+        )
+        with pytest.raises(PropertyGraphError):
+            from_relational(relational)
+
+    def test_unknown_vertex_kv_rejected(self):
+        relational = RelationalPropertyGraph(
+            edges=[],
+            obj_kvs=[ObjKVRow(9, "k", "VARCHAR", "v", is_edge=False)],
+            vertices=[1],
+        )
+        with pytest.raises(PropertyGraphError):
+            from_relational(relational)
+
+
+class TestRendering:
+    def test_render_tables(self, figure1):
+        text = render_tables(to_relational(figure1))
+        assert "Edges" in text and "ObjKVs" in text
+        assert "follows" in text and "since" in text

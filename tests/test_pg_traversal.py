@@ -1,0 +1,114 @@
+"""Unit tests for the procedural (Gremlin-style) traversal API."""
+
+import pytest
+
+from repro.propertygraph import PropertyGraph, Traversal
+from repro.propertygraph.traversal import (
+    count_paths,
+    count_triangles,
+    degree_histogram,
+)
+
+
+@pytest.fixture
+def graph():
+    """a->b->c->a follows-triangle plus a->c, d isolated-ish."""
+    g = PropertyGraph()
+    for vid, name in [(1, "a"), (2, "b"), (3, "c"), (4, "d")]:
+        g.add_vertex(vid, {"name": name})
+    g.add_edge(1, "follows", 2)
+    g.add_edge(2, "follows", 3)
+    g.add_edge(3, "follows", 1)
+    g.add_edge(1, "follows", 3)
+    g.add_edge(1, "knows", 4)
+    return g
+
+
+class TestTraversalPipeline:
+    def test_vertices_start(self, graph):
+        assert Traversal(graph).vertices().count() == 4
+
+    def test_has_filter(self, graph):
+        ids = Traversal(graph).vertices().has("name", "a").ids()
+        assert ids == [1]
+
+    def test_out_step(self, graph):
+        ids = sorted(Traversal(graph).vertex(1).out("follows").ids())
+        assert ids == [2, 3]
+
+    def test_out_without_label(self, graph):
+        assert Traversal(graph).vertex(1).out().count() == 3
+
+    def test_in_step(self, graph):
+        ids = sorted(Traversal(graph).vertex(3).in_("follows").ids())
+        assert ids == [1, 2]
+
+    def test_both_step(self, graph):
+        assert Traversal(graph).vertex(1).both("follows").count() == 3
+
+    def test_chained_two_hops(self, graph):
+        ids = sorted(Traversal(graph).vertex(1).out("follows").out("follows").ids())
+        assert ids == [1, 3]
+
+    def test_dedup(self, graph):
+        trav = Traversal(graph).vertex(1).out("follows").out("follows").dedup()
+        assert sorted(trav.ids()) == [1, 3]
+
+    def test_values(self, graph):
+        names = sorted(Traversal(graph).vertex(1).out("follows").values("name"))
+        assert names == ["b", "c"]
+
+    def test_filter_predicate(self, graph):
+        ids = (
+            Traversal(graph)
+            .vertices()
+            .filter(lambda v: v.id % 2 == 0)
+            .ids()
+        )
+        assert sorted(ids) == [2, 4]
+
+    def test_has_key(self, graph):
+        graph.vertex(1).set_property("vip", True)
+        assert Traversal(graph).vertices().has_key("vip").ids() == [1]
+
+    def test_out_edges_terminal(self, graph):
+        labels = sorted(e.label for e in Traversal(graph).vertex(1).out_edges())
+        assert labels == ["follows", "follows", "knows"]
+
+
+class TestAnalytics:
+    def test_count_paths_one_hop(self, graph):
+        assert count_paths(graph, 1, "follows", 1) == 2
+
+    def test_count_paths_two_hops(self, graph):
+        # 1->2->3 and 1->3->1: two 2-hop paths.
+        assert count_paths(graph, 1, "follows", 2) == 2
+
+    def test_count_paths_three_hops(self, graph):
+        # 1->2->3->1 and 1->3->1->2 and 1->3->1->3: three 3-hop paths.
+        assert count_paths(graph, 1, "follows", 3) == 3
+
+    def test_count_paths_no_edges(self, graph):
+        assert count_paths(graph, 4, "follows", 2) == 0
+
+    def test_count_paths_rejects_zero_hops(self, graph):
+        with pytest.raises(ValueError):
+            count_paths(graph, 1, "follows", 0)
+
+    def test_count_triangles(self, graph):
+        # One cyclic triangle 1->2->3->1, counted once per rotation.
+        assert count_triangles(graph, "follows") == 3
+
+    def test_count_triangles_other_label(self, graph):
+        assert count_triangles(graph, "knows") == 0
+
+    def test_degree_histogram(self, graph):
+        in_hist, out_hist = degree_histogram(graph, ["follows"])
+        # out-degrees: v1=2, v2=1, v3=1 -> {2:1, 1:2}
+        assert out_hist == {2: 1, 1: 2}
+        # in-degrees: v2=1, v3=2, v1=1 -> {1:2, 2:1}
+        assert in_hist == {1: 2, 2: 1}
+
+    def test_degree_histogram_all_labels(self, graph):
+        in_hist, out_hist = degree_histogram(graph)
+        assert out_hist[3] == 1  # vertex 1 has 3 outgoing edges in total

@@ -1,0 +1,49 @@
+"""Unit tests for namespace helpers."""
+
+import pytest
+
+from repro.rdf import IRI, Namespace, OWL, RDF, RDFS, XSD
+
+
+class TestNamespace:
+    def test_attribute_access(self):
+        rel = Namespace("http://pg/r/")
+        assert rel.follows == IRI("http://pg/r/follows")
+
+    def test_item_access(self):
+        key = Namespace("http://pg/k/")
+        assert key["age"] == IRI("http://pg/k/age")
+
+    def test_contains(self):
+        rel = Namespace("http://pg/r/")
+        assert IRI("http://pg/r/follows") in rel
+        assert IRI("http://pg/k/age") not in rel
+
+    def test_local_name(self):
+        rel = Namespace("http://pg/r/")
+        assert rel.local_name(IRI("http://pg/r/follows")) == "follows"
+
+    def test_local_name_outside_namespace(self):
+        rel = Namespace("http://pg/r/")
+        with pytest.raises(ValueError):
+            rel.local_name(IRI("http://other/x"))
+
+    def test_private_attribute_not_minted(self):
+        rel = Namespace("http://pg/r/")
+        with pytest.raises(AttributeError):
+            rel._secret  # noqa: B018
+
+
+class TestStandardVocabularies:
+    def test_rdf(self):
+        assert RDF.type.value == "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+        assert RDF.subject.value.endswith("#subject")
+
+    def test_rdfs(self):
+        assert RDFS.subPropertyOf.value.endswith("rdf-schema#subPropertyOf")
+
+    def test_owl(self):
+        assert OWL.sameAs.value.endswith("owl#sameAs")
+
+    def test_xsd(self):
+        assert XSD.int.value == "http://www.w3.org/2001/XMLSchema#int"

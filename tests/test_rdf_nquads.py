@@ -1,0 +1,108 @@
+"""Unit tests for the N-Quads parser and serializer."""
+
+import pytest
+
+from repro.rdf import (
+    IRI,
+    BlankNode,
+    Literal,
+    NQuadsParseError,
+    Quad,
+    XSD,
+    parse_nquads_document,
+    serialize_nquads,
+)
+from repro.rdf.nquads import read_nquads, write_nquads
+
+
+class TestParsing:
+    def test_simple_triple(self):
+        quads = parse_nquads_document("<http://x/s> <http://x/p> <http://x/o> .")
+        assert quads == [Quad(IRI("http://x/s"), IRI("http://x/p"), IRI("http://x/o"))]
+
+    def test_quad_with_graph(self):
+        text = "<http://x/s> <http://x/p> <http://x/o> <http://x/g> ."
+        (quad,) = parse_nquads_document(text)
+        assert quad.graph == IRI("http://x/g")
+
+    def test_plain_literal(self):
+        (quad,) = parse_nquads_document('<http://x/s> <http://x/p> "Amy" .')
+        assert quad.object == Literal("Amy")
+
+    def test_typed_literal(self):
+        text = f'<http://x/s> <http://x/p> "23"^^<{XSD.int.value}> .'
+        (quad,) = parse_nquads_document(text)
+        assert quad.object == Literal("23", XSD.int)
+        assert quad.object.to_python() == 23
+
+    def test_language_literal(self):
+        (quad,) = parse_nquads_document('<http://x/s> <http://x/p> "train"@en-us .')
+        assert quad.object.language == "en-us"
+
+    def test_escaped_literal(self):
+        (quad,) = parse_nquads_document(
+            '<http://x/s> <http://x/p> "tab\\there \\"quoted\\"" .'
+        )
+        assert quad.object.lexical == 'tab\there "quoted"'
+
+    def test_unicode_escape(self):
+        (quad,) = parse_nquads_document('<http://x/s> <http://x/p> "\\u00e9" .')
+        assert quad.object.lexical == "é"
+
+    def test_blank_nodes(self):
+        (quad,) = parse_nquads_document("_:a <http://x/p> _:b .")
+        assert quad.subject == BlankNode("a")
+        assert quad.object == BlankNode("b")
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = "# header\n\n<http://x/s> <http://x/p> <http://x/o> .\n# footer\n"
+        assert len(parse_nquads_document(text)) == 1
+
+    def test_missing_dot_raises(self):
+        with pytest.raises(NQuadsParseError) as err:
+            parse_nquads_document("<http://x/s> <http://x/p> <http://x/o>")
+        assert err.value.line_number == 1
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(NQuadsParseError):
+            parse_nquads_document("<http://x/s> <http://x/p> <http://x/o> . junk")
+
+    def test_unterminated_literal_raises(self):
+        with pytest.raises(NQuadsParseError):
+            parse_nquads_document('<http://x/s> <http://x/p> "oops .')
+
+    def test_unterminated_iri_raises(self):
+        with pytest.raises(NQuadsParseError):
+            parse_nquads_document("<http://x/s <http://x/p> <http://x/o> .")
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(NQuadsParseError):
+            parse_nquads_document('"s" <http://x/p> <http://x/o> .')
+
+    def test_error_reports_correct_line(self):
+        text = "<http://x/s> <http://x/p> <http://x/o> .\nbroken line ."
+        with pytest.raises(NQuadsParseError) as err:
+            parse_nquads_document(text)
+        assert err.value.line_number == 2
+
+
+class TestRoundTrip:
+    QUADS = [
+        Quad(IRI("http://x/s"), IRI("http://x/p"), IRI("http://x/o")),
+        Quad(IRI("http://x/s"), IRI("http://x/p"), Literal("a\nb"), IRI("http://x/g")),
+        Quad(BlankNode("z"), IRI("http://x/p"), Literal("23", XSD.int)),
+        Quad(IRI("http://x/s"), IRI("http://x/p"), Literal("hi", language="en")),
+    ]
+
+    def test_serialize_then_parse(self):
+        text = serialize_nquads(self.QUADS)
+        assert parse_nquads_document(text) == self.QUADS
+
+    def test_empty(self):
+        assert serialize_nquads([]) == ""
+        assert parse_nquads_document("") == []
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "data.nq")
+        assert write_nquads(self.QUADS, path) == len(self.QUADS)
+        assert list(read_nquads(path)) == self.QUADS

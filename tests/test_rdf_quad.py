@@ -1,0 +1,87 @@
+"""Unit tests for Triple and Quad position restrictions."""
+
+import pytest
+
+from repro.rdf import IRI, BlankNode, Literal, Quad, Triple, TermError
+
+S = IRI("http://pg/v1")
+P = IRI("http://pg/r/follows")
+O = IRI("http://pg/v2")
+G = IRI("http://pg/e3")
+
+
+class TestTriple:
+    def test_construction(self):
+        triple = Triple(S, P, O)
+        assert triple.subject == S
+        assert triple.predicate == P
+        assert triple.object == O
+
+    def test_literal_object_allowed(self):
+        assert Triple(S, P, Literal("Amy")).object == Literal("Amy")
+
+    def test_blank_subject_allowed(self):
+        assert Triple(BlankNode("b"), P, O).subject == BlankNode("b")
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(TermError):
+            Triple(Literal("Amy"), P, O)
+
+    def test_blank_predicate_rejected(self):
+        with pytest.raises(TermError):
+            Triple(S, BlankNode("b"), O)
+
+    def test_literal_predicate_rejected(self):
+        with pytest.raises(TermError):
+            Triple(S, Literal("p"), O)
+
+    def test_equality_and_hash(self):
+        assert Triple(S, P, O) == Triple(S, P, O)
+        assert hash(Triple(S, P, O)) == hash(Triple(S, P, O))
+        assert Triple(S, P, O) != Triple(O, P, S)
+
+    def test_unpacking(self):
+        s, p, o = Triple(S, P, O)
+        assert (s, p, o) == (S, P, O)
+
+    def test_in_graph(self):
+        quad = Triple(S, P, O).in_graph(G)
+        assert quad == Quad(S, P, O, G)
+
+    def test_immutable(self):
+        triple = Triple(S, P, O)
+        with pytest.raises(AttributeError):
+            triple.subject = O
+
+
+class TestQuad:
+    def test_default_graph(self):
+        quad = Quad(S, P, O)
+        assert quad.graph is None
+        assert quad.is_default_graph()
+
+    def test_named_graph(self):
+        quad = Quad(S, P, O, G)
+        assert quad.graph == G
+        assert not quad.is_default_graph()
+
+    def test_graph_must_be_iri_or_blank(self):
+        with pytest.raises(TermError):
+            Quad(S, P, O, Literal("g"))
+
+    def test_blank_graph_allowed(self):
+        assert Quad(S, P, O, BlankNode("g")).graph == BlankNode("g")
+
+    def test_triple_projection(self):
+        assert Quad(S, P, O, G).triple() == Triple(S, P, O)
+
+    def test_equality_includes_graph(self):
+        assert Quad(S, P, O, G) != Quad(S, P, O)
+        assert Quad(S, P, O, G) == Quad(S, P, O, G)
+
+    def test_quad_not_equal_to_triple(self):
+        assert Quad(S, P, O) != Triple(S, P, O)
+
+    def test_unpacking(self):
+        s, p, o, g = Quad(S, P, O, G)
+        assert (s, p, o, g) == (S, P, O, G)

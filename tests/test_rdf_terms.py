@@ -1,0 +1,152 @@
+"""Unit tests for RDF terms."""
+
+import pytest
+
+from repro.rdf import IRI, BlankNode, Literal, TermError
+from repro.rdf.terms import XSD_BOOLEAN, XSD_DECIMAL, XSD_DOUBLE, XSD_INT, XSD_STRING
+
+
+class TestIRI:
+    def test_value_roundtrip(self):
+        iri = IRI("http://pg/v1")
+        assert iri.value == "http://pg/v1"
+
+    def test_equality_and_hash(self):
+        assert IRI("http://x/a") == IRI("http://x/a")
+        assert IRI("http://x/a") != IRI("http://x/b")
+        assert hash(IRI("http://x/a")) == hash(IRI("http://x/a"))
+
+    def test_not_equal_to_literal_with_same_text(self):
+        assert IRI("http://x/a") != Literal("http://x/a")
+        assert hash(IRI("http://x/a")) != hash(Literal("http://x/a"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(TermError):
+            IRI("")
+
+    @pytest.mark.parametrize("bad", ["a b", "a<b", "a>b", 'a"b', "a\nb", "a{b}"])
+    def test_invalid_characters_rejected(self, bad):
+        with pytest.raises(TermError):
+            IRI(bad)
+
+    def test_n3(self):
+        assert IRI("http://pg/v1").n3() == "<http://pg/v1>"
+
+    def test_immutable(self):
+        iri = IRI("http://x/a")
+        with pytest.raises(AttributeError):
+            iri.value = "http://x/b"
+
+    def test_type_predicates(self):
+        iri = IRI("http://x/a")
+        assert iri.is_iri() and not iri.is_blank() and not iri.is_literal()
+
+    def test_ordering(self):
+        assert IRI("http://x/a") < IRI("http://x/b")
+
+
+class TestBlankNode:
+    def test_label(self):
+        assert BlankNode("b1").label == "b1"
+
+    def test_fresh_labels_unique(self):
+        assert BlankNode() != BlankNode()
+
+    def test_equality(self):
+        assert BlankNode("x") == BlankNode("x")
+        assert BlankNode("x") != BlankNode("y")
+
+    def test_n3(self):
+        assert BlankNode("n1").n3() == "_:n1"
+
+    def test_invalid_label(self):
+        with pytest.raises(TermError):
+            BlankNode("has space")
+
+    def test_not_equal_to_iri(self):
+        assert BlankNode("a") != IRI("http://x/a")
+
+
+class TestLiteral:
+    def test_plain_string_defaults_to_xsd_string(self):
+        lit = Literal("Amy")
+        assert lit.datatype.value == XSD_STRING
+        assert lit.language is None
+        assert lit.to_python() == "Amy"
+
+    def test_language_tagged(self):
+        lit = Literal("train", language="en-US")
+        assert lit.language == "en-us"  # language tags are case-insensitive
+        assert lit.datatype is None
+
+    def test_language_and_datatype_mutually_exclusive(self):
+        with pytest.raises(TermError):
+            Literal("x", datatype=IRI(XSD_STRING), language="en")
+
+    def test_int_literal(self):
+        lit = Literal("23", IRI(XSD_INT))
+        assert lit.to_python() == 23
+        assert lit.is_numeric()
+
+    def test_numeric_canonicalization(self):
+        assert Literal("023", IRI(XSD_INT)) == Literal("23", IRI(XSD_INT))
+        assert Literal(" 23 ", IRI(XSD_INT)).lexical == "23"
+
+    def test_double_canonicalization(self):
+        assert Literal("1.50", IRI(XSD_DOUBLE)) == Literal("1.5", IRI(XSD_DOUBLE))
+
+    def test_decimal(self):
+        lit = Literal("2.50", IRI(XSD_DECIMAL))
+        assert lit.to_python() == 2.5
+
+    def test_boolean_canonicalization(self):
+        assert Literal("1", IRI(XSD_BOOLEAN)).lexical == "true"
+        assert Literal("0", IRI(XSD_BOOLEAN)).to_python() is False
+
+    def test_invalid_numeric_rejected(self):
+        with pytest.raises(TermError):
+            Literal("abc", IRI(XSD_INT))
+
+    def test_invalid_boolean_rejected(self):
+        with pytest.raises(TermError):
+            Literal("maybe", IRI(XSD_BOOLEAN))
+
+    def test_from_python(self):
+        assert Literal.from_python(23).to_python() == 23
+        assert Literal.from_python(True).lexical == "true"
+        assert Literal.from_python(2.5).to_python() == 2.5
+        assert Literal.from_python("MIT").lexical == "MIT"
+
+    def test_from_python_bool_checked_before_int(self):
+        # bool is a subclass of int; make sure True maps to xsd:boolean.
+        assert Literal.from_python(True).datatype.value == XSD_BOOLEAN
+
+    def test_from_python_unsupported(self):
+        with pytest.raises(TermError):
+            Literal.from_python(object())
+
+    def test_n3_plain(self):
+        assert Literal("Amy").n3() == '"Amy"'
+
+    def test_n3_escapes(self):
+        assert Literal('say "hi"\n').n3() == '"say \\"hi\\"\\n"'
+
+    def test_n3_typed(self):
+        assert Literal("23", IRI(XSD_INT)).n3() == f'"23"^^<{XSD_INT}>'
+
+    def test_n3_language(self):
+        assert Literal("train", language="en-us").n3() == '"train"@en-us'
+
+    def test_datatype_distinguishes(self):
+        assert Literal("23") != Literal("23", IRI(XSD_INT))
+
+    def test_is_plain_string(self):
+        assert Literal("x").is_plain_string()
+        assert not Literal("23", IRI(XSD_INT)).is_plain_string()
+        assert not Literal("x", language="en").is_plain_string()
+
+    def test_n3_control_characters_escaped(self):
+        # \f and \x0b would break line-oriented N-Quads if emitted raw.
+        lit = Literal("a\fb\x0bc")
+        assert "\f" not in lit.n3() and "\x0b" not in lit.n3()
+        assert lit.n3() == '"a\\u000Cb\\u000Bc"'

@@ -1,0 +1,81 @@
+"""Tests for the Turtle / TriG writers."""
+
+from repro.rdf import IRI, Literal, Quad, Triple, XSD
+from repro.rdf.turtle import serialize_trig, serialize_turtle
+
+PREFIXES = {"pg": "http://pg/", "k": "http://pg/k/", "xsd": XSD.base}
+
+
+def triple(s, p, o):
+    return Triple(IRI(s), IRI(p), o if not isinstance(o, str) else IRI(o))
+
+
+class TestTurtle:
+    def test_prefix_compaction(self):
+        text = serialize_turtle(
+            [triple("http://pg/v1", "http://pg/k/name", Literal("Amy"))],
+            PREFIXES,
+        )
+        assert "pg:v1 k:name \"Amy\" ." in text
+        assert "@prefix pg: <http://pg/> ." in text
+
+    def test_uncompactable_iri_stays_bracketed(self):
+        text = serialize_turtle(
+            [triple("http://other/x", "http://pg/k/p", "http://other/y")],
+            PREFIXES,
+        )
+        assert "<http://other/x>" in text
+
+    def test_predicate_grouping_with_semicolons(self):
+        triples = [
+            triple("http://pg/v1", "http://pg/k/name", Literal("Amy")),
+            triple("http://pg/v1", "http://pg/k/age", Literal.from_python(23)),
+        ]
+        text = serialize_turtle(triples, PREFIXES)
+        assert text.count("pg:v1") == 1
+        assert " ;" in text
+
+    def test_object_grouping_with_commas(self):
+        triples = [
+            triple("http://pg/v1", "http://pg/k/tag", Literal("#a")),
+            triple("http://pg/v1", "http://pg/k/tag", Literal("#b")),
+        ]
+        text = serialize_turtle(triples, PREFIXES)
+        assert '"#a", "#b"' in text
+
+    def test_xsd_datatype_compaction(self):
+        text = serialize_turtle(
+            [triple("http://pg/v1", "http://pg/k/age", Literal.from_python(23))],
+            PREFIXES,
+        )
+        assert '"23"^^xsd:int' in text
+
+    def test_empty(self):
+        assert serialize_turtle([], {}) == ""
+
+
+class TestTrig:
+    def test_named_graph_blocks(self):
+        quads = [
+            Quad(IRI("http://pg/v1"), IRI("http://pg/r/follows"),
+                 IRI("http://pg/v2"), IRI("http://pg/e3")),
+            Quad(IRI("http://pg/v1"), IRI("http://pg/k/name"), Literal("Amy")),
+        ]
+        text = serialize_trig(quads, PREFIXES)
+        assert "pg:e3 {" in text
+        assert 'pg:v1 k:name "Amy" .' in text  # default graph outside blocks
+
+    def test_ng_model_renders_readably(self):
+        from repro.core import MODEL_NG, transformer_for
+        from repro.propertygraph import PropertyGraph
+
+        graph = PropertyGraph()
+        graph.add_vertex(1, {"name": "Amy"})
+        graph.add_vertex(2)
+        graph.add_edge(1, "follows", 2, {"since": 2007}, edge_id=3)
+        quads = list(transformer_for(MODEL_NG).transform(graph))
+        text = serialize_trig(
+            quads, {"pg": "http://pg/", "r": "http://pg/r/", "k": "http://pg/k/"}
+        )
+        assert "pg:e3 {" in text
+        assert "r:follows" in text

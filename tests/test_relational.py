@@ -1,0 +1,142 @@
+"""Tests for the relational substrate and the intro's SQL comparison."""
+
+import pytest
+
+from repro.relational import (
+    ConjunctivePattern,
+    Table,
+    TriplesTable,
+    query_complexity,
+)
+from repro.relational.complexity import sparql_text
+
+
+class TestTable:
+    def test_insert_and_len(self):
+        table = Table(["a", "b"], [(1, 2), (3, 4)])
+        assert len(table) == 2
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table(["a", "a"])
+
+    def test_arity_checked(self):
+        with pytest.raises(ValueError):
+            Table(["a", "b"]).insert((1,))
+
+    def test_select(self):
+        table = Table(["a", "b"], [(1, 2), (1, 3), (2, 2)])
+        assert len(table.select(a=1)) == 2
+        assert len(table.select(a=1, b=3)) == 1
+
+    def test_select_unknown_column(self):
+        with pytest.raises(KeyError):
+            Table(["a"]).select(z=1)
+
+    def test_project(self):
+        table = Table(["a", "b"], [(1, 2)])
+        assert table.project(["b"]).rows == [(2,)]
+
+    def test_rename(self):
+        table = Table(["a"], [(1,)]).rename("t1")
+        assert table.columns == ("t1.a",)
+
+    def test_join(self):
+        left = Table(["a", "b"], [(1, 10), (2, 20)])
+        right = Table(["c", "d"], [(10, "x"), (10, "y"), (30, "z")])
+        joined = left.join(right, on=[("b", "c")])
+        assert sorted(joined.rows) == [(1, 10, 10, "x"), (1, 10, 10, "y")]
+
+    def test_cartesian_join(self):
+        left = Table(["a"], [(1,), (2,)])
+        right = Table(["b"], [(9,)])
+        assert len(left.join(right, on=[])) == 2
+
+    def test_distinct(self):
+        table = Table(["a"], [(1,), (1,), (2,)])
+        assert len(table.distinct()) == 2
+
+
+@pytest.fixture
+def uncle_data():
+    """The intro's family data: John -> father Mark -> brother Tom ->
+    works for Acme."""
+    triples = TriplesTable()
+    triples.insert("john", "name", "John")
+    triples.insert("john", "hasFather", "mark")
+    triples.insert("mark", "hasBrother", "tom")
+    triples.insert("tom", "worksFor", "acme")
+    triples.insert("tom", "name", "Tom")
+    return triples
+
+
+#: The paper's 4-way join: find the company John's uncle works for.
+UNCLE_QUERY = [
+    ConjunctivePattern("?x", "name", "John"),
+    ConjunctivePattern("?x", "hasFather", "?f"),
+    ConjunctivePattern("?f", "hasBrother", "?b"),
+    ConjunctivePattern("?b", "worksFor", "?company"),
+]
+
+
+class TestTriplesTable:
+    def test_uncle_query(self, uncle_data):
+        rows = uncle_data.query(UNCLE_QUERY, ["company"])
+        assert rows == [("acme",)]
+
+    def test_single_pattern(self, uncle_data):
+        rows = uncle_data.query(
+            [ConjunctivePattern("?x", "worksFor", "?c")], ["x", "c"]
+        )
+        assert rows == [("tom", "acme")]
+
+    def test_repeated_variable_within_pattern(self):
+        triples = TriplesTable()
+        triples.insert("a", "p", "a")
+        triples.insert("a", "p", "b")
+        rows = triples.query([ConjunctivePattern("?x", "p", "?x")], ["x"])
+        assert rows == [("a",)]
+
+    def test_projection_of_unbound_rejected(self, uncle_data):
+        with pytest.raises(ValueError):
+            uncle_data.query(UNCLE_QUERY, ["nope"])
+
+    def test_empty_query_rejected(self, uncle_data):
+        with pytest.raises(ValueError):
+            uncle_data.query([], ["x"])
+
+    def test_sql_rendering_matches_paper_shape(self, uncle_data):
+        sql = uncle_data.sql(UNCLE_QUERY, ["company"])
+        # 4 aliased copies of the table, 4 constants + 3 join predicates.
+        assert sql.count("triples t") == 4
+        assert sql.count(" = '") == 5  # name, John, hasFather, ... constants
+        assert sql.count("AND") == 8 - 1  # 8 conjuncts total
+        assert "t4.obj company" in sql
+
+    def test_sql_executes_same_as_query(self, uncle_data):
+        # The rendered SQL's semantics are what query() executes; check
+        # result parity on a second dataset with two uncles.
+        uncle_data.insert("mark", "hasBrother", "bob")
+        uncle_data.insert("bob", "worksFor", "globex")
+        rows = uncle_data.query(UNCLE_QUERY, ["company"])
+        assert sorted(rows) == [("acme",), ("globex",)]
+
+
+class TestComplexity:
+    def test_uncle_query_metrics(self):
+        complexity = query_complexity(UNCLE_QUERY)
+        assert complexity.patterns == 4
+        assert complexity.constants == 5  # name/John, hasFather, hasBrother, worksFor
+        assert complexity.equi_joins == 3  # ?x, ?f, ?b reused
+        assert complexity.sql_predicates == 8
+        assert complexity.sparql_terms == 12
+
+    def test_sparql_simpler_than_sql(self):
+        complexity = query_complexity(UNCLE_QUERY)
+        assert complexity.sparql_terms < complexity.sql_tokens_lower_bound
+
+    def test_sparql_text(self):
+        text = sparql_text(UNCLE_QUERY, ["company"])
+        assert text.startswith("SELECT ?company WHERE {")
+        assert '?x "name" "John" .' in text
+        assert text.count(".") == 4

@@ -1,0 +1,130 @@
+"""Tests for the SPARQL Protocol HTTP endpoint."""
+
+import json
+import urllib.error
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.server import SparqlServer
+
+
+@pytest.fixture
+def server(social_engine):
+    with SparqlServer(social_engine, allow_updates=True) as running:
+        yield running
+
+
+def get(server, path, accept=None):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{server.port}{path}",
+        headers={"Accept": accept} if accept else {},
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, response.headers.get_content_type(), (
+            response.read().decode("utf-8")
+        )
+
+
+def post(server, path, body, content_type):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{server.port}{path}",
+        data=body.encode("utf-8"),
+        headers={"Content-Type": content_type},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+QUERY = "SELECT ?n WHERE { ?x <http://ex/name> ?n } ORDER BY ?n"
+
+
+class TestQueryEndpoint:
+    def test_get_json(self, server):
+        encoded = urllib.parse.quote(QUERY)
+        status, content_type, body = get(server, f"/sparql?query={encoded}")
+        assert status == 200
+        assert content_type == "application/sparql-results+json"
+        document = json.loads(body)
+        names = [b["n"]["value"] for b in document["results"]["bindings"]]
+        assert names == ["Alice", "Bob", "Carol"]
+
+    def test_get_csv_by_accept(self, server):
+        encoded = urllib.parse.quote(QUERY)
+        status, content_type, body = get(
+            server, f"/sparql?query={encoded}", accept="text/csv"
+        )
+        assert content_type == "text/csv"
+        assert "Alice" in body
+
+    def test_post_form_encoded(self, server):
+        body = urllib.parse.urlencode({"query": QUERY})
+        status, text = post(
+            server, "/sparql", body, "application/x-www-form-urlencoded"
+        )
+        assert status == 200 and "Alice" in text
+
+    def test_post_raw_query(self, server):
+        status, text = post(
+            server, "/sparql", QUERY, "application/sparql-query"
+        )
+        assert status == 200 and "Carol" in text
+
+    def test_ask(self, server):
+        encoded = urllib.parse.quote(
+            "ASK { <http://ex/alice> <http://ex/knows> <http://ex/bob> }"
+        )
+        _, _, body = get(server, f"/sparql?query={encoded}")
+        assert json.loads(body)["boolean"] is True
+
+    def test_construct_returns_ntriples(self, server):
+        encoded = urllib.parse.quote(
+            "CONSTRUCT { ?x <http://ex/q> ?y } "
+            "WHERE { ?x <http://ex/knows> ?y }"
+        )
+        status, content_type, body = get(server, f"/sparql?query={encoded}")
+        assert content_type == "application/n-triples"
+        assert body.count("<http://ex/q>") == 4
+
+    def test_missing_query_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(server, "/sparql")
+        assert err.value.code == 400
+
+    def test_bad_query_is_400(self, server):
+        encoded = urllib.parse.quote("SELECT WHERE {")
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(server, f"/sparql?query={encoded}")
+        assert err.value.code == 400
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(server, "/nope")
+        assert err.value.code == 404
+
+
+class TestUpdateEndpoint:
+    def test_update_applies(self, server, social_engine):
+        body = urllib.parse.urlencode({
+            "update": 'INSERT DATA { <http://ex/dan> <http://ex/name> "Dan" }'
+        })
+        status, text = post(
+            server, "/update", body, "application/x-www-form-urlencoded"
+        )
+        assert status == 200
+        assert json.loads(text)["inserted"] == 1
+        assert social_engine.ask(
+            'ASK { <http://ex/dan> <http://ex/name> "Dan" }'
+        )
+
+    def test_update_disabled_by_default(self, social_engine):
+        with SparqlServer(social_engine) as readonly:
+            body = urllib.parse.urlencode({
+                "update": "INSERT DATA { <http://x/a> <http://x/b> <http://x/c> }"
+            })
+            with pytest.raises(urllib.error.HTTPError) as err:
+                post(readonly, "/update", body,
+                     "application/x-www-form-urlencoded")
+            assert err.value.code == 403

@@ -1,0 +1,171 @@
+"""Evaluator tests: aggregation, GROUP BY, HAVING, subquery aggregation."""
+
+import pytest
+
+from repro.rdf import IRI, Literal, Quad
+from repro.store import SemanticNetwork
+from repro.sparql import SparqlEngine
+
+EX = "http://ex/"
+
+
+def ex(name):
+    return IRI(EX + name)
+
+
+@pytest.fixture
+def degree_engine():
+    """Directed graph for degree-distribution style aggregates.
+
+    out-degrees: a->b, a->c, a->d (3); b->c (1); c->d (1).
+    """
+    net = SemanticNetwork()
+    net.create_model("m")
+    net.bulk_load(
+        "m",
+        [
+            Quad(ex("a"), ex("p"), ex("b")),
+            Quad(ex("a"), ex("p"), ex("c")),
+            Quad(ex("a"), ex("p"), ex("d")),
+            Quad(ex("b"), ex("p"), ex("c")),
+            Quad(ex("c"), ex("p"), ex("d")),
+            Quad(ex("a"), ex("score"), Literal.from_python(10)),
+            Quad(ex("b"), ex("score"), Literal.from_python(20)),
+            Quad(ex("c"), ex("score"), Literal.from_python(20)),
+        ],
+    )
+    return SparqlEngine(net, prefixes={"ex": EX}, default_model="m")
+
+
+class TestBasicAggregates:
+    def test_count_star(self, degree_engine):
+        result = degree_engine.select(
+            "SELECT (COUNT(*) AS ?c) WHERE { ?s ex:p ?o }"
+        )
+        assert result.scalar().to_python() == 5
+
+    def test_count_var(self, degree_engine):
+        result = degree_engine.select(
+            "SELECT (COUNT(?o) AS ?c) WHERE { ?s ex:p ?o }"
+        )
+        assert result.scalar().to_python() == 5
+
+    def test_count_distinct(self, degree_engine):
+        result = degree_engine.select(
+            "SELECT (COUNT(DISTINCT ?o) AS ?c) WHERE { ?s ex:p ?o }"
+        )
+        assert result.scalar().to_python() == 3  # b, c, d
+
+    def test_sum_avg_min_max(self, degree_engine):
+        result = degree_engine.select(
+            "SELECT (SUM(?v) AS ?s) (AVG(?v) AS ?a) (MIN(?v) AS ?mn) "
+            "(MAX(?v) AS ?mx) WHERE { ?x ex:score ?v }"
+        )
+        row = result[0]
+        assert row["s"].to_python() == 50
+        assert abs(row["a"].to_python() - 50 / 3) < 1e-9
+        assert row["mn"].to_python() == 10
+        assert row["mx"].to_python() == 20
+
+    def test_sample(self, degree_engine):
+        result = degree_engine.select(
+            "SELECT (SAMPLE(?v) AS ?s) WHERE { ?x ex:score ?v }"
+        )
+        assert result.scalar().to_python() in (10, 20)
+
+    def test_group_concat(self, degree_engine):
+        result = degree_engine.select(
+            'SELECT (GROUP_CONCAT(?v; SEPARATOR=",") AS ?s) '
+            "WHERE { ex:a ex:score ?v }"
+        )
+        assert result.scalar().lexical == "10"
+
+    def test_count_over_empty_group(self, degree_engine):
+        result = degree_engine.select(
+            "SELECT (COUNT(*) AS ?c) WHERE { ?s ex:nothing ?o }"
+        )
+        assert result.scalar().to_python() == 0
+
+    def test_sum_over_empty_is_zero(self, degree_engine):
+        result = degree_engine.select(
+            "SELECT (SUM(?o) AS ?c) WHERE { ?s ex:nothing ?o }"
+        )
+        assert result.scalar().to_python() == 0
+
+
+class TestGroupBy:
+    def test_group_by_subject(self, degree_engine):
+        result = degree_engine.select(
+            "SELECT ?s (COUNT(*) AS ?deg) WHERE { ?s ex:p ?o } GROUP BY ?s"
+        )
+        degrees = {row["s"].value: row["deg"].to_python() for row in result}
+        assert degrees == {EX + "a": 3, EX + "b": 1, EX + "c": 1}
+
+    def test_group_by_value(self, degree_engine):
+        result = degree_engine.select(
+            "SELECT ?v (COUNT(*) AS ?c) WHERE { ?x ex:score ?v } GROUP BY ?v"
+        )
+        counts = {row["v"].to_python(): row["c"].to_python() for row in result}
+        assert counts == {10: 1, 20: 2}
+
+    def test_having(self, degree_engine):
+        result = degree_engine.select(
+            "SELECT ?s (COUNT(*) AS ?deg) WHERE { ?s ex:p ?o } "
+            "GROUP BY ?s HAVING (COUNT(*) > 1)"
+        )
+        assert len(result) == 1
+        assert result[0]["s"] == ex("a")
+
+    def test_order_by_aggregated_column(self, degree_engine):
+        result = degree_engine.select(
+            "SELECT ?s (COUNT(*) AS ?deg) WHERE { ?s ex:p ?o } "
+            "GROUP BY ?s ORDER BY DESC(?deg) LIMIT 1"
+        )
+        assert result[0]["s"] == ex("a")
+
+    def test_degree_distribution_nested_query(self, degree_engine):
+        """The EQ10 shape: distribution of out-degrees."""
+        result = degree_engine.select(
+            "SELECT ?deg (COUNT(*) AS ?cnt) WHERE { "
+            "  SELECT ?s (COUNT(*) AS ?deg) WHERE { ?s ex:p ?o } GROUP BY ?s "
+            "} GROUP BY ?deg ORDER BY DESC(?deg)"
+        )
+        rows = [(r["deg"].to_python(), r["cnt"].to_python()) for r in result]
+        assert rows == [(3, 1), (1, 2)]
+
+    def test_aggregate_expression_arithmetic(self, degree_engine):
+        result = degree_engine.select(
+            "SELECT (COUNT(*) * 2 AS ?c) WHERE { ?s ex:p ?o }"
+        )
+        assert result.scalar().to_python() == 10
+
+    def test_group_key_projected_without_aggregate(self, degree_engine):
+        result = degree_engine.select(
+            "SELECT ?s WHERE { ?s ex:p ?o } GROUP BY ?s"
+        )
+        assert len(result) == 3
+
+
+class TestOrderByAggregates:
+    def test_order_by_count_desc(self, degree_engine):
+        result = degree_engine.select(
+            "SELECT ?s WHERE { ?s ex:p ?o } GROUP BY ?s "
+            "ORDER BY DESC(COUNT(*))"
+        )
+        assert result[0]["s"].value.endswith("/a")  # out-degree 3 first
+        assert result.variables == ("s",)  # hidden order column dropped
+
+    def test_order_by_aggregate_expression(self, degree_engine):
+        result = degree_engine.select(
+            "SELECT ?s WHERE { ?s ex:p ?o } GROUP BY ?s "
+            "ORDER BY (0 - COUNT(*)) ?s"
+        )
+        assert result[0]["s"].value.endswith("/a")
+
+    def test_order_by_mixes_plain_and_aggregate_keys(self, degree_engine):
+        result = degree_engine.select(
+            "SELECT ?s (COUNT(*) AS ?c) WHERE { ?s ex:p ?o } GROUP BY ?s "
+            "ORDER BY DESC(COUNT(*)) ?s"
+        )
+        counts = [row["c"].to_python() for row in result]
+        assert counts == sorted(counts, reverse=True)

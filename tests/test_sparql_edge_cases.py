@@ -1,0 +1,273 @@
+"""Evaluator edge cases: corners of the SPARQL semantics."""
+
+import pytest
+
+from repro.rdf import IRI, Literal, Quad, XSD
+from repro.sparql import SparqlEngine
+from repro.sparql.errors import ParseError
+from repro.store import SemanticNetwork
+
+EX = "http://ex/"
+
+
+def ex(name):
+    return IRI(EX + name)
+
+
+@pytest.fixture
+def engine():
+    net = SemanticNetwork()
+    net.create_model("m")
+    net.bulk_load(
+        "m",
+        [
+            Quad(ex("a"), ex("p"), ex("b")),
+            Quad(ex("b"), ex("p"), ex("c")),
+            Quad(ex("a"), ex("score"), Literal.from_python(1)),
+            Quad(ex("b"), ex("score"), Literal.from_python(2)),
+            Quad(ex("c"), ex("score"), Literal.from_python(2)),
+            Quad(ex("a"), ex("label"), Literal("alpha")),
+            Quad(ex("b"), ex("label"), Literal("beta", language="en")),
+        ],
+    )
+    return SparqlEngine(net, prefixes={"ex": EX}, default_model="m")
+
+
+class TestProjectionCorners:
+    def test_select_var_never_bound(self, engine):
+        result = engine.select("SELECT ?ghost WHERE { ?x ex:p ?y }")
+        assert len(result) == 2
+        assert all(row["ghost"] is None for row in result)
+
+    def test_select_expression_alias(self, engine):
+        result = engine.select(
+            "SELECT (?s * 10 AS ?scaled) WHERE { ex:a ex:score ?s }"
+        )
+        assert result.scalar().to_python() == 10
+
+    def test_select_expression_rebinding_rejected(self, engine):
+        from repro.sparql.errors import EvaluationError
+
+        with pytest.raises(EvaluationError):
+            engine.select("SELECT (1 + 1 AS ?s) WHERE { ex:a ex:score ?s }")
+
+    def test_reduced_deduplicates(self, engine):
+        result = engine.select(
+            "SELECT REDUCED ?v WHERE { ?x ex:score ?v }"
+        )
+        assert len(result) == 2  # 1 and 2
+
+    def test_limit_zero(self, engine):
+        result = engine.select("SELECT ?x WHERE { ?x ex:p ?y } LIMIT 0")
+        assert len(result) == 0
+
+    def test_offset_beyond_end(self, engine):
+        result = engine.select("SELECT ?x WHERE { ?x ex:p ?y } OFFSET 99")
+        assert len(result) == 0
+
+
+class TestOptionalCorners:
+    def test_nested_optional(self, engine):
+        result = engine.select(
+            "SELECT ?x ?s ?l WHERE { ?x ex:p ?y "
+            "OPTIONAL { ?x ex:score ?s OPTIONAL { ?x ex:label ?l } } }"
+        )
+        rows = {row["x"].value: (row["s"], row["l"]) for row in result}
+        assert rows[EX + "a"][0].to_python() == 1
+        assert rows[EX + "a"][1].lexical == "alpha"
+
+    def test_optional_filter_inside(self, engine):
+        result = engine.select(
+            "SELECT ?x ?s WHERE { ?x ex:p ?y "
+            "OPTIONAL { ?x ex:score ?s FILTER (?s > 1) } }"
+        )
+        rows = {row["x"].value: row["s"] for row in result}
+        assert rows[EX + "a"] is None  # score 1 filtered inside optional
+        assert rows[EX + "b"].to_python() == 2
+
+    def test_optional_then_join_on_optional_var(self, engine):
+        # A later pattern can fill a variable the OPTIONAL left unbound.
+        result = engine.select(
+            "SELECT ?x ?v WHERE { ?x ex:p ?y "
+            "OPTIONAL { ?x ex:missing ?v } ?z ex:label ?v }"
+        )
+        # ?v unbound from optional joins compatibly with label values.
+        assert len(result) == 4  # 2 rows x 2 labels
+
+
+class TestExpressionCorners:
+    def test_if_function(self, engine):
+        result = engine.select(
+            'SELECT (IF(?s > 1, "big", "small") AS ?size) '
+            "WHERE { ex:a ex:score ?s }"
+        )
+        assert result.scalar().lexical == "small"
+
+    def test_coalesce(self, engine):
+        result = engine.select(
+            "SELECT (COALESCE(?missing, ?s, 0) AS ?v) "
+            "WHERE { ex:a ex:score ?s }"
+        )
+        assert result.scalar().to_python() == 1
+
+    def test_lang_filter(self, engine):
+        result = engine.select(
+            'SELECT ?v WHERE { ?x ex:label ?v FILTER (LANG(?v) = "en") }'
+        )
+        assert len(result) == 1
+        assert result.rows[0][0].lexical == "beta"
+
+    def test_datatype_function(self, engine):
+        result = engine.select(
+            "SELECT (DATATYPE(?s) AS ?dt) WHERE { ex:a ex:score ?s }"
+        )
+        assert result.scalar() == XSD.int
+
+    def test_arithmetic_precedence(self, engine):
+        result = engine.select(
+            "SELECT (1 + 2 * 3 AS ?v) WHERE { ex:a ex:score ?s }"
+        )
+        assert result.scalar().to_python() == 7
+
+    def test_unary_minus(self, engine):
+        result = engine.select(
+            "SELECT (-?s AS ?v) WHERE { ex:a ex:score ?s }"
+        )
+        assert result.scalar().to_python() == -1
+
+    def test_str_concat_round_trip(self, engine):
+        result = engine.select(
+            'SELECT ?x WHERE { ?x ex:label ?l '
+            'FILTER (STR(?l) = CONCAT("al", "pha")) }'
+        )
+        assert result.rows == [(ex("a"),)]
+
+    def test_numeric_equality_across_datatypes_not_substituted(self, engine):
+        # "2"^^xsd:decimal equals 2^^xsd:int by value; the sargable
+        # rewrite must not break this (decimals are not substituted).
+        result = engine.select(
+            'SELECT ?x WHERE { ?x ex:score ?s FILTER (?s = 2.0) }'
+        )
+        assert len(result) == 2
+
+
+class TestOrderCorners:
+    def test_multiple_sort_keys(self, engine):
+        result = engine.select(
+            "SELECT ?x ?s WHERE { ?x ex:score ?s } ORDER BY DESC(?s) ?x"
+        )
+        ordered = [(row["s"].to_python(), row["x"].value) for row in result]
+        assert ordered == [(2, EX + "b"), (2, EX + "c"), (1, EX + "a")]
+
+    def test_order_by_expression(self, engine):
+        result = engine.select(
+            "SELECT ?x WHERE { ?x ex:score ?s } ORDER BY (0 - ?s) ?x"
+        )
+        assert result.rows[0][0] in (ex("b"), ex("c"))
+
+    def test_unbound_sorts_first(self, engine):
+        result = engine.select(
+            "SELECT ?x ?l WHERE { ?x ex:score ?s "
+            "OPTIONAL { ?x ex:label ?l } } ORDER BY ?l"
+        )
+        assert result.rows[0][1] is None  # ex:c has no label
+
+
+class TestConstructCorners:
+    def test_construct_skips_invalid_triples(self, engine):
+        # ?v is a literal; literals cannot be subjects -> skipped.
+        triples = engine.construct(
+            "CONSTRUCT { ?v ex:q ?x } WHERE { ?x ex:label ?v }"
+        )
+        assert triples == []
+
+    def test_construct_with_constant_terms(self, engine):
+        triples = engine.construct(
+            "CONSTRUCT { ?x a ex:Thing } WHERE { ?x ex:p ?y }"
+        )
+        assert len(triples) == 2
+        assert all(t.object == ex("Thing") for t in triples)
+
+    def test_construct_deduplicates(self, engine):
+        triples = engine.construct(
+            "CONSTRUCT { ex:one ex:flag true } WHERE { ?x ex:p ?y }"
+        )
+        assert len(triples) == 1
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("bad", [
+        "SELECT WHERE { ?x ?p ?y }",
+        "SELECT ?x { ?x ?p }",
+        "SELECT ?x WHERE { ?x ?p ?y",
+        "SELECT ?x WHERE { ?x ?p ?y } GROUP BY",
+        "SELECT ?x WHERE { ?x ?p ?y } ORDER BY",
+        "ASK",
+        "SELECT ?x WHERE { FILTER }",
+        "SELECT ?x WHERE { BIND(1) }",
+    ])
+    def test_malformed_queries_raise(self, engine, bad):
+        with pytest.raises(ParseError):
+            engine.select(bad)
+
+    def test_error_has_position(self, engine):
+        with pytest.raises(ParseError) as err:
+            engine.select("SELECT ?x WHERE { ?x ?p }")
+        assert "line" in str(err.value)
+
+
+class TestStrictSemanticsCorners:
+    def test_strict_graph_and_default_disjoint(self):
+        net = SemanticNetwork()
+        net.create_model("m")
+        net.bulk_load("m", [
+            Quad(ex("a"), ex("p"), ex("b")),
+            Quad(ex("a"), ex("p"), ex("c"), ex("g")),
+        ])
+        strict = SparqlEngine(net, prefixes={"ex": EX}, default_model="m",
+                              default_graph_semantics="strict")
+        default_only = strict.select("SELECT ?o WHERE { ex:a ex:p ?o }")
+        assert [t.value for t in default_only.column("o")] == [EX + "b"]
+        named_only = strict.select(
+            "SELECT ?o WHERE { GRAPH ?g { ex:a ex:p ?o } }"
+        )
+        assert [t.value for t in named_only.column("o")] == [EX + "c"]
+
+
+class TestParserRobustness:
+    """Fuzz: the parser either succeeds or raises ParseError — never
+    crashes with an unrelated exception."""
+
+    from hypothesis import given, settings, strategies as st
+
+    @settings(max_examples=300, deadline=None)
+    @given(text=st.text(max_size=80))
+    def test_random_text_never_crashes(self, text):
+        from repro.sparql.parser import Parser
+
+        try:
+            Parser().parse_query(text)
+        except ParseError:
+            pass
+
+    @settings(max_examples=200, deadline=None)
+    @given(garbage=st.text(
+        alphabet="?{}()<>\"'.;,|/^*+!=&@#abc123 \n", max_size=60,
+    ))
+    def test_random_punctuation_never_crashes(self, garbage):
+        from repro.sparql.parser import Parser
+
+        try:
+            Parser().parse_query("SELECT ?x WHERE { " + garbage)
+        except ParseError:
+            pass
+
+    @settings(max_examples=200, deadline=None)
+    @given(text=st.text(max_size=60))
+    def test_update_parser_never_crashes(self, text):
+        from repro.sparql.parser import Parser
+
+        try:
+            Parser().parse_update(text)
+        except ParseError:
+            pass

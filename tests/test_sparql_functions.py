@@ -1,0 +1,200 @@
+"""Unit tests for SPARQL expression semantics (EBV, compare, builtins)."""
+
+import pytest
+
+from repro.rdf import IRI, BlankNode, Literal, XSD
+from repro.sparql import functions as F
+from repro.sparql.errors import ExpressionError
+
+
+def lit(value):
+    return Literal.from_python(value)
+
+
+class TestEbv:
+    def test_boolean(self):
+        assert F.ebv(lit(True)) is True
+        assert F.ebv(lit(False)) is False
+
+    def test_numbers(self):
+        assert F.ebv(lit(1)) is True
+        assert F.ebv(lit(0)) is False
+        assert F.ebv(lit(0.0)) is False
+
+    def test_strings(self):
+        assert F.ebv(lit("x")) is True
+        assert F.ebv(lit("")) is False
+        assert F.ebv(Literal("x", language="en")) is True
+
+    def test_iri_has_no_ebv(self):
+        with pytest.raises(ExpressionError):
+            F.ebv(IRI("http://x/a"))
+
+    def test_unbound_has_no_ebv(self):
+        with pytest.raises(ExpressionError):
+            F.ebv(None)
+
+
+class TestCompare:
+    def test_numeric_equality_across_datatypes(self):
+        assert F.compare("=", Literal("23", XSD.int), Literal("23", XSD.integer))
+        assert F.compare("=", Literal("1.0", XSD.double), Literal("1", XSD.int))
+
+    def test_string_equality(self):
+        assert F.compare("=", lit("abc"), lit("abc"))
+        assert F.compare("!=", lit("abc"), lit("abd"))
+
+    def test_iri_equality(self):
+        assert F.compare("=", IRI("http://x/a"), IRI("http://x/a"))
+
+    def test_iri_not_equal_to_literal(self):
+        assert F.compare("!=", IRI("http://x/a"), lit("http://x/a"))
+
+    def test_numeric_ordering(self):
+        assert F.compare("<", lit(2), lit(10))
+        assert F.compare(">=", lit(2.5), lit(2.5))
+
+    def test_string_ordering(self):
+        assert F.compare("<", lit("abc"), lit("abd"))
+
+    def test_mixed_type_ordering_errors(self):
+        with pytest.raises(ExpressionError):
+            F.compare("<", lit(1), lit("abc"))
+
+    def test_unbound_comparison_errors(self):
+        with pytest.raises(ExpressionError):
+            F.compare("=", None, lit(1))
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        assert F.arithmetic("+", lit(2), lit(3)).to_python() == 5
+        assert F.arithmetic("-", lit(2), lit(3)).to_python() == -1
+        assert F.arithmetic("*", lit(2), lit(3)).to_python() == 6
+        assert F.arithmetic("/", lit(7), lit(2)).to_python() == 3.5
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExpressionError):
+            F.arithmetic("/", lit(1), lit(0))
+
+    def test_non_numeric_errors(self):
+        with pytest.raises(ExpressionError):
+            F.arithmetic("+", lit("a"), lit(1))
+
+    def test_negate(self):
+        assert F.negate(lit(5)).to_python() == -5
+
+
+class TestBuiltins:
+    def test_type_tests(self):
+        assert F.call_builtin("ISIRI", [IRI("http://x/a")]) == F.TRUE
+        assert F.call_builtin("ISURI", [IRI("http://x/a")]) == F.TRUE
+        assert F.call_builtin("ISIRI", [lit("a")]) == F.FALSE
+        assert F.call_builtin("ISLITERAL", [lit("a")]) == F.TRUE
+        assert F.call_builtin("ISBLANK", [BlankNode("b")]) == F.TRUE
+        assert F.call_builtin("ISNUMERIC", [lit(1)]) == F.TRUE
+        assert F.call_builtin("ISNUMERIC", [lit("1")]) == F.FALSE
+
+    def test_bound(self):
+        assert F.call_builtin("BOUND", [lit(1)]) == F.TRUE
+        assert F.call_builtin("BOUND", [None]) == F.FALSE
+
+    def test_str(self):
+        assert F.call_builtin("STR", [IRI("http://x/a")]).lexical == "http://x/a"
+        assert F.call_builtin("STR", [lit(23)]).lexical == "23"
+
+    def test_lang_and_datatype(self):
+        tagged = Literal("x", language="en")
+        assert F.call_builtin("LANG", [tagged]).lexical == "en"
+        assert F.call_builtin("LANG", [lit("x")]).lexical == ""
+        assert F.call_builtin("DATATYPE", [lit(1)]) == XSD.int
+
+    def test_string_functions(self):
+        assert F.call_builtin("STRLEN", [lit("abcd")]).to_python() == 4
+        assert F.call_builtin("UCASE", [lit("ab")]).lexical == "AB"
+        assert F.call_builtin("LCASE", [lit("AB")]).lexical == "ab"
+        assert F.call_builtin("STRSTARTS", [lit("#tag"), lit("#")]) == F.TRUE
+        assert F.call_builtin("STRENDS", [lit("name"), lit("me")]) == F.TRUE
+        assert F.call_builtin("CONTAINS", [lit("webseries"), lit("web")]) == F.TRUE
+        assert F.call_builtin(
+            "CONCAT", [lit("#"), lit("train")]
+        ).lexical == "#train"
+
+    def test_strbefore_strafter(self):
+        assert F.call_builtin("STRBEFORE", [lit("a:b"), lit(":")]).lexical == "a"
+        assert F.call_builtin("STRAFTER", [lit("a:b"), lit(":")]).lexical == "b"
+        assert F.call_builtin("STRAFTER", [lit("ab"), lit(":")]).lexical == ""
+
+    def test_substr_one_based(self):
+        assert F.call_builtin("SUBSTR", [lit("hello"), lit(2)]).lexical == "ello"
+        assert F.call_builtin(
+            "SUBSTR", [lit("hello"), lit(2), lit(3)]
+        ).lexical == "ell"
+
+    def test_regex(self):
+        assert F.call_builtin("REGEX", [lit("webseries"), lit("^web")]) == F.TRUE
+        assert F.call_builtin(
+            "REGEX", [lit("WEB"), lit("web"), lit("i")]
+        ) == F.TRUE
+        with pytest.raises(ExpressionError):
+            F.call_builtin("REGEX", [lit("x"), lit("[")])
+
+    def test_replace(self):
+        assert F.call_builtin(
+            "REPLACE", [lit("aaa"), lit("a"), lit("b")]
+        ).lexical == "bbb"
+
+    def test_numeric_functions(self):
+        assert F.call_builtin("ABS", [lit(-2)]).to_python() == 2
+        assert F.call_builtin("ROUND", [lit(2.5)]).to_python() == 2
+        assert F.call_builtin("CEIL", [lit(2.1)]).to_python() == 3
+        assert F.call_builtin("FLOOR", [lit(2.9)]).to_python() == 2
+
+    def test_sameterm(self):
+        assert F.call_builtin("SAMETERM", [lit(1), lit(1)]) == F.TRUE
+        # sameTerm is stricter than '=': different datatypes differ.
+        assert F.call_builtin(
+            "SAMETERM", [Literal("1", XSD.int), Literal("1", XSD.integer)]
+        ) == F.FALSE
+
+    def test_langmatches(self):
+        tag = F.call_builtin("LANG", [Literal("x", language="en-US")])
+        assert F.call_builtin("LANGMATCHES", [tag, lit("en")]) == F.TRUE
+        assert F.call_builtin("LANGMATCHES", [tag, lit("*")]) == F.TRUE
+        assert F.call_builtin("LANGMATCHES", [tag, lit("fr")]) == F.FALSE
+
+    def test_strdt_strlang(self):
+        typed = F.call_builtin("STRDT", [lit("5"), XSD.int])
+        assert typed.to_python() == 5
+        tagged = F.call_builtin("STRLANG", [lit("x"), lit("en")])
+        assert tagged.language == "en"
+
+    def test_iri_constructor(self):
+        assert F.call_builtin("IRI", [lit("http://x/a")]) == IRI("http://x/a")
+
+    def test_unknown_function(self):
+        with pytest.raises(ExpressionError):
+            F.call_builtin("NOPE", [])
+
+    def test_wrong_arity(self):
+        with pytest.raises(ExpressionError):
+            F.call_builtin("STRLEN", [lit("a"), lit("b")])
+
+
+class TestOrderKey:
+    def test_type_order(self):
+        unbound = F.order_key(None)
+        blank = F.order_key(BlankNode("b"))
+        iri = F.order_key(IRI("http://x/a"))
+        number = F.order_key(lit(5))
+        string = F.order_key(lit("a"))
+        assert unbound < blank < iri < number < string
+
+    def test_numeric_order(self):
+        assert F.order_key(lit(2)) < F.order_key(lit(10))
+
+    def test_sortable_mixed_list(self):
+        terms = [lit("b"), None, lit(3), IRI("http://x/a"), lit("a")]
+        ordered = sorted(terms, key=F.order_key)
+        assert ordered[0] is None
+        assert ordered[1] == IRI("http://x/a")

@@ -1,0 +1,323 @@
+"""Unit tests for the SPARQL parser."""
+
+import pytest
+
+from repro.rdf import IRI, Literal, RDF, XSD
+from repro.sparql.ast import (
+    AggregateExpr,
+    AskQuery,
+    BindPattern,
+    CompareExpr,
+    ConstructQuery,
+    FilterPattern,
+    FunctionExpr,
+    GraphGraphPattern,
+    InsertDataUpdate,
+    ModifyUpdate,
+    OptionalPattern,
+    OrderCondition,
+    PathAlternative,
+    PathInverse,
+    PathRepeat,
+    PathSequence,
+    SelectQuery,
+    SubSelectPattern,
+    TriplePattern,
+    UnionPattern,
+    ValuesPattern,
+    VarExpr,
+)
+from repro.sparql.errors import ParseError
+from repro.sparql.parser import Parser
+
+P = Parser(prefixes={"ex": "http://ex/", "rel": "http://pg/r/", "key": "http://pg/k/"})
+
+
+def parse(text):
+    return P.parse_query(text)
+
+
+class TestSelectBasics:
+    def test_simple_select(self):
+        q = parse("SELECT ?x WHERE { ?x ex:p ?y }")
+        assert isinstance(q, SelectQuery)
+        assert q.projections[0].var == "x"
+        pattern = q.where.elements[0]
+        assert pattern == TriplePattern("x", IRI("http://ex/p"), "y")
+
+    def test_select_star(self):
+        q = parse("SELECT * WHERE { ?x ?p ?y }")
+        assert q.is_star()
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT ?x WHERE { ?x ex:p ?y }").distinct
+
+    def test_where_keyword_optional(self):
+        q = parse("SELECT ?x { ?x ex:p ?y }")
+        assert len(q.where.elements) == 1
+
+    def test_prefix_declaration(self):
+        q = Parser().parse_query(
+            "PREFIX foo: <http://foo/> SELECT ?x WHERE { ?x foo:p ?y }"
+        )
+        assert q.where.elements[0].predicate == IRI("http://foo/p")
+
+    def test_undeclared_prefix_raises(self):
+        with pytest.raises(ParseError):
+            Parser().parse_query("SELECT ?x WHERE { ?x nope:p ?y }")
+
+    def test_well_known_prefixes_available(self):
+        q = Parser().parse_query("SELECT ?x WHERE { ?x rdf:type ?y }")
+        assert q.where.elements[0].predicate == RDF.type
+
+    def test_a_keyword(self):
+        q = parse("SELECT ?x WHERE { ?x a ex:Person }")
+        assert q.where.elements[0].predicate == RDF.type
+
+    def test_semicolon_and_comma(self):
+        q = parse("SELECT ?x WHERE { ?x ex:p ?a , ?b ; ex:q ?c . }")
+        patterns = q.where.elements
+        assert len(patterns) == 3
+        assert patterns[0].object == "a"
+        assert patterns[1].object == "b"
+        assert patterns[2].predicate == IRI("http://ex/q")
+
+    def test_typed_literal_object(self):
+        q = parse('SELECT ?x WHERE { ?x ex:age "23"^^xsd:int }')
+        assert q.where.elements[0].object == Literal("23", XSD.int)
+
+    def test_numeric_literals(self):
+        q = parse("SELECT ?x WHERE { ?x ex:age 23 }")
+        assert q.where.elements[0].object == Literal("23", XSD.integer)
+
+    def test_boolean_literal(self):
+        q = parse("SELECT ?x WHERE { ?x ex:ok true }")
+        assert q.where.elements[0].object == Literal("true", XSD.boolean)
+
+    def test_blank_node_becomes_variable(self):
+        q = parse("SELECT ?x WHERE { _:b ex:p ?x }")
+        assert q.where.elements[0].subject == "_:b"
+
+    def test_projection_expression(self):
+        q = parse("SELECT (COUNT(*) AS ?cnt) WHERE { ?x ex:p ?y }")
+        assert q.projections[0].var == "cnt"
+        assert isinstance(q.projections[0].expression, AggregateExpr)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT ?x WHERE { ?x ex:p ?y } garbage")
+
+
+class TestPatterns:
+    def test_filter(self):
+        q = parse("SELECT ?x WHERE { ?x ex:p ?y FILTER (?y > 5) }")
+        filters = [e for e in q.where.elements if isinstance(e, FilterPattern)]
+        assert len(filters) == 1
+        assert isinstance(filters[0].expression, CompareExpr)
+
+    def test_filter_function_no_parens(self):
+        q = parse("SELECT ?x WHERE { ?x ex:p ?y FILTER isLiteral(?y) }")
+        (f,) = [e for e in q.where.elements if isinstance(e, FilterPattern)]
+        assert isinstance(f.expression, FunctionExpr)
+        assert f.expression.name == "ISLITERAL"
+
+    def test_optional(self):
+        q = parse("SELECT ?x WHERE { ?x ex:p ?y OPTIONAL { ?y ex:q ?z } }")
+        assert any(isinstance(e, OptionalPattern) for e in q.where.elements)
+
+    def test_union(self):
+        q = parse("SELECT ?x WHERE { { ?x ex:p ?y } UNION { ?x ex:q ?y } }")
+        (u,) = q.where.elements
+        assert isinstance(u, UnionPattern)
+        assert len(u.branches) == 2
+
+    def test_three_way_union(self):
+        q = parse(
+            "SELECT ?x WHERE { { ?x ex:p ?y } UNION { ?x ex:q ?y } "
+            "UNION { ?x ex:r ?y } }"
+        )
+        assert len(q.where.elements[0].branches) == 3
+
+    def test_graph_with_variable(self):
+        q = parse("SELECT ?x WHERE { GRAPH ?g { ?x ex:p ?y } }")
+        (g,) = q.where.elements
+        assert isinstance(g, GraphGraphPattern)
+        assert g.graph == "g"
+
+    def test_graph_with_iri(self):
+        q = parse("SELECT ?x WHERE { GRAPH ex:g1 { ?x ex:p ?y } }")
+        assert q.where.elements[0].graph == IRI("http://ex/g1")
+
+    def test_bind(self):
+        q = parse("SELECT ?x WHERE { ?x ex:p ?y BIND(?y + 1 AS ?z) }")
+        assert any(isinstance(e, BindPattern) for e in q.where.elements)
+
+    def test_values_single_var(self):
+        q = parse('SELECT ?x WHERE { VALUES ?x { ex:a ex:b } ?x ex:p ?y }')
+        (values, _) = q.where.elements
+        assert isinstance(values, ValuesPattern)
+        assert len(values.rows) == 2
+
+    def test_values_multi_var(self):
+        q = parse(
+            "SELECT ?x WHERE { VALUES (?x ?y) { (ex:a 1) (ex:b UNDEF) } }"
+        )
+        values = q.where.elements[0]
+        assert values.variables == ("x", "y")
+        assert values.rows[1][1] is None
+
+    def test_subquery(self):
+        q = parse(
+            "SELECT ?x WHERE { { SELECT ?x WHERE { ?x ex:p ?y } LIMIT 3 } }"
+        )
+        (element,) = q.where.elements
+        # `{ { SELECT ... } }` nests the subselect in an inner group.
+        sub = element.elements[0] if not isinstance(element, SubSelectPattern) else element
+        assert isinstance(sub, SubSelectPattern)
+        assert sub.query.limit == 3
+
+
+class TestPaths:
+    def test_sequence_path(self):
+        q = parse("SELECT ?x WHERE { ?x ex:p/ex:q ?y }")
+        path = q.where.elements[0].predicate
+        assert isinstance(path, PathSequence)
+        assert len(path.steps) == 2
+
+    def test_alternative_path(self):
+        q = parse("SELECT ?x WHERE { ?x (ex:p|ex:q) ?y }")
+        path = q.where.elements[0].predicate
+        assert isinstance(path, PathAlternative)
+
+    def test_inverse_path(self):
+        q = parse("SELECT ?x WHERE { ?x ^ex:p ?y }")
+        assert isinstance(q.where.elements[0].predicate, PathInverse)
+
+    def test_star_path(self):
+        q = parse("SELECT ?x WHERE { ?x ex:p* ?y }")
+        path = q.where.elements[0].predicate
+        assert isinstance(path, PathRepeat)
+        assert path.minimum == 0 and path.unbounded
+
+    def test_plus_path(self):
+        path = parse("SELECT ?x WHERE { ?x ex:p+ ?y }").where.elements[0].predicate
+        assert path.minimum == 1 and path.unbounded
+
+    def test_question_path(self):
+        path = parse("SELECT ?x WHERE { ?x ex:p? ?y }").where.elements[0].predicate
+        assert path.minimum == 0 and not path.unbounded
+
+    def test_plain_iri_predicate_is_not_path(self):
+        q = parse("SELECT ?x WHERE { ?x ex:p ?y }")
+        assert not q.where.elements[0].predicate_is_path()
+
+    def test_five_hop_sequence(self):
+        q = parse("SELECT ?y WHERE { ex:n rel:follows/rel:follows/rel:follows"
+                  "/rel:follows/rel:follows ?y }")
+        path = q.where.elements[0].predicate
+        assert len(path.steps) == 5
+
+
+class TestSolutionModifiers:
+    def test_order_by(self):
+        q = parse("SELECT ?x WHERE { ?x ex:p ?y } ORDER BY DESC(?y) ?x")
+        assert q.order_by[0].descending
+        assert not q.order_by[1].descending
+
+    def test_limit_offset(self):
+        q = parse("SELECT ?x WHERE { ?x ex:p ?y } LIMIT 10 OFFSET 5")
+        assert q.limit == 10 and q.offset == 5
+
+    def test_group_by_with_having(self):
+        q = parse(
+            "SELECT ?x (COUNT(*) AS ?c) WHERE { ?x ex:p ?y } "
+            "GROUP BY ?x HAVING (COUNT(*) > 2)"
+        )
+        assert q.group_by == (VarExpr("x"),)
+        assert len(q.having) == 1
+
+    def test_nested_group_by_query(self):
+        # EQ9's shape: aggregate over a grouped subquery.
+        q = parse(
+            "SELECT ?inDeg (COUNT(*) AS ?cnt) WHERE { "
+            "  SELECT ?n2 (COUNT(*) AS ?inDeg) WHERE { ?n1 ex:p ?n2 } "
+            "  GROUP BY ?n2 } "
+            "GROUP BY ?inDeg ORDER BY DESC(?inDeg)"
+        )
+        assert isinstance(q.where.elements[0], SubSelectPattern)
+        assert q.order_by == (OrderCondition(VarExpr("inDeg"), True),)
+
+    def test_count_distinct(self):
+        q = parse("SELECT (COUNT(DISTINCT ?x) AS ?c) WHERE { ?x ex:p ?y }")
+        assert q.projections[0].expression.distinct
+
+
+class TestOtherForms:
+    def test_ask(self):
+        q = parse("ASK { ?x ex:p ?y }")
+        assert isinstance(q, AskQuery)
+
+    def test_construct(self):
+        q = parse("CONSTRUCT { ?x ex:q ?y } WHERE { ?x ex:p ?y }")
+        assert isinstance(q, ConstructQuery)
+        assert q.template[0].predicate == IRI("http://ex/q")
+
+
+class TestUpdates:
+    def test_insert_data(self):
+        u = P.parse_update('INSERT DATA { ex:s ex:p "v" . ex:s ex:q ex:o }')
+        (op,) = u.operations
+        assert isinstance(op, InsertDataUpdate)
+        assert len(op.quads) == 2
+
+    def test_insert_data_with_graph(self):
+        u = P.parse_update("INSERT DATA { GRAPH ex:g { ex:s ex:p ex:o } }")
+        assert u.operations[0].quads[0].graph == IRI("http://ex/g")
+
+    def test_insert_data_rejects_variables(self):
+        with pytest.raises(ParseError):
+            P.parse_update("INSERT DATA { ?x ex:p ex:o }")
+
+    def test_delete_insert_where(self):
+        u = P.parse_update(
+            "DELETE { ?x ex:old ?y } INSERT { ?x ex:new ?y } "
+            "WHERE { ?x ex:old ?y }"
+        )
+        (op,) = u.operations
+        assert isinstance(op, ModifyUpdate)
+        assert op.delete_templates and op.insert_templates
+
+    def test_delete_where_shorthand(self):
+        u = P.parse_update("DELETE WHERE { ?x ex:p ?y }")
+        (op,) = u.operations
+        assert isinstance(op, ModifyUpdate)
+        assert op.delete_templates and not op.insert_templates
+
+    def test_multiple_operations(self):
+        u = P.parse_update(
+            "INSERT DATA { ex:a ex:p ex:b } ; DELETE DATA { ex:a ex:p ex:b }"
+        )
+        assert len(u.operations) == 2
+
+    def test_empty_update_rejected(self):
+        with pytest.raises(ParseError):
+            P.parse_update("")
+
+
+class TestSignedNumbers:
+    def test_negative_integer_object(self):
+        q = parse("SELECT ?x WHERE { ?x ex:score -5 }")
+        assert q.where.elements[0].object == Literal("-5", XSD.integer)
+
+    def test_positive_sign_dropped(self):
+        q = parse("SELECT ?x WHERE { ?x ex:score +5 }")
+        assert q.where.elements[0].object == Literal("5", XSD.integer)
+
+    def test_negative_decimal(self):
+        q = parse("SELECT ?x WHERE { ?x ex:score -2.5 }")
+        assert q.where.elements[0].object == Literal("-2.5", XSD.decimal)
+
+    def test_negative_in_values(self):
+        q = parse("SELECT ?x WHERE { VALUES ?x { -1 2 } }")
+        values = q.where.elements[0]
+        assert values.rows[0][0].to_python() == -1

@@ -1,0 +1,229 @@
+"""Evaluator tests: property paths."""
+
+import pytest
+
+from repro.rdf import IRI, Quad
+from repro.store import SemanticNetwork
+from repro.sparql import SparqlEngine
+
+EX = "http://ex/"
+
+
+def ex(name):
+    return IRI(EX + name)
+
+
+@pytest.fixture
+def chain_engine():
+    """n1 -p-> n2 -p-> n3 -p-> n4, n2 -p-> n4 (diamond), n4 -q-> n1."""
+    net = SemanticNetwork()
+    net.create_model("m")
+    net.bulk_load(
+        "m",
+        [
+            Quad(ex("n1"), ex("p"), ex("n2")),
+            Quad(ex("n2"), ex("p"), ex("n3")),
+            Quad(ex("n3"), ex("p"), ex("n4")),
+            Quad(ex("n2"), ex("p"), ex("n4")),
+            Quad(ex("n4"), ex("q"), ex("n1")),
+        ],
+    )
+    return SparqlEngine(net, prefixes={"ex": EX}, default_model="m")
+
+
+def count(engine, query):
+    return engine.select(query).scalar().to_python()
+
+
+class TestSequencePaths:
+    def test_two_hop(self, chain_engine):
+        result = chain_engine.select(
+            "SELECT ?y WHERE { ex:n1 ex:p/ex:p ?y }"
+        )
+        assert sorted(t.value for t in result.column("y")) == [
+            EX + "n3", EX + "n4",
+        ]
+
+    def test_three_hop_multiplicity(self, chain_engine):
+        # Paths n1->n2->n3->n4 and n1->n2->n4->(none): only one 3-hop path
+        # to n4 via n3; plus n1->n2->n4 is 2-hop.  COUNT counts paths.
+        assert count(
+            chain_engine,
+            "SELECT (COUNT(?y) AS ?c) WHERE { ex:n1 ex:p/ex:p/ex:p ?y }",
+        ) == 1
+
+    def test_path_counts_are_per_path_not_per_node(self, chain_engine):
+        # Two 2-hop paths end at distinct nodes; with a diamond shape
+        # n1->n2->{n3,n4} there are exactly 2 paths.
+        assert count(
+            chain_engine,
+            "SELECT (COUNT(?y) AS ?c) WHERE { ex:n1 ex:p/ex:p ?y }",
+        ) == 2
+
+    def test_bound_object_direction(self, chain_engine):
+        result = chain_engine.select(
+            "SELECT ?x WHERE { ?x ex:p/ex:p ex:n4 }"
+        )
+        assert sorted(t.value for t in result.column("x")) == [
+            EX + "n1", EX + "n2",
+        ]
+
+    def test_both_ends_bound(self, chain_engine):
+        assert chain_engine.ask("ASK { ex:n1 ex:p/ex:p ex:n4 }")
+        assert not chain_engine.ask("ASK { ex:n1 ex:p/ex:p ex:n2 }")
+
+    def test_mixed_predicate_sequence(self, chain_engine):
+        result = chain_engine.select(
+            "SELECT ?y WHERE { ex:n3 ex:p/ex:q ?y }"
+        )
+        assert [t.value for t in result.column("y")] == [EX + "n1"]
+
+
+class TestAlternativeAndInverse:
+    def test_alternative_all_pairs(self, chain_engine):
+        assert count(
+            chain_engine,
+            "SELECT (COUNT(*) AS ?c) WHERE { ?x (ex:p|ex:q) ?y }",
+        ) == 5
+
+    def test_inverse(self, chain_engine):
+        result = chain_engine.select("SELECT ?x WHERE { ex:n2 ^ex:p ?x }")
+        assert [t.value for t in result.column("x")] == [EX + "n1"]
+
+    def test_inverse_in_sequence(self, chain_engine):
+        # n3 <- n2 -> n4: sibling query.
+        result = chain_engine.select(
+            "SELECT ?sib WHERE { ex:n3 ^ex:p/ex:p ?sib }"
+        )
+        assert sorted(t.value for t in result.column("sib")) == [
+            EX + "n3", EX + "n4",
+        ]
+
+
+class TestRepetition:
+    def test_star_includes_start(self, chain_engine):
+        result = chain_engine.select("SELECT ?y WHERE { ex:n1 ex:p* ?y }")
+        nodes = sorted(t.value for t in result.column("y"))
+        assert nodes == [EX + "n1", EX + "n2", EX + "n3", EX + "n4"]
+
+    def test_plus_excludes_start_without_cycle(self, chain_engine):
+        result = chain_engine.select("SELECT ?y WHERE { ex:n1 ex:p+ ?y }")
+        nodes = sorted(t.value for t in result.column("y"))
+        assert nodes == [EX + "n2", EX + "n3", EX + "n4"]
+
+    def test_plus_includes_start_on_cycle(self, chain_engine):
+        # (p|q)+ from n1 cycles back to n1 via n4 -q-> n1.
+        result = chain_engine.select(
+            "SELECT ?y WHERE { ex:n1 (ex:p|ex:q)+ ?y }"
+        )
+        nodes = sorted(t.value for t in result.column("y"))
+        assert EX + "n1" in nodes
+
+    def test_question_mark(self, chain_engine):
+        result = chain_engine.select("SELECT ?y WHERE { ex:n1 ex:p? ?y }")
+        nodes = sorted(t.value for t in result.column("y"))
+        assert nodes == [EX + "n1", EX + "n2"]
+
+    def test_star_set_semantics_no_duplicates(self, chain_engine):
+        result = chain_engine.select("SELECT ?y WHERE { ex:n1 ex:p* ?y }")
+        nodes = [t.value for t in result.column("y")]
+        assert len(nodes) == len(set(nodes))
+
+    def test_star_all_pairs(self, chain_engine):
+        result = chain_engine.select(
+            "SELECT ?x ?y WHERE { ?x ex:q* ?y }"
+        )
+        # Every node in the q-graph relates to itself, plus n4->n1.
+        pairs = {(r["x"].value, r["y"].value) for r in result}
+        assert (EX + "n4", EX + "n1") in pairs
+        assert (EX + "n4", EX + "n4") in pairs
+
+
+class TestPathsJoinedWithPatterns:
+    def test_path_after_bgp(self, chain_engine):
+        result = chain_engine.select(
+            "SELECT ?z WHERE { ex:n1 ex:p ?y . ?y ex:p/ex:p ?z }"
+        )
+        assert [t.value for t in result.column("z")] == [EX + "n4"]
+
+    def test_path_inside_graph_var_unsupported(self, chain_engine):
+        from repro.sparql.errors import EvaluationError
+
+        with pytest.raises(EvaluationError):
+            chain_engine.select(
+                "SELECT ?y WHERE { GRAPH ?g { ex:n1 ex:p/ex:p ?y } }"
+            )
+
+    def test_path_with_unknown_predicate(self, chain_engine):
+        result = chain_engine.select(
+            "SELECT ?y WHERE { ex:n1 ex:nope/ex:p ?y }"
+        )
+        assert len(result) == 0
+
+
+class TestFivehopCounting:
+    def test_path_explosion_counted_without_materialization(self):
+        """A dense two-level fan (10 x 10) has 100 two-hop paths."""
+        net = SemanticNetwork()
+        net.create_model("m")
+        quads = []
+        for i in range(10):
+            quads.append(Quad(ex("root"), ex("p"), ex(f"mid{i}")))
+            for j in range(10):
+                quads.append(Quad(ex(f"mid{i}"), ex("p"), ex(f"leaf{j}")))
+        net.bulk_load("m", quads)
+        engine = SparqlEngine(net, prefixes={"ex": EX}, default_model="m")
+        assert count(
+            engine,
+            "SELECT (COUNT(?y) AS ?c) WHERE { ex:root ex:p/ex:p ?y }",
+        ) == 100
+
+
+class TestNegatedPropertySets:
+    def test_single_negated_iri(self, chain_engine):
+        result = chain_engine.select("SELECT ?y WHERE { ex:n4 !ex:p ?y }")
+        assert [t.value for t in result.column("y")] == [EX + "n1"]
+
+    def test_negated_set(self, chain_engine):
+        result = chain_engine.select(
+            "SELECT ?y WHERE { ex:n4 !(ex:p|ex:q) ?y }"
+        )
+        assert len(result) == 0
+
+    def test_negated_all_pairs(self, chain_engine):
+        result = chain_engine.select(
+            "SELECT ?x ?y WHERE { ?x !ex:q ?y }"
+        )
+        assert len(result) == 4  # the four ex:p edges
+
+    def test_negated_bound_object(self, chain_engine):
+        result = chain_engine.select("SELECT ?x WHERE { ?x !ex:q ex:n4 }")
+        assert sorted(t.value for t in result.column("x")) == [
+            EX + "n2", EX + "n3",
+        ]
+
+    def test_negated_in_sequence(self, chain_engine):
+        result = chain_engine.select(
+            "SELECT ?y WHERE { ex:n3 ex:p/!ex:p ?y }"
+        )
+        assert [t.value for t in result.column("y")] == [EX + "n1"]
+
+    def test_negated_unknown_iri_excludes_nothing(self, chain_engine):
+        result = chain_engine.select(
+            "SELECT ?y WHERE { ex:n1 !ex:nonexistent ?y }"
+        )
+        assert len(result) == 1  # the p edge from n1
+
+    def test_inverse_member_rejected(self, chain_engine):
+        from repro.sparql.errors import ParseError
+
+        with pytest.raises(ParseError):
+            chain_engine.select("SELECT ?y WHERE { ex:n1 !(^ex:p) ?y }")
+
+    def test_unparse_roundtrip(self):
+        from repro.sparql.parser import Parser
+        from repro.sparql.unparse import unparse
+
+        parser = Parser(prefixes={"ex": EX})
+        first = parser.parse_query("SELECT ?y WHERE { ex:n1 !(ex:p|ex:q) ?y }")
+        assert parser.parse_query(unparse(first)) == first

@@ -1,0 +1,339 @@
+"""Evaluator tests: SELECT over BGPs, filters, optional, union, etc."""
+
+import pytest
+
+from repro.rdf import IRI, Literal
+from repro.sparql.errors import EvaluationError
+
+EX = "http://ex/"
+
+
+def values_of(result, var):
+    return sorted(
+        term.value if isinstance(term, IRI) else term.lexical
+        for term in result.column(var)
+        if term is not None
+    )
+
+
+class TestBgp:
+    def test_single_pattern(self, social_engine):
+        result = social_engine.select("SELECT ?x WHERE { ?x ex:knows ex:carol }")
+        assert values_of(result, "x") == [EX + "alice", EX + "bob"]
+
+    def test_two_pattern_join(self, social_engine):
+        result = social_engine.select(
+            "SELECT ?name WHERE { ?x ex:knows ex:carol . ?x ex:name ?name }"
+        )
+        assert values_of(result, "name") == ["Alice", "Bob"]
+
+    def test_triangle(self, social_engine):
+        result = social_engine.select(
+            "SELECT ?x WHERE { ?x ex:knows ?y . ?y ex:knows ?z . "
+            "?z ex:knows ?x }"
+        )
+        assert values_of(result, "x") == [
+            EX + "alice", EX + "bob", EX + "carol",
+        ]
+
+    def test_unknown_constant_yields_empty(self, social_engine):
+        result = social_engine.select(
+            "SELECT ?x WHERE { ?x ex:knows ex:nobody }"
+        )
+        assert len(result) == 0
+
+    def test_variable_predicate(self, social_engine):
+        result = social_engine.select(
+            "SELECT ?p WHERE { ex:alice ?p ex:bob }"
+        )
+        assert EX + "knows" in values_of(result, "p")
+
+    def test_repeated_variable_in_pattern(self, social_engine):
+        # No one knows themselves.
+        result = social_engine.select("SELECT ?x WHERE { ?x ex:knows ?x }")
+        assert len(result) == 0
+
+    def test_select_star(self, social_engine):
+        result = social_engine.select("SELECT * WHERE { ?x ex:knows ?y }")
+        assert set(result.variables) == {"x", "y"}
+        assert len(result) == 4
+
+    def test_ask(self, social_engine):
+        assert social_engine.ask("ASK { ex:alice ex:knows ex:bob }")
+        assert not social_engine.ask("ASK { ex:bob ex:knows ex:alice }")
+
+    def test_construct(self, social_engine):
+        triples = social_engine.construct(
+            "CONSTRUCT { ?y ex:knownBy ?x } WHERE { ?x ex:knows ?y }"
+        )
+        assert len(triples) == 4
+        assert all(t.predicate == IRI(EX + "knownBy") for t in triples)
+
+
+class TestFilters:
+    def test_numeric_filter(self, social_engine):
+        result = social_engine.select(
+            "SELECT ?x WHERE { ?x ex:age ?a FILTER (?a > 25) }"
+        )
+        assert values_of(result, "x") == [EX + "bob", EX + "carol"]
+
+    def test_equality_filter_on_string(self, social_engine):
+        result = social_engine.select(
+            'SELECT ?x WHERE { ?x ex:name ?n FILTER (?n = "Bob") }'
+        )
+        assert values_of(result, "x") == [EX + "bob"]
+
+    def test_isliteral_filter(self, social_engine):
+        result = social_engine.select(
+            "SELECT ?v WHERE { ex:alice ?p ?v FILTER isLiteral(?v) }"
+        )
+        assert sorted(t.lexical for t in result.column("v")) == ["23", "Alice"]
+
+    def test_isiri_filter(self, social_engine):
+        result = social_engine.select(
+            "SELECT ?v WHERE { ex:alice ?p ?v FILTER isIRI(?v) }"
+        )
+        assert values_of(result, "v") == [EX + "bob", EX + "bob", EX + "carol"]
+
+    def test_boolean_connectives(self, social_engine):
+        result = social_engine.select(
+            "SELECT ?x WHERE { ?x ex:age ?a FILTER (?a > 25 && ?a < 29) }"
+        )
+        assert values_of(result, "x") == [EX + "carol"]
+
+    def test_filter_error_drops_solution(self, social_engine):
+        # Comparing a string-valued ?v numerically errors -> dropped.
+        result = social_engine.select(
+            "SELECT ?v WHERE { ex:alice ?p ?v FILTER (?v > 5) }"
+        )
+        assert values_of(result, "v") == ["23"]
+
+    def test_in_operator(self, social_engine):
+        result = social_engine.select(
+            'SELECT ?x WHERE { ?x ex:name ?n FILTER (?n IN ("Bob", "Carol")) }'
+        )
+        assert len(result) == 2
+
+    def test_not_in_operator(self, social_engine):
+        result = social_engine.select(
+            'SELECT ?x WHERE { ?x ex:name ?n FILTER (?n NOT IN ("Bob")) }'
+        )
+        assert len(result) == 2
+
+    def test_regex_filter(self, social_engine):
+        result = social_engine.select(
+            'SELECT ?n WHERE { ?x ex:name ?n FILTER regex(?n, "^[AB]") }'
+        )
+        assert values_of(result, "n") == ["Alice", "Bob"]
+
+    def test_filter_applies_to_whole_group(self, social_engine):
+        # Filter written before the pattern it constrains still applies.
+        result = social_engine.select(
+            "SELECT ?x WHERE { FILTER (?a > 25) ?x ex:age ?a }"
+        )
+        assert len(result) == 2
+
+
+class TestOptionalUnionBindValues:
+    def test_optional_binds_when_present(self, social_engine):
+        result = social_engine.select(
+            "SELECT ?x ?since WHERE { ?x ex:name ?n "
+            "OPTIONAL { ?g ex:since ?since } }"
+        )
+        assert len(result) == 3
+        assert all(row["since"] is not None for row in result)
+
+    def test_optional_leaves_unbound(self, social_engine):
+        result = social_engine.select(
+            "SELECT ?x ?w WHERE { ?x ex:name ?n OPTIONAL { ?x ex:wife ?w } }"
+        )
+        assert len(result) == 3
+        assert all(row["w"] is None for row in result)
+
+    def test_bound_filter_with_optional(self, social_engine):
+        result = social_engine.select(
+            "SELECT ?x WHERE { ?x ex:name ?n OPTIONAL { ?x ex:wife ?w } "
+            "FILTER (!BOUND(?w)) }"
+        )
+        assert len(result) == 3
+
+    def test_union(self, social_engine):
+        result = social_engine.select(
+            "SELECT ?v WHERE { { ex:alice ex:name ?v } UNION "
+            "{ ex:alice ex:age ?v } }"
+        )
+        assert values_of(result, "v") == ["23", "Alice"]
+
+    def test_bind(self, social_engine):
+        result = social_engine.select(
+            "SELECT ?next WHERE { ex:alice ex:age ?a BIND(?a + 1 AS ?next) }"
+        )
+        assert result.scalar().to_python() == 24
+
+    def test_bind_error_leaves_unbound(self, social_engine):
+        result = social_engine.select(
+            "SELECT ?bad WHERE { ex:alice ex:name ?n BIND(?n + 1 AS ?bad) }"
+        )
+        assert result.rows[0][0] is None
+
+    def test_values(self, social_engine):
+        result = social_engine.select(
+            "SELECT ?x ?n WHERE { VALUES ?x { ex:alice ex:bob } "
+            "?x ex:name ?n }"
+        )
+        assert values_of(result, "n") == ["Alice", "Bob"]
+
+    def test_minus(self, social_engine):
+        result = social_engine.select(
+            "SELECT ?x WHERE { ?x ex:name ?n MINUS { ?x ex:knows ex:carol } }"
+        )
+        assert values_of(result, "x") == [EX + "carol"]
+
+    def test_exists_filter(self, social_engine):
+        result = social_engine.select(
+            "SELECT ?x WHERE { ?x ex:name ?n "
+            "FILTER EXISTS { ?x ex:knows ex:carol } }"
+        )
+        assert values_of(result, "x") == [EX + "alice", EX + "bob"]
+
+    def test_not_exists_filter(self, social_engine):
+        result = social_engine.select(
+            "SELECT ?x WHERE { ?x ex:name ?n "
+            "FILTER NOT EXISTS { ?x ex:knows ex:carol } }"
+        )
+        assert values_of(result, "x") == [EX + "carol"]
+
+
+class TestModifiers:
+    def test_order_by(self, social_engine):
+        result = social_engine.select(
+            "SELECT ?n WHERE { ?x ex:age ?a . ?x ex:name ?n } ORDER BY ?a"
+        )
+        assert [t.lexical for t in result.column("n")] == [
+            "Alice", "Carol", "Bob",
+        ]
+
+    def test_order_by_desc(self, social_engine):
+        result = social_engine.select(
+            "SELECT ?n WHERE { ?x ex:age ?a . ?x ex:name ?n } "
+            "ORDER BY DESC(?a)"
+        )
+        assert [t.lexical for t in result.column("n")] == [
+            "Bob", "Carol", "Alice",
+        ]
+
+    def test_limit_offset(self, social_engine):
+        result = social_engine.select(
+            "SELECT ?n WHERE { ?x ex:name ?n } ORDER BY ?n LIMIT 1 OFFSET 1"
+        )
+        assert values_of(result, "n") == ["Bob"]
+
+    def test_distinct(self, social_engine):
+        result = social_engine.select(
+            "SELECT DISTINCT ?x WHERE { ?x ex:knows ?y }"
+        )
+        assert len(result) == 3  # alice appears twice without DISTINCT
+
+    def test_subquery_with_limit(self, social_engine):
+        result = social_engine.select(
+            "SELECT ?n WHERE { { SELECT ?x WHERE { ?x ex:knows ex:carol } } "
+            "?x ex:name ?n }"
+        )
+        assert values_of(result, "n") == ["Alice", "Bob"]
+
+
+class TestEngineApi:
+    def test_default_model_required(self, social_engine):
+        from repro.store import SemanticNetwork
+        from repro.sparql import SparqlEngine
+
+        engine = SparqlEngine(SemanticNetwork())
+        with pytest.raises(EvaluationError):
+            engine.select("SELECT ?x WHERE { ?x ?p ?o }")
+
+    def test_select_on_ask_query_rejected(self, social_engine):
+        with pytest.raises(EvaluationError):
+            social_engine.select("ASK { ?x ?p ?o }")
+
+    def test_prepared_query(self, social_engine):
+        prepared = social_engine.prepare("SELECT ?x WHERE { ?x ex:name ?n }")
+        assert len(prepared.run()) == 3
+        assert len(prepared.run()) == 3  # reusable
+
+    def test_scalar_errors_on_multiple_rows(self, social_engine):
+        result = social_engine.select("SELECT ?x WHERE { ?x ex:name ?n }")
+        with pytest.raises(ValueError):
+            result.scalar()
+
+    def test_python_rows(self, social_engine):
+        result = social_engine.select(
+            "SELECT ?a WHERE { ex:alice ex:age ?a }"
+        )
+        assert result.python_rows() == [(23,)]
+
+    def test_invalid_graph_semantics_rejected(self):
+        from repro.store import SemanticNetwork
+        from repro.sparql import SparqlEngine
+
+        with pytest.raises(ValueError):
+            SparqlEngine(SemanticNetwork(), default_graph_semantics="bogus")
+
+
+class TestDescribe:
+    def test_describe_constant(self, social_engine):
+        triples = social_engine.query("DESCRIBE ex:alice")
+        subjects = {t.subject for t in triples}
+        assert subjects == {IRI(EX + "alice")}
+        predicates = {t.predicate.value for t in triples}
+        assert EX + "name" in predicates and EX + "knows" in predicates
+
+    def test_describe_variable_with_where(self, social_engine):
+        triples = social_engine.query(
+            'DESCRIBE ?x WHERE { ?x ex:name "Bob" }'
+        )
+        assert {t.subject for t in triples} == {IRI(EX + "bob")}
+
+    def test_describe_unknown_resource(self, social_engine):
+        assert social_engine.query("DESCRIBE ex:nobody") == []
+
+    def test_describe_multiple_targets(self, social_engine):
+        triples = social_engine.query("DESCRIBE ex:alice ex:bob")
+        subjects = {t.subject.value for t in triples}
+        assert subjects == {EX + "alice", EX + "bob"}
+
+
+class TestEnumeratePaths:
+    def test_paths_enumerated(self, social_engine):
+        from repro.propertygraph import PropertyGraph
+        from repro.propertygraph.traversal import enumerate_paths
+
+        graph = PropertyGraph()
+        for i in (1, 2, 3):
+            graph.add_vertex(i)
+        graph.add_edge(1, "p", 2)
+        graph.add_edge(2, "p", 3)
+        graph.add_edge(1, "p", 3)
+        paths = enumerate_paths(graph, 1, "p", 1, 2)
+        assert sorted(paths) == [[1, 2], [1, 2, 3], [1, 3]]
+
+    def test_limit(self, social_engine):
+        from repro.propertygraph import PropertyGraph
+        from repro.propertygraph.traversal import enumerate_paths
+
+        graph = PropertyGraph()
+        graph.add_vertex(1)
+        graph.add_edge(1, "p", 1)  # self loop: infinite walks
+        paths = enumerate_paths(graph, 1, "p", 1, 5, limit=3)
+        assert len(paths) == 3
+
+    def test_invalid_bounds(self, social_engine):
+        from repro.propertygraph import PropertyGraph
+        from repro.propertygraph.traversal import enumerate_paths
+
+        graph = PropertyGraph()
+        graph.add_vertex(1)
+        import pytest as _pytest
+        with _pytest.raises(ValueError):
+            enumerate_paths(graph, 1, "p", 0, 2)
+        with _pytest.raises(ValueError):
+            enumerate_paths(graph, 1, "p", 3, 2)

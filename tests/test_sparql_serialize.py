@@ -1,0 +1,82 @@
+"""Tests for the SPARQL result serializers (JSON / CSV formats)."""
+
+import json
+
+import pytest
+
+from repro.rdf import BlankNode, IRI, Literal, XSD
+from repro.sparql.results import SelectResult
+from repro.sparql.serialize import ask_to_json, to_csv, to_json
+
+
+@pytest.fixture
+def result():
+    return SelectResult(
+        ("x", "name", "age"),
+        [
+            (IRI("http://pg/v1"), Literal("Amy"), Literal("23", XSD.int)),
+            (BlankNode("b0"), Literal("hi", language="en"), None),
+        ],
+    )
+
+
+class TestJson:
+    def test_structure(self, result):
+        document = json.loads(to_json(result))
+        assert document["head"]["vars"] == ["x", "name", "age"]
+        assert len(document["results"]["bindings"]) == 2
+
+    def test_uri_term(self, result):
+        binding = json.loads(to_json(result))["results"]["bindings"][0]
+        assert binding["x"] == {"type": "uri", "value": "http://pg/v1"}
+
+    def test_typed_literal(self, result):
+        binding = json.loads(to_json(result))["results"]["bindings"][0]
+        assert binding["age"] == {
+            "type": "literal",
+            "value": "23",
+            "datatype": XSD.int.value,
+        }
+
+    def test_plain_literal_has_no_datatype(self, result):
+        binding = json.loads(to_json(result))["results"]["bindings"][0]
+        assert binding["name"] == {"type": "literal", "value": "Amy"}
+
+    def test_language_literal(self, result):
+        binding = json.loads(to_json(result))["results"]["bindings"][1]
+        assert binding["name"]["xml:lang"] == "en"
+
+    def test_bnode(self, result):
+        binding = json.loads(to_json(result))["results"]["bindings"][1]
+        assert binding["x"] == {"type": "bnode", "value": "b0"}
+
+    def test_unbound_omitted(self, result):
+        binding = json.loads(to_json(result))["results"]["bindings"][1]
+        assert "age" not in binding
+
+    def test_ask(self):
+        assert json.loads(ask_to_json(True)) == {"head": {}, "boolean": True}
+        assert json.loads(ask_to_json(False))["boolean"] is False
+
+    def test_end_to_end(self, social_engine):
+        result = social_engine.select(
+            "SELECT ?n WHERE { ex:alice ex:name ?n }"
+        )
+        document = json.loads(to_json(result))
+        assert document["results"]["bindings"][0]["n"]["value"] == "Alice"
+
+
+class TestCsv:
+    def test_header_and_rows(self, result):
+        lines = to_csv(result).split("\r\n")
+        assert lines[0] == "x,name,age"
+        assert lines[1] == "http://pg/v1,Amy,23"
+
+    def test_bnode_and_unbound(self, result):
+        lines = to_csv(result).split("\r\n")
+        assert lines[2] == "_:b0,hi,"
+
+    def test_quoting(self):
+        result = SelectResult(("v",), [(Literal('a,"b"'),)])
+        lines = to_csv(result).split("\r\n")
+        assert lines[1] == '"a,""b"""'

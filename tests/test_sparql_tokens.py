@@ -1,0 +1,120 @@
+"""Unit tests for the SPARQL tokenizer."""
+
+import pytest
+
+from repro.sparql.errors import ParseError
+from repro.sparql.tokens import tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)][:-1]  # drop EOF
+
+
+class TestTokenizer:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select WHERE Filter") == [
+            ("KEYWORD", "SELECT"),
+            ("KEYWORD", "WHERE"),
+            ("KEYWORD", "FILTER"),
+        ]
+
+    def test_iriref(self):
+        assert kinds("<http://x/a>") == [("IRIREF", "http://x/a")]
+
+    def test_less_than_not_confused_with_iri(self):
+        assert kinds("?x < 5")[1] == ("PUNCT", "<")
+
+    def test_iri_followed_by_gt_elsewhere(self):
+        tokens = kinds("FILTER(?x<5) <http://x/p>")
+        assert ("PUNCT", "<") in tokens
+        assert ("IRIREF", "http://x/p") in tokens
+
+    def test_variables(self):
+        assert kinds("?x $y") == [("VAR", "x"), ("VAR", "y")]
+
+    def test_pname(self):
+        assert kinds("rel:follows :bare key:") == [
+            ("PNAME", "rel:follows"),
+            ("PNAME", ":bare"),
+            ("PNAME", "key:"),
+        ]
+
+    def test_pname_does_not_swallow_dot_terminator(self):
+        assert kinds("rel:follows .") == [
+            ("PNAME", "rel:follows"),
+            ("PUNCT", "."),
+        ]
+
+    def test_string_literals(self):
+        assert kinds("'abc' \"def\"") == [("STRING", "abc"), ("STRING", "def")]
+
+    def test_string_escapes(self):
+        assert kinds(r'"a\tb\"c"') == [("STRING", 'a\tb"c')]
+
+    def test_long_string(self):
+        assert kinds('"""line1\nline2"""') == [("STRING", "line1\nline2")]
+
+    def test_language_tag(self):
+        assert kinds('"train"@en-us') == [("STRING", "train"), ("LANGTAG", "en-us")]
+
+    def test_typed_literal_tokens(self):
+        assert kinds('"23"^^<http://www.w3.org/2001/XMLSchema#int>') == [
+            ("STRING", "23"),
+            ("PUNCT", "^^"),
+            ("IRIREF", "http://www.w3.org/2001/XMLSchema#int"),
+        ]
+
+    def test_numbers(self):
+        assert kinds("42 3.14 1e6") == [
+            ("NUMBER", "42"),
+            ("NUMBER", "3.14"),
+            ("NUMBER", "1e6"),
+        ]
+
+    def test_number_then_dot_terminator(self):
+        assert kinds("42 .") == [("NUMBER", "42"), ("PUNCT", ".")]
+
+    def test_blank_node(self):
+        assert kinds("_:b1") == [("BLANK", "b1")]
+
+    def test_comments_stripped(self):
+        assert kinds("?x # comment\n?y") == [("VAR", "x"), ("VAR", "y")]
+
+    def test_multichar_punct(self):
+        assert kinds("<= >= != && ||") == [
+            ("PUNCT", "<="),
+            ("PUNCT", ">="),
+            ("PUNCT", "!="),
+            ("PUNCT", "&&"),
+            ("PUNCT", "||"),
+        ]
+
+    def test_path_punct(self):
+        assert kinds("a/b:c|^d:e") == [
+            ("KEYWORD", "A"),
+            ("PUNCT", "/"),
+            ("PNAME", "b:c"),
+            ("PUNCT", "|"),
+            ("PUNCT", "^"),
+            ("PNAME", "d:e"),
+        ]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(ParseError):
+            tokenize('"oops')
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("\x00")
+
+    def test_position_tracking(self):
+        tokens = tokenize("?x\n  ?y")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+    def test_function_names_are_keywords(self):
+        assert kinds("isLiteral COUNT") == [
+            ("KEYWORD", "ISLITERAL"),
+            ("KEYWORD", "COUNT"),
+        ]

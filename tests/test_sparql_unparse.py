@@ -1,0 +1,69 @@
+"""Unparser tests: parse -> unparse -> parse is a fixpoint."""
+
+import pytest
+
+from repro.sparql.parser import Parser
+from repro.sparql.unparse import unparse
+
+P = Parser(prefixes={"ex": "http://ex/", "r": "http://pg/r/",
+                     "k": "http://pg/k/"})
+
+#: Queries covering every construct the unparser handles.
+QUERIES = [
+    "SELECT ?x WHERE { ?x ex:p ?y }",
+    "SELECT * WHERE { ?x ?p ?y }",
+    "SELECT DISTINCT ?x WHERE { ?x ex:p ?y . ?y ex:q ?z }",
+    "SELECT REDUCED ?x WHERE { ?x ex:p ?y }",
+    'SELECT ?x WHERE { ?x ex:name "Amy" . ?x ex:age 23 }',
+    "SELECT ?x WHERE { ?x ex:p ?y FILTER (?y > 5 && ?y < 10) }",
+    "SELECT ?x WHERE { ?x ex:p ?y FILTER isLiteral(?y) }",
+    'SELECT ?x WHERE { ?x ex:p ?y FILTER (?y IN ("a", "b")) }',
+    'SELECT ?x WHERE { ?x ex:p ?y FILTER (?y NOT IN ("a")) }',
+    "SELECT ?x WHERE { ?x ex:p ?y OPTIONAL { ?y ex:q ?z } }",
+    "SELECT ?x WHERE { { ?x ex:p ?y } UNION { ?x ex:q ?y } }",
+    "SELECT ?x WHERE { ?x ex:p ?y MINUS { ?x ex:q ?y } }",
+    "SELECT ?x WHERE { GRAPH ?g { ?x ex:p ?y } }",
+    "SELECT ?x WHERE { GRAPH ex:g1 { ?x ex:p ?y } }",
+    "SELECT ?z WHERE { ?x ex:p ?y BIND(?y + 1 AS ?z) }",
+    "SELECT ?x WHERE { VALUES (?x) { (ex:a) (UNDEF) } ?x ex:p ?y }",
+    "SELECT ?x WHERE { ?x ex:p/ex:q ?y }",
+    "SELECT ?x WHERE { ?x (ex:p|ex:q) ?y }",
+    "SELECT ?x WHERE { ?x ^ex:p ?y }",
+    "SELECT ?x WHERE { ?x ex:p* ?y }",
+    "SELECT ?x WHERE { ?x ex:p+ ?y }",
+    "SELECT ?x WHERE { ?x ex:p? ?y }",
+    "SELECT ?x WHERE { ?x (ex:p/ex:q)+ ?y }",
+    "SELECT (COUNT(*) AS ?c) WHERE { ?x ex:p ?y }",
+    "SELECT (COUNT(DISTINCT ?y) AS ?c) WHERE { ?x ex:p ?y }",
+    "SELECT ?x (SUM(?v) AS ?s) WHERE { ?x ex:p ?v } GROUP BY ?x",
+    "SELECT ?x (AVG(?v) AS ?a) WHERE { ?x ex:p ?v } GROUP BY ?x "
+    "HAVING (AVG(?v) > 2)",
+    "SELECT ?x WHERE { ?x ex:p ?v } ORDER BY DESC(?v) ?x LIMIT 5 OFFSET 2",
+    "SELECT ?x WHERE { { SELECT ?x WHERE { ?x ex:p ?y } LIMIT 2 } }",
+    "SELECT ?x WHERE { ?x ex:p ?y FILTER EXISTS { ?x ex:q ?z } }",
+    "SELECT ?x WHERE { ?x ex:p ?y FILTER NOT EXISTS { ?x ex:q ?z } }",
+    'SELECT (GROUP_CONCAT(?v; SEPARATOR=",") AS ?s) WHERE { ?x ex:p ?v }',
+    "ASK { ?x ex:p ?y }",
+    "CONSTRUCT { ?y ex:q ?x } WHERE { ?x ex:p ?y }",
+    "DESCRIBE ex:a",
+    'DESCRIBE ?x WHERE { ?x ex:name "Amy" }',
+]
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_parse_unparse_fixpoint(query):
+    first = P.parse_query(query)
+    text = unparse(first)
+    second = P.parse_query(text)
+    assert first == second, text
+
+
+def test_unparsed_text_is_executable(social_engine):
+    original = (
+        "SELECT ?n WHERE { ?x ex:knows ex:carol . ?x ex:name ?n } ORDER BY ?n"
+    )
+    ast = social_engine.prepare(original).ast
+    rendered = unparse(ast)
+    assert [r["n"].lexical for r in social_engine.select(rendered)] == [
+        "Alice", "Bob",
+    ]

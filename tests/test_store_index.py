@@ -1,0 +1,122 @@
+"""Unit tests for semantic network indexes."""
+
+import pytest
+
+from repro.store import IndexSpecError, SemanticIndex
+from repro.store.index import normalize_spec
+
+QUADS = [
+    (1, 10, 2, 0),
+    (1, 10, 3, 0),
+    (2, 10, 3, 5),
+    (2, 11, 1, 5),
+    (3, 11, 1, 6),
+]
+
+
+def build(spec):
+    index = SemanticIndex(spec)
+    index.bulk_build(QUADS)
+    return index
+
+
+class TestSpecNormalization:
+    def test_trailing_m_dropped(self):
+        assert normalize_spec("PCSGM") == "PCSG"
+        assert normalize_spec("pscgm") == "PSCG"
+
+    def test_partial_specs_allowed(self):
+        assert normalize_spec("PC") == "PC"
+
+    @pytest.mark.parametrize("bad", ["", "M", "PXSG", "PPSG", "SPCGX"])
+    def test_invalid_specs_rejected(self, bad):
+        with pytest.raises(IndexSpecError):
+            normalize_spec(bad)
+
+
+class TestRangeScan:
+    def test_full_scan_returns_all(self):
+        index = build("PCSG")
+        assert sorted(index.range_scan((None, None, None, None))) == sorted(QUADS)
+
+    def test_prefix_scan_on_predicate(self):
+        index = build("PCSG")
+        result = list(index.range_scan((None, 10, None, None)))
+        assert sorted(result) == sorted(q for q in QUADS if q[1] == 10)
+
+    def test_prefix_scan_two_columns(self):
+        index = build("PCSG")
+        result = list(index.range_scan((None, 10, 3, None)))
+        assert sorted(result) == [(1, 10, 3, 0), (2, 10, 3, 5)]
+
+    def test_residual_filter_applied(self):
+        # PCSG index, pattern binds P and G: G is not a usable prefix
+        # column (S intervenes) so it must be filtered, not ranged.
+        index = build("PCSG")
+        result = list(index.range_scan((None, 10, None, 5)))
+        assert result == [(2, 10, 3, 5)]
+
+    def test_graph_leading_index(self):
+        index = build("GSPC")
+        result = list(index.range_scan((None, None, None, 5)))
+        assert sorted(result) == [(2, 10, 3, 5), (2, 11, 1, 5)]
+
+    def test_scan_yields_canonical_order_tuples(self):
+        index = build("GSPC")
+        for quad in index.range_scan((None, None, None, None)):
+            assert quad in QUADS
+
+    def test_partial_spec_index(self):
+        index = build("PC")
+        result = list(index.range_scan((None, 11, 1, None)))
+        assert sorted(result) == [(2, 11, 1, 5), (3, 11, 1, 6)]
+
+    def test_empty_scan(self):
+        index = build("PCSG")
+        assert list(index.range_scan((None, 99, None, None))) == []
+
+
+class TestPrefixLength:
+    def test_prefix_length(self):
+        index = SemanticIndex("PCSG")
+        assert index.prefix_length((None, 10, None, None)) == 1
+        assert index.prefix_length((None, 10, 3, None)) == 2
+        assert index.prefix_length((1, 10, 3, None)) == 3
+        assert index.prefix_length((1, None, 3, None)) == 0
+        assert index.prefix_length((1, 10, 3, 0)) == 4
+
+    def test_count_prefix(self):
+        index = build("PCSG")
+        assert index.count_prefix((None, 10, None, None)) == 3
+        assert index.count_prefix((None, None, None, None)) == len(QUADS)
+        assert index.count_prefix((None, 99, None, None)) == 0
+
+
+class TestDml:
+    def test_insert_then_scan(self):
+        index = build("PCSG")
+        index.insert((9, 10, 9, 0))
+        assert (9, 10, 9, 0) in list(index.range_scan((None, 10, None, None)))
+
+    def test_delete(self):
+        index = build("PCSG")
+        index.delete((1, 10, 2, 0))
+        assert (1, 10, 2, 0) not in list(index.range_scan((None, None, None, None)))
+        assert len(index) == len(QUADS) - 1
+
+    def test_delete_missing_is_noop(self):
+        index = build("PCSG")
+        index.delete((99, 99, 99, 99))
+        assert len(index) == len(QUADS)
+
+
+class TestStorage:
+    def test_compression_reflects_shared_prefixes(self):
+        clustered = SemanticIndex("PCSG")
+        clustered.bulk_build([(s, 1, 1, 0) for s in range(100)])
+        scattered = SemanticIndex("PCSG")
+        scattered.bulk_build([(s, s + 1000, s + 2000, 0) for s in range(100)])
+        assert clustered.storage_bytes() < scattered.storage_bytes()
+
+    def test_empty_index_is_free(self):
+        assert SemanticIndex("PCSG").storage_bytes() == 0

@@ -1,0 +1,157 @@
+"""Unit tests for semantic models (partitions)."""
+
+import pytest
+
+from repro.store import IndexSpecError, SemanticModel
+
+QUADS = [
+    (1, 10, 2, 0),
+    (1, 10, 3, 0),
+    (2, 10, 3, 5),
+    (2, 11, 1, 5),
+]
+
+
+def make_model(**kwargs):
+    model = SemanticModel("m", **kwargs)
+    model.bulk_load(QUADS)
+    return model
+
+
+class TestLifecycle:
+    def test_default_indexes(self):
+        model = SemanticModel("m")
+        assert model.index_specs == ["PCSG", "PSCG"]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            SemanticModel("")
+
+    def test_create_index_backfills(self):
+        model = make_model()
+        model.create_index("GSPCM")
+        assert sorted(model.index("GSPC").range_scan((None, None, None, 5))) == [
+            (2, 10, 3, 5),
+            (2, 11, 1, 5),
+        ]
+
+    def test_create_index_idempotent(self):
+        model = make_model()
+        first = model.create_index("GSPC")
+        assert model.create_index("GSPCM") is first
+
+    def test_drop_index(self):
+        model = make_model()
+        model.create_index("GSPC")
+        model.drop_index("GSPCM")
+        assert not model.has_index("GSPC")
+
+    def test_cannot_drop_last_index(self):
+        model = SemanticModel("m", index_specs=["PCSG"])
+        with pytest.raises(IndexSpecError):
+            model.drop_index("PCSG")
+
+    def test_drop_missing_index(self):
+        with pytest.raises(IndexSpecError):
+            make_model().drop_index("GSPC")
+
+
+class TestDml:
+    def test_insert(self):
+        model = make_model()
+        assert model.insert((9, 9, 9, 0))
+        assert (9, 9, 9, 0) in model
+        assert len(model) == len(QUADS) + 1
+
+    def test_insert_duplicate_returns_false(self):
+        model = make_model()
+        assert not model.insert(QUADS[0])
+        assert len(model) == len(QUADS)
+
+    def test_delete(self):
+        model = make_model()
+        assert model.delete(QUADS[0])
+        assert QUADS[0] not in model
+        # indexes updated too
+        assert QUADS[0] not in list(model.scan((None, None, None, None)))
+
+    def test_delete_missing_returns_false(self):
+        assert not make_model().delete((99, 99, 99, 99))
+
+    def test_bulk_load_merges_duplicates(self):
+        model = make_model()
+        added = model.bulk_load([QUADS[0], (7, 7, 7, 0)])
+        assert added == 1
+        assert len(model) == len(QUADS) + 1
+
+    def test_clear(self):
+        model = make_model()
+        model.clear()
+        assert len(model) == 0
+        assert list(model.scan((None, None, None, None))) == []
+
+
+class TestAccessPaths:
+    def test_choose_index_prefers_longest_prefix(self):
+        model = make_model()
+        index, length = model.choose_index((1, 10, None, None))
+        assert index.spec == "PSCG"  # P,S prefix beats P,C prefix of PCSG
+        assert length == 2
+
+    def test_choose_index_object_bound(self):
+        model = make_model()
+        index, length = model.choose_index((None, 10, 3, None))
+        assert index.spec == "PCSG"
+        assert length == 2
+
+    def test_scan_matches_naive_filter(self):
+        model = make_model()
+        pattern = (None, 10, None, None)
+        naive = sorted(q for q in QUADS if q[1] == 10)
+        assert sorted(model.scan(pattern)) == naive
+
+    def test_estimate(self):
+        model = make_model()
+        assert model.estimate((None, 10, None, None)) == 3
+        assert model.estimate((None, None, None, None)) == len(QUADS)
+
+    def test_distinct_counts(self):
+        counts = make_model().distinct_counts()
+        assert counts == {"subjects": 2, "predicates": 2, "objects": 3, "graphs": 1}
+
+    def test_table_storage_scales_with_rows(self):
+        small = SemanticModel("a")
+        small.bulk_load(QUADS[:1])
+        big = make_model()
+        assert big.table_storage_bytes() > small.table_storage_bytes()
+
+
+class TestPredicateHistogram:
+    def test_counts_by_predicate(self):
+        model = make_model()
+        assert model.predicate_histogram() == {10: 3, 11: 1}
+
+    def test_empty_model(self):
+        assert SemanticModel("m").predicate_histogram() == {}
+
+    def test_sp_skew_visible(self):
+        """SP's one-property-per-edge skew shows up in the histogram."""
+        from repro.core import MODEL_NG, MODEL_SP, PropertyGraphRdfStore
+        from repro.datasets.twitter import TwitterConfig, generate_twitter
+
+        graph = generate_twitter(TwitterConfig(egos=4, seed=2))
+        histograms = {}
+        for name in (MODEL_NG, MODEL_SP):
+            store = PropertyGraphRdfStore(model=name)
+            store.load(graph)
+            histograms[name] = store.network.model("pg").predicate_histogram()
+        assert len(histograms[MODEL_SP]) > len(histograms[MODEL_NG]) + (
+            graph.edge_count - 1
+        )
+        # NG: few predicates, large counts.
+        assert max(histograms[MODEL_NG].values()) > 100
+        # SP: the per-edge predicates each appear exactly once.
+        singletons = sum(
+            1 for count in histograms[MODEL_SP].values() if count == 1
+        )
+        assert singletons >= graph.edge_count

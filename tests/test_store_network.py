@@ -1,0 +1,175 @@
+"""Unit tests for the semantic network and virtual models."""
+
+import pytest
+
+from repro.rdf import IRI, Literal, Quad, serialize_nquads
+from repro.store import SemanticNetwork, StoreError, storage_report
+
+S, P, O, G = (
+    IRI("http://x/s"),
+    IRI("http://x/p"),
+    IRI("http://x/o"),
+    IRI("http://x/g"),
+)
+QUADS = [
+    Quad(S, P, O),
+    Quad(S, P, Literal("Amy")),
+    Quad(O, P, S, G),
+]
+
+
+def loaded_network():
+    network = SemanticNetwork()
+    network.create_model("m1")
+    network.bulk_load("m1", QUADS)
+    return network
+
+
+class TestModelLifecycle:
+    def test_create_and_get(self):
+        network = SemanticNetwork()
+        model = network.create_model("m1")
+        assert network.model("m1") is model
+
+    def test_duplicate_name_rejected(self):
+        network = SemanticNetwork()
+        network.create_model("m1")
+        with pytest.raises(StoreError):
+            network.create_model("m1")
+
+    def test_unknown_model(self):
+        with pytest.raises(StoreError):
+            SemanticNetwork().model("nope")
+
+    def test_drop_model(self):
+        network = SemanticNetwork()
+        network.create_model("m1")
+        network.drop_model("m1")
+        assert network.model_names == []
+
+    def test_drop_model_with_dependent_virtual_rejected(self):
+        network = SemanticNetwork()
+        network.create_model("m1")
+        network.create_virtual_model("v", ["m1"])
+        with pytest.raises(StoreError):
+            network.drop_model("m1")
+        network.drop_model("v")
+        network.drop_model("m1")
+
+
+class TestLoadAndDml:
+    def test_bulk_load_and_roundtrip(self):
+        network = loaded_network()
+        assert sorted(network.quads("m1"), key=repr) == sorted(QUADS, key=repr)
+
+    def test_bulk_load_nquads(self):
+        network = SemanticNetwork()
+        network.create_model("m1")
+        count = network.bulk_load_nquads("m1", serialize_nquads(QUADS).splitlines())
+        assert count == len(QUADS)
+        assert network.contains("m1", QUADS[2])
+
+    def test_insert_and_contains(self):
+        network = loaded_network()
+        new = Quad(O, P, Literal("new"))
+        assert not network.contains("m1", new)
+        assert network.insert("m1", new)
+        assert network.contains("m1", new)
+
+    def test_delete(self):
+        network = loaded_network()
+        assert network.delete("m1", QUADS[0])
+        assert not network.contains("m1", QUADS[0])
+
+    def test_delete_never_seen_term_is_false_without_interning(self):
+        network = loaded_network()
+        values_before = len(network.values)
+        assert not network.delete("m1", Quad(IRI("http://x/never"), P, O))
+        assert len(network.values) == values_before
+
+    def test_canonicalization_shares_ids_across_models(self):
+        from repro.rdf import XSD
+
+        network = SemanticNetwork()
+        network.create_model("a")
+        network.create_model("b")
+        network.insert("a", Quad(S, P, Literal("023", XSD.int)))
+        assert network.contains("a", Quad(S, P, Literal("23", XSD.int)))
+
+
+class TestVirtualModels:
+    def test_union_semantics(self):
+        network = SemanticNetwork()
+        network.create_model("a")
+        network.create_model("b")
+        shared = Quad(S, P, O)
+        network.insert("a", shared)
+        network.insert("b", shared)
+        network.insert("b", Quad(O, P, S))
+        virtual = network.create_virtual_model("v", ["a", "b"])
+        assert len(virtual) == 2  # UNION deduplicates
+
+    def test_union_all(self):
+        network = SemanticNetwork()
+        network.create_model("a")
+        network.create_model("b")
+        shared = Quad(S, P, O)
+        network.insert("a", shared)
+        network.insert("b", shared)
+        virtual = network.create_virtual_model("v", ["a", "b"], union_all=True)
+        assert len(virtual) == 2
+
+    def test_virtual_scan_merges_members(self):
+        network = SemanticNetwork()
+        network.create_model("a")
+        network.create_model("b")
+        network.insert("a", Quad(S, P, O))
+        network.insert("b", Quad(O, P, S))
+        virtual = network.create_virtual_model("v", ["a", "b"])
+        p_id = network.lookup_term(P)
+        results = list(virtual.scan((None, p_id, None, None)))
+        assert len(results) == 2
+
+    def test_virtual_is_read_only(self):
+        network = SemanticNetwork()
+        network.create_model("a")
+        network.create_virtual_model("v", ["a"])
+        with pytest.raises(StoreError):
+            network.insert("v", Quad(S, P, O))
+
+    def test_virtual_cannot_nest(self):
+        network = SemanticNetwork()
+        network.create_model("a")
+        network.create_virtual_model("v", ["a"])
+        with pytest.raises(StoreError):
+            network.create_virtual_model("vv", ["v"])
+
+    def test_virtual_requires_members(self):
+        with pytest.raises(ValueError):
+            SemanticNetwork().create_virtual_model("v", [])
+
+
+class TestStorageReport:
+    def test_report_covers_all_segments(self):
+        network = loaded_network()
+        report = storage_report(network)
+        assert report.triples_table > 0
+        assert report.values_table > 0
+        assert set(report.indexes) == {"PCSG", "PSCG"}
+        assert report.total == (
+            report.triples_table
+            + report.values_table
+            + sum(report.indexes.values())
+        )
+
+    def test_megabyte_rendering(self):
+        rows = storage_report(loaded_network()).as_megabytes()
+        assert "Triples Table" in rows and "Total" in rows
+
+    def test_subset_of_models(self):
+        network = loaded_network()
+        network.create_model("empty")
+        full = storage_report(network, ["m1"])
+        empty = storage_report(network, ["empty"])
+        assert empty.triples_table == 0
+        assert full.triples_table > 0

@@ -1,0 +1,79 @@
+"""Tests for saving/restoring semantic networks."""
+
+import os
+
+import pytest
+
+from repro.rdf import IRI, Literal, Quad
+from repro.store import SemanticNetwork
+from repro.store.persist import load_network, save_network
+
+EX = "http://ex/"
+
+
+def ex(name):
+    return IRI(EX + name)
+
+
+@pytest.fixture
+def network():
+    net = SemanticNetwork()
+    net.create_model("topology", ["PCSGM", "GSPCM"])
+    net.create_model("kvs")
+    net.bulk_load("topology", [
+        Quad(ex("a"), ex("p"), ex("b"), ex("e1")),
+        Quad(ex("b"), ex("p"), ex("c"), ex("e2")),
+    ])
+    net.bulk_load("kvs", [
+        Quad(ex("a"), ex("name"), Literal("A")),
+        Quad(ex("e1"), ex("since"), Literal.from_python(2007), ex("e1")),
+    ])
+    net.create_virtual_model("all", ["topology", "kvs"])
+    return net
+
+
+class TestSaveLoad:
+    def test_roundtrip_contents(self, network, tmp_path):
+        counts = save_network(network, str(tmp_path))
+        assert counts == {"topology": 2, "kvs": 2}
+        restored = load_network(str(tmp_path))
+        assert set(restored.model_names) == {"topology", "kvs"}
+        assert sorted(map(repr, restored.quads("topology"))) == sorted(
+            map(repr, network.quads("topology"))
+        )
+        assert sorted(map(repr, restored.quads("kvs"))) == sorted(
+            map(repr, network.quads("kvs"))
+        )
+
+    def test_index_specs_restored(self, network, tmp_path):
+        save_network(network, str(tmp_path))
+        restored = load_network(str(tmp_path))
+        assert restored.model("topology").index_specs == ["PCSG", "GSPC"]
+        assert restored.model("kvs").index_specs == ["PCSG", "PSCG"]
+
+    def test_virtual_models_restored(self, network, tmp_path):
+        save_network(network, str(tmp_path))
+        restored = load_network(str(tmp_path))
+        assert restored.virtual_model_names == ["all"]
+        assert len(restored.model("all")) == 4
+
+    def test_files_written(self, network, tmp_path):
+        save_network(network, str(tmp_path))
+        names = set(os.listdir(str(tmp_path)))
+        assert {"manifest.json", "topology.nq", "kvs.nq"} <= names
+
+    def test_restored_network_queryable(self, network, tmp_path):
+        from repro.sparql import SparqlEngine
+
+        save_network(network, str(tmp_path))
+        restored = load_network(str(tmp_path))
+        engine = SparqlEngine(restored, prefixes={"ex": EX},
+                              default_model="all")
+        result = engine.select(
+            "SELECT ?g ?y WHERE { GRAPH ?g { ?x ex:p ?b . ?g ex:since ?y } }"
+        )
+        assert len(result) == 1
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_network(str(tmp_path))

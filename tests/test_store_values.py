@@ -1,0 +1,78 @@
+"""Unit tests for the values table."""
+
+import pytest
+
+from repro.rdf import IRI, BlankNode, Literal, XSD
+from repro.store import DEFAULT_GRAPH_ID, ValuesTable
+
+
+class TestValuesTable:
+    def test_ids_start_after_default_graph(self):
+        table = ValuesTable()
+        first = table.get_or_add(IRI("http://x/a"))
+        assert first == 1
+        assert DEFAULT_GRAPH_ID == 0
+
+    def test_get_or_add_idempotent(self):
+        table = ValuesTable()
+        a1 = table.get_or_add(IRI("http://x/a"))
+        a2 = table.get_or_add(IRI("http://x/a"))
+        assert a1 == a2
+        assert len(table) == 1
+
+    def test_distinct_terms_get_distinct_ids(self):
+        table = ValuesTable()
+        ids = {
+            table.get_or_add(IRI("http://x/a")),
+            table.get_or_add(Literal("http://x/a")),
+            table.get_or_add(BlankNode("a")),
+        }
+        assert len(ids) == 3
+
+    def test_decode(self):
+        table = ValuesTable()
+        term = Literal("23", XSD.int)
+        term_id = table.get_or_add(term)
+        assert table.term(term_id) == term
+
+    def test_canonicalized_literals_share_an_id(self):
+        table = ValuesTable()
+        id1 = table.get_or_add(Literal("023", XSD.int))
+        id2 = table.get_or_add(Literal("23", XSD.int))
+        assert id1 == id2
+
+    def test_lookup_missing_returns_none(self):
+        assert ValuesTable().lookup(IRI("http://x/missing")) is None
+
+    def test_term_rejects_default_graph_and_unknown(self):
+        table = ValuesTable()
+        with pytest.raises(KeyError):
+            table.term(0)
+        with pytest.raises(KeyError):
+            table.term(99)
+
+    def test_term_or_none_maps_default_graph(self):
+        table = ValuesTable()
+        assert table.term_or_none(DEFAULT_GRAPH_ID) is None
+
+    def test_type_tests_by_id(self):
+        table = ValuesTable()
+        iri_id = table.get_or_add(IRI("http://x/a"))
+        lit_id = table.get_or_add(Literal("a"))
+        blank_id = table.get_or_add(BlankNode("a"))
+        assert table.is_iri_id(iri_id) and not table.is_literal_id(iri_id)
+        assert table.is_literal_id(lit_id) and not table.is_iri_id(lit_id)
+        assert table.is_blank_id(blank_id)
+        assert not table.is_iri_id(DEFAULT_GRAPH_ID)
+
+    def test_ids_for(self):
+        table = ValuesTable()
+        terms = [IRI("http://x/a"), IRI("http://x/b"), IRI("http://x/a")]
+        ids = table.ids_for(terms)
+        assert ids[0] == ids[2] != ids[1]
+
+    def test_storage_bytes_grows_with_content(self):
+        table = ValuesTable()
+        empty = table.storage_bytes()
+        table.get_or_add(IRI("http://example.org/some/long/iri"))
+        assert table.storage_bytes() > empty
