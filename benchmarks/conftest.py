@@ -10,6 +10,8 @@ EXPERIMENTS.md for the expected shapes.
 import pytest
 
 from repro.bench.harness import BenchContext, build_stores
+from repro.obs import QueryCollector
+from repro.obs import metrics as _obs
 
 
 @pytest.fixture(scope="session")
@@ -19,7 +21,13 @@ def ctx() -> BenchContext:
 
 
 def run_eq(benchmark, store, query: str):
-    """Benchmark one SPARQL query with the paper's warm-up methodology."""
+    """Benchmark one SPARQL query with the paper's warm-up methodology.
+
+    The timed rounds run uninstrumented; one extra warm run captures
+    the operator counters (index scans, join strategies, push-down
+    hits) into ``benchmark.extra_info["counters"]`` so saved runs
+    record *why* a query costs what it does, not just the time.
+    """
     store.select(query)  # warm the store (buffer-cache analogue)
     result_holder = {}
 
@@ -27,4 +35,8 @@ def run_eq(benchmark, store, query: str):
         result_holder["result"] = store.select(query)
 
     benchmark.pedantic(run, rounds=3, warmup_rounds=1, iterations=1)
+    collector = QueryCollector()
+    with _obs.collect(collector):
+        store.select(query)
+    benchmark.extra_info["counters"] = dict(collector.counters)
     return result_holder["result"]

@@ -99,25 +99,34 @@ def _cmd_transform(args) -> int:
     return 0
 
 
-def _cmd_query(args) -> int:
+def _build_engine(data_path: str, **engine_kwargs) -> SparqlEngine:
+    """Load an N-Quads file into a fresh engine (query/explain/serve)."""
     network = SemanticNetwork()
     network.create_model("data", ["PCSGM", "PSCGM", "SPCGM", "GSPCM"])
-    with open(args.data, "r", encoding="utf-8") as handle:
+    with open(data_path, "r", encoding="utf-8") as handle:
         count = network.bulk_load("data", parse_nquads(handle))
     print(f"loaded {count:,} quads", file=sys.stderr)
-    engine = SparqlEngine(
+    return SparqlEngine(
         network,
         prefixes={
             "r": "http://pg/r/", "rel": "http://pg/r/",
             "k": "http://pg/k/", "key": "http://pg/k/",
         },
         default_model="data",
+        **engine_kwargs,
     )
+
+
+def _read_query(args) -> str:
     if args.query_file:
         with open(args.query_file, "r", encoding="utf-8") as handle:
-            query = handle.read()
-    else:
-        query = args.query
+            return handle.read()
+    return args.query
+
+
+def _cmd_query(args) -> int:
+    engine = _build_engine(args.data)
+    query = _read_query(args)
     if args.explain:
         for line in engine.explain(query):
             print(line)
@@ -132,6 +141,19 @@ def _cmd_query(args) -> int:
         for row in result.rows:
             print("\t".join("" if t is None else t.n3() for t in row))
         print(f"({len(result)} rows)", file=sys.stderr)
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    engine = _build_engine(args.data)
+    query = _read_query(args)
+    if args.analyze:
+        analysis = engine.explain(query, analyze=True)
+        for line in analysis.lines:
+            print(line)
+    else:
+        for line in engine.explain(query):
+            print(line)
     return 0
 
 
@@ -184,24 +206,23 @@ def _cmd_demo(args) -> int:
 def _cmd_serve(args) -> int:
     from repro.server import make_server
 
-    network = SemanticNetwork()
-    network.create_model("data", ["PCSGM", "PSCGM", "SPCGM", "GSPCM"])
-    with open(args.data, "r", encoding="utf-8") as handle:
-        count = network.bulk_load("data", parse_nquads(handle))
-    engine = SparqlEngine(
-        network,
-        prefixes={
-            "r": "http://pg/r/", "rel": "http://pg/r/",
-            "k": "http://pg/k/", "key": "http://pg/k/",
-        },
-        default_model="data",
+    engine = _build_engine(
+        args.data,
+        collect_stats=args.metrics,
+        slow_query_seconds=args.slow_query_seconds,
     )
+    if args.metrics:
+        from repro.obs import metrics as obs_metrics
+
+        obs_metrics.enable()
     server, port = make_server(
         engine, args.host, args.port, allow_updates=args.allow_updates
     )
+    endpoints = f"http://{args.host}:{port}/sparql"
+    if args.metrics:
+        endpoints += " and /metrics"
     print(
-        f"loaded {count:,} quads; serving SPARQL on "
-        f"http://{args.host}:{port}/sparql (Ctrl-C to stop)",
+        f"serving SPARQL on {endpoints} (Ctrl-C to stop)",
         file=sys.stderr,
     )
     try:
@@ -239,6 +260,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the access plan instead of running")
     query.set_defaults(func=_cmd_query)
 
+    explain = sub.add_parser(
+        "explain", help="show the access plan (optionally with actuals)"
+    )
+    explain.add_argument("data", help="input .nq file")
+    explain.add_argument("--query", "-q", help="SPARQL text")
+    explain.add_argument("--query-file", "-f", help="SPARQL file")
+    explain.add_argument(
+        "--analyze",
+        action="store_true",
+        help="execute the query and annotate each step with actual "
+        "rows, index scan counts and timings (EXPLAIN ANALYZE)",
+    )
+    explain.set_defaults(func=_cmd_explain)
+
     stats = sub.add_parser("stats", help="dataset characteristics")
     stats.add_argument("--edges", help="edges.csv")
     stats.add_argument("--kvs", help="kvs.csv")
@@ -259,6 +294,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=3030)
     serve.add_argument("--allow-updates", action="store_true")
+    serve.add_argument(
+        "--metrics",
+        action="store_true",
+        help="enable the metrics registry, per-query stats in query "
+        "responses, and the GET /metrics endpoint",
+    )
+    serve.add_argument(
+        "--slow-query-seconds",
+        type=float,
+        default=None,
+        help="log queries slower than this many seconds "
+        "(reported under /metrics)",
+    )
     serve.set_defaults(func=_cmd_serve)
     return parser
 
@@ -266,8 +314,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "query" and not (args.query or args.query_file):
-        parser.error("query needs --query or --query-file")
+    if args.command in ("query", "explain") and not (
+        args.query or args.query_file
+    ):
+        parser.error(f"{args.command} needs --query or --query-file")
     return args.func(args)
 
 

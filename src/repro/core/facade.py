@@ -126,8 +126,13 @@ class PropertyGraphRdfStore:
             )
         return self.engine.update(update_text, model=model)
 
-    def explain(self, query: str, model: Optional[str] = None) -> List[str]:
-        return self.engine.explain(query, model=model)
+    def explain(
+        self,
+        query: str,
+        model: Optional[str] = None,
+        analyze: bool = False,
+    ):
+        return self.engine.explain(query, model=model, analyze=analyze)
 
     def model_for_query_type(self, query_type: str) -> str:
         """Pick the Table 4 dataset for a query type.

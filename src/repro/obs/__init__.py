@@ -1,0 +1,57 @@
+"""Runtime observability: metrics registry and per-query statistics.
+
+The paper argues from *observed* access plans and runtime behaviour
+(Table 5's plans, the NLJ-to-hash-join switches of Section 4.4); this
+package is the instrumentation that lets the reproduction observe the
+same things: a process-wide :class:`MetricsRegistry` of counters,
+gauges and timers, per-query :class:`QueryStats` built by a
+:class:`QueryCollector`, the :class:`SlowQueryLog`, and the
+:class:`ExplainAnalysis` object behind ``EXPLAIN ANALYZE``.
+
+Everything is off by default and a true no-op when off — see
+:mod:`repro.obs.metrics` and docs/OBSERVABILITY.md.
+"""
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    TimerStats,
+    collect,
+    current_collector,
+    disable,
+    enable,
+    enabled,
+    is_active,
+    is_enabled,
+    registry,
+    reset,
+    snapshot,
+)
+from repro.obs.query import (
+    ExplainAnalysis,
+    OperatorStats,
+    QueryCollector,
+    QueryStats,
+    SlowQueryLog,
+    SlowQueryRecord,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "TimerStats",
+    "QueryCollector",
+    "QueryStats",
+    "OperatorStats",
+    "SlowQueryLog",
+    "SlowQueryRecord",
+    "ExplainAnalysis",
+    "enable",
+    "disable",
+    "enabled",
+    "is_enabled",
+    "is_active",
+    "registry",
+    "reset",
+    "snapshot",
+    "collect",
+    "current_collector",
+]

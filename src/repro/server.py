@@ -35,6 +35,9 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
 
     def do_GET(self):  # noqa: N802
         parsed = urlparse(self.path)
+        if parsed.path == "/metrics":
+            self._send_metrics()
+            return
         if parsed.path != "/sparql":
             self._send_error(404, "not found")
             return
@@ -96,7 +99,7 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
                 self._send(200, "text/csv", to_csv(result))
             else:
                 self._send(200, "application/sparql-results+json",
-                           to_json(result))
+                           to_json(result, include_stats=True))
         else:  # CONSTRUCT / DESCRIBE: N-Triples
             from repro.rdf import Quad, serialize_nquads
 
@@ -104,6 +107,20 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
                 Quad(t.subject, t.predicate, t.object) for t in result
             )
             self._send(200, "application/n-triples", text)
+
+    def _send_metrics(self) -> None:
+        """JSON dump of the metrics registry and the slow-query log."""
+        from repro.obs import metrics as obs_metrics
+
+        document = {
+            "enabled": obs_metrics.is_enabled(),
+            "slow_queries": [
+                entry.to_dict()
+                for entry in self.engine.slow_queries.entries
+            ],
+        }
+        document.update(obs_metrics.snapshot())
+        self._send(200, "application/json", json.dumps(document))
 
     def _send(self, status: int, content_type: str, body: str) -> None:
         payload = body.encode("utf-8")

@@ -19,6 +19,7 @@ work unchanged; pass ``default_graph_semantics="strict"`` for the
 W3C dataset semantics.
 """
 
+from repro.obs import ExplainAnalysis, QueryStats, SlowQueryLog
 from repro.sparql.errors import SparqlError, ParseError, EvaluationError
 from repro.sparql.engine import PreparedQuery, SparqlEngine
 from repro.sparql.results import SelectResult
@@ -28,6 +29,9 @@ __all__ = [
     "SparqlEngine",
     "PreparedQuery",
     "SelectResult",
+    "ExplainAnalysis",
+    "QueryStats",
+    "SlowQueryLog",
     "SparqlError",
     "ParseError",
     "EvaluationError",

@@ -7,8 +7,11 @@ declarations and Oracle-style union default-graph semantics by default.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional
 
+from repro.obs import ExplainAnalysis, QueryCollector, SlowQueryLog
+from repro.obs import metrics as _obs
 from repro.rdf.quad import Triple
 from repro.sparql.ast import (
     AskQuery,
@@ -49,6 +52,8 @@ class SparqlEngine:
         default_model: Optional[str] = None,
         default_graph_semantics: str = "union",
         filter_pushdown: bool = True,
+        collect_stats: bool = False,
+        slow_query_seconds: Optional[float] = None,
     ):
         if default_graph_semantics not in ("union", "strict"):
             raise ValueError(
@@ -59,6 +64,12 @@ class SparqlEngine:
         self._default_model = default_model
         self._union_default = default_graph_semantics == "union"
         self._filter_pushdown = filter_pushdown
+        #: When True, every SELECT carries a ``repro.obs.QueryStats`` in
+        #: ``result.stats`` (one collector per execution).
+        self.collect_stats = collect_stats
+        #: Bounded log of queries slower than ``slow_query_seconds``
+        #: (None disables recording).
+        self.slow_queries = SlowQueryLog(slow_query_seconds)
 
     # ------------------------------------------------------------------
     # Query API
@@ -69,7 +80,7 @@ class SparqlEngine:
 
     def query(self, text: str, model: Optional[str] = None):
         """Parse and run any query form (SELECT / ASK / CONSTRUCT)."""
-        return self.run_ast(self._parser.parse_query(text), model)
+        return self.run_ast(self._parser.parse_query(text), model, text=text)
 
     def select(self, text: str, model: Optional[str] = None) -> SelectResult:
         result = self.query(text, model)
@@ -89,8 +100,46 @@ class SparqlEngine:
             raise EvaluationError("not a CONSTRUCT query")
         return result
 
-    def run_ast(self, ast, model: Optional[str] = None):
-        evaluator = self._evaluator(model)
+    def run_ast(
+        self,
+        ast,
+        model: Optional[str] = None,
+        collector: Optional[QueryCollector] = None,
+        text: Optional[str] = None,
+    ):
+        if collector is None and self.collect_stats:
+            collector = QueryCollector()
+        observing = (
+            collector is not None
+            or self.slow_queries.enabled
+            or _obs.is_enabled()
+        )
+        if not observing:
+            return self._dispatch(self._evaluator(model), ast)
+        evaluator = self._evaluator(model, collector)
+        start = time.perf_counter()
+        if collector is not None:
+            with _obs.collect(collector):
+                result = self._dispatch(evaluator, ast)
+        else:
+            result = self._dispatch(evaluator, ast)
+        elapsed = time.perf_counter() - start
+        rows = _result_rows(result)
+        if _obs.is_enabled():
+            registry = _obs.registry()
+            registry.inc("query.count")
+            registry.observe("query.seconds", elapsed)
+        if self.slow_queries.enabled:
+            logged = self.slow_queries.record(
+                text if text is not None else repr(ast), elapsed, rows
+            )
+            if logged and _obs.is_enabled():
+                _obs.registry().inc("query.slow")
+        if collector is not None and isinstance(result, SelectResult):
+            result.stats = collector.finish(elapsed, rows)
+        return result
+
+    def _dispatch(self, evaluator: Evaluator, ast):
         if isinstance(ast, SelectQuery):
             return evaluator.select(ast)
         if isinstance(ast, AskQuery):
@@ -118,12 +167,24 @@ class SparqlEngine:
     # EXPLAIN
     # ------------------------------------------------------------------
 
-    def explain(self, text: str, model: Optional[str] = None) -> List[str]:
+    def explain(
+        self,
+        text: str,
+        model: Optional[str] = None,
+        analyze: bool = False,
+    ):
         """Access-plan description for the query's BGPs (Table 5 style).
 
         Walks the WHERE clause; for each BGP reports join order, the
         chosen semantic network index, scan kind and join method.
+
+        With ``analyze=True`` the query is *executed* and an
+        :class:`repro.obs.ExplainAnalysis` is returned instead, each
+        step annotated with actual rows, index scan counts and wall
+        time next to the planner's estimates (EXPLAIN ANALYZE).
         """
+        if analyze:
+            return self.explain_analyze(text, model)
         ast = self._parser.parse_query(text)
         if not isinstance(ast, (SelectQuery, AskQuery, ConstructQuery)):
             raise EvaluationError("cannot explain this form")
@@ -186,6 +247,18 @@ class SparqlEngine:
         walk(ast.where, None if self._union_default else 0, set())
         return lines
 
+    def explain_analyze(
+        self, text: str, model: Optional[str] = None
+    ) -> ExplainAnalysis:
+        """Execute the query and report per-operator actuals."""
+        ast = self._parser.parse_query(text)
+        collector = QueryCollector()
+        start = time.perf_counter()
+        result = self.run_ast(ast, model, collector=collector, text=text)
+        elapsed = time.perf_counter() - start
+        stats = collector.finish(elapsed, _result_rows(result))
+        return ExplainAnalysis(stats, result)
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
@@ -198,11 +271,27 @@ class SparqlEngine:
             )
         return name
 
-    def _evaluator(self, model: Optional[str]) -> Evaluator:
+    def _evaluator(
+        self,
+        model: Optional[str],
+        collector: Optional[QueryCollector] = None,
+    ) -> Evaluator:
         store_model = self.network.model(self._model_name(model))
         return Evaluator(
             self.network,
             store_model,
             union_default_graph=self._union_default,
             filter_pushdown=self._filter_pushdown,
+            collector=collector,
         )
+
+
+def _result_rows(result) -> int:
+    """Result cardinality across query forms (for stats and slow log)."""
+    if isinstance(result, SelectResult):
+        return len(result.rows)
+    if isinstance(result, bool):
+        return int(result)
+    if isinstance(result, list):
+        return len(result)
+    return 0

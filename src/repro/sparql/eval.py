@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.obs import metrics as _obs
 from repro.rdf.quad import Triple
 from repro.rdf.terms import IRI, Literal, Term
 from repro.sparql import functions as F
@@ -48,11 +49,13 @@ from repro.sparql.paths import PathEvaluator
 from repro.sparql.plan import (
     EncodedPattern,
     GraphContext,
-    choose_join_method,
+    decide_join,
+    describe_bound,
     order_patterns,
 )
 from repro.sparql.relation import Relation, join, left_join, minus, union
 from repro.sparql.results import SelectResult
+from repro.sparql.unparse import render_expr, render_triple
 
 _UNKNOWN = -1  # sentinel for constants absent from the values table
 
@@ -66,12 +69,14 @@ class Evaluator:
         model,
         union_default_graph: bool = True,
         filter_pushdown: bool = True,
+        collector=None,
     ):
         self._network = network
         self._values = network.values
         self._model = model
         self._union_default = union_default_graph
         self._filter_pushdown = filter_pushdown
+        self._collector = collector  # obs.QueryCollector or None
         self._paths = PathEvaluator(model, self._encode_constant)
 
     # ------------------------------------------------------------------
@@ -324,6 +329,8 @@ class Evaluator:
         flush_bgp()
         for entry in pending:
             if not entry.applied:
+                if _obs.is_active():
+                    _obs.inc("filter.group_end")
                 relation = self._apply_filter(entry.expression, relation)
         return relation
 
@@ -347,6 +354,8 @@ class Evaluator:
             variable, term = match
             if variable in relation.variables:
                 continue  # ordinary push-down will handle it
+            if _obs.is_active():
+                _obs.inc("filter.sargable_seed")
             term_id = self._encode_constant(term)
             if term_id is None:
                 entry.applied = True
@@ -374,6 +383,8 @@ class Evaluator:
                 row[p] is None for row in relation.rows for p in positions
             ):
                 continue
+            if _obs.is_active():
+                _obs.inc("filter.pushdown")
             relation = self._apply_filter(entry.expression, relation)
             entry.applied = True
         return relation
@@ -416,6 +427,13 @@ class Evaluator:
         return Relation(element.variables, rows)
 
     def _apply_filter(self, expression: Expression, relation: Relation) -> Relation:
+        collector = self._collector
+        if collector is not None:
+            collector.begin_operator(
+                "filter",
+                detail=render_expr(expression),
+                rows_in=len(relation.rows),
+            )
         getter = self._row_getter(relation)
         keep_rows: List[Tuple] = []
         keep_mults: List[int] = []
@@ -428,6 +446,8 @@ class Evaluator:
             if passed:
                 keep_rows.append(row)
                 keep_mults.append(mult)
+        if collector is not None:
+            collector.end_operator(rows_out=len(keep_rows))
         if all(m == 1 for m in keep_mults):
             return Relation(relation.variables, keep_rows)
         return Relation(relation.variables, keep_rows, keep_mults)
@@ -498,15 +518,37 @@ class Evaluator:
         # e-e-K-V idiom relies on probing by graph).
         if isinstance(graph, str) and graph in relation.variables:
             shared = shared | {graph}
-        method = choose_join_method(len(relation.rows), estimate)
-        if shared and method == "hash join":
-            scanned = self._scan_to_relation(pattern, graph)
-            return join(relation, scanned)
-        if not shared and len(relation.rows) > 1:
-            # Cartesian with a disconnected pattern: scan once.
-            scanned = self._scan_to_relation(pattern, graph)
-            return join(relation, scanned)
-        return self._nested_loop_step(pattern, graph, relation)
+        decision = decide_join(len(relation.rows), estimate)
+        # The strategy actually executed: a disconnected pattern is a
+        # cartesian scan-join regardless of the NLJ/hash thresholds.
+        if shared and decision.method == "hash join":
+            executed, reason = "hash join", decision.describe()
+        elif not shared and len(relation.rows) > 1:
+            executed, reason = "cartesian", "disconnected pattern: scan once"
+        else:
+            executed, reason = "NLJ", decision.describe()
+        collector = self._collector
+        if collector is not None:
+            collector.begin_operator(
+                "pattern",
+                detail=self._render_encoded(pattern),
+                bound=describe_bound(
+                    pattern, set(relation.variables), self._decode_id
+                ),
+                join_method=executed,
+                join_reason=reason,
+                estimate=estimate,
+                rows_in=len(relation.rows),
+            )
+        if _obs.is_active():
+            _obs.record_join(executed)
+        if executed == "NLJ":
+            result = self._nested_loop_step(pattern, graph, relation)
+        else:  # hash join or cartesian: one standalone scan, then join
+            result = join(relation, self._scan_to_relation(pattern, graph))
+        if collector is not None:
+            collector.end_operator(rows_out=len(result.rows))
+        return result
 
     def _graph_slot_and_filter(
         self, graph: GraphContext, row_value: Optional[int] = None
@@ -646,6 +688,22 @@ class Evaluator:
     # ------------------------------------------------------------------
 
     def _path_step(
+        self, pattern: TriplePattern, graph: GraphContext, relation: Relation
+    ) -> Relation:
+        collector = self._collector
+        if collector is not None:
+            collector.begin_operator(
+                "path",
+                detail=render_triple(pattern),
+                join_method="path",
+                rows_in=len(relation.rows),
+            )
+        result = self._path_step_inner(pattern, graph, relation)
+        if collector is not None:
+            collector.end_operator(rows_out=len(result.rows))
+        return result
+
+    def _path_step_inner(
         self, pattern: TriplePattern, graph: GraphContext, relation: Relation
     ) -> Relation:
         if isinstance(graph, str):
@@ -1109,6 +1167,19 @@ class Evaluator:
     def _encode_constant(self, term: Term) -> Optional[int]:
         """Encode a query constant without interning new values."""
         return self._network.lookup_term(term)
+
+    def _decode_id(self, term_id: int) -> str:
+        """Render a term ID for operator labels (EXPLAIN ANALYZE)."""
+        try:
+            return self._values.term(term_id).n3()
+        except Exception:
+            return f"#{term_id}"
+
+    def _render_encoded(self, pattern: EncodedPattern) -> str:
+        return " ".join(
+            f"?{slot}" if isinstance(slot, str) else self._decode_id(slot)
+            for slot in (pattern.subject, pattern.predicate, pattern.object)
+        )
 
     def _encode_term(self, term: Term) -> int:
         """Encode a computed term, interning it if new (like Oracle's

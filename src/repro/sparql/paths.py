@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, Optional, Set, Tuple
 
+from repro.obs import metrics as _obs
 from repro.sparql.ast import (
     Path,
     PathAlternative,
@@ -89,6 +90,8 @@ class PathEvaluator:
             frontier = starts
             for step in path.steps:
                 frontier = self.ends_from(step, frontier, graph)
+                if _obs.is_active():
+                    _obs.record_frontier(len(frontier))
                 if not frontier:
                     return {}
             return frontier
@@ -135,6 +138,8 @@ class PathEvaluator:
             frontier = ends
             for step in reversed(path.steps):
                 frontier = self.starts_to(step, frontier, graph)
+                if _obs.is_active():
+                    _obs.record_frontier(len(frontier))
                 if not frontier:
                     return {}
             return frontier
@@ -247,6 +252,8 @@ class PathEvaluator:
                         visited.add(neighbor)
                         next_frontier.add(neighbor)
             frontier = next_frontier
+            if _obs.is_active() and frontier:
+                _obs.record_frontier(len(frontier))
         return visited
 
     def _repeat_domain(self, path: PathRepeat, graph: GraphId) -> Set[int]:

@@ -130,14 +130,50 @@ def _estimate_with_bound(
     return base
 
 
-def choose_join_method(input_rows: int, pattern_estimate: int) -> str:
+@dataclass(frozen=True)
+class JoinDecision:
+    """The NLJ-vs-hash choice plus the numbers that triggered it.
+
+    Captured so EXPLAIN ANALYZE can show *why* a strategy fired (the
+    paper reasons about exactly this switch for the 3/4/5-hop and
+    triangle queries).
+    """
+
+    method: str  # "NLJ" | "hash join"
+    input_rows: int
+    estimate: int
+    min_rows: int = HASH_JOIN_MIN_ROWS
+    scan_factor: int = HASH_JOIN_SCAN_FACTOR
+
+    def describe(self) -> str:
+        if self.method == "hash join":
+            return (
+                f"hash join: in={self.input_rows} >= {self.min_rows} "
+                f"and est={self.estimate} <= in*{self.scan_factor}"
+            )
+        if self.input_rows < self.min_rows:
+            return f"NLJ: in={self.input_rows} < {self.min_rows}"
+        return (
+            f"NLJ: est={self.estimate} > "
+            f"in={self.input_rows} * {self.scan_factor}"
+        )
+
+
+def decide_join(input_rows: int, pattern_estimate: int) -> JoinDecision:
     """NLJ vs hash join decision (see module docstring)."""
     if (
         input_rows >= HASH_JOIN_MIN_ROWS
         and pattern_estimate <= input_rows * HASH_JOIN_SCAN_FACTOR
     ):
-        return "hash join"
-    return "NLJ"
+        method = "hash join"
+    else:
+        method = "NLJ"
+    return JoinDecision(method, input_rows, pattern_estimate)
+
+
+def choose_join_method(input_rows: int, pattern_estimate: int) -> str:
+    """The join method name alone (static EXPLAIN and older callers)."""
+    return decide_join(input_rows, pattern_estimate).method
 
 
 def describe_bound(

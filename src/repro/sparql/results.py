@@ -14,7 +14,7 @@ class SelectResult:
     the raw tuples in projection order.
     """
 
-    __slots__ = ("variables", "rows")
+    __slots__ = ("variables", "rows", "stats")
 
     def __init__(
         self,
@@ -23,6 +23,9 @@ class SelectResult:
     ):
         self.variables: Tuple[str, ...] = tuple(variables)
         self.rows = rows
+        # Filled by the engine when per-query statistics collection is
+        # on (repro.obs.QueryStats); None otherwise.
+        self.stats = None
 
     def __len__(self) -> int:
         return len(self.rows)

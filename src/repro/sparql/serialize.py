@@ -31,8 +31,16 @@ def _json_term(term) -> Dict[str, str]:
     raise TypeError(f"cannot serialize {term!r}")
 
 
-def to_json(result: SelectResult, indent: int = None) -> str:
-    """SPARQL 1.1 Query Results JSON Format."""
+def to_json(
+    result: SelectResult, indent: int = None, include_stats: bool = False
+) -> str:
+    """SPARQL 1.1 Query Results JSON Format.
+
+    With ``include_stats=True`` and a result carrying per-query
+    execution statistics (``result.stats``), a non-standard top-level
+    ``"stats"`` member is added — clients reading only ``head`` and
+    ``results`` are unaffected.
+    """
     bindings = []
     for row in result.rows:
         binding = {
@@ -45,6 +53,8 @@ def to_json(result: SelectResult, indent: int = None) -> str:
         "head": {"vars": list(result.variables)},
         "results": {"bindings": bindings},
     }
+    if include_stats and getattr(result, "stats", None) is not None:
+        document["stats"] = result.stats.to_dict()
     return json.dumps(document, indent=indent)
 
 

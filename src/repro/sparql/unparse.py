@@ -254,3 +254,8 @@ def _expr(expression: Expression) -> str:
             )
         return f"{expression.name}({distinct}{inner})"
     raise TypeError(f"cannot unparse {type(expression).__name__}")
+
+
+# Public aliases: EXPLAIN ANALYZE labels operators with query fragments.
+render_triple = _triple
+render_expr = _expr

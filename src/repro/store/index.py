@@ -18,6 +18,8 @@ from __future__ import annotations
 from bisect import bisect_left, insort
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from repro.obs import metrics as _obs
+
 QuadIds = Tuple[int, int, int, int]
 
 _POSITIONS = {"S": 0, "P": 1, "C": 2, "G": 3}
@@ -42,6 +44,14 @@ def normalize_spec(spec: str) -> str:
         raise IndexSpecError(f"index spec {spec!r} has no key columns")
     seen = set()
     for letter in upper:
+        if letter == "M":
+            # Catches a doubled trailing M ("PCSGMM") and M in a key
+            # position ("SMP") with a precise message instead of the
+            # generic invalid-letter error.
+            raise IndexSpecError(
+                f"misplaced 'M' in index spec {spec!r}: M (model) may "
+                "appear only once, as the trailing column"
+            )
         if letter not in _POSITIONS:
             raise IndexSpecError(f"invalid index key letter {letter!r} in {spec!r}")
         if letter in seen:
@@ -144,13 +154,38 @@ class SemanticIndex:
             for key_pos, quad_pos in enumerate(order)
             if key_pos >= plen and bound[quad_pos] is not None
         ]
-        if residual:
-            for key in candidates:
-                if all(key[pos] == value for pos, value in residual):
+        if not _obs.is_active():
+            # Fast path: no metrics sink is listening, keep the loops bare.
+            if residual:
+                for key in candidates:
+                    if all(key[pos] == value for pos, value in residual):
+                        yield unpermute(key)
+            else:
+                for key in candidates:
                     yield unpermute(key)
-        else:
-            for key in candidates:
-                yield unpermute(key)
+            return
+        # Counting path: tally entries examined vs. matched locally and
+        # report once per scan (in ``finally`` so abandoned generators
+        # still report what they touched).
+        scanned = 0
+        matched = 0
+        try:
+            if residual:
+                for key in candidates:
+                    scanned += 1
+                    if all(key[pos] == value for pos, value in residual):
+                        matched += 1
+                        yield unpermute(key)
+            else:
+                # Without residual filters every scanned entry matches,
+                # so one counter suffices (matched is set on exit).
+                for key in candidates:
+                    scanned += 1
+                    yield unpermute(key)
+        finally:
+            if not residual:
+                matched = scanned
+            _obs.record_scan(self.spec, plen, scanned, matched)
 
     def count_prefix(self, bound: Sequence[Optional[int]]) -> int:
         """Count entries matching the usable bound prefix (no residual filter)."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro.obs import metrics as _obs
 from repro.store.index import IndexSpecError, QuadIds, SemanticIndex, normalize_spec
 
 Pattern = Tuple[Optional[int], Optional[int], Optional[int], Optional[int]]
@@ -146,6 +147,8 @@ class SemanticModel:
     def scan(self, pattern: Pattern) -> Iterator[QuadIds]:
         """Scan quads matching ``pattern`` via the best available index."""
         index, _ = self.choose_index(pattern)
+        if _obs.is_active():
+            _obs.inc("store.scans")
         return index.range_scan(pattern)
 
     def estimate(self, pattern: Pattern) -> int:
@@ -155,6 +158,8 @@ class SemanticModel:
         upper bound, the way an optimizer estimates from index statistics.
         """
         index, _ = self.choose_index(pattern)
+        if _obs.is_active():
+            _obs.inc("planner.estimates")
         return index.count_prefix(pattern)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,330 @@
+"""Unit tests for the repro.obs metrics registry and collectors."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    QueryCollector,
+    SlowQueryLog,
+)
+from repro.obs import metrics
+from repro.rdf import IRI, Literal, Quad
+from repro.sparql import SparqlEngine
+from repro.store import SemanticNetwork
+
+EX = "http://ex/"
+
+
+def ex(name):
+    return IRI(EX + name)
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_state():
+    """Each test starts (and leaves) with metrics off and empty."""
+    metrics.disable()
+    metrics.reset()
+    yield
+    metrics.disable()
+    metrics.reset()
+
+
+def small_engine(**kwargs) -> SparqlEngine:
+    network = SemanticNetwork()
+    network.create_model("m")
+    network.bulk_load("m", [
+        Quad(ex("a"), ex("knows"), ex("b")),
+        Quad(ex("b"), ex("knows"), ex("c")),
+        Quad(ex("a"), ex("name"), Literal("A")),
+    ])
+    return SparqlEngine(
+        network, prefixes={"ex": EX}, default_model="m", **kwargs
+    )
+
+
+# ----------------------------------------------------------------------
+# Registry semantics
+# ----------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_counter_increment_and_default(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") == 0
+        registry.inc("x")
+        registry.inc("x", 4)
+        assert registry.counter("x") == 5
+        assert registry.counters == {"x": 5}
+
+    def test_gauges(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("g", 2.0)
+        assert registry.gauge("g") == 2.0
+        registry.gauge_max("peak", 3)
+        registry.gauge_max("peak", 1)  # lower: ignored
+        registry.gauge_max("peak", 7)
+        assert registry.gauge("peak") == 7
+
+    def test_timer_aggregation(self):
+        registry = MetricsRegistry()
+        registry.observe("t", 0.1)
+        registry.observe("t", 0.3)
+        stats = registry.timer_stats("t")
+        assert stats.count == 2
+        assert stats.total == pytest.approx(0.4)
+        assert stats.mean == pytest.approx(0.2)
+        assert stats.min == pytest.approx(0.1)
+        assert stats.max == pytest.approx(0.3)
+
+    def test_timer_context_manager(self):
+        registry = MetricsRegistry()
+        with registry.timer("work"):
+            pass
+        stats = registry.timer_stats("work")
+        assert stats.count == 1
+        assert stats.total >= 0.0
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.inc("c")
+        registry.set_gauge("g", 1)
+        registry.observe("t", 0.5)
+        registry.reset()
+        snapshot = registry.snapshot()
+        assert snapshot == {"counters": {}, "gauges": {}, "timers": {}}
+
+    def test_snapshot_is_json_ready_copy(self):
+        registry = MetricsRegistry()
+        registry.inc("c", 2)
+        registry.observe("t", 0.25)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 2}
+        assert snapshot["timers"]["t"]["count"] == 1
+        # Mutating the snapshot must not touch the registry.
+        snapshot["counters"]["c"] = 99
+        assert registry.counter("c") == 2
+
+    def test_thread_safety_under_executor(self):
+        """`+=` from many threads must not lose increments."""
+        registry = MetricsRegistry()
+        increments_per_thread = 2000
+        workers = 8
+
+        def hammer():
+            for _ in range(increments_per_thread):
+                registry.inc("hits")
+                registry.gauge_max("peak", threading.get_ident() % 97)
+                registry.observe("lat", 0.001)
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            for future in [pool.submit(hammer) for _ in range(workers)]:
+                future.result()
+        assert registry.counter("hits") == workers * increments_per_thread
+        assert registry.timer_stats("lat").count == workers * increments_per_thread
+
+
+# ----------------------------------------------------------------------
+# Module-level enable/disable and routing
+# ----------------------------------------------------------------------
+
+
+class TestGlobalState:
+    def test_disabled_mode_is_a_true_noop(self):
+        """With metrics off and no collector, nothing is recorded."""
+        assert not metrics.is_active()
+        metrics.inc("index.rows_scanned", 10)
+        metrics.record_scan("PCSG", 2, 100, 50)
+        metrics.record_join("NLJ")
+        metrics.record_frontier(4)
+        assert metrics.registry().counters == {}
+
+    def test_queries_record_nothing_when_disabled(self):
+        engine = small_engine()
+        engine.select("SELECT ?x WHERE { ?x ex:knows ?y }")
+        assert metrics.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "timers": {},
+        }
+
+    def test_enable_routes_query_counters(self):
+        engine = small_engine()
+        metrics.enable()
+        engine.select("SELECT ?x WHERE { ?x ex:knows ?y }")
+        counters = metrics.registry().counters
+        assert counters["query.count"] == 1
+        assert counters["index.rows_scanned"] >= counters["index.rows_matched"]
+        assert counters["store.scans"] >= 1
+        timer = metrics.registry().timer_stats("query.seconds")
+        assert timer is not None and timer.count == 1
+
+    def test_enabled_context_restores_previous_state(self):
+        assert not metrics.is_enabled()
+        with metrics.enabled(fresh=True) as registry:
+            assert metrics.is_enabled()
+            registry.inc("inside")
+        assert not metrics.is_enabled()
+        # fresh=True cleared anything recorded before entry
+        assert metrics.registry().counter("inside") == 1
+
+    def test_reset_between_queries(self):
+        engine = small_engine()
+        metrics.enable()
+        engine.select("SELECT ?x WHERE { ?x ex:knows ?y }")
+        first = metrics.registry().counter("index.rows_scanned")
+        assert first > 0
+        metrics.reset()
+        assert metrics.registry().counter("index.rows_scanned") == 0
+        engine.select("SELECT ?x WHERE { ?x ex:knows ?y }")
+        assert metrics.registry().counter("index.rows_scanned") == first
+
+
+# ----------------------------------------------------------------------
+# Per-query collector
+# ----------------------------------------------------------------------
+
+
+class TestCollector:
+    def test_collector_stack_is_thread_local(self):
+        collector = QueryCollector()
+        seen = {}
+
+        def other_thread():
+            seen["collector"] = metrics.current_collector()
+
+        with metrics.collect(collector):
+            assert metrics.current_collector() is collector
+            worker = threading.Thread(target=other_thread)
+            worker.start()
+            worker.join()
+        assert seen["collector"] is None
+        assert metrics.current_collector() is None
+
+    def test_collector_counts_without_global_enable(self):
+        engine = small_engine()
+        collector = QueryCollector()
+        with metrics.collect(collector):
+            engine.select("SELECT ?x WHERE { ?x ex:knows ?y }")
+        assert collector.counters["index.rows_scanned"] >= 1
+        # Global registry untouched.
+        assert metrics.registry().counters == {}
+
+    def test_operator_nesting_attributes_to_innermost(self):
+        collector = QueryCollector()
+        outer = collector.begin_operator("filter", detail="outer")
+        inner = collector.begin_operator("pattern", detail="inner")
+        collector.record_scan("PCSG", 1, 10, 7)
+        collector.end_operator(rows_out=7)
+        collector.record_scan("PSCG", 0, 5, 5)
+        collector.end_operator(rows_out=3)
+        assert inner.rows_scanned == 10 and inner.range_scans == 1
+        assert outer.rows_scanned == 5 and outer.full_scans == 1
+        assert outer.rows_out == 3 and inner.rows_out == 7
+
+    def test_finish_freezes_stats(self):
+        collector = QueryCollector()
+        collector.inc("filter.pushdown")
+        record = collector.begin_operator("pattern", detail="?s ?p ?o")
+        collector.end_operator(rows_out=2)
+        stats = collector.finish(wall_seconds=0.5, rows=2)
+        assert stats.rows == 2
+        assert stats.wall_seconds == 0.5
+        assert stats.counter("filter.pushdown") == 1
+        assert stats.operators == [record]
+        assert "2 rows" in stats.summary()
+
+    def test_engine_collect_stats_attaches_query_stats(self):
+        engine = small_engine(collect_stats=True)
+        result = engine.select("SELECT ?x WHERE { ?x ex:knows ?y }")
+        assert result.stats is not None
+        assert result.stats.rows == len(result)
+        assert result.stats.operators
+        as_dict = result.stats.to_dict()
+        assert as_dict["rows"] == len(result)
+        assert as_dict["operators"][0]["rows_scanned"] >= 1
+
+    def test_stats_off_by_default(self):
+        engine = small_engine()
+        result = engine.select("SELECT ?x WHERE { ?x ex:knows ?y }")
+        assert result.stats is None
+
+
+# ----------------------------------------------------------------------
+# Slow-query log
+# ----------------------------------------------------------------------
+
+
+class TestSlowQueryLog:
+    def test_disabled_without_threshold(self):
+        log = SlowQueryLog()
+        assert not log.enabled
+        assert not log.record("SELECT ...", 100.0, 1)
+        assert log.entries == []
+
+    def test_records_only_over_threshold(self):
+        log = SlowQueryLog(threshold_seconds=0.5)
+        assert not log.record("fast", 0.4, 1)
+        assert log.record("slow", 0.6, 2)
+        assert [e.query for e in log.entries] == ["slow"]
+        assert log.entries[0].rows == 2
+
+    def test_capacity_bound(self):
+        log = SlowQueryLog(threshold_seconds=0.0, capacity=3)
+        for i in range(5):
+            log.record(f"q{i}", 1.0, 0)
+        assert [e.query for e in log.entries] == ["q2", "q3", "q4"]
+
+    def test_engine_records_slow_queries(self):
+        engine = small_engine(slow_query_seconds=0.0)
+        engine.select("SELECT ?x WHERE { ?x ex:knows ?y }")
+        assert len(engine.slow_queries) == 1
+        entry = engine.slow_queries.entries[0]
+        assert "ex:knows" in entry.query
+        assert entry.seconds >= 0.0
+
+    def test_engine_skips_fast_queries(self):
+        engine = small_engine(slow_query_seconds=60.0)
+        engine.select("SELECT ?x WHERE { ?x ex:knows ?y }")
+        assert len(engine.slow_queries) == 0
+
+
+# ----------------------------------------------------------------------
+# CI smoke: one bench query with metrics on, full counter catalogue
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.obs
+def test_bench_query_emits_expected_counters():
+    """Run one paper benchmark query with metrics enabled and require
+    every core operator counter to be present (the CI obs job runs
+    exactly this with ``pytest -m obs``)."""
+    from repro.core import PropertyGraphRdfStore
+    from repro.datasets.twitter import (
+        TwitterConfig,
+        connected_tag,
+        generate_twitter,
+    )
+
+    graph = generate_twitter(TwitterConfig(egos=4, seed=11))
+    store = PropertyGraphRdfStore(model="NG")
+    store.load(graph)
+    tag = connected_tag(graph)
+    query = store.queries.eq2(tag)  # tag lookup + one traversal hop
+    with metrics.enabled(fresh=True) as registry:
+        result = store.select(query)
+        store.select(query)  # second run: timers must aggregate
+    counters = registry.counters
+    for name in (
+        "query.count",
+        "store.scans",
+        "planner.estimates",
+        "index.range_scans",
+        "index.rows_scanned",
+        "index.rows_matched",
+        "join.nlj",
+    ):
+        assert counters.get(name, 0) > 0, f"counter {name} absent"
+    assert registry.timer_stats("query.seconds").count == 2

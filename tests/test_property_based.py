@@ -5,7 +5,9 @@
 * RF / NG / SP answer edge-KV queries identically;
 * index range scans equal naive filtering for arbitrary patterns;
 * N-Quads serialization round-trips arbitrary quads;
-* relation join/union algebra obeys its laws.
+* relation join/union algebra obeys its laws;
+* observability never lies: per-operator rows matched <= rows scanned,
+  and collecting metrics never changes query answers.
 """
 
 import string
@@ -282,3 +284,70 @@ class TestRelationAlgebraProperties:
     def test_distinct_bounded_by_compact(self, rows):
         relation = Relation(("a", "b"), rows)
         assert len(relation.distinct()) == len(relation.compact())
+
+
+# ----------------------------------------------------------------------
+# Observability invariants
+# ----------------------------------------------------------------------
+
+_OBS_QUERIES = [
+    # Tag lookup + one hop (index probes).
+    "SELECT ?n ?nf WHERE { ?n k:hasTag ?t . ?nf r:follows ?n }",
+    # Filter over a scanned column (push-down eligible).
+    'SELECT ?n WHERE { ?n k:hasTag ?t FILTER (?t != "never") }',
+    # Two-hop traversal with a repeated variable.
+    "SELECT ?a ?c WHERE { ?a r:follows ?b . ?b r:follows ?c }",
+    # Property path (frontier walk).
+    "SELECT ?a ?c WHERE { ?a r:follows+ ?c }",
+]
+
+
+class TestObservabilityProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        graph=property_graphs(),
+        model=st.sampled_from(MODELS),
+        query=st.sampled_from(_OBS_QUERIES),
+    )
+    def test_rows_matched_bounded_by_rows_scanned(self, graph, model, query):
+        """No operator reports more pattern matches than entries examined."""
+        store = PropertyGraphRdfStore(model=model)
+        store.load(graph)
+        analysis = store.explain(query, analyze=True)
+        for step in analysis.steps:
+            assert step.rows_matched <= step.rows_scanned
+        counters = analysis.stats.counters
+        assert counters.get("index.rows_matched", 0) <= counters.get(
+            "index.rows_scanned", 0
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        graph=property_graphs(),
+        model=st.sampled_from(MODELS),
+        query=st.sampled_from(_OBS_QUERIES),
+    )
+    def test_metrics_do_not_change_results(self, graph, model, query):
+        """Identical answers with instrumentation off, with the global
+        registry on, and under a per-query collector."""
+        from repro.obs import metrics
+
+        store = PropertyGraphRdfStore(model=model)
+        store.load(graph)
+
+        def rows():
+            result = store.select(query)
+            return sorted(
+                tuple(term.n3() if term else None for term in row)
+                for row in result.rows
+            )
+
+        plain = rows()
+        with metrics.enabled(fresh=True):
+            with_registry = rows()
+        store.engine.collect_stats = True
+        try:
+            with_collector = rows()
+        finally:
+            store.engine.collect_stats = False
+        assert plain == with_registry == with_collector

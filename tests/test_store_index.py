@@ -33,6 +33,19 @@ class TestSpecNormalization:
         with pytest.raises(IndexSpecError):
             normalize_spec(bad)
 
+    @pytest.mark.parametrize("bad", ["SSP", "SSPM", "PCCG", "PCSGG"])
+    def test_duplicate_key_letters_rejected(self, bad):
+        with pytest.raises(IndexSpecError, match="duplicate index key"):
+            normalize_spec(bad)
+
+    @pytest.mark.parametrize("bad", ["PCSGMM", "SMP", "MM", "MPC"])
+    def test_misplaced_m_gets_precise_error(self, bad):
+        """M may appear once, trailing only; the error says exactly that
+        (regression: these used to raise the generic invalid-letter
+        message, hiding what was wrong with the spec)."""
+        with pytest.raises(IndexSpecError, match="misplaced 'M'"):
+            normalize_spec(bad)
+
 
 class TestRangeScan:
     def test_full_scan_returns_all(self):
