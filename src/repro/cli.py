@@ -215,8 +215,15 @@ def _cmd_serve(args) -> int:
         from repro.obs import metrics as obs_metrics
 
         obs_metrics.enable()
+    if args.timeout is not None and args.timeout <= 0:
+        raise SystemExit("--timeout must be positive")
     server, port = make_server(
-        engine, args.host, args.port, allow_updates=args.allow_updates
+        engine,
+        args.host,
+        args.port,
+        allow_updates=args.allow_updates,
+        timeout=args.timeout,
+        max_inflight=args.max_inflight,
     )
     endpoints = f"http://{args.host}:{port}/sparql"
     if args.metrics:
@@ -231,6 +238,31 @@ def _cmd_serve(args) -> int:
         pass
     finally:
         server.server_close()
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    from repro.store import open_durable
+
+    store = open_durable(args.directory)
+    try:
+        stats = store.recovery_stats
+        print(f"recovered durable store at {store.directory}")
+        print(f"  checkpoint loaded:  {stats.checkpoint_loaded}")
+        print(f"  WAL records:        {stats.wal_records:,}")
+        print(f"  applied:            {stats.applied:,}")
+        print(f"  skipped (no-ops):   {stats.skipped:,}")
+        print(f"  errors:             {stats.errors:,}")
+        print(f"  torn bytes dropped: {stats.torn_bytes:,}")
+        print(f"  corrupt records:    {stats.corrupt_records:,}")
+        for name in store.model_names:
+            print(f"  model {name}: {len(list(store.quads(name))):,} quads")
+        if args.checkpoint:
+            counts = store.checkpoint()
+            print(f"checkpoint written ({sum(counts.values()):,} quads); "
+                  "WAL reset")
+    finally:
+        store.close()
     return 0
 
 
@@ -307,7 +339,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="log queries slower than this many seconds "
         "(reported under /metrics)",
     )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-request query deadline in seconds; a query past it is "
+        "aborted and answered with HTTP 503",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="bound on concurrently executing requests; excess requests "
+        "get HTTP 429 instead of queueing",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    recover = sub.add_parser(
+        "recover",
+        help="recover a durable store directory (WAL + checkpoint) and "
+        "print what the recovery found",
+    )
+    recover.add_argument("directory", help="durable store directory")
+    recover.add_argument(
+        "--checkpoint",
+        action="store_true",
+        help="write a fresh checkpoint (and reset the WAL) after recovery",
+    )
+    recover.set_defaults(func=_cmd_recover)
     return parser
 
 

@@ -7,6 +7,20 @@ JSON or CSV results by content negotiation.  Updates go to
 ``POST /update``.  This is the "publish transformed property graph data
 as linked data" delivery mechanism the paper motivates.
 
+The endpoint is threaded (one handler thread per connection); reads run
+concurrently under the store's reader-writer lock while updates are
+serialized.  Three guard rails keep a misbehaving client from taking
+the service down:
+
+* a per-request query deadline (``timeout=``) — a query past its budget
+  is aborted cooperatively and answered with ``503`` and a JSON
+  ``QueryTimeout`` payload, leaving the store untouched;
+* a bounded in-flight gate (``max_inflight=``) — excess concurrent
+  requests are rejected immediately with ``429`` instead of queueing
+  without bound;
+* a request body cap (``max_body_bytes=``) — oversized posts get
+  ``413`` before the body is read into memory.
+
 Intended for local use and tests; not hardened for the open internet.
 """
 
@@ -16,11 +30,60 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
+
 from urllib.parse import parse_qs, urlparse
 
-from repro.sparql import SparqlEngine, SparqlError
+from repro.obs import metrics as _obs
+from repro.sparql import QueryTimeout, SparqlEngine, SparqlError
 from repro.sparql.results import SelectResult
 from repro.sparql.serialize import ask_to_json, to_csv, to_json
+
+#: Default request body cap (10 MiB) — generous for hand-written
+#: updates, small enough that a runaway client cannot balloon memory.
+DEFAULT_MAX_BODY_BYTES = 10 * 1024 * 1024
+
+
+class _HttpError(Exception):
+    """Internal: unwinds request handling into one error response."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class InflightGate:
+    """Bounded admission: at most ``limit`` requests execute at once.
+
+    Cheaper than a queue and with better failure behaviour: when the
+    server is saturated the client learns immediately (HTTP 429) rather
+    than waiting on an unbounded backlog.
+    """
+
+    def __init__(self, limit: int):
+        if limit < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.limit = limit
+        self._semaphore = threading.BoundedSemaphore(limit)
+        self._count_lock = threading.Lock()
+        self._in_use = 0
+
+    @property
+    def in_use(self) -> int:
+        with self._count_lock:
+            return self._in_use
+
+    def try_acquire(self) -> bool:
+        if not self._semaphore.acquire(blocking=False):
+            return False
+        with self._count_lock:
+            self._in_use += 1
+        return True
+
+    def release(self) -> None:
+        with self._count_lock:
+            self._in_use -= 1
+        self._semaphore.release()
 
 
 class SparqlRequestHandler(BaseHTTPRequestHandler):
@@ -28,6 +91,14 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
 
     engine: SparqlEngine = None  # injected by make_server
     allow_updates: bool = False
+    #: Per-request query deadline in seconds (None = no deadline).
+    #: Named distinctly from BaseHTTPRequestHandler.timeout, which is
+    #: the *socket* timeout.
+    query_timeout: Optional[float] = None
+    #: Reject request bodies larger than this many bytes with 413.
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
+    #: Optional InflightGate bounding concurrent requests (429 beyond).
+    gate: Optional[InflightGate] = None
 
     # Silence per-request logging in tests.
     def log_message(self, format, *args):  # noqa: A002
@@ -46,12 +117,15 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
         if not query:
             self._send_error(400, "missing query parameter")
             return
-        self._run_query(query)
+        self._gated(self._run_query, query)
 
     def do_POST(self):  # noqa: N802
         parsed = urlparse(self.path)
-        length = int(self.headers.get("Content-Length", "0"))
-        body = self.rfile.read(length).decode("utf-8")
+        try:
+            body = self._read_body()
+        except _HttpError as exc:
+            self._send_error(exc.status, exc.message)
+            return
         content_type = self.headers.get("Content-Type", "")
         if parsed.path == "/sparql":
             if content_type.startswith("application/sparql-query"):
@@ -61,7 +135,7 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
             if not query:
                 self._send_error(400, "missing query")
                 return
-            self._run_query(query)
+            self._gated(self._run_query, query)
         elif parsed.path == "/update":
             if not self.allow_updates:
                 self._send_error(403, "updates are disabled")
@@ -73,20 +147,77 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
             if not update:
                 self._send_error(400, "missing update")
                 return
-            try:
-                counts = self.engine.update(update)
-            except SparqlError as exc:
-                self._send_error(400, str(exc))
-                return
-            self._send(200, "application/json", json.dumps(counts))
+            self._gated(self._run_update, update)
         else:
             self._send_error(404, "not found")
 
+    def do_PUT(self):  # noqa: N802
+        self._method_not_allowed()
+
+    def do_DELETE(self):  # noqa: N802
+        self._method_not_allowed()
+
+    def do_PATCH(self):  # noqa: N802
+        self._method_not_allowed()
+
     # ------------------------------------------------------------------
+
+    def _method_not_allowed(self) -> None:
+        self.send_response(405)
+        self.send_header("Allow", "GET, POST")
+        payload = json.dumps({"error": "method not allowed"}).encode("utf-8")
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _read_body(self) -> str:
+        raw_length = self.headers.get("Content-Length", "0")
+        try:
+            length = int(raw_length)
+        except (TypeError, ValueError):
+            raise _HttpError(
+                400, f"invalid Content-Length: {raw_length!r}"
+            ) from None
+        if length < 0:
+            raise _HttpError(400, f"invalid Content-Length: {raw_length!r}")
+        if length > self.max_body_bytes:
+            raise _HttpError(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{self.max_body_bytes}-byte limit",
+            )
+        data = self.rfile.read(length)
+        try:
+            return data.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise _HttpError(400, f"request body is not UTF-8: {exc}") from None
+
+    def _gated(self, handler, argument: str) -> None:
+        """Run one request inside the in-flight gate (429 when full)."""
+        if self.gate is None:
+            handler(argument)
+            return
+        if not self.gate.try_acquire():
+            if _obs.is_enabled():
+                _obs.registry().inc("server.throttled")
+            self._send_error(
+                429,
+                f"server is at its {self.gate.limit}-request capacity; "
+                "retry later",
+            )
+            return
+        try:
+            handler(argument)
+        finally:
+            self.gate.release()
 
     def _run_query(self, query: str) -> None:
         try:
-            result = self.engine.query(query)
+            result = self.engine.query(query, timeout=self.query_timeout)
+        except QueryTimeout as exc:
+            self._send_timeout(exc)
+            return
         except SparqlError as exc:
             self._send_error(400, str(exc))
             return
@@ -107,6 +238,29 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
                 Quad(t.subject, t.predicate, t.object) for t in result
             )
             self._send(200, "application/n-triples", text)
+
+    def _run_update(self, update: str) -> None:
+        try:
+            counts = self.engine.update(update)
+        except SparqlError as exc:
+            self._send_error(400, str(exc))
+            return
+        self._send(200, "application/json", json.dumps(counts))
+
+    def _send_timeout(self, exc: QueryTimeout) -> None:
+        """503 with a machine-readable QueryTimeout payload."""
+        if _obs.is_enabled():
+            _obs.registry().inc("server.timeouts")
+        self._send(
+            503,
+            "application/json",
+            json.dumps({
+                "error": "QueryTimeout",
+                "message": str(exc),
+                "timeout": exc.timeout,
+                "elapsed": exc.elapsed,
+            }),
+        )
 
     def _send_metrics(self) -> None:
         """JSON dump of the metrics registry and the slow-query log."""
@@ -131,7 +285,7 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
         self.wfile.write(payload)
 
     def _send_error(self, status: int, message: str) -> None:
-        self._send(status, "text/plain", message)
+        self._send(status, "application/json", json.dumps({"error": message}))
 
 
 def make_server(
@@ -139,12 +293,26 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 0,
     allow_updates: bool = False,
+    timeout: Optional[float] = None,
+    max_inflight: Optional[int] = None,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
 ) -> Tuple[ThreadingHTTPServer, int]:
-    """Build (but don't start) the HTTP server; returns (server, port)."""
+    """Build (but don't start) the HTTP server; returns (server, port).
+
+    ``timeout`` is the per-request query deadline in seconds (503 on
+    expiry); ``max_inflight`` bounds concurrently executing requests
+    (429 beyond); ``max_body_bytes`` caps POST bodies (413 beyond).
+    """
     handler = type(
         "BoundSparqlHandler",
         (SparqlRequestHandler,),
-        {"engine": engine, "allow_updates": allow_updates},
+        {
+            "engine": engine,
+            "allow_updates": allow_updates,
+            "query_timeout": timeout,
+            "max_body_bytes": max_body_bytes,
+            "gate": InflightGate(max_inflight) if max_inflight else None,
+        },
     )
     server = ThreadingHTTPServer((host, port), handler)
     return server, server.server_address[1]
@@ -163,21 +331,50 @@ class SparqlServer:
         host: str = "127.0.0.1",
         port: int = 0,
         allow_updates: bool = False,
+        timeout: Optional[float] = None,
+        max_inflight: Optional[int] = None,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
     ):
         self._server, self.port = make_server(
-            engine, host, port, allow_updates
+            engine,
+            host,
+            port,
+            allow_updates,
+            timeout=timeout,
+            max_inflight=max_inflight,
+            max_body_bytes=max_body_bytes,
         )
         self._thread: Optional[threading.Thread] = None
 
-    def __enter__(self) -> "SparqlServer":
+    def start(self) -> "SparqlServer":
+        if self._thread is not None:
+            raise RuntimeError("server already started")
         self._thread = threading.Thread(
             target=self._server.serve_forever, daemon=True
         )
         self._thread.start()
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def stop(self, join_timeout: float = 5.0) -> None:
+        """Shut the server down and wait for its thread to exit.
+
+        Raises :class:`RuntimeError` if the serving thread is still
+        alive after ``join_timeout`` seconds — a hung shutdown should
+        be loud, not silently leaked.
+        """
         self._server.shutdown()
         self._server.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5)
+        thread, self._thread = self._thread, None
+        if thread is None:
+            return
+        thread.join(timeout=join_timeout)
+        if thread.is_alive():
+            raise RuntimeError(
+                f"server thread failed to stop within {join_timeout:.1f}s"
+            )
+
+    def __enter__(self) -> "SparqlServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -20,7 +20,13 @@ W3C dataset semantics.
 """
 
 from repro.obs import ExplainAnalysis, QueryStats, SlowQueryLog
-from repro.sparql.errors import SparqlError, ParseError, EvaluationError
+from repro.sparql.deadline import Deadline
+from repro.sparql.errors import (
+    SparqlError,
+    ParseError,
+    EvaluationError,
+    QueryTimeout,
+)
 from repro.sparql.engine import PreparedQuery, SparqlEngine
 from repro.sparql.results import SelectResult
 from repro.sparql.serialize import ask_to_json, to_csv, to_json
@@ -35,6 +41,8 @@ __all__ = [
     "SparqlError",
     "ParseError",
     "EvaluationError",
+    "QueryTimeout",
+    "Deadline",
     "to_json",
     "to_csv",
     "ask_to_json",

@@ -7,7 +7,9 @@ declarations and Oracle-style union default-graph semantics by default.
 
 from __future__ import annotations
 
+import threading
 import time
+from contextlib import contextmanager
 from typing import Dict, List, Optional
 
 from repro.obs import ExplainAnalysis, QueryCollector, SlowQueryLog
@@ -22,7 +24,8 @@ from repro.sparql.ast import (
     SubSelectPattern,
     TriplePattern,
 )
-from repro.sparql.errors import EvaluationError
+from repro.sparql.deadline import Deadline, deadline_for
+from repro.sparql.errors import EvaluationError, QueryTimeout
 from repro.sparql.eval import Evaluator
 from repro.sparql.parser import Parser
 from repro.sparql.plan import explain_bgp
@@ -38,8 +41,10 @@ class PreparedQuery:
         self.ast = ast
         self._model = model
 
-    def run(self, model: Optional[str] = None):
-        return self._engine.run_ast(self.ast, model or self._model)
+    def run(self, model: Optional[str] = None, timeout: Optional[float] = None):
+        return self._engine.run_ast(
+            self.ast, model or self._model, timeout=timeout
+        )
 
 
 class SparqlEngine:
@@ -54,6 +59,7 @@ class SparqlEngine:
         filter_pushdown: bool = True,
         collect_stats: bool = False,
         slow_query_seconds: Optional[float] = None,
+        timeout: Optional[float] = None,
     ):
         if default_graph_semantics not in ("union", "strict"):
             raise ValueError(
@@ -61,6 +67,10 @@ class SparqlEngine:
             )
         self.network = network
         self._parser = Parser(prefixes)
+        # The parser carries per-parse state (token stream, blank-node
+        # counter); the threaded endpoint parses under this lock so one
+        # engine can serve concurrent requests.
+        self._parser_lock = threading.Lock()
         self._default_model = default_model
         self._union_default = default_graph_semantics == "union"
         self._filter_pushdown = filter_pushdown
@@ -70,17 +80,29 @@ class SparqlEngine:
         #: Bounded log of queries slower than ``slow_query_seconds``
         #: (None disables recording).
         self.slow_queries = SlowQueryLog(slow_query_seconds)
+        #: Default per-query wall-clock budget in seconds; a query past
+        #: it raises :class:`~repro.sparql.errors.QueryTimeout`.  None
+        #: disables deadline checks entirely (the evaluator's fast
+        #: path).  Individual calls may override via ``timeout=``.
+        self.timeout = timeout
 
     # ------------------------------------------------------------------
     # Query API
     # ------------------------------------------------------------------
 
     def prepare(self, text: str, model: Optional[str] = None) -> PreparedQuery:
-        return PreparedQuery(self, self._parser.parse_query(text), model)
+        return PreparedQuery(self, self._parse_query(text), model)
 
-    def query(self, text: str, model: Optional[str] = None):
+    def query(
+        self,
+        text: str,
+        model: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ):
         """Parse and run any query form (SELECT / ASK / CONSTRUCT)."""
-        return self.run_ast(self._parser.parse_query(text), model, text=text)
+        return self.run_ast(
+            self._parse_query(text), model, text=text, timeout=timeout
+        )
 
     def select(self, text: str, model: Optional[str] = None) -> SelectResult:
         result = self.query(text, model)
@@ -106,6 +128,27 @@ class SparqlEngine:
         model: Optional[str] = None,
         collector: Optional[QueryCollector] = None,
         text: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ):
+        limit = self.timeout if timeout is None else timeout
+        deadline = deadline_for(limit)
+        try:
+            with self._read_locked(deadline):
+                return self._run_ast_locked(
+                    ast, model, collector, text, deadline
+                )
+        except QueryTimeout:
+            if _obs.is_enabled():
+                _obs.registry().inc("query.timeouts")
+            raise
+
+    def _run_ast_locked(
+        self,
+        ast,
+        model: Optional[str],
+        collector: Optional[QueryCollector],
+        text: Optional[str],
+        deadline: Optional[Deadline],
     ):
         if collector is None and self.collect_stats:
             collector = QueryCollector()
@@ -115,8 +158,8 @@ class SparqlEngine:
             or _obs.is_enabled()
         )
         if not observing:
-            return self._dispatch(self._evaluator(model), ast)
-        evaluator = self._evaluator(model, collector)
+            return self._dispatch(self._evaluator(model, deadline=deadline), ast)
+        evaluator = self._evaluator(model, collector, deadline=deadline)
         start = time.perf_counter()
         if collector is not None:
             with _obs.collect(collector):
@@ -139,6 +182,28 @@ class SparqlEngine:
             result.stats = collector.finish(elapsed, rows)
         return result
 
+    @contextmanager
+    def _read_locked(self, deadline: Optional[Deadline]):
+        """Hold the store's read lock for one query execution.
+
+        A waiting query's deadline keeps ticking: if the write lock
+        holder outlasts the budget, the query times out in the queue
+        rather than running late.
+        """
+        lock = getattr(self.network, "lock", None)
+        if lock is None:
+            yield
+            return
+        wait = None if deadline is None else max(deadline.remaining(), 0.0)
+        if not lock.acquire_read(wait):
+            raise QueryTimeout(
+                deadline.timeout, time.monotonic() - deadline.started_at
+            )
+        try:
+            yield
+        finally:
+            lock.release_read()
+
     def _dispatch(self, evaluator: Evaluator, ast):
         if isinstance(ast, SelectQuery):
             return evaluator.select(ast)
@@ -155,13 +220,20 @@ class SparqlEngine:
     # ------------------------------------------------------------------
 
     def update(self, text: str, model: Optional[str] = None) -> Dict[str, int]:
-        request = self._parser.parse_update(text)
+        with self._parser_lock:
+            request = self._parser.parse_update(text)
         executor = UpdateExecutor(
             self.network,
             self._model_name(model),
             union_default_graph=self._union_default,
         )
-        return executor.execute(request)
+        lock = getattr(self.network, "lock", None)
+        if lock is None:
+            return executor.execute(request)
+        # Updates are serialized and exclusive: concurrent readers see
+        # either none or all of one update request's effects.
+        with lock.write_locked():
+            return executor.execute(request)
 
     # ------------------------------------------------------------------
     # EXPLAIN
@@ -185,7 +257,7 @@ class SparqlEngine:
         """
         if analyze:
             return self.explain_analyze(text, model)
-        ast = self._parser.parse_query(text)
+        ast = self._parse_query(text)
         if not isinstance(ast, (SelectQuery, AskQuery, ConstructQuery)):
             raise EvaluationError("cannot explain this form")
         store_model = self.network.model(self._model_name(model))
@@ -251,7 +323,7 @@ class SparqlEngine:
         self, text: str, model: Optional[str] = None
     ) -> ExplainAnalysis:
         """Execute the query and report per-operator actuals."""
-        ast = self._parser.parse_query(text)
+        ast = self._parse_query(text)
         collector = QueryCollector()
         start = time.perf_counter()
         result = self.run_ast(ast, model, collector=collector, text=text)
@@ -262,6 +334,10 @@ class SparqlEngine:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _parse_query(self, text: str):
+        with self._parser_lock:
+            return self._parser.parse_query(text)
 
     def _model_name(self, model: Optional[str]) -> str:
         name = model or self._default_model
@@ -275,6 +351,7 @@ class SparqlEngine:
         self,
         model: Optional[str],
         collector: Optional[QueryCollector] = None,
+        deadline: Optional[Deadline] = None,
     ) -> Evaluator:
         store_model = self.network.model(self._model_name(model))
         return Evaluator(
@@ -283,6 +360,7 @@ class SparqlEngine:
             union_default_graph=self._union_default,
             filter_pushdown=self._filter_pushdown,
             collector=collector,
+            deadline=deadline,
         )
 
 

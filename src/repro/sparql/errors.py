@@ -19,6 +19,24 @@ class EvaluationError(SparqlError):
     """Raised when a query is well-formed but cannot be evaluated."""
 
 
+class QueryTimeout(SparqlError):
+    """Raised when a query exceeds its cooperative deadline.
+
+    Carries the configured ``timeout`` (seconds) and the ``elapsed``
+    wall time when the deadline check fired.  The store is left fully
+    usable — evaluation is pure over the ID-encoded quads, so aborting
+    mid-query holds no locks and leaks no partial state.
+    """
+
+    def __init__(self, timeout: float, elapsed: float):
+        super().__init__(
+            f"query exceeded its {timeout:.3f}s deadline "
+            f"(aborted after {elapsed:.3f}s)"
+        )
+        self.timeout = timeout
+        self.elapsed = elapsed
+
+
 class ExpressionError(SparqlError):
     """SPARQL expression evaluation error.
 

@@ -70,6 +70,7 @@ class Evaluator:
         union_default_graph: bool = True,
         filter_pushdown: bool = True,
         collector=None,
+        deadline=None,
     ):
         self._network = network
         self._values = network.values
@@ -77,7 +78,16 @@ class Evaluator:
         self._union_default = union_default_graph
         self._filter_pushdown = filter_pushdown
         self._collector = collector  # obs.QueryCollector or None
-        self._paths = PathEvaluator(model, self._encode_constant)
+        #: Optional repro.sparql.deadline.Deadline, ticked from the
+        #: scan/join/filter loops; None keeps those loops check-free.
+        self._deadline = deadline
+        #: Per-row callback for the relation-algebra operators (join,
+        #: left_join, minus, union) so their materialization loops also
+        #: honour the deadline; None when no deadline is set.
+        self._tick = None if deadline is None else deadline.tick
+        self._paths = PathEvaluator(
+            model, self._encode_constant, deadline=deadline
+        )
 
     # ------------------------------------------------------------------
     # Entry points
@@ -275,6 +285,8 @@ class Evaluator:
         graph: GraphContext,
         outer: Optional[Relation] = None,
     ) -> Relation:
+        if self._deadline is not None:
+            self._deadline.check()
         relation = outer if outer is not None else Relation.unit()
         # SPARQL applies a group's FILTERs to the whole group, but a
         # filter whose variables are already (fully) bound can be pushed
@@ -303,26 +315,36 @@ class Evaluator:
                 pass  # gathered above
             elif isinstance(element, OptionalPattern):
                 right = self.evaluate_group(element.group, graph)
-                relation = left_join(relation, right)
+                relation = left_join(relation, right, tick=self._tick)
             elif isinstance(element, UnionPattern):
                 branches = [
                     self.evaluate_group(branch, graph)
                     for branch in element.branches
                 ]
-                relation = join(relation, union(branches))
+                relation = join(
+                    relation, union(branches, tick=self._tick), tick=self._tick
+                )
             elif isinstance(element, MinusPattern):
                 right = self.evaluate_group(element.group, graph)
-                relation = minus(relation, right)
+                relation = minus(relation, right, tick=self._tick)
             elif isinstance(element, GraphGraphPattern):
                 relation = self._evaluate_graph(element, relation)
             elif isinstance(element, BindPattern):
                 relation = self._evaluate_bind(element, relation)
             elif isinstance(element, ValuesPattern):
-                relation = join(relation, self._values_relation(element))
+                relation = join(
+                    relation, self._values_relation(element), tick=self._tick
+                )
             elif isinstance(element, SubSelectPattern):
-                relation = join(relation, self.select_relation(element.query))
+                relation = join(
+                    relation, self.select_relation(element.query),
+                    tick=self._tick,
+                )
             elif isinstance(element, GroupPattern):
-                relation = join(relation, self.evaluate_group(element, graph))
+                relation = join(
+                    relation, self.evaluate_group(element, graph),
+                    tick=self._tick,
+                )
             else:
                 raise EvaluationError(f"unsupported pattern {element!r}")
             relation = self._apply_eligible_filters(pending, relation)
@@ -400,7 +422,7 @@ class Evaluator:
                 return Relation.empty(relation.variables)
             context = graph_id
         inner = self.evaluate_group(element.group, context)
-        return join(relation, inner)
+        return join(relation, inner, tick=self._tick)
 
     def _evaluate_bind(self, element: BindPattern, relation: Relation) -> Relation:
         if element.var in relation.variables:
@@ -435,9 +457,12 @@ class Evaluator:
                 rows_in=len(relation.rows),
             )
         getter = self._row_getter(relation)
+        deadline = self._deadline
         keep_rows: List[Tuple] = []
         keep_mults: List[int] = []
         for index, (row, mult) in enumerate(relation.iter_with_mult()):
+            if deadline is not None:
+                deadline.tick()
             try:
                 value = self.evaluate_expression(expression, getter(row))
                 passed = F.ebv(value)
@@ -545,7 +570,10 @@ class Evaluator:
         if executed == "NLJ":
             result = self._nested_loop_step(pattern, graph, relation)
         else:  # hash join or cartesian: one standalone scan, then join
-            result = join(relation, self._scan_to_relation(pattern, graph))
+            result = join(
+                relation, self._scan_to_relation(pattern, graph),
+                tick=self._tick,
+            )
         if collector is not None:
             collector.end_operator(rows_out=len(result.rows))
         return result
@@ -596,7 +624,10 @@ class Evaluator:
             variables = variables + [graph_var]
         rows: List[Tuple] = []
         checks = _internal_checks(slots)
+        deadline = self._deadline
         for quad in self._model.scan(scan_pattern):
+            if deadline is not None:
+                deadline.tick()
             if named_only and quad[3] == 0:
                 continue
             if checks and not _passes_checks(quad, checks):
@@ -640,7 +671,10 @@ class Evaluator:
         rows: List[Tuple] = []
         mults: List[int] = []
         scan = self._model.scan
+        deadline = self._deadline
         for row, mult in relation.iter_with_mult():
+            if deadline is not None:
+                deadline.tick()
             bound_slots = []
             skip_row = False
             for slot in slots:
@@ -668,6 +702,8 @@ class Evaluator:
                 g_slot, named_only = None, True
             scan_pattern = (bound_slots[0], bound_slots[1], bound_slots[2], g_slot)
             for quad in scan(scan_pattern):
+                if deadline is not None:
+                    deadline.tick()
                 if named_only and quad[3] == 0:
                     continue
                 if checks and not _passes_checks(quad, checks):
@@ -758,7 +794,7 @@ class Evaluator:
             if all(m == 1 for m in mults)
             else Relation(variables, rows, mults)
         )
-        return join(relation, pair_relation)
+        return join(relation, pair_relation, tick=self._tick)
 
     def _path_from_bound(
         self,

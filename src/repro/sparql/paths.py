@@ -39,9 +39,16 @@ GraphId = Optional[int]  # None = union default graph
 class PathEvaluator:
     """Evaluates paths against one model (or virtual model)."""
 
-    def __init__(self, model, encode_term):
+    def __init__(self, model, encode_term, deadline=None):
         self._model = model
         self._encode = encode_term
+        #: Optional cooperative deadline; frontier loops tick it so a
+        #: runaway closure (EQ11-style) aborts instead of spinning.
+        self._deadline = deadline
+
+    def _tick(self) -> None:
+        if self._deadline is not None:
+            self._deadline.tick()
 
     # ------------------------------------------------------------------
     # Link-level scans
@@ -81,6 +88,7 @@ class PathEvaluator:
                 return {}
             ends: Dict[int, int] = {}
             for start, mult in starts.items():
+                self._tick()
                 for _, _, obj, _ in self._scan(start, predicate, None, graph):
                     ends[obj] = ends.get(obj, 0) + mult
             return ends
@@ -114,6 +122,7 @@ class PathEvaluator:
             ends = {}
             for start, mult in starts.items():
                 for _, p, obj, _ in self._scan(start, None, None, graph):
+                    self._tick()
                     if p not in excluded:
                         ends[obj] = ends.get(obj, 0) + mult
             return ends
@@ -129,6 +138,7 @@ class PathEvaluator:
                 return {}
             starts: Dict[int, int] = {}
             for end, mult in ends.items():
+                self._tick()
                 for subject, _, _, _ in self._scan(None, predicate, end, graph):
                     starts[subject] = starts.get(subject, 0) + mult
             return starts
@@ -160,6 +170,7 @@ class PathEvaluator:
             starts = {}
             for end, mult in ends.items():
                 for subject, p, _, _ in self._scan(None, None, end, graph):
+                    self._tick()
                     if p not in excluded:
                         starts[subject] = starts.get(subject, 0) + mult
             return starts
@@ -176,6 +187,7 @@ class PathEvaluator:
             if predicate is None:
                 return
             for subject, _, obj, _ in self._scan(None, predicate, None, graph):
+                self._tick()
                 yield subject, obj, 1
             return
         if isinstance(path, PathInverse):
@@ -201,12 +213,14 @@ class PathEvaluator:
             return
         if isinstance(path, PathRepeat):
             for start in self._repeat_domain(path, graph):
+                self._tick()
                 for end in self._repeat_reachable(path, start, graph, forward=True):
                     yield start, end, 1
             return
         if isinstance(path, PathNegated):
             excluded = self._negated_ids(path)
             for subject, p, obj, _ in self._scan(None, None, None, graph):
+                self._tick()
                 if p not in excluded:
                     yield subject, obj, 1
             return
@@ -247,6 +261,7 @@ class PathEvaluator:
         while frontier:
             next_frontier: Set[int] = set()
             for node in frontier:
+                self._tick()
                 for neighbor in self._step_once(inner, node, graph, forward):
                     if neighbor not in visited:
                         visited.add(neighbor)

@@ -10,9 +10,15 @@ without materializing one row per path.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 Row = Tuple[Optional[int], ...]
+
+#: Optional per-row callback threaded in by the evaluator; used to tick
+#: a cooperative query deadline from inside the materialization loops
+#: (a cartesian join can otherwise build millions of rows between
+#: deadline checks).  ``None`` keeps the loops callback-free.
+Tick = Optional[Callable[[], None]]
 
 
 class Relation:
@@ -125,7 +131,7 @@ class Relation:
         )
 
 
-def join(left: Relation, right: Relation) -> Relation:
+def join(left: Relation, right: Relation, tick: Tick = None) -> Relation:
     """Hash join on shared variables (SPARQL compatible-mapping join).
 
     Unbound (``None``) values are compatible with anything, per the
@@ -144,6 +150,8 @@ def join(left: Relation, right: Relation) -> Relation:
         mults: List[int] = []
         for lrow, lmult in left.iter_with_mult():
             for rrow, rmult in right.iter_with_mult():
+                if tick is not None:
+                    tick()
                 rows.append(lrow + tuple(rrow[i] for i in right_extra))
                 mults.append(lmult * rmult)
         return _build(out_vars, rows, mults)
@@ -165,9 +173,13 @@ def join(left: Relation, right: Relation) -> Relation:
     rows = []
     mults = []
     for lrow, lmult in left.iter_with_mult():
+        if tick is not None:
+            tick()
         key = tuple(lrow[i] for i in left_pos)
         if None not in key:
             for rrow, rmult in table.get(key, ()):
+                if tick is not None:
+                    tick()
                 rows.append(lrow + tuple(rrow[i] for i in right_extra))
                 mults.append(lmult * rmult)
             for rrow, rmult in loose:
@@ -177,6 +189,8 @@ def join(left: Relation, right: Relation) -> Relation:
                     mults.append(lmult * rmult)
         else:
             for rrow, rmult in right.iter_with_mult():
+                if tick is not None:
+                    tick()
                 merged = _merge_compatible(lrow, rrow, left_pos, right_pos, right_extra)
                 if merged is not None:
                     rows.append(merged)
@@ -184,7 +198,7 @@ def join(left: Relation, right: Relation) -> Relation:
     return _build(out_vars, rows, mults)
 
 
-def left_join(left: Relation, right: Relation) -> Relation:
+def left_join(left: Relation, right: Relation, tick: Tick = None) -> Relation:
     """SPARQL OPTIONAL: keep left rows with no compatible right row."""
     shared = [v for v in left.variables if v in right.variables]
     out_vars = left.variables + tuple(
@@ -209,6 +223,8 @@ def left_join(left: Relation, right: Relation) -> Relation:
     rows: List[Row] = []
     mults: List[int] = []
     for lrow, lmult in left.iter_with_mult():
+        if tick is not None:
+            tick()
         key = tuple(lrow[i] for i in left_pos)
         matched = False
         if shared and None not in key:
@@ -216,6 +232,8 @@ def left_join(left: Relation, right: Relation) -> Relation:
         else:
             candidates = list(right.iter_with_mult())
         for rrow, rmult in candidates:
+            if tick is not None:
+                tick()
             merged = _merge_compatible(lrow, rrow, left_pos, right_pos, right_extra)
             if merged is not None:
                 rows.append(merged)
@@ -227,7 +245,7 @@ def left_join(left: Relation, right: Relation) -> Relation:
     return _build(out_vars, rows, mults)
 
 
-def minus(left: Relation, right: Relation) -> Relation:
+def minus(left: Relation, right: Relation, tick: Tick = None) -> Relation:
     """SPARQL MINUS: remove left rows compatible with some right row
     (sharing at least one bound variable)."""
     shared = [v for v in left.variables if v in right.variables]
@@ -241,6 +259,8 @@ def minus(left: Relation, right: Relation) -> Relation:
     rows = []
     mults = []
     for lrow, lmult in left.iter_with_mult():
+        if tick is not None:
+            tick()
         key = tuple(lrow[i] for i in left_pos)
         if None in key:
             compatible = any(
@@ -256,7 +276,7 @@ def minus(left: Relation, right: Relation) -> Relation:
     return _build(left.variables, rows, mults)
 
 
-def union(relations: Sequence[Relation]) -> Relation:
+def union(relations: Sequence[Relation], tick: Tick = None) -> Relation:
     """Bag union, aligning variables by name."""
     all_vars: List[str] = []
     for relation in relations:
@@ -271,6 +291,8 @@ def union(relations: Sequence[Relation]) -> Relation:
             for v in all_vars
         ]
         for row, mult in relation.iter_with_mult():
+            if tick is not None:
+                tick()
             rows.append(tuple(row[p] if p is not None else None for p in positions))
             mults.append(mult)
     return _build(tuple(all_vars), rows, mults)

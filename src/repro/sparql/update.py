@@ -126,18 +126,9 @@ class UpdateExecutor:
             return None
 
     def _run_clear(self, operation: ClearUpdate) -> int:
-        model = self._network.model(self._model_name)
-        if operation.graph is None:
-            removed = len(model)
-            model.clear()
-            return removed
-        graph_id = self._network.lookup_term(operation.graph)
-        if graph_id is None:
-            return 0
-        doomed = list(model.scan((None, None, None, graph_id)))
-        for quad in doomed:
-            model.delete(quad)
-        return len(doomed)
+        # Routed through the network (not the model) so durable stores
+        # journal the CLEAR in their write-ahead log.
+        return self._network.clear_model(self._model_name, operation.graph)
 
 
 _MISSING = object()

@@ -20,20 +20,37 @@ not lexical values".
 
 from repro.store.values import ValuesTable, DEFAULT_GRAPH_ID
 from repro.store.index import SemanticIndex, IndexSpecError
+from repro.store.locking import LockTimeout, RWLock
 from repro.store.model import SemanticModel
 from repro.store.virtual import VirtualModel
 from repro.store.network import SemanticNetwork, StoreError
 from repro.store.storage import StorageReport, storage_report
+from repro.store.wal import WalError, WriteAheadLog, read_wal
+from repro.store.durable import (
+    DurableNetwork,
+    RecoveryStats,
+    open_durable,
+    recover_network,
+)
 
 __all__ = [
     "ValuesTable",
     "DEFAULT_GRAPH_ID",
     "SemanticIndex",
     "IndexSpecError",
+    "RWLock",
+    "LockTimeout",
     "SemanticModel",
     "VirtualModel",
     "SemanticNetwork",
     "StoreError",
     "StorageReport",
     "storage_report",
+    "WriteAheadLog",
+    "WalError",
+    "read_wal",
+    "DurableNetwork",
+    "RecoveryStats",
+    "open_durable",
+    "recover_network",
 ]

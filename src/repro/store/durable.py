@@ -1,0 +1,318 @@
+"""Crash-safe durability: WAL + checkpoint on top of the semantic network.
+
+Layout of a durable store directory::
+
+    <directory>/
+        wal.log       append-only operation log (repro.store.wal format)
+        checkpoint/   atomic save_network snapshot (may be absent)
+
+:class:`DurableNetwork` is a :class:`~repro.store.SemanticNetwork`
+whose mutating operations are journaled:
+
+1. the operation is applied to the in-memory network (validating it —
+   nothing invalid ever reaches the log);
+2. the matching record is appended to the WAL and, under the default
+   ``fsync="always"`` policy, fsynced;
+3. only then does the call return — an *acknowledged* write is durable.
+
+A crash at any point loses at most operations that were never
+acknowledged.  :func:`recover_network` rebuilds the state: load the
+checkpoint (if any), then replay every intact WAL record; a torn or
+checksum-corrupt tail is detected and dropped (and the file truncated
+back to the last intact boundary on reopen).  Replay is idempotent —
+re-creating an existing model or re-inserting a present quad is a
+no-op — so the crash window between writing a checkpoint and resetting
+the WAL is harmless.
+
+:meth:`DurableNetwork.checkpoint` takes the store's write lock, writes
+an atomic snapshot (see :func:`repro.store.persist.save_network`), and
+resets the WAL, bounding recovery time.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.obs import metrics as _obs
+from repro.rdf.quad import Quad
+from repro.rdf.terms import Term
+from repro.store import wal as _wal
+from repro.store.model import DEFAULT_INDEXES, SemanticModel
+from repro.store.network import SemanticNetwork, StoreError
+from repro.store.persist import MANIFEST_NAME, load_network, save_network
+from repro.store.virtual import VirtualModel
+from repro.store.wal import WAL_MAGIC, WriteAheadLog, read_wal, truncate_wal
+
+WAL_NAME = "wal.log"
+CHECKPOINT_NAME = "checkpoint"
+
+
+class RecoveryStats:
+    """What a recovery found and did (also published as metrics)."""
+
+    __slots__ = (
+        "checkpoint_loaded",
+        "wal_records",
+        "applied",
+        "skipped",
+        "errors",
+        "torn_bytes",
+        "corrupt_records",
+        "wal_valid_bytes",
+    )
+
+    def __init__(self):
+        self.checkpoint_loaded = False
+        self.wal_records = 0
+        self.applied = 0
+        #: Records replayed as no-ops (idempotent duplicates).
+        self.skipped = 0
+        #: Records that could not be applied (e.g. a hand-edited log
+        #: referencing a model that never existed).
+        self.errors = 0
+        self.torn_bytes = 0
+        self.corrupt_records = 0
+        #: Truncation point for reopening the WAL at a record boundary.
+        self.wal_valid_bytes = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def publish(self) -> None:
+        """Surface the recovery outcome through the metrics registry."""
+        if not _obs.is_enabled():
+            return
+        registry = _obs.registry()
+        registry.inc("recovery.runs")
+        registry.inc("recovery.records_replayed", self.wal_records)
+        registry.inc("recovery.operations_applied", self.applied)
+        registry.inc("recovery.torn_bytes", self.torn_bytes)
+        registry.inc("recovery.corrupt_records", self.corrupt_records)
+        if self.checkpoint_loaded:
+            registry.inc("recovery.checkpoints_loaded")
+
+    def __repr__(self) -> str:
+        return f"RecoveryStats({self.to_dict()})"
+
+
+def recover_network(
+    directory: str, into: Optional[SemanticNetwork] = None
+) -> Tuple[SemanticNetwork, RecoveryStats]:
+    """Rebuild the store state of a durable directory.
+
+    Loads ``checkpoint/`` when present, then replays the intact prefix
+    of ``wal.log``.  Returns ``(network, stats)``; never raises on torn
+    or corrupt tails — those are what recovery exists to absorb.
+    """
+    network = into if into is not None else SemanticNetwork()
+    stats = RecoveryStats()
+    checkpoint_dir = os.path.join(directory, CHECKPOINT_NAME)
+    if os.path.exists(os.path.join(checkpoint_dir, MANIFEST_NAME)):
+        load_network(checkpoint_dir, into=network)
+        stats.checkpoint_loaded = True
+    wal_path = os.path.join(directory, WAL_NAME)
+    if os.path.exists(wal_path):
+        records, read_stats = read_wal(wal_path)
+        stats.wal_records = read_stats.records
+        stats.torn_bytes = read_stats.torn_bytes
+        stats.corrupt_records = read_stats.corrupt_records
+        stats.wal_valid_bytes = read_stats.valid_bytes
+        for record in records:
+            try:
+                applied = _apply_record(network, record)
+            except StoreError:
+                stats.errors += 1
+                continue
+            if applied:
+                stats.applied += 1
+            else:
+                stats.skipped += 1
+    stats.publish()
+    return network, stats
+
+
+def _apply_record(network: SemanticNetwork, record: Dict) -> bool:
+    """Replay one WAL record idempotently; True when it changed state."""
+    op = record["op"]
+    if op == "create_model":
+        if record["name"] in network.model_names or (
+            record["name"] in network.virtual_model_names
+        ):
+            return False  # duplicate replay (checkpoint overlap)
+        network.create_model(record["name"], record["indexes"])
+        return True
+    if op == "create_virtual_model":
+        if record["name"] in network.model_names or (
+            record["name"] in network.virtual_model_names
+        ):
+            return False
+        network.create_virtual_model(
+            record["name"], record["members"],
+            union_all=record.get("union_all", False),
+        )
+        return True
+    if op == "drop_model":
+        if record["name"] not in network.model_names and (
+            record["name"] not in network.virtual_model_names
+        ):
+            return False
+        network.drop_model(record["name"])
+        return True
+    if op == "insert":
+        return network.insert(record["model"], _wal.line_to_quad(record["quad"]))
+    if op == "delete":
+        return network.delete(record["model"], _wal.line_to_quad(record["quad"]))
+    if op == "bulk_load":
+        added = network.bulk_load(
+            record["model"],
+            (_wal.line_to_quad(line) for line in record["quads"]),
+        )
+        return added > 0
+    if op == "clear":
+        removed = network.clear_model(
+            record["model"], _wal.text_to_term(record.get("graph"))
+        )
+        return removed > 0
+    raise StoreError(f"unknown WAL record op {op!r}")
+
+
+class DurableNetwork(SemanticNetwork):
+    """A semantic network journaled to a WAL, with atomic checkpoints.
+
+    Opening the directory *is* recovery: the constructor loads the last
+    checkpoint, replays the WAL's intact prefix, truncates any torn
+    tail, and reopens the log for appending.  The outcome is available
+    as :attr:`recovery_stats`.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        fsync: str = "always",
+        file_factory: Optional[Callable[[str], object]] = None,
+    ):
+        super().__init__()
+        self.directory = os.path.abspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self._wal: Optional[WriteAheadLog] = None  # None while recovering
+        wal_path = os.path.join(self.directory, WAL_NAME)
+        _, self.recovery_stats = recover_network(self.directory, into=self)
+        if os.path.exists(wal_path) and (
+            self.recovery_stats.torn_bytes
+            or self.recovery_stats.corrupt_records
+        ):
+            truncate_wal(wal_path, self.recovery_stats.wal_valid_bytes)
+        self._wal = WriteAheadLog(
+            wal_path, fsync=fsync, file_factory=file_factory
+        )
+
+    # ------------------------------------------------------------------
+    # Journaled operations: apply (validates), then log, then return.
+    # ------------------------------------------------------------------
+
+    def create_model(
+        self, name: str, index_specs: Sequence[str] = DEFAULT_INDEXES
+    ) -> SemanticModel:
+        model = super().create_model(name, index_specs)
+        self._log(_wal.create_model_record(name, model.index_specs))
+        return model
+
+    def create_virtual_model(
+        self, name: str, member_names: Sequence[str], union_all: bool = False
+    ) -> VirtualModel:
+        virtual = super().create_virtual_model(name, member_names, union_all)
+        self._log(
+            _wal.create_virtual_model_record(
+                name, virtual.member_names, virtual.union_all
+            )
+        )
+        return virtual
+
+    def drop_model(self, name: str) -> None:
+        super().drop_model(name)
+        self._log(_wal.drop_model_record(name))
+
+    def insert(self, model_name: str, quad: Quad) -> bool:
+        added = super().insert(model_name, quad)
+        if added:
+            self._log(_wal.insert_record(model_name, quad))
+        return added
+
+    def delete(self, model_name: str, quad: Quad) -> bool:
+        removed = super().delete(model_name, quad)
+        if removed:
+            self._log(_wal.delete_record(model_name, quad))
+        return removed
+
+    def bulk_load(self, model_name: str, quads: Iterable[Quad]) -> int:
+        materialized = list(quads)
+        added = super().bulk_load(model_name, materialized)
+        if materialized:
+            self._log(_wal.bulk_load_record(model_name, materialized))
+        return added
+
+    def clear_model(self, model_name: str, graph: Optional[Term] = None) -> int:
+        removed = super().clear_model(model_name, graph)
+        self._log(_wal.clear_record(model_name, graph))
+        return removed
+
+    # ------------------------------------------------------------------
+    # Checkpointing and lifecycle
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> Dict[str, int]:
+        """Write an atomic snapshot and reset the WAL.
+
+        Taken under the store's write lock so the snapshot is a
+        consistent cut and no append can slip between the snapshot and
+        the log reset.
+        """
+        with self.lock.write_locked():
+            counts = save_network(
+                self, os.path.join(self.directory, CHECKPOINT_NAME)
+            )
+            self._reset_wal()
+        if _obs.is_enabled():
+            _obs.registry().inc("wal.checkpoints")
+        return counts
+
+    def _reset_wal(self) -> None:
+        wal = self._wal
+        path = os.path.join(self.directory, WAL_NAME)
+        fsync = wal.fsync_policy if wal is not None else "always"
+        if wal is not None:
+            wal.close()
+        truncate_wal(path, len(WAL_MAGIC))
+        self._wal = WriteAheadLog(path, fsync=fsync)
+
+    def sync(self) -> None:
+        """Force buffered WAL records to disk (``fsync='batch'``)."""
+        if self._wal is not None:
+            self._wal.sync()
+
+    def close(self) -> None:
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+
+    def __enter__(self) -> "DurableNetwork":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def _log(self, record: Dict) -> None:
+        if self._wal is not None:
+            self._wal.append(record)
+
+
+def open_durable(
+    directory: str,
+    fsync: str = "always",
+    file_factory: Optional[Callable[[str], object]] = None,
+) -> DurableNetwork:
+    """Open (creating or recovering) a durable store directory."""
+    return DurableNetwork(directory, fsync=fsync, file_factory=file_factory)

@@ -1,0 +1,138 @@
+"""A reader-writer lock for the semantic network.
+
+The store itself is a set of in-memory dicts and sets; CPython's GIL
+makes individual operations atomic-ish, but a SPARQL query is thousands
+of such operations and an update arriving mid-scan can surface a quad
+set that never existed ("no serial schedule" anomalies), or mutate a
+set while an index scan iterates it (RuntimeError).  The
+:class:`RWLock` below gives the threaded endpoint the classic database
+contract: any number of concurrent readers, writers serialized and
+exclusive.
+
+Writers are preferred: once a writer is waiting, new readers queue
+behind it, so a steady stream of queries cannot starve updates — the
+behaviour the paper's "updates reduce to DELETE + INSERT" cost model
+assumes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Optional
+
+
+class LockTimeout(Exception):
+    """Raised by the ``*_locked`` context managers when the lock cannot
+    be acquired within the caller's timeout."""
+
+
+class RWLock:
+    """A writer-preference reader-writer lock.
+
+    * :meth:`acquire_read` / :meth:`release_read` — shared access.
+    * :meth:`acquire_write` / :meth:`release_write` — exclusive access.
+    * :meth:`read_locked` / :meth:`write_locked` — context managers,
+      raising :class:`LockTimeout` if a timeout is given and expires.
+
+    Not reentrant: a thread holding the write lock must not re-acquire
+    either side (the engine acquires exactly once per query/update).
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # -- shared (read) side --------------------------------------------
+
+    def acquire_read(self, timeout: Optional[float] = None) -> bool:
+        deadline = None if timeout is None else _now() + timeout
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                if not self._wait(deadline):
+                    return False
+            self._readers += 1
+            return True
+
+    def release_read(self) -> None:
+        with self._cond:
+            if self._readers <= 0:
+                raise RuntimeError("release_read without acquire_read")
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # -- exclusive (write) side ----------------------------------------
+
+    def acquire_write(self, timeout: Optional[float] = None) -> bool:
+        deadline = None if timeout is None else _now() + timeout
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    if not self._wait(deadline):
+                        return False
+                self._writer_active = True
+                return True
+            finally:
+                self._writers_waiting -= 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            if not self._writer_active:
+                raise RuntimeError("release_write without acquire_write")
+            self._writer_active = False
+            self._cond.notify_all()
+
+    # -- context managers ----------------------------------------------
+
+    @contextmanager
+    def read_locked(self, timeout: Optional[float] = None):
+        if not self.acquire_read(timeout):
+            raise LockTimeout(f"read lock not acquired within {timeout}s")
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self, timeout: Optional[float] = None):
+        if not self.acquire_write(timeout):
+            raise LockTimeout(f"write lock not acquired within {timeout}s")
+        try:
+            yield self
+        finally:
+            self.release_write()
+
+    # -- internals ------------------------------------------------------
+
+    def _wait(self, deadline: Optional[float]) -> bool:
+        """Wait on the condition; False when ``deadline`` has passed.
+
+        The caller's while-loop re-checks its predicate after every
+        wait, so a wakeup at the deadline with the predicate satisfied
+        still acquires; only an *unsatisfied* predicate past the
+        deadline gives up.
+        """
+        if deadline is None:
+            self._cond.wait()
+            return True
+        remaining = deadline - _now()
+        if remaining <= 0:
+            return False
+        self._cond.wait(remaining)
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"RWLock(readers={self._readers}, "
+            f"writer={self._writer_active}, "
+            f"waiting_writers={self._writers_waiting})"
+        )
+
+
+def _now() -> float:
+    return time.monotonic()

@@ -13,6 +13,7 @@ from repro.rdf.quad import Quad
 from repro.rdf.terms import Term
 from repro.rdf.nquads import parse_nquads
 from repro.store.index import QuadIds
+from repro.store.locking import RWLock
 from repro.store.model import DEFAULT_INDEXES, SemanticModel
 from repro.store.values import DEFAULT_GRAPH_ID, ValuesTable
 from repro.store.virtual import VirtualModel
@@ -31,6 +32,11 @@ class SemanticNetwork:
         self.values = ValuesTable()
         self._models: Dict[str, SemanticModel] = {}
         self._virtual_models: Dict[str, VirtualModel] = {}
+        #: Reader-writer lock serializing updates against concurrent
+        #: queries.  The store itself never locks — the SPARQL engine
+        #: (and any other multi-threaded caller) brackets whole
+        #: queries/updates so each runs against a consistent snapshot.
+        self.lock = RWLock()
 
     # ------------------------------------------------------------------
     # Model lifecycle
@@ -146,6 +152,26 @@ class SemanticNetwork:
         if encoded is None:
             return False
         return model.delete(encoded)
+
+    def clear_model(self, model_name: str, graph: Optional[Term] = None) -> int:
+        """Remove every quad of a model (or just one named graph).
+
+        Returns the number of quads removed.  This is the network-level
+        form of SPARQL ``CLEAR``; routing it through the network (rather
+        than poking the model) lets durable subclasses journal it.
+        """
+        model = self._require_base_model(model_name)
+        if graph is None:
+            removed = len(model)
+            model.clear()
+            return removed
+        graph_id = self.values.lookup(graph)
+        if graph_id is None:
+            return 0
+        doomed = list(model.scan((None, None, None, graph_id)))
+        for quad_ids in doomed:
+            model.delete(quad_ids)
+        return len(doomed)
 
     def contains(self, model_name: str, quad: Quad) -> bool:
         encoded = self._encode_existing(quad)

@@ -1,16 +1,26 @@
-"""Saving and restoring a semantic network on disk.
+"""Saving and restoring a semantic network on disk — atomically.
 
 The paper motivates RDF stores as "backend storage for large property
 graph datasets"; this module gives the in-memory store a durable form:
 each base model is written as one N-Quads file plus a small JSON
 manifest recording model names, index specs, and virtual model
 definitions.  ``load_network`` rebuilds an equivalent network.
+
+``save_network`` is crash-safe: the snapshot is assembled in a
+temporary sibling directory (data files first, manifest last, all
+fsynced) and then renamed into place, so a reader — or a recovery after
+a crash — only ever observes either the complete old snapshot or the
+complete new one, never a half-written directory.  This is the same
+write-temp/fsync/rename protocol the WAL checkpoints of
+:mod:`repro.store.durable` rely on.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import shutil
+import tempfile
 from typing import Dict
 
 from repro.rdf.nquads import read_nquads, write_nquads
@@ -20,20 +30,38 @@ MANIFEST_NAME = "manifest.json"
 
 
 def save_network(network: SemanticNetwork, directory: str) -> Dict[str, int]:
-    """Write every base model (and the manifest) into ``directory``.
+    """Atomically write every base model (and the manifest) to ``directory``.
 
     Returns quad counts per model.  Virtual models are recorded in the
-    manifest only — they are views.
+    manifest only — they are views.  On any failure the target
+    directory is left exactly as it was.
     """
-    os.makedirs(directory, exist_ok=True)
+    directory = os.path.abspath(directory)
+    parent = os.path.dirname(directory)
+    os.makedirs(parent, exist_ok=True)
+    staging = tempfile.mkdtemp(
+        prefix=os.path.basename(directory) + ".tmp-", dir=parent
+    )
+    try:
+        counts = _write_snapshot(network, staging)
+        _fsync_dir(staging)
+        _swap_into_place(staging, directory)
+    except BaseException:
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
+    return counts
+
+
+def _write_snapshot(network: SemanticNetwork, directory: str) -> Dict[str, int]:
+    """Write the snapshot files into ``directory`` (no atomicity here)."""
     counts: Dict[str, int] = {}
     manifest = {"models": [], "virtual_models": []}
     for name in network.model_names:
         model = network.model(name)
         file_name = f"{name}.nq"
-        counts[name] = write_nquads(
-            network.quads(name), os.path.join(directory, file_name)
-        )
+        path = os.path.join(directory, file_name)
+        counts[name] = write_nquads(network.quads(name), path)
+        _fsync_file(path)
         manifest["models"].append(
             {
                 "name": name,
@@ -50,18 +78,74 @@ def save_network(network: SemanticNetwork, directory: str) -> Dict[str, int]:
                 "union_all": virtual.union_all,
             }
         )
-    with open(os.path.join(directory, MANIFEST_NAME), "w",
-              encoding="utf-8") as handle:
+    # The manifest is the commit record: written (and fsynced) last, so
+    # a crash mid-snapshot leaves a directory load_network rejects
+    # cleanly rather than one it half-loads.
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    with open(manifest_path, "w", encoding="utf-8") as handle:
         json.dump(manifest, handle, indent=2)
+        handle.flush()
+        os.fsync(handle.fileno())
     return counts
 
 
-def load_network(directory: str) -> SemanticNetwork:
-    """Rebuild a semantic network saved by :func:`save_network`."""
+def _swap_into_place(staging: str, directory: str) -> None:
+    """Publish ``staging`` as ``directory`` via rename(s).
+
+    A fresh save is a single atomic rename.  Replacing an existing
+    snapshot needs the classic two-rename dance (directories cannot be
+    renamed over one another); the old snapshot is parked under a
+    ``.old-*`` name that is cleaned up afterwards — and tolerated as a
+    leftover from an earlier crash.
+    """
+    parent = os.path.dirname(directory)
+    if os.path.exists(directory):
+        parked = f"{directory}.old-{os.getpid()}"
+        if os.path.exists(parked):
+            shutil.rmtree(parked)
+        os.rename(directory, parked)
+        os.rename(staging, directory)
+        shutil.rmtree(parked, ignore_errors=True)
+    else:
+        os.rename(staging, directory)
+    _fsync_dir(parent)
+
+
+def _fsync_file(path: str) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_dir(path: str) -> None:
+    """Persist directory entries (rename targets); best effort off-POSIX."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def load_network(
+    directory: str, into: SemanticNetwork = None
+) -> SemanticNetwork:
+    """Rebuild a semantic network saved by :func:`save_network`.
+
+    ``into`` loads the snapshot into an existing (empty) network
+    instead of a fresh one — recovery uses this to hydrate a
+    :class:`~repro.store.durable.DurableNetwork` in place.
+    """
     manifest_path = os.path.join(directory, MANIFEST_NAME)
     with open(manifest_path, "r", encoding="utf-8") as handle:
         manifest = json.load(handle)
-    network = SemanticNetwork()
+    network = into if into is not None else SemanticNetwork()
     for entry in manifest["models"]:
         network.create_model(entry["name"], entry["indexes"])
         network.bulk_load(

@@ -1,0 +1,22 @@
+"""Test-support utilities shipped with the library.
+
+:mod:`repro.testing.faults` provides the fault-injection primitives
+(torn-write files, crash-point schedules, retry helpers) used by the
+crash-recovery property tests and the CI fault-injection job.
+"""
+
+from repro.testing.faults import (
+    CrashSchedule,
+    FaultyFile,
+    SimulatedCrash,
+    retry,
+    torn_file_factory,
+)
+
+__all__ = [
+    "SimulatedCrash",
+    "CrashSchedule",
+    "FaultyFile",
+    "torn_file_factory",
+    "retry",
+]

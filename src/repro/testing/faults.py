@@ -1,0 +1,176 @@
+"""Fault injection for crash-recovery testing.
+
+Durability claims are only as good as the crashes they were tested
+against.  This module provides the three ingredients the WAL property
+tests use to simulate power loss at arbitrary points:
+
+* :class:`FaultyFile` — wraps a real binary file and *tears* writes: it
+  persists only the first N bytes given to it, then raises
+  :class:`SimulatedCrash`.  Handing :func:`torn_file_factory` to
+  :class:`~repro.store.wal.WriteAheadLog` simulates a crash mid-append
+  at any byte offset, including inside a record header.
+* :class:`CrashSchedule` — named crash points with hit budgets; code
+  under test calls :meth:`CrashSchedule.reach` and the scheduled hit
+  raises.  Deterministic, so a failing seed replays exactly.
+* :func:`retry` — bounded retry with exponential backoff, for the
+  *other* side of fault tolerance: operations that should survive
+  transient failures.
+
+Everything here is deliberately deterministic — no wall clock, no
+randomness — so property-test shrinking produces stable repros.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Tuple, Type, TypeVar
+
+T = TypeVar("T")
+
+
+class SimulatedCrash(Exception):
+    """An injected failure standing in for power loss / a kill -9.
+
+    Raised by :class:`FaultyFile` when its byte budget runs out and by
+    :class:`CrashSchedule` at a scheduled crash point.  Tests catch it
+    where a real crash would have torn the process down, then exercise
+    recovery on whatever reached "disk".
+    """
+
+
+class FaultyFile:
+    """A binary file wrapper that tears writes after a byte budget.
+
+    ``write`` persists at most ``fail_after_bytes`` bytes in total
+    (across all calls); the write that crosses the budget persists its
+    allowed prefix, flushes it, and raises :class:`SimulatedCrash` —
+    exactly the on-disk state a crash mid-``write(2)`` leaves behind.
+    With ``fail_fsync=True`` the failure is injected at the next
+    ``fileno()`` call instead (which is how ``os.fsync`` reaches the
+    file), modelling a device that accepts writes but fails to flush.
+    """
+
+    def __init__(
+        self,
+        handle,
+        fail_after_bytes: Optional[int] = None,
+        fail_fsync: bool = False,
+    ):
+        self._handle = handle
+        self._budget = fail_after_bytes
+        self._fail_fsync = fail_fsync
+        #: Total bytes actually persisted through this wrapper.
+        self.written = 0
+
+    def write(self, data: bytes) -> int:
+        if self._budget is None:
+            self.written += len(data)
+            return self._handle.write(data)
+        if len(data) > self._budget:
+            prefix = data[: self._budget]
+            if prefix:
+                self._handle.write(prefix)
+                self.written += len(prefix)
+            self._handle.flush()
+            self._budget = 0
+            raise SimulatedCrash(
+                f"torn write: {len(prefix)} of {len(data)} bytes persisted"
+            )
+        self._budget -= len(data)
+        self.written += len(data)
+        return self._handle.write(data)
+
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def fileno(self) -> int:
+        if self._fail_fsync:
+            raise SimulatedCrash("fsync failure injected")
+        return self._handle.fileno()
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __getattr__(self, name):
+        return getattr(self._handle, name)
+
+
+def torn_file_factory(
+    fail_after_bytes: int, fail_fsync: bool = False
+) -> Callable[[str], FaultyFile]:
+    """A ``WriteAheadLog`` file factory that crashes after N bytes.
+
+    The budget covers *everything* written through the returned file —
+    including the 8-byte magic header on a fresh log — so sweeping
+    ``fail_after_bytes`` over a range simulates a crash at every byte
+    offset of the file.
+    """
+
+    def factory(path: str) -> FaultyFile:
+        return FaultyFile(
+            open(path, "ab"),
+            fail_after_bytes=fail_after_bytes,
+            fail_fsync=fail_fsync,
+        )
+
+    return factory
+
+
+class CrashSchedule:
+    """Deterministic named crash points.
+
+    >>> schedule = CrashSchedule({"after-insert": 3})
+    >>> schedule.reach("after-insert")  # 1st hit: fine
+    >>> schedule.reach("after-insert")  # 2nd hit: fine
+    >>> schedule.reach("after-insert")  # 3rd hit: raises SimulatedCrash
+
+    Unknown points never fire, so production code paths can be
+    instrumented unconditionally and only crash when a test arms them.
+    """
+
+    def __init__(self, crash_at: Optional[Dict[str, int]] = None):
+        self._crash_at = dict(crash_at or {})
+        self._hits: Dict[str, int] = {}
+
+    def reach(self, point: str) -> None:
+        """Record one hit of ``point``; raise if its budget is reached."""
+        count = self._hits.get(point, 0) + 1
+        self._hits[point] = count
+        limit = self._crash_at.get(point)
+        if limit is not None and count == limit:
+            raise SimulatedCrash(f"crash point {point!r} (hit {count})")
+
+    def arm(self, point: str, on_hit: int) -> None:
+        """Schedule ``point`` to crash on its ``on_hit``-th hit."""
+        self._crash_at[point] = on_hit
+
+    def hits(self, point: str) -> int:
+        return self._hits.get(point, 0)
+
+
+def retry(
+    fn: Callable[[], T],
+    attempts: int = 3,
+    base_delay: float = 0.01,
+    max_delay: float = 1.0,
+    exceptions: Tuple[Type[BaseException], ...] = (Exception,),
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Call ``fn`` with exponential backoff; re-raise the last failure.
+
+    The delay doubles per attempt (capped at ``max_delay``).  ``sleep``
+    is injectable so tests can assert the backoff sequence without
+    waiting for it.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
+    delay = base_delay
+    for attempt in range(1, attempts + 1):
+        try:
+            return fn()
+        except exceptions:
+            if attempt == attempts:
+                raise
+            sleep(delay)
+            delay = min(delay * 2, max_delay)
+    raise AssertionError("unreachable")

@@ -1,0 +1,169 @@
+"""Reader-writer lock semantics and the concurrent-access stress test."""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.rdf import IRI, Quad
+from repro.sparql import SparqlEngine
+from repro.store import LockTimeout, RWLock, SemanticNetwork
+
+EX = "http://ex/"
+
+
+class TestRWLock:
+    def test_many_concurrent_readers(self):
+        lock = RWLock()
+        inside = []
+        barrier = threading.Barrier(4)
+
+        def reader():
+            with lock.read_locked():
+                barrier.wait(timeout=5)  # all 4 hold the lock at once
+                inside.append(1)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert len(inside) == 4
+
+    def test_writer_excludes_readers(self):
+        lock = RWLock()
+        events = []
+        lock.acquire_write()
+
+        def reader():
+            with lock.read_locked():
+                events.append("read")
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        time.sleep(0.05)
+        assert events == []  # reader blocked behind the writer
+        events.append("write-done")
+        lock.release_write()
+        thread.join(timeout=5)
+        assert events == ["write-done", "read"]
+
+    def test_writer_preference_blocks_new_readers(self):
+        lock = RWLock()
+        lock.acquire_read()
+        writer_acquired = threading.Event()
+
+        def writer():
+            lock.acquire_write()
+            writer_acquired.set()
+            lock.release_write()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        time.sleep(0.05)
+        # A waiting writer means new readers queue instead of overtaking.
+        assert not lock.acquire_read(timeout=0.1)
+        lock.release_read()
+        assert writer_acquired.wait(timeout=5)
+        thread.join(timeout=5)
+        assert lock.acquire_read(timeout=1)
+        lock.release_read()
+
+    def test_write_timeout_while_read_held(self):
+        lock = RWLock()
+        lock.acquire_read()
+        start = time.monotonic()
+        assert not lock.acquire_write(timeout=0.1)
+        assert time.monotonic() - start < 2
+        lock.release_read()
+
+    def test_context_manager_timeout_raises(self):
+        lock = RWLock()
+        lock.acquire_write()
+        with pytest.raises(LockTimeout):
+            with lock.read_locked(timeout=0.05):
+                pass
+        lock.release_write()
+
+    def test_unbalanced_release_raises(self):
+        lock = RWLock()
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+
+
+@pytest.mark.stress
+class TestStress:
+    def test_concurrent_readers_and_writers(self):
+        """4 readers + 2 writers for >= 5s: no deadlock, no exceptions,
+        and every read observes a serially-consistent state.
+
+        Each writer UPDATE atomically inserts one <..a..> and one
+        <..b..> triple, so any consistent cut has equal a/b counts; a
+        reader seeing a half-applied update would catch unequal counts.
+        """
+        duration = float(os.environ.get("REPRO_STRESS_SECONDS", "5"))
+        network = SemanticNetwork()
+        network.create_model("m")
+        engine = SparqlEngine(network, default_model="m")
+        stop_at = time.monotonic() + duration
+        errors = []
+        reads = [0]
+        writes = [0, 0]
+
+        count_query = (
+            "SELECT ?p (COUNT(*) AS ?c) WHERE { ?s ?p ?o } GROUP BY ?p"
+        )
+
+        def reader():
+            try:
+                while time.monotonic() < stop_at:
+                    result = engine.select(count_query)
+                    counts = {
+                        row[0].value: int(row[1].lexical) for row in result.rows
+                    }
+                    a = counts.get(f"{EX}a", 0)
+                    b = counts.get(f"{EX}b", 0)
+                    if a != b:
+                        errors.append(
+                            f"inconsistent read: a={a} b={b}"
+                        )
+                        return
+                    reads[0] += 1
+            except Exception as exc:  # noqa: BLE001 - recorded for assert
+                errors.append(f"reader: {exc!r}")
+
+        def writer(index):
+            try:
+                n = 0
+                while time.monotonic() < stop_at:
+                    engine.update(
+                        "INSERT DATA { "
+                        f"<{EX}s{index}-{n}> <{EX}a> <{EX}o> . "
+                        f"<{EX}s{index}-{n}> <{EX}b> <{EX}o> . "
+                        "}"
+                    )
+                    n += 1
+                writes[index] = n
+            except Exception as exc:  # noqa: BLE001
+                errors.append(f"writer{index}: {exc!r}")
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        threads += [
+            threading.Thread(target=writer, args=(i,)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=duration + 30)
+            assert not t.is_alive(), "thread failed to finish (deadlock?)"
+
+        assert errors == []
+        assert reads[0] > 0, "readers made no progress"
+        assert sum(writes) > 0, "writers made no progress"
+        # Final state: every writer pair fully applied.
+        final = engine.select(count_query)
+        counts = {row[0].value: int(row[1].lexical) for row in final.rows}
+        assert counts.get(f"{EX}a") == counts.get(f"{EX}b") == sum(writes)

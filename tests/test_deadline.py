@@ -1,0 +1,140 @@
+"""Query deadline (timeout) behaviour: cooperative aborts everywhere."""
+
+import time
+
+import pytest
+
+from repro.obs import metrics
+from repro.rdf import IRI, Quad
+from repro.sparql import Deadline, QueryTimeout, SparqlEngine, SparqlError
+from repro.sparql.deadline import deadline_for
+from repro.store import SemanticNetwork
+
+EX = "http://ex/"
+
+
+def ex(name):
+    return IRI(EX + name)
+
+
+@pytest.fixture(autouse=True)
+def _metrics_off():
+    metrics.disable()
+    metrics.reset()
+    yield
+    metrics.disable()
+    metrics.reset()
+
+
+@pytest.fixture
+def pathological_engine():
+    """2000 quads whose 3-way cartesian product is 8e9 rows — any
+    engine evaluating it to completion has failed the deadline test."""
+    network = SemanticNetwork()
+    network.create_model("m")
+    network.bulk_load("m", [
+        Quad(ex(f"s{i}"), ex("p"), ex(f"o{i % 50}")) for i in range(2000)
+    ])
+    return SparqlEngine(network, default_model="m")
+
+
+CARTESIAN = (
+    "SELECT (COUNT(*) AS ?c) WHERE { "
+    "?a <http://ex/p> ?b . ?c <http://ex/p> ?d . ?e <http://ex/p> ?f }"
+)
+
+
+class TestDeadlineObject:
+    def test_requires_positive_timeout(self):
+        with pytest.raises(ValueError):
+            Deadline(0)
+        with pytest.raises(ValueError):
+            Deadline(-1)
+
+    def test_deadline_for_none(self):
+        assert deadline_for(None) is None
+        assert deadline_for(0.5).timeout == 0.5
+
+    def test_expires(self):
+        deadline = Deadline(0.01, stride=1)
+        time.sleep(0.02)
+        assert deadline.expired
+        assert deadline.remaining() <= 0
+        with pytest.raises(QueryTimeout):
+            deadline.tick()
+
+    def test_tick_strides_clock_reads(self):
+        deadline = Deadline(10, stride=4)
+        for _ in range(100):
+            deadline.tick()  # never raises with 10s left
+
+    def test_query_timeout_is_sparql_error(self):
+        # Servers catching SparqlError for 400s must special-case the
+        # timeout first; the subclass relationship is intentional.
+        assert issubclass(QueryTimeout, SparqlError)
+        exc = QueryTimeout(0.5, 0.7)
+        assert exc.timeout == 0.5
+        assert exc.elapsed == 0.7
+
+
+class TestEngineTimeouts:
+    def test_runaway_query_stops_within_2x(self, pathological_engine):
+        start = time.perf_counter()
+        with pytest.raises(QueryTimeout) as err:
+            pathological_engine.query(CARTESIAN, timeout=0.3)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 0.6, f"stopped after {elapsed:.3f}s (2x budget)"
+        assert err.value.timeout == 0.3
+
+    def test_store_usable_after_timeout(self, pathological_engine):
+        with pytest.raises(QueryTimeout):
+            pathological_engine.query(CARTESIAN, timeout=0.2)
+        result = pathological_engine.select(
+            "SELECT (COUNT(*) AS ?c) WHERE { ?a <http://ex/p> ?b }"
+        )
+        assert int(result.rows[0][0].lexical) == 2000
+        assert pathological_engine.update(
+            "INSERT DATA { <http://ex/new> <http://ex/p> <http://ex/o> }"
+        )["inserted"] == 1
+
+    def test_engine_level_default_timeout(self, pathological_engine):
+        pathological_engine.timeout = 0.2
+        with pytest.raises(QueryTimeout):
+            pathological_engine.query(CARTESIAN)
+
+    def test_per_call_overrides_engine_default(self, pathological_engine):
+        pathological_engine.timeout = 0.1
+        # A generous per-call override lets a cheap query through.
+        result = pathological_engine.query(
+            "SELECT (COUNT(*) AS ?c) WHERE { ?a <http://ex/p> ?b }",
+            timeout=30,
+        )
+        assert int(result.rows[0][0].lexical) == 2000
+
+    def test_no_timeout_runs_to_completion(self, pathological_engine):
+        result = pathological_engine.select(
+            "SELECT (COUNT(*) AS ?c) WHERE "
+            "{ ?a <http://ex/p> ?b . FILTER(?b = <http://ex/o1>) }"
+        )
+        assert int(result.rows[0][0].lexical) == 40
+
+    def test_path_query_times_out(self, pathological_engine):
+        # Property-path frontier loops honour the deadline too.
+        with pytest.raises(QueryTimeout):
+            pathological_engine.query(
+                "SELECT (COUNT(*) AS ?c) WHERE { "
+                "?a (<http://ex/p>|^<http://ex/p>)* ?b . "
+                "?c <http://ex/p> ?d . ?e <http://ex/p> ?f }",
+                timeout=0.3,
+            )
+
+    def test_prepared_query_timeout(self, pathological_engine):
+        prepared = pathological_engine.prepare(CARTESIAN)
+        with pytest.raises(QueryTimeout):
+            prepared.run(timeout=0.2)
+
+    def test_timeout_metric_incremented(self, pathological_engine):
+        metrics.enable()
+        with pytest.raises(QueryTimeout):
+            pathological_engine.query(CARTESIAN, timeout=0.2)
+        assert metrics.registry().counter("query.timeouts") == 1

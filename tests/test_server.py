@@ -1,6 +1,7 @@
 """Tests for the SPARQL Protocol HTTP endpoint."""
 
 import json
+import time
 import urllib.error
 import urllib.parse
 import urllib.request
@@ -128,3 +129,161 @@ class TestUpdateEndpoint:
                 post(readonly, "/update", body,
                      "application/x-www-form-urlencoded")
             assert err.value.code == 403
+
+
+def post_raw_content_length(port, path, content_length):
+    """POST with a hand-set Content-Length header (urllib would fix it)."""
+    import http.client
+
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.putrequest("POST", path)
+        conn.putheader("Content-Type", "application/sparql-query")
+        conn.putheader("Content-Length", content_length)
+        conn.endheaders()
+        response = conn.getresponse()
+        return response.status, response.read().decode("utf-8")
+    finally:
+        conn.close()
+
+
+class TestHardening:
+    def test_non_integer_content_length_is_400(self, server):
+        status, body = post_raw_content_length(server.port, "/sparql", "abc")
+        assert status == 400
+        assert "Content-Length" in json.loads(body)["error"]
+
+    def test_oversized_body_is_413(self, social_engine):
+        with SparqlServer(
+            social_engine, allow_updates=True, max_body_bytes=64
+        ) as small:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                post(small, "/sparql", "SELECT * WHERE { ?s ?p ?o }" + " " * 100,
+                     "application/sparql-query")
+            assert err.value.code == 413
+
+    def test_unsupported_methods_are_405(self, server):
+        for method in ("PUT", "DELETE", "PATCH"):
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{server.port}/sparql",
+                data=b"x",
+                method=method,
+            )
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(request, timeout=10)
+            assert err.value.code == 405
+            assert err.value.headers.get("Allow") == "GET, POST"
+
+    def test_error_bodies_are_json(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(server, "/sparql")
+        assert json.loads(err.value.read().decode("utf-8"))["error"]
+
+
+class TestTimeouts:
+    @pytest.fixture
+    def slow_engine(self):
+        from repro.rdf import IRI, Quad
+        from repro.sparql import SparqlEngine
+        from repro.store import SemanticNetwork
+
+        network = SemanticNetwork()
+        network.create_model("m")
+        network.bulk_load("m", [
+            Quad(IRI(f"http://ex/s{i}"), IRI("http://ex/p"),
+                 IRI(f"http://ex/o{i % 50}"))
+            for i in range(2000)
+        ])
+        return SparqlEngine(network, default_model="m")
+
+    CARTESIAN = (
+        "SELECT (COUNT(*) AS ?c) WHERE { "
+        "?a <http://ex/p> ?b . ?c <http://ex/p> ?d . ?e <http://ex/p> ?f }"
+    )
+
+    def test_slow_query_gets_503_with_payload(self, slow_engine):
+        with SparqlServer(slow_engine, timeout=0.3) as running:
+            encoded = urllib.parse.quote(self.CARTESIAN)
+            with pytest.raises(urllib.error.HTTPError) as err:
+                get(running, f"/sparql?query={encoded}")
+            assert err.value.code == 503
+            payload = json.loads(err.value.read().decode("utf-8"))
+            assert payload["error"] == "QueryTimeout"
+            assert payload["timeout"] == 0.3
+            assert payload["elapsed"] >= 0.3
+            # The endpoint stays usable after a timeout.
+            encoded = urllib.parse.quote(
+                "SELECT (COUNT(*) AS ?c) WHERE { ?a <http://ex/p> ?b }"
+            )
+            status, _, body = get(running, f"/sparql?query={encoded}")
+            assert status == 200
+
+
+class TestInflightGate:
+    def test_excess_requests_get_429(self, social_engine):
+        import threading
+
+        with SparqlServer(social_engine, max_inflight=1) as running:
+            encoded = urllib.parse.quote(QUERY)
+            # Deterministically occupy the single slot: hold the store's
+            # write lock so the first request blocks inside the gate.
+            social_engine.network.lock.acquire_write()
+            first_result = {}
+
+            def first():
+                try:
+                    first_result["status"] = get(
+                        running, f"/sparql?query={encoded}"
+                    )[0]
+                except Exception as exc:  # noqa: BLE001
+                    first_result["error"] = exc
+
+            gate = running._server.RequestHandlerClass.gate
+            thread = threading.Thread(target=first)
+            thread.start()
+            try:
+                # Wait until the first request actually occupies the slot
+                # (probing earlier would race it into the gate ourselves).
+                deadline = time.monotonic() + 5
+                while gate.in_use == 0 and time.monotonic() < deadline:
+                    time.sleep(0.005)
+                assert gate.in_use == 1, "first request never reached the gate"
+                with pytest.raises(urllib.error.HTTPError) as err:
+                    get(running, f"/sparql?query={encoded}")
+                assert err.value.code == 429
+                rejected = json.loads(err.value.read().decode("utf-8"))
+                assert "capacity" in rejected["error"]
+            finally:
+                social_engine.network.lock.release_write()
+                thread.join(timeout=10)
+            assert first_result.get("status") == 200
+            # Slot released: requests succeed again.
+            status, _, _ = get(running, f"/sparql?query={encoded}")
+            assert status == 200
+
+
+class TestServerLifecycle:
+    def test_stop_joins_thread(self, social_engine):
+        running = SparqlServer(social_engine).start()
+        running.stop()
+        assert running._thread is None
+
+    def test_start_twice_raises(self, social_engine):
+        running = SparqlServer(social_engine).start()
+        try:
+            with pytest.raises(RuntimeError):
+                running.start()
+        finally:
+            running.stop()
+
+    def test_stop_raises_when_thread_hangs(self, social_engine):
+        import threading
+
+        running = SparqlServer(social_engine).start()
+        real_thread = running._thread
+        hung = threading.Thread(target=time.sleep, args=(30,), daemon=True)
+        hung.start()
+        running._thread = hung
+        with pytest.raises(RuntimeError, match="failed to stop"):
+            running.stop(join_timeout=0.1)
+        real_thread.join(timeout=5)

@@ -1,0 +1,308 @@
+"""Crash-recovery tests for the durable (WAL + checkpoint) store."""
+
+import os
+import shutil
+import tempfile
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.obs import metrics
+from repro.rdf import IRI, Literal, Quad
+from repro.store import DurableNetwork, SemanticNetwork, open_durable, recover_network
+from repro.store.durable import CHECKPOINT_NAME, WAL_NAME
+from repro.store.persist import load_network, save_network
+from repro.store.wal import WriteAheadLog
+from repro.testing.faults import (
+    CrashSchedule,
+    SimulatedCrash,
+    retry,
+    torn_file_factory,
+)
+
+EX = "http://ex/"
+
+
+def ex(name):
+    return IRI(EX + name)
+
+
+@pytest.fixture(autouse=True)
+def _metrics_off():
+    metrics.disable()
+    metrics.reset()
+    yield
+    metrics.disable()
+    metrics.reset()
+
+
+def state(network) -> dict:
+    """Comparable snapshot: model names and their quads."""
+    return {
+        "models": sorted(network.model_names),
+        "virtual": sorted(network.virtual_model_names),
+        "quads": {
+            name: sorted(map(repr, network.quads(name)))
+            for name in network.model_names
+        },
+    }
+
+
+# A scripted operation sequence covering every WAL record type.  Each
+# step is (description, callable(network)); applying a prefix of it to
+# a plain SemanticNetwork gives the expected post-recovery state.
+def scripted_ops():
+    return [
+        ("create m", lambda n: n.create_model("m")),
+        ("insert a", lambda n: n.insert("m", Quad(ex("a"), ex("p"), ex("b")))),
+        ("insert g", lambda n: n.insert(
+            "m", Quad(ex("b"), ex("p"), ex("c"), ex("g1")))),
+        ("bulk", lambda n: n.bulk_load("m", [
+            Quad(ex("c"), ex("p"), Literal("x")),
+            Quad(ex("d"), ex("p"), Literal.from_python(7)),
+        ])),
+        ("create k", lambda n: n.create_model("k")),
+        ("insert k", lambda n: n.insert("k", Quad(ex("k"), ex("q"), ex("v")))),
+        ("virtual", lambda n: n.create_virtual_model("all", ["m", "k"])),
+        ("delete a", lambda n: n.delete("m", Quad(ex("a"), ex("p"), ex("b")))),
+        ("clear g1", lambda n: n.clear_model("m", ex("g1"))),
+        ("drop k2", lambda n: n.drop_model("all")),
+    ]
+
+
+def expected_after(k: int) -> SemanticNetwork:
+    network = SemanticNetwork()
+    for _, op in scripted_ops()[:k]:
+        op(network)
+    return network
+
+
+class TestRecoverBasics:
+    def test_recover_matches_live(self, tmp_path):
+        directory = str(tmp_path / "store")
+        with open_durable(directory) as store:
+            for _, op in scripted_ops():
+                op(store)
+            live = state(store)
+        recovered, stats = recover_network(directory)
+        assert state(recovered) == live
+        assert stats.wal_records == stats.applied + stats.skipped + stats.errors
+        assert stats.errors == 0
+
+    def test_reopen_is_recovery(self, tmp_path):
+        directory = str(tmp_path / "store")
+        with open_durable(directory) as store:
+            store.create_model("m")
+            store.insert("m", Quad(ex("a"), ex("p"), ex("b")))
+        with open_durable(directory) as store:
+            assert state(store) == state(expected_after(2))
+            assert store.recovery_stats.applied == 2
+
+    def test_checkpoint_bounds_replay(self, tmp_path):
+        directory = str(tmp_path / "store")
+        with open_durable(directory) as store:
+            store.create_model("m")
+            store.insert("m", Quad(ex("a"), ex("p"), ex("b")))
+            store.checkpoint()
+            store.insert("m", Quad(ex("b"), ex("p"), ex("c")))
+        recovered, stats = recover_network(directory)
+        assert stats.checkpoint_loaded
+        assert stats.wal_records == 1  # only the post-checkpoint insert
+        assert len(list(recovered.quads("m"))) == 2
+
+    def test_empty_wal(self, tmp_path):
+        directory = str(tmp_path / "store")
+        os.makedirs(directory)
+        WriteAheadLog(os.path.join(directory, WAL_NAME)).close()
+        recovered, stats = recover_network(directory)
+        assert state(recovered) == state(SemanticNetwork())
+        assert stats.wal_records == 0
+        assert not stats.checkpoint_loaded
+
+    def test_checkpoint_only_directory(self, tmp_path):
+        directory = str(tmp_path / "store")
+        with open_durable(directory) as store:
+            store.create_model("m")
+            store.insert("m", Quad(ex("a"), ex("p"), ex("b")))
+            store.checkpoint()
+        os.remove(os.path.join(directory, WAL_NAME))
+        recovered, stats = recover_network(directory)
+        assert stats.checkpoint_loaded
+        assert stats.wal_records == 0
+        assert len(list(recovered.quads("m"))) == 1
+
+    def test_corrupt_record_mid_file(self, tmp_path):
+        directory = str(tmp_path / "store")
+        with open_durable(directory) as store:
+            store.create_model("m")
+            wal_path = os.path.join(directory, WAL_NAME)
+            second_at = os.path.getsize(wal_path)
+            store.insert("m", Quad(ex("a"), ex("p"), ex("b")))
+            store.insert("m", Quad(ex("b"), ex("p"), ex("c")))
+        with open(wal_path, "rb+") as handle:
+            handle.seek(second_at + 8 + 2)
+            byte = handle.read(1)
+            handle.seek(second_at + 8 + 2)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        recovered, stats = recover_network(directory)
+        # Only the prefix before the corruption survives.
+        assert stats.corrupt_records == 1
+        assert stats.wal_records == 1
+        assert list(recovered.quads("m")) == []
+        # Reopening truncates the corrupt tail and stays usable.
+        with open_durable(directory) as store:
+            store.insert("m", Quad(ex("x"), ex("p"), ex("y")))
+        recovered, stats = recover_network(directory)
+        assert stats.corrupt_records == 0
+        assert len(list(recovered.quads("m"))) == 1
+
+    def test_duplicate_model_create_is_idempotent(self, tmp_path):
+        """The checkpoint-written-but-WAL-not-reset crash window."""
+        directory = str(tmp_path / "store")
+        with open_durable(directory) as store:
+            store.create_model("m")
+            store.insert("m", Quad(ex("a"), ex("p"), ex("b")))
+            # Simulate the crash window: checkpoint exists AND the WAL
+            # still holds the full history (normally reset atomically).
+            save_network(store, os.path.join(directory, CHECKPOINT_NAME))
+        recovered, stats = recover_network(directory)
+        assert stats.checkpoint_loaded
+        assert stats.skipped >= 1  # the duplicate create_model + insert
+        assert stats.errors == 0
+        assert len(list(recovered.quads("m"))) == 1
+
+    def test_recovery_metrics_published(self, tmp_path):
+        directory = str(tmp_path / "store")
+        with open_durable(directory) as store:
+            store.create_model("m")
+            store.insert("m", Quad(ex("a"), ex("p"), ex("b")))
+        metrics.enable()
+        recover_network(directory)
+        registry = metrics.registry()
+        assert registry.counter("recovery.runs") == 1
+        assert registry.counter("recovery.records_replayed") == 2
+        assert registry.counter("recovery.operations_applied") == 2
+
+
+class TestCrashAtEveryOffset:
+    def test_recovered_equals_committed_prefix(self, tmp_path):
+        """The tentpole property: crash at *every* WAL byte offset and
+        check the recovered store equals the acknowledged prefix."""
+        # First, a clean run to learn the final WAL size.
+        clean_dir = str(tmp_path / "clean")
+        with open_durable(clean_dir) as store:
+            for _, op in scripted_ops():
+                op(store)
+        total = os.path.getsize(os.path.join(clean_dir, WAL_NAME))
+
+        # Sweep crash points: every 7th byte plus the file ends keeps
+        # the sweep dense but the test fast.
+        budgets = sorted(set(range(0, total + 1, 7)) | {0, 1, total})
+        for budget in budgets:
+            directory = str(tmp_path / f"crash-{budget}")
+            acknowledged = 0
+            store = None
+            try:
+                store = DurableNetwork(
+                    directory, file_factory=torn_file_factory(budget)
+                )
+                for _, op in scripted_ops():
+                    op(store)
+                    acknowledged += 1
+            except SimulatedCrash:
+                pass  # the op in flight was never acknowledged
+            recovered, stats = recover_network(directory)
+            assert stats.corrupt_records == 0, budget
+            assert state(recovered) == state(expected_after(acknowledged)), (
+                f"budget={budget} acknowledged={acknowledged}"
+            )
+
+
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.integers(0, 5), st.integers(0, 3)),
+        st.tuples(st.just("delete"), st.integers(0, 5), st.integers(0, 3)),
+        st.tuples(st.just("clear"), st.just(0), st.just(0)),
+    ),
+    max_size=12,
+)
+
+
+def apply_random_op(network, op):
+    kind, s, o = op
+    if kind == "insert":
+        network.insert("m", Quad(ex(f"s{s}"), ex("p"), ex(f"o{o}")))
+    elif kind == "delete":
+        network.delete("m", Quad(ex(f"s{s}"), ex("p"), ex(f"o{o}")))
+    else:
+        network.clear_model("m")
+
+
+class TestRecoveryFixedPoint:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(ops=ops_strategy)
+    def test_recover_save_recover_is_identity(self, ops):
+        """recover -> save -> load is a fixed point of the store state."""
+        root = tempfile.mkdtemp(prefix="durable-prop-")
+        try:
+            directory = os.path.join(root, "store")
+            with open_durable(directory) as store:
+                store.create_model("m")
+                for op in ops:
+                    apply_random_op(store, op)
+            recovered, _ = recover_network(directory)
+            snapshot_dir = os.path.join(root, "snapshot")
+            save_network(recovered, snapshot_dir)
+            reloaded = load_network(snapshot_dir)
+            assert state(reloaded) == state(recovered)
+            rerecovered, _ = recover_network(directory)
+            assert state(rerecovered) == state(recovered)
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+
+class TestFaultPrimitives:
+    def test_crash_schedule_fires_on_nth_hit(self):
+        schedule = CrashSchedule({"point": 3})
+        schedule.reach("point")
+        schedule.reach("point")
+        with pytest.raises(SimulatedCrash):
+            schedule.reach("point")
+        assert schedule.hits("point") == 3
+        schedule.reach("unarmed")  # unknown points never fire
+
+    def test_crash_schedule_arm(self):
+        schedule = CrashSchedule()
+        schedule.arm("p", on_hit=1)
+        with pytest.raises(SimulatedCrash):
+            schedule.reach("p")
+
+    def test_retry_succeeds_after_transient_failures(self):
+        delays = []
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("transient")
+            return "ok"
+
+        assert retry(flaky, attempts=5, base_delay=0.01,
+                     sleep=delays.append) == "ok"
+        assert delays == [0.01, 0.02]  # exponential backoff
+
+    def test_retry_reraises_after_budget(self):
+        def always_fails():
+            raise OSError("permanent")
+
+        with pytest.raises(OSError):
+            retry(always_fails, attempts=3, sleep=lambda _: None)
+
+    def test_retry_rejects_zero_attempts(self):
+        with pytest.raises(ValueError):
+            retry(lambda: None, attempts=0)

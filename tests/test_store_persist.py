@@ -77,3 +77,65 @@ class TestSaveLoad:
     def test_missing_manifest(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_network(str(tmp_path))
+
+
+class TestAtomicSave:
+    def test_save_replaces_existing_snapshot(self, network, tmp_path):
+        target = str(tmp_path / "snap")
+        save_network(network, target)
+        network.insert("kvs", Quad(ex("b"), ex("name"), Literal("B")))
+        save_network(network, target)
+        restored = load_network(target)
+        assert len(list(restored.quads("kvs"))) == 3
+        # No staging or parked directories left behind.
+        leftovers = [
+            name for name in os.listdir(str(tmp_path))
+            if ".tmp-" in name or ".old-" in name
+        ]
+        assert leftovers == []
+
+    def test_failed_save_leaves_target_untouched(self, network, tmp_path):
+        target = str(tmp_path / "snap")
+        save_network(network, target)
+
+        class Exploding:
+            """Network facade whose second model write fails mid-save."""
+
+            model_names = network.model_names
+            virtual_model_names = network.virtual_model_names
+
+            def model(self, name):
+                return network.model(name)
+
+            def quads(self, name):
+                if name == network.model_names[1]:
+                    raise OSError("disk full")
+                return network.quads(name)
+
+        with pytest.raises(OSError):
+            save_network(Exploding(), target)
+        # The old snapshot is fully intact and still loads.
+        restored = load_network(target)
+        assert sorted(restored.model_names) == sorted(network.model_names)
+        leftovers = [
+            name for name in os.listdir(str(tmp_path)) if ".tmp-" in name
+        ]
+        assert leftovers == []
+
+    def test_stale_parked_directory_tolerated(self, network, tmp_path):
+        target = str(tmp_path / "snap")
+        save_network(network, target)
+        parked = f"{target}.old-{os.getpid()}"
+        os.makedirs(parked)  # leftover from a simulated earlier crash
+        with open(os.path.join(parked, "junk"), "w") as handle:
+            handle.write("stale")
+        save_network(network, target)
+        assert not os.path.exists(parked)
+        assert load_network(target)
+
+    def test_fresh_save_is_single_rename(self, network, tmp_path):
+        # A fresh save must not leave intermediate states visible: after
+        # save_network returns, the manifest is present (commit record).
+        target = str(tmp_path / "fresh" / "snap")
+        save_network(network, target)
+        assert os.path.exists(os.path.join(target, "manifest.json"))
