@@ -206,6 +206,10 @@ def _cmd_demo(args) -> int:
 def _cmd_serve(args) -> int:
     from repro.server import make_server
 
+    if args.timeout is not None and args.timeout <= 0:
+        raise SystemExit("--timeout must be positive")
+    if args.max_inflight is not None and args.max_inflight < 1:
+        raise SystemExit("--max-inflight must be >= 1")
     engine = _build_engine(
         args.data,
         collect_stats=args.metrics,
@@ -215,8 +219,6 @@ def _cmd_serve(args) -> int:
         from repro.obs import metrics as obs_metrics
 
         obs_metrics.enable()
-    if args.timeout is not None and args.timeout <= 0:
-        raise SystemExit("--timeout must be positive")
     server, port = make_server(
         engine,
         args.host,

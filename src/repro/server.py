@@ -12,9 +12,10 @@ concurrently under the store's reader-writer lock while updates are
 serialized.  Three guard rails keep a misbehaving client from taking
 the service down:
 
-* a per-request query deadline (``timeout=``) — a query past its budget
-  is aborted cooperatively and answered with ``503`` and a JSON
-  ``QueryTimeout`` payload, leaving the store untouched;
+* a per-request deadline (``timeout=``) — a query (or an update's
+  WHERE evaluation / write-lock wait) past its budget is aborted
+  cooperatively and answered with ``503`` and a JSON ``QueryTimeout``
+  payload, leaving the store untouched;
 * a bounded in-flight gate (``max_inflight=``) — excess concurrent
   requests are rejected immediately with ``429`` instead of queueing
   without bound;
@@ -241,7 +242,10 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
 
     def _run_update(self, update: str) -> None:
         try:
-            counts = self.engine.update(update)
+            counts = self.engine.update(update, timeout=self.query_timeout)
+        except QueryTimeout as exc:
+            self._send_timeout(exc)
+            return
         except SparqlError as exc:
             self._send_error(400, str(exc))
             return
@@ -311,7 +315,13 @@ def make_server(
             "allow_updates": allow_updates,
             "query_timeout": timeout,
             "max_body_bytes": max_body_bytes,
-            "gate": InflightGate(max_inflight) if max_inflight else None,
+            # `is not None` (not truthiness): max_inflight=0 must be
+            # rejected by InflightGate, not silently mean "no gate".
+            "gate": (
+                InflightGate(max_inflight)
+                if max_inflight is not None
+                else None
+            ),
         },
     )
     server = ThreadingHTTPServer((host, port), handler)

@@ -219,21 +219,62 @@ class SparqlEngine:
     # Update API
     # ------------------------------------------------------------------
 
-    def update(self, text: str, model: Optional[str] = None) -> Dict[str, int]:
+    def update(
+        self,
+        text: str,
+        model: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, int]:
+        """Execute an update, optionally under a deadline.
+
+        The deadline (``timeout=`` or the engine-level default) covers
+        both the exclusive-lock wait and the update's WHERE evaluation,
+        so one long update cannot stall readers unboundedly.  Once an
+        operation starts *applying* its changes it runs to completion —
+        aborting mid-apply would expose a partial update.
+        """
+        limit = self.timeout if timeout is None else timeout
+        deadline = deadline_for(limit)
         with self._parser_lock:
             request = self._parser.parse_update(text)
         executor = UpdateExecutor(
             self.network,
             self._model_name(model),
             union_default_graph=self._union_default,
+            deadline=deadline,
         )
+        try:
+            with self._write_locked(deadline):
+                # Updates are serialized and exclusive: concurrent
+                # readers see either none or all of one request's
+                # effects.
+                return executor.execute(request)
+        except QueryTimeout:
+            if _obs.is_enabled():
+                _obs.registry().inc("query.timeouts")
+            raise
+
+    @contextmanager
+    def _write_locked(self, deadline: Optional[Deadline]):
+        """Hold the store's write lock for one update execution.
+
+        Like :meth:`_read_locked`, the deadline keeps ticking while the
+        update waits behind readers: an update that cannot get the lock
+        within its budget times out in the queue.
+        """
         lock = getattr(self.network, "lock", None)
         if lock is None:
-            return executor.execute(request)
-        # Updates are serialized and exclusive: concurrent readers see
-        # either none or all of one update request's effects.
-        with lock.write_locked():
-            return executor.execute(request)
+            yield
+            return
+        wait = None if deadline is None else max(deadline.remaining(), 0.0)
+        if not lock.acquire_write(wait):
+            raise QueryTimeout(
+                deadline.timeout, time.monotonic() - deadline.started_at
+            )
+        try:
+            yield
+        finally:
+            lock.release_write()
 
     # ------------------------------------------------------------------
     # EXPLAIN

@@ -20,23 +20,40 @@ from repro.sparql.ast import (
     QuadPattern,
     UpdateRequest,
 )
+from repro.sparql.deadline import Deadline
 from repro.sparql.errors import EvaluationError
 from repro.sparql.eval import Evaluator
 
 
 class UpdateExecutor:
-    """Executes update requests against one base model."""
+    """Executes update requests against one base model.
 
-    def __init__(self, network, model_name: str, union_default_graph: bool = True):
+    ``deadline`` bounds the expensive half of an update — locating the
+    affected quads (the WHERE evaluation and template instantiation,
+    which the paper notes dominate update cost).  It is checked before
+    each operation starts applying changes, never mid-apply, so an
+    aborted update leaves the store untouched by the aborted operation.
+    """
+
+    def __init__(
+        self,
+        network,
+        model_name: str,
+        union_default_graph: bool = True,
+        deadline: Optional[Deadline] = None,
+    ):
         self._network = network
         self._model_name = model_name
         self._union_default = union_default_graph
+        self._deadline = deadline
 
     def execute(self, request: UpdateRequest) -> Dict[str, int]:
         """Run all operations; returns counts of inserted/deleted quads."""
         inserted = 0
         deleted = 0
         for operation in request.operations:
+            if self._deadline is not None:
+                self._deadline.check()
             if isinstance(operation, InsertDataUpdate):
                 for quad in self._ground_quads(operation.quads):
                     if self._network.insert(self._model_name, quad):
@@ -73,7 +90,8 @@ class UpdateExecutor:
     def _run_modify(self, operation: ModifyUpdate) -> Tuple[int, int]:
         model = self._network.model(self._model_name)
         evaluator = Evaluator(
-            self._network, model, union_default_graph=self._union_default
+            self._network, model, union_default_graph=self._union_default,
+            deadline=self._deadline,
         )
         relation = evaluator.evaluate_group(
             operation.where, None if self._union_default else 0
@@ -82,6 +100,8 @@ class UpdateExecutor:
         to_delete: List[Quad] = []
         to_insert: List[Quad] = []
         for row in relation.rows:
+            if self._deadline is not None:
+                self._deadline.tick()
             for template in operation.delete_templates:
                 quad = self._instantiate(template, row, index)
                 if quad is not None:

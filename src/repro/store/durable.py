@@ -16,13 +16,23 @@ whose mutating operations are journaled:
 3. only then does the call return — an *acknowledged* write is durable.
 
 A crash at any point loses at most operations that were never
-acknowledged.  :func:`recover_network` rebuilds the state: load the
-checkpoint (if any), then replay every intact WAL record; a torn or
-checksum-corrupt tail is detected and dropped (and the file truncated
-back to the last intact boundary on reopen).  Replay is idempotent —
-re-creating an existing model or re-inserting a present quad is a
-no-op — so the crash window between writing a checkpoint and resetting
-the WAL is harmless.
+acknowledged.  :func:`recover_network` rebuilds the state: finish any
+checkpoint swap a crash interrupted (see
+:func:`repro.store.persist.repair_snapshot`), load the checkpoint (if
+any), then replay every intact WAL record; a torn or checksum-corrupt
+tail is detected and dropped (and the file truncated back to the last
+intact boundary on reopen).  Replay is idempotent — re-creating an
+existing model or re-inserting a present quad is a no-op — so the
+crash window between writing a checkpoint and resetting the WAL is
+harmless.
+
+Durability failures are fail-stop: if a WAL append itself fails
+(ENOSPC, I/O error), the failed operation's error propagates — it was
+never acknowledged, even though it is applied in memory — and the log
+is poisoned, so every later mutating call raises
+:class:`~repro.store.wal.WalError` rather than acknowledging writes a
+torn log cannot replay.  Reads keep working; reopening the directory
+(recovery) restores service with exactly the committed prefix.
 
 :meth:`DurableNetwork.checkpoint` takes the store's write lock, writes
 an atomic snapshot (see :func:`repro.store.persist.save_network`), and
@@ -40,7 +50,12 @@ from repro.rdf.terms import Term
 from repro.store import wal as _wal
 from repro.store.model import DEFAULT_INDEXES, SemanticModel
 from repro.store.network import SemanticNetwork, StoreError
-from repro.store.persist import MANIFEST_NAME, load_network, save_network
+from repro.store.persist import (
+    MANIFEST_NAME,
+    load_network,
+    repair_snapshot,
+    save_network,
+)
 from repro.store.virtual import VirtualModel
 from repro.store.wal import WAL_MAGIC, WriteAheadLog, read_wal, truncate_wal
 
@@ -108,6 +123,11 @@ def recover_network(
     network = into if into is not None else SemanticNetwork()
     stats = RecoveryStats()
     checkpoint_dir = os.path.join(directory, CHECKPOINT_NAME)
+    # A crash mid-checkpoint-swap can leave the snapshot under the
+    # well-known .new/.old sibling names instead of checkpoint/ itself;
+    # finish the swap (and sweep staging leftovers) before loading.
+    if os.path.isdir(directory):
+        repair_snapshot(checkpoint_dir)
     if os.path.exists(os.path.join(checkpoint_dir, MANIFEST_NAME)):
         load_network(checkpoint_dir, into=network)
         stats.checkpoint_loaded = True
@@ -196,6 +216,7 @@ class DurableNetwork(SemanticNetwork):
         self.directory = os.path.abspath(directory)
         os.makedirs(self.directory, exist_ok=True)
         self._wal: Optional[WriteAheadLog] = None  # None while recovering
+        self._file_factory = file_factory
         wal_path = os.path.join(self.directory, WAL_NAME)
         _, self.recovery_stats = recover_network(self.directory, into=self)
         if os.path.exists(wal_path) and (
@@ -284,7 +305,9 @@ class DurableNetwork(SemanticNetwork):
         if wal is not None:
             wal.close()
         truncate_wal(path, len(WAL_MAGIC))
-        self._wal = WriteAheadLog(path, fsync=fsync)
+        self._wal = WriteAheadLog(
+            path, fsync=fsync, file_factory=self._file_factory
+        )
 
     def sync(self) -> None:
         """Force buffered WAL records to disk (``fsync='batch'``)."""

@@ -13,6 +13,17 @@ a crash — only ever observes either the complete old snapshot or the
 complete new one, never a half-written directory.  This is the same
 write-temp/fsync/rename protocol the WAL checkpoints of
 :mod:`repro.store.durable` rely on.
+
+Replacing an existing snapshot cannot be a single rename (directories
+do not rename over one another), so the swap goes through two
+*well-known* sibling names — ``<dir>.new`` (the complete new snapshot,
+published before the old one is touched) and ``<dir>.old`` (the parked
+old snapshot).  At every instant at least one of ``<dir>`` /
+``<dir>.new`` / ``<dir>.old`` holds a complete snapshot;
+:func:`repair_snapshot` (run automatically before every save and every
+recovery) finishes an interrupted swap from whichever survived and
+sweeps any leftover staging/parked directories, including pid-keyed
+ones from older versions.
 """
 
 from __future__ import annotations
@@ -21,7 +32,7 @@ import json
 import os
 import shutil
 import tempfile
-from typing import Dict
+from typing import Dict, List, Optional
 
 from repro.rdf.nquads import read_nquads, write_nquads
 from repro.store.network import SemanticNetwork
@@ -90,25 +101,89 @@ def _write_snapshot(network: SemanticNetwork, directory: str) -> Dict[str, int]:
 
 
 def _swap_into_place(staging: str, directory: str) -> None:
-    """Publish ``staging`` as ``directory`` via rename(s).
+    """Publish ``staging`` as ``directory`` via recoverable rename(s).
 
     A fresh save is a single atomic rename.  Replacing an existing
-    snapshot needs the classic two-rename dance (directories cannot be
-    renamed over one another); the old snapshot is parked under a
-    ``.old-*`` name that is cleaned up afterwards — and tolerated as a
-    leftover from an earlier crash.
+    snapshot first publishes the new one under the well-known
+    ``<dir>.new`` name (fsynced), *then* parks the old snapshot as
+    ``<dir>.old`` and renames ``.new`` into place — so a crash between
+    any two steps leaves a complete snapshot under a name
+    :func:`repair_snapshot` knows how to finish from.
     """
     parent = os.path.dirname(directory)
+    repair_snapshot(directory, _keep=staging)
     if os.path.exists(directory):
-        parked = f"{directory}.old-{os.getpid()}"
-        if os.path.exists(parked):
-            shutil.rmtree(parked)
-        os.rename(directory, parked)
-        os.rename(staging, directory)
-        shutil.rmtree(parked, ignore_errors=True)
+        new_dir = directory + ".new"
+        old_dir = directory + ".old"
+        os.rename(staging, new_dir)
+        _fsync_dir(parent)
+        os.rename(directory, old_dir)
+        os.rename(new_dir, directory)
+        shutil.rmtree(old_dir, ignore_errors=True)
     else:
         os.rename(staging, directory)
     _fsync_dir(parent)
+
+
+def repair_snapshot(directory: str, _keep: Optional[str] = None) -> bool:
+    """Finish an interrupted snapshot swap and sweep crash leftovers.
+
+    If ``directory`` has no complete snapshot but a swap sibling does —
+    ``<dir>.new`` (a fully-written replacement that was never renamed
+    into place) or a parked ``<dir>.old``/``<dir>.old-*`` — the
+    survivor is renamed into place.  All remaining ``.new``/``.old*``
+    siblings and ``.tmp-*`` staging leftovers are then removed (a
+    ``.tmp-*`` is never restored: its save was never acknowledged).
+    Returns True when a complete snapshot exists afterwards.
+
+    Idempotent and safe to run before every save and every recovery;
+    ``_keep`` shields the in-progress staging directory of the calling
+    save from the sweep.
+    """
+    directory = os.path.abspath(directory)
+    parent = os.path.dirname(directory)
+    if not _has_manifest(directory):
+        new_dir = directory + ".new"
+        parked = sorted(
+            path for path in _swap_leftovers(directory)
+            if os.path.basename(path).startswith(
+                os.path.basename(directory) + ".old"
+            )
+        )
+        for candidate in [new_dir] + parked:
+            if candidate == _keep or not _has_manifest(candidate):
+                continue
+            if os.path.isdir(directory):
+                shutil.rmtree(directory)
+            os.rename(candidate, directory)
+            _fsync_dir(parent)
+            break
+    for leftover in _swap_leftovers(directory):
+        if leftover != _keep:
+            shutil.rmtree(leftover, ignore_errors=True)
+    return _has_manifest(directory)
+
+
+def _has_manifest(directory: str) -> bool:
+    return os.path.isfile(os.path.join(directory, MANIFEST_NAME))
+
+
+def _swap_leftovers(directory: str) -> List[str]:
+    """Sibling directories left by an interrupted (or legacy) swap."""
+    parent = os.path.dirname(directory)
+    base = os.path.basename(directory)
+    try:
+        names = os.listdir(parent)
+    except OSError:
+        return []
+    prefixes = (base + ".new", base + ".old", base + ".tmp-")
+    return [
+        os.path.join(parent, name)
+        for name in names
+        if name != base
+        and name.startswith(prefixes)
+        and os.path.isdir(os.path.join(parent, name))
+    ]
 
 
 def _fsync_file(path: str) -> None:

@@ -108,6 +108,7 @@ class WriteAheadLog:
             )
         self.path = path
         self.fsync_policy = fsync
+        self._failed = False
         fresh = not os.path.exists(path) or os.path.getsize(path) == 0
         opener = file_factory if file_factory is not None else _default_open
         self._file = opener(path)
@@ -116,6 +117,11 @@ class WriteAheadLog:
             self._file.flush()
             self._fsync()
 
+    @property
+    def failed(self) -> bool:
+        """True once an append/sync failed; the log refuses new appends."""
+        return self._failed
+
     # ------------------------------------------------------------------
 
     def append(self, record: Dict) -> int:
@@ -123,13 +129,30 @@ class WriteAheadLog:
 
         Under the ``"always"`` policy the record is fsynced before the
         call returns — the write-ahead guarantee callers rely on.
+
+        Fail-stop: if a write/flush/fsync ever fails partway (ENOSPC,
+        I/O error), the file may end in a torn frame.  Appending after
+        it would put records *behind* the tear, where :func:`read_wal`
+        — which stops at the first bad frame — silently drops them.  So
+        the first failure poisons the log: the error propagates (the
+        operation is never acknowledged) and every later append raises
+        :class:`WalError` until the store is reopened through recovery.
         """
+        if self._failed:
+            raise WalError(
+                f"{self.path}: log poisoned by an earlier append failure; "
+                "reopen the store (recovery) before writing again"
+            )
         payload = json.dumps(record, separators=(",", ":")).encode("utf-8")
         frame = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
-        self._file.write(frame)
-        self._file.flush()
-        if self.fsync_policy == "always":
-            self._fsync()
+        try:
+            self._file.write(frame)
+            self._file.flush()
+            if self.fsync_policy == "always":
+                self._fsync()
+        except BaseException:
+            self._mark_failed()
+            raise
         if _obs.is_enabled():
             registry = _obs.registry()
             registry.inc("wal.appends")
@@ -138,17 +161,31 @@ class WriteAheadLog:
 
     def sync(self) -> None:
         """Force everything appended so far to stable storage."""
-        self._file.flush()
-        self._fsync()
+        if self._failed:
+            raise WalError(f"{self.path}: log poisoned by an earlier failure")
+        try:
+            self._file.flush()
+            self._fsync()
+        except BaseException:
+            self._mark_failed()
+            raise
 
     def close(self) -> None:
         if self._file is None:
             return
-        self._file.flush()
-        if self.fsync_policy != "none":
-            self._fsync()
-        self._file.close()
-        self._file = None
+        try:
+            if not self._failed:
+                self._file.flush()
+                if self.fsync_policy != "none":
+                    self._fsync()
+        finally:
+            self._file.close()
+            self._file = None
+
+    def _mark_failed(self) -> None:
+        self._failed = True
+        if _obs.is_enabled():
+            _obs.registry().inc("wal.append_failures")
 
     def _fsync(self) -> None:
         if self.fsync_policy == "none":

@@ -177,3 +177,18 @@ class TestServe:
 
         args = build_parser().parse_args(["serve", "x.nq", "--port", "0"])
         assert args.port == 0 and args.data == "x.nq"
+
+    @pytest.mark.parametrize("value", ["0", "-3"])
+    def test_serve_rejects_bad_max_inflight(self, csv_graph, tmp_path, value):
+        edges, kvs = csv_graph
+        data = str(tmp_path / "serve.nq")
+        main(["transform", "--edges", edges, "--kvs", kvs, "-o", data])
+        with pytest.raises(SystemExit, match="max-inflight"):
+            main(["serve", data, "--max-inflight", value])
+
+    def test_serve_rejects_bad_timeout(self, csv_graph, tmp_path):
+        edges, kvs = csv_graph
+        data = str(tmp_path / "serve.nq")
+        main(["transform", "--edges", edges, "--kvs", kvs, "-o", data])
+        with pytest.raises(SystemExit, match="timeout"):
+            main(["serve", data, "--timeout", "0"])

@@ -138,3 +138,58 @@ class TestEngineTimeouts:
         with pytest.raises(QueryTimeout):
             pathological_engine.query(CARTESIAN, timeout=0.2)
         assert metrics.registry().counter("query.timeouts") == 1
+
+
+CARTESIAN_UPDATE = (
+    "INSERT { ?a <http://ex/r> ?f } WHERE { "
+    "?a <http://ex/p> ?b . ?c <http://ex/p> ?d . ?e <http://ex/p> ?f }"
+)
+
+
+class TestUpdateTimeouts:
+    """Updates honour deadlines too — one huge INSERT WHERE must not
+    stall every reader behind the writer-preference lock forever."""
+
+    def test_runaway_update_where_times_out(self, pathological_engine):
+        start = time.perf_counter()
+        with pytest.raises(QueryTimeout) as err:
+            pathological_engine.update(CARTESIAN_UPDATE, timeout=0.3)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 0.6, f"stopped after {elapsed:.3f}s (2x budget)"
+        assert err.value.timeout == 0.3
+        # The aborted operation applied nothing...
+        assert pathological_engine.ask(
+            "ASK { ?a <http://ex/r> ?f }"
+        ) is False
+        # ...and the store (and its locks) stay fully usable.
+        assert pathological_engine.update(
+            "INSERT DATA { <http://ex/new> <http://ex/p> <http://ex/o> }"
+        )["inserted"] == 1
+
+    def test_engine_default_timeout_covers_updates(self, pathological_engine):
+        pathological_engine.timeout = 0.2
+        with pytest.raises(QueryTimeout):
+            pathological_engine.update(CARTESIAN_UPDATE)
+
+    def test_update_lock_wait_times_out(self, pathological_engine):
+        # A reader holding the lock keeps the writer queued; the
+        # update's deadline fires in the queue instead of waiting
+        # unboundedly.
+        lock = pathological_engine.network.lock
+        assert lock.acquire_read()
+        try:
+            start = time.perf_counter()
+            with pytest.raises(QueryTimeout):
+                pathological_engine.update(
+                    "INSERT DATA { <http://ex/a> <http://ex/p> <http://ex/b> }",
+                    timeout=0.2,
+                )
+            assert time.perf_counter() - start < 0.4
+        finally:
+            lock.release_read()
+
+    def test_update_timeout_metric_incremented(self, pathological_engine):
+        metrics.enable()
+        with pytest.raises(QueryTimeout):
+            pathological_engine.update(CARTESIAN_UPDATE, timeout=0.2)
+        assert metrics.registry().counter("query.timeouts") == 1

@@ -218,6 +218,31 @@ class TestTimeouts:
             status, _, body = get(running, f"/sparql?query={encoded}")
             assert status == 200
 
+    CARTESIAN_UPDATE = (
+        "INSERT { ?a <http://ex/r> ?f } WHERE { "
+        "?a <http://ex/p> ?b . ?c <http://ex/p> ?d . ?e <http://ex/p> ?f }"
+    )
+
+    def test_slow_update_gets_503_with_payload(self, slow_engine):
+        with SparqlServer(
+            slow_engine, allow_updates=True, timeout=0.3
+        ) as running:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                post(running, "/update", self.CARTESIAN_UPDATE,
+                     "application/sparql-update")
+            assert err.value.code == 503
+            payload = json.loads(err.value.read().decode("utf-8"))
+            assert payload["error"] == "QueryTimeout"
+            # The aborted update applied nothing and the endpoint
+            # stays usable.
+            status, body = post(
+                running, "/update",
+                "INSERT DATA { <http://ex/n> <http://ex/p> <http://ex/o> }",
+                "application/sparql-update",
+            )
+            assert status == 200
+            assert json.loads(body)["inserted"] == 1
+
 
 class TestInflightGate:
     def test_excess_requests_get_429(self, social_engine):
@@ -260,6 +285,13 @@ class TestInflightGate:
             # Slot released: requests succeed again.
             status, _, _ = get(running, f"/sparql?query={encoded}")
             assert status == 200
+
+    def test_zero_inflight_rejected_not_unlimited(self, social_engine):
+        # max_inflight=0 must be a loud error, not silently "no gate".
+        from repro.server import make_server
+
+        with pytest.raises(ValueError, match="max_inflight"):
+            make_server(social_engine, max_inflight=0)
 
 
 class TestServerLifecycle:

@@ -13,7 +13,7 @@ from repro.rdf import IRI, Literal, Quad
 from repro.store import DurableNetwork, SemanticNetwork, open_durable, recover_network
 from repro.store.durable import CHECKPOINT_NAME, WAL_NAME
 from repro.store.persist import load_network, save_network
-from repro.store.wal import WriteAheadLog
+from repro.store.wal import WalError, WriteAheadLog
 from repro.testing.faults import (
     CrashSchedule,
     SimulatedCrash,
@@ -183,6 +183,84 @@ class TestRecoverBasics:
         assert registry.counter("recovery.runs") == 1
         assert registry.counter("recovery.records_replayed") == 2
         assert registry.counter("recovery.operations_applied") == 2
+
+
+class TestCheckpointCrashWindows:
+    def test_recovery_finishes_interrupted_checkpoint_swap(self, tmp_path):
+        # The high-severity window: a crash between the checkpoint
+        # swap's renames leaves the snapshot only under checkpoint.new.
+        # Recovery must finish the swap, not silently start empty.
+        directory = str(tmp_path / "store")
+        with open_durable(directory) as store:
+            store.create_model("m")
+            store.insert("m", Quad(ex("a"), ex("p"), ex("b")))
+            store.checkpoint()  # WAL reset: the data lives only here
+            store.insert("m", Quad(ex("b"), ex("p"), ex("c")))
+        checkpoint = os.path.join(directory, CHECKPOINT_NAME)
+        os.rename(checkpoint, checkpoint + ".new")
+
+        recovered, stats = recover_network(directory)
+        assert stats.checkpoint_loaded
+        expected = SemanticNetwork()
+        expected.create_model("m")
+        expected.insert("m", Quad(ex("a"), ex("p"), ex("b")))
+        expected.insert("m", Quad(ex("b"), ex("p"), ex("c")))
+        assert state(recovered) == state(expected)
+        # The swap was finished on disk, not just papered over.
+        assert os.path.isdir(checkpoint)
+        assert not os.path.exists(checkpoint + ".new")
+
+    def test_recovery_restores_parked_checkpoint(self, tmp_path):
+        # Crash with the old snapshot parked as checkpoint.old and no
+        # .new published (legacy protocol): fall back to the parked one.
+        directory = str(tmp_path / "store")
+        with open_durable(directory) as store:
+            store.create_model("m")
+            store.insert("m", Quad(ex("a"), ex("p"), ex("b")))
+            store.checkpoint()
+        checkpoint = os.path.join(directory, CHECKPOINT_NAME)
+        os.rename(checkpoint, checkpoint + ".old")
+
+        recovered, stats = recover_network(directory)
+        assert stats.checkpoint_loaded
+        assert state(recovered) == state(expected_after(2))
+
+    def test_file_factory_survives_checkpoint(self, tmp_path):
+        # _reset_wal must reopen the log through the injected factory,
+        # or crash tests spanning a checkpoint stop injecting faults.
+        directory = str(tmp_path / "store")
+        opened = []
+
+        def factory(path):
+            opened.append(path)
+            return open(path, "ab")
+
+        store = DurableNetwork(directory, file_factory=factory)
+        try:
+            store.create_model("m")
+            assert len(opened) == 1
+            store.checkpoint()
+            assert len(opened) == 2
+        finally:
+            store.close()
+
+    def test_poisoned_wal_stops_acknowledging(self, tmp_path):
+        # Once an append fails mid-frame the log refuses further writes
+        # instead of appending records behind the tear (where recovery,
+        # which stops at the first bad frame, would silently drop them).
+        directory = str(tmp_path / "store")
+        store = DurableNetwork(directory, file_factory=torn_file_factory(400))
+        store.create_model("m")
+        with pytest.raises(SimulatedCrash):
+            for i in range(100):
+                store.insert("m", Quad(ex(f"s{i}"), ex("p"), ex("o")))
+        with pytest.raises(WalError):
+            store.insert("m", Quad(ex("late"), ex("p"), ex("o")))
+        # Recovery over the same directory restores exactly the
+        # committed prefix and restores write service.
+        with open_durable(directory) as reopened:
+            assert reopened.recovery_stats.corrupt_records == 0
+            assert reopened.insert("m", Quad(ex("late"), ex("p"), ex("o")))
 
 
 class TestCrashAtEveryOffset:

@@ -6,7 +6,7 @@ import pytest
 
 from repro.rdf import IRI, Literal, Quad
 from repro.store import SemanticNetwork
-from repro.store.persist import load_network, save_network
+from repro.store.persist import load_network, repair_snapshot, save_network
 
 EX = "http://ex/"
 
@@ -139,3 +139,73 @@ class TestAtomicSave:
         target = str(tmp_path / "fresh" / "snap")
         save_network(network, target)
         assert os.path.exists(os.path.join(target, "manifest.json"))
+
+
+class TestInterruptedSwapRepair:
+    """Every crash window of the replace-existing swap is recoverable.
+
+    The swap goes staging -> <dir>.new -> (park old as <dir>.old) ->
+    <dir>; these tests reconstruct the on-disk state a crash leaves at
+    each step and check repair_snapshot finishes from the survivor.
+    """
+
+    def test_published_new_is_finished(self, network, tmp_path):
+        # Crash after parking the old snapshot: only <dir>.new remains —
+        # the window that used to lose the checkpoint entirely.
+        target = str(tmp_path / "snap")
+        save_network(network, target)
+        os.rename(target, target + ".new")
+        assert repair_snapshot(target)
+        assert load_network(target)
+        assert not os.path.exists(target + ".new")
+
+    def test_new_preferred_over_parked_old(self, network, tmp_path):
+        # Crash between parking the old snapshot and the final rename:
+        # both .old and .new are complete; the newer one wins.
+        target = str(tmp_path / "snap")
+        save_network(network, target)
+        os.rename(target, target + ".old")
+        network.insert("kvs", Quad(ex("b"), ex("name"), Literal("B")))
+        save_network(network, target)
+        os.rename(target, target + ".new")
+        assert repair_snapshot(target)
+        restored = load_network(target)
+        assert len(list(restored.quads("kvs"))) == 3
+        assert not os.path.exists(target + ".old")
+        assert not os.path.exists(target + ".new")
+
+    def test_complete_directory_wins_over_leftover_new(self, network, tmp_path):
+        # Crash after publishing .new but before touching the old
+        # snapshot: the old directory is still the committed state.
+        target = str(tmp_path / "snap")
+        save_network(network, target)
+        save_network(network, target + ".new")
+        assert repair_snapshot(target)
+        assert load_network(target)
+        assert not os.path.exists(target + ".new")
+
+    def test_legacy_pid_keyed_old_restored(self, network, tmp_path):
+        # A crash under the old pid-keyed protocol could leave only a
+        # parked .old-<pid> snapshot; repair restores it too.
+        target = str(tmp_path / "snap")
+        save_network(network, target)
+        os.rename(target, f"{target}.old-12345")
+        assert repair_snapshot(target)
+        assert load_network(target)
+        assert not os.path.exists(f"{target}.old-12345")
+
+    def test_save_after_interrupted_swap(self, network, tmp_path):
+        # save_network itself repairs before swapping, so a save right
+        # after a crash both recovers and replaces cleanly.
+        target = str(tmp_path / "snap")
+        save_network(network, target)
+        os.rename(target, target + ".new")
+        save_network(network, target)
+        assert load_network(target)
+        assert os.listdir(str(tmp_path)) == ["snap"]
+
+    def test_repair_without_any_snapshot(self, tmp_path):
+        target = str(tmp_path / "snap")
+        os.makedirs(target + ".tmp-junk")
+        assert repair_snapshot(target) is False
+        assert os.listdir(str(tmp_path)) == []

@@ -235,6 +235,41 @@ class TestFaultInjection:
             assert len(records) == expected, budget
             assert stats.valid_bytes <= max(budget, 0)
 
+    def test_append_failure_poisons_log(self, tmp_path):
+        # A failed append can leave a torn frame mid-file; appending
+        # after it would hide every later record from read_wal (which
+        # stops at the first bad frame).  The log must refuse instead.
+        path = wal_path(tmp_path)
+        log = WriteAheadLog(
+            path, file_factory=torn_file_factory(len(WAL_MAGIC) + 10)
+        )
+        assert not log.failed
+        with pytest.raises(SimulatedCrash):
+            log.append({"n": 1, "pad": "x" * 50})
+        assert log.failed
+        with pytest.raises(WalError):
+            log.append({"n": 2})
+        with pytest.raises(WalError):
+            log.sync()
+        log.close()
+        records, stats = read_wal(path)
+        assert records == []
+        assert stats.torn_bytes == 10
+
+    def test_failed_fsync_poisons_log(self, tmp_path):
+        path = wal_path(tmp_path)
+        with WriteAheadLog(path) as log:
+            log.append({"n": 1})
+        log = WriteAheadLog(
+            path, file_factory=torn_file_factory(10 ** 6, fail_fsync=True)
+        )
+        with pytest.raises(SimulatedCrash):
+            log.append({"n": 2})
+        assert log.failed
+        with pytest.raises(WalError):
+            log.append({"n": 3})
+        log.close()
+
     def test_metrics_counters(self, tmp_path):
         metrics.enable()
         path = wal_path(tmp_path)
