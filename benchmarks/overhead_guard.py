@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Tracing-overhead guard: the disabled tracer must stay (almost) free.
+
+The span tracer promises a strict no-op when disabled — ``span()``
+hands back a shared singleton and the hot paths take the untraced
+branch.  This script makes that promise enforceable: it times the
+Figure 5 node-centric queries (EQ1-EQ4, NG model) with tracing
+disabled and enabled, and compares the disabled-path best-of-N times against
+a recorded baseline.
+
+Usage::
+
+    python benchmarks/overhead_guard.py --record baseline.json
+    python benchmarks/overhead_guard.py --check  baseline.json
+
+``--check`` exits non-zero when the geometric mean of the per-query
+disabled-path best times regressed more than
+``REPRO_OVERHEAD_TOLERANCE`` (default 0.02 = 2%) over the baseline
+(per-query numbers are printed; the mean is the gate because
+independent per-query jitter cancels in it).  The enabled-path numbers are reported for context
+(tracing is *expected* to cost something when on).  CI records and
+checks within one job, so the two runs see identical hardware.
+
+Knobs: ``REPRO_SCALE`` (dataset size, default 24),
+``REPRO_OVERHEAD_ROUNDS`` (timed rounds per query, default 30),
+``REPRO_OVERHEAD_TOLERANCE`` (allowed fractional regression).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+from typing import Dict, Tuple
+
+from repro.bench.harness import build_stores
+from repro.obs import trace as _trace
+
+QUERIES = ("EQ1", "EQ2", "EQ3", "EQ4")
+MODEL = "NG"
+
+
+def _rounds() -> int:
+    return int(os.environ.get("REPRO_OVERHEAD_ROUNDS", "30"))
+
+
+def _tolerance() -> float:
+    return float(os.environ.get("REPRO_OVERHEAD_TOLERANCE", "0.02"))
+
+
+def _measure(store, query: str, rounds: int) -> float:
+    """Best-of-``rounds`` wall time of warm runs.
+
+    The *minimum* is the right statistic for a regression gate at this
+    scale: the best case is reproducible (it is the code path with no
+    scheduler noise on top), while medians of sub-millisecond runs
+    jitter far beyond the 2% tolerance between processes.
+    """
+    store.select(query)  # warm the buffer-cache analogue
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        store.select(query)
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def measure_all() -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Disabled- and enabled-path best times for every Figure 5 query."""
+    rounds = _rounds()
+    ctx = build_stores()
+    store = ctx.stores[MODEL]
+    queries = store.queries.experiment_queries(ctx.tag, ctx.hub_iri)
+    disabled: Dict[str, float] = {}
+    enabled: Dict[str, float] = {}
+    if _trace.is_enabled():
+        raise SystemExit("tracing already enabled; cannot measure baseline")
+    for name in QUERIES:
+        disabled[name] = _measure(store, queries[name], rounds)
+    _trace.enable()
+    try:
+        for name in QUERIES:
+            enabled[name] = _measure(store, queries[name], rounds)
+    finally:
+        _trace.disable()
+    return disabled, enabled
+
+
+def _report(disabled: Dict[str, float], enabled: Dict[str, float]) -> None:
+    print(f"{'query':<6} {'disabled':>12} {'enabled':>12} {'overhead':>9}")
+    for name in QUERIES:
+        off, on = disabled[name], enabled[name]
+        ratio = (on / off - 1.0) if off > 0 else float("inf")
+        print(f"{name:<6} {off * 1e3:>10.3f}ms {on * 1e3:>10.3f}ms "
+              f"{ratio:>+8.1%}")
+
+
+def cmd_record(path: str) -> int:
+    disabled, enabled = measure_all()
+    document = {
+        "scale": int(os.environ.get("REPRO_SCALE", "24")),
+        "rounds": _rounds(),
+        "model": MODEL,
+        "disabled_best_seconds": disabled,
+        "enabled_best_seconds": enabled,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    _report(disabled, enabled)
+    print(f"baseline recorded to {path}")
+    return 0
+
+
+def cmd_check(path: str) -> int:
+    with open(path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    base = baseline["disabled_best_seconds"]
+    tolerance = _tolerance()
+    disabled, enabled = measure_all()
+    _report(disabled, enabled)
+    # Gate on the geometric mean across the queries: per-query best-of-N
+    # still jitters a few percent between processes, but that noise is
+    # independent per query and largely cancels in the mean, while a
+    # real disabled-path regression (a hot-path branch got slower)
+    # shifts every query the same way.
+    ratios = []
+    for name in QUERIES:
+        if name not in base or not base[name]:
+            continue
+        ratio = disabled[name] / base[name]
+        ratios.append(ratio)
+        print(f"{name}: disabled-path vs baseline {ratio - 1.0:+.1%}")
+    if not ratios:
+        print("no comparable baseline entries", file=sys.stderr)
+        return 2
+    geomean = statistics.geometric_mean(ratios)
+    regression = geomean - 1.0
+    print(f"geometric-mean disabled-path regression: {regression:+.2%} "
+          f"(tolerance {tolerance:.1%})")
+    if regression > tolerance:
+        print("overhead guard FAILED: disabled path regressed beyond "
+              "tolerance", file=sys.stderr)
+        return 1
+    print("overhead guard passed: disabled-path timings within tolerance")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--record", metavar="PATH",
+                       help="measure and write a baseline JSON")
+    group.add_argument("--check", metavar="PATH",
+                       help="measure and compare against a baseline JSON")
+    args = parser.parse_args(argv)
+    if args.record:
+        return cmd_record(args.record)
+    return cmd_check(args.check)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -147,8 +147,8 @@ def _cmd_query(args) -> int:
 def _cmd_explain(args) -> int:
     engine = _build_engine(args.data)
     query = _read_query(args)
-    if args.analyze:
-        analysis = engine.explain(query, analyze=True)
+    if args.analyze or args.trace:
+        analysis = engine.explain(query, analyze=True, trace=args.trace)
         for line in analysis.lines:
             print(line)
     else:
@@ -219,6 +219,10 @@ def _cmd_serve(args) -> int:
         from repro.obs import metrics as obs_metrics
 
         obs_metrics.enable()
+    if args.access_log:
+        from repro.obs import configure_json_logging
+
+        configure_json_logging()
     server, port = make_server(
         engine,
         args.host,
@@ -226,6 +230,7 @@ def _cmd_serve(args) -> int:
         allow_updates=args.allow_updates,
         timeout=args.timeout,
         max_inflight=args.max_inflight,
+        trace=args.trace,
     )
     endpoints = f"http://{args.host}:{port}/sparql"
     if args.metrics:
@@ -306,6 +311,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute the query and annotate each step with actual "
         "rows, index scan counts and timings (EXPLAIN ANALYZE)",
     )
+    explain.add_argument(
+        "--trace",
+        action="store_true",
+        help="also record a hierarchical span trace (parse, plan, each "
+        "operator) and print it as an indented tree; implies --analyze",
+    )
     explain.set_defaults(func=_cmd_explain)
 
     stats = sub.add_parser("stats", help="dataset characteristics")
@@ -354,6 +365,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="bound on concurrently executing requests; excess requests "
         "get HTTP 429 instead of queueing",
+    )
+    serve.add_argument(
+        "--trace",
+        action="store_true",
+        help="trace every request (span tree per request, X-Trace-Id "
+        "echo, GET /trace/<id> retrieval)",
+    )
+    serve.add_argument(
+        "--access-log",
+        action="store_true",
+        help="emit one structured JSON access-log line per request on "
+        "stderr (method, path, status, duration, trace id)",
     )
     serve.set_defaults(func=_cmd_serve)
 

@@ -1,18 +1,26 @@
-"""Runtime observability: metrics registry and per-query statistics.
+"""Runtime observability: metrics, per-query statistics, and tracing.
 
 The paper argues from *observed* access plans and runtime behaviour
 (Table 5's plans, the NLJ-to-hash-join switches of Section 4.4); this
 package is the instrumentation that lets the reproduction observe the
 same things: a process-wide :class:`MetricsRegistry` of counters,
-gauges and timers, per-query :class:`QueryStats` built by a
-:class:`QueryCollector`, the :class:`SlowQueryLog`, and the
-:class:`ExplainAnalysis` object behind ``EXPLAIN ANALYZE``.
+gauges and timers (now bounded-memory histograms with p50/p95/p99),
+per-query :class:`QueryStats` built by a :class:`QueryCollector`, the
+:class:`SlowQueryLog`, the :class:`ExplainAnalysis` object behind
+``EXPLAIN ANALYZE``, hierarchical request tracing
+(:mod:`repro.obs.trace`), Prometheus text exposition
+(:mod:`repro.obs.prometheus`) and structured JSON logging
+(:mod:`repro.obs.log`).
 
 Everything is off by default and a true no-op when off — see
-:mod:`repro.obs.metrics` and docs/OBSERVABILITY.md.
+:mod:`repro.obs.metrics`, :mod:`repro.obs.trace` and
+docs/OBSERVABILITY.md.
 """
 
+from repro.obs import trace
+from repro.obs.log import JsonFormatter, access_logger, configure_json_logging
 from repro.obs.metrics import (
+    BUCKET_BOUNDS,
     MetricsRegistry,
     TimerStats,
     collect,
@@ -26,6 +34,7 @@ from repro.obs.metrics import (
     reset,
     snapshot,
 )
+from repro.obs.prometheus import render_prometheus
 from repro.obs.query import (
     ExplainAnalysis,
     OperatorStats,
@@ -34,8 +43,10 @@ from repro.obs.query import (
     SlowQueryLog,
     SlowQueryRecord,
 )
+from repro.obs.trace import Span, Trace, TraceBuffer
 
 __all__ = [
+    "BUCKET_BOUNDS",
     "MetricsRegistry",
     "TimerStats",
     "QueryCollector",
@@ -44,6 +55,14 @@ __all__ = [
     "SlowQueryLog",
     "SlowQueryRecord",
     "ExplainAnalysis",
+    "Span",
+    "Trace",
+    "TraceBuffer",
+    "trace",
+    "JsonFormatter",
+    "access_logger",
+    "configure_json_logging",
+    "render_prometheus",
     "enable",
     "disable",
     "enabled",

@@ -1,0 +1,125 @@
+"""Structured JSON logging, stamped with the active trace context.
+
+Two pieces:
+
+* :class:`JsonFormatter` — a stdlib ``logging.Formatter`` that renders
+  every record as one JSON object per line (timestamp, level, logger,
+  message, any ``extra=`` fields) and stamps it with the current
+  thread's trace/span ids when a trace is active, so log lines and
+  span trees join on ``trace_id``;
+* the HTTP **access log** — the server emits one record per request on
+  the ``repro.server.access`` logger (method, path, status, duration,
+  bytes, client, trace id) instead of `BaseHTTPRequestHandler`'s
+  unstructured stderr spam.  The logger ships with a ``NullHandler``:
+  silent by default (tests stay quiet), one `configure_json_logging`
+  call away from NDJSON on stderr.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+from typing import Optional
+
+from repro.obs import trace as _trace
+
+__all__ = [
+    "ACCESS_LOGGER_NAME",
+    "JsonFormatter",
+    "access_logger",
+    "configure_json_logging",
+]
+
+ACCESS_LOGGER_NAME = "repro.server.access"
+
+#: LogRecord attributes that are plumbing, not user payload — anything
+#: else found on a record (i.e. passed via ``extra=``) is emitted.
+_RESERVED = frozenset(
+    (
+        "args",
+        "asctime",
+        "created",
+        "exc_info",
+        "exc_text",
+        "filename",
+        "funcName",
+        "levelname",
+        "levelno",
+        "lineno",
+        "message",
+        "module",
+        "msecs",
+        "msg",
+        "name",
+        "pathname",
+        "process",
+        "processName",
+        "relativeCreated",
+        "stack_info",
+        "taskName",
+        "thread",
+        "threadName",
+    )
+)
+
+
+class JsonFormatter(logging.Formatter):
+    """Render log records as single-line JSON objects.
+
+    Every record carries ``ts`` (ISO-8601 UTC), ``level``, ``logger``
+    and ``message``; fields passed via ``extra=`` ride along verbatim;
+    and when the emitting thread has an active trace, ``trace_id`` and
+    ``span_id`` are stamped automatically so logs correlate with spans.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        document = {
+            "ts": self._timestamp(record.created),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        trace_id, span_id = _trace.current_ids()
+        if trace_id is not None:
+            document.setdefault("trace_id", trace_id)
+            document.setdefault("span_id", span_id)
+        for key, value in record.__dict__.items():
+            if key in _RESERVED or key.startswith("_"):
+                continue
+            document[key] = value
+        if record.exc_info:
+            document["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(document, default=str)
+
+    @staticmethod
+    def _timestamp(created: float) -> str:
+        base = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(created))
+        return f"{base}.{int((created % 1) * 1000):03d}Z"
+
+
+def access_logger() -> logging.Logger:
+    """The HTTP access logger (``repro.server.access``)."""
+    return logging.getLogger(ACCESS_LOGGER_NAME)
+
+
+def configure_json_logging(
+    logger: Optional[logging.Logger] = None,
+    level: int = logging.INFO,
+    stream=None,
+) -> logging.Handler:
+    """Attach a JSON-formatting stream handler; returns the handler.
+
+    With no arguments this turns the access log into NDJSON on stderr
+    (``python -m repro serve --access-log`` uses exactly this).
+    """
+    target = logger if logger is not None else access_logger()
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonFormatter())
+    target.addHandler(handler)
+    target.setLevel(level)
+    return handler
+
+
+# Silent unless a handler is configured: the server can always emit.
+access_logger().addHandler(logging.NullHandler())

@@ -18,12 +18,15 @@ variants entirely — observability is a true no-op unless switched on.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
+from bisect import bisect_left
 from contextlib import contextmanager
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 __all__ = [
+    "BUCKET_BOUNDS",
     "MetricsRegistry",
     "TimerStats",
     "enable",
@@ -48,34 +51,105 @@ __all__ = [
 ]
 
 
-class TimerStats:
-    """Aggregated observations of one timer (count / total / min / max)."""
+#: Histogram bucket upper bounds: log-spaced (factor 2) from 1 µs.  28
+#: finite buckets reach ~134 s; anything slower lands in the implicit
+#: overflow (``+Inf``) bucket.  Fixed bounds keep every timer at a
+#: constant 29 ints of memory regardless of observation count.
+BUCKET_BOUNDS: Tuple[float, ...] = tuple(1e-6 * (2 ** i) for i in range(28))
 
-    __slots__ = ("count", "total", "min", "max")
+
+class TimerStats:
+    """Bounded-memory latency histogram for one timer.
+
+    Tracks count / total / min / max exactly, plus a fixed array of
+    log-spaced bucket counts (:data:`BUCKET_BOUNDS` + one overflow
+    bucket) from which :meth:`quantile` estimates p50/p95/p99.  The
+    estimate is exact up to bucket granularity: it always lies within
+    the bucket that contains the true quantile (the property the
+    Hypothesis suite checks), i.e. off by at most one bucket boundary.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
 
     def __init__(self):
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        #: Per-bucket observation counts; index len(BUCKET_BOUNDS) is
+        #: the overflow (+Inf) bucket.
+        self.buckets: List[int] = [0] * (len(BUCKET_BOUNDS) + 1)
 
     def observe(self, seconds: float) -> None:
         self.count += 1
         self.total += seconds
         self.min = seconds if self.min is None else min(self.min, seconds)
         self.max = seconds if self.max is None else max(self.max, seconds)
+        self.buckets[bisect_left(BUCKET_BOUNDS, seconds)] += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def to_dict(self) -> Dict[str, float]:
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile (0 < q <= 1) from the buckets.
+
+        Returns the upper bound of the bucket holding the rank-``q``
+        observation, tightened by the exact ``max`` — so the estimate
+        never leaves the true quantile's bucket and never exceeds the
+        largest observation.
+        """
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        for index, bucket_count in enumerate(self.buckets):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if index < len(BUCKET_BOUNDS):
+                    return min(BUCKET_BOUNDS[index], self.max)
+                return self.max
+        return self.max  # unreachable: cumulative == count >= rank
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def bucket_pairs(self) -> List[Tuple[object, int]]:
+        """Non-empty ``(upper_bound_or_"+Inf", count)`` pairs, ascending.
+
+        This is the JSON-safe shape ``to_dict`` embeds and the
+        Prometheus renderer accumulates into cumulative ``le`` series.
+        """
+        pairs: List[Tuple[object, int]] = []
+        for index, bucket_count in enumerate(self.buckets):
+            if not bucket_count:
+                continue
+            if index < len(BUCKET_BOUNDS):
+                pairs.append((BUCKET_BOUNDS[index], bucket_count))
+            else:
+                pairs.append(("+Inf", bucket_count))
+        return pairs
+
+    def to_dict(self) -> Dict[str, object]:
         return {
             "count": self.count,
             "total_seconds": self.total,
             "mean_seconds": self.mean,
             "min_seconds": self.min or 0.0,
             "max_seconds": self.max or 0.0,
+            "p50_seconds": self.p50,
+            "p95_seconds": self.p95,
+            "p99_seconds": self.p99,
+            "buckets": [list(pair) for pair in self.bucket_pairs()],
         }
 
 

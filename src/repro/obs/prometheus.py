@@ -1,0 +1,81 @@
+"""Prometheus text exposition (version 0.0.4) for the metrics registry.
+
+Renders a :meth:`repro.obs.metrics.MetricsRegistry.snapshot` as the
+plain-text format Prometheus scrapes:
+
+* counters  → ``repro_<name>_total``
+* gauges    → ``repro_<name>``
+* timers    → full histograms: cumulative ``_bucket{le="..."}`` series
+  over the log-spaced bounds of :class:`~repro.obs.metrics.TimerStats`,
+  plus ``_sum`` and ``_count``.
+
+Metric names are sanitized (dots become underscores) and prefixed with
+the ``repro_`` namespace.  ``GET /metrics`` content-negotiates between
+the JSON document and this rendering — see :mod:`repro.server`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+__all__ = ["render_prometheus", "CONTENT_TYPE"]
+
+#: The content type Prometheus sends in its Accept header and expects
+#: back (the ``charset`` is appended by the HTTP layer).
+CONTENT_TYPE = "text/plain; version=0.0.4"
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str, namespace: str) -> str:
+    sanitized = _NAME_SANITIZER.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return f"{namespace}_{sanitized}"
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return format(float(value), ".10g")
+
+
+def render_prometheus(snapshot: Dict, namespace: str = "repro") -> str:
+    """Render a registry snapshot in Prometheus text exposition format.
+
+    ``snapshot`` is the JSON-ready dict from
+    :func:`repro.obs.metrics.snapshot` — counters, gauges, and timers
+    whose ``to_dict`` carries the non-empty histogram buckets as
+    ``[[upper_bound_or_"+Inf", count], ...]``.
+    """
+    lines: List[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = _metric_name(name, namespace) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        metric = _metric_name(name, namespace)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, timer in sorted(snapshot.get("timers", {}).items()):
+        metric = _metric_name(name, namespace)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        saw_inf = False
+        for upper_bound, count in timer.get("buckets", ()):
+            cumulative += count
+            if upper_bound == "+Inf":
+                saw_inf = True
+                label = "+Inf"
+            else:
+                label = _format_value(upper_bound)
+            lines.append(f'{metric}_bucket{{le="{label}"}} {cumulative}')
+        if not saw_inf:
+            # Prometheus requires the +Inf bucket even when empty.
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {timer["count"]}')
+        lines.append(f"{metric}_sum {_format_value(timer['total_seconds'])}")
+        lines.append(f"{metric}_count {timer['count']}")
+    return "\n".join(lines) + "\n"

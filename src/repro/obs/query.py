@@ -110,6 +110,9 @@ class QueryStats:
     rows: int
     operators: List[OperatorStats]
     counters: Dict[str, int]
+    #: The span tree of this execution when tracing was on (a
+    #: :class:`repro.obs.trace.Trace`), else None.
+    trace: Optional[object] = None
 
     def counter(self, name: str) -> int:
         return self.counters.get(name, 0)
@@ -130,12 +133,15 @@ class QueryStats:
         )
 
     def to_dict(self) -> Dict:
-        return {
+        document = {
             "wall_seconds": self.wall_seconds,
             "rows": self.rows,
             "operators": [op.to_dict() for op in self.operators],
             "counters": dict(self.counters),
         }
+        if self.trace is not None:
+            document["trace"] = self.trace.to_dict()
+        return document
 
 
 class QueryCollector:
@@ -286,12 +292,20 @@ class ExplainAnalysis:
         return self.stats.operators
 
     @property
+    def trace(self):
+        """The span tree of the analyzed execution, if traced."""
+        return self.stats.trace
+
+    @property
     def lines(self) -> List[str]:
         rendered = [
             op.render(number)
             for number, op in enumerate(self.stats.operators, start=1)
         ]
         rendered.append(f"-- {self.stats.summary()}")
+        if self.stats.trace is not None:
+            rendered.append(f"-- trace {self.stats.trace.trace_id} --")
+            rendered.extend(self.stats.trace.render().splitlines())
         return rendered
 
     def __iter__(self):

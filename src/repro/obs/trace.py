@@ -1,0 +1,405 @@
+"""Hierarchical span tracing: follow one request through every layer.
+
+The metrics registry answers "what has this process been doing" and the
+query collector answers "what did this query do"; neither can answer
+"where did *this request's* 38 ms go".  This module adds the third
+sink: a trace is a tree of **spans** — named, timed regions with
+key/value attributes — rooted at the request (or query) and nested down
+through parse, plan, each executed operator, lock acquisition, WAL
+append and fsync.  Every span carries the trace id, its own span id and
+its parent's, so the tree reconstructs exactly even though spans are
+recorded flat in completion order.
+
+Activation mirrors :mod:`repro.obs.metrics`:
+
+* nothing is traced unless a trace is *active on the current thread* —
+  instrumented code calls :func:`span`, which returns a shared no-op
+  singleton (no allocation at all) when no trace is active;
+* :func:`tracing` opens a trace for a block (the server wraps each HTTP
+  request, the engine wraps a query when ``SparqlEngine(trace=True)``);
+* :func:`enable` flips the process-wide default so engines and servers
+  trace every request without per-call opt-in.
+
+Trace ids are adopted from callers (the ``X-Trace-Id`` HTTP header)
+when syntactically sane, so a trace can span client and server.
+Completed traces can be parked in a bounded :class:`TraceBuffer`
+(``GET /trace/<id>``).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "Span",
+    "Trace",
+    "TraceBuffer",
+    "adopt_trace_id",
+    "current_span",
+    "current_trace",
+    "current_ids",
+    "disable",
+    "enable",
+    "enabled",
+    "is_active",
+    "is_enabled",
+    "new_span_id",
+    "new_trace_id",
+    "span",
+    "tracing",
+]
+
+#: Adopted (externally supplied) trace ids must look like ids, not like
+#: log-injection payloads: hex/uuid-ish, bounded length.
+_VALID_TRACE_ID = re.compile(r"^[0-9A-Za-z-]{1,64}$")
+
+
+def new_trace_id() -> str:
+    return uuid.uuid4().hex
+
+
+def new_span_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+def adopt_trace_id(candidate: Optional[str]) -> str:
+    """A caller-supplied trace id if it is sane, else a fresh one."""
+    if candidate and _VALID_TRACE_ID.match(candidate):
+        return candidate
+    return new_trace_id()
+
+
+class Span:
+    """One named, timed region of a trace.
+
+    ``started_at`` is wall-clock (``time.time``) for display and
+    cross-host correlation; ``duration`` comes from the monotonic
+    ``perf_counter`` so it is immune to clock steps.
+    """
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "started_at",
+        "_start",
+        "duration",
+        "attributes",
+    )
+
+    def __init__(
+        self,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        name: str,
+        attributes: Optional[Dict] = None,
+    ):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.started_at = time.time()
+        self._start = time.perf_counter()
+        #: Seconds; None while the span is still open.
+        self.duration: Optional[float] = None
+        self.attributes: Dict = dict(attributes) if attributes else {}
+
+    def set(self, key: str, value) -> "Span":
+        """Attach one attribute; chainable."""
+        self.attributes[key] = value
+        return self
+
+    def finish(self) -> None:
+        if self.duration is None:
+            self.duration = time.perf_counter() - self._start
+
+    def to_dict(self) -> Dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "started_at": self.started_at,
+            "duration_seconds": self.duration,
+            "attributes": dict(self.attributes),
+        }
+
+    def __repr__(self) -> str:
+        ms = "open" if self.duration is None else f"{self.duration * 1000:.3f}ms"
+        return f"Span({self.name!r}, {ms}, id={self.span_id})"
+
+
+class _NoopSpan:
+    """The shared do-nothing span handed out when tracing is inactive.
+
+    A singleton: calling :func:`span` on an untraced thread allocates
+    nothing, which is what keeps disabled tracing a strict no-op.
+    """
+
+    __slots__ = ()
+
+    def set(self, key: str, value) -> "_NoopSpan":
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Trace:
+    """All spans of one trace id, recorded flat, rendered as a tree.
+
+    Span *append* is lock-protected so helper threads may contribute,
+    but the common case is single-threaded: the thread that opened the
+    trace owns the span stack (which is thread-local anyway).
+    """
+
+    def __init__(self, trace_id: Optional[str] = None):
+        self.trace_id = trace_id or new_trace_id()
+        self.spans: List[Span] = []
+        self._lock = threading.Lock()
+
+    def add(self, span: Span) -> None:
+        with self._lock:
+            self.spans.append(span)
+
+    def finish(self) -> None:
+        """Close any spans left open (e.g. by an exception unwind)."""
+        with self._lock:
+            for span in self.spans:
+                span.finish()
+
+    @property
+    def root(self) -> Optional[Span]:
+        for span in self.spans:
+            if span.parent_id is None:
+                return span
+        return self.spans[0] if self.spans else None
+
+    @property
+    def duration(self) -> float:
+        root = self.root
+        if root is None or root.duration is None:
+            return 0.0
+        return root.duration
+
+    def find(self, name: str) -> List[Span]:
+        """All spans with the given name, in start order."""
+        return [span for span in self.spans if span.name == name]
+
+    def _children(self) -> Dict[Optional[str], List[Span]]:
+        children: Dict[Optional[str], List[Span]] = {}
+        for span in self.spans:
+            children.setdefault(span.parent_id, []).append(span)
+        return children
+
+    def render(self) -> str:
+        """The span tree as indented text (``repro explain --trace``)."""
+        children = self._children()
+        lines: List[str] = []
+
+        def walk(span: Span, depth: int) -> None:
+            duration = (
+                "open"
+                if span.duration is None
+                else f"{span.duration * 1000:.3f}ms"
+            )
+            attributes = " ".join(
+                f"{key}={value}" for key, value in span.attributes.items()
+            )
+            line = f"{'  ' * depth}{span.name}  {duration}"
+            if attributes:
+                line += f"  [{attributes}]"
+            lines.append(line)
+            for child in children.get(span.span_id, ()):
+                walk(child, depth + 1)
+
+        for root in children.get(None, ()):
+            walk(root, 0)
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        return {
+            "trace_id": self.trace_id,
+            "duration_seconds": self.duration,
+            "spans": [span.to_dict() for span in self.spans],
+        }
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __repr__(self) -> str:
+        return f"Trace({self.trace_id}, spans={len(self.spans)})"
+
+
+class TraceBuffer:
+    """A bounded, thread-safe ring of recently completed traces.
+
+    The server parks every finished request trace here so
+    ``GET /trace/<id>`` can serve it; oldest traces fall off the end.
+    """
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._traces: "OrderedDict[str, Trace]" = OrderedDict()
+
+    def add(self, trace: Trace) -> None:
+        with self._lock:
+            self._traces[trace.trace_id] = trace
+            self._traces.move_to_end(trace.trace_id)
+            while len(self._traces) > self.capacity:
+                self._traces.popitem(last=False)
+
+    def get(self, trace_id: str) -> Optional[Trace]:
+        with self._lock:
+            return self._traces.get(trace_id)
+
+    def trace_ids(self) -> List[str]:
+        with self._lock:
+            return list(self._traces)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+
+# ----------------------------------------------------------------------
+# Global flag and thread-local active trace
+# ----------------------------------------------------------------------
+
+_ENABLED = False
+_TLS = threading.local()
+
+
+def enable() -> None:
+    """Trace every request/query process-wide (servers and engines)."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    global _ENABLED
+    _ENABLED = False
+
+
+def is_enabled() -> bool:
+    return _ENABLED
+
+
+@contextmanager
+def enabled():
+    """Temporarily flip the process-wide tracing default on."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = True
+    try:
+        yield
+    finally:
+        _ENABLED = previous
+
+
+def is_active() -> bool:
+    """True when the *current thread* has an open trace."""
+    return getattr(_TLS, "trace", None) is not None
+
+
+def current_trace() -> Optional[Trace]:
+    return getattr(_TLS, "trace", None)
+
+
+def current_span() -> Optional[Span]:
+    stack = getattr(_TLS, "stack", None)
+    return stack[-1] if stack else None
+
+
+def current_ids() -> Tuple[Optional[str], Optional[str]]:
+    """(trace_id, span_id) of the innermost open span, or (None, None)."""
+    span = current_span()
+    if span is None:
+        return None, None
+    return span.trace_id, span.span_id
+
+
+class _SpanContext:
+    """Context manager opening one span under the active trace."""
+
+    __slots__ = ("_trace", "_name", "_attributes", "_span")
+
+    def __init__(self, trace: Trace, name: str, attributes: Dict):
+        self._trace = trace
+        self._name = name
+        self._attributes = attributes
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        parent = current_span()
+        span = Span(
+            self._trace.trace_id,
+            new_span_id(),
+            parent.span_id if parent is not None else None,
+            self._name,
+            self._attributes,
+        )
+        self._trace.add(span)
+        _TLS.stack.append(span)
+        self._span = span
+        return span
+
+    def __exit__(self, *exc_info) -> bool:
+        span = self._span
+        span.finish()
+        stack = _TLS.stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        return False
+
+
+def span(name: str, **attributes):
+    """Open a child span of the active trace — or do nothing.
+
+    On a thread without an active trace this returns the shared no-op
+    singleton: one attribute lookup, zero allocations, so instrumented
+    hot paths stay cost-free when tracing is off.
+    """
+    trace = getattr(_TLS, "trace", None)
+    if trace is None:
+        return NOOP_SPAN
+    return _SpanContext(trace, name, attributes)
+
+
+@contextmanager
+def tracing(name: str, trace_id: Optional[str] = None, **attributes):
+    """Run a block as the root span of a new trace on this thread.
+
+    Yields the :class:`Trace`; on exit all spans are finished and the
+    thread's previous trace context (if any — nesting restores it) is
+    put back.
+    """
+    previous_trace = getattr(_TLS, "trace", None)
+    previous_stack = getattr(_TLS, "stack", None)
+    trace = Trace(trace_id)
+    _TLS.trace = trace
+    _TLS.stack = []
+    try:
+        with span(name, **attributes):
+            yield trace
+    finally:
+        trace.finish()
+        _TLS.trace = previous_trace
+        _TLS.stack = previous_stack if previous_stack is not None else []

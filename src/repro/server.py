@@ -28,13 +28,19 @@ Intended for local use and tests; not hardened for the open internet.
 from __future__ import annotations
 
 import json
+import logging
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
 from urllib.parse import parse_qs, urlparse
 
 from repro.obs import metrics as _obs
+from repro.obs import trace as _trace
+from repro.obs.log import access_logger
+from repro.obs.prometheus import CONTENT_TYPE as _PROMETHEUS_TYPE
+from repro.obs.prometheus import render_prometheus
 from repro.sparql import QueryTimeout, SparqlEngine, SparqlError
 from repro.sparql.results import SelectResult
 from repro.sparql.serialize import ask_to_json, to_csv, to_json
@@ -87,8 +93,36 @@ class InflightGate:
         self._semaphore.release()
 
 
+class RequestCounter:
+    """Counts requests currently being handled (the /healthz number).
+
+    Unlike the optional :class:`InflightGate`, this counter always
+    exists and covers *every* request, including the observability
+    endpoints the gate never sees.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def __enter__(self) -> "RequestCounter":
+        with self._lock:
+            self._count += 1
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        with self._lock:
+            self._count -= 1
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._count
+
+
 class SparqlRequestHandler(BaseHTTPRequestHandler):
-    """Handles /sparql (query) and /update (update) requests."""
+    """Handles /sparql (query) and /update (update) requests, plus the
+    observability endpoints /metrics, /healthz and /trace/<id>."""
 
     engine: SparqlEngine = None  # injected by make_server
     allow_updates: bool = False
@@ -100,15 +134,106 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
     max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
     #: Optional InflightGate bounding concurrent requests (429 beyond).
     gate: Optional[InflightGate] = None
+    #: When True every request runs under a span trace (also triggered
+    #: by the process-wide ``repro.obs.trace.enable()`` flag).
+    trace_requests: bool = False
+    #: Ring buffer of recently completed request traces (/trace/<id>);
+    #: None disables the endpoint.
+    traces: Optional[_trace.TraceBuffer] = None
+    #: Always-on in-flight counter (reported by /healthz).
+    inflight: RequestCounter = RequestCounter()
 
-    # Silence per-request logging in tests.
+    # Route the stdlib handler's own messages (errors, ...) to the
+    # access logger instead of stderr; silent unless configured.
     def log_message(self, format, *args):  # noqa: A002
-        pass
+        access_logger().debug(format % args)
 
     def do_GET(self):  # noqa: N802
+        self._handle("GET", self._do_get)
+
+    def do_POST(self):  # noqa: N802
+        self._handle("POST", self._do_post)
+
+    def do_PUT(self):  # noqa: N802
+        self._handle("PUT", self._method_not_allowed)
+
+    def do_DELETE(self):  # noqa: N802
+        self._handle("DELETE", self._method_not_allowed)
+
+    def do_PATCH(self):  # noqa: N802
+        self._handle("PATCH", self._method_not_allowed)
+
+    # ------------------------------------------------------------------
+    # Request lifecycle: counting, tracing, access logging
+    # ------------------------------------------------------------------
+
+    def _handle(self, method: str, inner) -> None:
+        """Run one request: count it, trace it, access-log it."""
+        started = time.perf_counter()
+        self._last_status: Optional[int] = None
+        self._sent_bytes = 0
+        incoming = self.headers.get("X-Trace-Id")
+        tracing_on = self.trace_requests or _trace.is_enabled()
+        # The trace id is echoed back whenever one exists: generated
+        # when tracing, adopted (after validation) when the client sent
+        # one — even an untraced server keeps the correlation header.
+        self._trace_id = (
+            _trace.adopt_trace_id(incoming)
+            if (tracing_on or incoming)
+            else None
+        )
+        with self.inflight:
+            if tracing_on:
+                with _trace.tracing(
+                    "request",
+                    trace_id=self._trace_id,
+                    method=method,
+                    path=urlparse(self.path).path,
+                ) as request_trace:
+                    # Parked up front (spans keep appending in place):
+                    # a client that has read the response must never
+                    # see its own id 404 on GET /trace/<id>, which an
+                    # add-after-completion would allow, since the
+                    # response bytes go out before this frame unwinds.
+                    if self.traces is not None:
+                        self.traces.add(request_trace)
+                    inner()
+            else:
+                inner()
+        self._log_access(method, started)
+
+    def _log_access(self, method: str, started: float) -> None:
+        logger = access_logger()
+        if not logger.isEnabledFor(logging.INFO):
+            return
+        extra = {
+            "method": method,
+            "path": self.path,
+            "status": self._last_status,
+            "duration_ms": round((time.perf_counter() - started) * 1000, 3),
+            "bytes": self._sent_bytes,
+            "client": self.client_address[0],
+        }
+        if self._trace_id is not None:
+            extra["trace_id"] = self._trace_id
+        logger.info(
+            "%s %s %s", method, self.path, self._last_status, extra=extra
+        )
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def _do_get(self) -> None:
         parsed = urlparse(self.path)
         if parsed.path == "/metrics":
             self._send_metrics()
+            return
+        if parsed.path == "/healthz":
+            self._send_healthz()
+            return
+        if parsed.path.startswith("/trace/"):
+            self._send_trace(parsed.path[len("/trace/"):])
             return
         if parsed.path != "/sparql":
             self._send_error(404, "not found")
@@ -120,7 +245,7 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
             return
         self._gated(self._run_query, query)
 
-    def do_POST(self):  # noqa: N802
+    def _do_post(self) -> None:
         parsed = urlparse(self.path)
         try:
             body = self._read_body()
@@ -152,15 +277,6 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
         else:
             self._send_error(404, "not found")
 
-    def do_PUT(self):  # noqa: N802
-        self._method_not_allowed()
-
-    def do_DELETE(self):  # noqa: N802
-        self._method_not_allowed()
-
-    def do_PATCH(self):  # noqa: N802
-        self._method_not_allowed()
-
     # ------------------------------------------------------------------
 
     def _method_not_allowed(self) -> None:
@@ -171,6 +287,8 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(payload)))
         self.end_headers()
         self.wfile.write(payload)
+        self._last_status = 405
+        self._sent_bytes = len(payload)
 
     def _read_body(self) -> str:
         raw_length = self.headers.get("Content-Length", "0")
@@ -267,26 +385,58 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
         )
 
     def _send_metrics(self) -> None:
-        """JSON dump of the metrics registry and the slow-query log."""
-        from repro.obs import metrics as obs_metrics
-
+        """The metrics registry: JSON by default, Prometheus text
+        exposition when the Accept header asks for it."""
+        accept = self.headers.get("Accept", "")
+        if "text/plain" in accept or "openmetrics" in accept:
+            self._send(200, _PROMETHEUS_TYPE, render_prometheus(_obs.snapshot()))
+            return
         document = {
-            "enabled": obs_metrics.is_enabled(),
+            "enabled": _obs.is_enabled(),
             "slow_queries": [
                 entry.to_dict()
                 for entry in self.engine.slow_queries.entries
             ],
         }
-        document.update(obs_metrics.snapshot())
+        document.update(_obs.snapshot())
         self._send(200, "application/json", json.dumps(document))
+
+    def _send_healthz(self) -> None:
+        """Load-balancer readiness: 503 once the WAL is poisoned."""
+        wal_failed = bool(getattr(self.engine.network, "wal_failed", False))
+        document = {
+            "status": "failed" if wal_failed else "ok",
+            "inflight": self.inflight.value,
+            "wal_failed": wal_failed,
+        }
+        self._send(
+            503 if wal_failed else 200,
+            "application/json",
+            json.dumps(document),
+        )
+
+    def _send_trace(self, trace_id: str) -> None:
+        """One recently completed request trace as JSON (404 unknown)."""
+        if self.traces is None:
+            self._send_error(404, "tracing is not enabled on this server")
+            return
+        found = self.traces.get(trace_id)
+        if found is None:
+            self._send_error(404, f"no recent trace with id {trace_id!r}")
+            return
+        self._send(200, "application/json", json.dumps(found.to_dict()))
 
     def _send(self, status: int, content_type: str, body: str) -> None:
         payload = body.encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", content_type + "; charset=utf-8")
         self.send_header("Content-Length", str(len(payload)))
+        if getattr(self, "_trace_id", None) is not None:
+            self.send_header("X-Trace-Id", self._trace_id)
         self.end_headers()
         self.wfile.write(payload)
+        self._last_status = status
+        self._sent_bytes = len(payload)
 
     def _send_error(self, status: int, message: str) -> None:
         self._send(status, "application/json", json.dumps({"error": message}))
@@ -300,12 +450,16 @@ def make_server(
     timeout: Optional[float] = None,
     max_inflight: Optional[int] = None,
     max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    trace: bool = False,
+    trace_buffer_capacity: int = 128,
 ) -> Tuple[ThreadingHTTPServer, int]:
     """Build (but don't start) the HTTP server; returns (server, port).
 
     ``timeout`` is the per-request query deadline in seconds (503 on
     expiry); ``max_inflight`` bounds concurrently executing requests
-    (429 beyond); ``max_body_bytes`` caps POST bodies (413 beyond).
+    (429 beyond); ``max_body_bytes`` caps POST bodies (413 beyond);
+    ``trace=True`` runs every request under a span trace, keeping the
+    last ``trace_buffer_capacity`` trees for ``GET /trace/<id>``.
     """
     handler = type(
         "BoundSparqlHandler",
@@ -322,6 +476,12 @@ def make_server(
                 if max_inflight is not None
                 else None
             ),
+            "trace_requests": trace,
+            # The buffer exists even when `trace` is False so traces
+            # driven by the process-wide repro.obs.trace.enable() flag
+            # are also retrievable.
+            "traces": _trace.TraceBuffer(trace_buffer_capacity),
+            "inflight": RequestCounter(),
         },
     )
     server = ThreadingHTTPServer((host, port), handler)
@@ -344,6 +504,8 @@ class SparqlServer:
         timeout: Optional[float] = None,
         max_inflight: Optional[int] = None,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        trace: bool = False,
+        trace_buffer_capacity: int = 128,
     ):
         self._server, self.port = make_server(
             engine,
@@ -353,6 +515,8 @@ class SparqlServer:
             timeout=timeout,
             max_inflight=max_inflight,
             max_body_bytes=max_body_bytes,
+            trace=trace,
+            trace_buffer_capacity=trace_buffer_capacity,
         )
         self._thread: Optional[threading.Thread] = None
 

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 
 from repro.obs import ExplainAnalysis, QueryCollector, SlowQueryLog
 from repro.obs import metrics as _obs
+from repro.obs import trace as _trace
 from repro.rdf.quad import Triple
 from repro.sparql.ast import (
     AskQuery,
@@ -60,6 +61,7 @@ class SparqlEngine:
         collect_stats: bool = False,
         slow_query_seconds: Optional[float] = None,
         timeout: Optional[float] = None,
+        trace: bool = False,
     ):
         if default_graph_semantics not in ("union", "strict"):
             raise ValueError(
@@ -85,6 +87,13 @@ class SparqlEngine:
         #: disables deadline checks entirely (the evaluator's fast
         #: path).  Individual calls may override via ``timeout=``.
         self.timeout = timeout
+        #: When True, every query runs under a span trace whose tree is
+        #: attached as ``result.stats.trace``.  The process-wide
+        #: ``repro.obs.trace.enable()`` flag has the same effect; when a
+        #: caller (e.g. the HTTP server) already opened a trace on this
+        #: thread, the engine nests its spans under it instead of
+        #: starting a second one.
+        self.trace = trace
 
     # ------------------------------------------------------------------
     # Query API
@@ -100,9 +109,17 @@ class SparqlEngine:
         timeout: Optional[float] = None,
     ):
         """Parse and run any query form (SELECT / ASK / CONSTRUCT)."""
-        return self.run_ast(
-            self._parse_query(text), model, text=text, timeout=timeout
-        )
+        if self._trace_wanted():
+            with _trace.tracing("query"):
+                return self._parse_and_run(text, model, timeout)
+        return self._parse_and_run(text, model, timeout)
+
+    def _parse_and_run(
+        self, text: str, model: Optional[str], timeout: Optional[float]
+    ):
+        with _trace.span("parse"):
+            ast = self._parse_query(text)
+        return self.run_ast(ast, model, text=text, timeout=timeout)
 
     def select(self, text: str, model: Optional[str] = None) -> SelectResult:
         result = self.query(text, model)
@@ -130,6 +147,19 @@ class SparqlEngine:
         text: Optional[str] = None,
         timeout: Optional[float] = None,
     ):
+        if self._trace_wanted():
+            with _trace.tracing("query"):
+                return self._run_ast(ast, model, collector, text, timeout)
+        return self._run_ast(ast, model, collector, text, timeout)
+
+    def _run_ast(
+        self,
+        ast,
+        model: Optional[str],
+        collector: Optional[QueryCollector],
+        text: Optional[str],
+        timeout: Optional[float],
+    ):
         limit = self.timeout if timeout is None else timeout
         deadline = deadline_for(limit)
         try:
@@ -150,7 +180,10 @@ class SparqlEngine:
         text: Optional[str],
         deadline: Optional[Deadline],
     ):
-        if collector is None and self.collect_stats:
+        traced = _trace.is_active()
+        if collector is None and (self.collect_stats or traced):
+            # A trace implies a collector: the span tree rides back to
+            # the caller on ``result.stats``.
             collector = QueryCollector()
         observing = (
             collector is not None
@@ -163,9 +196,9 @@ class SparqlEngine:
         start = time.perf_counter()
         if collector is not None:
             with _obs.collect(collector):
-                result = self._dispatch(evaluator, ast)
+                result = self._dispatch_traced(evaluator, ast, traced)
         else:
-            result = self._dispatch(evaluator, ast)
+            result = self._dispatch_traced(evaluator, ast, traced)
         elapsed = time.perf_counter() - start
         rows = _result_rows(result)
         if _obs.is_enabled():
@@ -180,7 +213,15 @@ class SparqlEngine:
                 _obs.registry().inc("query.slow")
         if collector is not None and isinstance(result, SelectResult):
             result.stats = collector.finish(elapsed, rows)
+            if traced:
+                result.stats.trace = _trace.current_trace()
         return result
+
+    def _dispatch_traced(self, evaluator: Evaluator, ast, traced: bool):
+        if not traced:
+            return self._dispatch(evaluator, ast)
+        with _trace.span("execute", form=type(ast).__name__):
+            return self._dispatch(evaluator, ast)
 
     @contextmanager
     def _read_locked(self, deadline: Optional[Deadline]):
@@ -233,10 +274,22 @@ class SparqlEngine:
         operation starts *applying* its changes it runs to completion —
         aborting mid-apply would expose a partial update.
         """
+        if self._trace_wanted():
+            with _trace.tracing("update"):
+                return self._update(text, model, timeout)
+        return self._update(text, model, timeout)
+
+    def _update(
+        self,
+        text: str,
+        model: Optional[str],
+        timeout: Optional[float],
+    ) -> Dict[str, int]:
         limit = self.timeout if timeout is None else timeout
         deadline = deadline_for(limit)
-        with self._parser_lock:
-            request = self._parser.parse_update(text)
+        with _trace.span("parse"):
+            with self._parser_lock:
+                request = self._parser.parse_update(text)
         executor = UpdateExecutor(
             self.network,
             self._model_name(model),
@@ -248,7 +301,8 @@ class SparqlEngine:
                 # Updates are serialized and exclusive: concurrent
                 # readers see either none or all of one request's
                 # effects.
-                return executor.execute(request)
+                with _trace.span("execute", form="update"):
+                    return executor.execute(request)
         except QueryTimeout:
             if _obs.is_enabled():
                 _obs.registry().inc("query.timeouts")
@@ -285,6 +339,7 @@ class SparqlEngine:
         text: str,
         model: Optional[str] = None,
         analyze: bool = False,
+        trace: bool = False,
     ):
         """Access-plan description for the query's BGPs (Table 5 style).
 
@@ -297,7 +352,7 @@ class SparqlEngine:
         time next to the planner's estimates (EXPLAIN ANALYZE).
         """
         if analyze:
-            return self.explain_analyze(text, model)
+            return self.explain_analyze(text, model, trace=trace)
         ast = self._parse_query(text)
         if not isinstance(ast, (SelectQuery, AskQuery, ConstructQuery)):
             raise EvaluationError("cannot explain this form")
@@ -361,20 +416,51 @@ class SparqlEngine:
         return lines
 
     def explain_analyze(
-        self, text: str, model: Optional[str] = None
+        self,
+        text: str,
+        model: Optional[str] = None,
+        trace: bool = False,
     ) -> ExplainAnalysis:
-        """Execute the query and report per-operator actuals."""
-        ast = self._parse_query(text)
+        """Execute the query and report per-operator actuals.
+
+        With ``trace=True`` (or tracing enabled/already active) the
+        analysis also carries the span tree: ``analysis.trace`` and an
+        indented rendering appended to ``analysis.lines``.
+        """
+        if (trace or self._trace_wanted()) and not _trace.is_active():
+            with _trace.tracing("query") as span_tree:
+                analysis = self._explain_analyze(text, model)
+            analysis.stats.trace = span_tree
+            return analysis
+        return self._explain_analyze(text, model)
+
+    def _explain_analyze(
+        self, text: str, model: Optional[str]
+    ) -> ExplainAnalysis:
+        with _trace.span("parse"):
+            ast = self._parse_query(text)
         collector = QueryCollector()
         start = time.perf_counter()
         result = self.run_ast(ast, model, collector=collector, text=text)
         elapsed = time.perf_counter() - start
         stats = collector.finish(elapsed, _result_rows(result))
+        if _trace.is_active():
+            stats.trace = _trace.current_trace()
         return ExplainAnalysis(stats, result)
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _trace_wanted(self) -> bool:
+        """Should this call open a *new* trace on the current thread?
+
+        True when tracing is requested (engine flag or process-wide
+        default) and no trace is already active — a caller-owned trace
+        (e.g. the HTTP server's per-request trace) is joined, not
+        shadowed.
+        """
+        return (self.trace or _trace.is_enabled()) and not _trace.is_active()
 
     def _parse_query(self, text: str):
         with self._parser_lock:

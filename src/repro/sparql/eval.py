@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.obs import metrics as _obs
+from repro.obs import trace as _trace
 from repro.rdf.quad import Triple
 from repro.rdf.terms import IRI, Literal, Term
 from repro.sparql import functions as F
@@ -449,6 +450,20 @@ class Evaluator:
         return Relation(element.variables, rows)
 
     def _apply_filter(self, expression: Expression, relation: Relation) -> Relation:
+        if _trace.is_active():
+            with _trace.span(
+                "op.filter",
+                detail=render_expr(expression),
+                rows_in=len(relation.rows),
+            ) as op_span:
+                result = self._apply_filter_inner(expression, relation)
+                op_span.set("rows_out", len(result.rows))
+            return result
+        return self._apply_filter_inner(expression, relation)
+
+    def _apply_filter_inner(
+        self, expression: Expression, relation: Relation
+    ) -> Relation:
         collector = self._collector
         if collector is not None:
             collector.begin_operator(
@@ -505,9 +520,15 @@ class Evaluator:
         if pending is not None:
             relation = self._seed_constant_filters(pending, relation)
         if plain:
-            ordered = order_patterns(
-                plain, self._model, graph, set(relation.variables)
-            )
+            if _trace.is_active():
+                with _trace.span("plan", patterns=len(plain)):
+                    ordered = order_patterns(
+                        plain, self._model, graph, set(relation.variables)
+                    )
+            else:
+                ordered = order_patterns(
+                    plain, self._model, graph, set(relation.variables)
+                )
             for encoded in ordered:
                 relation = self._pattern_step(encoded, graph, relation)
                 if pending is not None:
@@ -567,13 +588,28 @@ class Evaluator:
             )
         if _obs.is_active():
             _obs.record_join(executed)
-        if executed == "NLJ":
-            result = self._nested_loop_step(pattern, graph, relation)
-        else:  # hash join or cartesian: one standalone scan, then join
-            result = join(
+
+        def run_step() -> Relation:
+            if executed == "NLJ":
+                return self._nested_loop_step(pattern, graph, relation)
+            # hash join or cartesian: one standalone scan, then join
+            return join(
                 relation, self._scan_to_relation(pattern, graph),
                 tick=self._tick,
             )
+
+        if _trace.is_active():
+            with _trace.span(
+                "op.pattern",
+                detail=self._render_encoded(pattern),
+                join=executed,
+                estimate=estimate,
+                rows_in=len(relation.rows),
+            ) as op_span:
+                result = run_step()
+                op_span.set("rows_out", len(result.rows))
+        else:
+            result = run_step()
         if collector is not None:
             collector.end_operator(rows_out=len(result.rows))
         return result
@@ -734,7 +770,16 @@ class Evaluator:
                 join_method="path",
                 rows_in=len(relation.rows),
             )
-        result = self._path_step_inner(pattern, graph, relation)
+        if _trace.is_active():
+            with _trace.span(
+                "op.path",
+                detail=render_triple(pattern),
+                rows_in=len(relation.rows),
+            ) as op_span:
+                result = self._path_step_inner(pattern, graph, relation)
+                op_span.set("rows_out", len(result.rows))
+        else:
+            result = self._path_step_inner(pattern, graph, relation)
         if collector is not None:
             collector.end_operator(rows_out=len(result.rows))
         return result

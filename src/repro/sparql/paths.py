@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, Optional, Set, Tuple
 
 from repro.obs import metrics as _obs
+from repro.obs import trace as _trace
 from repro.sparql.ast import (
     Path,
     PathAlternative,
@@ -254,6 +255,18 @@ class PathEvaluator:
         return self._closure(first, inner, graph, forward)
 
     def _closure(
+        self, seeds: Set[int], inner: Path, graph: GraphId, forward: bool
+    ) -> Set[int]:
+        if _trace.is_active():
+            with _trace.span(
+                "path.closure", seeds=len(seeds), forward=forward
+            ) as closure_span:
+                visited = self._closure_inner(seeds, inner, graph, forward)
+                closure_span.set("visited", len(visited))
+            return visited
+        return self._closure_inner(seeds, inner, graph, forward)
+
+    def _closure_inner(
         self, seeds: Set[int], inner: Path, graph: GraphId, forward: bool
     ) -> Set[int]:
         visited = set(seeds)

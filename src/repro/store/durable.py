@@ -45,6 +45,7 @@ import os
 from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.obs import metrics as _obs
+from repro.obs import trace as _trace
 from repro.rdf.quad import Quad
 from repro.rdf.terms import Term
 from repro.store import wal as _wal
@@ -106,6 +107,11 @@ class RecoveryStats:
         registry.inc("recovery.corrupt_records", self.corrupt_records)
         if self.checkpoint_loaded:
             registry.inc("recovery.checkpoints_loaded")
+        # Gauges carry the *last* recovery's outcome (counters above
+        # accumulate across runs) — what ``/metrics`` scrapers alert on.
+        registry.set_gauge("wal.failed", 0)
+        registry.set_gauge("wal.replayed_records", self.wal_records)
+        registry.set_gauge("wal.truncated_bytes", self.torn_bytes)
 
     def __repr__(self) -> str:
         return f"RecoveryStats({self.to_dict()})"
@@ -122,6 +128,15 @@ def recover_network(
     """
     network = into if into is not None else SemanticNetwork()
     stats = RecoveryStats()
+    with _trace.span("store.recover", directory=directory):
+        _recover_into(directory, network, stats)
+    stats.publish()
+    return network, stats
+
+
+def _recover_into(
+    directory: str, network: SemanticNetwork, stats: RecoveryStats
+) -> None:
     checkpoint_dir = os.path.join(directory, CHECKPOINT_NAME)
     # A crash mid-checkpoint-swap can leave the snapshot under the
     # well-known .new/.old sibling names instead of checkpoint/ itself;
@@ -148,8 +163,6 @@ def recover_network(
                 stats.applied += 1
             else:
                 stats.skipped += 1
-    stats.publish()
-    return network, stats
 
 
 def _apply_record(network: SemanticNetwork, record: Dict) -> bool:
@@ -289,11 +302,12 @@ class DurableNetwork(SemanticNetwork):
         consistent cut and no append can slip between the snapshot and
         the log reset.
         """
-        with self.lock.write_locked():
-            counts = save_network(
-                self, os.path.join(self.directory, CHECKPOINT_NAME)
-            )
-            self._reset_wal()
+        with _trace.span("store.checkpoint"):
+            with self.lock.write_locked():
+                counts = save_network(
+                    self, os.path.join(self.directory, CHECKPOINT_NAME)
+                )
+                self._reset_wal()
         if _obs.is_enabled():
             _obs.registry().inc("wal.checkpoints")
         return counts
@@ -327,9 +341,15 @@ class DurableNetwork(SemanticNetwork):
 
     # ------------------------------------------------------------------
 
+    @property
+    def wal_failed(self) -> bool:
+        """True once the WAL is poisoned (``/healthz`` turns 503)."""
+        return self._wal is not None and self._wal.failed
+
     def _log(self, record: Dict) -> None:
         if self._wal is not None:
-            self._wal.append(record)
+            with _trace.span("store.log", op=record.get("op")):
+                self._wal.append(record)
 
 
 def open_durable(

@@ -22,6 +22,8 @@ import time
 from contextlib import contextmanager
 from typing import Optional
 
+from repro.obs import trace as _trace
+
 
 class LockTimeout(Exception):
     """Raised by the ``*_locked`` context managers when the lock cannot
@@ -49,6 +51,16 @@ class RWLock:
     # -- shared (read) side --------------------------------------------
 
     def acquire_read(self, timeout: Optional[float] = None) -> bool:
+        if _trace.is_active():
+            started = _now()
+            with _trace.span("lock.read.acquire") as lock_span:
+                acquired = self._acquire_read(timeout)
+                lock_span.set("wait_seconds", _now() - started)
+                lock_span.set("acquired", acquired)
+            return acquired
+        return self._acquire_read(timeout)
+
+    def _acquire_read(self, timeout: Optional[float]) -> bool:
         deadline = None if timeout is None else _now() + timeout
         with self._cond:
             while self._writer_active or self._writers_waiting:
@@ -68,6 +80,16 @@ class RWLock:
     # -- exclusive (write) side ----------------------------------------
 
     def acquire_write(self, timeout: Optional[float] = None) -> bool:
+        if _trace.is_active():
+            started = _now()
+            with _trace.span("lock.write.acquire") as lock_span:
+                acquired = self._acquire_write(timeout)
+                lock_span.set("wait_seconds", _now() - started)
+                lock_span.set("acquired", acquired)
+            return acquired
+        return self._acquire_write(timeout)
+
+    def _acquire_write(self, timeout: Optional[float]) -> bool:
         deadline = None if timeout is None else _now() + timeout
         with self._cond:
             self._writers_waiting += 1

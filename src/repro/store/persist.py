@@ -34,6 +34,7 @@ import shutil
 import tempfile
 from typing import Dict, List, Optional
 
+from repro.obs import trace as _trace
 from repro.rdf.nquads import read_nquads, write_nquads
 from repro.store.network import SemanticNetwork
 
@@ -47,6 +48,11 @@ def save_network(network: SemanticNetwork, directory: str) -> Dict[str, int]:
     manifest only — they are views.  On any failure the target
     directory is left exactly as it was.
     """
+    with _trace.span("snapshot.save", directory=directory):
+        return _save_network(network, directory)
+
+
+def _save_network(network: SemanticNetwork, directory: str) -> Dict[str, int]:
     directory = os.path.abspath(directory)
     parent = os.path.dirname(directory)
     os.makedirs(parent, exist_ok=True)
@@ -217,19 +223,20 @@ def load_network(
     instead of a fresh one — recovery uses this to hydrate a
     :class:`~repro.store.durable.DurableNetwork` in place.
     """
-    manifest_path = os.path.join(directory, MANIFEST_NAME)
-    with open(manifest_path, "r", encoding="utf-8") as handle:
-        manifest = json.load(handle)
-    network = into if into is not None else SemanticNetwork()
-    for entry in manifest["models"]:
-        network.create_model(entry["name"], entry["indexes"])
-        network.bulk_load(
-            entry["name"],
-            read_nquads(os.path.join(directory, entry["file"])),
-        )
-    for entry in manifest.get("virtual_models", []):
-        network.create_virtual_model(
-            entry["name"], entry["members"],
-            union_all=entry.get("union_all", False),
-        )
-    return network
+    with _trace.span("snapshot.load", directory=directory):
+        manifest_path = os.path.join(directory, MANIFEST_NAME)
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        network = into if into is not None else SemanticNetwork()
+        for entry in manifest["models"]:
+            network.create_model(entry["name"], entry["indexes"])
+            network.bulk_load(
+                entry["name"],
+                read_nquads(os.path.join(directory, entry["file"])),
+            )
+        for entry in manifest.get("virtual_models", []):
+            network.create_virtual_model(
+                entry["name"], entry["members"],
+                union_all=entry.get("union_all", False),
+            )
+        return network

@@ -30,10 +30,12 @@ from __future__ import annotations
 import json
 import os
 import struct
+import time
 import zlib
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.obs import metrics as _obs
+from repro.obs import trace as _trace
 from repro.rdf.nquads import parse_nquads, serialize_nquads
 from repro.rdf.quad import Quad
 from repro.rdf.terms import Term
@@ -116,6 +118,8 @@ class WriteAheadLog:
             self._file.write(WAL_MAGIC)
             self._file.flush()
             self._fsync()
+        # A freshly opened log is healthy until proven otherwise.
+        _obs.set_gauge("wal.failed", 0)
 
     @property
     def failed(self) -> bool:
@@ -145,14 +149,15 @@ class WriteAheadLog:
             )
         payload = json.dumps(record, separators=(",", ":")).encode("utf-8")
         frame = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
-        try:
-            self._file.write(frame)
-            self._file.flush()
-            if self.fsync_policy == "always":
-                self._fsync()
-        except BaseException:
-            self._mark_failed()
-            raise
+        with _trace.span("wal.append", bytes=len(frame), op=record.get("op")):
+            try:
+                self._file.write(frame)
+                self._file.flush()
+                if self.fsync_policy == "always":
+                    self._fsync()
+            except BaseException:
+                self._mark_failed()
+                raise
         if _obs.is_enabled():
             registry = _obs.registry()
             registry.inc("wal.appends")
@@ -184,15 +189,26 @@ class WriteAheadLog:
 
     def _mark_failed(self) -> None:
         self._failed = True
+        # Poisoning is a state, not just an event: the gauge keeps
+        # ``/metrics`` (and ``/healthz``) showing the failure until the
+        # store is reopened through recovery.
+        _obs.set_gauge("wal.failed", 1)
         if _obs.is_enabled():
             _obs.registry().inc("wal.append_failures")
 
     def _fsync(self) -> None:
         if self.fsync_policy == "none":
             return
-        os.fsync(self._file.fileno())
         if _obs.is_enabled():
-            _obs.registry().inc("wal.fsyncs")
+            start = time.perf_counter()
+            with _trace.span("wal.fsync"):
+                os.fsync(self._file.fileno())
+            registry = _obs.registry()
+            registry.observe("wal.fsync_seconds", time.perf_counter() - start)
+            registry.inc("wal.fsyncs")
+        else:
+            with _trace.span("wal.fsync"):
+                os.fsync(self._file.fileno())
 
     def __enter__(self) -> "WriteAheadLog":
         return self

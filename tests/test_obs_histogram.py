@@ -1,0 +1,113 @@
+"""Property tests for the bounded-memory latency histogram.
+
+The contract under test (see :class:`repro.obs.metrics.TimerStats`):
+quantile estimates computed from the log-spaced buckets always lie
+within the bucket that contains the *exact* quantile of the observed
+samples — off by at most one bucket boundary, never below the true
+value, never above the largest observation.
+"""
+
+import json
+import math
+from bisect import bisect_left
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import BUCKET_BOUNDS, TimerStats
+
+pytestmark = pytest.mark.obs
+
+#: Spans below the first bound, across the log range, and into the
+#: overflow bucket (the largest bound is ~134 s).
+samples_strategy = st.lists(
+    st.floats(
+        min_value=1e-8,
+        max_value=500.0,
+        allow_nan=False,
+        allow_infinity=False,
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+def exact_quantile(samples, q):
+    """The reference quantile: the rank-ceil(q*n) smallest sample."""
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def bucket_of(value):
+    """(lower, upper) bounds of the bucket holding ``value``."""
+    index = bisect_left(BUCKET_BOUNDS, value)
+    lower = 0.0 if index == 0 else BUCKET_BOUNDS[index - 1]
+    upper = (
+        BUCKET_BOUNDS[index]
+        if index < len(BUCKET_BOUNDS)
+        else math.inf
+    )
+    return lower, upper
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    samples=samples_strategy,
+    q=st.sampled_from([0.5, 0.9, 0.95, 0.99, 1.0]),
+)
+def test_quantile_within_one_bucket_of_exact(samples, q):
+    stats = TimerStats()
+    for sample in samples:
+        stats.observe(sample)
+    estimate = stats.quantile(q)
+    true_value = exact_quantile(samples, q)
+    lower, upper = bucket_of(true_value)
+    assert true_value <= estimate, (
+        f"estimate {estimate} below exact quantile {true_value}"
+    )
+    assert estimate <= upper, (
+        f"estimate {estimate} left the exact quantile's bucket "
+        f"({lower}, {upper}]"
+    )
+    assert estimate <= max(samples)
+
+
+@settings(max_examples=100, deadline=None)
+@given(samples=samples_strategy)
+def test_buckets_account_for_every_observation(samples):
+    stats = TimerStats()
+    for sample in samples:
+        stats.observe(sample)
+    assert sum(stats.buckets) == stats.count == len(samples)
+    assert stats.min == min(samples)
+    assert stats.max == max(samples)
+    assert stats.total == pytest.approx(math.fsum(samples))
+
+
+def test_to_dict_carries_quantiles_and_json_safe_buckets():
+    stats = TimerStats()
+    for value in (0.001, 0.002, 0.004, 0.5, 200.0):
+        stats.observe(value)
+    document = stats.to_dict()
+    for key in ("p50_seconds", "p95_seconds", "p99_seconds", "buckets"):
+        assert key in document
+    # Must survive json.dumps: the overflow bucket is the string "+Inf".
+    encoded = json.loads(json.dumps(document))
+    assert ["+Inf", 1] in encoded["buckets"]
+    assert document["p50_seconds"] <= document["p95_seconds"]
+    assert document["p95_seconds"] <= document["p99_seconds"]
+
+
+def test_empty_timer_quantiles_are_zero():
+    stats = TimerStats()
+    assert stats.p50 == 0.0 and stats.p99 == 0.0
+    assert stats.quantile(1.0) == 0.0
+
+
+def test_bucket_bounds_are_log_spaced_and_sorted():
+    assert list(BUCKET_BOUNDS) == sorted(BUCKET_BOUNDS)
+    assert BUCKET_BOUNDS[0] == pytest.approx(1e-6)
+    for previous, following in zip(BUCKET_BOUNDS, BUCKET_BOUNDS[1:]):
+        assert following == pytest.approx(previous * 2)

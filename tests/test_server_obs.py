@@ -1,0 +1,253 @@
+"""Server-side observability: trace headers, Prometheus, health, logs."""
+
+import json
+import logging
+import os
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.obs import JsonFormatter, access_logger
+from repro.obs import metrics as _obs
+from repro.obs import trace
+from repro.rdf import Quad
+from repro.server import SparqlServer
+from repro.sparql import SparqlEngine
+from repro.store import open_durable
+
+from .conftest import ex
+
+pytestmark = pytest.mark.obs
+
+QUERY = "SELECT ?n WHERE { ?x <http://ex/name> ?n } ORDER BY ?n"
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    trace.disable()
+    yield
+    trace.disable()
+
+
+@pytest.fixture
+def traced_server(social_engine):
+    with SparqlServer(social_engine, trace=True) as running:
+        yield running
+
+
+@pytest.fixture
+def plain_server(social_engine):
+    with SparqlServer(social_engine) as running:
+        yield running
+
+
+def get(server, path, headers=None):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{server.port}{path}", headers=headers or {}
+    )
+    try:
+        response = urllib.request.urlopen(request, timeout=10)
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read().decode("utf-8")
+    with response:
+        return (
+            response.status,
+            dict(response.headers),
+            response.read().decode("utf-8"),
+        )
+
+
+def query_path(query=QUERY):
+    return f"/sparql?query={urllib.parse.quote(query)}"
+
+
+class TestTraceHeader:
+    def test_client_trace_id_round_trips(self, traced_server):
+        status, headers, _ = get(
+            traced_server, query_path(),
+            headers={"X-Trace-Id": "client-id-42"},
+        )
+        assert status == 200
+        assert headers["X-Trace-Id"] == "client-id-42"
+
+    def test_server_generates_id_when_tracing(self, traced_server):
+        status, headers, _ = get(traced_server, query_path())
+        assert status == 200
+        assert len(headers["X-Trace-Id"]) == 32
+
+    def test_untraced_server_sends_no_header_unprompted(self, plain_server):
+        status, headers, _ = get(plain_server, query_path())
+        assert status == 200
+        assert "X-Trace-Id" not in headers
+
+    def test_untraced_server_still_echoes_client_id(self, plain_server):
+        _, headers, _ = get(
+            plain_server, query_path(), headers={"X-Trace-Id": "corr-7"}
+        )
+        assert headers["X-Trace-Id"] == "corr-7"
+
+    def test_malformed_client_id_is_replaced(self, traced_server):
+        _, headers, _ = get(
+            traced_server, query_path(),
+            headers={"X-Trace-Id": "not a valid id!"},
+        )
+        assert headers["X-Trace-Id"] != "not a valid id!"
+
+
+class TestTraceRetrieval:
+    def test_trace_endpoint_returns_span_tree(self, traced_server):
+        _, headers, _ = get(traced_server, query_path())
+        trace_id = headers["X-Trace-Id"]
+        status, _, body = get(traced_server, f"/trace/{trace_id}")
+        assert status == 200
+        document = json.loads(body)
+        assert document["trace_id"] == trace_id
+        names = [span["name"] for span in document["spans"]]
+        # The request is the root; the engine nests its spans under it
+        # rather than opening a second trace of its own.
+        assert "request" in names
+        assert "parse" in names and "execute" in names
+        assert "op.pattern" in names
+        request_span = next(
+            span for span in document["spans"] if span["name"] == "request"
+        )
+        assert request_span["attributes"]["path"] == "/sparql"
+
+    def test_unknown_trace_id_is_404(self, traced_server):
+        status, _, body = get(traced_server, "/trace/doesnotexist")
+        assert status == 404
+        assert "no recent trace" in json.loads(body)["error"]
+
+
+class TestPrometheusNegotiation:
+    def test_accept_text_plain_gets_exposition(self, traced_server):
+        _obs.enable()
+        try:
+            get(traced_server, query_path())
+            status, headers, body = get(
+                traced_server, "/metrics", headers={"Accept": "text/plain"}
+            )
+        finally:
+            _obs.disable()
+        assert status == 200
+        assert headers["Content-Type"].startswith(
+            "text/plain; version=0.0.4"
+        )
+        assert "# TYPE repro_query_count_total counter" in body
+        assert "repro_query_seconds_bucket{le=" in body
+        assert 'le="+Inf"' in body
+        assert "repro_query_seconds_count" in body
+
+    def test_default_accept_gets_json(self, traced_server):
+        status, headers, body = get(traced_server, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        json.loads(body)
+
+
+class TestHealthz:
+    def test_healthy_server(self, plain_server):
+        status, _, body = get(plain_server, "/healthz")
+        assert status == 200
+        document = json.loads(body)
+        assert document == {
+            "status": "ok", "inflight": 1, "wal_failed": False,
+        }
+
+    def test_poisoned_wal_turns_503(self, tmp_path):
+        store = open_durable(os.path.join(str(tmp_path), "store"))
+        store.create_model("m")
+        store.insert("m", Quad(ex("a"), ex("p"), ex("b")))
+        engine = SparqlEngine(store, default_model="m")
+        # Simulate an append failure (ENOSPC / IO error) poisoning the
+        # log: every later write must be refused and health must go red.
+        store._wal._mark_failed()
+        with SparqlServer(engine) as server:
+            status, _, body = get(server, "/healthz")
+        assert status == 503
+        document = json.loads(body)
+        assert document["status"] == "failed"
+        assert document["wal_failed"] is True
+        store.close()
+
+
+class _CapturingHandler(logging.Handler):
+    def __init__(self):
+        super().__init__()
+        self.records = []
+
+    def emit(self, record):
+        self.records.append(record)
+
+
+@pytest.fixture
+def captured_access_log():
+    logger = access_logger()
+    handler = _CapturingHandler()
+    logger.addHandler(handler)
+    previous_level = logger.level
+    logger.setLevel(logging.INFO)
+    try:
+        yield handler
+    finally:
+        logger.removeHandler(handler)
+        logger.setLevel(previous_level)
+
+
+def _wait_for(predicate, timeout=5.0):
+    """The access log is emitted after the response bytes go out, so a
+    fast client can observe the response before the record exists."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        found = predicate()
+        if found:
+            return found
+        time.sleep(0.01)
+    return predicate()
+
+
+class TestAccessLog:
+    def test_one_structured_record_per_request(
+        self, traced_server, captured_access_log
+    ):
+        get(traced_server, query_path(),
+            headers={"X-Trace-Id": "log-test-1"})
+        records = _wait_for(lambda: [
+            r for r in captured_access_log.records
+            if getattr(r, "trace_id", None) == "log-test-1"
+        ])
+        assert len(records) == 1
+        record = records[0]
+        assert record.method == "GET"
+        assert record.path.startswith("/sparql?query=")
+        assert record.status == 200
+        assert record.duration_ms >= 0
+        assert record.bytes > 0
+        assert record.client == "127.0.0.1"
+
+    def test_record_formats_as_json_line(
+        self, traced_server, captured_access_log
+    ):
+        get(traced_server, "/healthz")
+        records = _wait_for(lambda: [
+            r for r in captured_access_log.records
+            if getattr(r, "path", None) == "/healthz"
+        ])
+        record = records[-1]
+        document = json.loads(JsonFormatter().format(record))
+        assert document["logger"] == "repro.server.access"
+        assert document["level"] == "INFO"
+        assert document["method"] == "GET"
+        assert document["path"] == "/healthz"
+        assert document["status"] == 200
+        assert document["ts"].endswith("Z")
+
+    def test_silent_by_default(self, plain_server):
+        # The access logger ships with a NullHandler only; INFO is not
+        # enabled, so requests cost no formatting work.
+        assert not access_logger().isEnabledFor(logging.INFO)
+        status, _, _ = get(plain_server, query_path())
+        assert status == 200
