@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""Pipeline-refactor guard: layered execution must not cost latency.
+
+The engine now runs every query through the layered pipeline (algebra
+-> optimizer -> physical operators) while the interpreting Evaluator
+remains in-tree as the semantic reference.  This guard enforces the
+refactor's two performance claims:
+
+1. **No regression** — per-query *median* latency of the pipeline
+   stays within ``REPRO_PIPELINE_TOLERANCE`` (default 0.05 = 5%) of
+   the reference evaluator on the paper's Figure 5 (EQ1-EQ4, node
+   centric), Figure 8 (EQ11a-c, traversal) and Figure 9 (EQ12,
+   triangles) workloads.  Faster is always fine; the gate is
+   one-sided.
+2. **Early termination pays** (``--limit-demo``) — a LIMIT-10 variant
+   of the 3-hop EQ3 runs at least ``REPRO_LIMIT_SPEEDUP`` (default 2x)
+   faster through the streaming pipeline than the same limited query
+   through the materialize-everything evaluator, because the
+   StreamingSlice stops pulling the operator tree after 10 rows.
+
+Usage::
+
+    python benchmarks/pipeline_guard.py             # regression gate
+    python benchmarks/pipeline_guard.py --limit-demo
+
+Knobs: ``REPRO_SCALE`` (ego networks, default 24),
+``REPRO_PIPELINE_ROUNDS`` (timed rounds per query, default 9),
+``REPRO_PIPELINE_TOLERANCE``, ``REPRO_LIMIT_SPEEDUP``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import statistics
+import sys
+import time
+from typing import Callable, Dict, List, Tuple
+
+from repro.bench.harness import build_stores
+from repro.sparql.eval import Evaluator
+
+MODEL = "NG"
+FIGURE_QUERIES: Tuple[Tuple[str, str], ...] = (
+    ("figure5", "EQ1"),
+    ("figure5", "EQ2"),
+    ("figure5", "EQ3"),
+    ("figure5", "EQ4"),
+    ("figure8", "EQ11a"),
+    ("figure8", "EQ11b"),
+    ("figure8", "EQ11c"),
+    ("figure9", "EQ12"),
+)
+
+
+def _rounds() -> int:
+    return int(os.environ.get("REPRO_PIPELINE_ROUNDS", "9"))
+
+
+def _tolerance() -> float:
+    return float(os.environ.get("REPRO_PIPELINE_TOLERANCE", "0.05"))
+
+
+def _required_speedup() -> float:
+    return float(os.environ.get("REPRO_LIMIT_SPEEDUP", "2.0"))
+
+
+def _interleaved_medians(
+    first: Callable[[], object], second: Callable[[], object], rounds: int
+) -> Tuple[float, float]:
+    """Median seconds for two runners, timed in alternating rounds.
+
+    Interleaving (rather than timing one block after the other) cancels
+    slow drift — CPU frequency scaling, cache warming — that would
+    otherwise bias a sub-millisecond comparison.
+    """
+    first()  # warm the store / caches
+    second()
+    first_samples: List[float] = []
+    second_samples: List[float] = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        first()
+        first_samples.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        second()
+        second_samples.append(time.perf_counter() - start)
+    return statistics.median(first_samples), statistics.median(second_samples)
+
+
+def _runners(store, query: str):
+    """(pipeline, legacy-evaluator) runners for one query text."""
+    engine = store.engine
+    ast = engine._parse_query(query)
+    model_name = engine._model_name(None)
+    store_model = engine.network.model(model_name)
+
+    def pipeline():
+        return engine.run_ast(ast, None, text=query)
+
+    def legacy():
+        evaluator = Evaluator(
+            engine.network,
+            store_model,
+            union_default_graph=engine._union_default,
+            filter_pushdown=engine._filter_pushdown,
+        )
+        return evaluator.select(ast)
+
+    return pipeline, legacy
+
+
+def check_regressions() -> int:
+    ctx = build_stores()
+    store = ctx.stores[MODEL]
+    suite = store.queries.experiment_queries(ctx.tag, ctx.hub_iri)
+    rounds = _rounds()
+    tolerance = _tolerance()
+    failures: List[str] = []
+    print(f"pipeline guard: {len(FIGURE_QUERIES)} queries, "
+          f"median of {rounds} rounds, tolerance {tolerance:.0%}")
+    for figure, name in FIGURE_QUERIES:
+        pipeline, legacy = _runners(store, suite[name])
+        legacy_s, pipeline_s = _interleaved_medians(legacy, pipeline, rounds)
+        ratio = pipeline_s / legacy_s if legacy_s else 1.0
+        if ratio > 1.0 + tolerance:
+            # Confirm before failing: a shared/throttled CPU can burst
+            # mid-measurement.  Re-measure with doubled rounds; only a
+            # reproduced regression counts.
+            legacy_s, pipeline_s = _interleaved_medians(
+                legacy, pipeline, rounds * 2
+            )
+            ratio = pipeline_s / legacy_s if legacy_s else 1.0
+        verdict = "ok" if ratio <= 1.0 + tolerance else "REGRESSED"
+        print(
+            f"  {figure:8s} {name:6s} legacy={legacy_s * 1e3:8.3f}ms "
+            f"pipeline={pipeline_s * 1e3:8.3f}ms ratio={ratio:5.2f} "
+            f"{verdict}"
+        )
+        if ratio > 1.0 + tolerance:
+            failures.append(f"{name} ({ratio:.2f}x)")
+    if failures:
+        print(f"FAIL: pipeline median regressed beyond {tolerance:.0%} "
+              f"on: {', '.join(failures)}")
+        return 1
+    print("PASS: pipeline medians within tolerance on every figure query")
+    return 0
+
+
+def check_limit_demo() -> int:
+    ctx = build_stores()
+    store = ctx.stores[MODEL]
+    suite = store.queries.experiment_queries(ctx.tag, ctx.hub_iri)
+    limited = suite["EQ3"] + " LIMIT 10"
+    rounds = _rounds()
+    required = _required_speedup()
+    pipeline, legacy = _runners(store, limited)
+    legacy_s, pipeline_s = _interleaved_medians(legacy, pipeline, rounds)
+    speedup = legacy_s / pipeline_s if pipeline_s else float("inf")
+    print(
+        f"limit demo (EQ3 LIMIT 10): evaluator={legacy_s * 1e3:.3f}ms "
+        f"pipeline={pipeline_s * 1e3:.3f}ms speedup={speedup:.1f}x "
+        f"(required {required:.1f}x)"
+    )
+    if speedup < required:
+        print("FAIL: streaming early termination did not deliver the "
+              "required speedup")
+        return 1
+    print("PASS: LIMIT query terminates early through the pipeline")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--limit-demo",
+        action="store_true",
+        help="check the LIMIT-10 early-termination speedup instead of "
+        "the regression gate",
+    )
+    args = parser.parse_args(argv)
+    if args.limit_demo:
+        return check_limit_demo()
+    return check_regressions()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import csv
+import json
 import sys
 from typing import List, Optional
 
@@ -151,9 +152,17 @@ def _cmd_explain(args) -> int:
         analysis = engine.explain(query, analyze=True, trace=args.trace)
         for line in analysis.lines:
             print(line)
-    else:
-        for line in engine.explain(query):
-            print(line)
+        return 0
+    if args.format == "json":
+        document = engine.explain_plan(query, format="json")
+        document["access_plan"] = engine.explain(query)
+        print(json.dumps(document, indent=2))
+        return 0
+    for line in engine.explain_plan(query):
+        print(line)
+    print("Access plan (Table 5):")
+    for line in engine.explain(query):
+        print("  " + line)
     return 0
 
 
@@ -300,11 +309,20 @@ def build_parser() -> argparse.ArgumentParser:
     query.set_defaults(func=_cmd_query)
 
     explain = sub.add_parser(
-        "explain", help="show the access plan (optionally with actuals)"
+        "explain",
+        help="show the logical/physical plan trees and the access plan "
+        "(optionally with actuals)",
     )
     explain.add_argument("data", help="input .nq file")
     explain.add_argument("--query", "-q", help="SPARQL text")
     explain.add_argument("--query-file", "-f", help="SPARQL file")
+    explain.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json"],
+        help="text prints indented plan trees; json emits the logical, "
+        "optimized and physical trees as one JSON document",
+    )
     explain.add_argument(
         "--analyze",
         action="store_true",

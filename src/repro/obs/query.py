@@ -1,12 +1,17 @@
 """Per-query execution statistics: collectors, QueryStats, slow log.
 
 A :class:`QueryCollector` rides along one query execution (pushed onto
-the thread-local stack in :mod:`repro.obs.metrics`).  The evaluator
-opens one :class:`OperatorStats` record per executed operator (pattern
-step, path step, filter); the store reports index scans into whichever
+the thread-local stack in :mod:`repro.obs.metrics`).  The physical
+operators (:mod:`repro.sparql.physical`) open one
+:class:`OperatorStats` record per executed operator (pattern step,
+path step, filter); the store reports index scans into whichever
 record is open.  ``finish()`` freezes everything into a
 :class:`QueryStats`, which EXPLAIN ANALYZE renders and
 ``SelectResult.stats`` carries back to callers.
+
+The counters also carry the engine's plan-cache activity for the
+query (``plan_cache.hits`` / ``plan_cache.misses`` /
+``plan_cache.evictions``) — see :meth:`QueryStats.plan_cache`.
 """
 
 from __future__ import annotations
@@ -116,6 +121,14 @@ class QueryStats:
 
     def counter(self, name: str) -> int:
         return self.counters.get(name, 0)
+
+    def plan_cache(self) -> Dict[str, int]:
+        """This query's plan-cache activity (hit/miss/eviction counts)."""
+        return {
+            "hits": self.counter("plan_cache.hits"),
+            "misses": self.counter("plan_cache.misses"),
+            "evictions": self.counter("plan_cache.evictions"),
+        }
 
     def join_methods(self) -> List[str]:
         return [op.join_method for op in self.operators if op.join_method]

@@ -37,6 +37,8 @@ from contextlib import contextmanager
 from typing import Dict, List, Optional, Tuple
 
 __all__ = [
+    "OPERATOR_SPAN_NAMES",
+    "PIPELINE_SPAN_NAMES",
     "Span",
     "Trace",
     "TraceBuffer",
@@ -54,6 +56,24 @@ __all__ = [
     "span",
     "tracing",
 ]
+
+#: Span names the physical operators emit, one per operator kind (see
+#: :mod:`repro.sparql.physical`).  The canonical catalogue for docs and
+#: tests; the ``op.`` prefix distinguishes plan operators from the
+#: fixed pipeline stages.
+OPERATOR_SPAN_NAMES = (
+    "op.IndexScan",
+    "op.IndexNestedLoopJoin",
+    "op.HashJoin",
+    "op.CartesianProduct",
+    "op.PathClosure",
+    "op.Filter",
+)
+
+#: Fixed pipeline-stage spans the engine opens around each query: the
+#: ``plan`` span wraps the plan-cache fetch-or-compile (attribute
+#: ``cached``), ``execute`` wraps the physical run.
+PIPELINE_SPAN_NAMES = ("query", "parse", "plan", "execute")
 
 #: Adopted (externally supplied) trace ids must look like ids, not like
 #: log-injection payloads: hex/uuid-ish, bounded length.

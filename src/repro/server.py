@@ -235,6 +235,14 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
         if parsed.path.startswith("/trace/"):
             self._send_trace(parsed.path[len("/trace/"):])
             return
+        if parsed.path == "/explain":
+            params = parse_qs(parsed.query)
+            query = params.get("query", [None])[0]
+            if not query:
+                self._send_error(400, "missing query parameter")
+                return
+            self._gated(self._send_explain, query)
+            return
         if parsed.path != "/sparql":
             self._send_error(404, "not found")
             return
@@ -369,6 +377,15 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
             return
         self._send(200, "application/json", json.dumps(counts))
 
+    def _send_explain(self, query: str) -> None:
+        """Compile (but do not run) a query; return the plan trees."""
+        try:
+            document = self.engine.explain_plan(query, format="json")
+        except SparqlError as exc:
+            self._send_error(400, str(exc))
+            return
+        self._send(200, "application/json", json.dumps(document))
+
     def _send_timeout(self, exc: QueryTimeout) -> None:
         """503 with a machine-readable QueryTimeout payload."""
         if _obs.is_enabled():
@@ -397,6 +414,7 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
                 entry.to_dict()
                 for entry in self.engine.slow_queries.entries
             ],
+            "plan_cache": self.engine.plan_cache.stats(),
         }
         document.update(_obs.snapshot())
         self._send(200, "application/json", json.dumps(document))

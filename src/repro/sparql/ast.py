@@ -361,6 +361,21 @@ def contains_aggregate(expression: Expression) -> bool:
     return _contains_aggregate(expression)
 
 
+def pattern_variables(pattern: TriplePattern) -> set:
+    """Variable names a triple pattern can bind.
+
+    For property-path patterns only the endpoints are variables — the
+    path itself never binds (path link IRIs are constants).
+    """
+    found = set()
+    for part in (pattern.subject, pattern.object):
+        if isinstance(part, str):
+            found.add(part)
+    if isinstance(pattern.predicate, str):
+        found.add(pattern.predicate)
+    return found
+
+
 def expression_variables(expression: Expression) -> set:
     """All variable names mentioned by an expression."""
     found: set = set()

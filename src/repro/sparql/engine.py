@@ -25,11 +25,16 @@ from repro.sparql.ast import (
     SubSelectPattern,
     TriplePattern,
 )
+from repro.sparql import algebra as _algebra
 from repro.sparql.deadline import Deadline, deadline_for
 from repro.sparql.errors import EvaluationError, QueryTimeout
 from repro.sparql.eval import Evaluator
+from repro.sparql.executor import CompiledQuery, compile_query
+from repro.sparql.executor import execute as _execute_compiled
 from repro.sparql.parser import Parser
+from repro.sparql.physical import physical_to_dict, render_physical
 from repro.sparql.plan import explain_bgp
+from repro.sparql.plancache import PlanCache
 from repro.sparql.results import SelectResult
 from repro.sparql.update import UpdateExecutor
 
@@ -62,6 +67,7 @@ class SparqlEngine:
         slow_query_seconds: Optional[float] = None,
         timeout: Optional[float] = None,
         trace: bool = False,
+        plan_cache_size: int = 128,
     ):
         if default_graph_semantics not in ("union", "strict"):
             raise ValueError(
@@ -94,6 +100,10 @@ class SparqlEngine:
         #: thread, the engine nests its spans under it instead of
         #: starting a second one.
         self.trace = trace
+        #: LRU cache of compiled plans keyed by (query text, model
+        #: name), invalidated by the network's ``data_version``.
+        #: Prepared queries run from an AST (no text) bypass it.
+        self.plan_cache = PlanCache(plan_cache_size)
 
     # ------------------------------------------------------------------
     # Query API
@@ -180,6 +190,8 @@ class SparqlEngine:
         text: Optional[str],
         deadline: Optional[Deadline],
     ):
+        model_name = self._model_name(model)
+        store_model = self.network.model(model_name)
         traced = _trace.is_active()
         if collector is None and (self.collect_stats or traced):
             # A trace implies a collector: the span tree rides back to
@@ -191,14 +203,20 @@ class SparqlEngine:
             or _obs.is_enabled()
         )
         if not observing:
-            return self._dispatch(self._evaluator(model, deadline=deadline), ast)
-        evaluator = self._evaluator(model, collector, deadline=deadline)
+            return self._run_pipeline(
+                ast, model_name, store_model, text, None, deadline, traced
+            )
         start = time.perf_counter()
         if collector is not None:
             with _obs.collect(collector):
-                result = self._dispatch_traced(evaluator, ast, traced)
+                result = self._run_pipeline(
+                    ast, model_name, store_model, text, collector,
+                    deadline, traced,
+                )
         else:
-            result = self._dispatch_traced(evaluator, ast, traced)
+            result = self._run_pipeline(
+                ast, model_name, store_model, text, None, deadline, traced
+            )
         elapsed = time.perf_counter() - start
         rows = _result_rows(result)
         if _obs.is_enabled():
@@ -217,11 +235,72 @@ class SparqlEngine:
                 result.stats.trace = _trace.current_trace()
         return result
 
-    def _dispatch_traced(self, evaluator: Evaluator, ast, traced: bool):
-        if not traced:
-            return self._dispatch(evaluator, ast)
-        with _trace.span("execute", form=type(ast).__name__):
-            return self._dispatch(evaluator, ast)
+    def _run_pipeline(
+        self,
+        ast,
+        model_name: str,
+        store_model,
+        text: Optional[str],
+        collector: Optional[QueryCollector],
+        deadline: Optional[Deadline],
+        traced: bool,
+    ):
+        """Fetch-or-compile a plan, then run it through the executor."""
+        compiled = self._compiled_for(ast, model_name, store_model, text)
+        if traced:
+            with _trace.span("execute", form=type(ast).__name__):
+                return self._execute(compiled, store_model, collector, deadline)
+        return self._execute(compiled, store_model, collector, deadline)
+
+    def _execute(
+        self,
+        compiled: CompiledQuery,
+        store_model,
+        collector: Optional[QueryCollector],
+        deadline: Optional[Deadline],
+    ):
+        return _execute_compiled(
+            compiled,
+            self.network,
+            store_model,
+            union_default_graph=self._union_default,
+            filter_pushdown=self._filter_pushdown,
+            collector=collector,
+            deadline=deadline,
+        )
+
+    def _compiled_for(
+        self, ast, model_name: str, store_model, text: Optional[str]
+    ) -> CompiledQuery:
+        """Plan-cache fetch, falling back to a fresh compile.
+
+        Cache hits/misses/evictions are reported through the metrics
+        helpers, so they land both in the process registry (the
+        ``plan_cache.*`` counters on ``GET /metrics``) and in the
+        per-query collector (``result.stats``) when one is active.
+        """
+        version = getattr(self.network, "data_version", 0)
+        key = (text, model_name) if text is not None else None
+        cached = None if key is None else self.plan_cache.get(key, version)
+        with _trace.span("plan", cached=cached is not None):
+            if cached is not None:
+                _obs.inc("plan_cache.hits")
+                return cached
+            if key is not None:
+                _obs.inc("plan_cache.misses")
+            compiled = compile_query(
+                ast,
+                self.network,
+                store_model,
+                model_name,
+                union_default_graph=self._union_default,
+                filter_pushdown=self._filter_pushdown,
+            )
+            if key is not None:
+                evicted = self.plan_cache.put(key, version, compiled)
+                if evicted:
+                    _obs.inc("plan_cache.evictions", evicted)
+            return compiled
 
     @contextmanager
     def _read_locked(self, deadline: Optional[Deadline]):
@@ -244,17 +323,6 @@ class SparqlEngine:
             yield
         finally:
             lock.release_read()
-
-    def _dispatch(self, evaluator: Evaluator, ast):
-        if isinstance(ast, SelectQuery):
-            return evaluator.select(ast)
-        if isinstance(ast, AskQuery):
-            return evaluator.ask(ast)
-        if isinstance(ast, ConstructQuery):
-            return evaluator.construct(ast)
-        if isinstance(ast, DescribeQuery):
-            return evaluator.describe(ast)
-        raise EvaluationError(f"unsupported query form {type(ast).__name__}")
 
     # ------------------------------------------------------------------
     # Update API
@@ -447,6 +515,58 @@ class SparqlEngine:
         if _trace.is_active():
             stats.trace = _trace.current_trace()
         return ExplainAnalysis(stats, result)
+
+    def explain_plan(
+        self,
+        text: str,
+        model: Optional[str] = None,
+        format: str = "text",
+    ):
+        """Pipeline plan description: logical, optimized and physical.
+
+        Compiles the query through the full layered pipeline without
+        running it.  ``format="text"`` returns indented tree lines (the
+        shape ``repro explain`` prints); ``format="json"`` returns a
+        JSON-ready dict with ``logical``, ``optimized`` and
+        ``physical`` plan trees.
+        """
+        if format not in ("text", "json"):
+            raise ValueError("format must be 'text' or 'json'")
+        ast = self._parse_query(text)
+        model_name = self._model_name(model)
+        store_model = self.network.model(model_name)
+        compiled = compile_query(
+            ast,
+            self.network,
+            store_model,
+            model_name,
+            union_default_graph=self._union_default,
+            filter_pushdown=self._filter_pushdown,
+        )
+        if format == "json":
+            return {
+                "form": compiled.form,
+                "model": model_name,
+                "variables": list(compiled.variables),
+                "logical": _algebra.to_dict(compiled.logical),
+                "optimized": _algebra.to_dict(compiled.optimized),
+                "physical": physical_to_dict(compiled.root),
+            }
+        lines: List[str] = [f"Query form: {compiled.form}"]
+        lines.append("Logical plan:")
+        lines.extend(
+            "  " + line for line in _algebra.render(compiled.logical).splitlines()
+        )
+        lines.append("Optimized plan:")
+        lines.extend(
+            "  " + line
+            for line in _algebra.render(compiled.optimized).splitlines()
+        )
+        lines.append("Physical plan:")
+        lines.extend(
+            "  " + line for line in render_physical(compiled.root).splitlines()
+        )
+        return lines
 
     # ------------------------------------------------------------------
     # Internals

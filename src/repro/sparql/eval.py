@@ -1,9 +1,17 @@
-"""The query evaluator.
+"""The reference query evaluator.
 
 Evaluates the AST of :mod:`repro.sparql.ast` against one model of a
-:class:`repro.store.SemanticNetwork`.  BGPs run through the planner in
-:mod:`repro.sparql.plan`; solutions flow through
-:class:`repro.sparql.relation.Relation` bags of ID rows.
+:class:`repro.store.SemanticNetwork` by interpreting it directly: BGPs
+run through the planner in :mod:`repro.sparql.plan`; solutions flow
+through :class:`repro.sparql.relation.Relation` bags of ID rows.
+
+The production execution path is the layered pipeline (algebra →
+optimizer → physical operators, see :mod:`repro.sparql.executor`);
+this evaluator is kept as the executable semantic specification the
+differential suite compares that pipeline against, and as the WHERE
+engine for updates.  Expression and aggregate semantics are shared
+with the pipeline through :mod:`repro.sparql.expr`, so the two cannot
+diverge there by construction.
 """
 
 from __future__ import annotations
@@ -46,6 +54,16 @@ from repro.sparql.ast import (
     contains_aggregate,
 )
 from repro.sparql.errors import EvaluationError, ExpressionError
+from repro.sparql.expr import (
+    ExpressionEvaluator,
+    Reversed as _Reversed,
+    constant_equality as _constant_equality,
+    contains_exists as _contains_exists,
+    group_variables as _group_variables,
+    internal_checks as _internal_checks,
+    passes_checks as _passes_checks,
+    row_getter,
+)
 from repro.sparql.paths import PathEvaluator
 from repro.sparql.plan import (
     EncodedPattern,
@@ -89,6 +107,9 @@ class Evaluator:
         self._paths = PathEvaluator(
             model, self._encode_constant, deadline=deadline
         )
+        #: Shared scalar/aggregate semantics (also used by the layered
+        #: pipeline); EXISTS routes back into this evaluator.
+        self._expr = ExpressionEvaluator(exists=self._evaluate_exists)
 
     # ------------------------------------------------------------------
     # Entry points
@@ -899,118 +920,17 @@ class Evaluator:
 
     def _row_getter(self, relation: Relation):
         """Build a per-row variable->Term lookup factory."""
-        var_index = {v: i for i, v in enumerate(relation.variables)}
-        term_of = self._values.term
-
-        def for_row(row):
-            def get(name: str) -> Optional[Term]:
-                index = var_index.get(name)
-                if index is None:
-                    return None
-                value = row[index]
-                if value is None or value == 0:
-                    return None
-                return term_of(value)
-
-            return get
-
-        return for_row
+        return row_getter(relation.variables, self._values.term)
 
     def evaluate_expression(self, expression: Expression, get) -> Term:
         """Evaluate an expression; ``get(name)`` resolves variables."""
-        if isinstance(expression, VarExpr):
-            value = get(expression.name)
-            if value is None:
-                raise ExpressionError(f"?{expression.name} is unbound")
-            return value
-        if isinstance(expression, TermExpr):
-            return expression.term
-        if isinstance(expression, OrExpr):
-            error: Optional[ExpressionError] = None
-            for operand in expression.operands:
-                try:
-                    if F.ebv(self.evaluate_expression(operand, get)):
-                        return F.TRUE
-                except ExpressionError as exc:
-                    error = exc
-            if error is not None:
-                raise error
-            return F.FALSE
-        if isinstance(expression, AndExpr):
-            error = None
-            for operand in expression.operands:
-                try:
-                    if not F.ebv(self.evaluate_expression(operand, get)):
-                        return F.FALSE
-                except ExpressionError as exc:
-                    error = exc
-            if error is not None:
-                raise error
-            return F.TRUE
-        if isinstance(expression, NotExpr):
-            return F.boolean(not F.ebv(self.evaluate_expression(expression.operand, get)))
-        if isinstance(expression, CompareExpr):
-            left = self._evaluate_allow_unbound(expression.left, get)
-            right = self._evaluate_allow_unbound(expression.right, get)
-            return F.boolean(F.compare(expression.op, left, right))
-        if isinstance(expression, ArithmeticExpr):
-            return F.arithmetic(
-                expression.op,
-                self.evaluate_expression(expression.left, get),
-                self.evaluate_expression(expression.right, get),
-            )
-        if isinstance(expression, NegExpr):
-            return F.negate(self.evaluate_expression(expression.operand, get))
-        if isinstance(expression, InExpr):
-            value = self.evaluate_expression(expression.value, get)
-            found = False
-            for option in expression.options:
-                try:
-                    if F.compare("=", value, self.evaluate_expression(option, get)):
-                        found = True
-                        break
-                except ExpressionError:
-                    continue
-            return F.boolean(found != expression.negated)
-        if isinstance(expression, FunctionExpr):
-            return self._evaluate_function(expression, get)
-        if isinstance(expression, ExistsExpr):
-            return self._evaluate_exists(expression, get)
-        if isinstance(expression, AggregateExpr):
-            raise ExpressionError("aggregate used outside aggregation context")
-        raise EvaluationError(f"unsupported expression {expression!r}")
+        return self._expr.evaluate(expression, get)
 
-    def _evaluate_allow_unbound(self, expression: Expression, get) -> Optional[Term]:
-        if isinstance(expression, VarExpr):
-            return get(expression.name)
-        return self.evaluate_expression(expression, get)
-
-    def _evaluate_function(self, expression: FunctionExpr, get) -> Term:
-        name = expression.name
-        if name == "IF":
-            if len(expression.args) != 3:
-                raise ExpressionError("IF needs three arguments")
-            condition = F.ebv(self.evaluate_expression(expression.args[0], get))
-            chosen = expression.args[1] if condition else expression.args[2]
-            return self.evaluate_expression(chosen, get)
-        if name == "COALESCE":
-            for argument in expression.args:
-                try:
-                    return self.evaluate_expression(argument, get)
-                except ExpressionError:
-                    continue
-            raise ExpressionError("COALESCE: no argument evaluated")
-        if name == "BOUND":
-            if len(expression.args) != 1 or not isinstance(
-                expression.args[0], VarExpr
-            ):
-                raise ExpressionError("BOUND needs a single variable")
-            return F.boolean(get(expression.args[0].name) is not None)
-        args = [
-            self._evaluate_allow_unbound(argument, get)
-            for argument in expression.args
-        ]
-        return F.call_builtin(name, args)
+    def evaluate_exists(self, expression: ExistsExpr, get) -> Term:
+        """Public EXISTS entry point.  The layered pipeline bridges its
+        EXISTS evaluation here so correlated subgroups keep the
+        reference semantics (and the reference instrumentation)."""
+        return self._evaluate_exists(expression, get)
 
     def _evaluate_exists(self, expression: ExistsExpr, get) -> Term:
         # Correlated: seed the group with the current row's bindings.
@@ -1091,8 +1011,8 @@ class Evaluator:
             def get(name: str, _env=env) -> Optional[Term]:
                 return _env.get(name)
 
-            aggregates = self._compute_aggregates(
-                query, projections, members, getter
+            aggregates = self._expr.compute_aggregates(
+                projections, query.having, query.order_by, members, getter
             )
 
             def agg_get(name: str, _get=get) -> Optional[Term]:
@@ -1102,7 +1022,7 @@ class Evaluator:
             skip_group = False
             for having in query.having:
                 try:
-                    value = self._evaluate_with_aggregates(
+                    value = self._expr.evaluate_with_aggregates(
                         having, agg_get, aggregates
                     )
                     if not F.ebv(value):
@@ -1121,7 +1041,7 @@ class Evaluator:
                     )
                 else:
                     try:
-                        term = self._evaluate_with_aggregates(
+                        term = self._expr.evaluate_with_aggregates(
                             projection.expression, agg_get, aggregates
                         )
                         row_values.append(self._encode_term(term))
@@ -1129,7 +1049,7 @@ class Evaluator:
                         row_values.append(None)
             for _, condition in hidden_order:
                 try:
-                    term = self._evaluate_with_aggregates(
+                    term = self._expr.evaluate_with_aggregates(
                         condition.expression, agg_get, aggregates
                     )
                     row_values.append(self._encode_term(term))
@@ -1137,109 +1057,6 @@ class Evaluator:
                     row_values.append(None)
             out_rows.append(tuple(row_values))
         return Relation(out_vars, out_rows), order_conditions
-
-    def _compute_aggregates(
-        self,
-        query: SelectQuery,
-        projections: Sequence[Projection],
-        members: List[Tuple[Tuple, int]],
-        getter,
-    ) -> Dict[AggregateExpr, Optional[Term]]:
-        needed: List[AggregateExpr] = []
-
-        def collect(expression: Optional[Expression]) -> None:
-            if expression is None:
-                return
-            if isinstance(expression, AggregateExpr):
-                if expression not in needed:
-                    needed.append(expression)
-                return
-            for child in _expression_children(expression):
-                collect(child)
-
-        for projection in projections:
-            collect(projection.expression)
-        for having in query.having:
-            collect(having)
-        for condition in query.order_by:
-            collect(condition.expression)
-        computed: Dict[AggregateExpr, Optional[Term]] = {}
-        for aggregate in needed:
-            computed[aggregate] = self._compute_one_aggregate(
-                aggregate, members, getter
-            )
-        return computed
-
-    def _compute_one_aggregate(
-        self,
-        aggregate: AggregateExpr,
-        members: List[Tuple[Tuple, int]],
-        getter,
-    ) -> Optional[Term]:
-        name = aggregate.name
-        if name == "COUNT" and aggregate.argument is None:
-            if aggregate.distinct:
-                return Literal.from_python(len({row for row, _ in members}))
-            return Literal.from_python(sum(mult for _, mult in members))
-        values: List[Term] = []
-        seen: Set[Term] = set()
-        for row, mult in members:
-            get = getter(row)
-            try:
-                value = self.evaluate_expression(aggregate.argument, get)
-            except ExpressionError:
-                continue
-            if aggregate.distinct:
-                if value in seen:
-                    continue
-                seen.add(value)
-                values.append(value)
-            else:
-                values.extend([value] * mult)
-        if name == "COUNT":
-            return Literal.from_python(len(values))
-        if not values:
-            if name in ("SUM",):
-                return Literal.from_python(0)
-            raise ExpressionError(f"{name} over empty group")
-        if name == "SUM":
-            total = sum(_as_number(v) for v in values)
-            return Literal.from_python(total)
-        if name == "AVG":
-            total = sum(_as_number(v) for v in values)
-            return Literal.from_python(total / len(values))
-        if name == "MIN":
-            return min(values, key=F.order_key)
-        if name == "MAX":
-            return max(values, key=F.order_key)
-        if name == "SAMPLE":
-            return values[0]
-        if name == "GROUP_CONCAT":
-            parts = []
-            for value in values:
-                if not isinstance(value, Literal):
-                    raise ExpressionError("GROUP_CONCAT needs literals")
-                parts.append(value.lexical)
-            return Literal(aggregate.separator.join(parts))
-        raise ExpressionError(f"unknown aggregate {name}")
-
-    def _evaluate_with_aggregates(
-        self,
-        expression: Expression,
-        get,
-        aggregates: Dict[AggregateExpr, Optional[Term]],
-    ) -> Term:
-        if isinstance(expression, AggregateExpr):
-            value = aggregates.get(expression)
-            if value is None:
-                raise ExpressionError("aggregate evaluation failed")
-            return value
-        if isinstance(expression, (OrExpr, AndExpr, NotExpr, CompareExpr,
-                                   ArithmeticExpr, NegExpr, FunctionExpr,
-                                   InExpr)):
-            rewritten = _substitute_aggregates(expression, aggregates)
-            return self.evaluate_expression(rewritten, get)
-        return self.evaluate_expression(expression, get)
 
     # ------------------------------------------------------------------
     # Encoding helpers
@@ -1313,150 +1130,5 @@ class _PendingFilter:
         self.pushable = not _contains_exists(expression)
 
 
-def _constant_equality(expression: Expression):
-    """Match ``?v = <term>`` / ``<term> = ?v`` with an exact-term constant.
-
-    Returns ``(variable, term)`` or ``None``.  Restricted to IRIs and
-    plain string literals, whose SPARQL ``=`` coincides with term
-    identity under our canonicalizing values table.
-    """
-    if not isinstance(expression, CompareExpr) or expression.op != "=":
-        return None
-    left, right = expression.left, expression.right
-    if isinstance(left, VarExpr) and isinstance(right, TermExpr):
-        variable, term = left.name, right.term
-    elif isinstance(right, VarExpr) and isinstance(left, TermExpr):
-        variable, term = right.name, left.term
-    else:
-        return None
-    if isinstance(term, IRI):
-        return variable, term
-    if isinstance(term, Literal) and term.is_plain_string():
-        return variable, term
-    return None
-
-
-def _contains_exists(expression: Expression) -> bool:
-    if isinstance(expression, ExistsExpr):
-        return True
-    return any(
-        _contains_exists(child) for child in _expression_children(expression)
-    )
-
-
-class _Reversed:
-    """Wrapper inverting sort order for DESC keys."""
-
-    __slots__ = ("key",)
-
-    def __init__(self, key):
-        self.key = key
-
-    def __lt__(self, other: "_Reversed") -> bool:
-        return other.key < self.key
-
-    def __eq__(self, other) -> bool:
-        return isinstance(other, _Reversed) and self.key == other.key
-
-
-def _internal_checks(slots) -> List[Tuple[int, int]]:
-    """Equality checks for a variable repeated within one pattern."""
-    first: Dict[str, int] = {}
-    checks: List[Tuple[int, int]] = []
-    for position, slot in enumerate(slots):
-        if isinstance(slot, str):
-            if slot in first:
-                checks.append((first[slot], position))
-            else:
-                first[slot] = position
-    return checks
-
-
-def _passes_checks(quad, checks: List[Tuple[int, int]]) -> bool:
-    return all(quad[a] == quad[b] for a, b in checks)
-
-
-def _group_variables(group: GroupPattern) -> Set[str]:
-    found: Set[str] = set()
-    for element in group.elements:
-        if isinstance(element, TriplePattern):
-            for part in (element.subject, element.predicate, element.object):
-                if isinstance(part, str):
-                    found.add(part)
-        elif isinstance(element, GroupPattern):
-            found |= _group_variables(element)
-        elif isinstance(element, (OptionalPattern, MinusPattern)):
-            found |= _group_variables(element.group)
-        elif isinstance(element, GraphGraphPattern):
-            found |= _group_variables(element.group)
-            if isinstance(element.graph, str):
-                found.add(element.graph)
-        elif isinstance(element, UnionPattern):
-            for branch in element.branches:
-                found |= _group_variables(branch)
-    return found
-
-
-def _expression_children(expression: Expression):
-    if isinstance(expression, (OrExpr, AndExpr)):
-        return expression.operands
-    if isinstance(expression, (NotExpr, NegExpr)):
-        return (expression.operand,)
-    if isinstance(expression, (CompareExpr, ArithmeticExpr)):
-        return (expression.left, expression.right)
-    if isinstance(expression, FunctionExpr):
-        return expression.args
-    if isinstance(expression, InExpr):
-        return (expression.value,) + expression.options
-    return ()
-
-
-def _substitute_aggregates(
-    expression: Expression, aggregates: Dict[AggregateExpr, Optional[Term]]
-) -> Expression:
-    if isinstance(expression, AggregateExpr):
-        value = aggregates.get(expression)
-        if value is None:
-            raise ExpressionError("aggregate evaluation failed")
-        return TermExpr(value)
-    if isinstance(expression, OrExpr):
-        return OrExpr(tuple(_substitute_aggregates(e, aggregates)
-                            for e in expression.operands))
-    if isinstance(expression, AndExpr):
-        return AndExpr(tuple(_substitute_aggregates(e, aggregates)
-                             for e in expression.operands))
-    if isinstance(expression, NotExpr):
-        return NotExpr(_substitute_aggregates(expression.operand, aggregates))
-    if isinstance(expression, NegExpr):
-        return NegExpr(_substitute_aggregates(expression.operand, aggregates))
-    if isinstance(expression, CompareExpr):
-        return CompareExpr(
-            expression.op,
-            _substitute_aggregates(expression.left, aggregates),
-            _substitute_aggregates(expression.right, aggregates),
-        )
-    if isinstance(expression, ArithmeticExpr):
-        return ArithmeticExpr(
-            expression.op,
-            _substitute_aggregates(expression.left, aggregates),
-            _substitute_aggregates(expression.right, aggregates),
-        )
-    if isinstance(expression, FunctionExpr):
-        return FunctionExpr(
-            expression.name,
-            tuple(_substitute_aggregates(a, aggregates) for a in expression.args),
-        )
-    if isinstance(expression, InExpr):
-        return InExpr(
-            _substitute_aggregates(expression.value, aggregates),
-            tuple(_substitute_aggregates(o, aggregates)
-                  for o in expression.options),
-            expression.negated,
-        )
-    return expression
-
-
-def _as_number(term: Term) -> float:
-    if isinstance(term, Literal) and term.is_numeric():
-        return term.to_python()
-    raise ExpressionError(f"not a number: {term!r}")
+# The expression/aggregate machinery (plus the pattern-level helpers
+# shared with the layered pipeline) lives in repro.sparql.expr.

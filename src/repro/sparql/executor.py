@@ -1,0 +1,262 @@
+"""The thin executor driving the layered pipeline.
+
+``compile_query`` lowers an AST through the logical algebra
+(:mod:`repro.sparql.algebra`), the rewrite rules
+(:mod:`repro.sparql.optimize`) and the physical compiler
+(:mod:`repro.sparql.physical`) into a :class:`CompiledQuery`;
+``execute`` runs a compiled query against the store and shapes the
+result per query form (SELECT / ASK / CONSTRUCT / DESCRIBE).
+
+Compiled queries are immutable and reusable: the engine caches them
+keyed by query text, guarded by the network's ``data_version`` (see
+:mod:`repro.sparql.plancache`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.rdf.quad import Triple
+from repro.rdf.terms import Term
+from repro.sparql import algebra as A
+from repro.sparql.ast import (
+    AskQuery,
+    ConstructQuery,
+    DescribeQuery,
+    GroupPattern,
+    Query,
+    SelectQuery,
+    TriplePattern,
+)
+from repro.sparql.errors import EvaluationError
+from repro.sparql.optimize import optimize
+from repro.sparql.physical import (
+    ExecContext,
+    PhysicalOp,
+    ProjectOp,
+    SliceOp,
+    compile_plan,
+)
+from repro.sparql.results import SelectResult
+
+
+@dataclass
+class CompiledQuery:
+    """One query, compiled end to end through the pipeline."""
+
+    form: str  # "select" | "ask" | "construct" | "describe"
+    ast: Query
+    logical: A.Plan
+    optimized: A.Plan
+    root: PhysicalOp
+    #: SELECT output variable order (empty for other forms).
+    variables: Tuple[str, ...]
+    #: Whether lazy row-at-a-time execution can terminate early for
+    #: this plan (a Slice in the tree, or the ASK first-row check).
+    #: Otherwise the executor runs the materialized path, which has no
+    #: per-row generator dispatch cost.
+    streaming: bool
+    model_name: str
+    #: Network data version at compile time; the plan cache discards
+    #: compiled plans whose version no longer matches.
+    data_version: int
+
+
+def _protected_variables(ast: Query) -> frozenset:
+    """Variables with uses the logical plan cannot see (kept alive
+    through dead-code elimination)."""
+    if isinstance(ast, ConstructQuery):
+        found: Set[str] = set()
+        for template in ast.template:
+            for part in (template.subject, template.predicate, template.object):
+                if isinstance(part, str):
+                    found.add(part)
+        return frozenset(found)
+    if isinstance(ast, DescribeQuery):
+        return frozenset(t for t in ast.targets if isinstance(t, str))
+    return frozenset()
+
+
+def compile_query(
+    ast: Query,
+    network,
+    model,
+    model_name: str,
+    union_default_graph: bool = True,
+    filter_pushdown: bool = True,
+) -> CompiledQuery:
+    if isinstance(ast, SelectQuery):
+        form = "select"
+        logical = A.lower_select(ast)
+    elif isinstance(ast, AskQuery):
+        form = "ask"
+        logical = A.lower_group(ast.where)
+    elif isinstance(ast, ConstructQuery):
+        form = "construct"
+        logical = A.lower_group(ast.where)
+    elif isinstance(ast, DescribeQuery):
+        form = "describe"
+        where = ast.where if ast.where is not None else GroupPattern(())
+        logical = A.lower_group(where)
+    else:
+        raise EvaluationError(f"unsupported query form {type(ast).__name__}")
+    optimized = optimize(
+        logical,
+        filter_pushdown=filter_pushdown,
+        protected=_protected_variables(ast),
+    )
+    root = compile_plan(optimized, network, model, union_default_graph)
+    variables: Tuple[str, ...] = ()
+    if form == "select":
+        node = root
+        while not isinstance(node, ProjectOp):
+            node = node.input
+        variables = node.names
+    return CompiledQuery(
+        form=form,
+        ast=ast,
+        logical=logical,
+        optimized=optimized,
+        root=root,
+        variables=variables,
+        streaming=form == "ask" or _has_slice(root),
+        model_name=model_name,
+        data_version=network.data_version,
+    )
+
+
+def _has_slice(op: PhysicalOp) -> bool:
+    if isinstance(op, SliceOp):
+        return True
+    return any(_has_slice(child) for child in op.children())
+
+
+def execute(
+    compiled: CompiledQuery,
+    network,
+    model,
+    union_default_graph: bool = True,
+    filter_pushdown: bool = True,
+    collector=None,
+    deadline=None,
+):
+    """Run a compiled query; the return type depends on the form."""
+    if deadline is not None:
+        deadline.check()
+    ctx = ExecContext(
+        network,
+        model,
+        union_default_graph=union_default_graph,
+        filter_pushdown=filter_pushdown,
+        collector=collector,
+        deadline=deadline,
+        streaming=compiled.streaming,
+    )
+    if compiled.form == "select":
+        return _execute_select(compiled, ctx)
+    if compiled.form == "ask":
+        return _execute_ask(compiled, ctx)
+    if compiled.form == "construct":
+        return _execute_construct(compiled, ctx)
+    return _execute_describe(compiled, ctx)
+
+
+def _execute_select(compiled: CompiledQuery, ctx: ExecContext) -> SelectResult:
+    term_of = ctx.values.term
+    decoded: List[Tuple[Optional[Term], ...]] = []
+    for row, mult in compiled.root.run(ctx):
+        terms = tuple(
+            term_of(value) if value is not None and value > 0 else None
+            for value in row
+        )
+        # Bag semantics: a row standing for N identical solutions
+        # expands to N result rows.
+        decoded.extend([terms] * mult)
+    return SelectResult(list(compiled.variables), decoded)
+
+
+def _execute_ask(compiled: CompiledQuery, ctx: ExecContext) -> bool:
+    if ctx.instrumented:
+        # Materialize like the reference evaluator so operator records
+        # and counters are identical under EXPLAIN ANALYZE.
+        return bool(list(compiled.root.run(ctx)))
+    return next(compiled.root.run(ctx), None) is not None
+
+
+def _execute_construct(
+    compiled: CompiledQuery, ctx: ExecContext
+) -> List[Triple]:
+    query = compiled.ast
+    index = {v: i for i, v in enumerate(compiled.root.schema)}
+    produced: List[Triple] = []
+    seen: Set[Triple] = set()
+    for row, _ in compiled.root.run(ctx):
+        for template in query.template:
+            triple = _instantiate(ctx, template, row, index)
+            if triple is not None and triple not in seen:
+                seen.add(triple)
+                produced.append(triple)
+    return produced
+
+
+def _execute_describe(
+    compiled: CompiledQuery, ctx: ExecContext
+) -> List[Triple]:
+    query = compiled.ast
+    target_ids: List[int] = []
+    constants = [t for t in query.targets if not isinstance(t, str)]
+    variables = [t for t in query.targets if isinstance(t, str)]
+    for term in constants:
+        encoded = ctx.lookup(term)
+        if encoded is not None:
+            target_ids.append(encoded)
+    if variables:
+        schema = compiled.root.schema
+        rows = [row for row, _ in compiled.root.run(ctx)]
+        for variable in variables:
+            if variable in schema:
+                position = schema.index(variable)
+                target_ids.extend(
+                    row[position]
+                    for row in rows
+                    if row[position] is not None
+                )
+    described: List[Triple] = []
+    seen: Set[Triple] = set()
+    term_of = ctx.values.term
+    for target in dict.fromkeys(target_ids):
+        for s, p, o, _ in ctx.model.scan((target, None, None, None)):
+            triple = Triple(term_of(s), term_of(p), term_of(o))
+            if triple not in seen:
+                seen.add(triple)
+                described.append(triple)
+    return described
+
+
+def _instantiate(
+    ctx: ExecContext,
+    template: TriplePattern,
+    row: Tuple,
+    index: Dict[str, int],
+) -> Optional[Triple]:
+    def resolve(part):
+        if isinstance(part, str):
+            position = index.get(part)
+            if position is None:
+                return None
+            value = row[position]
+            if value is None or value <= 0:
+                return None
+            return ctx.values.term(value)
+        return part
+
+    subject = resolve(template.subject)
+    predicate = resolve(template.predicate)
+    obj = resolve(template.object)
+    if subject is None or predicate is None or obj is None:
+        return None
+    try:
+        return Triple(subject, predicate, obj)
+    except Exception:
+        return None

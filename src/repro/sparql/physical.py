@@ -1,0 +1,1675 @@
+"""Physical operators: the pull-based execution layer.
+
+Each operator is a node in a physical plan tree compiled from the
+logical algebra (:mod:`repro.sparql.algebra`).  ``run(ctx)`` yields
+``(row, multiplicity)`` pairs; rows are tuples of term IDs (``None``
+for unbound), exactly like :class:`repro.sparql.relation.Relation`
+rows.  The operator loops are line-for-line ports of the reference
+evaluator's loops, so the pipeline is multiset-identical to it.
+
+Two execution modes share the same operator tree:
+
+* **materialized** (the default for run-to-completion queries, and
+  always when a stats collector is attached — EXPLAIN ANALYZE,
+  tracing): every pattern/path/filter step materializes its input
+  first, decides its join strategy on the full input like the
+  reference evaluator, and — when instrumented — reports
+  ``rows_in``/``rows_out`` operator records and ``op.*`` trace spans,
+  reproducing the evaluator's observable behaviour record for record.
+
+* **streaming** (requested by the executor when early termination can
+  pay: a Slice in the plan, or ASK): operators yield lazily, so a
+  ``StreamingSlice`` above a scan chain stops pulling — and stops
+  scanning the store — as soon as LIMIT rows are produced.
+
+Trace span names are the physical operator names: ``op.IndexScan``,
+``op.IndexNestedLoopJoin``, ``op.HashJoin``, ``op.CartesianProduct``,
+``op.PathClosure``, ``op.Filter``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import chain as _chain
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.obs import metrics as _obs
+from repro.obs import trace as _trace
+from repro.rdf.terms import Term
+from repro.sparql import algebra as A
+from repro.sparql import functions as F
+from repro.sparql.ast import (
+    Expression,
+    OrderCondition,
+    Projection,
+    TriplePattern,
+    VarExpr,
+    contains_aggregate,
+)
+from repro.sparql.errors import EvaluationError, ExpressionError
+from repro.sparql.expr import (
+    ExpressionEvaluator,
+    Reversed,
+    internal_checks,
+    passes_checks,
+    row_getter,
+)
+from repro.sparql.paths import PathEvaluator
+from repro.sparql.plan import (
+    HASH_JOIN_MIN_ROWS,
+    EncodedPattern,
+    GraphContext,
+    decide_join,
+    describe_bound,
+    order_patterns,
+)
+from repro.sparql.relation import merge_compatible
+from repro.sparql.unparse import render_expr, render_triple
+
+Row = Tuple[Optional[int], ...]
+Pair = Tuple[Row, int]
+
+_GRAPH_VAR_PATHS = "property paths inside GRAPH ?var are not supported"
+
+
+# ----------------------------------------------------------------------
+# Execution context
+# ----------------------------------------------------------------------
+
+
+class ExecContext:
+    """Everything the operators need at run time.
+
+    One context per query execution; the per-execution state (the path
+    reach cache, the lazily created EXISTS evaluator) lives here so a
+    cached plan can be executed many times.
+    """
+
+    def __init__(
+        self,
+        network,
+        model,
+        union_default_graph: bool = True,
+        filter_pushdown: bool = True,
+        collector=None,
+        deadline=None,
+        streaming: bool = True,
+    ):
+        self.network = network
+        self.values = network.values
+        self.model = model
+        self.union_default = union_default_graph
+        self.filter_pushdown = filter_pushdown
+        self.collector = collector
+        self.deadline = deadline
+        self.tick = None if deadline is None else deadline.tick
+        #: Instrumented mode materializes per operator and emits
+        #: collector records / trace spans like the reference evaluator.
+        self.instrumented = collector is not None
+        #: Lazy row-at-a-time pulling only pays when something above
+        #: can stop early (a Slice, or ASK's first-row check); for
+        #: run-to-completion queries the per-row generator dispatch is
+        #: pure overhead, so the executor requests the materialized
+        #: path instead.  Instrumentation always materializes.
+        self.streaming = streaming
+        self.materialize = self.instrumented or not streaming
+        self.paths = PathEvaluator(model, self.lookup, deadline=deadline)
+        #: Shared scalar/aggregate semantics; EXISTS bridges to the
+        #: reference evaluator (the executable spec for subgroups).
+        self.expr = ExpressionEvaluator(exists=self._exists)
+        self._legacy = None
+
+    def lookup(self, term: Term) -> Optional[int]:
+        return self.network.lookup_term(term)
+
+    def encode_term(self, term: Term) -> int:
+        return self.network.encode_term(term)
+
+    def term_of(self, term_id):
+        return self.values.term(term_id)
+
+    def decode_id(self, term_id: int) -> str:
+        try:
+            return self.values.term(term_id).n3()
+        except Exception:
+            return f"#{term_id}"
+
+    def _exists(self, expression, get) -> Term:
+        if self._legacy is None:
+            from repro.sparql.eval import Evaluator
+
+            self._legacy = Evaluator(
+                self.network,
+                self.model,
+                union_default_graph=self.union_default,
+                filter_pushdown=self.filter_pushdown,
+                collector=self.collector,
+                deadline=self.deadline,
+            )
+        return self._legacy.evaluate_exists(expression, get)
+
+
+# ----------------------------------------------------------------------
+# Shared join loops (ports of repro.sparql.relation)
+# ----------------------------------------------------------------------
+
+
+def _join_stream(
+    left_pairs: Iterable[Pair],
+    left_vars: Tuple[str, ...],
+    right_pairs: List[Pair],
+    right_vars: Tuple[str, ...],
+    tick,
+) -> Iterator[Pair]:
+    """Stream ``left`` against a materialized ``right`` exactly like
+    :func:`repro.sparql.relation.join` (same emission order)."""
+    shared = [v for v in left_vars if v in right_vars]
+    right_extra = [i for i, v in enumerate(right_vars) if v not in left_vars]
+    if not shared:
+        for lrow, lmult in left_pairs:
+            for rrow, rmult in right_pairs:
+                if tick is not None:
+                    tick()
+                yield lrow + tuple(rrow[i] for i in right_extra), lmult * rmult
+        return
+    left_pos = [left_vars.index(v) for v in shared]
+    right_pos = [right_vars.index(v) for v in shared]
+    table: Dict[Row, List[Pair]] = {}
+    loose: List[Pair] = []
+    for rrow, rmult in right_pairs:
+        key = tuple(rrow[i] for i in right_pos)
+        if None in key:
+            loose.append((rrow, rmult))
+        else:
+            table.setdefault(key, []).append((rrow, rmult))
+    for lrow, lmult in left_pairs:
+        if tick is not None:
+            tick()
+        key = tuple(lrow[i] for i in left_pos)
+        if None not in key:
+            for rrow, rmult in table.get(key, ()):
+                if tick is not None:
+                    tick()
+                yield lrow + tuple(
+                    rrow[i] for i in right_extra
+                ), lmult * rmult
+            for rrow, rmult in loose:
+                merged = merge_compatible(
+                    lrow, rrow, left_pos, right_pos, right_extra
+                )
+                if merged is not None:
+                    yield merged, lmult * rmult
+        else:
+            for rrow, rmult in right_pairs:
+                if tick is not None:
+                    tick()
+                merged = merge_compatible(
+                    lrow, rrow, left_pos, right_pos, right_extra
+                )
+                if merged is not None:
+                    yield merged, lmult * rmult
+
+
+def _left_join_stream(
+    left_pairs: Iterable[Pair],
+    left_vars: Tuple[str, ...],
+    right_pairs: List[Pair],
+    right_vars: Tuple[str, ...],
+    tick,
+) -> Iterator[Pair]:
+    """Port of :func:`repro.sparql.relation.left_join`."""
+    shared = [v for v in left_vars if v in right_vars]
+    right_extra = [i for i, v in enumerate(right_vars) if v not in left_vars]
+    left_pos = [left_vars.index(v) for v in shared]
+    right_pos = [right_vars.index(v) for v in shared]
+    padding = (None,) * len(right_extra)
+    table: Dict[Row, List[Pair]] = {}
+    loose: List[Pair] = []
+    for rrow, rmult in right_pairs:
+        key = tuple(rrow[i] for i in right_pos)
+        if None in key:
+            loose.append((rrow, rmult))
+        else:
+            table.setdefault(key, []).append((rrow, rmult))
+    for lrow, lmult in left_pairs:
+        if tick is not None:
+            tick()
+        key = tuple(lrow[i] for i in left_pos)
+        matched = False
+        if shared and None not in key:
+            candidates = list(table.get(key, ())) + loose
+        else:
+            candidates = right_pairs
+        for rrow, rmult in candidates:
+            if tick is not None:
+                tick()
+            merged = merge_compatible(
+                lrow, rrow, left_pos, right_pos, right_extra
+            )
+            if merged is not None:
+                yield merged, lmult * rmult
+                matched = True
+        if not matched:
+            yield lrow + padding, lmult
+
+
+# ----------------------------------------------------------------------
+# Operator base
+# ----------------------------------------------------------------------
+
+
+class PhysicalOp:
+    """Base: a pull-based operator with a static output schema."""
+
+    name = "Op"
+    #: Output column order — identical to the reference evaluator's
+    #: relation variable order at the same point.
+    schema: Tuple[str, ...] = ()
+    #: Variables provably bound (non-None) in every output row.
+    certain: frozenset = frozenset()
+    #: Prerendered label detail for EXPLAIN (set by the compiler).
+    detail: str = ""
+
+    def children(self) -> Tuple["PhysicalOp", ...]:
+        return ()
+
+    def run(self, ctx: ExecContext) -> Iterator[Pair]:
+        raise NotImplementedError
+
+
+class UnitOp(PhysicalOp):
+    name = "Unit"
+
+    def run(self, ctx: ExecContext) -> Iterator[Pair]:
+        yield (), 1
+
+
+class ValuesOp(PhysicalOp):
+    """VALUES: an inline table (term IDs encoded at compile time)."""
+
+    name = "Values"
+
+    def __init__(self, variables: Tuple[str, ...], rows: List[Row]):
+        self.schema = tuple(variables)
+        self.rows = rows
+        self.certain = frozenset(
+            v
+            for i, v in enumerate(self.schema)
+            if all(row[i] is not None for row in rows)
+        )
+        self.detail = "%s × %d" % (
+            " ".join(f"?{v}" for v in self.schema), len(rows),
+        )
+
+    def run(self, ctx: ExecContext) -> Iterator[Pair]:
+        for row in self.rows:
+            yield row, 1
+
+
+class EmptyAfterOp(PhysicalOp):
+    """Yields nothing — after draining its input (the reference
+    evaluator had already evaluated the preceding elements when it
+    discovered a constant is absent from the store)."""
+
+    name = "Empty"
+
+    def __init__(
+        self,
+        input: PhysicalOp,
+        schema: Tuple[str, ...],
+        counters: Tuple[str, ...] = (),
+        detail: str = "",
+    ):
+        self.input = input
+        self.schema = tuple(schema)
+        self.certain = frozenset(self.schema)
+        self.counters = counters
+        self.detail = detail
+
+    def children(self):
+        return (self.input,)
+
+    def run(self, ctx: ExecContext) -> Iterator[Pair]:
+        for _ in self.input.run(ctx):
+            pass
+        if _obs.is_active():
+            for counter in self.counters:
+                _obs.inc(counter)
+        return
+        yield  # pragma: no cover - makes this a generator
+
+
+class SeedColumnOp(PhysicalOp):
+    """A sargable ``?v = <constant>`` filter turned into a bound column
+    (the evaluator's ``_seed_constant_filters``)."""
+
+    name = "Seed"
+
+    def __init__(self, input: PhysicalOp, var: str, term_id: int, detail: str):
+        self.input = input
+        self.var = var
+        self.term_id = term_id
+        self.schema = input.schema + (var,)
+        self.certain = input.certain | {var}
+        self.detail = detail
+
+    def children(self):
+        return (self.input,)
+
+    def run(self, ctx: ExecContext) -> Iterator[Pair]:
+        if _obs.is_active():
+            _obs.inc("filter.sargable_seed")
+        term_id = self.term_id
+        for row, mult in self.input.run(ctx):
+            yield row + (term_id,), mult
+
+# ----------------------------------------------------------------------
+# Pattern step: IndexScan / IndexNestedLoopJoin / HashJoin / Cartesian
+# ----------------------------------------------------------------------
+
+
+class PatternJoinOp(PhysicalOp):
+    """One plain triple-pattern step of a BGP flush.
+
+    Statically this is an ``IndexScan`` (no shared variables with the
+    input) or an ``IndexNestedLoopJoin`` (Table-5 prefix probes per
+    input row); at run time the evaluator's thresholds may promote a
+    connected step to a hash join, or demote a disconnected one to a
+    cartesian scan-join — the executed strategy is reported per run.
+
+    ``chain_first`` marks the first step of a flush: it always
+    executes (and records) even over an empty input, mirroring a fresh
+    ``_evaluate_bgp`` call in the reference evaluator.
+    """
+
+    def __init__(
+        self,
+        input: PhysicalOp,
+        pattern: EncodedPattern,
+        graph: GraphContext,
+        chain_first: bool,
+    ):
+        self.input = input
+        self.pattern = pattern
+        self.graph = graph
+        self.chain_first = chain_first
+        slots = (pattern.subject, pattern.predicate, pattern.object)
+        self._slots = slots
+        in_schema = input.schema
+        self._var_index = {v: i for i, v in enumerate(in_schema)}
+        # Newly bound variables, in slot order (the NLJ extension).
+        new_vars: List[str] = []
+        extract: List[int] = []
+        for position, slot in enumerate(slots):
+            if (
+                isinstance(slot, str)
+                and slot not in self._var_index
+                and slot not in new_vars
+            ):
+                new_vars.append(slot)
+                extract.append(position)
+        self._extract = extract
+        graph_is_var = isinstance(graph, str)
+        self._graph_bound = graph_is_var and graph in self._var_index
+        graph_checks: List[int] = []
+        bind_graph = graph_is_var and not self._graph_bound
+        if bind_graph and graph in new_vars:
+            graph_checks = [
+                position for position, slot in enumerate(slots) if slot == graph
+            ]
+            bind_graph = False
+        if bind_graph:
+            new_vars = new_vars + [graph]
+        self._graph_checks = graph_checks
+        self._bind_graph = bind_graph
+        self.schema = in_schema + tuple(new_vars)
+        self.certain = input.certain | set(new_vars)
+        self._checks = internal_checks(slots)
+        shared = pattern.variables() & set(in_schema)
+        if self._graph_bound:
+            shared = shared | {graph}
+        self._shared = shared
+        self.name = "IndexNestedLoopJoin" if shared else "IndexScan"
+        # Standalone-scan layout (hash join / cartesian right side),
+        # the port of the evaluator's _scan_to_relation.
+        scan_vars: List[str] = []
+        scan_positions: List[int] = []
+        for position, slot in enumerate(slots):
+            if isinstance(slot, str) and slot not in scan_vars:
+                scan_vars.append(slot)
+                scan_positions.append(position)
+        if graph is None:
+            g_slot, named_only, graph_var = None, False, None
+        elif isinstance(graph, int):
+            g_slot, named_only, graph_var = graph, False, None
+        else:
+            g_slot, named_only, graph_var = None, True, graph
+        scan_graph_checks: List[int] = []
+        scan_bind_graph = graph_var is not None
+        if scan_bind_graph and graph_var in scan_vars:
+            scan_graph_checks = [
+                position
+                for position, slot in enumerate(slots)
+                if slot == graph_var
+            ]
+            scan_bind_graph = False
+        elif scan_bind_graph:
+            scan_vars = scan_vars + [graph_var]
+        self._scan_vars = tuple(scan_vars)
+        self._scan_positions = scan_positions
+        self._scan_g_slot = g_slot
+        self._scan_named_only = named_only
+        self._scan_graph_checks = scan_graph_checks
+        self._scan_bind_graph = scan_bind_graph
+        self._scan_extra = [
+            i for i, v in enumerate(self._scan_vars) if v not in self._var_index
+        ]
+
+    def children(self):
+        return (self.input,)
+
+    def _span_name(self, executed: str) -> str:
+        if executed == "hash join":
+            return "op.HashJoin"
+        if executed == "cartesian":
+            return "op.CartesianProduct"
+        return (
+            "op.IndexNestedLoopJoin" if self._shared else "op.IndexScan"
+        )
+
+    def run(self, ctx: ExecContext) -> Iterator[Pair]:
+        if ctx.materialize:
+            return self._run_materialized(ctx)
+        return self._run_streaming(ctx)
+
+    # -- materialized: decide, record, execute (evaluator's shape) -----
+
+    def _run_materialized(self, ctx: ExecContext) -> List[Pair]:
+        inp = list(self.input.run(ctx))
+        rows_in = len(inp)
+        if rows_in == 0 and not self.chain_first:
+            return []
+        estimate = ctx.model.estimate(self.pattern.store_pattern(self.graph))
+        decision = decide_join(rows_in, estimate)
+        shared = self._shared
+        if shared and decision.method == "hash join":
+            executed, reason = "hash join", decision.describe()
+        elif not shared and rows_in > 1:
+            executed, reason = "cartesian", "disconnected pattern: scan once"
+        else:
+            executed, reason = "NLJ", decision.describe()
+        collector = ctx.collector
+        if collector is not None:
+            collector.begin_operator(
+                "pattern",
+                detail=self.detail,
+                bound=describe_bound(
+                    self.pattern, set(self.input.schema), ctx.decode_id
+                ),
+                join_method=executed,
+                join_reason=reason,
+                estimate=estimate,
+                rows_in=rows_in,
+            )
+        if _obs.is_active():
+            _obs.record_join(executed)
+
+        def run_step() -> List[Pair]:
+            if executed == "NLJ":
+                return list(self._nlj(ctx, inp))
+            right = list(self._scan_pairs(ctx))
+            return list(
+                _join_stream(
+                    inp, self.input.schema, right, self._scan_vars, ctx.tick
+                )
+            )
+
+        if _trace.is_active():
+            with _trace.span(
+                self._span_name(executed),
+                detail=self.detail,
+                join=executed,
+                estimate=estimate,
+                rows_in=rows_in,
+            ) as op_span:
+                out = run_step()
+                op_span.set("rows_out", len(out))
+        else:
+            out = run_step()
+        if collector is not None:
+            collector.end_operator(rows_out=len(out))
+        return out
+
+    # -- streaming: lazy rows, adaptive NLJ -> hash cutover ------------
+
+    def _run_streaming(self, ctx: ExecContext) -> Iterator[Pair]:
+        executed: Optional[str] = None
+        try:
+            it = self.input.run(ctx)
+            first = next(it, None)
+            if first is None:
+                if self.chain_first:
+                    executed = "NLJ"
+                return
+            if not self._shared:
+                second = next(it, None)
+                if second is None:
+                    executed = "NLJ"
+                    yield from self._nlj(ctx, (first,))
+                    return
+                executed = "cartesian"
+                right = list(self._scan_pairs(ctx))
+                tick = ctx.tick
+                extra = self._scan_extra
+                for row, mult in _chain((first, second), it):
+                    for rrow, rmult in right:
+                        if tick is not None:
+                            tick()
+                        yield row + tuple(
+                            rrow[i] for i in extra
+                        ), mult * rmult
+                return
+            executed = "NLJ"
+            count = 0
+            pending: Optional[Pair] = first
+            while pending is not None:
+                count += 1
+                if count >= HASH_JOIN_MIN_ROWS:
+                    # The evaluator decides on the full input; buffer
+                    # the remainder and re-decide with the true count.
+                    rest: List[Pair] = [pending]
+                    rest.extend(it)
+                    total = (count - 1) + len(rest)
+                    estimate = ctx.model.estimate(
+                        self.pattern.store_pattern(self.graph)
+                    )
+                    if decide_join(total, estimate).method == "hash join":
+                        executed = "hash join"
+                        right = list(self._scan_pairs(ctx))
+                        yield from _join_stream(
+                            rest,
+                            self.input.schema,
+                            right,
+                            self._scan_vars,
+                            ctx.tick,
+                        )
+                    else:
+                        yield from self._nlj(ctx, rest)
+                    return
+                yield from self._nlj(ctx, (pending,))
+                pending = next(it, None)
+        finally:
+            if executed is not None and _obs.is_active():
+                _obs.record_join(executed)
+
+    # -- inner loops (ports of the evaluator) --------------------------
+
+    def _nlj(self, ctx: ExecContext, pairs: Iterable[Pair]) -> Iterator[Pair]:
+        """Port of the evaluator's ``_nested_loop_step`` body."""
+        slots = self._slots
+        var_index = self._var_index
+        graph = self.graph
+        graph_bound = self._graph_bound
+        graph_checks = self._graph_checks
+        bind_graph = self._bind_graph
+        checks = self._checks
+        extract = self._extract
+        scan = ctx.model.scan
+        deadline = ctx.deadline
+        for row, mult in pairs:
+            if deadline is not None:
+                deadline.tick()
+            bound_slots = []
+            for slot in slots:
+                if isinstance(slot, int):
+                    bound_slots.append(slot)
+                elif slot in var_index:
+                    bound_slots.append(row[var_index[slot]])
+                else:
+                    bound_slots.append(None)
+            if graph is None:
+                g_slot: Optional[int] = None
+                named_only = False
+            elif isinstance(graph, int):
+                g_slot, named_only = graph, False
+            elif graph_bound:
+                g_slot, named_only = row[var_index[graph]], False
+            else:
+                g_slot, named_only = None, True
+            scan_pattern = (
+                bound_slots[0], bound_slots[1], bound_slots[2], g_slot,
+            )
+            for quad in scan(scan_pattern):
+                if deadline is not None:
+                    deadline.tick()
+                if named_only and quad[3] == 0:
+                    continue
+                if checks and not passes_checks(quad, checks):
+                    continue
+                if graph_checks and any(
+                    quad[3] != quad[p] for p in graph_checks
+                ):
+                    continue
+                extension = tuple(quad[p] for p in extract)
+                if bind_graph:
+                    extension = extension + (quad[3],)
+                yield row + extension, mult
+
+    def _scan_pairs(self, ctx: ExecContext) -> Iterator[Pair]:
+        """Port of ``_scan_to_relation``: the pattern standalone."""
+        slots = self._slots
+        scan_pattern = (
+            slots[0] if isinstance(slots[0], int) else None,
+            slots[1] if isinstance(slots[1], int) else None,
+            slots[2] if isinstance(slots[2], int) else None,
+            self._scan_g_slot,
+        )
+        named_only = self._scan_named_only
+        checks = self._checks
+        graph_checks = self._scan_graph_checks
+        bind_graph = self._scan_bind_graph
+        positions = self._scan_positions
+        deadline = ctx.deadline
+        for quad in ctx.model.scan(scan_pattern):
+            if deadline is not None:
+                deadline.tick()
+            if named_only and quad[3] == 0:
+                continue
+            if checks and not passes_checks(quad, checks):
+                continue
+            if graph_checks and any(quad[3] != quad[p] for p in graph_checks):
+                continue
+            row = tuple(quad[p] for p in positions)
+            if bind_graph:
+                row = row + (quad[3],)
+            yield row, 1
+
+
+# ----------------------------------------------------------------------
+# Path closure
+# ----------------------------------------------------------------------
+
+
+class PathStepOp(PhysicalOp):
+    """One property-path pattern: reachability walk with multiplicity
+    counting (port of the evaluator's ``_path_step``)."""
+
+    name = "PathClosure"
+
+    def __init__(
+        self,
+        input: PhysicalOp,
+        pattern: TriplePattern,
+        graph: GraphContext,
+        chain_first: bool,
+    ):
+        self.input = input
+        self.pattern = pattern
+        self.graph = graph
+        self.chain_first = chain_first
+        self._var_index = {v: i for i, v in enumerate(input.schema)}
+        new_vars: List[str] = []
+        for part in (pattern.subject, pattern.object):
+            if (
+                isinstance(part, str)
+                and part not in self._var_index
+                and part not in new_vars
+            ):
+                new_vars.append(part)
+        self.schema = input.schema + tuple(new_vars)
+        self.certain = input.certain | set(new_vars)
+        self.detail = render_triple(pattern)
+
+    def children(self):
+        return (self.input,)
+
+    def run(self, ctx: ExecContext) -> Iterator[Pair]:
+        if ctx.materialize:
+            return self._run_materialized(ctx)
+        return self._run_streaming(ctx)
+
+    def _run_materialized(self, ctx: ExecContext) -> List[Pair]:
+        inp = list(self.input.run(ctx))
+        if not inp and not self.chain_first:
+            return []
+        collector = ctx.collector
+        if collector is not None:
+            collector.begin_operator(
+                "path",
+                detail=self.detail,
+                join_method="path",
+                rows_in=len(inp),
+            )
+        if _trace.is_active():
+            with _trace.span(
+                "op.PathClosure", detail=self.detail, rows_in=len(inp)
+            ) as op_span:
+                out = list(self._walk(ctx, inp))
+                op_span.set("rows_out", len(out))
+        else:
+            out = list(self._walk(ctx, inp))
+        if collector is not None:
+            collector.end_operator(rows_out=len(out))
+        return out
+
+    def _run_streaming(self, ctx: ExecContext) -> Iterator[Pair]:
+        it = self.input.run(ctx)
+        if self.chain_first:
+            pairs: Iterable[Pair] = it
+        else:
+            first = next(it, None)
+            if first is None:
+                return
+            pairs = _chain((first,), it)
+        yield from self._walk(ctx, pairs)
+
+    def _walk(self, ctx: ExecContext, pairs: Iterable[Pair]) -> Iterator[Pair]:
+        """Port of ``_path_step_inner``; endpoint constants resolve at
+        run time (like the evaluator), so an absent constant drains the
+        input and yields nothing."""
+        if isinstance(self.graph, str):
+            raise EvaluationError(_GRAPH_VAR_PATHS)
+        pattern = self.pattern
+        path = pattern.predicate
+        subject, obj = pattern.subject, pattern.object
+        var_index = self._var_index
+
+        def resolve(part):
+            if isinstance(part, str):
+                if part in var_index:
+                    return ("boundvar", part)
+                return ("freevar", part)
+            return ("const", ctx.lookup(part))
+
+        s_kind, s_val = resolve(subject)
+        o_kind, o_val = resolve(obj)
+        if (s_kind == "const" and s_val is None) or (
+            o_kind == "const" and o_val is None
+        ):
+            for _ in pairs:
+                pass
+            return
+        if s_kind != "freevar":
+            yield from self._from_bound(
+                ctx, pairs, s_kind, s_val, o_kind, o_val, subject_side=True
+            )
+            return
+        if o_kind != "freevar":
+            yield from self._from_bound(
+                ctx, pairs, o_kind, o_val, s_kind, s_val, subject_side=False
+            )
+            return
+        # Both endpoints free: all-pairs evaluation, then join.
+        variables = (subject, obj) if subject != obj else (subject,)
+        right: List[Pair] = []
+        for start, end, mult in ctx.paths.pairs(path, self.graph):
+            if subject == obj:
+                if start != end:
+                    continue
+                right.append(((start,), mult))
+            else:
+                right.append(((start, end), mult))
+        yield from _join_stream(
+            pairs, self.input.schema, right, variables, ctx.tick
+        )
+
+    def _from_bound(
+        self, ctx, pairs, bound_kind, bound_val, other_kind, other_val,
+        subject_side,
+    ) -> Iterator[Pair]:
+        """Port of ``_path_from_bound`` (per-execution reach cache)."""
+        var_index = self._var_index
+        path = self.pattern.predicate
+        walker = ctx.paths.ends_from if subject_side else ctx.paths.starts_to
+        cache: Dict[int, Dict[int, int]] = {}
+
+        def reach(node: int) -> Dict[int, int]:
+            found = cache.get(node)
+            if found is None:
+                found = walker(path, {node: 1}, self.graph)
+                cache[node] = found
+            return found
+
+        other_is_free = other_kind == "freevar"
+        for row, mult in pairs:
+            if bound_kind == "const":
+                start = bound_val
+            else:
+                start = row[var_index[bound_val]]
+                if start is None:
+                    continue
+            ends = reach(start)
+            if other_is_free:
+                for end, path_mult in ends.items():
+                    yield row + (end,), mult * path_mult
+            else:
+                if other_kind == "const":
+                    target = other_val
+                else:
+                    target = row[var_index[other_val]]
+                path_mult = ends.get(target, 0)
+                if path_mult:
+                    yield row, mult * path_mult
+
+
+# ----------------------------------------------------------------------
+# Filter
+# ----------------------------------------------------------------------
+
+
+class FilterApplyOp(PhysicalOp):
+    """FILTER application (pushed-down or group-end)."""
+
+    name = "Filter"
+
+    def __init__(self, input: PhysicalOp, expression: Expression, origin: str):
+        self.input = input
+        self.expression = expression
+        self.origin = origin
+        self.schema = input.schema
+        self.certain = input.certain
+        self.detail = render_expr(expression)
+        self._counter = (
+            "filter.pushdown" if origin == "pushed" else "filter.group_end"
+        )
+
+    def children(self):
+        return (self.input,)
+
+    def run(self, ctx: ExecContext) -> Iterator[Pair]:
+        if _obs.is_active():
+            _obs.inc(self._counter)
+        if ctx.materialize:
+            return self._run_materialized(ctx)
+        return self._run_streaming(ctx)
+
+    def _keep(self, ctx: ExecContext, pairs: Iterable[Pair]) -> Iterator[Pair]:
+        getter = row_getter(self.input.schema, ctx.term_of)
+        expression = self.expression
+        deadline = ctx.deadline
+        for row, mult in pairs:
+            if deadline is not None:
+                deadline.tick()
+            try:
+                value = ctx.expr.evaluate(expression, getter(row))
+                passed = F.ebv(value)
+            except ExpressionError:
+                passed = False
+            if passed:
+                yield row, mult
+
+    def _run_materialized(self, ctx: ExecContext) -> List[Pair]:
+        inp = list(self.input.run(ctx))
+        collector = ctx.collector
+        if collector is not None:
+            collector.begin_operator(
+                "filter", detail=self.detail, rows_in=len(inp)
+            )
+        if _trace.is_active():
+            with _trace.span(
+                "op.Filter", detail=self.detail, rows_in=len(inp)
+            ) as op_span:
+                out = list(self._keep(ctx, inp))
+                op_span.set("rows_out", len(out))
+        else:
+            out = list(self._keep(ctx, inp))
+        if collector is not None:
+            collector.end_operator(rows_out=len(out))
+        return out
+
+    def _run_streaming(self, ctx: ExecContext) -> Iterator[Pair]:
+        yield from self._keep(ctx, self.input.run(ctx))
+
+
+# ----------------------------------------------------------------------
+# Binary operators
+# ----------------------------------------------------------------------
+
+
+class JoinOp(PhysicalOp):
+    """Compatible-mapping join (UNION blocks, GRAPH groups, VALUES,
+    subqueries, nested groups)."""
+
+    name = "HashJoin"
+
+    def __init__(self, left: PhysicalOp, right: PhysicalOp):
+        self.left = left
+        self.right = right
+        self.schema = left.schema + tuple(
+            v for v in right.schema if v not in left.schema
+        )
+        self.certain = left.certain | right.certain
+
+    def children(self):
+        return (self.left, self.right)
+
+    def run(self, ctx: ExecContext) -> Iterator[Pair]:
+        if ctx.materialize:
+            # Drain left first so operator records appear in the
+            # reference evaluator's (sequential) order.
+            left_pairs = list(self.left.run(ctx))
+            right_pairs = list(self.right.run(ctx))
+            return list(
+                _join_stream(
+                    left_pairs, self.left.schema, right_pairs,
+                    self.right.schema, ctx.tick,
+                )
+            )
+        return _join_stream(
+            self.left.run(ctx), self.left.schema,
+            list(self.right.run(ctx)), self.right.schema, ctx.tick,
+        )
+
+
+class LeftJoinOp(PhysicalOp):
+    """OPTIONAL."""
+
+    name = "LeftJoin"
+
+    def __init__(self, left: PhysicalOp, right: PhysicalOp):
+        self.left = left
+        self.right = right
+        self.schema = left.schema + tuple(
+            v for v in right.schema if v not in left.schema
+        )
+        self.certain = left.certain
+
+    def children(self):
+        return (self.left, self.right)
+
+    def run(self, ctx: ExecContext) -> Iterator[Pair]:
+        if ctx.materialize:
+            left_pairs = list(self.left.run(ctx))
+            right_pairs = list(self.right.run(ctx))
+            return list(
+                _left_join_stream(
+                    left_pairs, self.left.schema, right_pairs,
+                    self.right.schema, ctx.tick,
+                )
+            )
+        return _left_join_stream(
+            self.left.run(ctx), self.left.schema,
+            list(self.right.run(ctx)), self.right.schema, ctx.tick,
+        )
+
+
+class MinusOp(PhysicalOp):
+    name = "Minus"
+
+    def __init__(self, left: PhysicalOp, right: PhysicalOp):
+        self.left = left
+        self.right = right
+        self.schema = left.schema
+        self.certain = left.certain
+        self._shared = [v for v in left.schema if v in right.schema]
+
+    def children(self):
+        return (self.left, self.right)
+
+    def run(self, ctx: ExecContext) -> Iterator[Pair]:
+        if ctx.materialize:
+            left_pairs = list(self.left.run(ctx))
+            right_pairs = list(self.right.run(ctx))
+            return list(self._emit(ctx, left_pairs, right_pairs))
+        left_pairs = self.left.run(ctx)
+        right_pairs = list(self.right.run(ctx))
+        return self._emit(ctx, left_pairs, right_pairs)
+
+    def _emit(
+        self,
+        ctx: ExecContext,
+        left_pairs: Iterable[Pair],
+        right_pairs: List[Pair],
+    ) -> Iterator[Pair]:
+        shared = self._shared
+        # The evaluator always evaluates the MINUS group, even when no
+        # variables are shared (and the result is then ignored).
+        if not shared:
+            yield from left_pairs
+            return
+        left_pos = [self.left.schema.index(v) for v in shared]
+        right_pos = [self.right.schema.index(v) for v in shared]
+        right_keys = set()
+        for rrow, _ in right_pairs:
+            right_keys.add(tuple(rrow[i] for i in right_pos))
+        tick = ctx.tick
+        for lrow, lmult in left_pairs:
+            if tick is not None:
+                tick()
+            key = tuple(lrow[i] for i in left_pos)
+            if None in key:
+                compatible = any(
+                    all(
+                        a is None or b is None or a == b
+                        for a, b in zip(key, rkey)
+                    )
+                    and any(
+                        a is not None and b is not None
+                        for a, b in zip(key, rkey)
+                    )
+                    for rkey in right_keys
+                )
+            else:
+                compatible = key in right_keys
+            if not compatible:
+                yield lrow, lmult
+
+
+class UnionOp(PhysicalOp):
+    name = "Union"
+
+    def __init__(self, branches: Tuple[PhysicalOp, ...]):
+        self.branches = branches
+        all_vars: List[str] = []
+        for branch in branches:
+            for variable in branch.schema:
+                if variable not in all_vars:
+                    all_vars.append(variable)
+        self.schema = tuple(all_vars)
+        certain = set(branches[0].certain) if branches else set()
+        for branch in branches[1:]:
+            certain &= branch.certain
+        # A variable absent from some branch is None in that branch.
+        certain &= {
+            v
+            for v in self.schema
+            if all(v in b.schema for b in branches)
+        }
+        self.certain = frozenset(certain)
+
+    def children(self):
+        return self.branches
+
+    def run(self, ctx: ExecContext) -> Iterator[Pair]:
+        tick = ctx.tick
+        for branch in self.branches:
+            positions = [
+                branch.schema.index(v) if v in branch.schema else None
+                for v in self.schema
+            ]
+            for row, mult in branch.run(ctx):
+                if tick is not None:
+                    tick()
+                yield tuple(
+                    row[p] if p is not None else None for p in positions
+                ), mult
+
+
+# ----------------------------------------------------------------------
+# Solution modifiers
+# ----------------------------------------------------------------------
+
+
+class ExtendOp(PhysicalOp):
+    """BIND / SELECT expression: append one computed column.  The
+    rebind check happens at compile time (same message as the
+    evaluator's runtime error)."""
+
+    name = "Extend"
+
+    def __init__(
+        self, input: PhysicalOp, var: str, expression: Expression, kind: str
+    ):
+        self.input = input
+        self.var = var
+        self.expression = expression
+        self.kind = kind
+        self.schema = input.schema + (var,)
+        # BIND values may be None (expression errors bind nothing).
+        self.certain = input.certain
+        self.detail = f"?{var} := {render_expr(expression)}"
+
+    def children(self):
+        return (self.input,)
+
+    def run(self, ctx: ExecContext) -> Iterator[Pair]:
+        getter = row_getter(self.input.schema, ctx.term_of)
+        expression = self.expression
+        for row, mult in self.input.run(ctx):
+            try:
+                term = ctx.expr.evaluate(expression, getter(row))
+                value: Optional[int] = ctx.encode_term(term)
+            except ExpressionError:
+                value = None
+            yield row + (value,), mult
+
+
+class ProjectOp(PhysicalOp):
+    """Column projection; missing variables become unbound columns."""
+
+    name = "Project"
+
+    def __init__(self, input: PhysicalOp, names: Tuple[str, ...]):
+        self.input = input
+        self.names = names
+        self.schema = tuple(names)
+        self._positions = [
+            input.schema.index(v) if v in input.schema else None
+            for v in names
+        ]
+        self.certain = frozenset(
+            v
+            for v, p in zip(names, self._positions)
+            if p is not None and v in input.certain
+        )
+        self.detail = " ".join(f"?{v}" for v in names)
+
+    def children(self):
+        return (self.input,)
+
+    def run(self, ctx: ExecContext) -> Iterator[Pair]:
+        positions = self._positions
+        for row, mult in self.input.run(ctx):
+            yield tuple(
+                row[p] if p is not None else None for p in positions
+            ), mult
+
+
+class DistinctOp(PhysicalOp):
+    """DISTINCT/REDUCED: first occurrence wins, multiplicities drop."""
+
+    name = "Distinct"
+
+    def __init__(self, input: PhysicalOp):
+        self.input = input
+        self.schema = input.schema
+        self.certain = input.certain
+
+    def children(self):
+        return (self.input,)
+
+    def run(self, ctx: ExecContext) -> Iterator[Pair]:
+        seen = set()
+        for row, _ in self.input.run(ctx):
+            if row not in seen:
+                seen.add(row)
+                yield row, 1
+
+
+class OrderByOp(PhysicalOp):
+    """ORDER BY (stable); with ``top`` set, a bounded top-k selection
+    replaces the full sort (Slice fused in by the optimizer)."""
+
+    name = "OrderBy"
+
+    def __init__(
+        self,
+        input: PhysicalOp,
+        conditions: Tuple[OrderCondition, ...],
+        top: Optional[int] = None,
+    ):
+        self.input = input
+        self.conditions = conditions
+        self.top = top
+        self.schema = input.schema
+        self.certain = input.certain
+        parts = ", ".join(
+            ("DESC(%s)" if c.descending else "%s") % render_expr(c.expression)
+            for c in conditions
+        )
+        self.detail = parts + (f" top={top}" if top is not None else "")
+
+    def children(self):
+        return (self.input,)
+
+    def run(self, ctx: ExecContext) -> Iterator[Pair]:
+        pairs = list(self.input.run(ctx))
+        getter = row_getter(self.input.schema, ctx.term_of)
+        conditions = self.conditions
+
+        def key_of(pair: Pair) -> Tuple:
+            row = pair[0]
+            keys = []
+            for condition in conditions:
+                try:
+                    term = ctx.expr.evaluate(condition.expression, getter(row))
+                except ExpressionError:
+                    term = None
+                key = F.order_key(term)
+                keys.append(Reversed(key) if condition.descending else key)
+            return tuple(keys)
+
+        if self.top is not None:
+            # heapq.nsmallest is stable: equivalent to sorted(...)[:n].
+            yield from heapq.nsmallest(self.top, pairs, key=key_of)
+        else:
+            yield from sorted(pairs, key=key_of)
+
+
+class SliceOp(PhysicalOp):
+    """LIMIT/OFFSET counting rows (not multiplicities), like the
+    evaluator.  Streaming: stops pulling its input once OFFSET+LIMIT
+    rows have been seen, so upstream scans terminate early."""
+
+    name = "StreamingSlice"
+
+    def __init__(self, input: PhysicalOp, offset: int, limit: Optional[int]):
+        self.input = input
+        self.offset = offset
+        self.limit = limit
+        self.schema = input.schema
+        self.certain = input.certain
+        shown = "∞" if limit is None else str(limit)
+        self.detail = f"offset={offset} limit={shown}"
+
+    def children(self):
+        return (self.input,)
+
+    def run(self, ctx: ExecContext) -> Iterator[Pair]:
+        if self.limit == 0:
+            return
+        skipped = 0
+        emitted = 0
+        for pair in self.input.run(ctx):
+            if skipped < self.offset:
+                skipped += 1
+                continue
+            yield pair
+            emitted += 1
+            if self.limit is not None and emitted >= self.limit:
+                return
+
+
+class AggregateOp(PhysicalOp):
+    """GROUP BY / aggregates / HAVING, plus hidden ``__orderN`` columns
+    for ORDER BY conditions over aggregates (port of ``_aggregate``)."""
+
+    name = "Aggregate"
+
+    def __init__(
+        self,
+        input: PhysicalOp,
+        projections: Tuple[Projection, ...],
+        group_by: Tuple[Expression, ...],
+        group_by_aliases: Tuple[Optional[str], ...],
+        having: Tuple[Expression, ...],
+        order_by: Tuple[OrderCondition, ...],
+    ):
+        self.input = input
+        self.projections = projections
+        self.group_by = group_by
+        self.group_by_aliases = group_by_aliases
+        self.having = having
+        self.order_by = order_by
+        self._hidden = [
+            (f"__order{i}", condition)
+            for i, condition in enumerate(order_by)
+            if contains_aggregate(condition.expression)
+        ]
+        self.schema = tuple(p.var for p in projections) + tuple(
+            name for name, _ in self._hidden
+        )
+        self.certain = frozenset()
+        keys = ", ".join(render_expr(e) for e in group_by)
+        self.detail = f"group by {keys}" if keys else ""
+
+    def children(self):
+        return (self.input,)
+
+    def run(self, ctx: ExecContext) -> Iterator[Pair]:
+        getter = row_getter(self.input.schema, ctx.term_of)
+        group_exprs = list(self.group_by)
+        groups: Dict[Tuple, List[Pair]] = {}
+        for row, mult in self.input.run(ctx):
+            get = getter(row)
+            key_terms = []
+            for expr in group_exprs:
+                try:
+                    key_terms.append(ctx.expr.evaluate(expr, get))
+                except ExpressionError:
+                    key_terms.append(None)
+            groups.setdefault(tuple(key_terms), []).append((row, mult))
+        if not group_exprs and not groups:
+            # Aggregates over an empty solution sequence: one group.
+            groups[()] = []
+        alias_names = {
+            i: alias
+            for i, alias in enumerate(self.group_by_aliases)
+            if alias is not None
+        }
+        for key, members in groups.items():
+            env: Dict[str, Optional[Term]] = {}
+            for i, expr in enumerate(group_exprs):
+                if isinstance(expr, VarExpr):
+                    env[expr.name] = key[i]
+                if i in alias_names:
+                    env[alias_names[i]] = key[i]
+
+            def agg_get(name: str, _env=env) -> Optional[Term]:
+                return _env.get(name)
+
+            aggregates = ctx.expr.compute_aggregates(
+                self.projections, self.having, self.order_by, members, getter
+            )
+            skip_group = False
+            for having in self.having:
+                try:
+                    value = ctx.expr.evaluate_with_aggregates(
+                        having, agg_get, aggregates
+                    )
+                    if not F.ebv(value):
+                        skip_group = True
+                        break
+                except ExpressionError:
+                    skip_group = True
+                    break
+            if skip_group:
+                continue
+            row_values: List[Optional[int]] = []
+            for projection in self.projections:
+                if projection.expression is None:
+                    term = env.get(projection.var)
+                    row_values.append(
+                        None if term is None else ctx.encode_term(term)
+                    )
+                else:
+                    try:
+                        term = ctx.expr.evaluate_with_aggregates(
+                            projection.expression, agg_get, aggregates
+                        )
+                        row_values.append(ctx.encode_term(term))
+                    except ExpressionError:
+                        row_values.append(None)
+            for _, condition in self._hidden:
+                try:
+                    term = ctx.expr.evaluate_with_aggregates(
+                        condition.expression, agg_get, aggregates
+                    )
+                    row_values.append(ctx.encode_term(term))
+                except ExpressionError:
+                    row_values.append(None)
+            yield tuple(row_values), 1
+
+
+# ----------------------------------------------------------------------
+# Rendering (EXPLAIN, --format=json)
+# ----------------------------------------------------------------------
+
+
+def op_label(op: PhysicalOp) -> str:
+    return f"{op.name}({op.detail})" if op.detail else op.name
+
+
+def render_physical(op: PhysicalOp) -> str:
+    """Indented textual tree of the physical plan (root first)."""
+    lines: List[str] = []
+
+    def walk(node: PhysicalOp, depth: int) -> None:
+        lines.append("  " * depth + op_label(node))
+        for child in node.children():
+            walk(child, depth + 1)
+
+    walk(op, 0)
+    return "\n".join(lines)
+
+
+def physical_to_dict(op: PhysicalOp) -> Dict:
+    node: Dict = {"op": op.name, "label": op_label(op)}
+    if op.schema:
+        node["schema"] = list(op.schema)
+    kids = [physical_to_dict(child) for child in op.children()]
+    if kids:
+        node["children"] = kids
+    return node
+
+
+# ----------------------------------------------------------------------
+# Compiler: logical algebra -> physical operator tree
+# ----------------------------------------------------------------------
+
+
+class Compiler:
+    """Translates an (optimized) logical plan into physical operators.
+
+    Compilation resolves query constants against the store's values
+    table (the reference evaluator does this lazily per flush); the
+    plan cache guards compiled plans with the network's data version,
+    so a mutation always forces a fresh compile with fresh lookups and
+    fresh join-order estimates.
+    """
+
+    def __init__(self, network, model, union_default_graph: bool = True):
+        self._network = network
+        self._model = model
+        self._default: GraphContext = None if union_default_graph else 0
+
+    @property
+    def default_graph(self) -> GraphContext:
+        return self._default
+
+    # -- entry ---------------------------------------------------------
+
+    def compile(self, plan: A.Plan, graph: GraphContext) -> PhysicalOp:
+        if isinstance(plan, A.Unit):
+            return UnitOp()
+        if isinstance(plan, A.BGP):
+            return self._compile_bgp(
+                plan, graph, self.compile(plan.input, graph)
+            )
+        if isinstance(plan, A.PathStep):
+            return self._compile_path(
+                plan, graph, self.compile(plan.input, graph)
+            )
+        if isinstance(plan, A.Join):
+            left = self.compile(plan.left, graph)
+            if isinstance(plan.right, A.Graph):
+                return self._compile_graph_join(left, plan.right)
+            return JoinOp(left, self.compile(plan.right, graph))
+        if isinstance(plan, A.LeftJoin):
+            return LeftJoinOp(
+                self.compile(plan.left, graph),
+                self.compile(plan.right, graph),
+            )
+        if isinstance(plan, A.Minus):
+            return MinusOp(
+                self.compile(plan.left, graph),
+                self.compile(plan.right, graph),
+            )
+        if isinstance(plan, A.Union):
+            return UnionOp(
+                tuple(self.compile(b, graph) for b in plan.branches)
+            )
+        if isinstance(plan, A.Graph):
+            return self._compile_graph_join(UnitOp(), plan)
+        if isinstance(plan, A.Filter):
+            return FilterApplyOp(
+                self.compile(plan.input, graph), plan.expression, plan.origin
+            )
+        if isinstance(plan, A.Extend):
+            # A SELECT-expression Extend belongs to the select wrapper
+            # chain; like all wrappers it resets the graph context (a
+            # subquery ignores an enclosing GRAPH, as the evaluator's
+            # select_relation does).
+            child_graph = self._default if plan.kind == "projection" else graph
+            child = self.compile(plan.input, child_graph)
+            if plan.var in child.schema:
+                if plan.kind == "projection":
+                    raise EvaluationError(
+                        f"SELECT expression rebinds ?{plan.var}"
+                    )
+                raise EvaluationError(f"BIND rebinds ?{plan.var}")
+            return ExtendOp(child, plan.var, plan.expression, plan.kind)
+        if isinstance(plan, A.Table):
+            rows = [
+                tuple(
+                    None if term is None else self._network.encode_term(term)
+                    for term in row
+                )
+                for row in plan.rows
+            ]
+            return ValuesOp(plan.variables, rows)
+        if isinstance(plan, A.Aggregate):
+            child = self.compile(plan.input, self._default)
+            if plan.projections is None:
+                projections = tuple(
+                    Projection(var=v)
+                    for v in child.schema
+                    if not v.startswith("_:")
+                )
+            else:
+                projections = plan.projections
+            return AggregateOp(
+                child,
+                projections,
+                plan.group_by,
+                plan.group_by_aliases,
+                plan.having,
+                plan.order_by,
+            )
+        if isinstance(plan, A.OrderBy):
+            return OrderByOp(
+                self.compile(plan.input, self._default),
+                plan.conditions,
+                plan.top,
+            )
+        if isinstance(plan, A.Project):
+            child = self.compile(plan.input, self._default)
+            if plan.projections is None:
+                names = tuple(
+                    v
+                    for v in child.schema
+                    if not v.startswith("_:") and not v.startswith("__order")
+                )
+            else:
+                names = tuple(p.var for p in plan.projections)
+            return ProjectOp(child, names)
+        if isinstance(plan, A.Distinct):
+            return DistinctOp(self.compile(plan.input, self._default))
+        if isinstance(plan, A.Slice):
+            return SliceOp(
+                self.compile(plan.input, self._default),
+                plan.offset,
+                plan.limit,
+            )
+        raise EvaluationError(f"cannot compile plan node {type(plan).__name__}")
+
+    # -- flushes -------------------------------------------------------
+
+    def _compile_bgp(
+        self, node: A.BGP, graph: GraphContext, input_op: PhysicalOp
+    ) -> PhysicalOp:
+        plain: List[EncodedPattern] = []
+        for pattern in node.patterns:
+            encoded = self._encode_pattern(pattern)
+            if encoded is None:
+                # A pattern constant is absent from the store: the
+                # evaluator returns an empty relation with the *input*
+                # schema, before seeding.
+                return EmptyAfterOp(
+                    input_op, input_op.schema, detail="constant not in store"
+                )
+            plain.append(encoded)
+        op = self._compile_seeds(node.seeds, input_op)
+        if isinstance(op, EmptyAfterOp):
+            return op
+        filters = list(node.filters)
+        ordered = order_patterns(plain, self._model, graph, set(op.schema))
+        chain_first = node.fresh
+        for encoded in ordered:
+            step = PatternJoinOp(op, encoded, graph, chain_first=chain_first)
+            step.detail = self._render_encoded(encoded)
+            chain_first = False
+            op = step
+            filters, op = self._attach_filters(filters, op)
+        for expression in filters:  # pragma: no cover - defensive
+            op = FilterApplyOp(op, expression, origin="pushed")
+        return op
+
+    def _compile_path(
+        self, node: A.PathStep, graph: GraphContext, input_op: PhysicalOp
+    ) -> PhysicalOp:
+        op = self._compile_seeds(node.seeds, input_op)
+        if isinstance(op, EmptyAfterOp):
+            return op
+        op = PathStepOp(op, node.pattern, graph, chain_first=node.fresh)
+        filters = list(node.filters)
+        filters, op = self._attach_filters(filters, op)
+        for expression in filters:  # pragma: no cover - defensive
+            op = FilterApplyOp(op, expression, origin="pushed")
+        return op
+
+    def _compile_seeds(
+        self,
+        seeds: Tuple[Tuple[str, Term], ...],
+        op: PhysicalOp,
+    ) -> PhysicalOp:
+        for var, term in seeds:
+            term_id = self._network.lookup_term(term)
+            if term_id is None:
+                # The evaluator counts the seed attempt, then yields an
+                # empty relation extended with the seeded column.
+                return EmptyAfterOp(
+                    op,
+                    op.schema + (var,),
+                    counters=("filter.sargable_seed",),
+                    detail=f"?{var} = {term.n3()} (absent)",
+                )
+            op = SeedColumnOp(op, var, term_id, f"?{var} = {term.n3()}")
+        return op
+
+    def _attach_filters(
+        self, filters: List[Expression], op: PhysicalOp
+    ) -> Tuple[List[Expression], PhysicalOp]:
+        """Apply pushed-down flush filters right after the earliest step
+        where their variables are certainly bound (the evaluator's
+        per-step eligibility check)."""
+        from repro.sparql.ast import expression_variables
+
+        remaining: List[Expression] = []
+        for expression in filters:
+            if expression_variables(expression) <= op.certain:
+                op = FilterApplyOp(op, expression, origin="pushed")
+            else:
+                remaining.append(expression)
+        return remaining, op
+
+    # -- helpers -------------------------------------------------------
+
+    def _compile_graph_join(
+        self, left: PhysicalOp, node: A.Graph
+    ) -> PhysicalOp:
+        if isinstance(node.graph, str):
+            return JoinOp(left, self.compile(node.input, node.graph))
+        graph_id = self._network.lookup_term(node.graph)
+        if graph_id is None:
+            # GRAPH <iri> with an unknown IRI: empty, keeping the
+            # *left* schema (the evaluator never evaluates the inner
+            # group in this case).
+            return EmptyAfterOp(
+                left, left.schema, detail=f"graph {node.graph.n3()} absent"
+            )
+        return JoinOp(left, self.compile(node.input, graph_id))
+
+    def _encode_pattern(
+        self, pattern: TriplePattern
+    ) -> Optional[EncodedPattern]:
+        slots = []
+        for part in (pattern.subject, pattern.predicate, pattern.object):
+            if isinstance(part, str):
+                slots.append(part)
+            else:
+                encoded = self._network.lookup_term(part)
+                if encoded is None:
+                    return None
+                slots.append(encoded)
+        return EncodedPattern(*slots)
+
+    def _decode(self, term_id: int) -> str:
+        try:
+            return self._network.values.term(term_id).n3()
+        except Exception:
+            return f"#{term_id}"
+
+    def _render_encoded(self, pattern: EncodedPattern) -> str:
+        return " ".join(
+            f"?{slot}" if isinstance(slot, str) else self._decode(slot)
+            for slot in (pattern.subject, pattern.predicate, pattern.object)
+        )
+
+
+def compile_plan(
+    plan: A.Plan, network, model, union_default_graph: bool = True
+) -> PhysicalOp:
+    """Compile an optimized logical plan to a physical operator tree."""
+    compiler = Compiler(network, model, union_default_graph)
+    return compiler.compile(plan, compiler.default_graph)

@@ -1,0 +1,81 @@
+"""A small LRU cache for compiled query plans.
+
+The engine keys entries by ``(query text, model name)``.  Compiled
+plans bake in term encodings and pattern orderings that depend on the
+store contents, so every entry also remembers the network
+``data_version`` it was compiled against; any store mutation bumps the
+version and the next lookup treats the stale entry as a miss (the
+entry is dropped and recompiled).
+
+Thread-safe: the engine may serve queries from multiple threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable, Optional, Tuple
+
+
+class PlanCache:
+    """LRU cache of compiled plans, invalidated by data version."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Tuple[int, object]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable, data_version: int) -> Optional[object]:
+        """Return the cached plan, or ``None`` on a miss.
+
+        An entry compiled against a different ``data_version`` is stale:
+        it is discarded and reported as a miss.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            version, plan = entry
+            if version != data_version:
+                del self._entries[key]
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return plan
+
+    def put(self, key: Hashable, data_version: int, plan: object) -> int:
+        """Store a plan; returns the number of entries evicted (0 or 1)."""
+        with self._lock:
+            self._entries[key] = (data_version, plan)
+            self._entries.move_to_end(key)
+            evicted = 0
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                evicted += 1
+            self.evictions += evicted
+            return evicted
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

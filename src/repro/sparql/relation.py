@@ -321,3 +321,8 @@ def _build(variables: Sequence[str], rows: List[Row], mults: List[int]) -> Relat
     if all(m == 1 for m in mults):
         return Relation(variables, rows)
     return Relation(variables, rows, mults)
+
+
+#: Public alias: the physical operator layer streams the same
+#: compatible-mapping merge without materializing Relations.
+merge_compatible = _merge_compatible

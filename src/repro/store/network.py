@@ -32,6 +32,12 @@ class SemanticNetwork:
         self.values = ValuesTable()
         self._models: Dict[str, SemanticModel] = {}
         self._virtual_models: Dict[str, VirtualModel] = {}
+        #: Monotonic counter bumped by every mutation (DML, loads, model
+        #: lifecycle).  Compiled query plans bake in term IDs and index
+        #: choices, so the plan cache uses this to invalidate them.
+        #: Term interning alone does not bump it — adding an unused
+        #: dictionary entry cannot change any query result.
+        self.data_version = 0
         #: Reader-writer lock serializing updates against concurrent
         #: queries.  The store itself never locks — the SPARQL engine
         #: (and any other multi-threaded caller) brackets whole
@@ -49,6 +55,7 @@ class SemanticNetwork:
             raise StoreError(f"model {name!r} already exists")
         model = SemanticModel(name, index_specs)
         self._models[name] = model
+        self.data_version += 1
         return model
 
     def create_virtual_model(
@@ -62,6 +69,7 @@ class SemanticNetwork:
                 raise StoreError("virtual models cannot nest virtual models")
         virtual = VirtualModel(name, members, union_all=union_all)
         self._virtual_models[name] = virtual
+        self.data_version += 1
         return virtual
 
     def model(self, name: str) -> AnyModel:
@@ -88,6 +96,7 @@ class SemanticNetwork:
             del self._virtual_models[name]
         else:
             raise StoreError(f"no such model: {name!r}")
+        self.data_version += 1
 
     @property
     def model_names(self) -> List[str]:
@@ -137,6 +146,7 @@ class SemanticNetwork:
         """Bulk load RDF quads into a model; returns quads added."""
         model = self._require_base_model(model_name)
         encoded = [self.encode_quad(quad) for quad in quads]
+        self.data_version += 1
         return model.bulk_load(encoded)
 
     def bulk_load_nquads(self, model_name: str, lines: Iterable[str]) -> int:
@@ -144,13 +154,16 @@ class SemanticNetwork:
         return self.bulk_load(model_name, parse_nquads(lines))
 
     def insert(self, model_name: str, quad: Quad) -> bool:
-        return self._require_base_model(model_name).insert(self.encode_quad(quad))
+        model = self._require_base_model(model_name)
+        self.data_version += 1
+        return model.insert(self.encode_quad(quad))
 
     def delete(self, model_name: str, quad: Quad) -> bool:
         model = self._require_base_model(model_name)
         encoded = self._encode_existing(quad)
         if encoded is None:
             return False
+        self.data_version += 1
         return model.delete(encoded)
 
     def clear_model(self, model_name: str, graph: Optional[Term] = None) -> int:
@@ -161,6 +174,7 @@ class SemanticNetwork:
         than poking the model) lets durable subclasses journal it.
         """
         model = self._require_base_model(model_name)
+        self.data_version += 1
         if graph is None:
             removed = len(model)
             model.clear()

@@ -199,3 +199,181 @@ class TestEngineMatchesReference:
             "SELECT (COUNT(*) AS ?c) WHERE { ?s ?p ?o }"
         )
         assert result.scalar().to_python() == len(quads)
+
+# ----------------------------------------------------------------------
+# Pipeline vs the reference evaluator
+# ----------------------------------------------------------------------
+#
+# The engine now executes through the layered pipeline (algebra ->
+# optimizer -> physical operators); the interpreting Evaluator is kept
+# as the executable semantic specification.  These tests require the
+# two to return multiset-identical results — on the paper's full
+# Table 10 suite (EQ1-EQ12) and on Hypothesis-generated queries.
+
+import pytest
+
+from repro.core import MODEL_NG, MODEL_SP, PropertyGraphRdfStore
+from repro.datasets.twitter import (
+    TwitterConfig,
+    connected_tag,
+    generate_twitter,
+    hub_vertex,
+)
+from repro.sparql.eval import Evaluator
+from repro.sparql.results import SelectResult
+
+
+def run_legacy(engine, ast, model=None):
+    """Run an AST through the pre-refactor interpreting evaluator."""
+    model_name = engine._model_name(model)
+    evaluator = Evaluator(
+        engine.network,
+        engine.network.model(model_name),
+        union_default_graph=engine._union_default,
+        filter_pushdown=engine._filter_pushdown,
+    )
+    from repro.sparql.ast import (
+        AskQuery,
+        ConstructQuery,
+        DescribeQuery,
+        SelectQuery,
+    )
+
+    if isinstance(ast, SelectQuery):
+        return evaluator.select(ast)
+    if isinstance(ast, AskQuery):
+        return evaluator.ask(ast)
+    if isinstance(ast, ConstructQuery):
+        return evaluator.construct(ast)
+    if isinstance(ast, DescribeQuery):
+        return evaluator.describe(ast)
+    raise AssertionError(f"unsupported form {type(ast).__name__}")
+
+
+def as_multiset(result):
+    if isinstance(result, SelectResult):
+        return sorted(tuple(repr(t) for t in row) for row in result.rows)
+    if isinstance(result, list):  # CONSTRUCT / DESCRIBE triples
+        return sorted(repr(t) for t in result)
+    return result
+
+
+def assert_same(engine, text, model=None):
+    ast = engine._parse_query(text)
+    pipeline = engine.run_ast(ast, model, text=text)
+    legacy = run_legacy(engine, ast, model)
+    if isinstance(pipeline, SelectResult):
+        assert pipeline.variables == legacy.variables
+    assert as_multiset(pipeline) == as_multiset(legacy)
+
+
+@pytest.fixture(scope="module")
+def twitter_stores():
+    graph = generate_twitter(TwitterConfig(egos=5, seed=13))
+    stores = {}
+    for model in (MODEL_NG, MODEL_SP):
+        store = PropertyGraphRdfStore(model=model)
+        store.load(graph)
+        stores[model] = store
+    tag = connected_tag(graph)
+    hub_iri = stores[MODEL_NG].vocabulary.vertex_iri(hub_vertex(graph)).value
+    return stores, tag, hub_iri
+
+
+class TestPipelineMatchesEvaluatorOnEQSuite:
+    @pytest.mark.parametrize("model", [MODEL_NG, MODEL_SP])
+    def test_every_experiment_query_is_multiset_identical(
+        self, twitter_stores, model
+    ):
+        stores, tag, hub_iri = twitter_stores
+        store = stores[model]
+        suite = store.queries.experiment_queries(tag, hub_iri)
+        for name, query in suite.items():
+            ast = store.engine._parse_query(query)
+            pipeline = store.engine.run_ast(ast, None, text=query)
+            legacy = run_legacy(store.engine, ast)
+            assert pipeline.variables == legacy.variables, name
+            assert as_multiset(pipeline) == as_multiset(legacy), name
+
+
+class TestPipelineMatchesEvaluatorOnForms:
+    """Feature coverage beyond the EQ suite: every clause the parser
+    accepts must behave identically through both execution paths."""
+
+    QUERIES = [
+        "SELECT ?x ?n WHERE { ?x <http://ex/knows> ?y . "
+        "?x <http://ex/name> ?n } ORDER BY ?n LIMIT 2",
+        "SELECT DISTINCT ?y WHERE { ?x <http://ex/knows> ?y }",
+        "SELECT ?x WHERE { ?x <http://ex/knows> ?y "
+        "OPTIONAL { ?y <http://ex/age> ?a } FILTER (!bound(?a) || ?a > 25) }",
+        "SELECT ?x WHERE { { ?x <http://ex/knows> ?y } UNION "
+        "{ ?x <http://ex/likes> ?y } }",
+        "SELECT ?x WHERE { ?x <http://ex/knows> ?y "
+        "MINUS { ?x <http://ex/age> ?a FILTER (?a > 25) } }",
+        "SELECT ?x (COUNT(?y) AS ?c) WHERE { ?x <http://ex/knows> ?y } "
+        "GROUP BY ?x HAVING (COUNT(?y) > 1)",
+        "SELECT ?x ?z WHERE { ?x (<http://ex/knows>)+ ?z }",
+        "SELECT ?x WHERE { GRAPH <http://ex/g1> { ?x <http://ex/likes> ?y } }",
+        "SELECT ?e ?k ?v WHERE { GRAPH ?e { ?x <http://ex/likes> ?y . "
+        "?e ?k ?v } }",
+        "SELECT ?x ?total WHERE { ?x <http://ex/age> ?a "
+        "BIND (?a * 2 AS ?total) }",
+        "SELECT ?x WHERE { ?x <http://ex/age> ?a "
+        "FILTER EXISTS { ?x <http://ex/knows> ?y } }",
+        "SELECT ?x WHERE { VALUES ?x { <http://ex/alice> <http://ex/bob> } "
+        "?x <http://ex/knows> ?y }",
+        "SELECT (AVG(?a) AS ?avg) (MAX(?a) AS ?max) WHERE "
+        "{ ?x <http://ex/age> ?a }",
+        "SELECT ?x WHERE { { SELECT ?x (COUNT(*) AS ?deg) WHERE "
+        "{ ?x <http://ex/knows> ?y } GROUP BY ?x } FILTER (?deg >= 2) }",
+        "ASK { <http://ex/alice> <http://ex/knows> <http://ex/bob> }",
+        "ASK { <http://ex/alice> <http://ex/knows> <http://ex/nobody> }",
+        "CONSTRUCT { ?y <http://ex/knownBy> ?x } WHERE "
+        "{ ?x <http://ex/knows> ?y }",
+        "DESCRIBE <http://ex/alice>",
+        "DESCRIBE ?x WHERE { ?x <http://ex/age> ?a FILTER (?a > 25) }",
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_form_is_identical(self, social_engine, query):
+        assert_same(social_engine, query)
+
+
+class TestPipelineMatchesEvaluatorHypothesis:
+    @settings(max_examples=80, deadline=None)
+    @given(quads=_quads, patterns=_patterns)
+    def test_random_bgps_identical(self, quads, patterns):
+        network = SemanticNetwork()
+        network.create_model("m")
+        network.bulk_load("m", quads)
+        engine = SparqlEngine(network, default_model="m")
+        variables = _pattern_variables(patterns)
+        if not variables:
+            return
+        query = _query_text(patterns, ["?" + v for v in variables])
+        assert_same(engine, query)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        quads=_quads,
+        patterns=_patterns,
+        optional=_patterns,
+        filter_obj=st.sampled_from(_SUBJECTS),
+    )
+    def test_random_optional_filter_identical(
+        self, quads, patterns, optional, filter_obj
+    ):
+        network = SemanticNetwork()
+        network.create_model("m")
+        network.bulk_load("m", quads)
+        engine = SparqlEngine(network, default_model="m")
+        variables = _pattern_variables(patterns)
+        if "u" not in variables:
+            return
+        body = " . ".join(_pattern_text(p) for p in patterns)
+        opt = " . ".join(_pattern_text(p) for p in optional)
+        query = (
+            f"SELECT ?u WHERE {{ {body} OPTIONAL {{ {opt} }} "
+            f"FILTER (?u = {filter_obj.n3()}) }}"
+        )
+        assert_same(engine, query)

@@ -80,10 +80,10 @@ class TestEngineTracing:
         assert tree is not None
         root = tree.root
         assert root.name == "query"
-        for name in ("parse", "execute", "plan", "op.pattern"):
+        for name in ("parse", "execute", "plan", "op.IndexScan"):
             assert tree.find(name), f"missing span {name!r}"
-        # The pattern operator records its cardinalities.
-        op = tree.find("op.pattern")[0]
+        # The scan operator records its cardinalities.
+        op = tree.find("op.IndexScan")[0]
         assert op.attributes["rows_out"] == 3
         # Every span is finished and carries the same trace id.
         for span in tree.spans:
@@ -104,7 +104,7 @@ class TestEngineTracing:
         )
         text = "\n".join(analysis.lines)
         assert f"-- trace {analysis.stats.trace.trace_id} --" in text
-        assert "op.pattern" in text
+        assert "op.IndexScan" in text
 
     def test_render_is_indented_tree(self, social_engine):
         engine = SparqlEngine(
@@ -120,7 +120,7 @@ class TestEngineTracing:
         assert lines[0].startswith("query  ")  # root at depth 0
         # Children are indented under the root.
         assert any(line.startswith("  parse") for line in lines)
-        assert any(line.startswith("    op.pattern") for line in lines)
+        assert any(line.startswith("    op.IndexScan") for line in lines)
 
     def test_trace_serializes_to_json(self, social_engine):
         engine = SparqlEngine(

@@ -110,7 +110,7 @@ class TestTraceRetrieval:
         # rather than opening a second trace of its own.
         assert "request" in names
         assert "parse" in names and "execute" in names
-        assert "op.pattern" in names
+        assert "op.IndexScan" in names
         request_span = next(
             span for span in document["spans"] if span["name"] == "request"
         )

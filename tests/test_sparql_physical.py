@@ -1,0 +1,252 @@
+"""Tests for the physical operator layer and the plan cache.
+
+Covers the pull-based iterator behaviour the refactor exists for —
+streaming early termination under LIMIT — plus plan compilation,
+rendering, and the engine's LRU plan cache with data-version
+invalidation.
+"""
+
+import pytest
+
+from repro.obs import metrics
+from repro.rdf import IRI, Literal, Quad
+from repro.sparql import SparqlEngine
+from repro.sparql.executor import compile_query
+from repro.sparql.parser import Parser
+from repro.sparql.physical import (
+    ExecContext,
+    PatternJoinOp,
+    SliceOp,
+    compile_plan,
+    physical_to_dict,
+    render_physical,
+)
+from repro.sparql.plancache import PlanCache
+from repro.store import SemanticNetwork
+
+EX = "http://ex/"
+_parser = Parser({"ex": EX})
+
+
+def ex(name: str) -> IRI:
+    return IRI(EX + name)
+
+
+def chain_engine(n: int = 50):
+    """A long follows-chain: v0 -> v1 -> ... -> vn, each with a name."""
+    network = SemanticNetwork()
+    network.create_model("m")
+    quads = []
+    for i in range(n):
+        quads.append(Quad(ex(f"v{i}"), ex("follows"), ex(f"v{i+1}")))
+        quads.append(Quad(ex(f"v{i}"), ex("name"), Literal(f"name{i}")))
+    network.bulk_load("m", quads)
+    return SparqlEngine(network, prefixes={"ex": EX}, default_model="m")
+
+
+def compiled_for(engine, text, model="m"):
+    ast = engine._parse_query(text)
+    return compile_query(
+        ast, engine.network, engine.network.model(model), model
+    )
+
+
+# ----------------------------------------------------------------------
+# Physical plan shape
+# ----------------------------------------------------------------------
+
+
+class TestCompilation:
+    def test_first_scan_then_nested_loop_joins(self):
+        engine = chain_engine(5)
+        compiled = compiled_for(
+            engine,
+            "SELECT ?a ?n WHERE { ?a ex:follows ?b . ?a ex:name ?n }",
+        )
+        ops = [op for op in _walk(compiled.root) if isinstance(op, PatternJoinOp)]
+        # Innermost pattern scans; the second joins against it.
+        assert [op.name for op in reversed(ops)] == [
+            "IndexScan",
+            "IndexNestedLoopJoin",
+        ]
+
+    def test_limit_compiles_to_streaming_slice(self):
+        engine = chain_engine(5)
+        compiled = compiled_for(
+            engine, "SELECT ?a WHERE { ?a ex:follows ?b } LIMIT 2"
+        )
+        slices = [op for op in _walk(compiled.root) if isinstance(op, SliceOp)]
+        assert len(slices) == 1
+        assert slices[0].name == "StreamingSlice"
+
+    def test_missing_constant_compiles_to_empty(self):
+        engine = chain_engine(3)
+        compiled = compiled_for(
+            engine, "SELECT ?x WHERE { ?x ex:follows ex:nowhere }"
+        )
+        ctx = ExecContext(engine.network, engine.network.model("m"))
+        assert list(compiled.root.run(ctx)) == []
+
+    def test_render_and_dict_agree(self):
+        engine = chain_engine(3)
+        compiled = compiled_for(
+            engine,
+            "SELECT ?a WHERE { ?a ex:follows ?b FILTER (?a != ?b) } LIMIT 1",
+        )
+        text = render_physical(compiled.root)
+        document = physical_to_dict(compiled.root)
+
+        def labels(node):
+            yield node["label"]
+            for child in node.get("children", ()):
+                yield from labels(child)
+
+        for label in labels(document):
+            assert label in text
+
+
+def _walk(op):
+    yield op
+    for child in op.children():
+        yield from _walk(child)
+
+
+# ----------------------------------------------------------------------
+# Streaming early termination
+# ----------------------------------------------------------------------
+
+
+class TestEarlyTermination:
+    def test_limit_scans_fewer_index_entries(self):
+        """The tentpole's headline behaviour: LIMIT queries terminate
+        early instead of materializing every intermediate relation."""
+        engine = chain_engine(200)
+        query_all = (
+            "SELECT ?a ?c WHERE { ?a ex:follows ?b . ?b ex:follows ?c }"
+        )
+        query_limited = query_all + " LIMIT 3"
+
+        def scanned(text):
+            with metrics.enabled(fresh=True) as registry:
+                engine.select(text)
+                return registry.counter("index.rows_scanned")
+
+        full = scanned(query_all)
+        limited = scanned(query_limited)
+        assert limited < full / 2  # at least 2x fewer entries touched
+
+    def test_limited_results_are_a_prefix_sized_subset(self):
+        engine = chain_engine(30)
+        all_rows = set(
+            engine.select(
+                "SELECT ?a WHERE { ?a ex:follows ?b }"
+            ).rows
+        )
+        limited = engine.select(
+            "SELECT ?a WHERE { ?a ex:follows ?b } LIMIT 4"
+        )
+        assert len(limited.rows) == 4
+        assert set(limited.rows) <= all_rows
+
+    def test_ask_streams_first_row_only(self):
+        engine = chain_engine(200)
+        with metrics.enabled(fresh=True) as registry:
+            assert engine.ask("ASK { ?a ex:follows ?b }")
+            assert registry.counter("index.rows_scanned") <= 2
+
+    def test_instrumented_mode_matches_streaming_results(self):
+        engine = chain_engine(20)
+        text = (
+            "SELECT ?a ?n WHERE { ?a ex:follows ?b . ?a ex:name ?n } "
+            "ORDER BY ?n LIMIT 5"
+        )
+        plain = engine.select(text)
+        analysis = engine.explain(text, analyze=True)
+        assert analysis.result.rows == plain.rows
+
+
+# ----------------------------------------------------------------------
+# Plan cache
+# ----------------------------------------------------------------------
+
+
+class TestPlanCache:
+    def test_second_run_hits(self):
+        engine = chain_engine(5)
+        text = "SELECT ?a WHERE { ?a ex:follows ?b }"
+        engine.select(text)
+        engine.select(text)
+        stats = engine.plan_cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+
+    def test_store_mutation_invalidates(self):
+        engine = chain_engine(5)
+        text = "SELECT ?a WHERE { ?a ex:follows ?b }"
+        before = len(engine.select(text).rows)
+        engine.network.insert(
+            "m", Quad(ex("new"), ex("follows"), ex("v0"))
+        )
+        after = engine.select(text)
+        assert len(after.rows) == before + 1
+        stats = engine.plan_cache.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 2
+
+    def test_direct_network_write_is_seen(self):
+        """Even writes bypassing the engine bump data_version."""
+        engine = chain_engine(3)
+        text = "SELECT ?x WHERE { ?x ex:kind ex:added }"
+        assert engine.select(text).rows == []
+        engine.network.insert("m", Quad(ex("n"), ex("kind"), ex("added")))
+        assert len(engine.select(text).rows) == 1
+
+    def test_eviction_counts(self):
+        cache = PlanCache(capacity=2)
+        assert cache.put("a", 1, "plan-a") == 0
+        assert cache.put("b", 1, "plan-b") == 0
+        assert cache.put("c", 1, "plan-c") == 1
+        assert cache.get("a", 1) is None  # LRU victim
+        assert cache.get("c", 1) == "plan-c"
+        assert cache.stats()["evictions"] == 1
+
+    def test_stale_version_is_a_miss_and_dropped(self):
+        cache = PlanCache()
+        cache.put("k", 1, "old")
+        assert cache.get("k", 2) is None
+        assert len(cache) == 0
+        assert cache.stats()["misses"] == 1
+
+    def test_counters_reach_result_stats(self):
+        engine = chain_engine(5)
+        engine.collect_stats = True
+        text = "SELECT ?a WHERE { ?a ex:follows ?b }"
+        first = engine.select(text)
+        assert first.stats.counter("plan_cache.misses") == 1
+        second = engine.select(text)
+        assert second.stats.counter("plan_cache.hits") == 1
+        assert second.stats.plan_cache()["hits"] == 1
+
+    def test_counters_reach_registry(self):
+        engine = chain_engine(5)
+        text = "SELECT ?a WHERE { ?a ex:follows ?b }"
+        with metrics.enabled(fresh=True) as registry:
+            engine.select(text)
+            engine.select(text)
+            assert registry.counter("plan_cache.misses") == 1
+            assert registry.counter("plan_cache.hits") == 1
+
+    def test_prepared_queries_bypass_cache(self):
+        engine = chain_engine(5)
+        prepared = engine.prepare("SELECT ?a WHERE { ?a ex:follows ?b }")
+        prepared.run()
+        prepared.run()
+        stats = engine.plan_cache.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+
+    def test_same_text_different_model_is_distinct(self):
+        engine = chain_engine(5)
+        engine.network.create_model("other")
+        text = "SELECT ?a WHERE { ?a ex:follows ?b }"
+        assert len(engine.select(text).rows) == 5
+        assert engine.select(text, model="other").rows == []
+        assert engine.plan_cache.stats()["misses"] == 2
