@@ -1,0 +1,213 @@
+#!/usr/bin/env python
+"""Concurrency guard: reader latency must not collapse under writes.
+
+The MVCC snapshot design promises that queries never wait behind
+writers — a query pins an immutable snapshot and runs lock-free.  This
+script makes that promise enforceable as a latency gate: it measures
+the p95 latency of a reader running alone (*idle*), then the same
+reader's p95 while writer threads apply a sustained update storm, and
+fails when the storm p95 exceeds the idle p95 by more than the
+tolerance.
+
+CPython caveat: reads and writes still contend for the GIL, so "no
+lock waits" cannot mean "zero slowdown" — the writers pace themselves
+with a short think time between updates (as a real ingest workload
+would) and the gate bounds the *remaining* interference.  Before MVCC,
+this workload made readers queue behind every write-lock hold and the
+ratio blew far past any reasonable bound.
+
+Usage::
+
+    python benchmarks/bench_concurrency.py
+
+Exits non-zero when the gate fails.  Results are merged into
+``BENCH_results.json`` at the repo root (override the path with
+``REPRO_BENCH_RESULTS``; set it empty to skip writing).
+
+Knobs: ``REPRO_CONCURRENCY_TOLERANCE`` (max storm/idle p95 ratio,
+default 1.25), ``REPRO_CONCURRENCY_SECONDS`` (measure window per
+phase, default 3), ``REPRO_CONCURRENCY_WRITERS`` (storm writer
+threads, default 2), ``REPRO_CONCURRENCY_THINK_MS`` (writer think time
+between updates, default 2 ms).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import sys
+import threading
+import time
+from typing import Dict, List
+
+from repro.rdf import IRI, Quad
+from repro.sparql import SparqlEngine
+from repro.store import SemanticNetwork
+
+EX = "http://ex/"
+
+READER_QUERY = (
+    "SELECT ?s ?o WHERE { ?s <http://ex/knows> ?o . "
+    "?o <http://ex/knows> ?s }"
+)
+
+
+def _env_float(name: str, default: float) -> float:
+    return float(os.environ.get(name, str(default)))
+
+
+def _build_engine(people: int = 400) -> SparqlEngine:
+    """A social graph big enough that one query does real index work."""
+    network = SemanticNetwork()
+    network.create_model("m")
+    quads = []
+    for i in range(people):
+        s = IRI(f"{EX}v{i}")
+        quads.append(Quad(s, IRI(f"{EX}knows"), IRI(f"{EX}v{(i + 1) % people}")))
+        quads.append(Quad(s, IRI(f"{EX}knows"), IRI(f"{EX}v{(i + 7) % people}")))
+        quads.append(Quad(IRI(f"{EX}v{(i + 1) % people}"), IRI(f"{EX}knows"), s))
+    network.bulk_load("m", quads)
+    return SparqlEngine(network, default_model="m")
+
+
+def _p95(samples: List[float]) -> float:
+    if not samples:
+        return float("inf")
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+
+
+def _read_loop(engine: SparqlEngine, seconds: float) -> List[float]:
+    samples: List[float] = []
+    stop_at = time.monotonic() + seconds
+    while time.monotonic() < stop_at:
+        start = time.perf_counter()
+        engine.select(READER_QUERY)
+        samples.append(time.perf_counter() - start)
+    return samples
+
+
+def measure() -> Dict:
+    seconds = _env_float("REPRO_CONCURRENCY_SECONDS", 3.0)
+    writers = int(_env_float("REPRO_CONCURRENCY_WRITERS", 2))
+    think = _env_float("REPRO_CONCURRENCY_THINK_MS", 2.0) / 1000.0
+    engine = _build_engine()
+
+    engine.select(READER_QUERY)  # warm plan cache and indexes
+    idle = _read_loop(engine, seconds)
+
+    stop = threading.Event()
+    write_counts = [0] * writers
+    network = engine.network
+
+    def writer(index: int) -> None:
+        # Direct store DML: each batch is one MVCC commit (COW copy +
+        # snapshot publication), which is exactly the machinery the
+        # gate must prove readers don't wait behind.  SPARQL-text
+        # updates would mostly measure parser CPU stealing the GIL.
+        # The written predicate deliberately does NOT match the reader
+        # query — otherwise the storm phase measures a growing result
+        # set, not interference.
+        n = 0
+        while not stop.is_set():
+            a = IRI(f"{EX}w{index}-{n}")
+            b = IRI(f"{EX}w{index}-{n + 1}")
+            with network.write_batch():
+                network.insert("m", Quad(a, IRI(f"{EX}follows"), b))
+                network.insert("m", Quad(b, IRI(f"{EX}follows"), a))
+            n += 1
+            # Ingest-style pacing: without it the GIL (not locks) is
+            # what the gate would measure.
+            time.sleep(think)
+        write_counts[index] = n
+
+    threads = [
+        threading.Thread(target=writer, args=(i,)) for i in range(writers)
+    ]
+    for t in threads:
+        t.start()
+    time.sleep(0.2)  # let the storm reach steady state
+    try:
+        storm = _read_loop(engine, seconds)
+    finally:
+        stop.set()
+        for t in threads:
+            t.join(timeout=30)
+
+    return {
+        "idle_p95_seconds": _p95(idle),
+        "storm_p95_seconds": _p95(storm),
+        "idle_median_seconds": statistics.median(idle),
+        "storm_median_seconds": statistics.median(storm),
+        "idle_reads": len(idle),
+        "storm_reads": len(storm),
+        "writes_applied": sum(write_counts),
+        "writers": writers,
+        "think_ms": think * 1000.0,
+        "window_seconds": seconds,
+    }
+
+
+def _merge_results(entry: Dict) -> None:
+    """Record the measurement in BENCH_results.json (merge, not clobber)."""
+    target = os.environ.get("REPRO_BENCH_RESULTS")
+    if target == "":
+        return
+    if target is None:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        target = os.path.join(root, "BENCH_results.json")
+    document: Dict = {}
+    if os.path.exists(target):
+        try:
+            with open(target, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            document = {}
+    document["concurrency"] = entry
+    document.setdefault(
+        "generated_at",
+        time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    )
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(f"concurrency results merged into {target}")
+
+
+def main() -> int:
+    tolerance = _env_float("REPRO_CONCURRENCY_TOLERANCE", 1.25)
+    entry = measure()
+    ratio = (
+        entry["storm_p95_seconds"] / entry["idle_p95_seconds"]
+        if entry["idle_p95_seconds"] > 0
+        else float("inf")
+    )
+    entry["p95_ratio"] = ratio
+    entry["tolerance"] = tolerance
+    print(
+        f"idle:  p95 {entry['idle_p95_seconds'] * 1e3:.3f} ms  "
+        f"median {entry['idle_median_seconds'] * 1e3:.3f} ms  "
+        f"({entry['idle_reads']} reads)"
+    )
+    print(
+        f"storm: p95 {entry['storm_p95_seconds'] * 1e3:.3f} ms  "
+        f"median {entry['storm_median_seconds'] * 1e3:.3f} ms  "
+        f"({entry['storm_reads']} reads, {entry['writes_applied']} writes "
+        f"by {entry['writers']} writers)"
+    )
+    print(f"p95 ratio storm/idle: {ratio:.3f} (tolerance {tolerance:.2f})")
+    _merge_results(entry)
+    if ratio > tolerance:
+        print(
+            "concurrency guard FAILED: reader p95 degraded beyond "
+            "tolerance under the write storm",
+            file=sys.stderr,
+        )
+        return 1
+    print("concurrency guard passed: reader latency held under writes")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -219,6 +219,13 @@ def _cmd_serve(args) -> int:
         raise SystemExit("--timeout must be positive")
     if args.max_inflight is not None and args.max_inflight < 1:
         raise SystemExit("--max-inflight must be >= 1")
+    if args.workers is not None and args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    if args.queue_size is not None:
+        if args.workers is None:
+            raise SystemExit("--queue-size requires --workers")
+        if args.queue_size < 1:
+            raise SystemExit("--queue-size must be >= 1")
     engine = _build_engine(
         args.data,
         collect_stats=args.metrics,
@@ -240,10 +247,14 @@ def _cmd_serve(args) -> int:
         timeout=args.timeout,
         max_inflight=args.max_inflight,
         trace=args.trace,
+        workers=args.workers,
+        max_queue=args.queue_size,
     )
     endpoints = f"http://{args.host}:{port}/sparql"
     if args.metrics:
         endpoints += " and /metrics"
+    if args.workers is not None:
+        endpoints += f" [{args.workers} workers]"
     print(
         f"serving SPARQL on {endpoints} (Ctrl-C to stop)",
         file=sys.stderr,
@@ -254,6 +265,8 @@ def _cmd_serve(args) -> int:
         pass
     finally:
         server.server_close()
+        if server.worker_pool is not None:
+            server.worker_pool.close()
     return 0
 
 
@@ -383,6 +396,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="bound on concurrently executing requests; excess requests "
         "get HTTP 429 instead of queueing",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="dispatch query/update execution through a pool of this "
+        "many worker threads behind a bounded backpressure queue "
+        "(HTTP 429 when the queue is full); default is one thread "
+        "per connection",
+    )
+    serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=None,
+        help="bound on jobs waiting for a worker (with --workers); "
+        "defaults to 2x the worker count",
     )
     serve.add_argument(
         "--trace",

@@ -43,6 +43,7 @@ __all__ = [
     "Trace",
     "TraceBuffer",
     "adopt_trace_id",
+    "attached",
     "current_span",
     "current_trace",
     "current_ids",
@@ -71,9 +72,11 @@ OPERATOR_SPAN_NAMES = (
 )
 
 #: Fixed pipeline-stage spans the engine opens around each query: the
-#: ``plan`` span wraps the plan-cache fetch-or-compile (attribute
-#: ``cached``), ``execute`` wraps the physical run.
-PIPELINE_SPAN_NAMES = ("query", "parse", "plan", "execute")
+#: ``snapshot.pin`` span marks the MVCC snapshot capture (attribute
+#: ``version``), the ``plan`` span wraps the plan-cache
+#: fetch-or-compile (attribute ``cached``), ``execute`` wraps the
+#: physical run.
+PIPELINE_SPAN_NAMES = ("query", "snapshot.pin", "parse", "plan", "execute")
 
 #: Adopted (externally supplied) trace ids must look like ids, not like
 #: log-injection payloads: hex/uuid-ish, bounded length.
@@ -401,6 +404,27 @@ def span(name: str, **attributes):
     if trace is None:
         return NOOP_SPAN
     return _SpanContext(trace, name, attributes)
+
+
+@contextmanager
+def attached(trace: Trace, parent: Optional[Span] = None):
+    """Adopt a trace opened on *another* thread for the current block.
+
+    The server's worker pool uses this: the connection thread opens the
+    request trace, the worker thread executing the query attaches to it
+    so the query's spans land in the same tree (``Trace.add`` is
+    lock-protected, so cross-thread appends are safe).  ``parent``
+    nests the block's spans under the caller's current span.
+    """
+    previous_trace = getattr(_TLS, "trace", None)
+    previous_stack = getattr(_TLS, "stack", None)
+    _TLS.trace = trace
+    _TLS.stack = [parent] if parent is not None else []
+    try:
+        yield trace
+    finally:
+        _TLS.trace = previous_trace
+        _TLS.stack = previous_stack if previous_stack is not None else []
 
 
 @contextmanager

@@ -7,10 +7,10 @@ JSON or CSV results by content negotiation.  Updates go to
 ``POST /update``.  This is the "publish transformed property graph data
 as linked data" delivery mechanism the paper motivates.
 
-The endpoint is threaded (one handler thread per connection); reads run
-concurrently under the store's reader-writer lock while updates are
-serialized.  Three guard rails keep a misbehaving client from taking
-the service down:
+The endpoint is threaded (one handler thread per connection); reads
+run concurrently as lock-free MVCC snapshot reads (each query pins one
+committed ``data_version``) while updates are serialized.  Guard rails
+keep a misbehaving client from taking the service down:
 
 * a per-request deadline (``timeout=``) — a query (or an update's
   WHERE evaluation / write-lock wait) past its budget is aborted
@@ -20,7 +20,13 @@ the service down:
   requests are rejected immediately with ``429`` instead of queueing
   without bound;
 * a request body cap (``max_body_bytes=``) — oversized posts get
-  ``413`` before the body is read into memory.
+  ``413`` before the body is read into memory;
+* an optional bounded worker pool (``workers=``) — query/update
+  execution is dispatched to a fixed set of worker threads behind a
+  bounded backpressure queue (``max_queue=``), so CPU-bound work is
+  capped at N threads no matter how many connections arrive; a full
+  queue answers ``429`` immediately (depth is the
+  ``server.queue_depth`` gauge).
 
 Intended for local use and tests; not hardened for the open internet.
 """
@@ -29,6 +35,7 @@ from __future__ import annotations
 
 import json
 import logging
+import queue
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -93,6 +100,131 @@ class InflightGate:
         self._semaphore.release()
 
 
+class PoolSaturated(Exception):
+    """Raised by :meth:`WorkerPool.submit` when the queue is full."""
+
+
+class _PoolJob:
+    """One unit of work submitted to the pool.
+
+    Carries the submitting thread's active trace (and current span) so
+    the worker can attach to it — without this, spans emitted by the
+    query would land in no trace at all because the trace context is
+    thread-local.
+    """
+
+    __slots__ = ("fn", "args", "trace", "parent", "result", "error", "_done")
+
+    def __init__(self, fn, args):
+        self.fn = fn
+        self.args = args
+        self.trace = _trace.current_trace()
+        self.parent = _trace.current_span()
+        self.result = None
+        self.error: Optional[BaseException] = None
+        self._done = threading.Event()
+
+    def run(self) -> None:
+        try:
+            if self.trace is not None:
+                with _trace.attached(self.trace, self.parent):
+                    self.result = self.fn(*self.args)
+            else:
+                self.result = self.fn(*self.args)
+        except BaseException as exc:  # noqa: BLE001 — re-raised in wait()
+            self.error = exc
+        finally:
+            self._done.set()
+
+    def wait(self):
+        """Block until the job ran; re-raise its exception, if any."""
+        self._done.wait()
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+
+class WorkerPool:
+    """A fixed set of worker threads behind a bounded submission queue.
+
+    The HTTP layer accepts connections on per-connection threads, but
+    query *execution* is CPU-bound; dispatching it through the pool
+    caps concurrent execution at ``workers`` threads and turns overload
+    into immediate backpressure: :meth:`submit` raises
+    :class:`PoolSaturated` (mapped to HTTP 429) the moment the bounded
+    queue is full, instead of letting a request backlog grow without
+    bound.  Queue depth is exported as the ``server.queue_depth``
+    gauge.
+    """
+
+    def __init__(self, workers: int, max_queue: Optional[int] = None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        #: Backpressure bound: jobs waiting for a worker (submitted but
+        #: not yet picked up).  Defaults to 2× the worker count.
+        self.max_queue = 2 * workers if max_queue is None else max_queue
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self._queue: "queue.Queue[Optional[_PoolJob]]" = queue.Queue(
+            maxsize=self.max_queue
+        )
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._run, name=f"sparql-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs submitted but not yet picked up by a worker."""
+        return self._queue.qsize()
+
+    def _publish_depth(self) -> None:
+        if _obs.is_enabled():
+            _obs.registry().set_gauge("server.queue_depth", self.queue_depth)
+
+    def submit(self, fn, *args) -> _PoolJob:
+        """Enqueue ``fn(*args)``; raises :class:`PoolSaturated` if full."""
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        job = _PoolJob(fn, args)
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            raise PoolSaturated(
+                f"worker queue is at its {self.max_queue}-request capacity"
+            ) from None
+        self._publish_depth()
+        return job
+
+    def execute(self, fn, *args):
+        """Submit and wait — the handler-thread convenience wrapper."""
+        return self.submit(fn, *args).wait()
+
+    def close(self, join_timeout: float = 5.0) -> None:
+        """Stop accepting work and join the workers (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._threads:
+            self._queue.put(None)  # one sentinel per worker
+        for thread in self._threads:
+            thread.join(timeout=join_timeout)
+
+    def _run(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            self._publish_depth()
+            job.run()
+
+
 class RequestCounter:
     """Counts requests currently being handled (the /healthz number).
 
@@ -134,6 +266,9 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
     max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
     #: Optional InflightGate bounding concurrent requests (429 beyond).
     gate: Optional[InflightGate] = None
+    #: Optional WorkerPool executing query/update work off the
+    #: connection threads (429 when its bounded queue is full).
+    pool: Optional[WorkerPool] = None
     #: When True every request runs under a span trace (also triggered
     #: by the process-wide ``repro.obs.trace.enable()`` flag).
     trace_requests: bool = False
@@ -321,11 +456,10 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
             raise _HttpError(400, f"request body is not UTF-8: {exc}") from None
 
     def _gated(self, handler, argument: str) -> None:
-        """Run one request inside the in-flight gate (429 when full)."""
-        if self.gate is None:
-            handler(argument)
-            return
-        if not self.gate.try_acquire():
+        """Run one request inside the in-flight gate (429 when full),
+        dispatching execution through the worker pool when one is
+        configured (429 when its backpressure queue is full)."""
+        if self.gate is not None and not self.gate.try_acquire():
             if _obs.is_enabled():
                 _obs.registry().inc("server.throttled")
             self._send_error(
@@ -335,9 +469,21 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
             )
             return
         try:
-            handler(argument)
+            if self.pool is None:
+                handler(argument)
+                return
+            try:
+                # The connection thread blocks on the job while the
+                # worker writes the response through this handler — the
+                # socket stays owned by exactly one active thread.
+                self.pool.execute(handler, argument)
+            except PoolSaturated as exc:
+                if _obs.is_enabled():
+                    _obs.registry().inc("server.throttled")
+                self._send_error(429, f"{exc}; retry later")
         finally:
-            self.gate.release()
+            if self.gate is not None:
+                self.gate.release()
 
     def _run_query(self, query: str) -> None:
         try:
@@ -470,6 +616,8 @@ def make_server(
     max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
     trace: bool = False,
     trace_buffer_capacity: int = 128,
+    workers: Optional[int] = None,
+    max_queue: Optional[int] = None,
 ) -> Tuple[ThreadingHTTPServer, int]:
     """Build (but don't start) the HTTP server; returns (server, port).
 
@@ -477,8 +625,17 @@ def make_server(
     expiry); ``max_inflight`` bounds concurrently executing requests
     (429 beyond); ``max_body_bytes`` caps POST bodies (413 beyond);
     ``trace=True`` runs every request under a span trace, keeping the
-    last ``trace_buffer_capacity`` trees for ``GET /trace/<id>``.
+    last ``trace_buffer_capacity`` trees for ``GET /trace/<id>``;
+    ``workers`` dispatches query/update execution through a
+    :class:`WorkerPool` of that many threads behind a bounded queue of
+    ``max_queue`` waiting jobs (default 2×workers, 429 when full).
+    ``workers=None`` keeps the classic per-connection execution.
     """
+    pool = (
+        WorkerPool(workers, max_queue=max_queue)
+        if workers is not None
+        else None
+    )
     handler = type(
         "BoundSparqlHandler",
         (SparqlRequestHandler,),
@@ -494,6 +651,7 @@ def make_server(
                 if max_inflight is not None
                 else None
             ),
+            "pool": pool,
             "trace_requests": trace,
             # The buffer exists even when `trace` is False so traces
             # driven by the process-wide repro.obs.trace.enable() flag
@@ -503,6 +661,9 @@ def make_server(
         },
     )
     server = ThreadingHTTPServer((host, port), handler)
+    #: Parked on the server so owners (SparqlServer.stop, the CLI) can
+    #: join the workers at shutdown.
+    server.worker_pool = pool
     return server, server.server_address[1]
 
 
@@ -524,6 +685,8 @@ class SparqlServer:
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         trace: bool = False,
         trace_buffer_capacity: int = 128,
+        workers: Optional[int] = None,
+        max_queue: Optional[int] = None,
     ):
         self._server, self.port = make_server(
             engine,
@@ -535,6 +698,8 @@ class SparqlServer:
             max_body_bytes=max_body_bytes,
             trace=trace,
             trace_buffer_capacity=trace_buffer_capacity,
+            workers=workers,
+            max_queue=max_queue,
         )
         self._thread: Optional[threading.Thread] = None
 
@@ -556,6 +721,8 @@ class SparqlServer:
         """
         self._server.shutdown()
         self._server.server_close()
+        if self._server.worker_pool is not None:
+            self._server.worker_pool.close(join_timeout=join_timeout)
         thread, self._thread = self._thread, None
         if thread is None:
             return

@@ -127,9 +127,15 @@ class SparqlEngine:
     def _parse_and_run(
         self, text: str, model: Optional[str], timeout: Optional[float]
     ):
+        # The snapshot is pinned before parsing: everything after this
+        # line — plan-cache lookup, compilation, execution — sees one
+        # immutable data_version, no matter what writers do meanwhile.
+        snapshot = self._pin_snapshot()
         with _trace.span("parse"):
             ast = self._parse_query(text)
-        return self.run_ast(ast, model, text=text, timeout=timeout)
+        return self.run_ast(
+            ast, model, text=text, timeout=timeout, snapshot=snapshot
+        )
 
     def select(self, text: str, model: Optional[str] = None) -> SelectResult:
         result = self.query(text, model)
@@ -156,11 +162,14 @@ class SparqlEngine:
         collector: Optional[QueryCollector] = None,
         text: Optional[str] = None,
         timeout: Optional[float] = None,
+        snapshot=None,
     ):
         if self._trace_wanted():
             with _trace.tracing("query"):
-                return self._run_ast(ast, model, collector, text, timeout)
-        return self._run_ast(ast, model, collector, text, timeout)
+                return self._run_ast(
+                    ast, model, collector, text, timeout, snapshot
+                )
+        return self._run_ast(ast, model, collector, text, timeout, snapshot)
 
     def _run_ast(
         self,
@@ -169,29 +178,38 @@ class SparqlEngine:
         collector: Optional[QueryCollector],
         text: Optional[str],
         timeout: Optional[float],
+        snapshot=None,
     ):
         limit = self.timeout if timeout is None else timeout
         deadline = deadline_for(limit)
+        if snapshot is None:
+            snapshot = self._pin_snapshot()
         try:
-            with self._read_locked(deadline):
-                return self._run_ast_locked(
-                    ast, model, collector, text, deadline
-                )
+            return self._run_ast_pinned(
+                ast, model, collector, text, deadline, snapshot
+            )
         except QueryTimeout:
             if _obs.is_enabled():
                 _obs.registry().inc("query.timeouts")
             raise
 
-    def _run_ast_locked(
+    def _run_ast_pinned(
         self,
         ast,
         model: Optional[str],
         collector: Optional[QueryCollector],
         text: Optional[str],
         deadline: Optional[Deadline],
+        snapshot,
     ):
+        """Run one query entirely against a pinned MVCC snapshot.
+
+        No read lock is taken anywhere on this path: the snapshot's
+        copy-on-write arrays make it immune to concurrent writers, so
+        queries never wait behind updates (and vice versa).
+        """
         model_name = self._model_name(model)
-        store_model = self.network.model(model_name)
+        store_model = snapshot.model(model_name)
         traced = _trace.is_active()
         if collector is None and (self.collect_stats or traced):
             # A trace implies a collector: the span tree rides back to
@@ -204,18 +222,20 @@ class SparqlEngine:
         )
         if not observing:
             return self._run_pipeline(
-                ast, model_name, store_model, text, None, deadline, traced
+                ast, model_name, store_model, text, None, deadline, traced,
+                snapshot,
             )
         start = time.perf_counter()
         if collector is not None:
             with _obs.collect(collector):
                 result = self._run_pipeline(
                     ast, model_name, store_model, text, collector,
-                    deadline, traced,
+                    deadline, traced, snapshot,
                 )
         else:
             result = self._run_pipeline(
-                ast, model_name, store_model, text, None, deadline, traced
+                ast, model_name, store_model, text, None, deadline, traced,
+                snapshot,
             )
         elapsed = time.perf_counter() - start
         rows = _result_rows(result)
@@ -244,24 +264,32 @@ class SparqlEngine:
         collector: Optional[QueryCollector],
         deadline: Optional[Deadline],
         traced: bool,
+        snapshot,
     ):
         """Fetch-or-compile a plan, then run it through the executor."""
-        compiled = self._compiled_for(ast, model_name, store_model, text)
+        compiled = self._compiled_for(
+            ast, model_name, store_model, text, snapshot
+        )
         if traced:
             with _trace.span("execute", form=type(ast).__name__):
-                return self._execute(compiled, store_model, collector, deadline)
-        return self._execute(compiled, store_model, collector, deadline)
+                return self._execute(
+                    compiled, snapshot, store_model, collector, deadline
+                )
+        return self._execute(
+            compiled, snapshot, store_model, collector, deadline
+        )
 
     def _execute(
         self,
         compiled: CompiledQuery,
+        snapshot,
         store_model,
         collector: Optional[QueryCollector],
         deadline: Optional[Deadline],
     ):
         return _execute_compiled(
             compiled,
-            self.network,
+            snapshot,
             store_model,
             union_default_graph=self._union_default,
             filter_pushdown=self._filter_pushdown,
@@ -270,16 +298,23 @@ class SparqlEngine:
         )
 
     def _compiled_for(
-        self, ast, model_name: str, store_model, text: Optional[str]
+        self, ast, model_name: str, store_model, text: Optional[str], snapshot
     ) -> CompiledQuery:
         """Plan-cache fetch, falling back to a fresh compile.
+
+        The cache is keyed to the *pinned snapshot's* version, and the
+        compile runs against that same immutable snapshot — so the
+        version an entry is stored under can never disagree with the
+        data it was compiled from, even while writers bump
+        ``network.data_version`` concurrently (the invalidation race
+        the pre-MVCC engine had).
 
         Cache hits/misses/evictions are reported through the metrics
         helpers, so they land both in the process registry (the
         ``plan_cache.*`` counters on ``GET /metrics``) and in the
         per-query collector (``result.stats``) when one is active.
         """
-        version = getattr(self.network, "data_version", 0)
+        version = snapshot.data_version
         key = (text, model_name) if text is not None else None
         cached = None if key is None else self.plan_cache.get(key, version)
         with _trace.span("plan", cached=cached is not None):
@@ -290,7 +325,7 @@ class SparqlEngine:
                 _obs.inc("plan_cache.misses")
             compiled = compile_query(
                 ast,
-                self.network,
+                snapshot,
                 store_model,
                 model_name,
                 union_default_graph=self._union_default,
@@ -302,27 +337,31 @@ class SparqlEngine:
                     _obs.inc("plan_cache.evictions", evicted)
             return compiled
 
-    @contextmanager
-    def _read_locked(self, deadline: Optional[Deadline]):
-        """Hold the store's read lock for one query execution.
+    def _pin_snapshot(self):
+        """Pin the store's latest committed snapshot (lock-free).
 
-        A waiting query's deadline keeps ticking: if the write lock
-        holder outlasts the budget, the query times out in the queue
-        rather than running late.
+        Also surfaces the MVCC health gauges: ``snapshot.age`` (how far
+        behind "now" the pinned version was captured) and
+        ``snapshot.versions_live`` (distinct versions still pinned by
+        in-flight queries — growth here means version hoarding).
         """
-        lock = getattr(self.network, "lock", None)
-        if lock is None:
-            yield
-            return
-        wait = None if deadline is None else max(deadline.remaining(), 0.0)
-        if not lock.acquire_read(wait):
-            raise QueryTimeout(
-                deadline.timeout, time.monotonic() - deadline.started_at
+        network = self.network
+        pin = getattr(network, "snapshot", None)
+        if pin is None:  # plain duck-typed stores without MVCC
+            return network
+        snapshot = pin()
+        if _obs.is_enabled():
+            registry = _obs.registry()
+            registry.set_gauge("snapshot.age", snapshot.age())
+            registry.set_gauge(
+                "snapshot.versions_live", network.live_snapshot_count()
             )
-        try:
-            yield
-        finally:
-            lock.release_read()
+        if _trace.is_active():
+            with _trace.span(
+                "snapshot.pin", version=snapshot.data_version
+            ):
+                pass
+        return snapshot
 
     # ------------------------------------------------------------------
     # Update API
@@ -366,15 +405,29 @@ class SparqlEngine:
         )
         try:
             with self._write_locked(deadline):
-                # Updates are serialized and exclusive: concurrent
-                # readers see either none or all of one request's
-                # effects.
-                with _trace.span("execute", form="update"):
-                    return executor.execute(request)
+                # Updates serialize against each other on the write
+                # lock; visibility to readers is governed by the MVCC
+                # write batch — the whole request commits as ONE new
+                # data_version, so concurrent queries see either none
+                # or all of its effects (never a half-applied INSERT).
+                with self._write_batched():
+                    with _trace.span("execute", form="update"):
+                        return executor.execute(request)
         except QueryTimeout:
             if _obs.is_enabled():
                 _obs.registry().inc("query.timeouts")
             raise
+
+    @contextmanager
+    def _write_batched(self):
+        """One MVCC commit for the whole update request (when the
+        store supports batching)."""
+        batch = getattr(self.network, "write_batch", None)
+        if batch is None:
+            yield
+            return
+        with batch():
+            yield
 
     @contextmanager
     def _write_locked(self, deadline: Optional[Deadline]):

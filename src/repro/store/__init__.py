@@ -22,6 +22,11 @@ from repro.store.values import ValuesTable, DEFAULT_GRAPH_ID
 from repro.store.index import SemanticIndex, IndexSpecError
 from repro.store.locking import LockTimeout, RWLock
 from repro.store.model import SemanticModel
+from repro.store.snapshot import (
+    NetworkSnapshot,
+    SnapshotModel,
+    SnapshotVirtualModel,
+)
 from repro.store.virtual import VirtualModel
 from repro.store.network import SemanticNetwork, StoreError
 from repro.store.storage import StorageReport, storage_report
@@ -42,6 +47,9 @@ __all__ = [
     "LockTimeout",
     "SemanticModel",
     "VirtualModel",
+    "NetworkSnapshot",
+    "SnapshotModel",
+    "SnapshotVirtualModel",
     "SemanticNetwork",
     "StoreError",
     "StorageReport",

@@ -129,7 +129,10 @@ def recover_network(
     network = into if into is not None else SemanticNetwork()
     stats = RecoveryStats()
     with _trace.span("store.recover", directory=directory):
-        _recover_into(directory, network, stats)
+        # One write batch: replay publishes a single committed snapshot
+        # at the end instead of one per record.
+        with network.write_batch():
+            _recover_into(directory, network, stats)
     stats.publish()
     return network, stats
 
@@ -298,16 +301,23 @@ class DurableNetwork(SemanticNetwork):
     def checkpoint(self) -> Dict[str, int]:
         """Write an atomic snapshot and reset the WAL.
 
-        Taken under the store's write lock so the snapshot is a
-        consistent cut and no append can slip between the snapshot and
-        the log reset.
+        Writers are excluded (the store's write lock plus the MVCC
+        write mutex) so the captured snapshot is a consistent cut and
+        no append can slip between the snapshot and the log reset.
+        Readers are *not* excluded: queries keep running against their
+        pinned MVCC snapshots for the whole checkpoint — the files are
+        written from an immutable
+        :class:`~repro.store.snapshot.NetworkSnapshot`, never from
+        mutable state.
         """
         with _trace.span("store.checkpoint"):
             with self.lock.write_locked():
-                counts = save_network(
-                    self, os.path.join(self.directory, CHECKPOINT_NAME)
-                )
-                self._reset_wal()
+                with self._write_mutex:
+                    snap = self.snapshot()
+                    counts = save_network(
+                        snap, os.path.join(self.directory, CHECKPOINT_NAME)
+                    )
+                    self._reset_wal()
         if _obs.is_enabled():
             _obs.registry().inc("wal.checkpoints")
         return counts

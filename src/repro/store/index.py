@@ -11,10 +11,17 @@ An index is a sorted array of key tuples in permuted order.  A *range
 scan* binds a prefix of the key and walks the contiguous run of
 matching entries; a *full index scan* walks everything and filters.
 Both access paths are what the paper's Table 5 plans use.
+
+The key array is published copy-on-write for MVCC readers: once
+:meth:`SemanticIndex.publish` hands the array to a snapshot it is
+frozen — the next mutation first replaces it with a private copy
+(``store.cow_copy_seconds`` times the copies), so a pinned snapshot
+keeps scanning the exact array it captured while writers move on.
 """
 
 from __future__ import annotations
 
+import time
 from bisect import bisect_left, insort
 from typing import Iterator, List, Optional, Sequence, Tuple
 
@@ -63,7 +70,7 @@ def normalize_spec(spec: str) -> str:
 class SemanticIndex:
     """One sorted composite-key index over a model's quads."""
 
-    __slots__ = ("spec", "order", "_inverse", "_keys", "_sorted")
+    __slots__ = ("spec", "order", "_inverse", "_keys", "_sorted", "_shared")
 
     def __init__(self, spec: str):
         self.spec = normalize_spec(spec)
@@ -79,6 +86,9 @@ class SemanticIndex:
         self._inverse = tuple(inverse)
         self._keys: List[QuadIds] = []
         self._sorted = True
+        #: True once the current key array has been handed to a snapshot
+        #: (:meth:`publish`); the next mutation must copy before writing.
+        self._shared = False
 
     @property
     def key_length(self) -> int:
@@ -96,20 +106,64 @@ class SemanticIndex:
         inv = self._inverse
         return (key[inv[0]], key[inv[1]], key[inv[2]], key[inv[3]])
 
+    def publish(self) -> List[QuadIds]:
+        """Freeze and return the current key array for a snapshot.
+
+        After this call the array is immutable: the next ``insert`` /
+        ``delete`` copies it first (copy-on-write), so every snapshot
+        holding the returned list keeps a stable view at zero capture
+        cost.
+        """
+        self._shared = True
+        return self._keys
+
+    def view(self) -> "SemanticIndex":
+        """An immutable snapshot view sharing this index's key array.
+
+        The view is a full :class:`SemanticIndex` (same spec, same scan
+        code paths) whose key array is the published current array; it
+        is marked shared on both sides, so a mutation of either object
+        copies first and neither can see the other's later writes.
+        """
+        clone = SemanticIndex.__new__(SemanticIndex)
+        clone.spec = self.spec
+        clone.order = self.order
+        clone._inverse = self._inverse
+        clone._keys = self.publish()
+        clone._sorted = True
+        clone._shared = True
+        return clone
+
+    def _own(self) -> List[QuadIds]:
+        """The private, mutable key array (copying a published one)."""
+        if self._shared:
+            if _obs.is_enabled():
+                started = time.perf_counter()
+                self._keys = self._keys.copy()
+                _obs.observe(
+                    "store.cow_copy_seconds", time.perf_counter() - started
+                )
+            else:
+                self._keys = self._keys.copy()
+            self._shared = False
+        return self._keys
+
     def bulk_build(self, quads: Sequence[QuadIds]) -> None:
         """Rebuild the index from scratch from canonical quads."""
         permute = self._permute
         self._keys = sorted(permute(quad) for quad in quads)
         self._sorted = True
+        self._shared = False
 
     def insert(self, quad: QuadIds) -> None:
-        insort(self._keys, self._permute(quad))
+        insort(self._own(), self._permute(quad))
 
     def delete(self, quad: QuadIds) -> None:
         key = self._permute(quad)
-        pos = bisect_left(self._keys, key)
-        if pos < len(self._keys) and self._keys[pos] == key:
-            del self._keys[pos]
+        keys = self._own()
+        pos = bisect_left(keys, key)
+        if pos < len(keys) and keys[pos] == key:
+            del keys[pos]
 
     def prefix_length(self, bound: Sequence[Optional[int]]) -> int:
         """How many leading key columns the bound pattern covers.

@@ -16,6 +16,29 @@ from repro.store.index import IndexSpecError, QuadIds, SemanticIndex, normalize_
 
 Pattern = Tuple[Optional[int], Optional[int], Optional[int], Optional[int]]
 
+
+def choose_index_from(
+    indexes, pattern: Pattern
+) -> Tuple[SemanticIndex, int]:
+    """Pick the cheapest index among ``indexes`` for ``pattern``.
+
+    Cost-based, like Oracle's optimizer: choose the index whose usable
+    key prefix selects the fewest entries (exact counts from the index
+    itself), breaking ties by longer prefix.  Shared by live models and
+    their MVCC snapshot views (:mod:`repro.store.snapshot`).
+    """
+    best: Optional[SemanticIndex] = None
+    best_cost: Optional[Tuple[int, int]] = None
+    for index in indexes:
+        length = index.prefix_length(pattern)
+        matched = index.count_prefix(pattern) if length else len(index)
+        cost = (matched, -length)
+        if best_cost is None or cost < best_cost:
+            best = index
+            best_cost = cost
+    assert best is not None  # models always have >= 1 index
+    return best, -best_cost[1]
+
 #: Index specs created by default on every model, as in the paper
 #: ("two indexes are created by default on all the semantic models:
 #: (unique) PCSGM and PSCGM").
@@ -126,23 +149,10 @@ class SemanticModel:
     def choose_index(self, pattern: Pattern) -> Tuple[SemanticIndex, int]:
         """Pick the cheapest index for ``pattern``.
 
-        Cost-based, like Oracle's optimizer: among the available
-        indexes, choose the one whose usable key prefix selects the
-        fewest entries (exact counts from the index itself), breaking
-        ties by longer prefix.  A prefix length of zero means the scan
-        degrades to a full index scan with filtering.
+        A prefix length of zero means the scan degrades to a full index
+        scan with filtering.  See :func:`choose_index_from`.
         """
-        best: Optional[SemanticIndex] = None
-        best_cost: Optional[Tuple[int, int]] = None
-        for index in self._indexes.values():
-            length = index.prefix_length(pattern)
-            matched = index.count_prefix(pattern) if length else len(index)
-            cost = (matched, -length)
-            if best_cost is None or cost < best_cost:
-                best = index
-                best_cost = cost
-        assert best is not None  # models always have >= 1 index
-        return best, -best_cost[1]
+        return choose_index_from(self._indexes.values(), pattern)
 
     def scan(self, pattern: Pattern) -> Iterator[QuadIds]:
         """Scan quads matching ``pattern`` via the best available index."""

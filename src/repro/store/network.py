@@ -7,6 +7,9 @@ manages model lifecycle, bulk loading, and term encoding/decoding.
 
 from __future__ import annotations
 
+import threading
+import weakref
+from contextlib import contextmanager
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.rdf.quad import Quad
@@ -15,6 +18,7 @@ from repro.rdf.nquads import parse_nquads
 from repro.store.index import QuadIds
 from repro.store.locking import RWLock
 from repro.store.model import DEFAULT_INDEXES, SemanticModel
+from repro.store.snapshot import NetworkSnapshot, capture_snapshot
 from repro.store.values import DEFAULT_GRAPH_ID, ValuesTable
 from repro.store.virtual import VirtualModel
 
@@ -26,23 +30,127 @@ class StoreError(Exception):
 
 
 class SemanticNetwork:
-    """Top-level RDF store: a values table plus a set of models."""
+    """Top-level RDF store: a values table plus a set of models.
+
+    Concurrency contract (MVCC):
+
+    * **Readers never lock.**  :meth:`snapshot` returns the latest
+      *published* :class:`~repro.store.snapshot.NetworkSnapshot` — a
+      single attribute read.  A pinned snapshot stays consistent and
+      valid no matter what writers do afterwards (copy-on-write index
+      arrays, append-only values table).
+    * **Writers serialize against each other** on an internal write
+      mutex; every mutator commits at its end — bumping the version
+      and publishing a fresh snapshot atomically (one reference swap).
+      :meth:`write_batch` groups several mutations into *one* commit,
+      so a multi-quad SPARQL update becomes visible all-or-nothing.
+    * ``data_version`` is derived from the published snapshot, so the
+      version a reader observes and the state it scans can never be
+      torn apart (the plan cache keys compiled plans to a pinned
+      snapshot's version).
+    """
 
     def __init__(self):
         self.values = ValuesTable()
         self._models: Dict[str, SemanticModel] = {}
         self._virtual_models: Dict[str, VirtualModel] = {}
-        #: Monotonic counter bumped by every mutation (DML, loads, model
-        #: lifecycle).  Compiled query plans bake in term IDs and index
-        #: choices, so the plan cache uses this to invalidate them.
-        #: Term interning alone does not bump it — adding an unused
-        #: dictionary entry cannot change any query result.
-        self.data_version = 0
-        #: Reader-writer lock serializing updates against concurrent
-        #: queries.  The store itself never locks — the SPARQL engine
-        #: (and any other multi-threaded caller) brackets whole
-        #: queries/updates so each runs against a consistent snapshot.
+        #: Internal committed-version counter; exposed through the
+        #: ``data_version`` property via the published snapshot so the
+        #: two can never be observed out of sync.
+        self._version = 0
+        #: Serializes writers (and snapshot publication).  Reentrant so
+        #: ``write_batch`` can wrap the individual mutators.
+        self._write_mutex = threading.RLock()
+        self._batch_depth = 0
+        #: Writer-exclusion lock kept for callers that need *timed*
+        #: writer waits (the SPARQL engine's update deadline, durable
+        #: checkpoints).  Queries no longer take the read side — MVCC
+        #: snapshots replaced it — so this degenerates to a writer
+        #: mutex with timeout support.
         self.lock = RWLock()
+        #: Live snapshots by version (weak: a snapshot is reclaimed as
+        #: soon as the last query pinning it finishes).
+        self._snapshots: "weakref.WeakValueDictionary[int, NetworkSnapshot]" = (
+            weakref.WeakValueDictionary()
+        )
+        self._published: NetworkSnapshot = None  # set by _commit below
+        with self._write_mutex:
+            self._commit()
+
+    # ------------------------------------------------------------------
+    # MVCC: versions, commits and snapshots
+    # ------------------------------------------------------------------
+
+    @property
+    def data_version(self) -> int:
+        """The committed version — always that of the published snapshot.
+
+        Compiled query plans bake in term IDs and index choices, so the
+        plan cache uses this to invalidate them.  Term interning alone
+        does not bump it — adding an unused dictionary entry cannot
+        change any query result.
+        """
+        return self._published.data_version
+
+    def snapshot(self) -> NetworkSnapshot:
+        """Pin the latest committed version — O(1), lock-free.
+
+        The returned view is immutable: scans, membership tests and
+        decoding against it are unaffected by concurrent writers,
+        ``drop_model`` or checkpoints.  Hold it only as long as needed;
+        a pinned snapshot keeps its copy-on-write arrays alive.
+        """
+        return self._published
+
+    def live_snapshot_count(self) -> int:
+        """Number of distinct snapshot versions still referenced
+        (the ``snapshot.versions_live`` gauge; includes the published
+        one)."""
+        return len(self._snapshots)
+
+    @contextmanager
+    def write_batch(self):
+        """Group several mutations into one atomic commit.
+
+        Inside the batch no intermediate state is published: readers
+        keep seeing the pre-batch snapshot until the block exits, then
+        observe every change at once under a single new
+        ``data_version``.  The SPARQL engine wraps each UPDATE request
+        in one batch, which is what makes a K-quad ``INSERT DATA``
+        impossible to observe half-applied.  Reentrant.
+        """
+        with self._mutating():
+            yield
+
+    @contextmanager
+    def _mutating(self):
+        """Writer-side bracket: serialize, and commit at outermost exit.
+
+        The commit runs in a ``finally`` so the published snapshot
+        always matches the live state even when a batch fails midway
+        (there is no rollback — same contract as the seed store).
+        """
+        with self._write_mutex:
+            self._batch_depth += 1
+            try:
+                yield
+            finally:
+                self._batch_depth -= 1
+                if self._batch_depth == 0:
+                    self._version += 1
+                    self._commit()
+
+    def _commit(self) -> None:
+        """Publish the current state as an immutable snapshot.
+
+        Called with the write mutex held.  Publication is a single
+        reference assignment, so readers switch from the old version to
+        the new one atomically — there is no instant at which
+        ``data_version`` and the visible data disagree.
+        """
+        snap = capture_snapshot(self)
+        self._snapshots[snap.data_version] = snap
+        self._published = snap
 
     # ------------------------------------------------------------------
     # Model lifecycle
@@ -51,26 +159,28 @@ class SemanticNetwork:
     def create_model(
         self, name: str, index_specs: Sequence[str] = DEFAULT_INDEXES
     ) -> SemanticModel:
-        if name in self._models or name in self._virtual_models:
-            raise StoreError(f"model {name!r} already exists")
-        model = SemanticModel(name, index_specs)
-        self._models[name] = model
-        self.data_version += 1
-        return model
+        with self._mutating():
+            if name in self._models or name in self._virtual_models:
+                raise StoreError(f"model {name!r} already exists")
+            model = SemanticModel(name, index_specs)
+            self._models[name] = model
+            return model
 
     def create_virtual_model(
         self, name: str, member_names: Sequence[str], union_all: bool = False
     ) -> VirtualModel:
-        if name in self._models or name in self._virtual_models:
-            raise StoreError(f"model {name!r} already exists")
-        members = [self.model(member) for member in member_names]
-        for member in members:
-            if isinstance(member, VirtualModel):
-                raise StoreError("virtual models cannot nest virtual models")
-        virtual = VirtualModel(name, members, union_all=union_all)
-        self._virtual_models[name] = virtual
-        self.data_version += 1
-        return virtual
+        with self._mutating():
+            if name in self._models or name in self._virtual_models:
+                raise StoreError(f"model {name!r} already exists")
+            members = [self.model(member) for member in member_names]
+            for member in members:
+                if isinstance(member, VirtualModel):
+                    raise StoreError(
+                        "virtual models cannot nest virtual models"
+                    )
+            virtual = VirtualModel(name, members, union_all=union_all)
+            self._virtual_models[name] = virtual
+            return virtual
 
     def model(self, name: str) -> AnyModel:
         found: Optional[AnyModel] = self._models.get(name)
@@ -81,22 +191,23 @@ class SemanticNetwork:
         return found
 
     def drop_model(self, name: str) -> None:
-        if name in self._models:
-            dependents = [
-                virtual.name
-                for virtual in self._virtual_models.values()
-                if name in virtual.member_names
-            ]
-            if dependents:
-                raise StoreError(
-                    f"model {name!r} is used by virtual model(s) {dependents}"
-                )
-            del self._models[name]
-        elif name in self._virtual_models:
-            del self._virtual_models[name]
-        else:
-            raise StoreError(f"no such model: {name!r}")
-        self.data_version += 1
+        with self._mutating():
+            if name in self._models:
+                dependents = [
+                    virtual.name
+                    for virtual in self._virtual_models.values()
+                    if name in virtual.member_names
+                ]
+                if dependents:
+                    raise StoreError(
+                        f"model {name!r} is used by virtual model(s) "
+                        f"{dependents}"
+                    )
+                del self._models[name]
+            elif name in self._virtual_models:
+                del self._virtual_models[name]
+            else:
+                raise StoreError(f"no such model: {name!r}")
 
     @property
     def model_names(self) -> List[str]:
@@ -144,27 +255,27 @@ class SemanticNetwork:
 
     def bulk_load(self, model_name: str, quads: Iterable[Quad]) -> int:
         """Bulk load RDF quads into a model; returns quads added."""
-        model = self._require_base_model(model_name)
-        encoded = [self.encode_quad(quad) for quad in quads]
-        self.data_version += 1
-        return model.bulk_load(encoded)
+        with self._mutating():
+            model = self._require_base_model(model_name)
+            encoded = [self.encode_quad(quad) for quad in quads]
+            return model.bulk_load(encoded)
 
     def bulk_load_nquads(self, model_name: str, lines: Iterable[str]) -> int:
         """Bulk load from N-Quads text lines (the paper's load format)."""
         return self.bulk_load(model_name, parse_nquads(lines))
 
     def insert(self, model_name: str, quad: Quad) -> bool:
-        model = self._require_base_model(model_name)
-        self.data_version += 1
-        return model.insert(self.encode_quad(quad))
+        with self._mutating():
+            model = self._require_base_model(model_name)
+            return model.insert(self.encode_quad(quad))
 
     def delete(self, model_name: str, quad: Quad) -> bool:
-        model = self._require_base_model(model_name)
-        encoded = self._encode_existing(quad)
-        if encoded is None:
-            return False
-        self.data_version += 1
-        return model.delete(encoded)
+        with self._mutating():
+            model = self._require_base_model(model_name)
+            encoded = self._encode_existing(quad)
+            if encoded is None:
+                return False
+            return model.delete(encoded)
 
     def clear_model(self, model_name: str, graph: Optional[Term] = None) -> int:
         """Remove every quad of a model (or just one named graph).
@@ -173,19 +284,19 @@ class SemanticNetwork:
         form of SPARQL ``CLEAR``; routing it through the network (rather
         than poking the model) lets durable subclasses journal it.
         """
-        model = self._require_base_model(model_name)
-        self.data_version += 1
-        if graph is None:
-            removed = len(model)
-            model.clear()
-            return removed
-        graph_id = self.values.lookup(graph)
-        if graph_id is None:
-            return 0
-        doomed = list(model.scan((None, None, None, graph_id)))
-        for quad_ids in doomed:
-            model.delete(quad_ids)
-        return len(doomed)
+        with self._mutating():
+            model = self._require_base_model(model_name)
+            if graph is None:
+                removed = len(model)
+                model.clear()
+                return removed
+            graph_id = self.values.lookup(graph)
+            if graph_id is None:
+                return 0
+            doomed = list(model.scan((None, None, None, graph_id)))
+            for quad_ids in doomed:
+                model.delete(quad_ids)
+            return len(doomed)
 
     def contains(self, model_name: str, quad: Quad) -> bool:
         encoded = self._encode_existing(quad)

@@ -41,8 +41,13 @@ from repro.store.network import SemanticNetwork
 MANIFEST_NAME = "manifest.json"
 
 
-def save_network(network: SemanticNetwork, directory: str) -> Dict[str, int]:
+def save_network(network, directory: str) -> Dict[str, int]:
     """Atomically write every base model (and the manifest) to ``directory``.
+
+    ``network`` may be a live :class:`SemanticNetwork` or an immutable
+    :class:`~repro.store.snapshot.NetworkSnapshot` — durable
+    checkpoints pass a snapshot so the files describe one consistent
+    ``data_version`` regardless of concurrent readers.
 
     Returns quad counts per model.  Virtual models are recorded in the
     manifest only — they are views.  On any failure the target
@@ -52,7 +57,7 @@ def save_network(network: SemanticNetwork, directory: str) -> Dict[str, int]:
         return _save_network(network, directory)
 
 
-def _save_network(network: SemanticNetwork, directory: str) -> Dict[str, int]:
+def _save_network(network, directory: str) -> Dict[str, int]:
     directory = os.path.abspath(directory)
     parent = os.path.dirname(directory)
     os.makedirs(parent, exist_ok=True)
@@ -69,7 +74,7 @@ def _save_network(network: SemanticNetwork, directory: str) -> Dict[str, int]:
     return counts
 
 
-def _write_snapshot(network: SemanticNetwork, directory: str) -> Dict[str, int]:
+def _write_snapshot(network, directory: str) -> Dict[str, int]:
     """Write the snapshot files into ``directory`` (no atomicity here)."""
     counts: Dict[str, int] = {}
     manifest = {"models": [], "virtual_models": []}

@@ -9,6 +9,7 @@ numeric and boolean datatypes at construction time.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, List, Optional
 
 from repro.rdf.terms import IRI, BlankNode, Literal, Term
@@ -22,13 +23,21 @@ class ValuesTable:
 
     ID 0 is reserved for the default graph, so real term IDs start at 1
     and sort after the default graph in any G-keyed index.
+
+    The table is append-only, which makes it naturally snapshot-safe:
+    an ID handed out once decodes to the same term forever, so MVCC
+    readers share the live table instead of copying it.  Interning is
+    serialized on a small lock (double-checked, so the hit path stays
+    a single dict probe) because lock-free queries may intern constant
+    terms concurrently with writers.
     """
 
-    __slots__ = ("_term_to_id", "_id_to_term")
+    __slots__ = ("_term_to_id", "_id_to_term", "_intern_lock")
 
     def __init__(self):
         self._term_to_id: Dict[Term, int] = {}
         self._id_to_term: List[Optional[Term]] = [None]  # slot 0: default graph
+        self._intern_lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._term_to_id)
@@ -37,9 +46,12 @@ class ValuesTable:
         """Return the ID for ``term``, assigning a fresh one if needed."""
         term_id = self._term_to_id.get(term)
         if term_id is None:
-            term_id = len(self._id_to_term)
-            self._term_to_id[term] = term_id
-            self._id_to_term.append(term)
+            with self._intern_lock:
+                term_id = self._term_to_id.get(term)
+                if term_id is None:
+                    term_id = len(self._id_to_term)
+                    self._id_to_term.append(term)
+                    self._term_to_id[term] = term_id
         return term_id
 
     def lookup(self, term: Term) -> Optional[int]:

@@ -94,6 +94,36 @@ class TestRWLock:
             lock.release_write()
 
 
+class TestReadersNeverBlock:
+    def test_reads_complete_while_writer_holds_lock(self):
+        """MVCC acceptance: with the write lock held for the whole
+        test, N reader threads all finish promptly — queries never
+        enter the lock."""
+        network = SemanticNetwork()
+        network.create_model("m")
+        network.insert("m", Quad(IRI(f"{EX}a"), IRI(f"{EX}p"), IRI(f"{EX}b")))
+        engine = SparqlEngine(network, default_model="m")
+        network.lock.acquire_write()
+        try:
+            finished = []
+
+            def reader():
+                for _ in range(20):
+                    result = engine.select("SELECT ?s WHERE { ?s ?p ?o }")
+                    assert len(result.rows) == 1
+                finished.append(1)
+
+            threads = [threading.Thread(target=reader) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=5)
+                assert not t.is_alive(), "reader blocked behind write lock"
+            assert len(finished) == 4
+        finally:
+            network.lock.release_write()
+
+
 @pytest.mark.stress
 class TestStress:
     def test_concurrent_readers_and_writers(self):

@@ -159,7 +159,9 @@ class TestDurableTracing:
         # wal.append nests under its store.log parent.
         assert appends[0].parent_id == log_spans[0].span_id
 
-    def test_traced_query_sees_lock_spans(self, tmp_path):
+    def test_traced_query_pins_snapshot_without_locks(self, tmp_path):
+        # MVCC contract: queries pin a snapshot (one span, carrying the
+        # version) and never touch the store lock.
         directory = os.path.join(str(tmp_path), "store")
         store = open_durable(directory)
         store.create_model("m")
@@ -168,7 +170,22 @@ class TestDurableTracing:
         tree = engine.select(
             "SELECT ?s WHERE { ?s <http://ex/p> ?o }"
         ).stats.trace
-        locks = tree.find("lock.read.acquire")
+        pins = tree.find("snapshot.pin")
+        assert pins and pins[0].attributes["version"] == store.data_version
+        assert not tree.find("lock.read.acquire")
+        assert not tree.find("lock.write.acquire")
+        store.close()
+
+    def test_traced_update_sees_write_lock_spans(self, tmp_path):
+        directory = os.path.join(str(tmp_path), "store")
+        store = open_durable(directory)
+        store.create_model("m")
+        engine = SparqlEngine(store, default_model="m")
+        with trace.tracing("update") as tree:
+            engine.update(
+                "INSERT DATA { <http://ex/a> <http://ex/p> <http://ex/b> }"
+            )
+        locks = tree.find("lock.write.acquire")
         assert locks and locks[0].attributes["acquired"] is True
         assert locks[0].attributes["wait_seconds"] >= 0.0
         store.close()

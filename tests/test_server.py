@@ -248,17 +248,24 @@ class TestInflightGate:
     def test_excess_requests_get_429(self, social_engine):
         import threading
 
-        with SparqlServer(social_engine, max_inflight=1) as running:
+        with SparqlServer(
+            social_engine, max_inflight=1, allow_updates=True
+        ) as running:
             encoded = urllib.parse.quote(QUERY)
             # Deterministically occupy the single slot: hold the store's
-            # write lock so the first request blocks inside the gate.
+            # write lock so an *update* request blocks inside the gate.
+            # (Queries can no longer be parked this way — MVCC reads
+            # never take the lock.)
             social_engine.network.lock.acquire_write()
             first_result = {}
 
             def first():
                 try:
-                    first_result["status"] = get(
-                        running, f"/sparql?query={encoded}"
+                    first_result["status"] = post(
+                        running, "/update",
+                        "INSERT DATA { <http://ex/gate> <http://ex/p> "
+                        "<http://ex/o> }",
+                        "application/sparql-update",
                     )[0]
                 except Exception as exc:  # noqa: BLE001
                     first_result["error"] = exc
@@ -292,6 +299,178 @@ class TestInflightGate:
 
         with pytest.raises(ValueError, match="max_inflight"):
             make_server(social_engine, max_inflight=0)
+
+
+class TestWorkerPool:
+    def test_pool_executes_and_returns(self):
+        from repro.server import WorkerPool
+
+        pool = WorkerPool(workers=2)
+        try:
+            jobs = [pool.submit(lambda x: x * x, i) for i in range(4)]
+            assert [job.wait() for job in jobs] == [0, 1, 4, 9]
+        finally:
+            pool.close()
+
+    def test_pool_propagates_exceptions(self):
+        from repro.server import WorkerPool
+
+        def boom():
+            raise ValueError("exploded in worker")
+
+        pool = WorkerPool(workers=1)
+        try:
+            with pytest.raises(ValueError, match="exploded in worker"):
+                pool.submit(boom).wait()
+        finally:
+            pool.close()
+
+    def test_pool_saturation_raises(self):
+        import threading
+
+        from repro.server import PoolSaturated, WorkerPool
+
+        release = threading.Event()
+        started = threading.Event()
+
+        def block():
+            started.set()
+            assert release.wait(10)
+
+        pool = WorkerPool(workers=1, max_queue=1)
+        try:
+            first = pool.submit(block)
+            assert started.wait(5)  # worker busy, queue empty
+            second = pool.submit(lambda: "queued")  # fills the queue
+            with pytest.raises(PoolSaturated):
+                pool.submit(lambda: "rejected")
+        finally:
+            release.set()
+        first.wait()
+        assert second.wait() == "queued"
+        pool.close()
+
+    def test_invalid_sizes_rejected(self):
+        from repro.server import WorkerPool
+
+        with pytest.raises(ValueError, match="workers"):
+            WorkerPool(workers=0)
+        with pytest.raises(ValueError, match="max_queue"):
+            WorkerPool(workers=1, max_queue=0)
+
+    def test_pool_close_is_idempotent(self):
+        from repro.server import WorkerPool
+
+        pool = WorkerPool(workers=2)
+        pool.close()
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.submit(lambda: 1)
+
+
+class _GateEngine:
+    """Engine stub whose query blocks until released — makes worker
+    occupancy deterministic for the saturation tests."""
+
+    def __init__(self):
+        import threading
+
+        self.started = threading.Event()
+        self.release = threading.Event()
+
+    def query(self, text, timeout=None):
+        self.started.set()
+        assert self.release.wait(10)
+        return True  # an ASK-shaped result
+
+
+class TestServerWorkerPool:
+    def test_queries_answered_through_pool(self, social_engine):
+        with SparqlServer(social_engine, workers=2) as running:
+            encoded = urllib.parse.quote(QUERY)
+            status, _, body = get(running, f"/sparql?query={encoded}")
+            assert status == 200
+            names = [
+                b["n"]["value"]
+                for b in json.loads(body)["results"]["bindings"]
+            ]
+            assert names == ["Alice", "Bob", "Carol"]
+
+    def test_full_queue_answers_429(self):
+        import threading
+
+        stub = _GateEngine()
+        with SparqlServer(stub, workers=1, max_queue=1) as running:
+            results = {}
+
+            def request(key):
+                try:
+                    results[key] = get(running, "/sparql?query=x")[0]
+                except urllib.error.HTTPError as err:
+                    results[key] = err.code
+
+            first = threading.Thread(target=request, args=("first",))
+            first.start()
+            assert stub.started.wait(5), "first request never reached a worker"
+            second = threading.Thread(target=request, args=("second",))
+            second.start()
+            pool = running._server.worker_pool
+            deadline = time.monotonic() + 5
+            while pool.queue_depth == 0 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert pool.queue_depth == 1, "second request never queued"
+            # Worker busy + queue full: immediate backpressure.
+            with pytest.raises(urllib.error.HTTPError) as err:
+                get(running, "/sparql?query=x")
+            assert err.value.code == 429
+            assert "capacity" in json.loads(
+                err.value.read().decode("utf-8")
+            )["error"]
+            stub.release.set()
+            first.join(timeout=10)
+            second.join(timeout=10)
+            assert results == {"first": 200, "second": 200}
+
+    def test_metrics_expose_queue_depth_and_snapshot_gauges(
+        self, social_engine
+    ):
+        from repro.obs import metrics as obs_metrics
+
+        obs_metrics.enable()
+        try:
+            with SparqlServer(social_engine, workers=1) as running:
+                encoded = urllib.parse.quote(QUERY)
+                status, _, _ = get(running, f"/sparql?query={encoded}")
+                assert status == 200
+                _, _, body = get(running, "/metrics")
+                gauges = json.loads(body)["gauges"]
+                assert "server.queue_depth" in gauges
+                assert "snapshot.age" in gauges
+                assert gauges["snapshot.versions_live"] >= 1
+                _, _, prom = get(running, "/metrics", accept="text/plain")
+                assert "repro_server_queue_depth" in prom
+                assert "repro_snapshot_age" in prom
+                assert "repro_snapshot_versions_live" in prom
+        finally:
+            obs_metrics.disable()
+
+    def test_trace_spans_cross_the_pool(self, social_engine):
+        # The request trace opens on the connection thread; the query
+        # runs on a worker.  Its spans must land in the same tree.
+        with SparqlServer(social_engine, workers=1, trace=True) as running:
+            encoded = urllib.parse.quote(QUERY)
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{running.port}/sparql?query={encoded}"
+            )
+            with urllib.request.urlopen(request, timeout=10) as response:
+                trace_id = response.headers.get("X-Trace-Id")
+                response.read()
+            assert trace_id
+            _, _, body = get(running, f"/trace/{trace_id}")
+            names = [s["name"] for s in json.loads(body)["spans"]]
+            assert "request" in names
+            assert "snapshot.pin" in names
+            assert "op.IndexScan" in names
 
 
 class TestServerLifecycle:
