@@ -7,6 +7,7 @@ declarations and Oracle-style union default-graph semantics by default.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from contextlib import contextmanager
@@ -68,6 +69,7 @@ class SparqlEngine:
         timeout: Optional[float] = None,
         trace: bool = False,
         plan_cache_size: int = 128,
+        batch_size: Optional[int] = None,
     ):
         if default_graph_semantics not in ("union", "strict"):
             raise ValueError(
@@ -104,6 +106,15 @@ class SparqlEngine:
         #: name), invalidated by the network's ``data_version``.
         #: Prepared queries run from an AST (no text) bypass it.
         self.plan_cache = PlanCache(plan_cache_size)
+        #: Target rows per batch on the vectorized execution path.
+        #: ``REPRO_BATCH_SIZE`` overrides the default (the CI matrix
+        #: runs the suite at batch size 1 to prove batch-boundary
+        #: independence).
+        if batch_size is None:
+            batch_size = int(os.environ.get("REPRO_BATCH_SIZE") or 1024)
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = batch_size
 
     # ------------------------------------------------------------------
     # Query API
@@ -295,6 +306,7 @@ class SparqlEngine:
             filter_pushdown=self._filter_pushdown,
             collector=collector,
             deadline=deadline,
+            batch_size=self.batch_size,
         )
 
     def _compiled_for(
@@ -601,6 +613,7 @@ class SparqlEngine:
                 "form": compiled.form,
                 "model": model_name,
                 "variables": list(compiled.variables),
+                "batch_size": self.batch_size,
                 "logical": _algebra.to_dict(compiled.logical),
                 "optimized": _algebra.to_dict(compiled.optimized),
                 "physical": physical_to_dict(compiled.root),
@@ -615,7 +628,7 @@ class SparqlEngine:
             "  " + line
             for line in _algebra.render(compiled.optimized).splitlines()
         )
-        lines.append("Physical plan:")
+        lines.append(f"Physical plan (batch={self.batch_size}):")
         lines.extend(
             "  " + line for line in render_physical(compiled.root).splitlines()
         )

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.obs import metrics as _obs
 from repro.rdf.quad import Triple
 from repro.rdf.terms import Term
 from repro.sparql import algebra as A
@@ -140,6 +141,7 @@ def execute(
     filter_pushdown: bool = True,
     collector=None,
     deadline=None,
+    batch_size: int = 1024,
 ):
     """Run a compiled query; the return type depends on the form."""
     if deadline is not None:
@@ -152,6 +154,7 @@ def execute(
         collector=collector,
         deadline=deadline,
         streaming=compiled.streaming,
+        batch_size=batch_size,
     )
     if compiled.form == "select":
         return _execute_select(compiled, ctx)
@@ -163,16 +166,47 @@ def execute(
 
 
 def _execute_select(compiled: CompiledQuery, ctx: ExecContext) -> SelectResult:
-    term_of = ctx.values.term
+    # Bulk decode: direct list indexing into the append-only term
+    # table instead of a bounds-checking method call per cell.
+    table = ctx.values.term_table()
     decoded: List[Tuple[Optional[Term], ...]] = []
-    for row, mult in compiled.root.run(ctx):
-        terms = tuple(
-            term_of(value) if value is not None and value > 0 else None
-            for value in row
-        )
-        # Bag semantics: a row standing for N identical solutions
-        # expands to N result rows.
-        decoded.extend([terms] * mult)
+    batches = 0
+    for rows, mults in compiled.root.run_batches(ctx):
+        batches += 1
+        size = len(table)
+        if mults is None:
+            if not rows:
+                continue
+            if not rows[0]:
+                # Zero-width rows (no projected variables) decode to
+                # themselves; zip(*rows) would swallow them.
+                decoded.extend(rows)
+                continue
+            # Columnar decode: transpose once, decode each column in a
+            # flat list comprehension, zip the decoded columns back
+            # into rows — no per-row generator frames.
+            decoded.extend(
+                zip(
+                    *(
+                        [
+                            table[v] if v is not None and 0 < v < size else None
+                            for v in col
+                        ]
+                        for col in zip(*rows)
+                    )
+                )
+            )
+            continue
+        for row, mult in zip(rows, mults):
+            terms = tuple(
+                table[v] if v is not None and 0 < v < size else None
+                for v in row
+            )
+            # Bag semantics: a row standing for N identical solutions
+            # expands to N result rows.
+            decoded.extend([terms] * mult)
+    if _obs.is_active():
+        _obs.inc("exec.batches", batches)
     return SelectResult(list(compiled.variables), decoded)
 
 

@@ -30,7 +30,8 @@ Trace span names are the physical operator names: ``op.IndexScan``,
 from __future__ import annotations
 
 import heapq
-from itertools import chain as _chain
+from itertools import chain as _chain, repeat as _repeat
+from operator import itemgetter
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.obs import metrics as _obs
@@ -40,6 +41,7 @@ from repro.sparql import algebra as A
 from repro.sparql import functions as F
 from repro.sparql.ast import (
     Expression,
+    FunctionExpr,
     OrderCondition,
     Projection,
     TriplePattern,
@@ -68,8 +70,18 @@ from repro.sparql.unparse import render_expr, render_triple
 
 Row = Tuple[Optional[int], ...]
 Pair = Tuple[Row, int]
+#: One vector of solutions: ``(rows, mults)``.  ``mults is None`` means
+#: every row has multiplicity 1 (the common case — scans and DISTINCT
+#: produce it), so downstream operators skip multiplicity bookkeeping.
+Batch = Tuple[List[Row], Optional[List[int]]]
 
 _GRAPH_VAR_PATHS = "property paths inside GRAPH ?var are not supported"
+
+#: First batch size on the streaming path; doubles per batch up to the
+#: configured batch size, so a Slice or ASK right above a scan chain
+#: stops the scans after its first row, exactly like the old
+#: row-at-a-time iterators did (DuckDB-style ramp-up).
+_RAMP_START = 1
 
 
 # ----------------------------------------------------------------------
@@ -94,6 +106,7 @@ class ExecContext:
         collector=None,
         deadline=None,
         streaming: bool = True,
+        batch_size: int = 1024,
     ):
         self.network = network
         self.values = network.values
@@ -113,6 +126,8 @@ class ExecContext:
         #: path instead.  Instrumentation always materializes.
         self.streaming = streaming
         self.materialize = self.instrumented or not streaming
+        #: Target rows per batch on the vectorized path.
+        self.batch_size = max(1, batch_size)
         self.paths = PathEvaluator(model, self.lookup, deadline=deadline)
         #: Shared scalar/aggregate semantics; EXISTS bridges to the
         #: reference evaluator (the executable spec for subgroups).
@@ -134,6 +149,17 @@ class ExecContext:
         except Exception:
             return f"#{term_id}"
 
+    def chunk_sizes(self) -> Iterator[int]:
+        """Per-operator output batch size sequence.
+
+        Materialized runs use the configured batch size throughout;
+        streaming runs ramp up from a small first vector so early
+        termination (Slice/ASK) keeps its short time-to-first-row.
+        """
+        if self.materialize:
+            return _repeat(self.batch_size)
+        return _ramp_sizes(self.batch_size)
+
     def _exists(self, expression, get) -> Term:
         if self._legacy is None:
             from repro.sparql.eval import Evaluator
@@ -150,8 +176,194 @@ class ExecContext:
 
 
 # ----------------------------------------------------------------------
+# Batch plumbing
+# ----------------------------------------------------------------------
+
+
+def _ramp_sizes(limit: int) -> Iterator[int]:
+    size = _RAMP_START if limit > _RAMP_START else limit
+    while True:
+        yield size
+        size = min(size * 2, limit)
+
+
+def _chunk_pairs(pairs: Iterable[Pair], size: int) -> Iterator[Batch]:
+    """The singleton adapter: chunk a ``(row, mult)`` iterator into
+    batches, so operators without a native batch implementation still
+    speak the batched contract."""
+    rows: List[Row] = []
+    mults: List[int] = []
+    for row, mult in pairs:
+        rows.append(row)
+        mults.append(mult)
+        if len(rows) >= size:
+            yield rows, (None if all(m == 1 for m in mults) else mults)
+            rows, mults = [], []
+    if rows:
+        yield rows, (None if all(m == 1 for m in mults) else mults)
+
+
+def _flatten(batches: Iterable[Batch]) -> Iterator[Pair]:
+    """The inverse adapter: batches back to ``(row, mult)`` pairs."""
+    for rows, mults in batches:
+        if mults is None:
+            for row in rows:
+                yield row, 1
+        else:
+            yield from zip(rows, mults)
+
+
+def _batch_rows(batches: Iterable[Batch]) -> int:
+    return sum(len(rows) for rows, _ in batches)
+
+
+class _BatchBuilder:
+    """Accumulates output rows for a batch, tracking multiplicities
+    lazily: the ``mults`` list exists only once some row's multiplicity
+    differs from 1."""
+
+    __slots__ = ("rows", "mults")
+
+    def __init__(self):
+        self.rows: List[Row] = []
+        self.mults: Optional[List[int]] = None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def add_uniform(self, rows: List[Row]) -> None:
+        """Extend with rows of multiplicity 1."""
+        self.rows.extend(rows)
+        if self.mults is not None:
+            self.mults.extend([1] * len(rows))
+
+    def add_repeat(self, rows: List[Row], mult: int) -> None:
+        """Extend with rows sharing one multiplicity."""
+        if mult != 1 and self.mults is None:
+            self.mults = [1] * len(self.rows)
+        self.rows.extend(rows)
+        if self.mults is not None:
+            self.mults.extend([mult] * len(rows))
+
+    def add(self, row: Row, mult: int) -> None:
+        if mult != 1 and self.mults is None:
+            self.mults = [1] * len(self.rows)
+        self.rows.append(row)
+        if self.mults is not None:
+            self.mults.append(mult)
+
+    def flush(self) -> Batch:
+        batch = (self.rows, self.mults)
+        self.rows = []
+        self.mults = None
+        return batch
+
+
+def _iter_batch(batch: Batch) -> Iterator[Pair]:
+    rows, mults = batch
+    if mults is None:
+        return ((row, 1) for row in rows)
+    return zip(rows, mults)
+
+
+# ----------------------------------------------------------------------
 # Shared join loops (ports of repro.sparql.relation)
 # ----------------------------------------------------------------------
+
+
+def _join_batches(
+    left_batches: Iterable[Batch],
+    left_vars: Tuple[str, ...],
+    right_pairs: List[Pair],
+    right_vars: Tuple[str, ...],
+    tick,
+    sizes: Iterator[int],
+) -> Iterator[Batch]:
+    """Batched :func:`_join_stream`: identical rows in identical order,
+    consumed and produced as batches."""
+    shared = [v for v in left_vars if v in right_vars]
+    right_extra = [i for i, v in enumerate(right_vars) if v not in left_vars]
+    out = _BatchBuilder()
+    target = next(sizes)
+    if not shared:
+        # Cartesian: precompute the projected right fragments once.
+        fragments = [
+            (tuple(rrow[i] for i in right_extra), rmult)
+            for rrow, rmult in right_pairs
+        ]
+        uniform = all(rmult == 1 for _, rmult in fragments)
+        for rows, mults in left_batches:
+            for i, lrow in enumerate(rows):
+                if tick is not None:
+                    tick()
+                lmult = 1 if mults is None else mults[i]
+                if uniform:
+                    out.add_repeat([lrow + frag for frag, _ in fragments], lmult)
+                else:
+                    for frag, rmult in fragments:
+                        out.add(lrow + frag, lmult * rmult)
+                if len(out) >= target:
+                    yield out.flush()
+                    target = next(sizes)
+        if len(out):
+            yield out.flush()
+        return
+    left_pos = [left_vars.index(v) for v in shared]
+    right_pos = [right_vars.index(v) for v in shared]
+    grouped: Dict[Row, List[Pair]] = {}
+    loose: List[Pair] = []
+    for rrow, rmult in right_pairs:
+        key = tuple(rrow[i] for i in right_pos)
+        if None in key:
+            loose.append((rrow, rmult))
+        else:
+            grouped.setdefault(key, []).append(
+                (tuple(rrow[i] for i in right_extra), rmult)
+            )
+    # Per key: the projected fragments, plus their multiplicities only
+    # when some differ from 1 (the probe loop then stays vectorized for
+    # the common all-ones case).
+    table = {}
+    for key, entries in grouped.items():
+        frags = [frag for frag, _ in entries]
+        if all(rmult == 1 for _, rmult in entries):
+            table[key] = (frags, None)
+        else:
+            table[key] = (frags, [rmult for _, rmult in entries])
+    table_get = table.get
+    for rows, mults in left_batches:
+        for i, lrow in enumerate(rows):
+            if tick is not None:
+                tick()
+            lmult = 1 if mults is None else mults[i]
+            key = tuple(lrow[p] for p in left_pos)
+            if None not in key:
+                hits = table_get(key)
+                if hits is not None:
+                    frags, hit_mults = hits
+                    if hit_mults is None:
+                        out.add_repeat([lrow + frag for frag in frags], lmult)
+                    else:
+                        for frag, rmult in zip(frags, hit_mults):
+                            out.add(lrow + frag, lmult * rmult)
+                for rrow, rmult in loose:
+                    merged = merge_compatible(
+                        lrow, rrow, left_pos, right_pos, right_extra
+                    )
+                    if merged is not None:
+                        out.add(merged, lmult * rmult)
+            else:
+                for rrow, rmult in right_pairs:
+                    merged = merge_compatible(
+                        lrow, rrow, left_pos, right_pos, right_extra
+                    )
+                    if merged is not None:
+                        out.add(merged, lmult * rmult)
+            if len(out) >= target:
+                yield out.flush()
+                target = next(sizes)
+    if len(out):
+        yield out.flush()
 
 
 def _join_stream(
@@ -253,6 +465,84 @@ def _left_join_stream(
             yield lrow + padding, lmult
 
 
+def _left_join_batches(
+    left_batches: Iterable[Batch],
+    left_vars: Tuple[str, ...],
+    right_pairs: List[Pair],
+    right_vars: Tuple[str, ...],
+    tick,
+    sizes: Iterator[int],
+) -> Iterator[Batch]:
+    """Batched :func:`_left_join_stream`: identical rows in identical
+    order, consumed and produced as batches.  Fully bound probe keys
+    concatenate precomputed right fragments without the per-candidate
+    compatibility merge."""
+    shared = [v for v in left_vars if v in right_vars]
+    right_extra = [i for i, v in enumerate(right_vars) if v not in left_vars]
+    left_pos = [left_vars.index(v) for v in shared]
+    right_pos = [right_vars.index(v) for v in shared]
+    padding = (None,) * len(right_extra)
+    grouped: Dict[Row, List[Pair]] = {}
+    loose: List[Pair] = []
+    for rrow, rmult in right_pairs:
+        key = tuple(rrow[i] for i in right_pos)
+        if None in key:
+            loose.append((rrow, rmult))
+        else:
+            grouped.setdefault(key, []).append(
+                (tuple(rrow[i] for i in right_extra), rmult)
+            )
+    table = {}
+    for key, entries in grouped.items():
+        frags = [frag for frag, _ in entries]
+        if all(rmult == 1 for _, rmult in entries):
+            table[key] = (frags, None)
+        else:
+            table[key] = (frags, [rmult for _, rmult in entries])
+    table_get = table.get
+    out = _BatchBuilder()
+    target = next(sizes)
+    for rows, mults in left_batches:
+        for i, lrow in enumerate(rows):
+            if tick is not None:
+                tick()
+            lmult = 1 if mults is None else mults[i]
+            key = tuple(lrow[p] for p in left_pos)
+            matched = False
+            if shared and None not in key:
+                hits = table_get(key)
+                if hits is not None:
+                    frags, hit_mults = hits
+                    if hit_mults is None:
+                        out.add_repeat([lrow + frag for frag in frags], lmult)
+                    else:
+                        for frag, rmult in zip(frags, hit_mults):
+                            out.add(lrow + frag, lmult * rmult)
+                    matched = True
+                for rrow, rmult in loose:
+                    merged = merge_compatible(
+                        lrow, rrow, left_pos, right_pos, right_extra
+                    )
+                    if merged is not None:
+                        out.add(merged, lmult * rmult)
+                        matched = True
+            else:
+                for rrow, rmult in right_pairs:
+                    merged = merge_compatible(
+                        lrow, rrow, left_pos, right_pos, right_extra
+                    )
+                    if merged is not None:
+                        out.add(merged, lmult * rmult)
+                        matched = True
+            if not matched:
+                out.add(lrow + padding, lmult)
+            if len(out) >= target:
+                yield out.flush()
+                target = next(sizes)
+    if len(out):
+        yield out.flush()
+
+
 # ----------------------------------------------------------------------
 # Operator base
 # ----------------------------------------------------------------------
@@ -275,6 +565,16 @@ class PhysicalOp:
 
     def run(self, ctx: ExecContext) -> Iterator[Pair]:
         raise NotImplementedError
+
+    def run_batches(self, ctx: ExecContext) -> Iterator[Batch]:
+        """Batched pull path (``next_batch`` contract).
+
+        Hot operators override this with a native vectorized
+        implementation; everything else inherits this singleton
+        adapter over :meth:`run`, so untouched operators keep working
+        inside a batched plan.
+        """
+        return _chunk_pairs(self.run(ctx), ctx.batch_size)
 
 
 class UnitOp(PhysicalOp):
@@ -357,11 +657,14 @@ class SeedColumnOp(PhysicalOp):
         return (self.input,)
 
     def run(self, ctx: ExecContext) -> Iterator[Pair]:
+        return _flatten(self.run_batches(ctx))
+
+    def run_batches(self, ctx: ExecContext) -> Iterator[Batch]:
         if _obs.is_active():
             _obs.inc("filter.sargable_seed")
         term_id = self.term_id
-        for row, mult in self.input.run(ctx):
-            yield row + (term_id,), mult
+        for rows, mults in self.input.run_batches(ctx):
+            yield [row + (term_id,) for row in rows], mults
 
 # ----------------------------------------------------------------------
 # Pattern step: IndexScan / IndexNestedLoopJoin / HashJoin / Cartesian
@@ -464,6 +767,32 @@ class PatternJoinOp(PhysicalOp):
         self._scan_extra = [
             i for i, v in enumerate(self._scan_vars) if v not in self._var_index
         ]
+        # -- vectorized NLJ plan (compile-time) ------------------------
+        # Per-slot probe recipe: (0, id) constant, (1, pos) input
+        # column, (2, None) free.
+        slot_plan = []
+        for slot in slots:
+            if isinstance(slot, int):
+                slot_plan.append((0, slot))
+            elif slot in self._var_index:
+                slot_plan.append((1, self._var_index[slot]))
+            else:
+                slot_plan.append((2, None))
+        self._slot_plan = tuple(slot_plan)
+        if graph is None:
+            self._graph_plan = (0, None)
+        elif isinstance(graph, int):
+            self._graph_plan = (1, graph)
+        elif self._graph_bound:
+            self._graph_plan = (2, self._var_index[graph])
+        else:
+            self._graph_plan = (3, None)  # named graphs only
+        # The probe returns extension rows directly (zipped column
+        # slices) when no per-quad residual checks are needed; named
+        # graphs only still qualifies because the graph column is then
+        # the extension's last position.
+        self._nlj_positions = tuple(extract) + ((3,) if bind_graph else ())
+        self._nlj_fast = not self._checks and not graph_checks
 
     def children(self):
         return (self.input,)
@@ -478,18 +807,33 @@ class PatternJoinOp(PhysicalOp):
         )
 
     def run(self, ctx: ExecContext) -> Iterator[Pair]:
+        return _flatten(self.run_batches(ctx))
+
+    def run_batches(self, ctx: ExecContext) -> Iterator[Batch]:
         if ctx.materialize:
-            return self._run_materialized(ctx)
-        return self._run_streaming(ctx)
+            return iter(self._run_materialized(ctx))
+        return self._stream_batches(ctx)
 
     # -- materialized: decide, record, execute (evaluator's shape) -----
 
-    def _run_materialized(self, ctx: ExecContext) -> List[Pair]:
-        inp = list(self.input.run(ctx))
-        rows_in = len(inp)
+    def _run_materialized(self, ctx: ExecContext) -> List[Batch]:
+        in_batches = list(self.input.run_batches(ctx))
+        rows_in = _batch_rows(in_batches)
         if rows_in == 0 and not self.chain_first:
             return []
-        estimate = ctx.model.estimate(self.pattern.store_pattern(self.graph))
+        collector = ctx.collector
+        if (
+            rows_in >= HASH_JOIN_MIN_ROWS
+            or collector is not None
+            or _trace.is_active()
+            or _obs.is_active()
+        ):
+            estimate = ctx.model.estimate(self.pattern.store_pattern(self.graph))
+        else:
+            # Below the hash-join threshold the decision is NLJ no
+            # matter the estimate, and nobody records it — skip the
+            # index-statistics lookup entirely.
+            estimate = -1
         decision = decide_join(rows_in, estimate)
         shared = self._shared
         if shared and decision.method == "hash join":
@@ -498,7 +842,6 @@ class PatternJoinOp(PhysicalOp):
             executed, reason = "cartesian", "disconnected pattern: scan once"
         else:
             executed, reason = "NLJ", decision.describe()
-        collector = ctx.collector
         if collector is not None:
             collector.begin_operator(
                 "pattern",
@@ -514,13 +857,15 @@ class PatternJoinOp(PhysicalOp):
         if _obs.is_active():
             _obs.record_join(executed)
 
-        def run_step() -> List[Pair]:
+        def run_step() -> List[Batch]:
+            sizes = ctx.chunk_sizes()
             if executed == "NLJ":
-                return list(self._nlj(ctx, inp))
+                return list(self._nlj_batches(ctx, in_batches, sizes))
             right = list(self._scan_pairs(ctx))
             return list(
-                _join_stream(
-                    inp, self.input.schema, right, self._scan_vars, ctx.tick
+                _join_batches(
+                    in_batches, self.input.schema, right, self._scan_vars,
+                    ctx.tick, sizes,
                 )
             )
 
@@ -531,72 +876,89 @@ class PatternJoinOp(PhysicalOp):
                 join=executed,
                 estimate=estimate,
                 rows_in=rows_in,
+                rows_per_batch=ctx.batch_size,
             ) as op_span:
                 out = run_step()
-                op_span.set("rows_out", len(out))
+                op_span.set("rows_out", _batch_rows(out))
+                op_span.set("batches", len(out))
         else:
             out = run_step()
         if collector is not None:
-            collector.end_operator(rows_out=len(out))
+            collector.end_operator(rows_out=_batch_rows(out))
         return out
 
-    # -- streaming: lazy rows, adaptive NLJ -> hash cutover ------------
+    # -- streaming: lazy batches, adaptive NLJ -> hash cutover ---------
 
-    def _run_streaming(self, ctx: ExecContext) -> Iterator[Pair]:
+    def _stream_batches(self, ctx: ExecContext) -> Iterator[Batch]:
         executed: Optional[str] = None
+        sizes = ctx.chunk_sizes()
         try:
-            it = self.input.run(ctx)
+            it = self.input.run_batches(ctx)
             first = next(it, None)
             if first is None:
                 if self.chain_first:
                     executed = "NLJ"
                 return
             if not self._shared:
-                second = next(it, None)
-                if second is None:
-                    executed = "NLJ"
-                    yield from self._nlj(ctx, (first,))
-                    return
+                if len(first[0]) == 1:
+                    second = next(it, None)
+                    if second is None:
+                        executed = "NLJ"
+                        yield from self._nlj_batches(ctx, (first,), sizes)
+                        return
+                    batches: Iterable[Batch] = _chain((first, second), it)
+                else:
+                    batches = _chain((first,), it)
                 executed = "cartesian"
-                right = list(self._scan_pairs(ctx))
+                right = [
+                    (tuple(rrow[i] for i in self._scan_extra), rmult)
+                    for rrow, rmult in self._scan_pairs(ctx)
+                ]
+                out = _BatchBuilder()
+                target = next(sizes)
                 tick = ctx.tick
-                extra = self._scan_extra
-                for row, mult in _chain((first, second), it):
-                    for rrow, rmult in right:
+                fragments = [frag for frag, _ in right]
+                for rows, mults in batches:
+                    for i, row in enumerate(rows):
                         if tick is not None:
                             tick()
-                        yield row + tuple(
-                            rrow[i] for i in extra
-                        ), mult * rmult
+                        mult = 1 if mults is None else mults[i]
+                        out.add_repeat([row + frag for frag in fragments], mult)
+                        if len(out) >= target:
+                            yield out.flush()
+                            target = next(sizes)
+                if len(out):
+                    yield out.flush()
                 return
             executed = "NLJ"
-            count = 0
-            pending: Optional[Pair] = first
+            processed = 0
+            pending: Optional[Batch] = first
             while pending is not None:
-                count += 1
-                if count >= HASH_JOIN_MIN_ROWS:
+                if processed + len(pending[0]) >= HASH_JOIN_MIN_ROWS:
                     # The evaluator decides on the full input; buffer
                     # the remainder and re-decide with the true count.
-                    rest: List[Pair] = [pending]
+                    rest: List[Batch] = [pending]
                     rest.extend(it)
-                    total = (count - 1) + len(rest)
+                    total = processed + _batch_rows(rest)
                     estimate = ctx.model.estimate(
                         self.pattern.store_pattern(self.graph)
                     )
                     if decide_join(total, estimate).method == "hash join":
                         executed = "hash join"
-                        right = list(self._scan_pairs(ctx))
-                        yield from _join_stream(
+                        right_pairs = list(self._scan_pairs(ctx))
+                        yield from _join_batches(
                             rest,
                             self.input.schema,
-                            right,
+                            right_pairs,
                             self._scan_vars,
                             ctx.tick,
+                            sizes,
                         )
                     else:
-                        yield from self._nlj(ctx, rest)
+                        yield from self._nlj_batches(ctx, rest, sizes)
                     return
-                yield from self._nlj(ctx, (pending,))
+                processed += len(pending[0])
+                yield from self._nlj_batches(ctx, (pending,), sizes)
                 pending = next(it, None)
         finally:
             if executed is not None and _obs.is_active():
@@ -604,56 +966,105 @@ class PatternJoinOp(PhysicalOp):
 
     # -- inner loops (ports of the evaluator) --------------------------
 
-    def _nlj(self, ctx: ExecContext, pairs: Iterable[Pair]) -> Iterator[Pair]:
-        """Port of the evaluator's ``_nested_loop_step`` body."""
-        slots = self._slots
-        var_index = self._var_index
-        graph = self.graph
-        graph_bound = self._graph_bound
-        graph_checks = self._graph_checks
-        bind_graph = self._bind_graph
-        checks = self._checks
-        extract = self._extract
-        scan = ctx.model.scan
+    def _nlj_batches(
+        self,
+        ctx: ExecContext,
+        in_batches: Iterable[Batch],
+        sizes: Iterator[int],
+    ) -> Iterator[Batch]:
+        """Vectorized port of the evaluator's ``_nested_loop_step``:
+        one index probe per input row, extension rows built as column
+        zips by the store (:meth:`SemanticIndex.range_rows`)."""
+        slot_plan = self._slot_plan
+        graph_kind, graph_val = self._graph_plan
+        scan_batches = ctx.model.scan_row_batches
         deadline = ctx.deadline
-        for row, mult in pairs:
-            if deadline is not None:
-                deadline.tick()
-            bound_slots = []
-            for slot in slots:
-                if isinstance(slot, int):
-                    bound_slots.append(slot)
-                elif slot in var_index:
-                    bound_slots.append(row[var_index[slot]])
-                else:
-                    bound_slots.append(None)
-            if graph is None:
-                g_slot: Optional[int] = None
-                named_only = False
-            elif isinstance(graph, int):
-                g_slot, named_only = graph, False
-            elif graph_bound:
-                g_slot, named_only = row[var_index[graph]], False
-            else:
-                g_slot, named_only = None, True
-            scan_pattern = (
-                bound_slots[0], bound_slots[1], bound_slots[2], g_slot,
-            )
-            for quad in scan(scan_pattern):
+        fast = self._nlj_fast
+        positions = self._nlj_positions
+        named_only = graph_kind == 3
+        # Bind-time index selection: every probe shares one bound-slot
+        # shape, so the index choice and scan layout are hoisted out of
+        # the per-row loop on the first probe (rows where an OPTIONAL
+        # left a join variable unbound fall back to the general path).
+        prepare = getattr(ctx.model, "scan_prober", None)
+        prober = None
+        out = _BatchBuilder()
+        target = next(sizes)
+        for rows, mults in in_batches:
+            for i, row in enumerate(rows):
                 if deadline is not None:
                     deadline.tick()
-                if named_only and quad[3] == 0:
-                    continue
-                if checks and not passes_checks(quad, checks):
-                    continue
-                if graph_checks and any(
-                    quad[3] != quad[p] for p in graph_checks
-                ):
-                    continue
-                extension = tuple(quad[p] for p in extract)
-                if bind_graph:
-                    extension = extension + (quad[3],)
-                yield row + extension, mult
+                mult = 1 if mults is None else mults[i]
+                probe = tuple(
+                    payload
+                    if kind == 0
+                    else (row[payload] if kind == 1 else None)
+                    for kind, payload in slot_plan
+                )
+                if graph_kind == 0 or graph_kind == 3:
+                    g_slot: Optional[int] = None
+                elif graph_kind == 1:
+                    g_slot = graph_val
+                else:
+                    g_slot = row[graph_val]
+                pattern = (probe[0], probe[1], probe[2], g_slot)
+                if fast:
+                    if prober is None and prepare is not None:
+                        prober = prepare(pattern, positions)
+                        prepare = None
+                    if prober is not None and prober.matches(pattern):
+                        windows = prober.batches(pattern, target)
+                    else:
+                        windows = scan_batches(pattern, positions, target)
+                    for window in windows:
+                        if deadline is not None:
+                            deadline.tick()
+                        if named_only:
+                            # The graph column is the last extension slot.
+                            window = [e for e in window if e[-1] != 0]
+                        if row:
+                            out.add_repeat([row + e for e in window], mult)
+                        else:
+                            out.add_repeat(window, mult)
+                        if len(out) >= target:
+                            yield out.flush()
+                            target = next(sizes)
+                else:
+                    for quads in scan_batches(pattern, (0, 1, 2, 3), target):
+                        if deadline is not None:
+                            deadline.tick()
+                        extensions = self._check_extensions(quads, named_only)
+                        out.add_repeat(
+                            [row + e for e in extensions], mult
+                        )
+                        if len(out) >= target:
+                            yield out.flush()
+                            target = next(sizes)
+        if len(out):
+            yield out.flush()
+
+    def _check_extensions(self, quads, named_only: bool) -> List[Row]:
+        """The residual-check probe path (duplicate pattern variables
+        or a graph variable also used in the triple): full quads,
+        per-quad checks, then extension extraction — exactly the
+        reference evaluator's inner loop."""
+        checks = self._checks
+        graph_checks = self._graph_checks
+        extract = self._extract
+        bind_graph = self._bind_graph
+        extensions: List[Row] = []
+        for quad in quads:
+            if named_only and quad[3] == 0:
+                continue
+            if checks and not passes_checks(quad, checks):
+                continue
+            if graph_checks and any(quad[3] != quad[p] for p in graph_checks):
+                continue
+            extension = tuple(quad[p] for p in extract)
+            if bind_graph:
+                extension = extension + (quad[3],)
+            extensions.append(extension)
+        return extensions
 
     def _scan_pairs(self, ctx: ExecContext) -> Iterator[Pair]:
         """Port of ``_scan_to_relation``: the pattern standalone."""
@@ -857,6 +1268,18 @@ class PathStepOp(PhysicalOp):
 # ----------------------------------------------------------------------
 
 
+#: Type-test builtins with an ID-level vectorized path: the values
+#: table classifies a term ID straight from its interning record
+#: (:meth:`~repro.store.values.ValuesTable.is_literal_id` and
+#: friends), so the batch filter never materializes the terms.
+_VECTOR_TESTS = {
+    "ISLITERAL": "is_literal_id",
+    "ISIRI": "is_iri_id",
+    "ISURI": "is_iri_id",
+    "ISBLANK": "is_blank_id",
+}
+
+
 class FilterApplyOp(PhysicalOp):
     """FILTER application (pushed-down or group-end)."""
 
@@ -872,53 +1295,105 @@ class FilterApplyOp(PhysicalOp):
         self._counter = (
             "filter.pushdown" if origin == "pushed" else "filter.group_end"
         )
+        # Compile-time vector plan: a single type-test or BOUND over
+        # one bound column skips per-row expression evaluation.  An
+        # unbound variable raises ExpressionError in the general path
+        # (row excluded) and is None here (row excluded) — identical.
+        self._vector_test: Optional[Tuple[str, int]] = None
+        if (
+            isinstance(expression, FunctionExpr)
+            and len(expression.args) == 1
+            and isinstance(expression.args[0], VarExpr)
+            and expression.args[0].name in self.schema
+        ):
+            position = self.schema.index(expression.args[0].name)
+            method = _VECTOR_TESTS.get(expression.name)
+            if method is not None:
+                self._vector_test = (method, position)
+            elif expression.name == "BOUND":
+                self._vector_test = ("BOUND", position)
 
     def children(self):
         return (self.input,)
 
+    def _row_test(self, ctx: ExecContext):
+        """Build the per-row predicate once per execution."""
+        if self._vector_test is not None:
+            method, position = self._vector_test
+            if method == "BOUND":
+                return lambda row: row[position] is not None
+            id_test = getattr(ctx.values, method)
+            return lambda row: row[position] is not None and id_test(
+                row[position]
+            )
+        getter = row_getter(self.input.schema, ctx.term_of)
+        expression = self.expression
+        evaluate = ctx.expr.evaluate
+        ebv = F.ebv
+
+        def test(row: Row) -> bool:
+            try:
+                return ebv(evaluate(expression, getter(row)))
+            except ExpressionError:
+                return False
+
+        return test
+
+    def _filter_batches(
+        self, ctx: ExecContext, batches: Iterable[Batch]
+    ) -> Iterator[Batch]:
+        test = self._row_test(ctx)
+        deadline = ctx.deadline
+        for rows, mults in batches:
+            if deadline is not None:
+                deadline.tick()
+            if mults is None:
+                kept = [row for row in rows if test(row)]
+                if kept:
+                    yield kept, None
+                continue
+            kept = []
+            kept_mults: List[int] = []
+            for row, mult in zip(rows, mults):
+                if test(row):
+                    kept.append(row)
+                    kept_mults.append(mult)
+            if kept:
+                yield kept, kept_mults
+
     def run(self, ctx: ExecContext) -> Iterator[Pair]:
+        return _flatten(self.run_batches(ctx))
+
+    def run_batches(self, ctx: ExecContext) -> Iterator[Batch]:
         if _obs.is_active():
             _obs.inc(self._counter)
         if ctx.materialize:
-            return self._run_materialized(ctx)
-        return self._run_streaming(ctx)
+            return iter(self._run_materialized(ctx))
+        return self._filter_batches(ctx, self.input.run_batches(ctx))
 
-    def _keep(self, ctx: ExecContext, pairs: Iterable[Pair]) -> Iterator[Pair]:
-        getter = row_getter(self.input.schema, ctx.term_of)
-        expression = self.expression
-        deadline = ctx.deadline
-        for row, mult in pairs:
-            if deadline is not None:
-                deadline.tick()
-            try:
-                value = ctx.expr.evaluate(expression, getter(row))
-                passed = F.ebv(value)
-            except ExpressionError:
-                passed = False
-            if passed:
-                yield row, mult
-
-    def _run_materialized(self, ctx: ExecContext) -> List[Pair]:
-        inp = list(self.input.run(ctx))
+    def _run_materialized(self, ctx: ExecContext) -> List[Batch]:
+        in_batches = list(self.input.run_batches(ctx))
+        rows_in = _batch_rows(in_batches)
         collector = ctx.collector
         if collector is not None:
             collector.begin_operator(
-                "filter", detail=self.detail, rows_in=len(inp)
+                "filter", detail=self.detail, rows_in=rows_in
             )
         if _trace.is_active():
             with _trace.span(
-                "op.Filter", detail=self.detail, rows_in=len(inp)
+                "op.Filter",
+                detail=self.detail,
+                rows_in=rows_in,
+                rows_per_batch=ctx.batch_size,
             ) as op_span:
-                out = list(self._keep(ctx, inp))
-                op_span.set("rows_out", len(out))
+                out = list(self._filter_batches(ctx, in_batches))
+                op_span.set("rows_out", _batch_rows(out))
+                op_span.set("batches", len(out))
         else:
-            out = list(self._keep(ctx, inp))
+            out = list(self._filter_batches(ctx, in_batches))
         if collector is not None:
-            collector.end_operator(rows_out=len(out))
+            collector.end_operator(rows_out=_batch_rows(out))
         return out
-
-    def _run_streaming(self, ctx: ExecContext) -> Iterator[Pair]:
-        yield from self._keep(ctx, self.input.run(ctx))
 
 
 # ----------------------------------------------------------------------
@@ -944,20 +1419,26 @@ class JoinOp(PhysicalOp):
         return (self.left, self.right)
 
     def run(self, ctx: ExecContext) -> Iterator[Pair]:
+        return _flatten(self.run_batches(ctx))
+
+    def run_batches(self, ctx: ExecContext) -> Iterator[Batch]:
         if ctx.materialize:
             # Drain left first so operator records appear in the
             # reference evaluator's (sequential) order.
-            left_pairs = list(self.left.run(ctx))
+            left_batches = list(self.left.run_batches(ctx))
             right_pairs = list(self.right.run(ctx))
-            return list(
-                _join_stream(
-                    left_pairs, self.left.schema, right_pairs,
-                    self.right.schema, ctx.tick,
+            return iter(
+                list(
+                    _join_batches(
+                        left_batches, self.left.schema, right_pairs,
+                        self.right.schema, ctx.tick, ctx.chunk_sizes(),
+                    )
                 )
             )
-        return _join_stream(
-            self.left.run(ctx), self.left.schema,
+        return _join_batches(
+            self.left.run_batches(ctx), self.left.schema,
             list(self.right.run(ctx)), self.right.schema, ctx.tick,
+            ctx.chunk_sizes(),
         )
 
 
@@ -978,18 +1459,24 @@ class LeftJoinOp(PhysicalOp):
         return (self.left, self.right)
 
     def run(self, ctx: ExecContext) -> Iterator[Pair]:
+        return _flatten(self.run_batches(ctx))
+
+    def run_batches(self, ctx: ExecContext) -> Iterator[Batch]:
         if ctx.materialize:
-            left_pairs = list(self.left.run(ctx))
+            left_batches = list(self.left.run_batches(ctx))
             right_pairs = list(self.right.run(ctx))
-            return list(
-                _left_join_stream(
-                    left_pairs, self.left.schema, right_pairs,
-                    self.right.schema, ctx.tick,
+            return iter(
+                list(
+                    _left_join_batches(
+                        left_batches, self.left.schema, right_pairs,
+                        self.right.schema, ctx.tick, ctx.chunk_sizes(),
+                    )
                 )
             )
-        return _left_join_stream(
-            self.left.run(ctx), self.left.schema,
+        return _left_join_batches(
+            self.left.run_batches(ctx), self.left.schema,
             list(self.right.run(ctx)), self.right.schema, ctx.tick,
+            ctx.chunk_sizes(),
         )
 
 
@@ -1007,25 +1494,28 @@ class MinusOp(PhysicalOp):
         return (self.left, self.right)
 
     def run(self, ctx: ExecContext) -> Iterator[Pair]:
+        return _flatten(self.run_batches(ctx))
+
+    def run_batches(self, ctx: ExecContext) -> Iterator[Batch]:
         if ctx.materialize:
-            left_pairs = list(self.left.run(ctx))
+            left_batches: Iterable[Batch] = list(self.left.run_batches(ctx))
             right_pairs = list(self.right.run(ctx))
-            return list(self._emit(ctx, left_pairs, right_pairs))
-        left_pairs = self.left.run(ctx)
+            return iter(list(self._emit(ctx, left_batches, right_pairs)))
+        left_batches = self.left.run_batches(ctx)
         right_pairs = list(self.right.run(ctx))
-        return self._emit(ctx, left_pairs, right_pairs)
+        return self._emit(ctx, left_batches, right_pairs)
 
     def _emit(
         self,
         ctx: ExecContext,
-        left_pairs: Iterable[Pair],
+        left_batches: Iterable[Batch],
         right_pairs: List[Pair],
-    ) -> Iterator[Pair]:
+    ) -> Iterator[Batch]:
         shared = self._shared
         # The evaluator always evaluates the MINUS group, even when no
         # variables are shared (and the result is then ignored).
         if not shared:
-            yield from left_pairs
+            yield from left_batches
             return
         left_pos = [self.left.schema.index(v) for v in shared]
         right_pos = [self.right.schema.index(v) for v in shared]
@@ -1033,12 +1523,13 @@ class MinusOp(PhysicalOp):
         for rrow, _ in right_pairs:
             right_keys.add(tuple(rrow[i] for i in right_pos))
         tick = ctx.tick
-        for lrow, lmult in left_pairs:
+
+        def keep(lrow: Row) -> bool:
             if tick is not None:
                 tick()
             key = tuple(lrow[i] for i in left_pos)
             if None in key:
-                compatible = any(
+                return not any(
                     all(
                         a is None or b is None or a == b
                         for a, b in zip(key, rkey)
@@ -1049,10 +1540,22 @@ class MinusOp(PhysicalOp):
                     )
                     for rkey in right_keys
                 )
-            else:
-                compatible = key in right_keys
-            if not compatible:
-                yield lrow, lmult
+            return key not in right_keys
+
+        for rows, mults in left_batches:
+            if mults is None:
+                kept = [row for row in rows if keep(row)]
+                if kept:
+                    yield kept, None
+                continue
+            kept = []
+            kept_mults: List[int] = []
+            for row, mult in zip(rows, mults):
+                if keep(row):
+                    kept.append(row)
+                    kept_mults.append(mult)
+            if kept:
+                yield kept, kept_mults
 
 
 class UnionOp(PhysicalOp):
@@ -1081,18 +1584,30 @@ class UnionOp(PhysicalOp):
         return self.branches
 
     def run(self, ctx: ExecContext) -> Iterator[Pair]:
+        return _flatten(self.run_batches(ctx))
+
+    def run_batches(self, ctx: ExecContext) -> Iterator[Batch]:
         tick = ctx.tick
+        schema = self.schema
         for branch in self.branches:
+            if branch.schema == schema:
+                # Identity mapping: batches pass through untouched.
+                for batch in branch.run_batches(ctx):
+                    if tick is not None:
+                        tick()
+                    yield batch
+                continue
             positions = [
                 branch.schema.index(v) if v in branch.schema else None
-                for v in self.schema
+                for v in schema
             ]
-            for row, mult in branch.run(ctx):
+            for rows, mults in branch.run_batches(ctx):
                 if tick is not None:
                     tick()
-                yield tuple(
-                    row[p] if p is not None else None for p in positions
-                ), mult
+                yield [
+                    tuple(row[p] if p is not None else None for p in positions)
+                    for row in rows
+                ], mults
 
 
 # ----------------------------------------------------------------------
@@ -1123,15 +1638,24 @@ class ExtendOp(PhysicalOp):
         return (self.input,)
 
     def run(self, ctx: ExecContext) -> Iterator[Pair]:
+        return _flatten(self.run_batches(ctx))
+
+    def run_batches(self, ctx: ExecContext) -> Iterator[Batch]:
         getter = row_getter(self.input.schema, ctx.term_of)
         expression = self.expression
-        for row, mult in self.input.run(ctx):
-            try:
-                term = ctx.expr.evaluate(expression, getter(row))
-                value: Optional[int] = ctx.encode_term(term)
-            except ExpressionError:
-                value = None
-            yield row + (value,), mult
+        evaluate = ctx.expr.evaluate
+        encode = ctx.encode_term
+        for rows, mults in self.input.run_batches(ctx):
+            extended: List[Row] = []
+            for row in rows:
+                try:
+                    value: Optional[int] = encode(
+                        evaluate(expression, getter(row))
+                    )
+                except ExpressionError:
+                    value = None
+                extended.append(row + (value,))
+            yield extended, mults
 
 
 class ProjectOp(PhysicalOp):
@@ -1153,16 +1677,36 @@ class ProjectOp(PhysicalOp):
             if p is not None and v in input.certain
         )
         self.detail = " ".join(f"?{v}" for v in names)
+        # Compile-time projection kernel: C-level itemgetter when every
+        # projected variable exists in the input schema.
+        positions = self._positions
+        self._identity = positions == list(range(len(input.schema)))
+        if None in positions or not positions:
+            self._project = lambda row, _ps=tuple(positions): tuple(
+                row[p] if p is not None else None for p in _ps
+            )
+        elif len(positions) == 1:
+            self._project = lambda row, _p=positions[0]: (row[_p],)
+        else:
+            self._project = itemgetter(*positions)
 
     def children(self):
         return (self.input,)
 
     def run(self, ctx: ExecContext) -> Iterator[Pair]:
-        positions = self._positions
-        for row, mult in self.input.run(ctx):
-            yield tuple(
-                row[p] if p is not None else None for p in positions
-            ), mult
+        return _flatten(self.run_batches(ctx))
+
+    def run_batches(self, ctx: ExecContext) -> Iterator[Batch]:
+        if self._identity:
+            # The input already has exactly the projected columns in
+            # order; pass its batches through untouched.
+            return self.input.run_batches(ctx)
+        return self._project_batches(ctx)
+
+    def _project_batches(self, ctx: ExecContext) -> Iterator[Batch]:
+        project = self._project
+        for rows, mults in self.input.run_batches(ctx):
+            yield [project(row) for row in rows], mults
 
 
 class DistinctOp(PhysicalOp):
@@ -1179,11 +1723,18 @@ class DistinctOp(PhysicalOp):
         return (self.input,)
 
     def run(self, ctx: ExecContext) -> Iterator[Pair]:
+        return _flatten(self.run_batches(ctx))
+
+    def run_batches(self, ctx: ExecContext) -> Iterator[Batch]:
         seen = set()
-        for row, _ in self.input.run(ctx):
-            if row not in seen:
-                seen.add(row)
-                yield row, 1
+        for rows, _ in self.input.run_batches(ctx):
+            kept = []
+            for row in rows:
+                if row not in seen:
+                    seen.add(row)
+                    kept.append(row)
+            if kept:
+                yield kept, None
 
 
 class OrderByOp(PhysicalOp):
@@ -1256,17 +1807,31 @@ class SliceOp(PhysicalOp):
         return (self.input,)
 
     def run(self, ctx: ExecContext) -> Iterator[Pair]:
+        return _flatten(self.run_batches(ctx))
+
+    def run_batches(self, ctx: ExecContext) -> Iterator[Batch]:
         if self.limit == 0:
             return
+        offset = self.offset
+        limit = self.limit
         skipped = 0
         emitted = 0
-        for pair in self.input.run(ctx):
-            if skipped < self.offset:
-                skipped += 1
-                continue
-            yield pair
-            emitted += 1
-            if self.limit is not None and emitted >= self.limit:
+        for rows, mults in self.input.run_batches(ctx):
+            if skipped < offset:
+                drop = min(offset - skipped, len(rows))
+                skipped += drop
+                if drop == len(rows):
+                    continue
+                rows = rows[drop:]
+                mults = None if mults is None else mults[drop:]
+            if limit is not None and emitted + len(rows) > limit:
+                take = limit - emitted
+                rows = rows[:take]
+                mults = None if mults is None else mults[:take]
+            if rows:
+                emitted += len(rows)
+                yield rows, mults
+            if limit is not None and emitted >= limit:
                 return
 
 

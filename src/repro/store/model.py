@@ -161,6 +161,43 @@ class SemanticModel:
             _obs.inc("store.scans")
         return index.range_scan(pattern)
 
+    def scan_rows(
+        self, pattern: Pattern, positions: Tuple[int, ...]
+    ) -> List[Tuple[int, ...]]:
+        """Vectorized scan: a list of tuples of canonical ``positions``.
+
+        The batch-execution access path — same matches and counters as
+        :meth:`scan`, but materialized page-window-at-a-time by the
+        index (:meth:`~repro.store.index.SemanticIndex.range_rows`).
+        """
+        index, _ = self.choose_index(pattern)
+        if _obs.is_active():
+            _obs.inc("store.scans")
+        return index.range_rows(pattern, positions)
+
+    def scan_row_batches(
+        self,
+        pattern: Pattern,
+        positions: Tuple[int, ...],
+        max_rows: Optional[int] = None,
+    ) -> Iterator[List[Tuple[int, ...]]]:
+        """Lazy :meth:`scan_rows`: one row list per index page window.
+
+        Lets LIMIT/ASK consumers stop before decoding the whole range
+        (:meth:`~repro.store.index.SemanticIndex.range_row_batches`).
+        """
+        index, _ = self.choose_index(pattern)
+        if _obs.is_active():
+            _obs.inc("store.scans")
+        return index.range_row_batches(pattern, positions, max_rows)
+
+    def scan_prober(self, pattern: Pattern, positions: Tuple[int, ...]):
+        """A prepared probe for repeated scans sharing ``pattern``'s
+        bound-slot shape: index choice and scan layout resolved once
+        at bind time (:class:`~repro.store.index.PreparedProbe`)."""
+        index, _ = self.choose_index(pattern)
+        return index.prepare_probe(pattern, positions)
+
     def estimate(self, pattern: Pattern) -> int:
         """Estimated (here: exact) cardinality of ``pattern`` via index prefix.
 

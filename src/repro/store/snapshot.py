@@ -13,13 +13,13 @@ Capture protocol (the writer side lives in
 
 1. a writer applies its mutation(s) while holding the network's write
    mutex — readers never touch that mutex;
-2. at commit it *publishes*: every mutated index's key array is frozen
+2. at commit it *publishes*: every mutated index's pages are frozen
    (``SemanticIndex.publish``) and a fresh ``NetworkSnapshot`` carrying
    the new ``data_version`` is swapped into
    ``SemanticNetwork._published`` with a single reference assignment;
-3. the next mutation copies any frozen array before writing (the
-   ``store.cow_copy_seconds`` timer measures those copies), so every
-   snapshot keeps scanning exactly the arrays it captured.
+3. the next mutation thaws a private copy of just the page it touches
+   (the ``store.cow_copy_seconds`` timer measures those copies), so
+   every snapshot keeps scanning exactly the frozen pages it captured.
 
 Readers call :meth:`repro.store.network.SemanticNetwork.snapshot`,
 which is one attribute read — no lock, no copy, no waiting behind
@@ -87,6 +87,33 @@ class SnapshotModel:
         if _obs.is_active():
             _obs.inc("store.scans")
         return index.range_scan(pattern)
+
+    def scan_rows(
+        self, pattern: Pattern, positions: Tuple[int, ...]
+    ) -> List[Tuple[int, ...]]:
+        """Vectorized scan over the frozen pages (see
+        :meth:`repro.store.model.SemanticModel.scan_rows`)."""
+        index, _ = self.choose_index(pattern)
+        if _obs.is_active():
+            _obs.inc("store.scans")
+        return index.range_rows(pattern, positions)
+
+    def scan_row_batches(
+        self,
+        pattern: Pattern,
+        positions: Tuple[int, ...],
+        max_rows: Optional[int] = None,
+    ) -> Iterator[List[Tuple[int, ...]]]:
+        """Lazy :meth:`scan_rows`: one row list per frozen page window."""
+        index, _ = self.choose_index(pattern)
+        if _obs.is_active():
+            _obs.inc("store.scans")
+        return index.range_row_batches(pattern, positions, max_rows)
+
+    def scan_prober(self, pattern: Pattern, positions: Tuple[int, ...]):
+        """Bind-time prepared probe; see :meth:`SemanticModel.scan_prober`."""
+        index, _ = self.choose_index(pattern)
+        return index.prepare_probe(pattern, positions)
 
     def estimate(self, pattern: Pattern) -> int:
         index, _ = self.choose_index(pattern)
@@ -164,6 +191,40 @@ class SnapshotVirtualModel:
                 if quad not in seen:
                     seen.add(quad)
                     yield quad
+
+    def scan_rows(self, pattern: Pattern, positions):
+        if len(self.members) == 1:
+            return self.members[0].scan_rows(pattern, positions)
+        if self.union_all:
+            rows = []
+            for member in self.members:
+                rows.extend(member.scan_rows(pattern, positions))
+            return rows
+        # UNION semantics deduplicate on whole quads, so members must
+        # return full quads before projecting the requested positions.
+        seen = set()
+        quads = []
+        for member in self.members:
+            for quad in member.scan_rows(pattern, (0, 1, 2, 3)):
+                if quad not in seen:
+                    seen.add(quad)
+                    quads.append(quad)
+        return [tuple(quad[p] for p in positions) for quad in quads]
+
+    def scan_row_batches(self, pattern: Pattern, positions, max_rows=None):
+        if len(self.members) == 1:
+            return self.members[0].scan_row_batches(
+                pattern, positions, max_rows
+            )
+        # Multi-member UNION must see every member before deduplicating,
+        # so there is nothing to gain from page-window laziness here.
+        return iter((self.scan_rows(pattern, positions),))
+
+    def scan_prober(self, pattern: Pattern, positions):
+        """Prepared probes need a single index; UNION views have none."""
+        if len(self.members) == 1:
+            return self.members[0].scan_prober(pattern, positions)
+        return None
 
     def estimate(self, pattern: Pattern) -> int:
         return sum(member.estimate(pattern) for member in self.members)

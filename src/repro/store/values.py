@@ -70,6 +70,15 @@ class ValuesTable:
             return None
         return self.term(term_id)
 
+    def term_table(self) -> List[Optional[Term]]:
+        """The live ID -> term list, for bulk result decoding.
+
+        Read-only to callers; the table is append-only, so indexing
+        with any previously issued ID stays valid while writers intern
+        new terms concurrently.  Slot 0 (the default graph) is None.
+        """
+        return self._id_to_term
+
     def ids_for(self, terms: Iterable[Term]) -> List[int]:
         return [self.get_or_add(term) for term in terms]
 

@@ -377,3 +377,100 @@ class TestPipelineMatchesEvaluatorHypothesis:
             f"FILTER (?u = {filter_obj.n3()}) }}"
         )
         assert_same(engine, query)
+
+
+# ----------------------------------------------------------------------
+# Batch-boundary differentials
+# ----------------------------------------------------------------------
+#
+# Vectorized engines break at batch boundaries, so the whole harness
+# above re-runs with the batch size forced to 1 (degenerate batches:
+# every operator handoff is a boundary), 2 (windows straddle every
+# probe), and 1024 (the default full page).
+
+import contextlib
+from collections import Counter
+
+BATCH_SIZES = (1, 2, 1024)
+
+
+@contextlib.contextmanager
+def forced_batch_size(engine, batch_size):
+    previous = engine.batch_size
+    engine.batch_size = batch_size
+    try:
+        yield
+    finally:
+        engine.batch_size = previous
+
+
+class TestBatchSizeBoundaries:
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    @pytest.mark.parametrize("model", [MODEL_NG, MODEL_SP])
+    def test_eq_suite_identical_at_batch_size(
+        self, twitter_stores, model, batch_size
+    ):
+        stores, tag, hub_iri = twitter_stores
+        store = stores[model]
+        suite = store.queries.experiment_queries(tag, hub_iri)
+        with forced_batch_size(store.engine, batch_size):
+            for name, query in suite.items():
+                ast = store.engine._parse_query(query)
+                pipeline = store.engine.run_ast(ast, None, text=query)
+                legacy = run_legacy(store.engine, ast)
+                assert as_multiset(pipeline) == as_multiset(legacy), (
+                    f"{name} at batch_size={batch_size}"
+                )
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_feature_queries_identical_at_batch_size(
+        self, social_engine, batch_size
+    ):
+        with forced_batch_size(social_engine, batch_size):
+            for query in TestPipelineMatchesEvaluatorOnForms.QUERIES:
+                assert_same(social_engine, query)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        quads=_quads,
+        patterns=_patterns,
+        filter_obj=st.none() | st.sampled_from(_SUBJECTS),
+        limit=st.none() | st.integers(min_value=0, max_value=4),
+    )
+    def test_random_bgp_filter_limit_at_every_batch_size(
+        self, quads, patterns, filter_obj, limit
+    ):
+        network = SemanticNetwork()
+        network.create_model("m")
+        network.bulk_load("m", quads)
+        engine = SparqlEngine(network, default_model="m")
+        variables = _pattern_variables(patterns)
+        if not variables:
+            return
+        if filter_obj is not None and "u" not in variables:
+            filter_obj = None
+        body = " . ".join(_pattern_text(p) for p in patterns)
+        if filter_obj is not None:
+            body += f" FILTER (?u = {filter_obj.n3()})"
+        projection = " ".join("?" + v for v in variables)
+        base = f"SELECT {projection} WHERE {{ {body} }}"
+        ast = engine._parse_query(base)
+        oracle = as_multiset(run_legacy(engine, ast))
+        for batch_size in BATCH_SIZES:
+            with forced_batch_size(engine, batch_size):
+                full = as_multiset(engine.select(base))
+                assert full == oracle, f"batch_size={batch_size}"
+                if limit is None:
+                    continue
+                # LIMIT without ORDER BY may keep any rows, so the
+                # differential property is: the right count, and a
+                # sub-multiset of the unlimited result.
+                limited = as_multiset(
+                    engine.select(f"{base} LIMIT {limit}")
+                )
+                assert len(limited) == min(limit, len(oracle)), (
+                    f"batch_size={batch_size}"
+                )
+                assert not Counter(limited) - Counter(oracle), (
+                    f"batch_size={batch_size}"
+                )

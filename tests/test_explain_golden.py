@@ -34,6 +34,9 @@ def ng_setup():
     graph = generate_twitter(TwitterConfig(egos=5, seed=13))
     store = PropertyGraphRdfStore(model=MODEL_NG)
     store.load(graph)
+    # Snapshots embed the plan header's batch size; pin it so the
+    # REPRO_BATCH_SIZE=1 CI leg diffs plans, not configuration.
+    store.engine.batch_size = 1024
     tag = connected_tag(graph)
     hub_iri = store.vocabulary.vertex_iri(hub_vertex(graph)).value
     suite = store.queries.experiment_queries(tag, hub_iri)

@@ -424,3 +424,106 @@ class TestLinearizability:
                 f"[{v_start}, {v_end}]: "
                 f"{[sorted(oracle.get(v, ())) for v in range(v_start, v_end + 1)]}"
             )
+
+
+class TestPageSplitImmutability:
+    """Pinned snapshots survive page splits and rewrites byte-for-byte.
+
+    The columnar page layer makes snapshot capture page-granular COW:
+    a writer that splits or thaws a page must do so on a *private*
+    copy.  These tests pin a snapshot, hammer the live network until
+    splits demonstrably happen (tiny ``REPRO_PAGE_SIZE``), and assert
+    the snapshot's batched scans and the packed bytes of every page it
+    captured are identical before and after.
+    """
+
+    def _published_pages(self, snap_model):
+        """Every frozen page segment reachable from a snapshot model."""
+        pages = []
+        for spec in snap_model.index_specs:
+            index = snap_model.index(spec)
+            pages.extend(
+                seg
+                for seg in index._paged.segments
+                if type(seg) is not list
+            )
+        return pages
+
+    def _batched_scan(self, snap_model):
+        return [
+            list(batch)
+            for batch in snap_model.scan_row_batches(
+                (None, None, None, None), (0, 1, 2, 3)
+            )
+        ]
+
+    def test_pinned_batched_scans_survive_page_splits(self, monkeypatch):
+        # Tiny pages: page boundaries (and therefore splits) everywhere.
+        # The env var is read when each index's PagedKeys is built, so
+        # it must be set before the network exists.
+        monkeypatch.setenv("REPRO_PAGE_SIZE", "4")
+        network = SemanticNetwork()
+        network.create_model("m")
+        for i in range(40):
+            network.insert("m", Quad(ex(f"s{i:03d}"), ex("p"), ex(f"o{i:03d}")))
+
+        snap = network.snapshot()
+        model = snap.model("m")
+        pages = self._published_pages(model)
+        # The snapshot really is backed by frozen pages, not raw runs.
+        assert pages
+        payloads = [page.tobytes() for page in pages]
+        rows = self._batched_scan(model)
+        assert sum(len(batch) for batch in rows) == 40
+
+        spec = model.index_specs[0]
+        segments_at_pin = len(model.index(spec)._paged.segments)
+
+        # Mutate until splits/rewrites occur: interleave fresh subjects
+        # between the pinned ones (splits runs mid-page) and delete a
+        # swath of the originals (thaws the pages holding them).
+        for i in range(40):
+            network.insert(
+                "m", Quad(ex(f"s{i:03d}a"), ex("q"), ex(f"v{i:03d}"))
+            )
+        for i in range(0, 40, 2):
+            assert network.delete(
+                "m", Quad(ex(f"s{i:03d}"), ex("p"), ex(f"o{i:03d}"))
+            )
+
+        live_paged = network.model("m").index(spec)._paged
+        # The writer's structure demonstrably changed underneath...
+        assert len(live_paged.segments) > segments_at_pin
+        live_ids = {id(segment) for segment in live_paged.segments}
+        assert any(id(page) not in live_ids for page in pages), (
+            "expected at least one pinned page to have been thawed or "
+            "rewritten by the writer"
+        )
+
+        # ...while the pinned snapshot is byte-identical: same batched
+        # scan output, and not one byte of any captured page moved.
+        assert self._batched_scan(model) == rows
+        assert [page.tobytes() for page in pages] == payloads
+
+    def test_snapshot_scans_identical_across_checkpoint(self, monkeypatch):
+        # A checkpoint rewrites the live pages wholesale; the pinned
+        # snapshot must not notice.
+        monkeypatch.setenv("REPRO_PAGE_SIZE", "4")
+        network = SemanticNetwork()
+        network.create_model("m")
+        for i in range(24):
+            network.insert("m", Quad(ex(f"s{i:02d}"), ex("p"), ex(f"o{i:02d}")))
+        snap = network.snapshot()
+        model = snap.model("m")
+        rows = self._batched_scan(model)
+        payloads = [p.tobytes() for p in self._published_pages(model)]
+
+        for i in range(24, 96):
+            network.insert("m", Quad(ex(f"s{i:02d}"), ex("p"), ex(f"o{i:02d}")))
+        if hasattr(network, "checkpoint"):
+            network.checkpoint()
+
+        assert self._batched_scan(model) == rows
+        assert [p.tobytes() for p in self._published_pages(model)] == payloads
+        assert len(quads_of(snap)) == 24
+        assert quads_of(snap) <= quads_of(network)
