@@ -1,0 +1,217 @@
+#!/usr/bin/env python
+"""Replication guard: catch-up throughput and steady-state lag.
+
+WAL shipping is only useful if a follower can (a) *catch up* faster
+than the leader writes and (b) stay caught up under a sustained
+ingest.  This script makes both enforceable:
+
+* **catch-up**: the leader ingests N commits while no follower is
+  attached; a fresh follower then attaches and the gate measures
+  replay throughput (commits applied per second) until it reaches the
+  leader's version.  Fails below a minimum throughput.
+* **steady-state**: with the follower attached, the leader runs a
+  paced write storm; the gate samples the follower's frame lag and
+  fails when the p95 lag exceeds a bound — i.e. the follower keeps up
+  instead of drifting.
+
+Usage::
+
+    python benchmarks/bench_replication.py
+
+Exits non-zero when a gate fails.  Results are merged into
+``BENCH_results.json`` at the repo root (override the path with
+``REPRO_BENCH_RESULTS``; set it empty to skip writing).
+
+Knobs: ``REPRO_REPL_COMMITS`` (backlog commits for catch-up, default
+300), ``REPRO_REPL_MIN_CATCHUP`` (min commits/s replayed, default 50),
+``REPRO_REPL_STORM_SECONDS`` (steady-state window, default 3),
+``REPRO_REPL_MAX_LAG_P95`` (max p95 frame lag, default 200),
+``REPRO_REPL_THINK_MS`` (leader think time in the storm, default 1 ms).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import time
+from typing import Dict, List
+
+from repro.rdf import IRI, Quad
+from repro.store.durable import open_durable
+from repro.store.replication import (
+    ReplicationFollower,
+    ReplicationLeader,
+    state_digest,
+)
+
+EX = "http://ex/"
+
+
+def _env_float(name: str, default: float) -> float:
+    return float(os.environ.get(name, str(default)))
+
+
+def _quad(n: int) -> Quad:
+    return Quad(IRI(f"{EX}s{n}"), IRI(f"{EX}p{n % 7}"), IRI(f"{EX}o{n}"))
+
+
+def _wait_converged(leader_net, follower_net, timeout: float) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if follower_net.data_version >= leader_net.data_version:
+            return True
+        time.sleep(0.002)
+    return False
+
+
+def _p95(samples: List[float]) -> float:
+    if not samples:
+        return float("inf")
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+
+
+def measure() -> Dict:
+    commits = int(_env_float("REPRO_REPL_COMMITS", 300))
+    storm_seconds = _env_float("REPRO_REPL_STORM_SECONDS", 3.0)
+    think = _env_float("REPRO_REPL_THINK_MS", 1.0) / 1000.0
+
+    with tempfile.TemporaryDirectory(prefix="bench-repl-") as root:
+        leader_net = open_durable(os.path.join(root, "leader"))
+        leader_net.create_model("m")
+        leader = ReplicationLeader(
+            leader_net, heartbeat_interval=0.05
+        ).start()
+
+        # Phase 1 — build a backlog with no follower attached, then
+        # time a cold follower replaying it.
+        for n in range(commits):
+            leader_net.insert("m", _quad(n))
+        backlog_version = leader_net.data_version
+
+        follower_net = open_durable(os.path.join(root, "follower"))
+        follower = ReplicationFollower(
+            follower_net, *leader.address
+        ).start()
+        start = time.monotonic()
+        converged = _wait_converged(leader_net, follower_net, timeout=120.0)
+        catchup_seconds = time.monotonic() - start
+        if not converged:
+            raise RuntimeError("follower never caught up with the backlog")
+        catchup_rate = commits / catchup_seconds if catchup_seconds else 0.0
+
+        # Phase 2 — paced storm; sample follower frame lag.
+        lags: List[float] = []
+        storm_writes = 0
+        stop_at = time.monotonic() + storm_seconds
+        n = commits
+        while time.monotonic() < stop_at:
+            leader_net.insert("m", _quad(n))
+            n += 1
+            storm_writes += 1
+            lags.append(float(follower.lag_frames()))
+            time.sleep(think)
+        converged = _wait_converged(leader_net, follower_net, timeout=30.0)
+        digests_equal = converged and state_digest(
+            follower_net.snapshot()
+        ) == state_digest(leader_net.snapshot())
+
+        follower.stop()
+        follower_net.close()
+        leader.stop()
+        leader_net.close()
+
+    return {
+        "backlog_commits": commits,
+        "backlog_version": backlog_version,
+        "catchup_seconds": catchup_seconds,
+        "catchup_commits_per_second": catchup_rate,
+        "storm_writes": storm_writes,
+        "storm_window_seconds": storm_seconds,
+        "lag_frames_p95": _p95(lags),
+        "lag_frames_max": max(lags) if lags else 0.0,
+        "final_converged": converged,
+        "final_digests_equal": digests_equal,
+        "think_ms": think * 1000.0,
+    }
+
+
+def _merge_results(entry: Dict) -> None:
+    """Record the measurement in BENCH_results.json (merge, not clobber)."""
+    target = os.environ.get("REPRO_BENCH_RESULTS")
+    if target == "":
+        return
+    if target is None:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        target = os.path.join(root, "BENCH_results.json")
+    document: Dict = {}
+    if os.path.exists(target):
+        try:
+            with open(target, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            document = {}
+    document["replication"] = entry
+    document.setdefault(
+        "generated_at",
+        time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    )
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(f"replication results merged into {target}")
+
+
+def main() -> int:
+    min_catchup = _env_float("REPRO_REPL_MIN_CATCHUP", 50.0)
+    max_lag_p95 = _env_float("REPRO_REPL_MAX_LAG_P95", 200.0)
+    entry = measure()
+    entry["min_catchup_commits_per_second"] = min_catchup
+    entry["max_lag_frames_p95"] = max_lag_p95
+    print(
+        f"catch-up: {entry['backlog_commits']} commits in "
+        f"{entry['catchup_seconds']:.2f}s "
+        f"({entry['catchup_commits_per_second']:.1f} commits/s)"
+    )
+    print(
+        f"steady state: {entry['storm_writes']} writes, lag p95 "
+        f"{entry['lag_frames_p95']:.0f} frames "
+        f"(max {entry['lag_frames_max']:.0f})"
+    )
+    print(
+        f"final: converged={entry['final_converged']} "
+        f"digests_equal={entry['final_digests_equal']}"
+    )
+    _merge_results(entry)
+    failed = False
+    if entry["catchup_commits_per_second"] < min_catchup:
+        print(
+            "replication guard FAILED: catch-up throughput below "
+            f"{min_catchup:.0f} commits/s",
+            file=sys.stderr,
+        )
+        failed = True
+    if entry["lag_frames_p95"] > max_lag_p95:
+        print(
+            "replication guard FAILED: steady-state lag p95 above "
+            f"{max_lag_p95:.0f} frames",
+            file=sys.stderr,
+        )
+        failed = True
+    if not entry["final_digests_equal"]:
+        print(
+            "replication guard FAILED: follower state digest does not "
+            "match the leader after the storm",
+            file=sys.stderr,
+        )
+        failed = True
+    if failed:
+        return 1
+    print("replication guard passed: follower catches up and keeps up")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

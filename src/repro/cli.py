@@ -270,6 +270,104 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_leader(args) -> int:
+    """Serve a durable store as a replication leader + SPARQL endpoint."""
+    from repro.server import make_server
+    from repro.store import open_durable
+    from repro.store.replication import (
+        ReplicationLeader,
+        read_replication_state,
+        write_replication_state,
+    )
+
+    network = open_durable(args.directory)
+    state = read_replication_state(args.directory)
+    epoch = state["epoch"]
+    write_replication_state(args.directory, "leader", epoch)
+    if args.model not in network.model_names:
+        network.create_model(args.model, ["PCSGM", "PSCGM", "SPCGM", "GSPCM"])
+    if args.load:
+        with open(args.load, "r", encoding="utf-8") as handle:
+            count = network.bulk_load_nquads(args.model, handle)
+        print(f"loaded {count:,} quads", file=sys.stderr)
+    engine = SparqlEngine(network, default_model=args.model)
+    leader = ReplicationLeader(
+        network, host=args.host, port=args.replication_port, epoch=epoch
+    ).start()
+    server, port = make_server(
+        engine,
+        args.host,
+        args.port,
+        allow_updates=True,
+        replication=leader,
+    )
+    print(
+        f"leader (epoch {epoch}): SPARQL on http://{args.host}:{port}/sparql,"
+        f" replication on {leader.host}:{leader.port}",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        leader.stop()
+        network.close()
+    return 0
+
+
+def _cmd_follower(args) -> int:
+    """Tail a leader into a durable directory and serve stale-bounded reads."""
+    from repro.server import make_server
+    from repro.store import open_durable
+    from repro.store.replication import ReplicationFollower
+
+    leader_host, _, leader_port = args.leader.rpartition(":")
+    if not leader_host:
+        raise SystemExit("--leader must be HOST:PORT")
+    network = open_durable(args.directory)
+    follower = ReplicationFollower(
+        network, leader_host, int(leader_port)
+    ).start()
+    engine = SparqlEngine(network, default_model=args.model)
+    server, port = make_server(
+        engine,
+        args.host,
+        args.port,
+        allow_updates=False,
+        replication=follower,
+        staleness_wait=args.staleness_wait,
+    )
+    print(
+        f"follower of {args.leader}: SPARQL (reads) on "
+        f"http://{args.host}:{port}/sparql",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        follower.stop()
+        network.close()
+    return 0
+
+
+def _cmd_promote(args) -> int:
+    """Fence a follower directory's old role and promote it to leader."""
+    from repro.store.replication import promote
+
+    summary = promote(args.directory)
+    print(f"promoted {args.directory} to leader")
+    print(f"  epoch:             {summary['epoch']}")
+    print(f"  applied seq:       {summary['applied_seq']:,}")
+    print(f"  data version:      {summary['data_version']:,}")
+    print(f"  WAL tail replayed: {summary['wal_tail_replayed']:,} records")
+    return 0
+
+
 def _cmd_recover(args) -> int:
     from repro.store import open_durable
 
@@ -439,6 +537,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a fresh checkpoint (and reset the WAL) after recovery",
     )
     recover.set_defaults(func=_cmd_recover)
+
+    leader = sub.add_parser(
+        "leader",
+        help="serve a durable store as replication leader "
+        "(SPARQL + WAL shipping)",
+    )
+    leader.add_argument("directory", help="durable store directory")
+    leader.add_argument("--host", default="127.0.0.1")
+    leader.add_argument("--port", type=int, default=3030)
+    leader.add_argument(
+        "--replication-port",
+        type=int,
+        default=0,
+        help="port followers connect to (default: ephemeral, printed)",
+    )
+    leader.add_argument("--model", default="data",
+                        help="default model name (created if absent)")
+    leader.add_argument("--load", help="N-Quads file to bulk load at start")
+    leader.set_defaults(func=_cmd_leader)
+
+    follower = sub.add_parser(
+        "follower",
+        help="tail a leader into a durable directory and serve "
+        "staleness-bounded reads",
+    )
+    follower.add_argument("directory", help="durable store directory")
+    follower.add_argument("--leader", required=True,
+                          help="leader replication address (HOST:PORT)")
+    follower.add_argument("--host", default="127.0.0.1")
+    follower.add_argument("--port", type=int, default=3031)
+    follower.add_argument("--model", default="data")
+    follower.add_argument(
+        "--staleness-wait",
+        type=float,
+        default=2.0,
+        help="max seconds a min-version read parks before 503 StaleRead",
+    )
+    follower.set_defaults(func=_cmd_follower)
+
+    promote = sub.add_parser(
+        "promote",
+        help="promote a follower directory to leader (fences the old "
+        "role, replays the WAL tail, bumps the epoch)",
+    )
+    promote.add_argument("directory", help="durable store directory")
+    promote.set_defaults(func=_cmd_promote)
     return parser
 
 

@@ -277,6 +277,13 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
     traces: Optional[_trace.TraceBuffer] = None
     #: Always-on in-flight counter (reported by /healthz).
     inflight: RequestCounter = RequestCounter()
+    #: Optional replication role object (ReplicationLeader or
+    #: ReplicationFollower) — surfaces role/lag on /healthz and lets a
+    #: ``min-version`` read park until the follower catches up.
+    replication: Optional[object] = None
+    #: Upper bound (seconds) a ``min-version`` read may park waiting
+    #: for the store to catch up before answering 503 StaleRead.
+    staleness_wait: float = 2.0
 
     # Route the stdlib handler's own messages (errors, ...) to the
     # access logger instead of stderr; silent unless configured.
@@ -386,6 +393,8 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
         if not query:
             self._send_error(400, "missing query parameter")
             return
+        if not self._parse_min_version(params):
+            return
         self._gated(self._run_query, query)
 
     def _do_post(self) -> None:
@@ -403,6 +412,8 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
                 query = parse_qs(body).get("query", [None])[0]
             if not query:
                 self._send_error(400, "missing query")
+                return
+            if not self._parse_min_version(parse_qs(parsed.query)):
                 return
             self._gated(self._run_query, query)
         elif parsed.path == "/update":
@@ -485,7 +496,72 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
             if self.gate is not None:
                 self.gate.release()
 
+    # ------------------------------------------------------------------
+    # Staleness bounds (read replicas)
+    # ------------------------------------------------------------------
+
+    def _parse_min_version(self, params) -> bool:
+        """Read the ``min-version`` token (query param or header).
+
+        The read-your-writes contract: a client that wrote at
+        ``data_version`` V sends ``min-version=V`` with its reads, and
+        the serving replica either answers at version >= V or says it
+        cannot (503 StaleRead + its current version) — never silently
+        serves older data.  Returns False after sending an error.
+        """
+        raw = params.get("min-version", [None])[0]
+        if raw is None:
+            raw = self.headers.get("X-Min-Version")
+        self._min_version: Optional[int] = None
+        if raw is None:
+            return True
+        try:
+            self._min_version = int(raw)
+        except (TypeError, ValueError):
+            self._send_error(400, f"invalid min-version: {raw!r}")
+            return False
+        return True
+
+    def _await_min_version(self) -> bool:
+        """Park (bounded) until the store reaches ``min-version``.
+
+        Polling is deliberate: commits publish through one atomic
+        reference swap with no condition variable on the read side,
+        and the park interval (2 ms) is far below replication lag
+        granularity.  Returns False after answering 503 StaleRead.
+        """
+        wanted = getattr(self, "_min_version", None)
+        if wanted is None:
+            return True
+        network = self.engine.network
+        if network.data_version >= wanted:
+            return True
+        deadline = time.monotonic() + max(self.staleness_wait, 0.0)
+        while time.monotonic() < deadline:
+            if network.data_version >= wanted:
+                return True
+            time.sleep(0.002)
+        current = network.data_version
+        if _obs.is_enabled():
+            _obs.registry().inc("server.stale_reads")
+        self._send(
+            503,
+            "application/json",
+            json.dumps({
+                "error": "StaleRead",
+                "message": (
+                    f"replica is at data_version {current}, "
+                    f"client requires {wanted}"
+                ),
+                "min_version": wanted,
+                "data_version": current,
+            }),
+        )
+        return False
+
     def _run_query(self, query: str) -> None:
+        if not self._await_min_version():
+            return
         try:
             result = self.engine.query(query, timeout=self.query_timeout)
         except QueryTimeout as exc:
@@ -521,6 +597,10 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
         except SparqlError as exc:
             self._send_error(400, str(exc))
             return
+        # The committed version is the client's read-your-writes token:
+        # pass it as `min-version` on subsequent (replica) reads.
+        counts = dict(counts)
+        counts["data_version"] = self.engine.network.data_version
         self._send(200, "application/json", json.dumps(counts))
 
     def _send_explain(self, query: str) -> None:
@@ -566,13 +646,36 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
         self._send(200, "application/json", json.dumps(document))
 
     def _send_healthz(self) -> None:
-        """Load-balancer readiness: 503 once the WAL is poisoned."""
+        """Load-balancer readiness: 503 once the WAL is poisoned.
+
+        With replication attached, also reports the role, the applied
+        ``data_version`` (the replica's staleness token ceiling) and
+        the follower's lag — what a router uses to steer `min-version`
+        reads to a sufficiently fresh replica.
+        """
         wal_failed = bool(getattr(self.engine.network, "wal_failed", False))
         document = {
             "status": "failed" if wal_failed else "ok",
             "inflight": self.inflight.value,
             "wal_failed": wal_failed,
+            "applied_data_version": self.engine.network.data_version,
         }
+        if self.replication is not None:
+            status = self.replication.status()
+            document["role"] = status.get("role")
+            replication = {
+                key: status[key]
+                for key in (
+                    "epoch",
+                    "connected",
+                    "lag_frames",
+                    "lag_seconds",
+                    "applied_seq",
+                    "leader_seq",
+                )
+                if key in status
+            }
+            document["replication"] = replication
         self._send(
             503 if wal_failed else 200,
             "application/json",
@@ -597,6 +700,11 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(payload)))
         if getattr(self, "_trace_id", None) is not None:
             self.send_header("X-Trace-Id", self._trace_id)
+        # Every response advertises the serving version so clients can
+        # chain staleness tokens without parsing bodies.
+        network = getattr(self.engine, "network", None)
+        if network is not None:
+            self.send_header("X-Data-Version", str(network.data_version))
         self.end_headers()
         self.wfile.write(payload)
         self._last_status = status
@@ -618,6 +726,8 @@ def make_server(
     trace_buffer_capacity: int = 128,
     workers: Optional[int] = None,
     max_queue: Optional[int] = None,
+    replication: Optional[object] = None,
+    staleness_wait: float = 2.0,
 ) -> Tuple[ThreadingHTTPServer, int]:
     """Build (but don't start) the HTTP server; returns (server, port).
 
@@ -630,6 +740,9 @@ def make_server(
     :class:`WorkerPool` of that many threads behind a bounded queue of
     ``max_queue`` waiting jobs (default 2×workers, 429 when full).
     ``workers=None`` keeps the classic per-connection execution.
+    ``replication`` attaches a leader/follower role object (surfaced on
+    ``/healthz``); ``staleness_wait`` bounds how long a ``min-version``
+    read parks before answering 503 StaleRead.
     """
     pool = (
         WorkerPool(workers, max_queue=max_queue)
@@ -658,6 +771,8 @@ def make_server(
             # are also retrievable.
             "traces": _trace.TraceBuffer(trace_buffer_capacity),
             "inflight": RequestCounter(),
+            "replication": replication,
+            "staleness_wait": staleness_wait,
         },
     )
     server = ThreadingHTTPServer((host, port), handler)
@@ -687,6 +802,8 @@ class SparqlServer:
         trace_buffer_capacity: int = 128,
         workers: Optional[int] = None,
         max_queue: Optional[int] = None,
+        replication: Optional[object] = None,
+        staleness_wait: float = 2.0,
     ):
         self._server, self.port = make_server(
             engine,
@@ -700,6 +817,8 @@ class SparqlServer:
             trace_buffer_capacity=trace_buffer_capacity,
             workers=workers,
             max_queue=max_queue,
+            replication=replication,
+            staleness_wait=staleness_wait,
         )
         self._thread: Optional[threading.Thread] = None
 

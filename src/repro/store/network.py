@@ -138,7 +138,9 @@ class SemanticNetwork:
                 self._batch_depth -= 1
                 if self._batch_depth == 0:
                     self._version += 1
+                    self._about_to_commit()
                     self._commit()
+                    self._committed()
 
     def _commit(self) -> None:
         """Publish the current state as an immutable snapshot.
@@ -151,6 +153,29 @@ class SemanticNetwork:
         snap = capture_snapshot(self)
         self._snapshots[snap.data_version] = snap
         self._published = snap
+
+    def _about_to_commit(self) -> None:
+        """Hook: an outermost batch is committing (version already
+        bumped, snapshot not yet published).  Durable subclasses use it
+        to journal record-less version bumps."""
+
+    def _committed(self) -> None:
+        """Hook: a new snapshot was just published.  Durable subclasses
+        use it to wake replication senders waiting on commits."""
+
+    def _restore_version(self, version: int) -> None:
+        """Fast-forward ``data_version`` to ``version`` (recovery only).
+
+        Versions are otherwise an in-memory counter; durable stores
+        persist them (in WAL records and checkpoint metadata) so that
+        version tokens handed to clients stay monotonic across process
+        restarts.  Publishing at the restored version is a normal
+        commit: one atomic reference swap.
+        """
+        with self._write_mutex:
+            if version > self._version:
+                self._version = version
+                self._commit()
 
     # ------------------------------------------------------------------
     # Model lifecycle

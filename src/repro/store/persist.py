@@ -41,7 +41,9 @@ from repro.store.network import SemanticNetwork
 MANIFEST_NAME = "manifest.json"
 
 
-def save_network(network, directory: str) -> Dict[str, int]:
+def save_network(
+    network, directory: str, meta: Optional[Dict] = None
+) -> Dict[str, int]:
     """Atomically write every base model (and the manifest) to ``directory``.
 
     ``network`` may be a live :class:`SemanticNetwork` or an immutable
@@ -49,15 +51,24 @@ def save_network(network, directory: str) -> Dict[str, int]:
     checkpoints pass a snapshot so the files describe one consistent
     ``data_version`` regardless of concurrent readers.
 
+    ``meta`` is an optional JSON-able dict stored verbatim in the
+    manifest (read back via :func:`read_manifest_meta`).  Durable
+    checkpoints record ``{"base_seq": ..., "version": ...}`` there so
+    WAL sequence numbers and MVCC versions survive restarts *atomically
+    with the snapshot they describe* — there is no crash window in
+    which the data and its replication cursor disagree.
+
     Returns quad counts per model.  Virtual models are recorded in the
     manifest only — they are views.  On any failure the target
     directory is left exactly as it was.
     """
     with _trace.span("snapshot.save", directory=directory):
-        return _save_network(network, directory)
+        return _save_network(network, directory, meta)
 
 
-def _save_network(network, directory: str) -> Dict[str, int]:
+def _save_network(
+    network, directory: str, meta: Optional[Dict] = None
+) -> Dict[str, int]:
     directory = os.path.abspath(directory)
     parent = os.path.dirname(directory)
     os.makedirs(parent, exist_ok=True)
@@ -65,7 +76,7 @@ def _save_network(network, directory: str) -> Dict[str, int]:
         prefix=os.path.basename(directory) + ".tmp-", dir=parent
     )
     try:
-        counts = _write_snapshot(network, staging)
+        counts = _write_snapshot(network, staging, meta)
         _fsync_dir(staging)
         _swap_into_place(staging, directory)
     except BaseException:
@@ -74,10 +85,14 @@ def _save_network(network, directory: str) -> Dict[str, int]:
     return counts
 
 
-def _write_snapshot(network, directory: str) -> Dict[str, int]:
+def _write_snapshot(
+    network, directory: str, meta: Optional[Dict] = None
+) -> Dict[str, int]:
     """Write the snapshot files into ``directory`` (no atomicity here)."""
     counts: Dict[str, int] = {}
     manifest = {"models": [], "virtual_models": []}
+    if meta:
+        manifest["meta"] = meta
     for name in network.model_names:
         model = network.model(name)
         file_name = f"{name}.nq"
@@ -173,6 +188,18 @@ def repair_snapshot(directory: str, _keep: Optional[str] = None) -> bool:
         if leftover != _keep:
             shutil.rmtree(leftover, ignore_errors=True)
     return _has_manifest(directory)
+
+
+def read_manifest_meta(directory: str) -> Dict:
+    """The ``meta`` dict stored with a snapshot ({} when absent)."""
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return {}
+    meta = manifest.get("meta")
+    return meta if isinstance(meta, dict) else {}
 
 
 def _has_manifest(directory: str) -> bool:

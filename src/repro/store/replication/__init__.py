@@ -1,0 +1,49 @@
+"""WAL-shipping replication: leader, followers, failover, digests.
+
+The high-availability layer from ROADMAP item 2: a
+:class:`ReplicationLeader` streams the durable store's WAL to
+:class:`ReplicationFollower` processes over a CRC-guarded framed
+protocol; followers apply whole commit groups so their MVCC versions
+stay in lockstep with the leader's, serve reads with an explicit
+staleness bound, and can be :func:`promote`\\ d to leader with an epoch
+bump that fences the old one.  See ``docs/REPLICATION.md``.
+"""
+
+from repro.store.replication.client import (
+    iter_messages,
+    open_session,
+    open_session_with_backoff,
+)
+from repro.store.replication.digest import model_digests, state_digest
+from repro.store.replication.follower import (
+    ReplicationFollower,
+    RoleError,
+    promote,
+    read_replication_state,
+    write_replication_state,
+)
+from repro.store.replication.leader import ReplicationLeader
+from repro.store.replication.protocol import (
+    MessageStream,
+    ProtocolError,
+    REPLICATION_MAGIC,
+    connect_stream,
+)
+
+__all__ = [
+    "MessageStream",
+    "ProtocolError",
+    "REPLICATION_MAGIC",
+    "ReplicationFollower",
+    "ReplicationLeader",
+    "RoleError",
+    "connect_stream",
+    "iter_messages",
+    "model_digests",
+    "open_session",
+    "open_session_with_backoff",
+    "promote",
+    "read_replication_state",
+    "state_digest",
+    "write_replication_state",
+]

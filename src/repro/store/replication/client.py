@@ -1,0 +1,73 @@
+"""Client-side session plumbing for the replication protocol.
+
+Separated from :mod:`repro.store.replication.follower` so tests and
+tooling can speak the protocol without standing up a full follower
+(e.g. tailing a leader's stream to inspect it, or fencing probes), and
+so the reconnect policy is one reusable piece:
+:func:`open_session_with_backoff` is
+:func:`repro.util.retry_with_backoff` around :func:`open_session`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional
+
+from repro.store.replication import protocol as _proto
+from repro.store.replication.protocol import MessageStream, ProtocolError
+from repro.util import BackoffPolicy, retry_with_backoff
+
+
+def open_session(
+    host: str,
+    port: int,
+    applied_seq: int,
+    wal_generation: int,
+    data_version: int,
+    epoch: int,
+    timeout: Optional[float] = None,
+) -> MessageStream:
+    """Dial a leader, exchange magic, send ``hello``; returns the stream.
+
+    After this returns, the leader knows our durable cursor and will
+    either stream from it or open with a snapshot bootstrap.
+    """
+    stream = _proto.connect_stream(host, port, timeout=timeout)
+    try:
+        stream.send(
+            _proto.hello_message(
+                applied_seq, wal_generation, data_version, epoch
+            )
+        )
+    except BaseException:
+        stream.close()
+        raise
+    return stream
+
+
+def open_session_with_backoff(
+    dial: Callable[[], MessageStream],
+    policy: Optional[BackoffPolicy] = None,
+    attempts: Optional[int] = None,
+    deadline: Optional[float] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
+) -> MessageStream:
+    """Retry ``dial`` under exponential backoff + jitter.
+
+    Only connection-level failures are retried; a
+    :class:`ProtocolError` *during* an established session is not a
+    connect failure and is handled by the caller's session loop.
+    """
+    return retry_with_backoff(
+        dial,
+        policy=policy,
+        attempts=attempts,
+        deadline=deadline,
+        retry_on=(OSError, ProtocolError),
+        should_stop=should_stop,
+    )
+
+
+def iter_messages(stream: MessageStream) -> Iterator[Dict]:
+    """Yield messages until the stream dies (ProtocolError propagates)."""
+    while True:
+        yield stream.recv()

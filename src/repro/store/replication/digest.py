@@ -1,0 +1,63 @@
+"""Index-level state digests: *is this follower byte-equivalent?*
+
+Leader and follower intern terms in different orders, so raw term IDs
+(and therefore raw index arrays) legitimately differ between replicas
+holding identical RDF state.  The digest therefore hashes the *decoded*
+content: for every base model, the sorted N-Quads serialization of its
+primary index, plus the model's index specs; virtual model definitions
+are folded in by name.  Two stores with equal digests answer every
+query identically — which is exactly what the chaos property tests
+assert after each fault schedule.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+from repro.rdf.nquads import serialize_nquads
+from repro.store.snapshot import NetworkSnapshot
+
+
+def state_digest(snapshot: NetworkSnapshot) -> str:
+    """A hex digest of a snapshot's full logical content."""
+    overall = hashlib.sha256()
+    for name in sorted(snapshot.model_names):
+        model = snapshot.model(name)
+        lines = sorted(
+            serialize_nquads([quad]).strip()
+            for quad in snapshot.quads(name)
+        )
+        per_model = hashlib.sha256()
+        per_model.update(name.encode("utf-8"))
+        per_model.update(b"\x00")
+        per_model.update(",".join(sorted(model.index_specs)).encode("utf-8"))
+        per_model.update(b"\x00")
+        for line in lines:
+            per_model.update(line.encode("utf-8"))
+            per_model.update(b"\n")
+        overall.update(per_model.digest())
+    for name in sorted(snapshot.virtual_model_names):
+        virtual = snapshot.model(name)
+        overall.update(
+            (
+                f"virtual:{name}:{sorted(virtual.member_names)}:"
+                f"{virtual.union_all}"
+            ).encode("utf-8")
+        )
+    return overall.hexdigest()
+
+
+def model_digests(snapshot: NetworkSnapshot) -> Dict[str, str]:
+    """Per-model digests — pinpoints *which* model diverged in tests."""
+    digests: Dict[str, str] = {}
+    for name in sorted(snapshot.model_names):
+        per_model = hashlib.sha256()
+        for line in sorted(
+            serialize_nquads([quad]).strip()
+            for quad in snapshot.quads(name)
+        ):
+            per_model.update(line.encode("utf-8"))
+            per_model.update(b"\n")
+        digests[name] = per_model.hexdigest()
+    return digests

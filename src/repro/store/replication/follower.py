@@ -1,0 +1,362 @@
+"""The replication follower: tail a leader, apply, serve stale-bounded reads.
+
+One background thread runs connect-with-backoff sessions against the
+leader.  Each session: handshake (``hello`` carries our durably-applied
+sequence number), then either stream WAL frames straight into
+:meth:`DurableNetwork.apply_replicated` or — when the leader no longer
+retains our cursor — install a chunked snapshot bootstrap first.
+
+Frames are buffered per commit group and applied only when the group's
+``commit`` marker arrives, so every MVCC publication on the follower
+lands at *exactly* the leader's ``data_version`` — version tokens are
+portable, which is what the ``min-version`` read-your-writes contract
+needs.  A sequence gap (reordered/dropped delivery) raises
+:class:`~repro.store.durable.ReplicationSequenceError`: the session is
+torn down and the reconnect resumes from the last durable sequence —
+fail-stop, never silent divergence.
+
+Role and fencing state live in ``replication.json`` next to the WAL:
+``{"role": ..., "epoch": N}``.  :func:`promote` replays the local WAL
+tail (opening *is* recovery), checkpoints, bumps the epoch, and flips
+the role to leader; a follower refuses to start over a promoted
+directory, and a leader that hears a newer epoch fences itself.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.obs import metrics as _obs
+from repro.obs import trace as _trace
+from repro.store.durable import (
+    DurableNetwork,
+    ReplicationSequenceError,
+    open_durable,
+)
+from repro.store.network import StoreError
+from repro.store.replication import client as _client
+from repro.store.replication.protocol import MessageStream, ProtocolError
+from repro.util import BackoffPolicy, RetryExhausted
+
+STATE_NAME = "replication.json"
+
+
+class RoleError(StoreError):
+    """The durable directory's replication role forbids the operation."""
+
+
+def read_replication_state(directory: str) -> Dict:
+    """Read ``replication.json``; absent file means an unfenced epoch 0."""
+    path = os.path.join(directory, STATE_NAME)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            state = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return {"role": None, "epoch": 0}
+    if not isinstance(state, dict):
+        return {"role": None, "epoch": 0}
+    return {"role": state.get("role"), "epoch": int(state.get("epoch", 0))}
+
+
+def write_replication_state(directory: str, role: str, epoch: int) -> None:
+    """Atomically persist the role/epoch pair (rename + dir fsync)."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, STATE_NAME)
+    staging = path + ".tmp"
+    with open(staging, "w", encoding="utf-8") as handle:
+        json.dump({"role": role, "epoch": epoch}, handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(staging, path)
+    dir_fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+class ReplicationFollower:
+    """Tails a leader and keeps a local durable store converged."""
+
+    def __init__(
+        self,
+        network: DurableNetwork,
+        leader_host: str,
+        leader_port: int,
+        backoff: Optional[BackoffPolicy] = None,
+        connect_timeout: float = 5.0,
+    ):
+        state = read_replication_state(network.directory)
+        if state["role"] == "leader":
+            raise RoleError(
+                f"{network.directory} was promoted to leader "
+                f"(epoch {state['epoch']}); refusing to follow"
+            )
+        self.network = network
+        self.leader_host = leader_host
+        self.leader_port = leader_port
+        self.epoch = state["epoch"]
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self.connect_timeout = connect_timeout
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._stream: Optional[MessageStream] = None
+        self._stream_lock = threading.Lock()
+        self._connected = threading.Event()
+        #: Leader's position as of the last commit/heartbeat we saw.
+        self._leader_seq = 0
+        self._leader_version = 0
+        self._caught_up_since: Optional[float] = None
+        self._fenced = False
+        self._last_error: Optional[str] = None
+        self.reconnects = 0
+        self.bootstraps = 0
+        self.groups_applied = 0
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> "ReplicationFollower":
+        write_replication_state(
+            self.network.directory, "follower", self.epoch
+        )
+        self._thread = threading.Thread(
+            target=self._run, name="repl-follower", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        with self._stream_lock:
+            if self._stream is not None:
+                self._stream.close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    @property
+    def connected(self) -> bool:
+        return self._connected.is_set()
+
+    @property
+    def fenced(self) -> bool:
+        return self._fenced
+
+    def wait_connected(self, timeout: float = 5.0) -> bool:
+        return self._connected.wait(timeout)
+
+    def lag_frames(self) -> int:
+        return max(0, self._leader_seq - self.network.applied_seq)
+
+    def lag_seconds(self) -> float:
+        if self._caught_up_since is None:
+            return float("inf") if self._leader_seq else 0.0
+        if self.lag_frames() == 0:
+            return 0.0
+        return max(0.0, time.monotonic() - self._caught_up_since)
+
+    def status(self) -> Dict:
+        lag_seconds = self.lag_seconds()
+        return {
+            "role": "follower",
+            "epoch": self.epoch,
+            "leader": f"{self.leader_host}:{self.leader_port}",
+            "connected": self.connected,
+            "applied_seq": self.network.applied_seq,
+            "applied_data_version": self.network.data_version,
+            "leader_seq": self._leader_seq,
+            "leader_data_version": self._leader_version,
+            "lag_frames": self.lag_frames(),
+            "lag_seconds": (
+                lag_seconds if lag_seconds != float("inf") else -1.0
+            ),
+            "reconnects": self.reconnects,
+            "bootstraps": self.bootstraps,
+            "groups_applied": self.groups_applied,
+            "last_error": self._last_error,
+        }
+
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.is_set() and not self._fenced:
+            try:
+                stream = _client.open_session_with_backoff(
+                    self._connect,
+                    policy=self.backoff,
+                    should_stop=self._stop.is_set,
+                )
+            except RetryExhausted:
+                return
+            try:
+                self._session(stream)
+            except (ProtocolError, OSError, ReplicationSequenceError) as exc:
+                # Stream unusable or out of sequence: reconnect and
+                # resume from the last durably-applied sequence.
+                self._last_error = f"{type(exc).__name__}: {exc}"
+                self.reconnects += 1
+                if _obs.is_enabled():
+                    _obs.registry().inc("replication.reconnects")
+            finally:
+                self._connected.clear()
+                with self._stream_lock:
+                    self._stream = None
+                stream.close()
+        self._publish_gauges()
+
+    def _connect(self) -> MessageStream:
+        network = self.network
+        return _client.open_session(
+            self.leader_host,
+            self.leader_port,
+            network.applied_seq,
+            network.wal_generation,
+            network.data_version,
+            self.epoch,
+            timeout=self.connect_timeout,
+        )
+
+    def _session(self, stream: MessageStream) -> None:
+        network = self.network
+        with self._stream_lock:
+            self._stream = stream
+        self._connected.set()
+        group: List[Dict] = []
+        bootstrap: Optional[Dict] = None
+        while not self._stop.is_set():
+            message = stream.recv()
+            kind = message.get("type")
+            if kind == "frame":
+                group.append(message["record"])
+            elif kind == "commit":
+                with _trace.span(
+                    "replication.apply",
+                    version=message["version"],
+                    frames=len(group),
+                ):
+                    applied = network.apply_replicated(
+                        group, message["version"]
+                    )
+                group = []
+                if applied:
+                    self.groups_applied += 1
+                    if _obs.is_enabled():
+                        _obs.registry().inc("replication.groups_applied")
+                self._observe_leader(message["version"], message["seq"])
+            elif kind == "heartbeat":
+                self._observe_leader(message["version"], message["seq"])
+            elif kind == "resync":
+                group = []
+                bootstrap = None
+            elif kind == "snapshot_begin":
+                bootstrap = {
+                    "seq": message["seq"],
+                    "version": message["version"],
+                    "virtual_models": message["virtual_models"],
+                    "models": [],
+                }
+            elif kind == "snapshot_data":
+                if bootstrap is None:
+                    raise ProtocolError("snapshot_data before snapshot_begin")
+                if message.get("first"):
+                    bootstrap["models"].append(
+                        {
+                            "name": message["model"],
+                            "indexes": message["indexes"],
+                            "lines": list(message["lines"]),
+                        }
+                    )
+                else:
+                    bootstrap["models"][-1]["lines"].extend(message["lines"])
+            elif kind == "snapshot_end":
+                if bootstrap is None:
+                    raise ProtocolError("snapshot_end before snapshot_begin")
+                network.install_bootstrap(
+                    bootstrap["seq"],
+                    bootstrap["version"],
+                    bootstrap["models"],
+                    bootstrap["virtual_models"],
+                )
+                self.bootstraps += 1
+                self._observe_leader(
+                    bootstrap["version"], bootstrap["seq"]
+                )
+                bootstrap = None
+            elif kind == "error":
+                if message.get("fenced"):
+                    self._fenced = True
+                    self._last_error = message.get("message")
+                    return
+                raise ProtocolError(
+                    f"leader error: {message.get('message')}"
+                )
+            else:
+                raise ProtocolError(f"unknown message type {kind!r}")
+
+    def _observe_leader(self, version: int, seq: int) -> None:
+        self._leader_seq = max(self._leader_seq, seq)
+        self._leader_version = max(self._leader_version, version)
+        if self.network.applied_seq >= self._leader_seq:
+            self._caught_up_since = time.monotonic()
+        self._publish_gauges()
+
+    def _publish_gauges(self) -> None:
+        _obs.set_gauge("replication.lag_frames", self.lag_frames())
+        lag_seconds = self.lag_seconds()
+        _obs.set_gauge(
+            "replication.lag_seconds",
+            lag_seconds if lag_seconds != float("inf") else -1.0,
+        )
+        _obs.set_gauge("replication.applied_seq", self.network.applied_seq)
+        _obs.set_gauge(
+            "replication.connected", 1 if self.connected else 0
+        )
+
+
+# ----------------------------------------------------------------------
+# Failover
+# ----------------------------------------------------------------------
+
+
+def promote(directory: str, fsync: str = "always") -> Dict:
+    """Promote a follower directory to leader; returns a summary dict.
+
+    Fences the old role first (the state file flips before the store
+    serves a single write as leader), replays the local WAL tail by
+    reopening the store — every durably-applied replicated record
+    survives, which is the zero-acknowledged-write-loss guarantee —
+    then checkpoints so the new leader starts with a bounded log and a
+    fresh ``base_seq``, and bumps the epoch so the old leader fences
+    itself on contact.
+
+    The store must not be open in another process of this host; the
+    CLI stops the follower before promoting.
+    """
+    state = read_replication_state(directory)
+    if state["role"] == "leader":
+        raise RoleError(f"{directory} is already a leader")
+    new_epoch = state["epoch"] + 1
+    with _trace.span("replication.promote", directory=directory):
+        # Flip the role first: from here on a crashed promote leaves a
+        # directory no follower will reattach to (fenced), never a
+        # directory serving two roles.
+        write_replication_state(directory, "leader", new_epoch)
+        network = open_durable(directory, fsync=fsync)
+        try:
+            stats = network.recovery_stats
+            network.checkpoint()
+            summary = {
+                "role": "leader",
+                "epoch": new_epoch,
+                "applied_seq": network.applied_seq,
+                "data_version": network.data_version,
+                "wal_tail_replayed": stats.applied,
+            }
+        finally:
+            network.close()
+    if _obs.is_enabled():
+        _obs.registry().inc("replication.promotions")
+    return summary

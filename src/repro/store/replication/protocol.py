@@ -1,0 +1,196 @@
+"""The replication wire protocol: length-prefixed, CRC-guarded frames.
+
+The stream reuses the WAL's framing discipline on purpose: every
+message is ``<length:u32 LE> <crc32:u32 LE> <json payload>``, after an
+8-byte magic preamble each side sends once on connect.  A checksum
+mismatch or torn frame raises :class:`ProtocolError` — the session is
+fail-stop and the client reconnects; there is no attempt to "resync
+inside" a corrupted stream.
+
+Message flow (JSON objects, ``type`` discriminated)::
+
+    follower -> leader   hello {applied_seq, wal_generation, data_version}
+    leader   -> follower one of:
+        resync {}                      cursor unusable -> expect bootstrap
+        snapshot_begin {seq, version, virtual_models}
+        snapshot_data {model, indexes, lines}      (repeated, chunked)
+        snapshot_end {}
+      then a stream of:
+        frame {record}                 one WAL record, stamps included
+        commit {version, seq}          close the open commit group
+        heartbeat {version, seq}       liveness + lag measurement
+        error {message, fenced}        terminal; fenced=True -> old epoch
+
+Commit markers travel on the wire only — they are **not** WAL records —
+so the log format and its recovery arithmetic are untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import zlib
+from typing import Dict, List, Optional
+
+#: Stream preamble: identifies (and versions) the replication protocol.
+REPLICATION_MAGIC = b"RREP0001"
+
+_HEADER = struct.Struct("<II")  # (payload length, crc32)
+
+#: Upper bound on one message — snapshot chunks stay well below this.
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+#: N-Quads lines per snapshot_data chunk during bootstrap.
+SNAPSHOT_CHUNK_LINES = 2000
+
+
+class ProtocolError(Exception):
+    """Torn frame, checksum mismatch, bad magic, or a malformed message."""
+
+
+class MessageStream:
+    """Framed JSON messages over a connected socket.
+
+    Thin and blocking by design: each replication session owns one
+    thread, so the stream needs no internal locking for its single
+    reader/single writer.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._recv_buffer = b""
+
+    # -- connection preamble ------------------------------------------
+
+    def send_magic(self) -> None:
+        self._sock.sendall(REPLICATION_MAGIC)
+
+    def expect_magic(self) -> None:
+        preamble = self._read_exact(len(REPLICATION_MAGIC))
+        if preamble != REPLICATION_MAGIC:
+            raise ProtocolError(
+                f"bad protocol magic {preamble!r} "
+                f"(want {REPLICATION_MAGIC!r})"
+            )
+
+    # -- framed messages ----------------------------------------------
+
+    def send(self, message: Dict) -> None:
+        payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+        frame = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        self._sock.sendall(frame)
+
+    def recv(self) -> Dict:
+        header = self._read_exact(_HEADER.size)
+        length, checksum = _HEADER.unpack(header)
+        if length > MAX_MESSAGE_BYTES:
+            raise ProtocolError(f"frame length {length} exceeds limit")
+        payload = self._read_exact(length)
+        if zlib.crc32(payload) != checksum:
+            raise ProtocolError("frame checksum mismatch")
+        try:
+            message = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"undecodable frame payload: {exc}")
+        if not isinstance(message, dict) or "type" not in message:
+            raise ProtocolError("message is not a typed object")
+        return message
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+    def _read_exact(self, count: int) -> bytes:
+        while len(self._recv_buffer) < count:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ProtocolError(
+                    f"connection closed mid-frame "
+                    f"({len(self._recv_buffer)}/{count} bytes)"
+                )
+            self._recv_buffer += chunk
+        taken, self._recv_buffer = (
+            self._recv_buffer[:count],
+            self._recv_buffer[count:],
+        )
+        return taken
+
+
+# ----------------------------------------------------------------------
+# Message constructors — the schema lives in one place.
+# ----------------------------------------------------------------------
+
+
+def hello_message(
+    applied_seq: int, wal_generation: int, data_version: int, epoch: int
+) -> Dict:
+    return {
+        "type": "hello",
+        "applied_seq": applied_seq,
+        "wal_generation": wal_generation,
+        "data_version": data_version,
+        "epoch": epoch,
+    }
+
+
+def resync_message() -> Dict:
+    return {"type": "resync"}
+
+
+def snapshot_begin_message(
+    seq: int, version: int, virtual_models: List[Dict]
+) -> Dict:
+    return {
+        "type": "snapshot_begin",
+        "seq": seq,
+        "version": version,
+        "virtual_models": virtual_models,
+    }
+
+
+def snapshot_data_message(
+    model: str, indexes: List[str], lines: List[str], first: bool
+) -> Dict:
+    return {
+        "type": "snapshot_data",
+        "model": model,
+        "indexes": indexes,
+        "lines": lines,
+        "first": first,
+    }
+
+
+def snapshot_end_message() -> Dict:
+    return {"type": "snapshot_end"}
+
+
+def frame_message(record: Dict) -> Dict:
+    return {"type": "frame", "record": record}
+
+
+def commit_message(version: int, seq: int) -> Dict:
+    return {"type": "commit", "version": version, "seq": seq}
+
+
+def heartbeat_message(version: int, seq: int) -> Dict:
+    return {"type": "heartbeat", "version": version, "seq": seq}
+
+
+def error_message(message: str, fenced: bool = False) -> Dict:
+    return {"type": "error", "message": message, "fenced": fenced}
+
+
+def connect_stream(
+    host: str, port: int, timeout: Optional[float] = None
+) -> MessageStream:
+    """Dial a leader and exchange magic preambles."""
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    stream = MessageStream(sock)
+    stream.send_magic()
+    stream.expect_magic()
+    return stream

@@ -232,6 +232,25 @@ def read_wal(path: str) -> Tuple[List[Dict], WalReadStats]:
     Returns ``(records, stats)``.  ``stats.valid_bytes`` is where the
     log should be truncated before appending again.
     """
+    return read_wal_from(path, 0)
+
+
+def read_wal_from(path: str, offset: int) -> Tuple[List[Dict], WalReadStats]:
+    """Incrementally read intact records starting at byte ``offset``.
+
+    The cursor API behind WAL tailing: ``offset`` is either ``0`` (or
+    anything below the magic header's length — read from the start,
+    validating the magic) or a frame boundary previously returned as
+    ``stats.valid_bytes``.  Replication senders and followers resume
+    from their last cursor instead of re-scanning the whole log.
+
+    Returns ``(records, stats)`` where ``stats.valid_bytes`` is the
+    *absolute* end offset of the last intact record — the next call's
+    cursor, and the truncation point for recovery.  A torn or corrupt
+    tail is detected and dropped exactly as the full scan does: a
+    partial header, a partial payload, or a checksum mismatch stops the
+    read at the last intact frame boundary.
+    """
     stats = WalReadStats()
     with open(path, "rb") as handle:
         data = handle.read()
@@ -243,8 +262,12 @@ def read_wal(path: str) -> Tuple[List[Dict], WalReadStats]:
     if data[: len(WAL_MAGIC)] != WAL_MAGIC:
         raise WalError(f"{path}: not a WAL file (bad magic)")
     records: List[Dict] = []
-    offset = len(WAL_MAGIC)
+    offset = max(offset, len(WAL_MAGIC))
     total = len(data)
+    if offset > total:
+        raise WalError(
+            f"{path}: cursor {offset} is past the end of the log ({total})"
+        )
     while offset < total:
         if offset + _HEADER.size > total:
             break  # torn header
@@ -341,3 +364,15 @@ def bulk_load_record(model: str, quads: Iterable[Quad]) -> Dict:
 
 def clear_record(model: str, graph: Optional[Term]) -> Dict:
     return {"op": "clear", "model": model, "graph": term_to_text(graph)}
+
+
+def noop_record() -> Dict:
+    """A record-less commit: a version bump with no state change.
+
+    Durable stores journal one of these when an outermost write batch
+    commits without logging any operation (e.g. inserting a quad that
+    was already present), so the committed ``data_version`` sequence is
+    fully reconstructible from the log — replication followers stay in
+    version lockstep and recovery restores the version counter exactly.
+    """
+    return {"op": "noop"}

@@ -1,22 +1,31 @@
 """Test-support utilities shipped with the library.
 
 :mod:`repro.testing.faults` provides the fault-injection primitives
-(torn-write files, crash-point schedules, retry helpers) used by the
-crash-recovery property tests and the CI fault-injection job.
+(torn-write files, crash-point schedules, the :class:`ChaosProxy` wire
+fault injector, retry/backoff helpers) used by the crash-recovery
+property tests, the replication chaos suite, and the CI fault jobs.
 """
 
 from repro.testing.faults import (
+    BackoffPolicy,
+    ChaosProxy,
     CrashSchedule,
     FaultyFile,
+    RetryExhausted,
     SimulatedCrash,
     retry,
+    retry_with_backoff,
     torn_file_factory,
 )
 
 __all__ = [
-    "SimulatedCrash",
+    "BackoffPolicy",
+    "ChaosProxy",
     "CrashSchedule",
     "FaultyFile",
-    "torn_file_factory",
+    "RetryExhausted",
+    "SimulatedCrash",
     "retry",
+    "retry_with_backoff",
+    "torn_file_factory",
 ]

@@ -16,14 +16,35 @@ tests use to simulate power loss at arbitrary points:
   *other* side of fault tolerance: operations that should survive
   transient failures.
 
-Everything here is deliberately deterministic — no wall clock, no
-randomness — so property-test shrinking produces stable repros.
+For replication chaos, :class:`ChaosProxy` sits between a follower and
+its leader as a TCP forwarder with scriptable faults: cut the wire,
+tear a frame mid-byte, duplicate or delay delivery — the network-level
+analogues of the torn-write file faults above.
+
+Everything except the proxy is deliberately deterministic — no wall
+clock, no randomness — so property-test shrinking produces stable
+repros (the proxy's faults are triggered explicitly by the test, not
+by chance).
+
+The general-purpose backoff helpers live in :mod:`repro.util`
+(:func:`repro.util.retry_with_backoff`, jittered and deadline-aware);
+they are re-exported here so fault-tolerance tests find everything in
+one toolbox.  The older deterministic :func:`retry` remains for tests
+that assert an exact backoff sequence.
 """
 
 from __future__ import annotations
 
+import socket
+import threading
 import time
-from typing import Callable, Dict, Optional, Tuple, Type, TypeVar
+from typing import Callable, Dict, List, Optional, Tuple, Type, TypeVar
+
+from repro.util import (  # noqa: F401 — re-exported toolbox surface
+    BackoffPolicy,
+    RetryExhausted,
+    retry_with_backoff,
+)
 
 T = TypeVar("T")
 
@@ -174,3 +195,182 @@ def retry(
             sleep(delay)
             delay = min(delay * 2, max_delay)
     raise AssertionError("unreachable")
+
+
+class ChaosProxy:
+    """A TCP forwarder with scriptable wire faults, for replication chaos.
+
+    Sits between a follower and its leader::
+
+        proxy = ChaosProxy(leader.address).start()
+        follower = ReplicationFollower(net, *proxy.address).start()
+
+    Faults are armed explicitly by the test (never by chance):
+
+    * :meth:`cut` — sever every live connection (kill -9 of the wire);
+      the follower must reconnect with backoff and resume by sequence.
+    * :meth:`tear_next` — deliver only the first N bytes of the next
+      leader-to-follower chunk, then sever: a torn frame mid-stream,
+      which the CRC framing must turn into a reconnect, never a
+      misparse.
+    * :meth:`duplicate_next` — deliver the next chunk twice: raw-byte
+      redelivery that desynchronizes the framing (CRC fail-stop);
+      message-level duplication is exercised separately against
+      ``apply_replicated``'s sequence-number dedup.
+
+    Counters (`connections`, `tears`, `duplicates`) let tests assert
+    the fault actually fired.
+    """
+
+    def __init__(
+        self,
+        upstream: Tuple[str, int],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.upstream = upstream
+        self.host = host
+        self.port = port
+        self.connections = 0
+        self.tears = 0
+        self.duplicates = 0
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._threads: List[threading.Thread] = []
+        self._pairs: List[Tuple[socket.socket, socket.socket]] = []
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._tear_next: Optional[int] = None
+        self._duplicate_next = False
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    def start(self) -> "ChaosProxy":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(16)
+        self.port = listener.getsockname()[1]
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="chaos-proxy-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        self.cut()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        for thread in list(self._threads):
+            thread.join(timeout=5.0)
+
+    # -- fault controls -------------------------------------------------
+
+    def cut(self) -> None:
+        """Sever every live connection pair immediately."""
+        with self._lock:
+            pairs, self._pairs = self._pairs, []
+        for downstream, upstream in pairs:
+            for sock in (downstream, upstream):
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+    def tear_next(self, keep_bytes: int) -> None:
+        """Arm: truncate the next leader→follower chunk, then sever."""
+        with self._lock:
+            self._tear_next = keep_bytes
+
+    def duplicate_next(self) -> None:
+        """Arm: deliver the next leader→follower chunk twice."""
+        with self._lock:
+            self._duplicate_next = True
+
+    # -- plumbing -------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                downstream, _ = self._listener.accept()
+            except OSError:
+                return
+            try:
+                upstream = socket.create_connection(self.upstream, timeout=5.0)
+            except OSError:
+                downstream.close()
+                continue
+            self.connections += 1
+            with self._lock:
+                self._pairs.append((downstream, upstream))
+            for source, sink, faulty in (
+                (downstream, upstream, False),  # follower -> leader
+                (upstream, downstream, True),   # leader -> follower
+            ):
+                thread = threading.Thread(
+                    target=self._pump,
+                    args=(source, sink, faulty),
+                    daemon=True,
+                )
+                self._threads.append(thread)
+                thread.start()
+
+    def _pump(
+        self, source: socket.socket, sink: socket.socket, faulty: bool
+    ) -> None:
+        while True:
+            try:
+                chunk = source.recv(65536)
+            except OSError:
+                chunk = b""
+            if not chunk:
+                for sock in (source, sink):
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+                return
+            tear: Optional[int] = None
+            duplicate = False
+            if faulty:
+                with self._lock:
+                    if self._tear_next is not None:
+                        tear, self._tear_next = self._tear_next, None
+                    elif self._duplicate_next:
+                        duplicate, self._duplicate_next = True, False
+            try:
+                if tear is not None:
+                    self.tears += 1
+                    if chunk[:tear]:
+                        sink.sendall(chunk[:tear])
+                    for sock in (source, sink):
+                        try:
+                            sock.shutdown(socket.SHUT_RDWR)
+                        except OSError:
+                            pass
+                        sock.close()
+                    return
+                sink.sendall(chunk)
+                if duplicate:
+                    self.duplicates += 1
+                    sink.sendall(chunk)
+            except OSError:
+                for sock in (source, sink):
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+                return

@@ -1,0 +1,125 @@
+"""Small shared utilities: retry with exponential backoff + jitter.
+
+Extracted here (rather than living inside the replication client) so
+the fault-injection toolkit, the CLI, and tests can reuse one
+deadline-aware retry loop with injectable time sources — the schedule
+math is unit-tested with a fake clock, no sleeping.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Iterator, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class RetryExhausted(Exception):
+    """All attempts failed (or the deadline passed); wraps the last error."""
+
+    def __init__(self, message: str, last_error: Optional[BaseException]):
+        super().__init__(message)
+        self.last_error = last_error
+
+
+class BackoffPolicy:
+    """An exponential backoff schedule with full jitter.
+
+    Delay before attempt *n* (0-based; the first attempt is immediate)
+    is drawn uniformly from ``[0, min(base * multiplier**(n-1), cap)]``
+    — "full jitter" per the classic AWS analysis: decorrelated retries
+    avoid thundering herds when many followers reconnect at once.  With
+    ``jitter=False`` the delay is the deterministic upper bound, which
+    is what the schedule-math tests pin down.
+    """
+
+    def __init__(
+        self,
+        base: float = 0.05,
+        multiplier: float = 2.0,
+        cap: float = 5.0,
+        jitter: bool = True,
+        rng: Optional[random.Random] = None,
+    ):
+        if base < 0 or multiplier < 1.0 or cap < 0:
+            raise ValueError("base/cap must be >= 0 and multiplier >= 1")
+        self.base = base
+        self.multiplier = multiplier
+        self.cap = cap
+        self.jitter = jitter
+        self._rng = rng if rng is not None else random.Random()
+
+    def delay(self, attempt: int) -> float:
+        """Delay to sleep before 0-based ``attempt`` (0 → no delay)."""
+        if attempt <= 0:
+            return 0.0
+        bound = min(self.base * self.multiplier ** (attempt - 1), self.cap)
+        if not self.jitter:
+            return bound
+        return self._rng.uniform(0.0, bound)
+
+    def delays(self, attempts: Optional[int] = None) -> Iterator[float]:
+        """Yield the schedule (infinite unless ``attempts`` is given)."""
+        attempt = 0
+        while attempts is None or attempt < attempts:
+            yield self.delay(attempt)
+            attempt += 1
+
+
+def retry_with_backoff(
+    operation: Callable[[], T],
+    policy: Optional[BackoffPolicy] = None,
+    attempts: Optional[int] = None,
+    deadline: Optional[float] = None,
+    retry_on: tuple = (Exception,),
+    should_stop: Optional[Callable[[], bool]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.monotonic,
+) -> T:
+    """Call ``operation`` until it succeeds, with backoff between tries.
+
+    * ``attempts`` bounds the number of calls (None = unbounded);
+    * ``deadline`` is a wall budget in seconds measured on ``clock``:
+      no *sleep* is started that would overrun it, and sleeps are
+      clipped to the remaining budget (deadline-aware, not best-effort);
+    * ``retry_on`` is the exception allowlist — anything else
+      propagates immediately (e.g. a protocol error that retrying
+      cannot fix);
+    * ``should_stop`` is polled before every attempt and sleep so a
+      shutting-down follower abandons its reconnect loop promptly;
+    * ``sleep``/``clock`` are injectable for the fake-clock unit tests.
+
+    Raises :class:`RetryExhausted` (carrying the last error) when the
+    budget runs out.
+    """
+    policy = policy if policy is not None else BackoffPolicy()
+    start = clock()
+    last_error: Optional[BaseException] = None
+    attempt = 0
+    while True:
+        if should_stop is not None and should_stop():
+            raise RetryExhausted("stopped before attempt", last_error)
+        if attempts is not None and attempt >= attempts:
+            raise RetryExhausted(
+                f"gave up after {attempt} attempts", last_error
+            )
+        pause = policy.delay(attempt)
+        if deadline is not None:
+            remaining = deadline - (clock() - start)
+            if remaining <= 0 or (attempt > 0 and pause >= remaining):
+                raise RetryExhausted(
+                    f"deadline of {deadline}s exhausted after "
+                    f"{attempt} attempts",
+                    last_error,
+                )
+            pause = min(pause, remaining)
+        if pause > 0:
+            sleep(pause)
+            if should_stop is not None and should_stop():
+                raise RetryExhausted("stopped during backoff", last_error)
+        try:
+            return operation()
+        except retry_on as exc:  # noqa: PERF203 — retry loop by design
+            last_error = exc
+            attempt += 1

@@ -498,3 +498,102 @@ class TestServerLifecycle:
         with pytest.raises(RuntimeError, match="failed to stop"):
             running.stop(join_timeout=0.1)
         real_thread.join(timeout=5)
+
+
+class _StubReplication:
+    """A minimal stand-in for a ReplicationFollower in healthz tests."""
+
+    def status(self):
+        return {
+            "role": "follower",
+            "epoch": 2,
+            "connected": True,
+            "lag_frames": 0,
+            "lag_seconds": 0.0,
+            "applied_seq": 41,
+            "leader_seq": 41,
+        }
+
+
+class TestStalenessHeaders:
+    def test_every_response_carries_data_version(self, server, social_engine):
+        encoded = urllib.parse.quote(QUERY)
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{server.port}/sparql?query={encoded}"
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            version = response.headers.get("X-Data-Version")
+            response.read()
+        assert version is not None
+        assert int(version) == social_engine.network.data_version
+
+    def test_satisfied_min_version_answers_immediately(self, server,
+                                                       social_engine):
+        token = social_engine.network.data_version
+        encoded = urllib.parse.quote(QUERY)
+        status, _, body = get(
+            server, f"/sparql?query={encoded}&min-version={token}"
+        )
+        assert status == 200 and "Alice" in body
+
+    def test_min_version_header_equivalent_to_param(self, server,
+                                                    social_engine):
+        token = social_engine.network.data_version
+        encoded = urllib.parse.quote(QUERY)
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{server.port}/sparql?query={encoded}",
+            headers={"X-Min-Version": str(token)},
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            assert response.status == 200
+
+    def test_unreachable_min_version_is_503(self, social_engine):
+        with SparqlServer(social_engine, staleness_wait=0.05) as running:
+            wanted = social_engine.network.data_version + 10
+            encoded = urllib.parse.quote(QUERY)
+            with pytest.raises(urllib.error.HTTPError) as err:
+                get(running, f"/sparql?query={encoded}&min-version={wanted}")
+            assert err.value.code == 503
+            payload = json.loads(err.value.read().decode("utf-8"))
+            assert payload["error"] == "StaleRead"
+            assert payload["min_version"] == wanted
+
+    def test_malformed_min_version_is_400(self, server):
+        encoded = urllib.parse.quote(QUERY)
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(server, f"/sparql?query={encoded}&min-version=soon")
+        assert err.value.code == 400
+
+    def test_update_response_reports_data_version(self, server,
+                                                  social_engine):
+        body = urllib.parse.urlencode({
+            "update": 'INSERT DATA { <http://ex/eve> <http://ex/name> "Eve" }'
+        })
+        _, text = post(
+            server, "/update", body, "application/x-www-form-urlencoded"
+        )
+        document = json.loads(text)
+        assert document["data_version"] == (
+            social_engine.network.data_version
+        )
+
+    def test_healthz_reports_replication_status(self, social_engine):
+        with SparqlServer(
+            social_engine, replication=_StubReplication()
+        ) as running:
+            _, _, body = get(running, "/healthz")
+            document = json.loads(body)
+            assert document["role"] == "follower"
+            assert document["applied_data_version"] == (
+                social_engine.network.data_version
+            )
+            replication = document["replication"]
+            assert replication["epoch"] == 2
+            assert replication["lag_frames"] == 0
+            assert replication["connected"] is True
+
+    def test_healthz_without_replication_has_no_role(self, server):
+        _, _, body = get(server, "/healthz")
+        document = json.loads(body)
+        assert "role" not in document
+        assert "applied_data_version" in document

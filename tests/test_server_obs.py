@@ -149,12 +149,13 @@ class TestPrometheusNegotiation:
 
 
 class TestHealthz:
-    def test_healthy_server(self, plain_server):
+    def test_healthy_server(self, plain_server, social_engine):
         status, _, body = get(plain_server, "/healthz")
         assert status == 200
         document = json.loads(body)
         assert document == {
             "status": "ok", "inflight": 1, "wal_failed": False,
+            "applied_data_version": social_engine.network.data_version,
         }
 
     def test_poisoned_wal_turns_503(self, tmp_path):

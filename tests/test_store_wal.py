@@ -279,3 +279,103 @@ class TestFaultInjection:
         assert registry.counter("wal.appends") == 1
         assert registry.counter("wal.bytes") > 0
         assert registry.counter("wal.fsyncs") >= 1
+
+
+class TestIncrementalCursor:
+    """read_wal_from: the tailing API replication senders rely on."""
+
+    def test_cursor_resumes_where_the_last_read_stopped(self, tmp_path):
+        from repro.store.wal import read_wal_from
+
+        path = wal_path(tmp_path)
+        with WriteAheadLog(path) as log:
+            log.append({"n": 1})
+            log.append({"n": 2})
+        records, stats = read_wal_from(path, 0)
+        assert [r["n"] for r in records] == [1, 2]
+        cursor = stats.valid_bytes
+        # Nothing new yet: an empty incremental read, same cursor back.
+        records, stats = read_wal_from(path, cursor)
+        assert records == []
+        assert stats.valid_bytes == cursor
+        with WriteAheadLog(path) as log:
+            log.append({"n": 3})
+        records, stats = read_wal_from(path, cursor)
+        assert [r["n"] for r in records] == [3]
+        assert stats.valid_bytes == os.path.getsize(path)
+
+    def test_full_scan_and_cursor_scan_agree(self, tmp_path):
+        from repro.store.wal import read_wal_from
+
+        path = wal_path(tmp_path)
+        with WriteAheadLog(path) as log:
+            for n in range(10):
+                log.append({"n": n})
+        full, full_stats = read_wal(path)
+        incremental = []
+        cursor = 0
+        while True:
+            batch, stats = read_wal_from(path, cursor)
+            if not batch:
+                break
+            incremental.extend(batch)
+            cursor = stats.valid_bytes
+        assert incremental == full
+        assert cursor == full_stats.valid_bytes
+
+    def test_torn_tail_mid_tail_read_matches_full_scan(self, tmp_path):
+        """Regression: a torn tail hit through the cursor path must be
+        detected and truncated exactly as the full-scan path does."""
+        from repro.store.wal import read_wal_from
+
+        path = wal_path(tmp_path)
+        with WriteAheadLog(path) as log:
+            log.append({"n": 1})
+            log.append({"n": 2})
+        with open(path, "rb") as handle:
+            data = handle.read()
+        # Chop 3 bytes off the tail: record two becomes torn.
+        with open(path, "wb") as handle:
+            handle.write(data[:-3])
+        full_records, full_stats = read_wal(path)
+        assert [r["n"] for r in full_records] == [1]
+        # Cursor path: resume after record one and hit the same tear.
+        mid_cursor = full_stats.valid_bytes
+        tail_records, tail_stats = read_wal_from(path, mid_cursor)
+        assert tail_records == []
+        assert tail_stats.valid_bytes == full_stats.valid_bytes
+        assert tail_stats.torn_bytes == full_stats.torn_bytes
+        assert tail_stats.corrupt_records == 0
+        truncate_wal(path, tail_stats.valid_bytes)
+        assert os.path.getsize(path) == tail_stats.valid_bytes
+
+    def test_corrupt_record_mid_tail_read_matches_full_scan(self, tmp_path):
+        from repro.store.wal import read_wal_from
+
+        path = wal_path(tmp_path)
+        with WriteAheadLog(path) as log:
+            log.append({"n": 1})
+        _, first = read_wal(path)
+        with WriteAheadLog(path) as log:
+            log.append({"n": 2})
+        # Flip a payload byte inside record two.
+        with open(path, "rb+") as handle:
+            handle.seek(first.valid_bytes + 8)  # past the frame header
+            byte = handle.read(1)
+            handle.seek(first.valid_bytes + 8)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        full_records, full_stats = read_wal(path)
+        tail_records, tail_stats = read_wal_from(path, first.valid_bytes)
+        assert [r["n"] for r in full_records] == [1]
+        assert tail_records == []
+        assert tail_stats.corrupt_records == full_stats.corrupt_records == 1
+        assert tail_stats.valid_bytes == full_stats.valid_bytes
+
+    def test_cursor_past_end_raises(self, tmp_path):
+        from repro.store.wal import read_wal_from
+
+        path = wal_path(tmp_path)
+        with WriteAheadLog(path) as log:
+            log.append({"n": 1})
+        with pytest.raises(WalError):
+            read_wal_from(path, os.path.getsize(path) + 1)

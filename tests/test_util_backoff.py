@@ -1,0 +1,163 @@
+"""Unit tests for repro.util backoff schedules — fake clock, no sleeping."""
+
+import random
+
+import pytest
+
+from repro.util import BackoffPolicy, RetryExhausted, retry_with_backoff
+
+
+class FakeClock:
+    """A manually advanced monotonic clock; sleep() advances it."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+class TestBackoffPolicy:
+    def test_deterministic_schedule_doubles_and_caps(self):
+        policy = BackoffPolicy(base=0.1, multiplier=2.0, cap=1.0, jitter=False)
+        assert list(policy.delays(7)) == [
+            0.0, 0.1, 0.2, 0.4, 0.8, 1.0, 1.0
+        ]
+
+    def test_first_attempt_is_immediate(self):
+        assert BackoffPolicy(jitter=True).delay(0) == 0.0
+
+    def test_jitter_stays_within_the_exponential_envelope(self):
+        policy = BackoffPolicy(
+            base=0.1, multiplier=2.0, cap=1.0, rng=random.Random(7)
+        )
+        for attempt in range(1, 12):
+            bound = min(0.1 * 2.0 ** (attempt - 1), 1.0)
+            for _ in range(20):
+                assert 0.0 <= policy.delay(attempt) <= bound
+
+    def test_seeded_rng_reproduces(self):
+        a = BackoffPolicy(rng=random.Random(42))
+        b = BackoffPolicy(rng=random.Random(42))
+        assert [a.delay(i) for i in range(8)] == [
+            b.delay(i) for i in range(8)
+        ]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base=-1)
+        with pytest.raises(ValueError):
+            BackoffPolicy(multiplier=0.5)
+
+
+class TestRetryWithBackoff:
+    def test_succeeds_after_transient_failures(self):
+        clock = FakeClock()
+        calls = []
+
+        def flaky():
+            calls.append(clock.now)
+            if len(calls) < 4:
+                raise OSError("transient")
+            return "ok"
+
+        result = retry_with_backoff(
+            flaky,
+            policy=BackoffPolicy(base=0.1, multiplier=2.0, cap=10.0,
+                                 jitter=False),
+            sleep=clock.sleep,
+            clock=clock,
+        )
+        assert result == "ok"
+        # Slept the deterministic schedule between the four attempts.
+        assert clock.sleeps == [0.1, 0.2, 0.4]
+
+    def test_attempts_bound_raises_retry_exhausted(self):
+        clock = FakeClock()
+
+        def always_fails():
+            raise ValueError("nope")
+
+        with pytest.raises(RetryExhausted) as info:
+            retry_with_backoff(
+                always_fails,
+                policy=BackoffPolicy(jitter=False),
+                attempts=3,
+                sleep=clock.sleep,
+                clock=clock,
+            )
+        assert isinstance(info.value.last_error, ValueError)
+        assert len(clock.sleeps) == 2  # no sleep after the final attempt
+
+    def test_deadline_refuses_sleeps_that_would_overrun(self):
+        clock = FakeClock()
+
+        def always_fails():
+            raise OSError("down")
+
+        with pytest.raises(RetryExhausted):
+            retry_with_backoff(
+                always_fails,
+                policy=BackoffPolicy(base=1.0, multiplier=2.0, cap=60.0,
+                                     jitter=False),
+                deadline=4.0,
+                sleep=clock.sleep,
+                clock=clock,
+            )
+        # Schedule wants 1, 2, 4, ... — the 4s sleep would start at
+        # t=3 and overrun the 4s budget, so it is never started.
+        assert clock.sleeps == [1.0, 2.0]
+        assert clock.now <= 4.0
+
+    def test_deadline_zero_never_sleeps_but_tries_once(self):
+        clock = FakeClock()
+        attempts = []
+
+        def fails():
+            attempts.append(1)
+            raise OSError("down")
+
+        with pytest.raises(RetryExhausted):
+            retry_with_backoff(
+                fails,
+                policy=BackoffPolicy(base=1.0, jitter=False),
+                deadline=0.5,
+                sleep=clock.sleep,
+                clock=clock,
+            )
+        assert attempts == [1]  # the immediate attempt ran
+        assert clock.sleeps == []
+
+    def test_non_retryable_exception_propagates(self):
+        def raises_type_error():
+            raise TypeError("bug, not weather")
+
+        with pytest.raises(TypeError):
+            retry_with_backoff(
+                raises_type_error,
+                retry_on=(OSError,),
+                sleep=lambda s: None,
+            )
+
+    def test_should_stop_abandons_promptly(self):
+        clock = FakeClock()
+        state = {"calls": 0}
+
+        def fails():
+            state["calls"] += 1
+            raise OSError("down")
+
+        with pytest.raises(RetryExhausted):
+            retry_with_backoff(
+                fails,
+                policy=BackoffPolicy(base=0.1, jitter=False),
+                should_stop=lambda: state["calls"] >= 2,
+                sleep=clock.sleep,
+                clock=clock,
+            )
+        assert state["calls"] == 2
