@@ -30,6 +30,13 @@ refactor's two performance claims:
    ``REPRO_PAGE_BYTES_PER_QUAD`` (default 24; raw keys are 32) for
    both NG and SP stores, and the figures are merged into
    ``BENCH_results.json`` under ``"table9_pages"``.
+5. **The PGQL front-end is free** (``--pgql-parity``) — compiling the
+   Cypher-subset MATCH language onto the shared algebra must not cost
+   execution latency: per-query medians of the PGQL EQ4/EQ8
+   formulations stay within ``REPRO_PGQL_PARITY`` (default 1.2x) of
+   the hand-written SPARQL texts on the NG store.  Both sides hit the
+   same plan cache after warmup, so this measures the executor, not
+   the parser.  Figures are merged under ``"pgql_parity"``.
 
 Usage::
 
@@ -37,6 +44,7 @@ Usage::
     python benchmarks/pipeline_guard.py --limit-demo
     python benchmarks/pipeline_guard.py --scan-speedup
     python benchmarks/pipeline_guard.py --table9
+    python benchmarks/pipeline_guard.py --pgql-parity
 
 Knobs: ``REPRO_SCALE`` (ego networks, default 24),
 ``REPRO_PIPELINE_ROUNDS`` (timed rounds per query, default 9),
@@ -274,6 +282,71 @@ def _merge_results(key: str, entry: Dict) -> None:
     print(f"{key} results merged into {target}")
 
 
+#: KV-heavy queries where the compiled shape differs most from the
+#: hand-written text (EQ4 node KVs, EQ8 edge KVs behind GRAPH ?e).
+PGQL_PARITY_QUERIES: Tuple[str, ...] = ("EQ4", "EQ8")
+
+
+def check_pgql_parity() -> int:
+    from repro.pgql import pgql_experiment_queries
+
+    ctx = build_stores()
+    store = ctx.stores[MODEL]
+    engine = store.engine
+    sparql_suite = store.queries.experiment_queries(ctx.tag, ctx.hub_iri)
+    pgql_suite = pgql_experiment_queries(ctx.tag, ctx.hub_id)
+    rounds = _rounds()
+    allowed = float(os.environ.get("REPRO_PGQL_PARITY", "1.2"))
+    print(f"pgql parity gate: {', '.join(PGQL_PARITY_QUERIES)}, median of "
+          f"{rounds} rounds, pgql/sparql must stay under {allowed:.2f}x")
+    entry: Dict[str, Dict[str, float]] = {}
+    failures: List[str] = []
+    for name in PGQL_PARITY_QUERIES:
+        sparql_text = sparql_suite[name]
+        pgql_text = pgql_suite[name]
+
+        def run_sparql(text=sparql_text):
+            return engine.select(text)
+
+        def run_pgql(text=pgql_text):
+            return engine.pgql(text)
+
+        rows = len(run_sparql().rows)
+        if len(run_pgql().rows) != rows:
+            print(f"  {name:6s} PGQL/SPARQL row counts differ — parity "
+                  "timing would be meaningless")
+            failures.append(f"{name} (rows differ)")
+            continue
+        sparql_s, pgql_s = _interleaved_medians(run_sparql, run_pgql, rounds)
+        ratio = pgql_s / sparql_s if sparql_s else 1.0
+        if ratio > allowed:
+            # Reproduce before failing: interleaving cancels drift but
+            # not a one-off scheduler burst.
+            sparql_s, pgql_s = _interleaved_medians(
+                run_sparql, run_pgql, rounds * 2
+            )
+            ratio = pgql_s / sparql_s if sparql_s else 1.0
+        verdict = "ok" if ratio <= allowed else "REGRESSED"
+        print(f"  {name:6s} sparql={sparql_s * 1e3:8.3f}ms "
+              f"pgql={pgql_s * 1e3:8.3f}ms ratio={ratio:5.2f} {verdict}")
+        entry[name] = {
+            "sparql_ms": round(sparql_s * 1e3, 4),
+            "pgql_ms": round(pgql_s * 1e3, 4),
+            "ratio": round(ratio, 3),
+            "rows": rows,
+        }
+        if ratio > allowed:
+            failures.append(f"{name} ({ratio:.2f}x)")
+    entry["allowed"] = allowed
+    _merge_results("pgql_parity", entry)
+    if failures:
+        print(f"FAIL: compiled PGQL exceeded {allowed:.2f}x SPARQL latency "
+              f"on: {', '.join(failures)}")
+        return 1
+    print("PASS: the PGQL front-end matches hand-written SPARQL latency")
+    return 0
+
+
 def check_limit_demo() -> int:
     ctx = build_stores()
     store = ctx.stores[MODEL]
@@ -317,6 +390,12 @@ def main(argv=None) -> int:
         help="check packed page bytes-per-quad and record the Table 9 "
         "page figures in BENCH_results.json",
     )
+    parser.add_argument(
+        "--pgql-parity",
+        action="store_true",
+        help="check compiled-PGQL vs hand-written-SPARQL latency parity "
+        "on the KV-heavy EQ4/EQ8 queries",
+    )
     args = parser.parse_args(argv)
     if args.limit_demo:
         return check_limit_demo()
@@ -324,6 +403,8 @@ def main(argv=None) -> int:
         return check_scan_speedup()
     if args.table9:
         return check_table9_pages()
+    if args.pgql_parity:
+        return check_pgql_parity()
     return check_regressions()
 
 

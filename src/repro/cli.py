@@ -145,6 +145,26 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_pgql(args) -> int:
+    engine = _build_engine(args.data, pgql_encoding=args.encoding)
+    query = _read_query(args)
+    if args.explain:
+        for line in engine.explain_pgql_plan(query):
+            print(line)
+        return 0
+    result = engine.pgql(query)
+    if args.format == "json":
+        print(to_json(result, indent=2))
+    elif args.format == "csv":
+        sys.stdout.write(to_csv(result))
+    else:
+        print("\t".join(result.variables))
+        for row in result.rows:
+            print("\t".join("" if t is None else t.n3() for t in row))
+        print(f"({len(result)} rows)", file=sys.stderr)
+    return 0
+
+
 def _cmd_explain(args) -> int:
     engine = _build_engine(args.data)
     query = _read_query(args)
@@ -230,6 +250,7 @@ def _cmd_serve(args) -> int:
         args.data,
         collect_stats=args.metrics,
         slow_query_seconds=args.slow_query_seconds,
+        pgql_encoding=args.pgql_encoding,
     )
     if args.metrics:
         from repro.obs import metrics as obs_metrics
@@ -419,6 +440,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the access plan instead of running")
     query.set_defaults(func=_cmd_query)
 
+    pgql = sub.add_parser(
+        "pgql",
+        help="run a PGQL/Cypher-subset MATCH query over N-Quads "
+        "(compiled per Table 3; see docs/PGQL.md)",
+    )
+    pgql.add_argument("data", help="input .nq file")
+    pgql.add_argument("--query", "-q", help="PGQL text")
+    pgql.add_argument("--query-file", "-f", help="PGQL file")
+    pgql.add_argument(
+        "--encoding", default="NG", choices=["RF", "NG", "SP"],
+        help="PG-as-RDF encoding the data was transformed under",
+    )
+    pgql.add_argument(
+        "--format", choices=["table", "json", "csv"], default="table"
+    )
+    pgql.add_argument(
+        "--explain", action="store_true",
+        help="print the compiled logical/optimized/physical plans "
+        "instead of running",
+    )
+    pgql.set_defaults(func=_cmd_pgql)
+
     explain = sub.add_parser(
         "explain",
         help="show the logical/physical plan trees and the access plan "
@@ -468,6 +511,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=3030)
     serve.add_argument("--allow-updates", action="store_true")
+    serve.add_argument(
+        "--pgql-encoding", default="NG", choices=["RF", "NG", "SP"],
+        help="encoding the POST /pgql endpoint compiles against",
+    )
     serve.add_argument(
         "--metrics",
         action="store_true",
@@ -589,7 +636,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command in ("query", "explain") and not (
+    if args.command in ("query", "explain", "pgql") and not (
         args.query or args.query_file
     ):
         parser.error(f"{args.command} needs --query or --query-file")

@@ -82,6 +82,8 @@ class PropertyGraphRdfStore:
             prefixes=self.vocabulary.prefixes(),
             default_model=default_model,
             default_graph_semantics=default_graph_semantics,
+            pgql_encoding=self.model,
+            pgql_vocabulary=self.vocabulary,
         )
         self.queries = PgQueryBuilder(self.model, self.vocabulary)
         self._loaded_graphs: List[str] = []
@@ -118,6 +120,16 @@ class PropertyGraphRdfStore:
 
     def ask(self, query: str, model: Optional[str] = None) -> bool:
         return self.engine.ask(query, model=model)
+
+    def pgql(self, query: str, model: Optional[str] = None) -> SelectResult:
+        """Run a PGQL/Cypher-subset MATCH query against this store's
+        encoding (see ``docs/PGQL.md``)."""
+        return self.engine.pgql(query, model=model)
+
+    def explain_pgql(
+        self, query: str, model: Optional[str] = None, format: str = "text"
+    ):
+        return self.engine.explain_pgql_plan(query, model=model, format=format)
 
     def update(self, update_text: str, model: Optional[str] = None) -> Dict[str, int]:
         if self.partitioned and model is None:

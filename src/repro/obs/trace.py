@@ -76,7 +76,13 @@ OPERATOR_SPAN_NAMES = (
 #: ``version``), the ``plan`` span wraps the plan-cache
 #: fetch-or-compile (attribute ``cached``), ``execute`` wraps the
 #: physical run.
-PIPELINE_SPAN_NAMES = ("query", "snapshot.pin", "parse", "plan", "execute")
+#: PGQL requests replace ``parse`` with ``pgql.parse`` (the MATCH
+#: parser) and ``pgql.compile`` (the Table 3 lowering, attribute
+#: ``encoding``); the rest of the pipeline is shared.
+PIPELINE_SPAN_NAMES = (
+    "query", "snapshot.pin", "parse", "pgql.parse", "pgql.compile",
+    "plan", "execute",
+)
 
 #: Adopted (externally supplied) trace ids must look like ids, not like
 #: log-injection payloads: hex/uuid-ish, bounded length.

@@ -1,0 +1,26 @@
+"""PGQL/Cypher-subset front-end compiled onto the shared SPARQL algebra.
+
+The paper's Table 3 formulation rules, made executable: a MATCH query
+is parsed (:func:`parse`), lowered by an encoding-specific compiler
+(:func:`compiler_for`) into the same :mod:`repro.sparql.ast` trees the
+SPARQL parser produces, and then runs through the untouched optimizer /
+plan cache / physical pipeline.  See ``docs/PGQL.md``.
+"""
+
+from repro.pgql.ast import MatchQuery
+from repro.pgql.compile import PgqlCompiler, compiler_for
+from repro.pgql.errors import PgqlError, PgqlSyntaxError
+from repro.pgql.parser import parse
+from repro.pgql.suite import pgql_experiment_queries
+from repro.pgql.unparse import unparse
+
+__all__ = [
+    "MatchQuery",
+    "PgqlCompiler",
+    "PgqlError",
+    "PgqlSyntaxError",
+    "compiler_for",
+    "parse",
+    "pgql_experiment_queries",
+    "unparse",
+]

@@ -1,0 +1,188 @@
+"""AST for the PGQL/Cypher subset.
+
+Frozen dataclasses, mirroring the style of :mod:`repro.sparql.ast`.
+The tree is a faithful record of the query text — label sugar
+(``(a:Person)`` as a shorthand for ``{label: 'Person'}``) and implicit
+aggregation grouping are resolved later, by the compilers, so that
+``parse(unparse(parse(q))) == parse(q)`` holds structurally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+#: Property values are plain Python scalars, converted to RDF literals
+#: by :meth:`repro.core.vocabulary.PgVocabulary.value_literal`.
+Scalar = Union[str, int, float, bool]
+
+
+# ---------------------------------------------------------------------------
+# MATCH patterns
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NodePattern:
+    """``(var:Label {key: value, ...})`` — every part optional."""
+
+    var: Optional[str] = None
+    label: Optional[str] = None
+    properties: Tuple[Tuple[str, Scalar], ...] = ()
+
+
+@dataclass(frozen=True)
+class EdgePattern:
+    """``-[var:TYPE|TYPE2 {key: value}]->`` or the ``<-[...]-`` mirror.
+
+    ``direction`` is ``"out"`` for ``-[]->`` (left node is the source)
+    and ``"in"`` for ``<-[]-`` (right node is the source).
+    """
+
+    var: Optional[str] = None
+    labels: Tuple[str, ...] = ()
+    properties: Tuple[Tuple[str, Scalar], ...] = ()
+    direction: str = "out"
+
+
+@dataclass(frozen=True)
+class PathPattern:
+    """A linear chain ``(n0)-[e0]->(n1)-[e1]->(n2)...``; always
+    ``len(nodes) == len(edges) + 1``."""
+
+    nodes: Tuple[NodePattern, ...]
+    edges: Tuple[EdgePattern, ...] = ()
+
+
+# ---------------------------------------------------------------------------
+# Expressions (WHERE / RETURN / WITH / GROUP BY / ORDER BY)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VarRef:
+    """A bare pattern variable: a node or edge IRI."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class PropRef:
+    """``var.key`` — a property value of a node or edge."""
+
+    var: str
+    key: str
+
+
+@dataclass(frozen=True)
+class IdRef:
+    """``id(var)`` — the numeric vertex/edge identity."""
+
+    var: str
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: Scalar
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left op right`` with op in ``= != < <= > >=`` (``<>`` is
+    normalised to ``!=`` by the parser)."""
+
+    op: str
+    left: "PgExpression"
+    right: "PgExpression"
+
+
+@dataclass(frozen=True)
+class AndExpr:
+    operands: Tuple["PgExpression", ...]
+
+
+@dataclass(frozen=True)
+class OrExpr:
+    operands: Tuple["PgExpression", ...]
+
+
+@dataclass(frozen=True)
+class NotExpr:
+    operand: "PgExpression"
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    """``COUNT(*) | COUNT(expr) | SUM/AVG/MIN/MAX(expr)`` with optional
+    DISTINCT.  ``argument`` is None for ``COUNT(*)``."""
+
+    name: str
+    argument: Optional["PgExpression"] = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class PropertiesCall:
+    """``properties(var)`` — RETURN-only; expands to a (key, value)
+    column pair per stored property of the bound node/edge."""
+
+    var: str
+
+
+PgExpression = Union[
+    VarRef,
+    PropRef,
+    IdRef,
+    Literal,
+    Comparison,
+    AndExpr,
+    OrExpr,
+    NotExpr,
+    AggregateCall,
+    PropertiesCall,
+]
+
+
+# ---------------------------------------------------------------------------
+# Projection clauses
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReturnItem:
+    expression: PgExpression
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expression: PgExpression
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Clause:
+    """One ``WITH ...`` or the final ``RETURN ...`` clause, with its
+    trailing modifiers."""
+
+    kind: str  # "with" | "return"
+    items: Tuple[ReturnItem, ...]
+    distinct: bool = False
+    group_by: Tuple[PgExpression, ...] = ()
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class MatchQuery:
+    """``MATCH p1, p2 [WHERE e] [WITH ...]* RETURN ...`` — the last
+    clause always has kind ``"return"``."""
+
+    patterns: Tuple[PathPattern, ...]
+    where: Optional[PgExpression] = None
+    clauses: Tuple[Clause, ...] = field(default=())
+
+    @property
+    def return_clause(self) -> Clause:
+        return self.clauses[-1]

@@ -1,0 +1,81 @@
+"""NG (named-graph) compiler: rule 2 via ``GRAPH ?e { ... }``.
+
+Under NG an edge is one quad ``(s, r:label, o)`` whose named graph is
+the edge IRI, and edge KVs are clustered into the same named graph as
+``(e, k:key, v, e)`` — so binding an edge variable means wrapping the
+pattern in a GRAPH clause, exactly like the paper's EQ5a/EQ8a.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.pgql.compile import PgqlCompiler, _State, _is_iri, _is_literal
+from repro.sparql import ast as S
+
+
+class NgCompiler(PgqlCompiler):
+    encoding = "NG"
+
+    def _edge_binding(
+        self, state: _State, subject: str, obj: str, edge_var: str, label
+    ) -> List[object]:
+        if label is None:
+            predicate = state.fresh("p")
+            inner: tuple = (
+                S.TriplePattern(subject, predicate, obj),
+                # Inside GRAPH ?e the only non-topology quads are the
+                # clustered edge KVs, whose objects are literals.
+                _is_iri(obj),
+            )
+        else:
+            inner = (S.TriplePattern(subject, label, obj),)
+        return [S.GraphGraphPattern(edge_var, S.GroupPattern(inner))]
+
+    def _edge_kv(self, edge_var: str, key, value) -> List[object]:
+        return [
+            S.GraphGraphPattern(
+                edge_var,
+                S.GroupPattern((S.TriplePattern(edge_var, key, value),)),
+            )
+        ]
+
+    def _edge_properties(
+        self, var: str, key_var: str, value_var: str
+    ) -> List[object]:
+        return [
+            S.GraphGraphPattern(
+                var,
+                S.GroupPattern(
+                    (
+                        S.TriplePattern(var, key_var, value_var),
+                        _is_literal(value_var),
+                    )
+                ),
+            )
+        ]
+
+    def finalize_elements(self, elements: List[object]) -> List[object]:
+        """Merge GRAPH clauses over the same edge variable into one, so
+        a bound edge compiles to a single ``GRAPH ?e { ... }`` group
+        (the paper's formulation) instead of one group per constraint."""
+        merged: dict = {}
+        out: List[object] = []
+        for element in elements:
+            if isinstance(element, S.GraphGraphPattern) and isinstance(
+                element.graph, str
+            ):
+                inner = merged.get(element.graph)
+                if inner is not None:
+                    inner.extend(element.group.elements)
+                    continue
+                merged[element.graph] = inner = list(element.group.elements)
+                out.append((element.graph, inner))
+                continue
+            out.append(element)
+        return [
+            S.GraphGraphPattern(item[0], S.GroupPattern(tuple(item[1])))
+            if isinstance(item, tuple)
+            else item
+            for item in out
+        ]

@@ -1,0 +1,29 @@
+"""RF (reification) compiler: rule 2 via ``rdf:subject/predicate/object``.
+
+Under RF every edge is reified: ``(e, rdf:subject, s)``,
+``(e, rdf:predicate, r:label)``, ``(e, rdf:object, o)`` alongside the
+explicit ``(s, r:label, o)`` triple; edge KVs are plain
+``(e, k:key, v)`` triples.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.pgql.compile import PgqlCompiler, _State
+from repro.rdf.namespace import RDF
+from repro.sparql import ast as S
+
+
+class RfCompiler(PgqlCompiler):
+    encoding = "RF"
+
+    def _edge_binding(
+        self, state: _State, subject: str, obj: str, edge_var: str, label
+    ) -> List[object]:
+        target = label if label is not None else state.fresh("p")
+        return [
+            S.TriplePattern(edge_var, RDF.subject, subject),
+            S.TriplePattern(edge_var, RDF.predicate, target),
+            S.TriplePattern(edge_var, RDF.object, obj),
+        ]

@@ -1,0 +1,27 @@
+"""SP (sub-property) compiler: rule 2 via ``rdfs:subPropertyOf``.
+
+Under SP every edge gets a unique RDF property: ``(s, e, o)`` plus
+``(e, rdfs:subPropertyOf, r:label)``, with edge KVs as plain
+``(e, k:key, v)`` triples — the paper's EQ5b/EQ8b formulations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.pgql.compile import PgqlCompiler, _State
+from repro.rdf.namespace import RDFS
+from repro.sparql import ast as S
+
+
+class SpCompiler(PgqlCompiler):
+    encoding = "SP"
+
+    def _edge_binding(
+        self, state: _State, subject: str, obj: str, edge_var: str, label
+    ) -> List[object]:
+        target = label if label is not None else state.fresh("p")
+        return [
+            S.TriplePattern(subject, edge_var, obj),
+            S.TriplePattern(edge_var, RDFS.subPropertyOf, target),
+        ]

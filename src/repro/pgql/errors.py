@@ -1,0 +1,29 @@
+"""Errors raised by the PGQL front-end.
+
+Both error types subclass :class:`repro.sparql.errors.SparqlError` so
+every existing ``except SparqlError`` site — most importantly the HTTP
+server's 400 handler — covers PGQL queries without modification.
+"""
+
+from __future__ import annotations
+
+from repro.sparql.errors import SparqlError
+
+
+class PgqlError(SparqlError):
+    """Base class for PGQL front-end errors."""
+
+
+class PgqlSyntaxError(PgqlError):
+    """A malformed PGQL query, with source position when known.
+
+    Mirrors :class:`repro.sparql.errors.ParseError`: ``line`` and
+    ``column`` are 1-based; zero means "position unknown" (e.g. a
+    semantic error detected during compilation).
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column

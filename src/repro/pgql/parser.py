@@ -1,0 +1,418 @@
+"""Recursive-descent parser for the PGQL/Cypher subset.
+
+Grammar (EBNF; keywords are case-insensitive, ``//`` starts a line
+comment):
+
+.. code-block:: text
+
+    query       = "MATCH" path { "," path } [ "WHERE" orExpr ]
+                  { withClause } returnClause ;
+    path        = node { edge node } ;
+    node        = "(" [ name ] [ ":" label ] [ props ] ")" ;
+    edge        = "-" "[" edgeBody "]" "->"          (* left-to-right *)
+                | "<-" "[" edgeBody "]" "-" ;        (* right-to-left *)
+    edgeBody    = [ name ] [ ":" label { "|" label } ] [ props ] ;
+    props       = "{" key ":" literal { "," key ":" literal } "}" ;
+    literal     = STRING | [ "-" ] (INTEGER | DECIMAL) | "TRUE" | "FALSE" ;
+    orExpr      = andExpr { "OR" andExpr } ;
+    andExpr     = notExpr { "AND" notExpr } ;
+    notExpr     = "NOT" notExpr | comparison ;
+    comparison  = value [ ("=" | "!=" | "<>" | "<" | "<=" | ">" | ">=") value ] ;
+    value       = "(" orExpr ")" | literal | "id" "(" name ")"
+                | name [ "." key ] ;
+    withClause  = "WITH" [ "DISTINCT" ] items modifiers ;
+    returnClause= "RETURN" [ "DISTINCT" ] items modifiers ;
+    items       = item { "," item } ;
+    item        = itemExpr [ "AS" name ] ;
+    itemExpr    = aggregate | "properties" "(" name ")" | value ;
+    aggregate   = ("COUNT"|"SUM"|"AVG"|"MIN"|"MAX")
+                  "(" [ "DISTINCT" ] ( "*" | value ) ")" ;
+    modifiers   = [ "GROUP" "BY" value { "," value } ]
+                  [ "ORDER" "BY" orderItem { "," orderItem } ]
+                  { ("SKIP" | "OFFSET" | "LIMIT") INTEGER } ;
+    orderItem   = itemExpr [ "ASC" | "DESC" ] ;
+
+``name``, ``label`` and ``key`` are identifiers; reserved keywords may
+not be used as variable names or aliases, and identifiers starting
+with ``_`` are rejected by the tokenizer (that namespace belongs to
+compiler-generated variables).  Every syntax error raises
+:class:`~repro.pgql.errors.PgqlSyntaxError` carrying the offending
+line and column.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.pgql import ast as P
+from repro.pgql.errors import PgqlSyntaxError
+from repro.pgql.tokens import (
+    DECIMAL,
+    EOF,
+    IDENT,
+    INTEGER,
+    KEYWORDS,
+    PUNCT,
+    STRING,
+    Token,
+    tokenize,
+)
+
+_AGGREGATES = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+_COMPARISONS = ("=", "!=", "<>", "<", "<=", ">", ">=")
+
+
+def parse(text: str) -> P.MatchQuery:
+    """Parse a PGQL query; raises :class:`PgqlSyntaxError` on bad input."""
+    if not isinstance(text, str):
+        raise PgqlSyntaxError("query text must be a string")
+    return _Parser(tokenize(text)).parse_query()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        index = min(self.position + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.kind != EOF:
+            self.position += 1
+        return token
+
+    def error(self, message: str, token: Optional[Token] = None) -> PgqlSyntaxError:
+        token = token if token is not None else self.peek()
+        return PgqlSyntaxError(message, token.line, token.column)
+
+    def at_punct(self, lexeme: str) -> bool:
+        token = self.peek()
+        return token.kind == PUNCT and token.value == lexeme
+
+    def take_punct(self, lexeme: str) -> bool:
+        if self.at_punct(lexeme):
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, lexeme: str) -> Token:
+        if not self.at_punct(lexeme):
+            found = self.peek()
+            shown = found.value if found.kind != EOF else "end of input"
+            raise self.error(f"expected {lexeme!r}, found {shown!r}")
+        return self.advance()
+
+    def at_keyword(self, *words: str) -> bool:
+        token = self.peek()
+        return token.kind == IDENT and token.keyword() in words
+
+    def take_keyword(self, word: str) -> bool:
+        if self.at_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.at_keyword(word):
+            found = self.peek()
+            shown = found.value if found.kind != EOF else "end of input"
+            raise self.error(f"expected {word}, found {shown!r}")
+        return self.advance()
+
+    def expect_name(self, what: str) -> str:
+        token = self.peek()
+        if token.kind != IDENT:
+            shown = token.value if token.kind != EOF else "end of input"
+            raise self.error(f"expected {what}, found {shown!r}")
+        if token.keyword() in KEYWORDS:
+            raise self.error(
+                f"reserved keyword {token.value!r} cannot be used as {what}"
+            )
+        self.advance()
+        return token.value
+
+    def expect_identifier(self, what: str) -> str:
+        """Like :meth:`expect_name` but keywords are allowed (labels,
+        property keys)."""
+        token = self.peek()
+        if token.kind != IDENT:
+            shown = token.value if token.kind != EOF else "end of input"
+            raise self.error(f"expected {what}, found {shown!r}")
+        self.advance()
+        return token.value
+
+    # -- query ----------------------------------------------------------
+
+    def parse_query(self) -> P.MatchQuery:
+        self.expect_keyword("MATCH")
+        patterns = [self.parse_path()]
+        while self.take_punct(","):
+            patterns.append(self.parse_path())
+        where = None
+        if self.take_keyword("WHERE"):
+            where = self.parse_or_expr()
+        clauses: List[P.Clause] = []
+        while self.at_keyword("WITH"):
+            self.advance()
+            clauses.append(self.parse_clause("with"))
+        self.expect_keyword("RETURN")
+        clauses.append(self.parse_clause("return"))
+        token = self.peek()
+        if token.kind != EOF:
+            raise self.error(f"unexpected trailing input {token.value!r}")
+        return P.MatchQuery(
+            patterns=tuple(patterns), where=where, clauses=tuple(clauses)
+        )
+
+    # -- MATCH patterns -------------------------------------------------
+
+    def parse_path(self) -> P.PathPattern:
+        nodes = [self.parse_node()]
+        edges: List[P.EdgePattern] = []
+        while self.at_punct("-") or self.at_punct("<-"):
+            edges.append(self.parse_edge())
+            nodes.append(self.parse_node())
+        return P.PathPattern(nodes=tuple(nodes), edges=tuple(edges))
+
+    def parse_node(self) -> P.NodePattern:
+        self.expect_punct("(")
+        var = None
+        token = self.peek()
+        if token.kind == IDENT and token.keyword() not in KEYWORDS:
+            var = self.advance().value
+        label = None
+        if self.take_punct(":"):
+            label = self.expect_identifier("node label")
+        properties = self.parse_props() if self.at_punct("{") else ()
+        self.expect_punct(")")
+        return P.NodePattern(var=var, label=label, properties=properties)
+
+    def parse_edge(self) -> P.EdgePattern:
+        if self.take_punct("<-"):
+            direction = "in"
+        else:
+            self.expect_punct("-")
+            direction = "out"
+        self.expect_punct("[")
+        var = None
+        token = self.peek()
+        if token.kind == IDENT and token.keyword() not in KEYWORDS:
+            var = self.advance().value
+        labels: List[str] = []
+        if self.take_punct(":"):
+            labels.append(self.expect_identifier("edge label"))
+            while self.take_punct("|"):
+                labels.append(self.expect_identifier("edge label"))
+        properties = self.parse_props() if self.at_punct("{") else ()
+        self.expect_punct("]")
+        if direction == "out":
+            self.expect_punct("->")
+        else:
+            self.expect_punct("-")
+        return P.EdgePattern(
+            var=var,
+            labels=tuple(labels),
+            properties=properties,
+            direction=direction,
+        )
+
+    def parse_props(self) -> Tuple[Tuple[str, P.Scalar], ...]:
+        self.expect_punct("{")
+        pairs: List[Tuple[str, P.Scalar]] = []
+        while True:
+            key = self.expect_identifier("property key")
+            self.expect_punct(":")
+            pairs.append((key, self.parse_literal().value))
+            if not self.take_punct(","):
+                break
+        self.expect_punct("}")
+        return tuple(pairs)
+
+    def parse_literal(self) -> P.Literal:
+        token = self.peek()
+        if token.kind == STRING:
+            self.advance()
+            return P.Literal(token.value)
+        if token.kind == INTEGER:
+            self.advance()
+            return P.Literal(int(token.value))
+        if token.kind == DECIMAL:
+            self.advance()
+            return P.Literal(float(token.value))
+        if self.at_punct("-"):
+            self.advance()
+            number = self.peek()
+            if number.kind == INTEGER:
+                self.advance()
+                return P.Literal(-int(number.value))
+            if number.kind == DECIMAL:
+                self.advance()
+                return P.Literal(-float(number.value))
+            raise self.error("expected a number after '-'", number)
+        if self.at_keyword("TRUE"):
+            self.advance()
+            return P.Literal(True)
+        if self.at_keyword("FALSE"):
+            self.advance()
+            return P.Literal(False)
+        shown = token.value if token.kind != EOF else "end of input"
+        raise self.error(f"expected a literal, found {shown!r}")
+
+    # -- WHERE expressions ----------------------------------------------
+
+    def parse_or_expr(self) -> P.PgExpression:
+        operands = [self.parse_and_expr()]
+        while self.take_keyword("OR"):
+            operands.append(self.parse_and_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return P.OrExpr(tuple(operands))
+
+    def parse_and_expr(self) -> P.PgExpression:
+        operands = [self.parse_not_expr()]
+        while self.take_keyword("AND"):
+            operands.append(self.parse_not_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return P.AndExpr(tuple(operands))
+
+    def parse_not_expr(self) -> P.PgExpression:
+        if self.take_keyword("NOT"):
+            return P.NotExpr(self.parse_not_expr())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> P.PgExpression:
+        left = self.parse_value()
+        token = self.peek()
+        if token.kind == PUNCT and token.value in _COMPARISONS:
+            self.advance()
+            op = "!=" if token.value == "<>" else token.value
+            right = self.parse_value()
+            return P.Comparison(op, left, right)
+        return left
+
+    def parse_value(self) -> P.PgExpression:
+        if self.take_punct("("):
+            inner = self.parse_or_expr()
+            self.expect_punct(")")
+            return inner
+        token = self.peek()
+        if token.kind in (STRING, INTEGER, DECIMAL) or self.at_punct("-"):
+            return self.parse_literal()
+        if self.at_keyword("TRUE", "FALSE"):
+            return self.parse_literal()
+        if token.kind == IDENT:
+            if token.value.lower() == "id" and self.peek(1).value == "(":
+                self.advance()
+                self.expect_punct("(")
+                name = self.expect_name("a variable name")
+                self.expect_punct(")")
+                return P.IdRef(name)
+            name = self.expect_name("a variable name")
+            if self.take_punct("."):
+                key = self.expect_identifier("property key")
+                return P.PropRef(name, key)
+            return P.VarRef(name)
+        shown = token.value if token.kind != EOF else "end of input"
+        raise self.error(f"expected an expression, found {shown!r}")
+
+    # -- WITH / RETURN clauses ------------------------------------------
+
+    def parse_clause(self, kind: str) -> P.Clause:
+        distinct = self.take_keyword("DISTINCT")
+        items = [self.parse_item()]
+        while self.take_punct(","):
+            items.append(self.parse_item())
+        group_by: Tuple[P.PgExpression, ...] = ()
+        if self.at_keyword("GROUP"):
+            self.advance()
+            self.expect_keyword("BY")
+            keys = [self.parse_value()]
+            while self.take_punct(","):
+                keys.append(self.parse_value())
+            group_by = tuple(keys)
+        order_by: Tuple[P.OrderItem, ...] = ()
+        if self.at_keyword("ORDER"):
+            self.advance()
+            self.expect_keyword("BY")
+            orders = [self.parse_order_item()]
+            while self.take_punct(","):
+                orders.append(self.parse_order_item())
+            order_by = tuple(orders)
+        limit = None
+        offset = None
+        while self.at_keyword("LIMIT", "SKIP", "OFFSET"):
+            token = self.peek()
+            word = self.advance().keyword()
+            count = self.peek()
+            if count.kind != INTEGER:
+                raise self.error(f"expected an integer after {word}")
+            self.advance()
+            if word == "LIMIT":
+                if limit is not None:
+                    raise self.error("duplicate LIMIT clause", token)
+                limit = int(count.value)
+            else:
+                if offset is not None:
+                    raise self.error(f"duplicate {word} clause", token)
+                offset = int(count.value)
+        return P.Clause(
+            kind=kind,
+            items=tuple(items),
+            distinct=distinct,
+            group_by=group_by,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+        )
+
+    def parse_item(self) -> P.ReturnItem:
+        expression = self.parse_item_expr()
+        alias = None
+        if self.take_keyword("AS"):
+            alias = self.expect_name("an alias")
+        return P.ReturnItem(expression=expression, alias=alias)
+
+    def parse_item_expr(self) -> P.PgExpression:
+        token = self.peek()
+        if (
+            token.kind == IDENT
+            and token.keyword() in _AGGREGATES
+            and self.peek(1).value == "("
+        ):
+            name = self.advance().keyword()
+            self.expect_punct("(")
+            distinct = self.take_keyword("DISTINCT")
+            if self.take_punct("*"):
+                if name != "COUNT":
+                    raise self.error(f"{name}(*) is not valid; only COUNT(*)")
+                argument = None
+            else:
+                argument = self.parse_value()
+            self.expect_punct(")")
+            return P.AggregateCall(name, argument, distinct)
+        if (
+            token.kind == IDENT
+            and token.value.lower() == "properties"
+            and self.peek(1).value == "("
+        ):
+            self.advance()
+            self.expect_punct("(")
+            name = self.expect_name("a variable name")
+            self.expect_punct(")")
+            return P.PropertiesCall(name)
+        return self.parse_value()
+
+    def parse_order_item(self) -> P.OrderItem:
+        expression = self.parse_item_expr()
+        descending = False
+        if self.take_keyword("DESC"):
+            descending = True
+        elif self.take_keyword("ASC"):
+            descending = False
+        return P.OrderItem(expression=expression, descending=descending)

@@ -1,0 +1,163 @@
+"""Tokenizer for the PGQL/Cypher subset.
+
+Hand-rolled single-pass scanner in the same style as
+:mod:`repro.sparql.tokens`: every token carries its 1-based line and
+column so parse errors can point at the offending character.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.pgql.errors import PgqlSyntaxError
+
+# Token kinds.
+IDENT = "IDENT"  # bare identifier or keyword (case-insensitive keywords)
+STRING = "STRING"  # quoted string literal
+INTEGER = "INTEGER"
+DECIMAL = "DECIMAL"
+PUNCT = "PUNCT"  # punctuation / operators, value is the lexeme
+EOF = "EOF"
+
+#: Keywords recognised case-insensitively; the token keeps kind IDENT
+#: but the parser compares ``token.value.upper()`` against these.
+KEYWORDS = frozenset(
+    {
+        "MATCH", "WHERE", "RETURN", "WITH", "AS", "DISTINCT",
+        "GROUP", "ORDER", "BY", "ASC", "DESC", "LIMIT", "OFFSET", "SKIP",
+        "AND", "OR", "NOT", "TRUE", "FALSE",
+        "COUNT", "SUM", "AVG", "MIN", "MAX",
+    }
+)
+
+#: Multi-character operators, longest first so the scanner is greedy.
+_TWO_CHAR = ("->", "<-", "<=", ">=", "<>", "!=")
+_ONE_CHAR = set("()[]{}:,.|=<>-*")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def keyword(self) -> str:
+        """The upper-cased value, for keyword comparisons."""
+        return self.value.upper()
+
+
+def tokenize(text: str) -> List[Token]:
+    return list(_tokenize(text))
+
+
+def _tokenize(text: str) -> Iterator[Token]:
+    position = 0
+    line = 1
+    column = 1
+    length = len(text)
+    while position < length:
+        ch = text[position]
+        if ch in " \t\r":
+            position += 1
+            column += 1
+            continue
+        if ch == "\n":
+            position += 1
+            line += 1
+            column = 1
+            continue
+        if ch == "/" and text.startswith("//", position):
+            # Line comment, Cypher style.
+            while position < length and text[position] != "\n":
+                position += 1
+            continue
+        start_line, start_column = line, column
+        if ch.isalpha():
+            end = position + 1
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            yield Token(IDENT, text[position:end], start_line, start_column)
+            column += end - position
+            position = end
+            continue
+        if ch == "_":
+            raise PgqlSyntaxError(
+                "identifiers starting with '_' are reserved for the compiler",
+                start_line,
+                start_column,
+            )
+        if ch.isdigit():
+            end, kind = _scan_number(text, position)
+            yield Token(kind, text[position:end], start_line, start_column)
+            column += end - position
+            position = end
+            continue
+        if ch in "'\"":
+            value, end = _scan_string(text, position, start_line, start_column)
+            yield Token(STRING, value, start_line, start_column)
+            # Strings cannot span lines (enforced by _scan_string).
+            column += end - position
+            position = end
+            continue
+        two = text[position : position + 2]
+        if two in _TWO_CHAR:
+            yield Token(PUNCT, two, start_line, start_column)
+            position += 2
+            column += 2
+            continue
+        if ch in _ONE_CHAR:
+            yield Token(PUNCT, ch, start_line, start_column)
+            position += 1
+            column += 1
+            continue
+        raise PgqlSyntaxError(
+            f"unexpected character {ch!r}", start_line, start_column
+        )
+    yield Token(EOF, "", line, column)
+
+
+def _scan_number(text: str, position: int) -> Tuple[int, str]:
+    end = position
+    length = len(text)
+    while end < length and text[end].isdigit():
+        end += 1
+    if end < length and text[end] == "." and end + 1 < length and text[end + 1].isdigit():
+        end += 1
+        while end < length and text[end].isdigit():
+            end += 1
+        return end, DECIMAL
+    return end, INTEGER
+
+
+def _scan_string(
+    text: str, position: int, line: int, column: int
+) -> Tuple[str, int]:
+    quote = text[position]
+    end = position + 1
+    parts: List[str] = []
+    length = len(text)
+    while end < length:
+        ch = text[end]
+        if ch == quote:
+            return "".join(parts), end + 1
+        if ch == "\n":
+            break
+        if ch == "\\":
+            if end + 1 >= length:
+                break
+            escape = text[end + 1]
+            mapped = {"n": "\n", "t": "\t", "\\": "\\", "'": "'", '"': '"'}.get(
+                escape
+            )
+            if mapped is None:
+                raise PgqlSyntaxError(
+                    f"unknown escape \\{escape}", line, column
+                )
+            parts.append(mapped)
+            end += 2
+            continue
+        parts.append(ch)
+        end += 1
+    raise PgqlSyntaxError("unterminated string literal", line, column)

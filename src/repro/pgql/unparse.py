@@ -1,0 +1,135 @@
+"""Render a PGQL AST back to canonical query text.
+
+``parse(unparse(parse(q)))`` is a fixed point: the rendered text uses
+one canonical spelling (upper-case keywords, single-quoted strings,
+``!=`` over ``<>``) but preserves the tree exactly, which the
+Hypothesis suite asserts by dataclass equality.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.pgql import ast as P
+
+
+def unparse(query: P.MatchQuery) -> str:
+    parts = ["MATCH "]
+    parts.append(", ".join(_path(p) for p in query.patterns))
+    if query.where is not None:
+        parts.append(f" WHERE {_expr(query.where)}")
+    for clause in query.clauses:
+        parts.append(" " + _clause(clause))
+    return "".join(parts)
+
+
+def _path(path: P.PathPattern) -> str:
+    out = [_node(path.nodes[0])]
+    for edge, node in zip(path.edges, path.nodes[1:]):
+        out.append(_edge(edge))
+        out.append(_node(node))
+    return "".join(out)
+
+
+def _node(node: P.NodePattern) -> str:
+    inner = node.var or ""
+    if node.label is not None:
+        inner += f":{node.label}"
+    if node.properties:
+        space = " " if inner else ""
+        inner += space + _props(node.properties)
+    return f"({inner})"
+
+
+def _edge(edge: P.EdgePattern) -> str:
+    inner = edge.var or ""
+    if edge.labels:
+        inner += ":" + "|".join(edge.labels)
+    if edge.properties:
+        space = " " if inner else ""
+        inner += space + _props(edge.properties)
+    if edge.direction == "in":
+        return f"<-[{inner}]-"
+    return f"-[{inner}]->"
+
+
+def _props(pairs) -> str:
+    rendered = ", ".join(f"{key}: {_scalar(value)}" for key, value in pairs)
+    return "{" + rendered + "}"
+
+
+def _scalar(value: P.Scalar) -> str:
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace("'", "\\'")
+        escaped = escaped.replace("\n", "\\n").replace("\t", "\\t")
+        return f"'{escaped}'"
+    return repr(value)
+
+
+def _expr(expression: P.PgExpression, parent: str = "") -> str:
+    """Render an expression; ``parent`` names the syntactic context so
+    the renderer re-inserts the parentheses the grammar needs.  "value"
+    means a position parsed by ``parse_value`` (comparison operands,
+    aggregate arguments, GROUP BY keys, RETURN items) where boolean
+    connectives and comparisons only arrive parenthesized."""
+    if isinstance(expression, P.VarRef):
+        return expression.name
+    if isinstance(expression, P.PropRef):
+        return f"{expression.var}.{expression.key}"
+    if isinstance(expression, P.IdRef):
+        return f"id({expression.var})"
+    if isinstance(expression, P.Literal):
+        return _scalar(expression.value)
+    if isinstance(expression, P.Comparison):
+        left = _expr(expression.left, "value")
+        right = _expr(expression.right, "value")
+        rendered = f"{left} {expression.op} {right}"
+        return f"({rendered})" if parent == "value" else rendered
+    if isinstance(expression, P.AndExpr):
+        rendered = " AND ".join(_expr(o, "and") for o in expression.operands)
+        return f"({rendered})" if parent in ("not", "value") else rendered
+    if isinstance(expression, P.OrExpr):
+        rendered = " OR ".join(_expr(o, "or") for o in expression.operands)
+        return f"({rendered})" if parent in ("and", "not", "value") else rendered
+    if isinstance(expression, P.NotExpr):
+        rendered = f"NOT ({_expr(expression.operand)})"
+        return f"({rendered})" if parent == "value" else rendered
+    if isinstance(expression, P.AggregateCall):
+        distinct = "DISTINCT " if expression.distinct else ""
+        if expression.argument is None:
+            return f"{expression.name}(*)"
+        argument = _expr(expression.argument, "value")
+        return f"{expression.name}({distinct}{argument})"
+    if isinstance(expression, P.PropertiesCall):
+        return f"properties({expression.var})"
+    raise TypeError(f"cannot unparse {type(expression).__name__}")
+
+
+def _clause(clause: P.Clause) -> str:
+    parts: List[str] = [clause.kind.upper()]
+    if clause.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(_item(i) for i in clause.items))
+    if clause.group_by:
+        keys = ", ".join(_expr(k, "value") for k in clause.group_by)
+        parts.append(f"GROUP BY {keys}")
+    if clause.order_by:
+        orders = ", ".join(
+            _expr(o.expression, "value") + (" DESC" if o.descending else "")
+            for o in clause.order_by
+        )
+        parts.append(f"ORDER BY {orders}")
+    if clause.offset is not None:
+        parts.append(f"SKIP {clause.offset}")
+    if clause.limit is not None:
+        parts.append(f"LIMIT {clause.limit}")
+    return " ".join(parts)
+
+
+def _item(item: P.ReturnItem) -> str:
+    rendered = _expr(item.expression, "value")
+    if item.alias is not None:
+        rendered += f" AS {item.alias}"
+    return rendered

@@ -2,7 +2,9 @@
 
 Serves a :class:`~repro.sparql.SparqlEngine` over HTTP following the
 SPARQL 1.1 Protocol's core: ``GET /sparql?query=...`` and
-``POST /sparql`` (form-encoded or ``application/sparql-query``), with
+``POST /sparql`` (form-encoded or ``application/sparql-query``) —
+mirrored by ``/pgql`` for the PGQL front-end (``application/pgql-query``
+bodies, same gating/timeout/staleness contract) — with
 JSON or CSV results by content negotiation.  Updates go to
 ``POST /update``.  This is the "publish transformed property graph data
 as linked data" delivery mechanism the paper motivates.
@@ -253,8 +255,9 @@ class RequestCounter:
 
 
 class SparqlRequestHandler(BaseHTTPRequestHandler):
-    """Handles /sparql (query) and /update (update) requests, plus the
-    observability endpoints /metrics, /healthz and /trace/<id>."""
+    """Handles /sparql (query), /pgql (PGQL front-end) and /update
+    (update) requests, plus the observability endpoints /metrics,
+    /healthz and /trace/<id>."""
 
     engine: SparqlEngine = None  # injected by make_server
     allow_updates: bool = False
@@ -383,9 +386,13 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
             if not query:
                 self._send_error(400, "missing query parameter")
                 return
-            self._gated(self._send_explain, query)
+            language = params.get("language", ["sparql"])[0]
+            if language == "pgql":
+                self._gated(self._send_explain_pgql, query)
+            else:
+                self._gated(self._send_explain, query)
             return
-        if parsed.path != "/sparql":
+        if parsed.path not in ("/sparql", "/pgql"):
             self._send_error(404, "not found")
             return
         params = parse_qs(parsed.query)
@@ -395,7 +402,10 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
             return
         if not self._parse_min_version(params):
             return
-        self._gated(self._run_query, query)
+        if parsed.path == "/pgql":
+            self._gated(self._run_pgql, query)
+        else:
+            self._gated(self._run_query, query)
 
     def _do_post(self) -> None:
         parsed = urlparse(self.path)
@@ -405,8 +415,16 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
             self._send_error(exc.status, exc.message)
             return
         content_type = self.headers.get("Content-Type", "")
-        if parsed.path == "/sparql":
-            if content_type.startswith("application/sparql-query"):
+        if parsed.path in ("/sparql", "/pgql"):
+            # /pgql mirrors /sparql's protocol exactly (same gating,
+            # timeout, min-version staleness contract); the dedicated
+            # body content type is application/pgql-query.
+            direct = (
+                "application/pgql-query"
+                if parsed.path == "/pgql"
+                else "application/sparql-query"
+            )
+            if content_type.startswith(direct):
                 query = body
             else:
                 query = parse_qs(body).get("query", [None])[0]
@@ -415,7 +433,10 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
                 return
             if not self._parse_min_version(parse_qs(parsed.query)):
                 return
-            self._gated(self._run_query, query)
+            if parsed.path == "/pgql":
+                self._gated(self._run_pgql, query)
+            else:
+                self._gated(self._run_query, query)
         elif parsed.path == "/update":
             if not self.allow_updates:
                 self._send_error(403, "updates are disabled")
@@ -588,6 +609,27 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
             )
             self._send(200, "application/n-triples", text)
 
+    def _run_pgql(self, query: str) -> None:
+        """/pgql: identical contract to /sparql, PGQL front-end."""
+        if not self._await_min_version():
+            return
+        try:
+            result = self.engine.pgql(query, timeout=self.query_timeout)
+        except QueryTimeout as exc:
+            self._send_timeout(exc)
+            return
+        except SparqlError as exc:
+            # PgqlSyntaxError subclasses SparqlError: malformed MATCH
+            # input answers 400 with a JSON payload, never a traceback.
+            self._send_error(400, str(exc))
+            return
+        accept = self.headers.get("Accept", "")
+        if "text/csv" in accept:
+            self._send(200, "text/csv", to_csv(result))
+        else:
+            self._send(200, "application/sparql-results+json",
+                       to_json(result, include_stats=True))
+
     def _run_update(self, update: str) -> None:
         try:
             counts = self.engine.update(update, timeout=self.query_timeout)
@@ -607,6 +649,14 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
         """Compile (but do not run) a query; return the plan trees."""
         try:
             document = self.engine.explain_plan(query, format="json")
+        except SparqlError as exc:
+            self._send_error(400, str(exc))
+            return
+        self._send(200, "application/json", json.dumps(document))
+
+    def _send_explain_pgql(self, query: str) -> None:
+        try:
+            document = self.engine.explain_pgql_plan(query, format="json")
         except SparqlError as exc:
             self._send_error(400, str(exc))
             return

@@ -70,6 +70,8 @@ class SparqlEngine:
         trace: bool = False,
         plan_cache_size: int = 128,
         batch_size: Optional[int] = None,
+        pgql_encoding: Optional[str] = None,
+        pgql_vocabulary=None,
     ):
         if default_graph_semantics not in ("union", "strict"):
             raise ValueError(
@@ -115,6 +117,13 @@ class SparqlEngine:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self.batch_size = batch_size
+        #: PG-as-RDF encoding (``"NG"``/``"SP"``/``"RF"``) the PGQL
+        #: front-end compiles against, and the vocabulary mapping PG
+        #: identifiers to IRIs.  None disables :meth:`pgql` unless the
+        #: call supplies an encoding explicitly.
+        self.pgql_encoding = pgql_encoding
+        self.pgql_vocabulary = pgql_vocabulary
+        self._pgql_compilers: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # Query API
@@ -181,6 +190,77 @@ class SparqlEngine:
                     ast, model, collector, text, timeout, snapshot
                 )
         return self._run_ast(ast, model, collector, text, timeout, snapshot)
+
+    # ------------------------------------------------------------------
+    # PGQL front-end
+    # ------------------------------------------------------------------
+
+    def pgql(
+        self,
+        text: str,
+        model: Optional[str] = None,
+        timeout: Optional[float] = None,
+        encoding: Optional[str] = None,
+    ):
+        """Run a PGQL/Cypher-subset MATCH query (see ``docs/PGQL.md``).
+
+        The query is parsed and lowered per the paper's Table 3 rules
+        into the same AST the SPARQL parser produces, then runs through
+        the identical pinned-snapshot pipeline as :meth:`query` — plan
+        cache (under a ``pgql[<encoding>]``-prefixed key), optimizer,
+        EXPLAIN/trace and batched execution included.
+        """
+        if self._trace_wanted():
+            with _trace.tracing("query"):
+                return self._pgql_parse_and_run(text, model, timeout, encoding)
+        return self._pgql_parse_and_run(text, model, timeout, encoding)
+
+    def _pgql_parse_and_run(
+        self,
+        text: str,
+        model: Optional[str],
+        timeout: Optional[float],
+        encoding: Optional[str],
+    ):
+        # Same contract as _parse_and_run: pin the snapshot before
+        # translation so the whole request sees one data_version.
+        snapshot = self._pin_snapshot()
+        ast, cache_text = self._pgql_translate(text, encoding)
+        return self.run_ast(
+            ast, model, text=cache_text, timeout=timeout, snapshot=snapshot
+        )
+
+    def _pgql_translate(self, text: str, encoding: Optional[str]):
+        """Parse + compile PGQL text; returns ``(sparql_ast, cache_text)``.
+
+        ``cache_text`` carries a ``pgql[<encoding>]`` prefix so PGQL and
+        SPARQL plans can never collide in the shared plan cache, and so
+        slow-log/trace entries are recognisably PGQL.
+        """
+        from repro.pgql import parse as _pgql_parse
+
+        resolved = encoding if encoding is not None else self.pgql_encoding
+        if resolved is None:
+            raise EvaluationError(
+                "no PGQL encoding configured; pass encoding='NG'|'SP'|'RF' "
+                "or construct the engine with pgql_encoding"
+            )
+        resolved = resolved.upper()
+        with _trace.span("pgql.parse"):
+            parsed = _pgql_parse(text)
+        with _trace.span("pgql.compile", encoding=resolved):
+            ast = self._pgql_compiler(resolved).compile(parsed)
+        return ast, f"pgql[{resolved}] {text}"
+
+    def _pgql_compiler(self, encoding: str):
+        """Compilers are stateless; cache one per encoding."""
+        compiler = self._pgql_compilers.get(encoding)
+        if compiler is None:
+            from repro.pgql import compiler_for
+
+            compiler = compiler_for(encoding, self.pgql_vocabulary)
+            self._pgql_compilers[encoding] = compiler
+        return compiler
 
     def _run_ast(
         self,
@@ -342,6 +422,11 @@ class SparqlEngine:
                 model_name,
                 union_default_graph=self._union_default,
                 filter_pushdown=self._filter_pushdown,
+                language=(
+                    "pgql"
+                    if text is not None and text.startswith("pgql[")
+                    else "sparql"
+                ),
             )
             if key is not None:
                 evicted = self.plan_cache.put(key, version, compiled)
@@ -595,9 +680,27 @@ class SparqlEngine:
         JSON-ready dict with ``logical``, ``optimized`` and
         ``physical`` plan trees.
         """
+        ast = self._parse_query(text)
+        return self._explain_plan_ast(ast, model, format, "sparql")
+
+    def explain_pgql_plan(
+        self,
+        text: str,
+        model: Optional[str] = None,
+        format: str = "text",
+        encoding: Optional[str] = None,
+    ):
+        """:meth:`explain_plan` for a PGQL query: compiles the MATCH
+        through the Table 3 lowering and the shared pipeline without
+        running it."""
+        ast, _ = self._pgql_translate(text, encoding)
+        return self._explain_plan_ast(ast, model, format, "pgql")
+
+    def _explain_plan_ast(
+        self, ast, model: Optional[str], format: str, language: str
+    ):
         if format not in ("text", "json"):
             raise ValueError("format must be 'text' or 'json'")
-        ast = self._parse_query(text)
         model_name = self._model_name(model)
         store_model = self.network.model(model_name)
         compiled = compile_query(
@@ -607,10 +710,12 @@ class SparqlEngine:
             model_name,
             union_default_graph=self._union_default,
             filter_pushdown=self._filter_pushdown,
+            language=language,
         )
         if format == "json":
             return {
                 "form": compiled.form,
+                "language": compiled.language,
                 "model": model_name,
                 "variables": list(compiled.variables),
                 "batch_size": self.batch_size,
@@ -619,6 +724,8 @@ class SparqlEngine:
                 "physical": physical_to_dict(compiled.root),
             }
         lines: List[str] = [f"Query form: {compiled.form}"]
+        if language != "sparql":
+            lines.append(f"Query language: {language}")
         lines.append("Logical plan:")
         lines.extend(
             "  " + line for line in _algebra.render(compiled.logical).splitlines()

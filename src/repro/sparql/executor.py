@@ -62,6 +62,10 @@ class CompiledQuery:
     #: Network data version at compile time; the plan cache discards
     #: compiled plans whose version no longer matches.
     data_version: int
+    #: Source language of the query text: ``"sparql"`` or ``"pgql"``
+    #: (the PGQL front-end lowers to the same AST; this tags plans for
+    #: EXPLAIN and cache introspection).
+    language: str = "sparql"
 
 
 def _protected_variables(ast: Query) -> frozenset:
@@ -86,6 +90,7 @@ def compile_query(
     model_name: str,
     union_default_graph: bool = True,
     filter_pushdown: bool = True,
+    language: str = "sparql",
 ) -> CompiledQuery:
     if isinstance(ast, SelectQuery):
         form = "select"
@@ -124,6 +129,7 @@ def compile_query(
         streaming=form == "ask" or _has_slice(root),
         model_name=model_name,
         data_version=network.data_version,
+        language=language,
     )
 
 

@@ -1,11 +1,12 @@
 """A small LRU cache for compiled query plans.
 
-The engine keys entries by ``(query text, model name)``.  Compiled
-plans bake in term encodings and pattern orderings that depend on the
-store contents, so every entry also remembers the network
-``data_version`` it was compiled against; any store mutation bumps the
-version and the next lookup treats the stale entry as a miss (the
-entry is dropped and recompiled).
+The engine keys entries by ``(query text, model name)``; PGQL queries
+share the same cache under a ``pgql[<encoding>]``-prefixed text, so the
+two front-ends can never collide on a key.  Compiled plans bake in term
+encodings and pattern orderings that depend on the store contents, so
+every entry also remembers the network ``data_version`` it was compiled
+against; any store mutation bumps the version and the next lookup
+treats the stale entry as a miss (the entry is dropped and recompiled).
 
 Thread-safe: the engine may serve queries from multiple threads.
 """
@@ -65,6 +66,11 @@ class PlanCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+
+    def keys(self) -> list:
+        """Current cache keys, LRU-first (introspection/tests only)."""
+        with self._lock:
+            return list(self._entries)
 
     def __len__(self) -> int:
         with self._lock:

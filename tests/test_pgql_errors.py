@@ -1,0 +1,240 @@
+"""PGQL parser/compiler error paths, fuzzing, and the HTTP contract.
+
+Malformed input must always surface as :class:`PgqlSyntaxError` with a
+line/column position — never a raw traceback from deeper layers — and
+the ``/pgql`` endpoint must turn that into a 400 with a JSON error
+payload, while keeping the same staleness-token contract as
+``/sparql``.
+"""
+
+import json
+import random
+import urllib.error
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.core import PropertyGraphRdfStore
+from repro.datasets.twitter import TwitterConfig, generate_twitter
+from repro.pgql import PgqlSyntaxError, compiler_for, parse
+from repro.server import SparqlServer
+
+# ----------------------------------------------------------------------
+# Lexical and grammatical errors
+# ----------------------------------------------------------------------
+
+MALFORMED = [
+    "",
+    "MATCH",
+    "MATCH (",
+    "MATCH (a",
+    "MATCH (a)",  # no RETURN clause
+    "MATCH (a) RETURN",
+    "MATCH (a RETURN a",
+    "MATCH (a:) RETURN a",
+    "MATCH (a {x}) RETURN a",
+    "MATCH (a {x:}) RETURN a",
+    "MATCH (a)-[e]-(b) RETURN a",  # undirected edges unsupported
+    "MATCH (a)-[e]->>(b) RETURN a",
+    "MATCH (a)->(b) RETURN a",
+    "MATCH (a)-[:]->(b) RETURN a",
+    "MATCH (a) RETURN a,",
+    "MATCH (a) RETURN a WHERE a.x = 1",  # WHERE after RETURN
+    "MATCH (a) RETURN a ORDER a.x",
+    "MATCH (a) RETURN a LIMIT x",
+    "MATCH (a) RETURN a LIMIT 1 LIMIT 2",
+    "MATCH (a {x: 'unterminated}) RETURN a",
+    "MATCH (a {x: 'bad\\q escape'}) RETURN a",
+    "MATCH (a) RETURN COUNT(a, a)",
+    "MATCH (a) WHERE RETURN a",
+    "MATCH (a) WHERE a.x = RETURN a",
+    "MATCH (a {x: 1}) RETURN a extra",
+    "MATCH (_hidden) RETURN _hidden",  # reserved namespace
+    "MATCH (match) RETURN match",  # keyword as variable
+    "RETURN 1",
+    "SELECT ?s WHERE { ?s ?p ?o }",  # SPARQL is not PGQL
+]
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize("text", MALFORMED)
+    def test_malformed_input_raises_positioned_syntax_error(self, text):
+        with pytest.raises(PgqlSyntaxError) as excinfo:
+            parse(text)
+        error = excinfo.value
+        assert isinstance(error.line, int)
+        assert isinstance(error.column, int)
+        if error.line:
+            assert f"line {error.line}" in str(error)
+
+    def test_error_position_points_at_the_offending_token(self):
+        with pytest.raises(PgqlSyntaxError) as excinfo:
+            parse("MATCH (a)\n  RETURN b b")
+        assert excinfo.value.line == 2
+
+    def test_fuzzed_corruptions_never_escape_as_other_exceptions(self):
+        """Deterministic mutation fuzzing: random single-edit corruptions
+        of valid queries either still parse or raise PgqlSyntaxError —
+        nothing else (no IndexError from the tokenizer, no KeyError from
+        the parser tables)."""
+        seeds = [
+            "MATCH (a:Person {name: 'x'})-[e:knows]->(b) "
+            "WHERE a.age > 21 RETURN a, b.name AS n ORDER BY n LIMIT 5",
+            "MATCH (x)-[:a|b]->(y) RETURN x, COUNT(*) AS c GROUP BY x",
+            "MATCH (n {t: true}) WITH n RETURN n",
+        ]
+        rng = random.Random(1729)
+        alphabet = "(){}[]<>-:,.'\"|=*x9 \n"
+        for _ in range(400):
+            text = rng.choice(seeds)
+            position = rng.randrange(len(text))
+            mode = rng.randrange(3)
+            if mode == 0:  # replace
+                text = (
+                    text[:position]
+                    + rng.choice(alphabet)
+                    + text[position + 1 :]
+                )
+            elif mode == 1:  # delete
+                text = text[:position] + text[position + 1 :]
+            else:  # insert
+                text = text[:position] + rng.choice(alphabet) + text[position:]
+            try:
+                parse(text)
+            except PgqlSyntaxError:
+                pass
+
+
+# ----------------------------------------------------------------------
+# Semantic (compile-time) errors
+# ----------------------------------------------------------------------
+
+SEMANTIC = [
+    # Unconstrained node: SPARQL cannot enumerate vertices that carry no
+    # label, property, or incident edge.
+    "MATCH (a) RETURN a",
+    # Variables must be bound by the MATCH.
+    "MATCH (a {x: 1}) RETURN b",
+    "MATCH (a {x: 1}) WHERE b.y = 2 RETURN a",
+    "MATCH (a {x: 1}) RETURN a ORDER BY b.z",
+    # One edge variable per edge occurrence.
+    "MATCH (a)-[e:k]->(b)-[e:k]->(c) RETURN a",
+    # A name cannot be both node and edge.
+    "MATCH (a)-[a:k]->(b) RETURN b",
+    # Aggregates need an explicit alias to become a column.
+    "MATCH (a {x: 1}) RETURN COUNT(*)",
+    # properties() expands to two columns; aggregation over it is
+    # undefined in this subset.
+    "MATCH (a {x: 1}) RETURN properties(a), COUNT(*) AS c",
+    "MATCH (a {x: 1}) RETURN properties(a) AS p",
+    # Label alternation describes topology only (Table 3 rule 1a); it
+    # cannot bind an edge variable or carry properties.
+    "MATCH (a)-[e:k|f]->(b) RETURN a",
+    "MATCH (a)-[:k|f {w: 1}]->(b) RETURN a",
+    # id() comparisons must be sargable equality against an integer.
+    "MATCH (a {x: 1}) WHERE id(a) = 'seven' RETURN a",
+    "MATCH (a {x: 1}) WHERE id(a) < 7 RETURN a",
+    # Only projected names survive a WITH boundary.
+    "MATCH (a {x: 1})-[e:k]->(b) WITH a RETURN b",
+    # Duplicate output columns.
+    "MATCH (a {x: 1}) RETURN a, a",
+    # properties(a) expands to a_key/a_value — clashing aliases are
+    # duplicates too, in either order.
+    "MATCH (a {x: 1}) RETURN a.x AS a_key, properties(a)",
+    "MATCH (a {x: 1}) RETURN properties(a), a.x AS a_key",
+]
+
+
+class TestSemanticErrors:
+    @pytest.mark.parametrize("text", SEMANTIC)
+    @pytest.mark.parametrize("encoding", ["NG", "SP", "RF"])
+    def test_compile_rejects_with_syntax_error(self, text, encoding):
+        query = parse(text)
+        with pytest.raises(PgqlSyntaxError):
+            compiler_for(encoding).compile(query)
+
+    def test_unknown_encoding_is_rejected(self):
+        with pytest.raises(PgqlSyntaxError):
+            compiler_for("XX")
+
+
+# ----------------------------------------------------------------------
+# HTTP contract: /pgql mirrors /sparql's error and staleness behavior
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def pgql_server():
+    graph = generate_twitter(TwitterConfig(egos=2, seed=13))
+    store = PropertyGraphRdfStore(model="NG")
+    store.load(graph)
+    with SparqlServer(store.engine) as running:
+        yield running
+
+
+def _get(server, path):
+    request = urllib.request.Request(f"http://127.0.0.1:{server.port}{path}")
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+def _post(server, body, content_type="application/pgql-query", path="/pgql"):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{server.port}{path}",
+        data=body.encode("utf-8"),
+        headers={"Content-Type": content_type},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+VALID = "MATCH (a)-[:follows]->(b) RETURN b"
+
+
+class TestPgqlEndpoint:
+    def test_post_valid_query_returns_bindings(self, pgql_server):
+        status, body = _post(pgql_server, VALID)
+        assert status == 200
+        document = json.loads(body)
+        assert document["head"]["vars"] == ["b"]
+        assert document["results"]["bindings"]
+
+    def test_get_valid_query(self, pgql_server):
+        encoded = urllib.parse.quote(VALID)
+        status, body = _get(pgql_server, f"/pgql?query={encoded}")
+        assert status == 200
+        assert json.loads(body)["results"]["bindings"]
+
+    def test_malformed_query_is_400_with_json_error(self, pgql_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(pgql_server, "MATCH (a RETURN a")
+        assert excinfo.value.code == 400
+        payload = json.loads(excinfo.value.read().decode("utf-8"))
+        assert "line 1" in payload["error"]
+
+    def test_semantic_error_is_400_not_500(self, pgql_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(pgql_server, "MATCH (a) RETURN a")
+        assert excinfo.value.code == 400
+        assert "error" in json.loads(excinfo.value.read().decode("utf-8"))
+
+    def test_explain_language_pgql(self, pgql_server):
+        encoded = urllib.parse.quote(VALID)
+        status, body = _get(
+            pgql_server, f"/explain?language=pgql&query={encoded}"
+        )
+        assert status == 200
+        assert json.loads(body)["language"] == "pgql"
+
+    def test_stale_read_token_applies_to_pgql(self, pgql_server):
+        encoded = urllib.parse.quote(VALID)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(
+                pgql_server,
+                f"/pgql?query={encoded}&min-version=999999",
+            )
+        assert excinfo.value.code == 503
+        payload = json.loads(excinfo.value.read().decode("utf-8"))
+        assert payload["error"] == "StaleRead"
